@@ -1,0 +1,137 @@
+// Command kertbench regenerates the paper's evaluation figures (3–8).
+//
+// Usage:
+//
+//	kertbench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8] [-quick] [-seed N] [-tcp]
+//
+// -quick shrinks sweeps and repetition counts for a fast sanity pass;
+// the default settings mirror the paper's (which means the fig3/fig4
+// sweeps take a while at full scale). -tcp routes Figure 5's column
+// shipping through a real TCP socket instead of in-process copies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kertbn/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation")
+		quick = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
+		seed  = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
+		tcp   = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
+	)
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ok := false
+
+	if run("fig3") {
+		ok = true
+		cfg := experiments.DefaultFig3Config()
+		if *quick {
+			cfg.TrainSizes = []int{36, 216, 600}
+			cfg.Reps = 3
+			cfg.Services = 15
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		render(experiments.Fig3(cfg))
+	}
+	if run("fig4") {
+		ok = true
+		cfg := experiments.DefaultFig4Config()
+		if *quick {
+			cfg.Sizes = []int{10, 30, 60}
+			cfg.Reps = 3
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		render(experiments.Fig4(cfg))
+	}
+	if run("fig5") {
+		ok = true
+		cfg := experiments.DefaultFig5Config()
+		cfg.UseTCP = *tcp
+		if *quick {
+			cfg.Sizes = []int{10, 30, 60}
+			cfg.ModelsPerSize = 5
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		render(experiments.Fig5(cfg))
+	}
+	edCfg := experiments.DefaultEDiaMoNDConfig()
+	if *quick {
+		edCfg.RealSize = 2000
+		edCfg.Fig8Reps = 2
+	}
+	if *seed != 0 {
+		edCfg.Seed = *seed
+	}
+	if run("fig6") {
+		ok = true
+		renderOne(experiments.Fig6(edCfg))
+	}
+	if run("fig7") {
+		ok = true
+		renderOne(experiments.Fig7(edCfg))
+	}
+	if run("fig8") {
+		ok = true
+		renderOne(experiments.Fig8(edCfg))
+	}
+	if run("ablation") {
+		ok = true
+		aCfg := experiments.DefaultKnowledgeAblationConfig()
+		if *quick {
+			aCfg.Reps = 2
+		}
+		if *seed != 0 {
+			aCfg.Seed = *seed
+		}
+		render(experiments.KnowledgeAblation(aCfg))
+	}
+	if run("motivation") {
+		ok = true
+		mCfg := experiments.DefaultMotivationConfig()
+		if *quick {
+			mCfg.Intervals = 10
+			mCfg.ShiftAtInterval = 5
+			mCfg.TestSize = 150
+		}
+		if *seed != 0 {
+			mCfg.Seed = *seed
+		}
+		renderOne(experiments.Motivation(mCfg))
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func render(results []*experiments.FigResult, err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment failed:", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		if err := r.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "render failed:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func renderOne(r *experiments.FigResult, err error) {
+	render([]*experiments.FigResult{r}, err)
+}

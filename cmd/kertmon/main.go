@@ -1,0 +1,176 @@
+// Command kertmon demonstrates the full live pipeline of the paper's
+// Section 2: a discrete-event simulation of the eDiaMoND testbed generates
+// requests; monitoring points on each simulated host report per-service
+// elapsed times through batching agents over TCP to a management server;
+// the server assembles complete rows and feeds the periodic
+// model-(re)construction scheduler (W = K·T_CON); each reconstruction
+// prints the fresh model's headline numbers and a pAccel projection.
+//
+// Usage:
+//
+//	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"kertbn/internal/core"
+	"kertbn/internal/dataset"
+	"kertbn/internal/monitor"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 600, "requests to simulate")
+		alpha    = flag.Int("alpha", 100, "α_model: points per construction interval")
+		k        = flag.Int("k", 3, "environmental correlation metric K")
+		rate     = flag.Float64("rate", 1.5, "DES arrival rate (req/s)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	wf := workflow.EDiaMoND()
+	cols := core.ColumnNames(workflow.EDiaMoNDServiceNames, nil)
+
+	// The reconstruction scheduler: discrete KERT-BN rebuilt every α points
+	// from the sliding window.
+	kcfg := core.DefaultKERTConfig(wf)
+	kcfg.Type = core.DiscreteModel
+	kcfg.Bins = 6
+	kcfg.Leak = 0.02
+	builder := func(w *dataset.Dataset) (*core.Model, error) {
+		return core.BuildKERT(kcfg, w)
+	}
+	sched, err := core.NewScheduler(core.ScheduleConfig{
+		TData: 20 * time.Second, // nominal; the run is in simulated time
+		Alpha: *alpha,
+		K:     *k,
+	}, cols, builder)
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("schedule: T_CON = %v, window = %d points\n", sched.Config().TCon(), sched.Config().WindowPoints())
+
+	// Management server over TCP; rows flow into the scheduler.
+	var rebuilds atomic.Int64
+	inner, err := monitor.NewServer(len(cols), func(row []float64) {
+		m, err := sched.Push(row)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reconstruction failed:", err)
+			return
+		}
+		if m == nil {
+			return
+		}
+		n := rebuilds.Add(1)
+		fmt.Printf("\n[rebuild %d] %s KERT-BN from %d points in %v (cost: %d data ops)\n",
+			n, m.Type, sched.WindowLen(), sched.LastBuildTime(), m.Cost.DataOps)
+		post, err := core.ResponseTimePosterior(m, nil, 0, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "  query failed:", err)
+			return
+		}
+		fmt.Printf("  response time now: mean %.3fs std %.3fs, P(D>1.2s)=%.3f\n",
+			post.Mean(), post.Std(), post.Exceedance(1.2))
+		acc, err := core.PAccel(m, workflow.EDOgsaDaiRemote, 0.8*0.45, core.PAccelOptions{})
+		if err == nil {
+			fmt.Printf("  pAccel(ogsa_dai_remote ->80%%): mean %.3fs, P(D>1.2s)=%.3f\n",
+				acc.Mean(), acc.Exceedance(1.2))
+		}
+	})
+	if err != nil {
+		fatal(err.Error())
+	}
+	tcpSrv, err := monitor.ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer tcpSrv.Close()
+	fmt.Println("management server listening on", tcpSrv.Addr())
+
+	// One monitoring agent per simulated host, reporting over TCP.
+	hosts := map[string][]int{
+		"linux-server": {workflow.EDImageList, workflow.EDWorkList},
+		"aix-local":    {workflow.EDImageLocatorLocal, workflow.EDOgsaDaiLocal},
+		"aix-remote":   {workflow.EDImageLocatorRemote, workflow.EDOgsaDaiRemote},
+		"edge-probe":   {len(cols) - 1}, // end-to-end D measured at the edge
+	}
+	points := map[int]*monitor.Point{}
+	var agents []*monitor.Agent
+	var senders []*monitor.TCPSender
+	for host, columns := range hosts {
+		sender, err := monitor.DialTCP(tcpSrv.Addr())
+		if err != nil {
+			fatal(err.Error())
+		}
+		senders = append(senders, sender)
+		agent, err := monitor.NewAgent(host, 25, sender)
+		if err != nil {
+			fatal(err.Error())
+		}
+		agents = append(agents, agent)
+		for _, c := range columns {
+			points[c] = agent.NewPoint(c)
+		}
+	}
+	defer func() {
+		for _, s := range senders {
+			s.Close()
+		}
+	}()
+
+	// Drive the DES; each completed request reports through the points.
+	rng := stats.NewRNG(*seed)
+	means := []float64{0.08, 0.12, 0.10, 0.22, 0.35, 0.45}
+	stations := make([]simsvc.StationConfig, len(means))
+	for i, m := range means {
+		stations[i] = simsvc.StationConfig{Concurrency: 2, Service: simsvc.DelayDist{Kind: simsvc.DistExponential, A: 1 / m}}
+	}
+	des, err := simsvc.NewDES(wf, simsvc.DESConfig{
+		ArrivalRate:    *rate,
+		Stations:       stations,
+		HopDelay:       simsvc.DelayDist{Kind: simsvc.DistUniform, A: 0.001, B: 0.004},
+		WarmupRequests: 50,
+	}, rng)
+	if err != nil {
+		fatal(err.Error())
+	}
+	records, err := des.Run(*requests)
+	if err != nil {
+		fatal(err.Error())
+	}
+	for reqID, rec := range records {
+		for svc, elapsed := range rec.Elapsed {
+			points[svc].Observe(int64(reqID), elapsed)
+		}
+		points[len(cols)-1].Observe(int64(reqID), rec.ResponseTime())
+	}
+	for _, a := range agents {
+		if err := a.Flush(); err != nil {
+			fatal(err.Error())
+		}
+	}
+	// TCP delivery is asynchronous; wait for the rows to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.CompleteCount() < *requests && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // let a final in-flight rebuild print
+	fmt.Printf("\npipeline done: %d requests measured, %d rows assembled, %d reconstructions\n",
+		*requests, inner.CompleteCount(), sched.Rebuilds())
+	if sched.Model() == nil {
+		fatal("no model was ever built — too few points per interval?")
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "kertmon:", msg)
+	os.Exit(1)
+}

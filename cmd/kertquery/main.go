@@ -1,0 +1,216 @@
+// Command kertquery builds a response-time model from a CSV dataset (as
+// produced by kertsim) and answers the autonomic-management queries the
+// paper's applications pose.
+//
+// Usage:
+//
+//	kertsim -system ediamond -n 1200 > train.csv
+//	kertquery -data train.csv -model kert -query paccel -service 3 -factor 0.9
+//	kertquery -data train.csv -model kert -query dcomp -service 3
+//	kertquery -data train.csv -model nrt  -query threshold -service 3 -factor 0.9 -h 1.2
+//
+// The workflow is selected with -workflow: "ediamond" (the paper's
+// six-service scenario) or "chain" (all service columns invoked
+// sequentially, for ad-hoc datasets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kertbn/internal/core"
+	"kertbn/internal/dataset"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "training CSV (services..., D) as written by kertsim")
+		modelKind = flag.String("model", "kert", "model to build: kert or nrt")
+		wfKind    = flag.String("workflow", "ediamond", "workflow knowledge: ediamond or chain")
+		query     = flag.String("query", "paccel", "query: dcomp, paccel, threshold, plocal, loglik, dot")
+		service   = flag.Int("service", 3, "target service index (dcomp/paccel/threshold)")
+		factor    = flag.Float64("factor", 0.9, "paccel/threshold: predicted elapsed-time factor")
+		h         = flag.Float64("h", 0, "threshold: response-time threshold in seconds")
+		bins      = flag.Int("bins", 8, "discretization arity")
+		seed      = flag.Uint64("seed", 1, "random seed for NRT restarts")
+		savePath  = flag.String("save", "", "write the built model to this file")
+		loadPath  = flag.String("load", "", "load a previously saved model instead of training")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fatal("missing -data")
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err.Error())
+	}
+	train, err := dataset.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err.Error())
+	}
+	if *loadPath != "" {
+		lf, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		model, err := core.LoadModel(lf)
+		lf.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("loaded %s model from %s\n", model.Type, *loadPath)
+		answer(model, train, *query, *service, *factor, *h, *modelKind)
+		return
+	}
+	nServices := train.NumCols() - 1
+	if *service < 0 || *service >= nServices {
+		fatal(fmt.Sprintf("service %d out of range [0,%d)", *service, nServices))
+	}
+
+	var wf *workflow.Node
+	switch *wfKind {
+	case "ediamond":
+		if nServices != 6 {
+			fatal("the ediamond workflow needs exactly 6 service columns")
+		}
+		wf = workflow.EDiaMoND()
+	case "chain":
+		tasks := make([]*workflow.Node, nServices)
+		for i := 0; i < nServices; i++ {
+			tasks[i] = workflow.Task(i, train.Columns[i])
+		}
+		wf = workflow.Seq(tasks...)
+	default:
+		fatal(fmt.Sprintf("unknown workflow %q", *wfKind))
+	}
+
+	var model *core.Model
+	switch *modelKind {
+	case "kert":
+		cfg := core.DefaultKERTConfig(wf)
+		cfg.Type = core.DiscreteModel
+		cfg.Bins = *bins
+		cfg.Leak = 0.02
+		model, err = core.BuildKERT(cfg, train)
+	case "nrt":
+		cfg := core.DefaultNRTConfig()
+		cfg.Type = core.DiscreteModel
+		cfg.Bins = *bins
+		cfg.Restarts = 10
+		cfg.RNG = stats.NewRNG(*seed)
+		model, err = core.BuildNRT(cfg, train)
+	default:
+		fatal(fmt.Sprintf("unknown model %q", *modelKind))
+	}
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("built %s %s model: %d nodes, %d edges, cost {dataOps:%d scoreEvals:%d}\n",
+		*modelKind, model.Type, model.Net.N(), model.Net.EdgeCount(),
+		model.Cost.DataOps, model.Cost.ScoreEvals)
+	if *savePath != "" {
+		sf, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if err := core.SaveModel(sf, model); err != nil {
+			sf.Close()
+			fatal(err.Error())
+		}
+		if err := sf.Close(); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("model saved to %s\n", *savePath)
+	}
+	answer(model, train, *query, *service, *factor, *h, *modelKind)
+}
+
+// answer runs one query against a (built or loaded) model.
+func answer(model *core.Model, train *dataset.Dataset, query string, service int, factor, h float64, modelKind string) {
+	switch query {
+	case "dot":
+		fmt.Print(model.Net.DOT(modelKind))
+
+	case "loglik":
+		ll, err := model.Log10Likelihood(train)
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("log10 P(train | model) = %.3f\n", ll)
+
+	case "dcomp":
+		observed := map[int]float64{}
+		for j := 0; j < train.NumCols(); j++ {
+			if j == service {
+				continue
+			}
+			observed[j] = stats.Mean(train.Col(j))
+		}
+		post, err := core.DComp(model, service, observed, core.DCompOptions{})
+		if err != nil {
+			fatal(err.Error())
+		}
+		prior, err := core.PriorMarginal(model, service, 0, nil)
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("dComp for %q:\n  prior     mean %.4f s (std %.4f)\n  posterior mean %.4f s (std %.4f)\n",
+			train.Columns[service], prior.Mean(), prior.Std(), post.Mean(), post.Std())
+		printDist(post)
+
+	case "plocal":
+		observed := h
+		if observed <= 0 {
+			// Default: the 95th percentile of observed response times.
+			observed = stats.Quantile(train.Col(train.NumCols()-1), 0.95)
+		}
+		sus, err := core.PLocal(model, observed, core.PLocalOptions{})
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("problem localization for D = %.4f s:\n", observed)
+		fmt.Println("  rank  service                 prior_s  posterior_s  shift    KL")
+		for i, s := range sus {
+			fmt.Printf("  %4d  %-22s  %7.4f  %11.4f  %5.2fx  %6.4f\n",
+				i+1, s.Name, s.PriorMean, s.PosteriorMean, s.Shift, s.KL)
+		}
+
+	case "paccel", "threshold":
+		mean := stats.Mean(train.Col(service))
+		predicted := factor * mean
+		post, err := core.PAccel(model, service, predicted, core.PAccelOptions{})
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("pAccel: %q %.4f s -> %.4f s (factor %.2f)\n",
+			train.Columns[service], mean, predicted, factor)
+		fmt.Printf("projected response time: mean %.4f s, std %.4f s\n", post.Mean(), post.Std())
+		if query == "threshold" {
+			if h <= 0 {
+				fatal("threshold query needs -h > 0")
+			}
+			fmt.Printf("P(D > %.3f s) = %.4f\n", h, post.Exceedance(h))
+		} else {
+			printDist(post)
+		}
+
+	default:
+		fatal(fmt.Sprintf("unknown query %q", query))
+	}
+}
+
+func printDist(p *core.Posterior) {
+	fmt.Println("  value_s     prob")
+	for i, v := range p.Support {
+		fmt.Printf("  %8.4f  %7.4f\n", v, p.Probs[i])
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "kertquery:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command kertsim runs the service-oriented system simulator and emits
+// observation datasets as CSV — the offline equivalent of the monitoring
+// pipeline feeding the model builders.
+//
+// Usage:
+//
+//	kertsim -system ediamond -n 1200 > train.csv
+//	kertsim -system random -services 30 -n 600 -seed 7 > train.csv
+//	kertsim -system ediamond -des -rate 2.0 -n 500 > loaded.csv
+//
+// -des switches from the correlated delay sampler to the discrete-event
+// simulator with queueing stations (eDiaMoND only), whose elapsed times
+// include queue waits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "ediamond", "system to simulate: ediamond, random, or counts (timeout counters)")
+		services = flag.Int("services", 30, "service count for -system random")
+		n        = flag.Int("n", 1200, "rows to generate")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		des      = flag.Bool("des", false, "use the discrete-event simulator (ediamond only)")
+		rate     = flag.Float64("rate", 1.0, "DES arrival rate (requests/sec)")
+		warmup   = flag.Int("warmup", 100, "DES warmup requests discarded before recording")
+	)
+	flag.Parse()
+	rng := stats.NewRNG(*seed)
+
+	if *des {
+		if *system != "ediamond" {
+			fatal("the DES path currently models the ediamond testbed only")
+		}
+		wf := workflow.EDiaMoND()
+		means := []float64{0.08, 0.12, 0.10, 0.22, 0.35, 0.45}
+		stations := make([]simsvc.StationConfig, len(means))
+		for i, m := range means {
+			stations[i] = simsvc.StationConfig{
+				Concurrency: 2,
+				Service:     simsvc.DelayDist{Kind: simsvc.DistExponential, A: 1 / m},
+			}
+		}
+		d, err := simsvc.NewDES(wf, simsvc.DESConfig{
+			ArrivalRate:    *rate,
+			Stations:       stations,
+			HopDelay:       simsvc.DelayDist{Kind: simsvc.DistUniform, A: 0.001, B: 0.005},
+			WarmupRequests: *warmup,
+		}, rng)
+		if err != nil {
+			fatal(err.Error())
+		}
+		recs, err := d.Run(*n)
+		if err != nil {
+			fatal(err.Error())
+		}
+		ds, err := simsvc.RecordsToDataset(recs, workflow.EDiaMoNDServiceNames)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if err := ds.WriteCSV(os.Stdout); err != nil {
+			fatal(err.Error())
+		}
+		return
+	}
+
+	var sys *simsvc.System
+	switch *system {
+	case "ediamond":
+		sys = simsvc.EDiaMoNDSystem()
+	case "counts":
+		cs := simsvc.EDiaMoNDCountSystem()
+		ds, err := cs.GenerateDataset(*n, rng)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if err := ds.WriteCSV(os.Stdout); err != nil {
+			fatal(err.Error())
+		}
+		return
+	case "random":
+		var err error
+		sys, err = simsvc.RandomSystem(*services, simsvc.DefaultRandomSystemOptions(), rng)
+		if err != nil {
+			fatal(err.Error())
+		}
+	default:
+		fatal(fmt.Sprintf("unknown system %q", *system))
+	}
+	ds, err := sys.GenerateDataset(*n, rng)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if err := ds.WriteCSV(os.Stdout); err != nil {
+		fatal(err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "kertsim:", msg)
+	os.Exit(1)
+}

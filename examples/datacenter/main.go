@@ -1,0 +1,68 @@
+// Datacenter scaling study: the Section-4 question of whether a model can
+// be rebuilt inside a tight reconstruction interval as the environment
+// grows. A 100-service random workflow is simulated, both KERT-BN and
+// NRT-BN are constructed on a fast-reconstruction 36-point window
+// (T_CON = 2 minutes at K = 3, T_DATA = 10 s), and construction time and
+// held-out accuracy are compared.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kertbn"
+)
+
+func main() {
+	rng := kertbn.NewRNG(7)
+	for _, n := range []int{20, 50, 100} {
+		sys, err := kertbn.RandomSystem(n, kertbn.DefaultRandomSystemOptions(), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train, err := sys.GenerateDataset(36, rng) // K·α = 3·12
+		if err != nil {
+			log.Fatal(err)
+		}
+		test, err := sys.GenerateDataset(100, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start := time.Now()
+		kert, err := kertbn.BuildKERT(kertbn.DefaultKERTConfig(sys.Workflow), train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kertTime := time.Since(start)
+
+		start = time.Now()
+		nrt, err := kertbn.BuildNRT(kertbn.DefaultNRTConfig(), train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nrtTime := time.Since(start)
+
+		kll, err := kert.Log10Likelihood(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nll, err := nrt.Log10Likelihood(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%3d services:\n", n)
+		fmt.Printf("  KERT-BN: built in %-12v log10 P(test) = %8.1f  (cost: %d data ops, 0 score evals)\n",
+			kertTime, kll, kert.Cost.DataOps)
+		fmt.Printf("  NRT-BN:  built in %-12v log10 P(test) = %8.1f  (cost: %d data ops, %d score evals)\n",
+			nrtTime, nll, nrt.Cost.DataOps, nrt.Cost.ScoreEvals)
+		const tCon = 2 * time.Minute
+		verdict := "feasible"
+		if nrtTime > tCon {
+			verdict = "INFEASIBLE"
+		}
+		fmt.Printf("  at T_CON = %v, NRT-BN reconstruction is %s; KERT-BN stays flat\n\n", tCon, verdict)
+	}
+}

@@ -1,0 +1,151 @@
+// The full Section-5 walk-through on the eDiaMoND testbed stand-in:
+// a discrete KERT-BN built under the paper's reconstruction schedule
+// (T_DATA = 20 s, K = 10, α_model = 120), then both applications —
+// dComp (estimate an unobservable service's elapsed time) and pAccel
+// (project end-to-end response time after accelerating a service) —
+// plus the Equation-5 threshold-violation check.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"kertbn"
+)
+
+const imageLocatorRemote = 3 // X4 of the paper's Figure 2
+
+func main() {
+	wf := kertbn.EDiaMoND()
+	sys := kertbn.EDiaMoNDSystem()
+	rng := kertbn.NewRNG(42)
+
+	// The paper's Section-5 schedule.
+	sched := kertbn.ScheduleConfig{
+		TData: 20 * time.Second,
+		Alpha: 120,
+		K:     10,
+	}
+	fmt.Printf("schedule: T_CON = %v, window W = %v (%d points)\n",
+		sched.TCon(), sched.WindowDuration(), sched.WindowPoints())
+
+	train, err := sys.GenerateDataset(sched.WindowPoints(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := kertbn.DefaultKERTConfig(wf)
+	cfg.Type = kertbn.DiscreteModel
+	cfg.Bins = 8
+	cfg.Leak = 0.02
+	model, err := kertbn.BuildKERT(cfg, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discrete KERT-BN built from %d points\n\n", train.NumRows())
+
+	// ---- dComp: X4's monitoring data went missing; the environment has
+	// drifted (the remote site slowed down). Update the stale prior with
+	// current observations of everything else.
+	fmt.Println("== dComp: compensating for missing X4 data ==")
+	slowSys := kertbn.EDiaMoNDSystem()
+	slowSys.Services[imageLocatorRemote].Base.B *= 1.4
+	current, err := slowSys.GenerateDataset(2000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	observed := map[int]float64{}
+	for j := 0; j < current.NumCols(); j++ {
+		if j != imageLocatorRemote {
+			observed[j] = mean(current.Col(j))
+		}
+	}
+	prior, err := kertbn.PriorMarginal(model, imageLocatorRemote, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	post, err := kertbn.DComp(model, imageLocatorRemote, observed, kertbn.DCompOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := mean(current.Col(imageLocatorRemote))
+	fmt.Printf("stale prior:  mean %.4f s, std %.4f\n", prior.Mean(), prior.Std())
+	fmt.Printf("posterior:    mean %.4f s, std %.4f\n", post.Mean(), post.Std())
+	fmt.Printf("actual:       mean %.4f s  (posterior shifted toward actual, narrower)\n\n", actual)
+
+	// ---- pAccel: is accelerating X4 worth it?
+	fmt.Println("== pAccel: projecting the benefit of accelerating X4 to 90% ==")
+	x4 := mean(train.Col(imageLocatorRemote))
+	projected, err := kertbn.PAccel(model, imageLocatorRemote, 0.9*x4, kertbn.PAccelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := kertbn.ResponseTimePosterior(model, nil, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("current response time:   %.4f s\n", baseline.Mean())
+	fmt.Printf("projected after action:  %.4f s\n", projected.Mean())
+
+	// Ground truth from actually applying the acceleration.
+	fastSys := kertbn.EDiaMoNDSystem()
+	fastSys.Services[imageLocatorRemote].Base.B *= 0.9
+	realData, err := fastSys.GenerateDataset(5000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	realD := realData.Col(realData.NumCols() - 1)
+	fmt.Printf("measured after action:   %.4f s\n\n", mean(realD))
+
+	// ---- Equation 5: how well do projected threshold-violation
+	// probabilities match reality?
+	fmt.Println("== threshold violation check (Equation 5) ==")
+	for _, h := range []float64{1.0, 1.1, 1.2, 1.3} {
+		eps, err := kertbn.ThresholdViolationError(projected, realD, h)
+		if err != nil {
+			fmt.Printf("h=%.1f s: undefined (no real violations)\n", h)
+			continue
+		}
+		fmt.Printf("h=%.1f s: P_bn=%.4f  P_real=%.4f  epsilon=%.4f\n",
+			h, projected.Exceedance(h), exceedance(realD, h), eps)
+	}
+
+	// ---- pLocal: a slow request arrives — which service is the likely
+	// culprit? (The problem-localization activity the paper motivates.)
+	fmt.Println("\n== pLocal: localizing a slow request ==")
+	slowD := quantile(train.Col(train.NumCols()-1), 0.97)
+	suspects, err := kertbn.PLocal(model, slowD, kertbn.PLocalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed D = %.3f s; top suspects:\n", slowD)
+	for i, s := range suspects[:3] {
+		fmt.Printf("  %d. %-22s elapsed %.4f -> %.4f s (%.2fx)\n",
+			i+1, s.Name, s.PriorMean, s.PosteriorMean, s.Shift)
+	}
+}
+
+func quantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func exceedance(xs []float64, h float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x > h {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,3 @@
+module kertbn
+
+go 1.22

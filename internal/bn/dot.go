@@ -1,0 +1,34 @@
+package bn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the network structure in Graphviz dot format. Discrete nodes
+// are boxes annotated with their state counts, continuous nodes ellipses;
+// nodes carrying a DetFunc CPD (knowledge-given) are shaded.
+func (n *Network) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, id := range n.SortedIDs() {
+		node := n.Node(id)
+		attrs := []string{fmt.Sprintf("label=%q", node.Name)}
+		if node.Kind == Discrete {
+			attrs = append(attrs, "shape=box")
+			attrs[0] = fmt.Sprintf("label=%q", fmt.Sprintf("%s (%d states)", node.Name, node.Card))
+		} else {
+			attrs = append(attrs, "shape=ellipse")
+		}
+		if _, isDet := node.CPD.(*DetFunc); isDet {
+			attrs = append(attrs, "style=filled", "fillcolor=lightgrey")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", id, strings.Join(attrs, ", "))
+	}
+	for _, e := range n.dag.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package bn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.AddDiscreteNode("rain", 2)
+	b, _ := n.AddContinuousNode("temp")
+	if err := n.AddEdge(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	det, _ := NewDetFunc(func(p []float64) float64 { return p[0] }, 1, 0, 0.1, 0, 0)
+	_ = n.SetCPD(b.ID, det)
+	out := n.DOT("test")
+	for _, want := range []string{
+		`digraph "test"`,
+		`rain (2 states)`,
+		`shape=box`,
+		`shape=ellipse`,
+		`fillcolor=lightgrey`,
+		"n0 -> n1;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	build := func() string {
+		n := NewNetwork()
+		a, _ := n.AddDiscreteNode("a", 2)
+		b, _ := n.AddDiscreteNode("b", 2)
+		c, _ := n.AddDiscreteNode("c", 2)
+		_ = n.AddEdge(a.ID, c.ID)
+		_ = n.AddEdge(b.ID, c.ID)
+		return n.DOT("g")
+	}
+	if build() != build() {
+		t.Fatal("DOT output should be deterministic")
+	}
+}

@@ -1,0 +1,74 @@
+package bn
+
+import (
+	"fmt"
+	"math"
+
+	"kertbn/internal/stats"
+)
+
+// Sample draws one full joint assignment by ancestral sampling. The result
+// is indexed by node id (discrete states as integer-valued float64s).
+// The network must Validate.
+func (n *Network) Sample(rng *stats.RNG) ([]float64, error) {
+	row := make([]float64, n.N())
+	for _, id := range n.TopoOrder() {
+		node := n.Node(id)
+		if node.CPD == nil {
+			return nil, fmt.Errorf("bn: sampling node %q with no CPD", node.Name)
+		}
+		row[id] = node.CPD.Sample(rng, n.ParentValues(id, row))
+	}
+	return row, nil
+}
+
+// SampleN draws m joint assignments.
+func (n *Network) SampleN(rng *stats.RNG, m int) ([][]float64, error) {
+	out := make([][]float64, m)
+	for i := range out {
+		row, err := n.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// LogLikelihood returns the natural-log likelihood of the data rows (each
+// indexed by node id) under the network: Σ_rows Σ_nodes log P(x | pa).
+// Rows contributing -Inf (zero-probability events) are clamped to a large
+// negative penalty so a single impossible row does not erase the rest of
+// the comparison; the number of clamped terms is also returned.
+func (n *Network) LogLikelihood(rows [][]float64) (ll float64, clamped int, err error) {
+	const penalty = -1e3
+	for _, node := range n.nodes {
+		if node.CPD == nil {
+			return 0, 0, fmt.Errorf("bn: node %q has no CPD", node.Name)
+		}
+	}
+	for _, row := range rows {
+		if len(row) != n.N() {
+			return 0, 0, fmt.Errorf("bn: data row has %d columns, network has %d nodes", len(row), n.N())
+		}
+		for _, node := range n.nodes {
+			lp := node.CPD.LogProb(row[node.ID], n.ParentValues(node.ID, row))
+			if math.IsInf(lp, -1) || lp < penalty {
+				lp = penalty
+				clamped++
+			}
+			ll += lp
+		}
+	}
+	return ll, clamped, nil
+}
+
+// Log10Likelihood converts LogLikelihood to base-10, the unit the paper
+// reports data-fitting accuracy in (log10 p(TestData | BN)).
+func (n *Network) Log10Likelihood(rows [][]float64) (float64, error) {
+	ll, _, err := n.LogLikelihood(rows)
+	if err != nil {
+		return 0, err
+	}
+	return ll / math.Ln10, nil
+}

@@ -1,0 +1,183 @@
+package bn
+
+import (
+	"fmt"
+	"math"
+
+	"kertbn/internal/factor"
+	"kertbn/internal/stats"
+)
+
+// Tabular is a conditional probability table for a discrete node with
+// discrete parents. Rows are indexed by the parent configuration (row-major
+// over ParentCard, parents in sorted-id order as the owning Network reports
+// them) and columns by the node's state.
+type Tabular struct {
+	// Card is the node's state count.
+	Card int
+	// ParentCard holds each parent's state count, in parent order.
+	ParentCard []int
+	// P holds probabilities: P[cfg*Card + state]. Every row sums to 1.
+	P []float64
+}
+
+// NewTabular allocates a CPT with uniform rows.
+func NewTabular(card int, parentCard []int) *Tabular {
+	if card < 2 {
+		panic(fmt.Sprintf("bn: tabular CPD needs card >= 2, got %d", card))
+	}
+	rows := 1
+	for _, c := range parentCard {
+		if c < 1 {
+			panic("bn: tabular CPD with non-positive parent cardinality")
+		}
+		rows *= c
+	}
+	t := &Tabular{
+		Card:       card,
+		ParentCard: append([]int(nil), parentCard...),
+		P:          make([]float64, rows*card),
+	}
+	u := 1 / float64(card)
+	for i := range t.P {
+		t.P[i] = u
+	}
+	return t
+}
+
+// Rows returns the number of parent configurations.
+func (t *Tabular) Rows() int { return len(t.P) / t.Card }
+
+// NumParents implements CPD.
+func (t *Tabular) NumParents() int { return len(t.ParentCard) }
+
+// ConfigIndex converts a parent assignment to a row index.
+func (t *Tabular) ConfigIndex(parents []int) int {
+	if len(parents) != len(t.ParentCard) {
+		panic("bn: tabular parent arity mismatch")
+	}
+	idx := 0
+	for i, p := range parents {
+		if p < 0 || p >= t.ParentCard[i] {
+			panic(fmt.Sprintf("bn: parent state %d out of range (card %d)", p, t.ParentCard[i]))
+		}
+		idx = idx*t.ParentCard[i] + p
+	}
+	return idx
+}
+
+// ConfigAssignment converts a row index back to a parent assignment.
+func (t *Tabular) ConfigAssignment(cfg int) []int {
+	out := make([]int, len(t.ParentCard))
+	for i := len(t.ParentCard) - 1; i >= 0; i-- {
+		out[i] = cfg % t.ParentCard[i]
+		cfg /= t.ParentCard[i]
+	}
+	return out
+}
+
+// SetRow assigns the distribution for one parent configuration. The row is
+// normalized; an all-zero row is rejected.
+func (t *Tabular) SetRow(cfg int, probs []float64) error {
+	if len(probs) != t.Card {
+		return fmt.Errorf("bn: row length %d != card %d", len(probs), t.Card)
+	}
+	s := 0.0
+	for _, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			return fmt.Errorf("bn: negative or NaN probability %g", p)
+		}
+		s += p
+	}
+	if s <= 0 {
+		return fmt.Errorf("bn: all-zero CPT row %d", cfg)
+	}
+	base := cfg * t.Card
+	for i, p := range probs {
+		t.P[base+i] = p / s
+	}
+	return nil
+}
+
+// Row returns a copy of the distribution for configuration cfg.
+func (t *Tabular) Row(cfg int) []float64 {
+	out := make([]float64, t.Card)
+	copy(out, t.P[cfg*t.Card:(cfg+1)*t.Card])
+	return out
+}
+
+// Prob returns P(state | parent configuration).
+func (t *Tabular) Prob(state int, parents []int) float64 {
+	if state < 0 || state >= t.Card {
+		panic(fmt.Sprintf("bn: state %d out of range (card %d)", state, t.Card))
+	}
+	return t.P[t.ConfigIndex(parents)*t.Card+state]
+}
+
+// LogProb implements CPD. x and parents must hold integer-valued states.
+func (t *Tabular) LogProb(x float64, parents []float64) float64 {
+	pi := make([]int, len(parents))
+	for i, p := range parents {
+		pi[i] = int(p)
+	}
+	p := t.Prob(int(x), pi)
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// Sample implements CPD.
+func (t *Tabular) Sample(rng *stats.RNG, parents []float64) float64 {
+	pi := make([]int, len(parents))
+	for i, p := range parents {
+		pi[i] = int(p)
+	}
+	base := t.ConfigIndex(pi) * t.Card
+	return float64(rng.Categorical(t.P[base : base+t.Card]))
+}
+
+// Factor renders the CPT as a discrete factor over (node, parents) given
+// the node's variable id and its parent ids (sorted ascending, matching the
+// owning Network). Used by variable elimination.
+func (t *Tabular) Factor(nodeID int, parentIDs []int) *factor.Factor {
+	if len(parentIDs) != len(t.ParentCard) {
+		panic("bn: Factor parent arity mismatch")
+	}
+	vars := append(append([]int(nil), parentIDs...), nodeID)
+	card := append(append([]int(nil), t.ParentCard...), t.Card)
+	f := factor.New(vars, card)
+	assign := make([]int, len(vars))
+	for cfg := 0; cfg < t.Rows(); cfg++ {
+		pa := t.ConfigAssignment(cfg)
+		for s := 0; s < t.Card; s++ {
+			// Build assignment in f's (sorted) variable order.
+			for i, v := range f.Vars {
+				if v == nodeID {
+					assign[i] = s
+					continue
+				}
+				for j, p := range parentIDs {
+					if p == v {
+						assign[i] = pa[j]
+						break
+					}
+				}
+			}
+			f.Set(assign, t.P[cfg*t.Card+s])
+		}
+	}
+	return f
+}
+
+// ParamCount returns the number of free parameters (rows * (card-1)).
+func (t *Tabular) ParamCount() int { return t.Rows() * (t.Card - 1) }
+
+// Clone returns a deep copy.
+func (t *Tabular) Clone() *Tabular {
+	return &Tabular{
+		Card:       t.Card,
+		ParentCard: append([]int(nil), t.ParentCard...),
+		P:          append([]float64(nil), t.P...),
+	}
+}

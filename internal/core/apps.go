@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"kertbn/internal/stats"
+)
+
+// DCompOptions tunes the dComp application.
+type DCompOptions struct {
+	// NSamples sizes Monte-Carlo inference for continuous models.
+	NSamples int
+	// RNG drives Monte-Carlo inference (continuous models).
+	RNG *stats.RNG
+}
+
+// DComp implements Section 5.1: estimate the elapsed-time distribution of
+// an *unobservable* service from the observation means of the observable
+// ones (and, typically, the measured end-to-end response time). observed
+// maps node id → E(o), the current measurement mean; target is the node
+// whose data went missing. The returned posterior is
+// p(Y | O = E(o)) of the paper.
+func DComp(m *Model, target int, observed map[int]float64, opts DCompOptions) (*Posterior, error) {
+	if len(observed) == 0 {
+		return nil, fmt.Errorf("core: dComp needs at least one observed node")
+	}
+	return posteriorForNode(m, target, observed, opts.NSamples, opts.RNG)
+}
+
+// PAccelOptions tunes the pAccel application.
+type PAccelOptions struct {
+	NSamples int
+	RNG      *stats.RNG
+}
+
+// PAccel implements Section 5.2: project the end-to-end response time
+// distribution p(D | Z = E(z)) given a prediction about one service's
+// elapsed time (e.g. after local resource-allocation actions reduce it to
+// 90% of its former mean). service is the node id of Z; predictedMean is
+// E(z).
+func PAccel(m *Model, service int, predictedMean float64, opts PAccelOptions) (*Posterior, error) {
+	if service == m.DNode {
+		return nil, fmt.Errorf("core: pAccel conditions on a service node, not D")
+	}
+	return posteriorForNode(m, m.DNode, map[int]float64{service: predictedMean}, opts.NSamples, opts.RNG)
+}
+
+// ResponseTimePosterior returns p(D | evidence) for arbitrary evidence — a
+// generalization both applications share and autonomic callers can use
+// directly.
+func ResponseTimePosterior(m *Model, evidence map[int]float64, nSamples int, rng *stats.RNG) (*Posterior, error) {
+	return posteriorForNode(m, m.DNode, evidence, nSamples, rng)
+}

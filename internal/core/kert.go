@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/dataset"
+	"kertbn/internal/learn"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+// MetricKind selects which transaction-oriented metric the model captures
+// (Section 3.3): the workflow maps to a different deterministic f per
+// metric.
+type MetricKind int
+
+const (
+	// ResponseTimeMetric models end-to-end response time:
+	// f = Cardoso reduction (sums, maxes, ...). The paper's main case.
+	ResponseTimeMetric MetricKind = iota
+	// TimeoutCountMetric models end-to-end timeout request counts:
+	// f = Σ_i X_i over per-service sub-transaction counts.
+	TimeoutCountMetric
+)
+
+// String renders the metric kind.
+func (m MetricKind) String() string {
+	switch m {
+	case ResponseTimeMetric:
+		return "response-time"
+	case TimeoutCountMetric:
+		return "timeout-count"
+	default:
+		return fmt.Sprintf("MetricKind(%d)", int(m))
+	}
+}
+
+// KERTConfig configures KERT-BN construction.
+type KERTConfig struct {
+	// Workflow supplies both the elapsed-time DAG structure and the
+	// deterministic function f of Equation 4. Required.
+	Workflow *workflow.Node
+	// Metric selects the modeled quantity (default ResponseTimeMetric).
+	Metric MetricKind
+	// Resources optionally declares shared-resource knowledge; each entry
+	// becomes a node whose parents are the sharing services (Section 3.2).
+	Resources []workflow.ResourceSharing
+	// Leak is l in Equation 4 — the probability that D escapes f(X).
+	// The Section-4 simulations use 0.
+	Leak float64
+	// DetSigma is the measurement-noise width of the deterministic
+	// component around f(X). Zero (the default) estimates it from the
+	// training residuals D − f(X) — the one scalar of the Equation-4 CPD
+	// that data can supply.
+	DetSigma float64
+	// LeakLo/LeakHi bound the uniform leak component (continuous models,
+	// only consulted when Leak > 0).
+	LeakLo, LeakHi float64
+	// Type selects continuous (Section 4) or discrete (Section 5).
+	Type ModelType
+	// Bins is the per-variable state count for discrete models (default 5).
+	Bins int
+	// Binning picks the discretization method (default Quantile).
+	Binning dataset.BinningMethod
+	// Learn controls parameter smoothing.
+	Learn learn.Options
+	// MaxCPTEntries guards discrete D-CPT generation: bins^n·bins may not
+	// exceed it (default 4,000,000). Large systems should use the
+	// continuous model, exactly as the paper's BNT setup did.
+	MaxCPTEntries int
+	// DetCPTSamples controls how each discrete D-CPT row is generated from
+	// f: 1 maps the parent-bin centers through f, the direct Equation-4
+	// translation; values > 1 (default 16) Monte-Carlo integrate f over
+	// parent values resampled from the *empirical within-bin training
+	// values*, capturing the within-bin spread of D that center-point
+	// quantization loses.
+	DetCPTSamples int
+	// LearnDCPD is an ablation knob: instead of deriving P(D|X) from the
+	// workflow function (Equation 4), learn it from data like any other
+	// CPD. The structure still comes from workflow knowledge. This is the
+	// "structure-only knowledge" middle ground between KERT-BN and NRT-BN.
+	LearnDCPD bool
+}
+
+// DefaultKERTConfig returns the settings used throughout the Section-4
+// simulations: continuous model, no leak, tight deterministic noise.
+func DefaultKERTConfig(wf *workflow.Node) KERTConfig {
+	return KERTConfig{
+		Workflow: wf,
+		Leak:     0,
+		DetSigma: 0, // estimated from training residuals
+		Type:     ContinuousModel,
+		Bins:     5,
+		Binning:  dataset.Quantile,
+		Learn:    learn.DefaultOptions(),
+	}
+}
+
+// metricFunc resolves the deterministic function f for the configured
+// metric.
+func (cfg *KERTConfig) metricFunc() func([]float64) float64 {
+	switch cfg.Metric {
+	case TimeoutCountMetric:
+		return cfg.Workflow.TimeoutCount
+	default:
+		return cfg.Workflow.ResponseTime
+	}
+}
+
+func (cfg *KERTConfig) fillDefaults() {
+	if cfg.Bins == 0 {
+		cfg.Bins = 5
+	}
+	if cfg.MaxCPTEntries == 0 {
+		cfg.MaxCPTEntries = 4_000_000
+	}
+	if cfg.DetCPTSamples <= 0 {
+		cfg.DetCPTSamples = 16
+	}
+}
+
+// BuildKERT constructs a KERT-BN from domain knowledge plus training data:
+// the DAG comes from workflow upstream relations (and resource sharing),
+// the D-CPD from the Cardoso-reduced f with leak l, and only the remaining
+// per-service CPDs are learned from data. This is the paper's Section-3
+// construction; no structure learning happens.
+func BuildKERT(cfg KERTConfig, train *dataset.Dataset) (*Model, error) {
+	cfg.fillDefaults()
+	if cfg.Workflow == nil {
+		return nil, fmt.Errorf("core: KERT-BN requires a workflow")
+	}
+	if err := cfg.Workflow.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid workflow: %w", err)
+	}
+	services := cfg.Workflow.Services()
+	n := len(services)
+	for i, s := range services {
+		if s != i {
+			return nil, fmt.Errorf("core: workflow service indices must be dense 0..n-1, got %v", services)
+		}
+	}
+	wantCols := n + len(cfg.Resources) + 1
+	if train.NumCols() != wantCols {
+		return nil, fmt.Errorf("core: training data has %d columns, want %d (services+resources+D)", train.NumCols(), wantCols)
+	}
+	if train.NumRows() == 0 {
+		return nil, fmt.Errorf("core: empty training data")
+	}
+	switch cfg.Type {
+	case ContinuousModel:
+		return buildContinuousKERT(cfg, train, n)
+	case DiscreteModel:
+		return buildDiscreteKERT(cfg, train, n)
+	default:
+		return nil, fmt.Errorf("core: unknown model type %v", cfg.Type)
+	}
+}
+
+// buildStructure assembles the shared node/edge skeleton.
+func buildStructure(cfg KERTConfig, n int, discrete bool, bins int) (*bn.Network, error) {
+	net := bn.NewNetwork()
+	names := cfg.Workflow.ServiceNames()
+	addNode := func(name string) (*bn.Node, error) {
+		if discrete {
+			return net.AddDiscreteNode(name, bins)
+		}
+		return net.AddContinuousNode(name)
+	}
+	for i := 0; i < n; i++ {
+		name := names[i]
+		if name == "" {
+			name = fmt.Sprintf("X%d", i+1)
+		}
+		if _, err := addNode(name); err != nil {
+			return nil, err
+		}
+	}
+	for ri, r := range cfg.Resources {
+		if _, err := addNode("res_" + r.Name); err != nil {
+			return nil, err
+		}
+		for _, s := range r.Services {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("core: resource %q references unknown service %d", r.Name, s)
+			}
+			if err := net.AddEdge(s, n+ri); err != nil {
+				return nil, fmt.Errorf("core: resource edge: %w", err)
+			}
+		}
+	}
+	if _, err := addNode("D"); err != nil {
+		return nil, err
+	}
+	dID := n + len(cfg.Resources)
+	// Workflow upstream edges among elapsed-time nodes.
+	for _, e := range cfg.Workflow.UpstreamEdges() {
+		if err := net.AddEdge(e.From, e.To); err != nil {
+			return nil, fmt.Errorf("core: workflow edge %d->%d: %w", e.From, e.To, err)
+		}
+	}
+	// D depends on every elapsed-time node.
+	for i := 0; i < n; i++ {
+		if err := net.AddEdge(i, dID); err != nil {
+			return nil, fmt.Errorf("core: D edge: %w", err)
+		}
+	}
+	return net, nil
+}
+
+func buildContinuousKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model, error) {
+	net, err := buildStructure(cfg, n, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	dID := n + len(cfg.Resources)
+	if cfg.LearnDCPD {
+		// Ablation: learn every CPD, including D's, from data.
+		cost, err := learn.FitParameters(net, train.Rows, cfg.Learn)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.Validate(); err != nil {
+			return nil, err
+		}
+		return &Model{
+			Net:          net,
+			Wf:           cfg.Workflow,
+			NumServices:  n,
+			NumResources: len(cfg.Resources),
+			DNode:        dID,
+			Type:         ContinuousModel,
+			Metric:       cfg.Metric,
+			Cost:         cost,
+			Knowledge:    true,
+		}, nil
+	}
+	// Knowledge-given D-CPD (Equation 4): parents of D are exactly the
+	// service nodes 0..n-1, whose sorted order equals service-index order,
+	// so the Cardoso function applies directly.
+	sigma := cfg.DetSigma
+	if sigma <= 0 {
+		// Estimate the measurement-noise width from training residuals.
+		f := cfg.metricFunc()
+		res := stats.NewSummary()
+		for _, r := range train.Rows {
+			res.Add(r[train.NumCols()-1] - f(r[:n]))
+		}
+		sigma = res.Std()
+		const minSigma = 1e-4
+		if sigma < minSigma {
+			sigma = minSigma
+		}
+	}
+	leakLo, leakHi := cfg.LeakLo, cfg.LeakHi
+	if cfg.Leak > 0 && leakHi <= leakLo {
+		// Derive a broad leak range from observed response times.
+		dCol := train.Col(train.NumCols() - 1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range dCol {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		span := hi - lo
+		if span <= 0 {
+			span = 1
+		}
+		leakLo, leakHi = lo-span, hi+span
+	}
+	det, err := bn.NewDetFunc(cfg.metricFunc(), n, cfg.Leak, sigma, leakLo, leakHi)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.SetCPD(dID, det); err != nil {
+		return nil, err
+	}
+	// Learn only the unknown CPDs (X nodes and resources).
+	cost, err := learn.FitParameters(net, train.Rows, cfg.Learn)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Net:          net,
+		Wf:           cfg.Workflow,
+		NumServices:  n,
+		NumResources: len(cfg.Resources),
+		DNode:        dID,
+		Type:         ContinuousModel,
+		Metric:       cfg.Metric,
+		Cost:         cost,
+		Knowledge:    true,
+	}, nil
+}
+
+func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model, error) {
+	// Guard the CPT explosion before doing any work.
+	entries := 1.0
+	for i := 0; i < n; i++ {
+		entries *= float64(cfg.Bins)
+		if entries*float64(cfg.Bins) > float64(cfg.MaxCPTEntries) {
+			return nil, fmt.Errorf("core: discrete D-CPT would need > %d entries for %d services at %d bins; use the continuous model", cfg.MaxCPTEntries, n, cfg.Bins)
+		}
+	}
+	codec, err := dataset.FitCodec(train, cfg.Bins, cfg.Binning)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.Encode(train)
+	if err != nil {
+		return nil, err
+	}
+	net, err := buildStructure(cfg, n, true, cfg.Bins)
+	if err != nil {
+		return nil, err
+	}
+	dID := n + len(cfg.Resources)
+	var cost learn.Cost
+	if !cfg.LearnDCPD {
+		// Generate the D CPT from the workflow function — the software-
+		// derived CPD the paper contrasts with its own hand-derivation
+		// mistake.
+		dDisc := codec.Discretizers[train.NumCols()-1]
+		tab, genCost, err := detCPT(cfg, codec, dDisc, n, train)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SetCPD(dID, tab); err != nil {
+			return nil, err
+		}
+		cost = genCost
+	}
+	// Learn the remaining CPDs (and D's too under the LearnDCPD ablation —
+	// the O(bins^n) parameter-learning cost Section 3.3 eliminates).
+	for id := 0; id < net.N(); id++ {
+		if id == dID && !cfg.LearnDCPD {
+			continue
+		}
+		c, err := learn.FitNode(net, id, enc.Rows, cfg.Learn)
+		cost.Add(c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Net:          net,
+		Wf:           cfg.Workflow,
+		NumServices:  n,
+		NumResources: len(cfg.Resources),
+		DNode:        dID,
+		Type:         DiscreteModel,
+		Metric:       cfg.Metric,
+		Codec:        codec,
+		Cost:         cost,
+		Knowledge:    true,
+	}, nil
+}
+
+// detCPT builds P(D | X) for the discrete model — the software-generated
+// CPD of Equation 4. With DetCPTSamples = 1 each joint parent-bin
+// configuration maps its bin centers through f and the resulting D bin gets
+// mass 1−l; with more samples the row Monte-Carlo integrates f over parent
+// values resampled from the empirical training values of each bin
+// (deterministically seeded per row), spreading the deterministic mass
+// across the D bins f actually reaches. The leak l spreads uniformly over
+// all bins.
+func detCPT(cfg KERTConfig, codec *dataset.Codec, dDisc *dataset.Discretizer, n int, train *dataset.Dataset) (*bn.Tabular, learn.Cost, error) {
+	parentCard := make([]int, n)
+	for i := range parentCard {
+		parentCard[i] = cfg.Bins
+	}
+	tab := bn.NewTabular(cfg.Bins, parentCard)
+	var cost learn.Cost
+	x := make([]float64, n)
+	row := make([]float64, cfg.Bins)
+	samples := cfg.DetCPTSamples
+	f := cfg.metricFunc()
+
+	// Per-service empirical values grouped by bin, for within-bin
+	// resampling. Empty bins fall back to the bin center.
+	var binVals [][][]float64
+	if samples > 1 {
+		binVals = make([][][]float64, n)
+		for i := 0; i < n; i++ {
+			binVals[i] = make([][]float64, cfg.Bins)
+		}
+		for _, r := range train.Rows {
+			for i := 0; i < n; i++ {
+				b := codec.Discretizers[i].Bin(r[i])
+				binVals[i][b] = append(binVals[i][b], r[i])
+			}
+		}
+		cost.DataOps += int64(len(train.Rows) * n)
+	}
+
+	for cfgIdx := 0; cfgIdx < tab.Rows(); cfgIdx++ {
+		assign := tab.ConfigAssignment(cfgIdx)
+		for k := range row {
+			row[k] = cfg.Leak / float64(cfg.Bins)
+		}
+		if samples <= 1 {
+			for i, b := range assign {
+				x[i] = codec.Discretizers[i].Center(b)
+			}
+			row[dDisc.Bin(f(x))] += 1 - cfg.Leak
+			cost.DataOps += int64(n + cfg.Bins)
+		} else {
+			rng := stats.NewRNG(0x9E3779B97F4A7C15 ^ uint64(cfgIdx))
+			w := (1 - cfg.Leak) / float64(samples)
+			for s := 0; s < samples; s++ {
+				for i, b := range assign {
+					vals := binVals[i][b]
+					if len(vals) == 0 {
+						x[i] = codec.Discretizers[i].Center(b)
+						continue
+					}
+					x[i] = vals[rng.Intn(len(vals))]
+				}
+				row[dDisc.Bin(f(x))] += w
+			}
+			cost.DataOps += int64(samples*n + cfg.Bins)
+		}
+		if err := tab.SetRow(cfgIdx, row); err != nil {
+			return nil, cost, err
+		}
+	}
+	return tab, cost, nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kertbn/internal/stats"
+)
+
+// ThresholdViolationError computes the paper's Equation 5 for one threshold:
+//
+//	ε = |P_bn(D > h) − P_real(D > h)| / P_real(D > h)
+//
+// where P_bn comes from a model posterior and P_real from real response
+// time measurements. It errors when the real violation probability is zero
+// (the metric is undefined there).
+func ThresholdViolationError(post *Posterior, realD []float64, h float64) (float64, error) {
+	pReal := stats.EmpiricalExceedance(realD, h)
+	if pReal == 0 {
+		return 0, fmt.Errorf("core: real violation probability is zero at threshold %g; ε undefined", h)
+	}
+	pBN := post.Exceedance(h)
+	return abs(pBN-pReal) / pReal, nil
+}
+
+// ThresholdSweep evaluates ε over several thresholds, skipping thresholds
+// where the metric is undefined; the returned slice is parallel to
+// thresholds with NaN marking skipped entries.
+func ThresholdSweep(post *Posterior, realD []float64, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	for i, h := range thresholds {
+		eps, err := ThresholdViolationError(post, realD, h)
+		if err != nil {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = eps
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

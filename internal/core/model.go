@@ -1,0 +1,128 @@
+// Package core implements the paper's primary contribution: the
+// Knowledge-Enhanced Response Time Bayesian Network (KERT-BN) and its
+// purely data-driven baseline (NRT-BN), plus the two Section-5
+// applications (dComp and pAccel), the relative threshold-violation
+// error metric of Equation 5, and the periodic model-(re)construction
+// scheme of Section 2 (W = K·T_CON, T_CON = α_model·T_DATA).
+//
+// Node/column convention shared with the simulator and dataset packages:
+// service elapsed-time nodes X_i occupy ids 0..n-1 (equal to their
+// workflow service indices), optional shared-resource nodes follow, and
+// the end-to-end response time node D is last.
+package core
+
+import (
+	"fmt"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/dataset"
+	"kertbn/internal/learn"
+	"kertbn/internal/workflow"
+)
+
+// ModelType distinguishes the two KERT-BN flavors of Section 3.1.
+type ModelType int
+
+const (
+	// ContinuousModel uses linear-Gaussian elapsed-time CPDs and a
+	// deterministic-with-leak D node; it converges from few data points
+	// (the paper's fast-changing-environment choice, used in Section 4).
+	ContinuousModel ModelType = iota
+	// DiscreteModel bins all variables and uses CPTs; it assumes nothing
+	// about CPD shapes and is the paper's choice when data is plentiful
+	// (used in Section 5).
+	DiscreteModel
+)
+
+// String renders the model type.
+func (t ModelType) String() string {
+	switch t {
+	case ContinuousModel:
+		return "continuous"
+	case DiscreteModel:
+		return "discrete"
+	default:
+		return fmt.Sprintf("ModelType(%d)", int(t))
+	}
+}
+
+// Model wraps a learned response-time Bayesian network together with the
+// bookkeeping needed to query it: which node is D, how many service and
+// resource nodes exist, and (for discrete models) the bin codec.
+type Model struct {
+	Net *bn.Network
+	// Wf is the workflow the structure came from (nil for NRT-BN models,
+	// whose structure was learned from data).
+	Wf *workflow.Node
+	// NumServices is the count of elapsed-time nodes X_1..X_n.
+	NumServices int
+	// NumResources is the count of shared-resource nodes.
+	NumResources int
+	// DNode is the node id of the end-to-end response time D.
+	DNode int
+	// Type records whether the model is continuous or discrete.
+	Type ModelType
+	// Metric records which transaction metric the model captures.
+	Metric MetricKind
+	// Codec maps continuous measurements to bins for discrete models
+	// (nil for continuous models).
+	Codec *dataset.Codec
+	// Cost is the deterministic construction cost (structure + parameters).
+	Cost learn.Cost
+	// Knowledge reports whether structure and the D-CPD came from domain
+	// knowledge (KERT-BN) rather than data (NRT-BN).
+	Knowledge bool
+}
+
+// ColumnNames returns the canonical column names for a system with the
+// given service names and resource declarations: services, resources, "D".
+func ColumnNames(serviceNames []string, resources []workflow.ResourceSharing) []string {
+	out := make([]string, 0, len(serviceNames)+len(resources)+1)
+	out = append(out, serviceNames...)
+	for _, r := range resources {
+		out = append(out, "res_"+r.Name)
+	}
+	return append(out, "D")
+}
+
+// NumColumns returns the expected data width for the model.
+func (m *Model) NumColumns() int { return m.NumServices + m.NumResources + 1 }
+
+// Log10Likelihood scores continuous test data under the model, encoding it
+// first for discrete models — the paper's data-fitting accuracy metric.
+func (m *Model) Log10Likelihood(test *dataset.Dataset) (float64, error) {
+	rows, err := m.modelRows(test)
+	if err != nil {
+		return 0, err
+	}
+	return m.Net.Log10Likelihood(rows)
+}
+
+// modelRows converts raw (continuous) data into the representation the
+// underlying network expects.
+func (m *Model) modelRows(d *dataset.Dataset) ([][]float64, error) {
+	if d.NumCols() != m.NumColumns() {
+		return nil, fmt.Errorf("core: dataset has %d columns, model expects %d", d.NumCols(), m.NumColumns())
+	}
+	if m.Type == ContinuousModel {
+		return d.Rows, nil
+	}
+	enc, err := m.Codec.Encode(d)
+	if err != nil {
+		return nil, err
+	}
+	return enc.Rows, nil
+}
+
+// PredictResponseTime evaluates the knowledge-given deterministic function
+// f(X) on a vector of per-service elapsed times. Only available on KERT-BN
+// models (NRT-BN has no f).
+func (m *Model) PredictResponseTime(x []float64) (float64, error) {
+	if m.Wf == nil {
+		return 0, fmt.Errorf("core: model has no workflow knowledge (NRT-BN)")
+	}
+	if len(x) < m.NumServices {
+		return 0, fmt.Errorf("core: need %d elapsed times, got %d", m.NumServices, len(x))
+	}
+	return m.Wf.ResponseTime(x), nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/dataset"
+	"kertbn/internal/learn"
+	"kertbn/internal/stats"
+)
+
+// NRTConfig configures the Naive Response Time Bayesian Network baseline —
+// the model learned purely from data via K2 structure learning plus full
+// parameter learning (Section 4's comparison point).
+type NRTConfig struct {
+	// Type selects continuous (Gaussian-BIC K2) or discrete
+	// (Cooper–Herskovits K2) learning.
+	Type ModelType
+	// Bins is the discretization arity for discrete models (default 5).
+	Bins int
+	// Binning picks the discretization method (default Quantile).
+	Binning dataset.BinningMethod
+	// MaxParents bounds K2 parent sets (0 = unbounded).
+	MaxParents int
+	// Restarts adds this many random-ordering K2 runs on top of the
+	// natural-order run, keeping the best score — the Section-5.3
+	// optimization. Requires RNG when positive.
+	Restarts int
+	// RNG drives random orderings (required when Restarts > 0).
+	RNG *stats.RNG
+	// Learn controls parameter smoothing.
+	Learn learn.Options
+}
+
+// DefaultNRTConfig returns the Section-4 baseline settings.
+func DefaultNRTConfig() NRTConfig {
+	return NRTConfig{Type: ContinuousModel, Bins: 5, Binning: dataset.Quantile, Learn: learn.DefaultOptions()}
+}
+
+// BuildNRT learns an NRT-BN from data alone: K2 structure learning over all
+// n+1 variables (the X's and D) followed by full parameter learning. The
+// column convention matches BuildKERT (services..., D last; resource
+// columns are treated as ordinary variables).
+func BuildNRT(cfg NRTConfig, train *dataset.Dataset) (*Model, error) {
+	if cfg.Bins == 0 {
+		cfg.Bins = 5
+	}
+	if train.NumRows() == 0 {
+		return nil, fmt.Errorf("core: empty training data")
+	}
+	nVars := train.NumCols()
+	if nVars < 2 {
+		return nil, fmt.Errorf("core: need at least 2 columns (one service + D)")
+	}
+	if cfg.Restarts > 0 && cfg.RNG == nil {
+		return nil, fmt.Errorf("core: Restarts > 0 requires an RNG")
+	}
+
+	rows := train.Rows
+	var codec *dataset.Codec
+	specs := make([]learn.VarSpec, nVars)
+	for i := range specs {
+		specs[i] = learn.VarSpec{Name: train.Columns[i], Continuous: cfg.Type == ContinuousModel, Card: cfg.Bins}
+	}
+	if cfg.Type == DiscreteModel {
+		var err error
+		codec, err = dataset.FitCodec(train, cfg.Bins, cfg.Binning)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := codec.Encode(train)
+		if err != nil {
+			return nil, err
+		}
+		rows = enc.Rows
+	}
+
+	scorer, err := learn.NewScorer(specs)
+	if err != nil {
+		return nil, err
+	}
+	opts := learn.K2Options{MaxParents: cfg.MaxParents}
+	var res *learn.K2Result
+	if cfg.Restarts > 0 {
+		res, err = learn.K2RandomRestarts(specs, rows, scorer, opts, cfg.Restarts, cfg.RNG)
+	} else {
+		res, err = learn.K2(specs, rows, scorer, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: K2 structure learning: %w", err)
+	}
+
+	// Materialize the network.
+	net := bn.NewNetwork()
+	for i := 0; i < nVars; i++ {
+		if cfg.Type == DiscreteModel {
+			if _, err := net.AddDiscreteNode(train.Columns[i], cfg.Bins); err != nil {
+				return nil, err
+			}
+		} else {
+			if _, err := net.AddContinuousNode(train.Columns[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range res.DAG.Edges() {
+		if err := net.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("core: NRT edge: %w", err)
+		}
+	}
+	cost := res.Cost
+	pCost, err := learn.FitParameters(net, rows, cfg.Learn)
+	cost.Add(pCost)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Net:         net,
+		NumServices: nVars - 1,
+		DNode:       nVars - 1,
+		Type:        cfg.Type,
+		Codec:       codec,
+		Cost:        cost,
+		Knowledge:   false,
+	}, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/dataset"
+	"kertbn/internal/learn"
+	"kertbn/internal/workflow"
+)
+
+// modelFile is the gob-encoded on-disk representation of a Model. CPDs are
+// stored as parameters; a KERT-BN's DetFunc D-CPD is stored as (workflow
+// spec, metric, leak, sigma, range) and re-derived on load, so the
+// deterministic function never needs serializing.
+type modelFile struct {
+	Version      int
+	Type         ModelType
+	Metric       MetricKind
+	Knowledge    bool
+	NumServices  int
+	NumResources int
+	DNode        int
+	Cost         learn.Cost
+
+	Workflow *workflow.Spec // nil for NRT models
+
+	Names []string
+	Kinds []int // 0 = discrete, 1 = continuous
+	Cards []int
+	Edges [][2]int
+
+	Tabulars  map[int]tabularFile
+	Gaussians map[int]gaussianFile
+	Det       *detFile
+
+	Codec *codecFile
+}
+
+type tabularFile struct {
+	Card       int
+	ParentCard []int
+	P          []float64
+}
+
+type gaussianFile struct {
+	Intercept float64
+	Coef      []float64
+	Sigma     float64
+}
+
+type detFile struct {
+	Leak, Sigma, LeakLo, LeakHi float64
+}
+
+type codecFile struct {
+	Bins    []int
+	Cuts    [][]float64
+	Centers [][]float64
+	Lo, Hi  []float64
+}
+
+const modelFileVersion = 1
+
+// SaveModel serializes a model (structure, parameters, codec, knowledge) so
+// a later process can answer queries without retraining.
+func SaveModel(w io.Writer, m *Model) error {
+	mf := modelFile{
+		Version:      modelFileVersion,
+		Type:         m.Type,
+		Metric:       m.Metric,
+		Knowledge:    m.Knowledge,
+		NumServices:  m.NumServices,
+		NumResources: m.NumResources,
+		DNode:        m.DNode,
+		Cost:         m.Cost,
+		Tabulars:     map[int]tabularFile{},
+		Gaussians:    map[int]gaussianFile{},
+	}
+	if m.Wf != nil {
+		mf.Workflow = m.Wf.ToSpec()
+	}
+	net := m.Net
+	for v := 0; v < net.N(); v++ {
+		node := net.Node(v)
+		mf.Names = append(mf.Names, node.Name)
+		if node.Kind == bn.Discrete {
+			mf.Kinds = append(mf.Kinds, 0)
+		} else {
+			mf.Kinds = append(mf.Kinds, 1)
+		}
+		mf.Cards = append(mf.Cards, node.Card)
+		switch cpd := node.CPD.(type) {
+		case *bn.Tabular:
+			mf.Tabulars[v] = tabularFile{Card: cpd.Card, ParentCard: cpd.ParentCard, P: cpd.P}
+		case *bn.LinearGaussian:
+			mf.Gaussians[v] = gaussianFile{Intercept: cpd.Intercept, Coef: cpd.Coef, Sigma: cpd.Sigma}
+		case *bn.DetFunc:
+			if v != m.DNode {
+				return fmt.Errorf("core: DetFunc on non-D node %d cannot be persisted", v)
+			}
+			if m.Wf == nil {
+				return fmt.Errorf("core: DetFunc without workflow knowledge cannot be persisted")
+			}
+			mf.Det = &detFile{Leak: cpd.Leak, Sigma: cpd.Sigma, LeakLo: cpd.LeakLo, LeakHi: cpd.LeakHi}
+		default:
+			return fmt.Errorf("core: node %d has unserializable CPD %T", v, node.CPD)
+		}
+	}
+	mf.Edges = net.DAG().Edges()
+	if m.Codec != nil {
+		cf := &codecFile{}
+		for _, d := range m.Codec.Discretizers {
+			cf.Bins = append(cf.Bins, d.Bins)
+			cf.Cuts = append(cf.Cuts, d.Cuts)
+			cf.Centers = append(cf.Centers, d.Centers)
+			cf.Lo = append(cf.Lo, d.Lo)
+			cf.Hi = append(cf.Hi, d.Hi)
+		}
+		mf.Codec = cf
+	}
+	return gob.NewEncoder(w).Encode(&mf)
+}
+
+// LoadModel reconstructs a model written by SaveModel. Knowledge-given D
+// CPDs are re-derived from the stored workflow spec and metric.
+func LoadModel(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: unsupported model file version %d", mf.Version)
+	}
+	net := bn.NewNetwork()
+	for v := range mf.Names {
+		var err error
+		if mf.Kinds[v] == 0 {
+			_, err = net.AddDiscreteNode(mf.Names[v], mf.Cards[v])
+		} else {
+			_, err = net.AddContinuousNode(mf.Names[v])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range mf.Edges {
+		if err := net.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	var wf *workflow.Node
+	if mf.Workflow != nil {
+		var err error
+		wf, err = workflow.FromSpec(mf.Workflow)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for v, tf := range mf.Tabulars {
+		tab := bn.NewTabular(tf.Card, tf.ParentCard)
+		copy(tab.P, tf.P)
+		if err := net.SetCPD(v, tab); err != nil {
+			return nil, err
+		}
+	}
+	for v, gf := range mf.Gaussians {
+		if err := net.SetCPD(v, bn.NewLinearGaussian(gf.Intercept, gf.Coef, gf.Sigma)); err != nil {
+			return nil, err
+		}
+	}
+	if mf.Det != nil {
+		if wf == nil {
+			return nil, fmt.Errorf("core: model file has a DetFunc but no workflow")
+		}
+		cfg := KERTConfig{Workflow: wf, Metric: mf.Metric}
+		det, err := bn.NewDetFunc(cfg.metricFunc(), mf.NumServices, mf.Det.Leak, mf.Det.Sigma, mf.Det.LeakLo, mf.Det.LeakHi)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SetCPD(mf.DNode, det); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded model invalid: %w", err)
+	}
+	m := &Model{
+		Net:          net,
+		Wf:           wf,
+		NumServices:  mf.NumServices,
+		NumResources: mf.NumResources,
+		DNode:        mf.DNode,
+		Type:         mf.Type,
+		Metric:       mf.Metric,
+		Cost:         mf.Cost,
+		Knowledge:    mf.Knowledge,
+	}
+	if mf.Codec != nil {
+		codec := &dataset.Codec{}
+		for i := range mf.Codec.Bins {
+			codec.Discretizers = append(codec.Discretizers, &dataset.Discretizer{
+				Bins:    mf.Codec.Bins[i],
+				Cuts:    mf.Codec.Cuts[i],
+				Centers: mf.Codec.Centers[i],
+				Lo:      mf.Codec.Lo[i],
+				Hi:      mf.Codec.Hi[i],
+			})
+		}
+		m.Codec = codec
+	}
+	return m, nil
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/infer"
+	"kertbn/internal/stats"
+)
+
+// Posterior is a unified one-dimensional distribution summary used by
+// dComp and pAccel: a set of weighted point masses (bin centers for
+// discrete inference, weighted samples for Monte-Carlo inference).
+type Posterior struct {
+	// Support holds the point locations; Probs the matching masses
+	// (normalized to sum to 1).
+	Support []float64
+	Probs   []float64
+	// Edges, when non-nil (discrete inference), gives the [lo, hi) interval
+	// each point mass represents; Exceedance then spreads each bin's mass
+	// uniformly over its interval instead of treating it as a point.
+	Edges [][2]float64
+	// Gaussian, when non-nil, marks the posterior as exactly Gaussian
+	// (produced by joint-Gaussian conditioning on linear workflows);
+	// moment and tail queries then use the closed form, and Support/Probs
+	// hold a rendering grid.
+	Gaussian *GaussianParams
+}
+
+// GaussianParams parameterizes an exact Gaussian posterior.
+type GaussianParams struct {
+	Mu, Sigma float64
+}
+
+// newGaussianPosterior wraps an exact Gaussian with a ±4σ plotting grid.
+func newGaussianPosterior(mu, sigma float64) *Posterior {
+	const gridN = 81
+	if sigma < 1e-9 {
+		sigma = 1e-9
+	}
+	support := make([]float64, gridN)
+	probs := make([]float64, gridN)
+	total := 0.0
+	for i := 0; i < gridN; i++ {
+		z := -4 + 8*float64(i)/float64(gridN-1)
+		support[i] = mu + z*sigma
+		probs[i] = stats.NormalPDF(support[i], mu, sigma)
+		total += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return &Posterior{
+		Support:  support,
+		Probs:    probs,
+		Gaussian: &GaussianParams{Mu: mu, Sigma: sigma},
+	}
+}
+
+// NewPosterior validates and normalizes a point-mass distribution.
+func NewPosterior(support, probs []float64) (*Posterior, error) {
+	if len(support) != len(probs) || len(support) == 0 {
+		return nil, fmt.Errorf("core: posterior needs equal-length non-empty support/probs")
+	}
+	total := 0.0
+	for _, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("core: negative or NaN posterior mass %g", p)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("core: posterior has no mass")
+	}
+	post := &Posterior{
+		Support: append([]float64(nil), support...),
+		Probs:   make([]float64, len(probs)),
+	}
+	for i, p := range probs {
+		post.Probs[i] = p / total
+	}
+	return post, nil
+}
+
+// Mean returns the posterior mean.
+func (p *Posterior) Mean() float64 {
+	if p.Gaussian != nil {
+		return p.Gaussian.Mu
+	}
+	s := 0.0
+	for i, v := range p.Support {
+		s += p.Probs[i] * v
+	}
+	return s
+}
+
+// Variance returns the posterior variance.
+func (p *Posterior) Variance() float64 {
+	if p.Gaussian != nil {
+		return p.Gaussian.Sigma * p.Gaussian.Sigma
+	}
+	mu := p.Mean()
+	s := 0.0
+	for i, v := range p.Support {
+		d := v - mu
+		s += p.Probs[i] * d * d
+	}
+	return s
+}
+
+// Std returns the posterior standard deviation.
+func (p *Posterior) Std() float64 { return math.Sqrt(p.Variance()) }
+
+// Exceedance returns P(X > h). With Edges set, a bin straddling h
+// contributes the fraction of its interval above h (mass spread uniformly
+// within the bin); otherwise point masses strictly above h count.
+func (p *Posterior) Exceedance(h float64) float64 {
+	if p.Gaussian != nil {
+		return 1 - stats.NormalCDF(h, p.Gaussian.Mu, p.Gaussian.Sigma)
+	}
+	s := 0.0
+	if p.Edges != nil {
+		for i, e := range p.Edges {
+			lo, hi := e[0], e[1]
+			switch {
+			case h <= lo:
+				s += p.Probs[i]
+			case h >= hi:
+				// nothing
+			default:
+				s += p.Probs[i] * (hi - h) / (hi - lo)
+			}
+		}
+		return s
+	}
+	for i, v := range p.Support {
+		if v > h {
+			s += p.Probs[i]
+		}
+	}
+	return s
+}
+
+// Quantile returns the q-quantile of the posterior.
+func (p *Posterior) Quantile(q float64) float64 {
+	if p.Gaussian != nil {
+		// Bisection on the Gaussian CDF.
+		lo := p.Gaussian.Mu - 10*p.Gaussian.Sigma
+		hi := p.Gaussian.Mu + 10*p.Gaussian.Sigma
+		for i := 0; i < 80; i++ {
+			mid := 0.5 * (lo + hi)
+			if stats.NormalCDF(mid, p.Gaussian.Mu, p.Gaussian.Sigma) < q {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return 0.5 * (lo + hi)
+	}
+	type pair struct{ v, w float64 }
+	ps := make([]pair, len(p.Support))
+	for i := range ps {
+		ps[i] = pair{p.Support[i], p.Probs[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].v < ps[b].v })
+	acc := 0.0
+	for _, pr := range ps {
+		acc += pr.w
+		if acc >= q {
+			return pr.v
+		}
+	}
+	return ps[len(ps)-1].v
+}
+
+// posteriorForNode runs the model-appropriate inference path for one target
+// node given evidence in raw (continuous) units.
+func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples int, rng *stats.RNG) (*Posterior, error) {
+	if target < 0 || target >= m.Net.N() {
+		return nil, fmt.Errorf("core: target node %d out of range", target)
+	}
+	if _, isEv := evidence[target]; isEv {
+		return nil, fmt.Errorf("core: target node %d is also evidence", target)
+	}
+	switch m.Type {
+	case DiscreteModel:
+		ev := infer.DiscreteEvidence{}
+		for id, v := range evidence {
+			ev[id] = m.Codec.Discretizers[id].Bin(v)
+		}
+		f, err := infer.Posterior(m.Net, target, ev)
+		if err != nil {
+			return nil, err
+		}
+		disc := m.Codec.Discretizers[target]
+		support := make([]float64, disc.Bins)
+		edges := make([][2]float64, disc.Bins)
+		for b := range support {
+			support[b] = disc.Center(b)
+			lo, hi := disc.Edges(b)
+			edges[b] = [2]float64{lo, hi}
+		}
+		post, err := NewPosterior(support, f.Values)
+		if err != nil {
+			return nil, err
+		}
+		post.Edges = edges
+		return post, nil
+	case ContinuousModel:
+		// Exact joint-Gaussian conditioning when the model is (or can be
+		// made) fully linear-Gaussian — always for NRT-BN, and for KERT-BN
+		// whenever the workflow's f is linear (no parallel blocks) and
+		// leak-free.
+		if post, ok, err := exactGaussianPosterior(m, target, evidence); ok {
+			return post, err
+		}
+		if nSamples <= 0 {
+			nSamples = 20000
+		}
+		if rng == nil {
+			rng = stats.NewRNG(1)
+		}
+		ws, err := infer.LikelihoodWeighting(m.Net, target, infer.ContinuousEvidence(evidence), nSamples, rng)
+		if err != nil {
+			return nil, err
+		}
+		return NewPosterior(ws.Values, ws.Weights)
+	default:
+		return nil, fmt.Errorf("core: unknown model type %v", m.Type)
+	}
+}
+
+// PriorMarginal returns the no-evidence marginal of a node — the baseline
+// dComp compares its updated posterior against.
+func PriorMarginal(m *Model, target int, nSamples int, rng *stats.RNG) (*Posterior, error) {
+	return posteriorForNode(m, target, nil, nSamples, rng)
+}
+
+// exactGaussianPosterior attempts the closed-form path: if every CPD is
+// linear-Gaussian after (possibly) replacing a leak-free DetFunc D with its
+// linear equivalent, condition the joint Gaussian exactly. ok=false means
+// the caller must fall back to Monte Carlo.
+func exactGaussianPosterior(m *Model, target int, evidence map[int]float64) (*Posterior, bool, error) {
+	work := m.Net
+	if det, isDet := m.Net.Node(m.DNode).CPD.(*bn.DetFunc); isDet {
+		if m.Wf == nil || det.Leak > 0 {
+			return nil, false, nil
+		}
+		coef, linear := m.Wf.LinearCoefficients()
+		if !linear {
+			return nil, false, nil
+		}
+		// D's parents are the service nodes 0..n-1 in sorted order, so the
+		// service-indexed coefficients line up directly.
+		if len(coef) < m.NumServices {
+			padded := make([]float64, m.NumServices)
+			copy(padded, coef)
+			coef = padded
+		}
+		work = cloneWithCPDs(m.Net)
+		if err := work.SetCPD(m.DNode, bn.NewLinearGaussian(0, coef[:m.NumServices], det.Sigma)); err != nil {
+			return nil, false, err
+		}
+	}
+	for v := 0; v < work.N(); v++ {
+		if _, ok := work.Node(v).CPD.(*bn.LinearGaussian); !ok {
+			return nil, false, nil
+		}
+	}
+	jg, err := infer.BuildJointGaussian(work)
+	if err != nil {
+		return nil, false, nil // fall back rather than fail
+	}
+	mu, variance, err := jg.ConditionScalar(target, evidence)
+	if err != nil {
+		return nil, true, err
+	}
+	return newGaussianPosterior(mu, math.Sqrt(math.Max(variance, 0))), true, nil
+}
+
+// cloneWithCPDs copies structure and re-attaches the same CPD objects
+// (CPDs are immutable in use, so sharing is safe).
+func cloneWithCPDs(n *bn.Network) *bn.Network {
+	c := n.CloneStructure()
+	for v := 0; v < n.N(); v++ {
+		c.Node(v).CPD = n.Node(v).CPD
+	}
+	return c
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kertbn/internal/dataset"
+)
+
+// ScheduleConfig encodes Section 2's periodic model-(re)construction
+// scheme:
+//
+//	T_CON = α_model · T_DATA        (Equation 2)
+//	W     = K · T_CON               (Equation 1)
+//
+// so each reconstruction sees K·α_model data points: the current interval's
+// data plus the K−1 previous intervals'.
+type ScheduleConfig struct {
+	// TData is the data-collection interval (how often one point arrives).
+	TData time.Duration
+	// Alpha is α_model, the model-construction coefficient: points per
+	// construction interval.
+	Alpha int
+	// K is the Environmental Correlation Metric: how many construction
+	// intervals of data remain correlated with the present. Environments
+	// with frequent autonomic actions use small K.
+	K int
+}
+
+// Validate checks the schedule parameters.
+func (c ScheduleConfig) Validate() error {
+	if c.TData <= 0 {
+		return fmt.Errorf("core: T_DATA must be positive")
+	}
+	if c.Alpha <= 0 {
+		return fmt.Errorf("core: α_model must be positive")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("core: K must be positive")
+	}
+	return nil
+}
+
+// TCon returns the construction interval T_CON = α·T_DATA.
+func (c ScheduleConfig) TCon() time.Duration { return time.Duration(c.Alpha) * c.TData }
+
+// WindowDuration returns W = K·T_CON.
+func (c ScheduleConfig) WindowDuration() time.Duration { return time.Duration(c.K) * c.TCon() }
+
+// WindowPoints returns the number of data points available for inferring
+// the model, K·α_model.
+func (c ScheduleConfig) WindowPoints() int { return c.K * c.Alpha }
+
+// CombineCorrelationMetric derives the Environmental Correlation Metric K
+// from the autonomic change intervals of the managers operating on the
+// environment, per the paper's footnote: with multiple autonomic managers
+// present, K should be a statistical combination of their change intervals
+// — taking the minimum is appropriate, since the fastest-acting manager is
+// the one that invalidates old data first. The result is how many
+// construction intervals fit inside that shortest change interval (at
+// least 1).
+func CombineCorrelationMetric(changeIntervals []time.Duration, tCon time.Duration) (int, error) {
+	if tCon <= 0 {
+		return 0, fmt.Errorf("core: T_CON must be positive")
+	}
+	if len(changeIntervals) == 0 {
+		return 0, fmt.Errorf("core: need at least one autonomic change interval")
+	}
+	minIv := changeIntervals[0]
+	for _, iv := range changeIntervals[1:] {
+		if iv < minIv {
+			minIv = iv
+		}
+	}
+	if minIv <= 0 {
+		return 0, fmt.Errorf("core: change intervals must be positive")
+	}
+	k := int(minIv / tCon)
+	if k < 1 {
+		k = 1
+	}
+	return k, nil
+}
+
+// Builder rebuilds a model from the current window snapshot. The returned
+// model replaces the scheduler's current one.
+type Builder func(window *dataset.Dataset) (*Model, error)
+
+// Scheduler drives periodic reconstruction in "data time": every Alpha
+// pushed points one construction fires over the sliding window. Counting
+// points instead of wall-clock keeps experiments deterministic; the monitor
+// package layers real-time batching on top. Scheduler is safe for
+// concurrent use — monitoring servers deliver rows from multiple
+// connections.
+type Scheduler struct {
+	cfg     ScheduleConfig
+	builder Builder
+
+	mu      sync.Mutex
+	window  *dataset.Window
+	model   *Model
+	pushed  int
+	rebuilt int
+	// lastBuild records the wall-clock duration of the most recent
+	// reconstruction (informational).
+	lastBuild time.Duration
+}
+
+// NewScheduler creates a scheduler over the given column layout.
+func NewScheduler(cfg ScheduleConfig, columns []string, builder Builder) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if builder == nil {
+		return nil, fmt.Errorf("core: scheduler needs a builder")
+	}
+	w, err := dataset.NewWindow(columns, cfg.WindowPoints())
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg, window: w, builder: builder}, nil
+}
+
+// Push feeds one data point. When a construction interval completes
+// (every α points) the model is rebuilt from the window snapshot; the
+// rebuilt model (or nil if no rebuild fired) is returned. The builder runs
+// while the scheduler lock is held, so concurrent pushes serialize behind
+// a reconstruction — exactly the back-pressure a real management server
+// would apply.
+func (s *Scheduler) Push(row []float64) (*Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.window.Push(row); err != nil {
+		return nil, err
+	}
+	s.pushed++
+	if s.pushed%s.cfg.Alpha != 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	m, err := s.builder(s.window.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstruction %d failed: %w", s.rebuilt+1, err)
+	}
+	s.lastBuild = time.Since(start)
+	s.model = m
+	s.rebuilt++
+	return m, nil
+}
+
+// Model returns the most recently constructed model (nil before the first
+// construction interval completes).
+func (s *Scheduler) Model() *Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
+
+// Rebuilds returns how many reconstructions have fired.
+func (s *Scheduler) Rebuilds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuilt
+}
+
+// WindowLen returns the current number of buffered points.
+func (s *Scheduler) WindowLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window.Len()
+}
+
+// LastBuildTime reports the wall-clock duration of the most recent
+// reconstruction.
+func (s *Scheduler) LastBuildTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastBuild
+}
+
+// Config returns the schedule parameters.
+func (s *Scheduler) Config() ScheduleConfig { return s.cfg }

@@ -1,0 +1,197 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BinningMethod selects how bin boundaries are placed.
+type BinningMethod int
+
+const (
+	// EqualWidth splits [min, max] into equal-width bins.
+	EqualWidth BinningMethod = iota
+	// Quantile places boundaries at empirical quantiles so bins hold
+	// roughly equal sample counts.
+	Quantile
+)
+
+// Discretizer maps one continuous column to integer bins 0..Bins-1 and
+// back to representative midpoints. Fit on training data, then applied to
+// both training and test data so the discrete KERT-BN and its CPT-from-f
+// generation agree on the bin geometry.
+type Discretizer struct {
+	Bins int
+	// Cuts holds Bins-1 interior boundaries in ascending order; value v
+	// falls in the first bin whose boundary exceeds it.
+	Cuts []float64
+	// Centers holds a representative value per bin (used when mapping bins
+	// back through the workflow function f).
+	Centers []float64
+	// Lo and Hi record the observed training range, giving the outer edges
+	// of the first and last bins.
+	Lo, Hi float64
+}
+
+// FitDiscretizer learns bin boundaries from sample values.
+func FitDiscretizer(values []float64, bins int, method BinningMethod) (*Discretizer, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 bins, got %d", bins)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("dataset: cannot fit discretizer on empty data")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if hi == lo {
+		hi = lo + 1 // degenerate column: synthesize a span
+	}
+	d := &Discretizer{Bins: bins, Lo: lo, Hi: hi}
+	switch method {
+	case EqualWidth:
+		width := (hi - lo) / float64(bins)
+		for i := 1; i < bins; i++ {
+			d.Cuts = append(d.Cuts, lo+float64(i)*width)
+		}
+	case Quantile:
+		for i := 1; i < bins; i++ {
+			q := float64(i) / float64(bins)
+			pos := q * float64(len(sorted)-1)
+			lo := int(math.Floor(pos))
+			hiI := int(math.Ceil(pos))
+			frac := pos - float64(lo)
+			cut := sorted[lo]*(1-frac) + sorted[hiI]*frac
+			d.Cuts = append(d.Cuts, cut)
+		}
+		// Deduplicate identical cuts (heavy ties) by nudging.
+		for i := 1; i < len(d.Cuts); i++ {
+			if d.Cuts[i] <= d.Cuts[i-1] {
+				d.Cuts[i] = d.Cuts[i-1] + 1e-9
+			}
+		}
+	default:
+		return nil, fmt.Errorf("dataset: unknown binning method %d", method)
+	}
+	// Centers: mean of observed values per bin, falling back to geometric
+	// midpoints for empty bins.
+	sums := make([]float64, bins)
+	counts := make([]int, bins)
+	for _, v := range values {
+		b := d.Bin(v)
+		sums[b] += v
+		counts[b]++
+	}
+	d.Centers = make([]float64, bins)
+	for b := range d.Centers {
+		if counts[b] > 0 {
+			d.Centers[b] = sums[b] / float64(counts[b])
+			continue
+		}
+		// Geometric fallback.
+		var left, right float64
+		if b == 0 {
+			left = lo
+		} else {
+			left = d.Cuts[b-1]
+		}
+		if b == bins-1 {
+			right = hi
+		} else {
+			right = d.Cuts[b]
+		}
+		d.Centers[b] = 0.5 * (left + right)
+	}
+	return d, nil
+}
+
+// Bin maps a value to its bin index (clamping outliers into end bins).
+func (d *Discretizer) Bin(v float64) int {
+	// Binary search over cuts.
+	lo, hi := 0, len(d.Cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v < d.Cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Center returns the representative value of bin b.
+func (d *Discretizer) Center(b int) float64 {
+	if b < 0 || b >= d.Bins {
+		panic(fmt.Sprintf("dataset: bin %d out of range [0,%d)", b, d.Bins))
+	}
+	return d.Centers[b]
+}
+
+// Edges returns the [lo, hi) interval covered by bin b, using the observed
+// training range for the outer boundaries.
+func (d *Discretizer) Edges(b int) (lo, hi float64) {
+	if b < 0 || b >= d.Bins {
+		panic(fmt.Sprintf("dataset: bin %d out of range [0,%d)", b, d.Bins))
+	}
+	if b == 0 {
+		lo = d.Lo
+	} else {
+		lo = d.Cuts[b-1]
+	}
+	if b == d.Bins-1 {
+		hi = d.Hi
+	} else {
+		hi = d.Cuts[b]
+	}
+	return lo, hi
+}
+
+// Codec bundles one discretizer per column and converts whole datasets.
+type Codec struct {
+	Discretizers []*Discretizer
+}
+
+// FitCodec fits one discretizer per column of d.
+func FitCodec(d *Dataset, bins int, method BinningMethod) (*Codec, error) {
+	c := &Codec{Discretizers: make([]*Discretizer, d.NumCols())}
+	for j := 0; j < d.NumCols(); j++ {
+		disc, err := FitDiscretizer(d.Col(j), bins, method)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column %q: %w", d.Columns[j], err)
+		}
+		c.Discretizers[j] = disc
+	}
+	return c, nil
+}
+
+// Encode maps a continuous dataset to bin indices (stored as float64s, the
+// representation the bn package expects).
+func (c *Codec) Encode(d *Dataset) (*Dataset, error) {
+	if d.NumCols() != len(c.Discretizers) {
+		return nil, fmt.Errorf("dataset: codec has %d columns, dataset has %d", len(c.Discretizers), d.NumCols())
+	}
+	out := New(d.Columns)
+	out.Rows = make([][]float64, len(d.Rows))
+	for i, row := range d.Rows {
+		enc := make([]float64, len(row))
+		for j, v := range row {
+			enc[j] = float64(c.Discretizers[j].Bin(v))
+		}
+		out.Rows[i] = enc
+	}
+	return out, nil
+}
+
+// EncodeRow converts one continuous row in place-allocation-free fashion.
+func (c *Codec) EncodeRow(row []float64) ([]float64, error) {
+	if len(row) != len(c.Discretizers) {
+		return nil, fmt.Errorf("dataset: codec has %d columns, row has %d", len(c.Discretizers), len(row))
+	}
+	enc := make([]float64, len(row))
+	for j, v := range row {
+		enc[j] = float64(c.Discretizers[j].Bin(v))
+	}
+	return enc, nil
+}

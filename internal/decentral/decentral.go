@@ -1,0 +1,234 @@
+// Package decentral implements the paper's Section-3.4 decentralized
+// parameter learning: the CPD P(X_i | Φ(X_i)) of each KERT-BN node needs
+// only that node's data plus its parents', so it can be computed on the
+// monitoring agent of service i after the parent agents ship their columns
+// over. All agents compute concurrently; the decentralized learning time is
+// therefore the *maximum* of the per-CPD times, versus the *sum* (plus full
+// dataset assembly) for centralized learning — the comparison of Figure 5.
+//
+// Two column-shipping transports are provided: in-process (direct copy,
+// for simulations) and TCP/gob (the distributed stand-in; the paper's
+// future-work idea of piggybacking on SOAP messages, minus SOAP).
+package decentral
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/learn"
+)
+
+// NodePlan describes one node's learning task: which column it owns and
+// which parent columns must be shipped in.
+type NodePlan struct {
+	Node    int
+	Parents []int
+	// Discrete marks the node (and its parents) as binned; Card/ParentCard
+	// give state counts. Continuous nodes use linear-Gaussian learning.
+	Discrete   bool
+	Card       int
+	ParentCard []int
+}
+
+// PlanFromNetwork extracts per-node learning plans from a network
+// structure, skipping nodes whose CPD is knowledge-given (DetFunc) and,
+// optionally, an explicit skip set (e.g. the discrete D node whose CPT is
+// generated from the workflow).
+func PlanFromNetwork(net *bn.Network, skip map[int]bool) ([]NodePlan, error) {
+	var plans []NodePlan
+	for id := 0; id < net.N(); id++ {
+		if skip[id] {
+			continue
+		}
+		node := net.Node(id)
+		if _, isDet := node.CPD.(*bn.DetFunc); isDet {
+			continue
+		}
+		p := NodePlan{Node: id, Parents: net.Parents(id)}
+		if node.Kind == bn.Discrete {
+			p.Discrete = true
+			p.Card = node.Card
+			for _, pid := range p.Parents {
+				pn := net.Node(pid)
+				if pn.Kind != bn.Discrete {
+					return nil, fmt.Errorf("decentral: discrete node %q has continuous parent %q", node.Name, pn.Name)
+				}
+				p.ParentCard = append(p.ParentCard, pn.Card)
+			}
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// NodeResult is one agent's learned CPD plus its timing and cost.
+type NodeResult struct {
+	Node     int
+	CPD      bn.CPD
+	Elapsed  time.Duration
+	Cost     learn.Cost
+	ShipWait time.Duration // time spent waiting for parent columns
+}
+
+// Result aggregates a decentralized learning round.
+type Result struct {
+	PerNode map[int]NodeResult
+	// DecentralizedTime is the max per-node elapsed time — the wall time of
+	// the concurrent scheme.
+	DecentralizedTime time.Duration
+	// CentralizedTime is the sum of per-node elapsed times — what one
+	// central server doing the same work serially would spend.
+	CentralizedTime time.Duration
+	// DecentralizedCost / CentralizedCost are the same comparison in
+	// deterministic operation counts (max vs sum of per-node DataOps).
+	DecentralizedCost int64
+	CentralizedCost   int64
+}
+
+// Columns supplies the local data: Columns[i] is the observation column of
+// node i (all columns share row indices).
+type Columns [][]float64
+
+// Shipper moves a parent column from one agent to another. Implementations
+// may copy in-process or serialize over a network.
+type Shipper interface {
+	// Ship transfers `col` from agent `from` to agent `to` and returns the
+	// column as seen by the receiver.
+	Ship(from, to int, col []float64) ([]float64, error)
+}
+
+// InProcShipper copies columns directly (the simulation path).
+type InProcShipper struct{}
+
+// Ship implements Shipper by copying.
+func (InProcShipper) Ship(from, to int, col []float64) ([]float64, error) {
+	return append([]float64(nil), col...), nil
+}
+
+// Learn runs one decentralized learning round: one goroutine per plan
+// receives its parents' columns through the shipper, assembles its local
+// training matrix, and fits its CPD. Options control Dirichlet smoothing.
+func Learn(plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options) (*Result, error) {
+	if shipper == nil {
+		shipper = InProcShipper{}
+	}
+	nRows := -1
+	for _, p := range plans {
+		if p.Node < 0 || p.Node >= len(cols) {
+			return nil, fmt.Errorf("decentral: plan references column %d outside %d columns", p.Node, len(cols))
+		}
+		if nRows == -1 {
+			nRows = len(cols[p.Node])
+		} else if len(cols[p.Node]) != nRows {
+			return nil, fmt.Errorf("decentral: ragged columns (%d vs %d rows)", len(cols[p.Node]), nRows)
+		}
+	}
+	if nRows == 0 {
+		return nil, fmt.Errorf("decentral: no training rows")
+	}
+	res := &Result{PerNode: map[int]NodeResult{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(plans))
+	for _, plan := range plans {
+		wg.Add(1)
+		go func(p NodePlan) {
+			defer wg.Done()
+			nr, err := learnOne(p, cols, shipper, opts)
+			if err != nil {
+				errs <- fmt.Errorf("decentral: node %d: %w", p.Node, err)
+				return
+			}
+			mu.Lock()
+			res.PerNode[p.Node] = nr
+			mu.Unlock()
+		}(plan)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	for _, nr := range res.PerNode {
+		if nr.Elapsed > res.DecentralizedTime {
+			res.DecentralizedTime = nr.Elapsed
+		}
+		res.CentralizedTime += nr.Elapsed
+		if nr.Cost.DataOps > res.DecentralizedCost {
+			res.DecentralizedCost = nr.Cost.DataOps
+		}
+		res.CentralizedCost += nr.Cost.DataOps
+	}
+	return res, nil
+}
+
+// learnOne is one agent's work: gather parent columns, assemble rows, fit.
+func learnOne(p NodePlan, cols Columns, shipper Shipper, opts learn.Options) (NodeResult, error) {
+	shipStart := time.Now()
+	parentCols := make([][]float64, len(p.Parents))
+	for i, pid := range p.Parents {
+		if pid < 0 || pid >= len(cols) {
+			return NodeResult{}, fmt.Errorf("parent column %d out of range", pid)
+		}
+		col, err := shipper.Ship(pid, p.Node, cols[pid])
+		if err != nil {
+			return NodeResult{}, fmt.Errorf("shipping column %d: %w", pid, err)
+		}
+		parentCols[i] = col
+	}
+	shipWait := time.Since(shipStart)
+
+	// Assemble the local training matrix: child column + parent columns.
+	local := cols[p.Node]
+	nRows := len(local)
+	rows := make([][]float64, nRows)
+	for r := 0; r < nRows; r++ {
+		row := make([]float64, 1+len(parentCols))
+		row[0] = local[r]
+		for i, pc := range parentCols {
+			if len(pc) != nRows {
+				return NodeResult{}, fmt.Errorf("parent column length %d != %d", len(pc), nRows)
+			}
+			row[1+i] = pc[r]
+		}
+		rows[r] = row
+	}
+	parentIdx := make([]int, len(parentCols))
+	for i := range parentIdx {
+		parentIdx[i] = i + 1
+	}
+
+	start := time.Now()
+	var (
+		cpd  bn.CPD
+		cost learn.Cost
+		err  error
+	)
+	if p.Discrete {
+		cpd, cost, err = learn.FitTabular(rows, 0, p.Card, parentIdx, p.ParentCard, opts)
+	} else {
+		cpd, cost, err = learn.FitLinearGaussian(rows, 0, parentIdx)
+	}
+	if err != nil {
+		return NodeResult{}, err
+	}
+	return NodeResult{
+		Node:     p.Node,
+		CPD:      cpd,
+		Elapsed:  time.Since(start),
+		Cost:     cost,
+		ShipWait: shipWait,
+	}, nil
+}
+
+// Install writes the learned CPDs into the network.
+func Install(net *bn.Network, res *Result) error {
+	for id, nr := range res.PerNode {
+		if err := net.SetCPD(id, nr.CPD); err != nil {
+			return fmt.Errorf("decentral: installing CPD for node %d: %w", id, err)
+		}
+	}
+	return nil
+}

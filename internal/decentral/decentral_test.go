@@ -1,0 +1,270 @@
+package decentral
+
+import (
+	"math"
+	"testing"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/learn"
+	"kertbn/internal/stats"
+)
+
+// buildChainNet returns a continuous a→b→c structure without CPDs.
+func buildChainNet(t *testing.T) *bn.Network {
+	t.Helper()
+	net := bn.NewNetwork()
+	a, _ := net.AddContinuousNode("a")
+	b, _ := net.AddContinuousNode("b")
+	c, _ := net.AddContinuousNode("c")
+	if err := net.AddEdge(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddEdge(b.ID, c.ID); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// chainColumns samples columns from a known linear chain.
+func chainColumns(n int, seed uint64) Columns {
+	rng := stats.NewRNG(seed)
+	cols := make(Columns, 3)
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	for r := 0; r < n; r++ {
+		a := rng.Normal(2, 1)
+		b := 1 + 2*a + rng.Normal(0, 0.3)
+		c := -1 + 0.5*b + rng.Normal(0, 0.2)
+		cols[0][r], cols[1][r], cols[2][r] = a, b, c
+	}
+	return cols
+}
+
+func TestPlanFromNetwork(t *testing.T) {
+	net := buildChainNet(t)
+	plans, err := PlanFromNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("plans = %d, want 3", len(plans))
+	}
+	// Node 1's plan must name parent 0.
+	var p1 *NodePlan
+	for i := range plans {
+		if plans[i].Node == 1 {
+			p1 = &plans[i]
+		}
+	}
+	if p1 == nil || len(p1.Parents) != 1 || p1.Parents[0] != 0 {
+		t.Fatalf("plan for node 1 wrong: %+v", p1)
+	}
+}
+
+func TestPlanSkipsDetFunc(t *testing.T) {
+	net := buildChainNet(t)
+	det, _ := bn.NewDetFunc(func(p []float64) float64 { return p[0] }, 1, 0, 0.01, 0, 0)
+	_ = net.SetCPD(2, det)
+	plans, err := PlanFromNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Node == 2 {
+			t.Fatal("DetFunc node must be skipped")
+		}
+	}
+}
+
+func TestPlanSkipSet(t *testing.T) {
+	net := buildChainNet(t)
+	plans, err := PlanFromNetwork(net, map[int]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Node == 1 {
+			t.Fatal("skip set ignored")
+		}
+	}
+}
+
+func TestPlanDiscreteCards(t *testing.T) {
+	net := bn.NewNetwork()
+	a, _ := net.AddDiscreteNode("a", 3)
+	b, _ := net.AddDiscreteNode("b", 4)
+	_ = net.AddEdge(a.ID, b.ID)
+	plans, err := PlanFromNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Node == b.ID {
+			if !p.Discrete || p.Card != 4 || len(p.ParentCard) != 1 || p.ParentCard[0] != 3 {
+				t.Fatalf("discrete plan wrong: %+v", p)
+			}
+		}
+	}
+}
+
+func TestLearnRecoversChain(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(5000, 1)
+	res, err := Learn(plans, cols, nil, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerNode) != 3 {
+		t.Fatalf("results = %d", len(res.PerNode))
+	}
+	if err := Install(net, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gb := net.Node(1).CPD.(*bn.LinearGaussian)
+	if math.Abs(gb.Intercept-1) > 0.15 || math.Abs(gb.Coef[0]-2) > 0.05 {
+		t.Fatalf("b CPD = %+v", gb)
+	}
+	gc := net.Node(2).CPD.(*bn.LinearGaussian)
+	if math.Abs(gc.Coef[0]-0.5) > 0.05 {
+		t.Fatalf("c CPD = %+v", gc)
+	}
+}
+
+func TestLearnTimingInvariants(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(2000, 2)
+	res, err := Learn(plans, cols, nil, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecentralizedTime > res.CentralizedTime {
+		t.Fatal("max of per-node times cannot exceed their sum")
+	}
+	if res.DecentralizedCost > res.CentralizedCost {
+		t.Fatal("max of per-node costs cannot exceed their sum")
+	}
+	if res.DecentralizedCost == 0 || res.CentralizedCost == 0 {
+		t.Fatal("costs should be non-zero")
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	if _, err := Learn(plans, Columns{{1}, {1}}, nil, learn.Options{}); err == nil {
+		t.Fatal("plan beyond columns should error")
+	}
+	if _, err := Learn(plans, Columns{{1, 2}, {1}, {1, 2}}, nil, learn.Options{}); err == nil {
+		t.Fatal("ragged columns should error")
+	}
+	if _, err := Learn(plans, Columns{{}, {}, {}}, nil, learn.Options{}); err == nil {
+		t.Fatal("empty columns should error")
+	}
+}
+
+func TestLearnDiscrete(t *testing.T) {
+	net := bn.NewNetwork()
+	a, _ := net.AddDiscreteNode("a", 2)
+	b, _ := net.AddDiscreteNode("b", 2)
+	_ = net.AddEdge(a.ID, b.ID)
+	plans, _ := PlanFromNetwork(net, nil)
+	rng := stats.NewRNG(3)
+	n := 5000
+	cols := Columns{make([]float64, n), make([]float64, n)}
+	for r := 0; r < n; r++ {
+		av := 0.0
+		if rng.Bernoulli(0.4) {
+			av = 1
+		}
+		bv := 0.0
+		if (av == 1 && rng.Bernoulli(0.8)) || (av == 0 && rng.Bernoulli(0.1)) {
+			bv = 1
+		}
+		cols[0][r], cols[1][r] = av, bv
+	}
+	res, err := Learn(plans, cols, nil, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(net, res); err != nil {
+		t.Fatal(err)
+	}
+	tb := net.Node(b.ID).CPD.(*bn.Tabular)
+	if math.Abs(tb.Prob(1, []int{1})-0.8) > 0.03 {
+		t.Fatalf("P(b=1|a=1) = %g", tb.Prob(1, []int{1}))
+	}
+}
+
+func TestTCPFabricShip(t *testing.T) {
+	fabric, err := NewTCPFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	col := []float64{1.5, 2.5, 3.5}
+	back, err := fabric.Ship(0, 1, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != 1.5 || back[2] != 3.5 {
+		t.Fatalf("shipped column = %v", back)
+	}
+}
+
+func TestTCPFabricLearn(t *testing.T) {
+	fabric, err := NewTCPFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(500, 4)
+	res, err := Learn(plans, cols, fabric, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(net, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shipping through TCP must register wait time on nodes with parents.
+	for _, nr := range res.PerNode {
+		if nr.Node != 0 && nr.ShipWait <= 0 {
+			t.Fatalf("node %d should have non-zero ship wait", nr.Node)
+		}
+	}
+}
+
+func TestTCPFabricCloseIdempotent(t *testing.T) {
+	fabric, err := NewTCPFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fabric.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fabric.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestInProcShipperCopies(t *testing.T) {
+	col := []float64{1, 2}
+	back, err := InProcShipper{}.Ship(0, 1, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back[0] = 99
+	if col[0] != 1 {
+		t.Fatal("shipper must copy, not alias")
+	}
+}

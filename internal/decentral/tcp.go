@@ -1,0 +1,104 @@
+package decentral
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// parcel is one shipped column on the wire.
+type parcel struct {
+	From, To int
+	Col      []float64
+}
+
+// TCPFabric is a Shipper that routes every column through a real TCP
+// socket with gob encoding, so decentralized-learning measurements include
+// genuine serialization and network-stack cost. A single relay listener
+// accepts a connection per shipment, reads the parcel and echoes it back —
+// the in-one-process equivalent of agent-to-agent transfer.
+type TCPFabric struct {
+	listener net.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+}
+
+// NewTCPFabric starts the relay on 127.0.0.1 (ephemeral port).
+func NewTCPFabric() (*TCPFabric, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("decentral: listen: %w", err)
+	}
+	f := &TCPFabric{listener: l}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the relay address.
+func (f *TCPFabric) Addr() string { return f.listener.Addr().String() }
+
+func (f *TCPFabric) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.listener.Accept()
+		if err != nil {
+			return
+		}
+		f.wg.Add(1)
+		go func(c net.Conn) {
+			defer f.wg.Done()
+			defer c.Close()
+			dec := gob.NewDecoder(c)
+			enc := gob.NewEncoder(c)
+			for {
+				var p parcel
+				if err := dec.Decode(&p); err != nil {
+					return
+				}
+				if err := enc.Encode(&p); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// Ship implements Shipper: the column makes a real round trip through the
+// relay socket.
+func (f *TCPFabric) Ship(from, to int, col []float64) ([]float64, error) {
+	conn, err := net.Dial("tcp", f.Addr())
+	if err != nil {
+		return nil, fmt.Errorf("decentral: dial relay: %w", err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&parcel{From: from, To: to, Col: col}); err != nil {
+		return nil, fmt.Errorf("decentral: send parcel: %w", err)
+	}
+	var back parcel
+	if err := dec.Decode(&back); err != nil {
+		return nil, fmt.Errorf("decentral: receive parcel: %w", err)
+	}
+	if back.From != from || back.To != to {
+		return nil, fmt.Errorf("decentral: relay returned parcel %d->%d, want %d->%d", back.From, back.To, from, to)
+	}
+	return back.Col, nil
+}
+
+// Close shuts the relay down.
+func (f *TCPFabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	err := f.listener.Close()
+	f.wg.Wait()
+	return err
+}

@@ -1,0 +1,151 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Figures 3–8): the same workloads, parameter sweeps, baselines and
+// metrics, reported as printable series. Absolute times reflect today's
+// hardware; the shapes — who wins, by what factor, where NRT-BN becomes
+// infeasible — are the reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"kertbn/internal/core"
+	"kertbn/internal/dataset"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+// Series is one named curve: y(x).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// FigResult is the reproduced content of one paper figure (or one panel).
+type FigResult struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render prints the result as an aligned text table, one row per x value.
+func (r *FigResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	headers := []string{r.XLabel}
+	for _, s := range r.Series {
+		headers = append(headers, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, "\t")); err != nil {
+		return err
+	}
+	// Union of x values across series, in order of the first series.
+	var xs []float64
+	if len(r.Series) > 0 {
+		xs = r.Series[0].X
+	}
+	for _, x := range xs {
+		cells := []string{formatNum(x)}
+		for _, s := range r.Series {
+			v := math.NaN()
+			for i, sx := range s.X {
+				if sx == x {
+					v = s.Y[i]
+					break
+				}
+			}
+			cells = append(cells, formatNum(v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func formatNum(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	av := math.Abs(v)
+	switch {
+	case av != 0 && (av < 1e-3 || av >= 1e6):
+		return fmt.Sprintf("%.3e", v)
+	case av < 1:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// timeIt measures fn's wall-clock duration in seconds.
+func timeIt(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}
+
+// freshData builds a random n-service system and draws train/test sets.
+func freshData(n, trainN, testN int, rng *stats.RNG) (*simsvc.System, *dataset.Dataset, *dataset.Dataset, error) {
+	sys, err := simsvc.RandomSystem(n, simsvc.DefaultRandomSystemOptions(), rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, err := sys.GenerateDataset(trainN, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	test, err := sys.GenerateDataset(testN, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, train, test, nil
+}
+
+// buildBoth constructs the KERT-BN and NRT-BN over the same data, timing
+// each, and scores both on the test set. The continuous models mirror
+// Section 4 (Gaussian CPDs, l = 0).
+func buildBoth(sys *simsvc.System, train, test *dataset.Dataset, maxParents int) (kertTime, nrtTime, kertLL, nrtLL float64, err error) {
+	var kert, nrt *core.Model
+	kertTime, err = timeIt(func() error {
+		var e error
+		kert, e = core.BuildKERT(core.DefaultKERTConfig(sys.Workflow), train)
+		return e
+	})
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("KERT build: %w", err)
+	}
+	nrtCfg := core.DefaultNRTConfig()
+	nrtCfg.MaxParents = maxParents
+	nrtTime, err = timeIt(func() error {
+		var e error
+		nrt, e = core.BuildNRT(nrtCfg, train)
+		return e
+	})
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("NRT build: %w", err)
+	}
+	kertLL, err = kert.Log10Likelihood(test)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	nrtLL, err = nrt.Log10Likelihood(test)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return kertTime, nrtTime, kertLL, nrtLL, nil
+}

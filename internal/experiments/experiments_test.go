@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Quick-config shape tests: each experiment must run end-to-end and
+// reproduce the paper's qualitative claims at reduced scale.
+
+func TestFig3Shapes(t *testing.T) {
+	cfg := DefaultFig3Config()
+	cfg.Services = 10
+	cfg.TrainSizes = []int{36, 216, 600}
+	cfg.Reps = 2
+	results, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("panels = %d", len(results))
+	}
+	timeP, accP := results[0], results[1]
+	kertT, nrtT := timeP.Series[0].Y, timeP.Series[1].Y
+	for i := range kertT {
+		if kertT[i] >= nrtT[i] {
+			t.Fatalf("KERT time %g should be below NRT %g at size %g", kertT[i], nrtT[i], timeP.Series[0].X[i])
+		}
+	}
+	// Widening gap: NRT/KERT ratio should not shrink below half its start.
+	if nrtT[len(nrtT)-1]-kertT[len(kertT)-1] < nrtT[0]-kertT[0] {
+		t.Fatal("construction-time gap should widen with training size")
+	}
+	kertL, nrtL := accP.Series[0].Y, accP.Series[1].Y
+	for i := range kertL {
+		if kertL[i] <= nrtL[i] {
+			t.Fatalf("KERT accuracy %g should beat NRT %g at size %g", kertL[i], nrtL[i], accP.Series[0].X[i])
+		}
+	}
+	// KERT stability: spread across sizes small relative to NRT's climb.
+	kSpread := math.Abs(kertL[len(kertL)-1] - kertL[0])
+	nClimb := nrtL[len(nrtL)-1] - nrtL[0]
+	if nClimb <= 0 {
+		t.Fatal("NRT accuracy should improve with more data")
+	}
+	if kSpread > 2*nClimb {
+		t.Fatalf("KERT accuracy should be stable (spread %g vs NRT climb %g)", kSpread, nClimb)
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	cfg := DefaultFig4Config()
+	cfg.Sizes = []int{10, 30, 60}
+	cfg.Reps = 2
+	results, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeP := results[0]
+	kertT, nrtT := timeP.Series[0].Y, timeP.Series[1].Y
+	// NRT superlinear: time at 60 services should exceed 2x time at 30
+	// (superlinear in n means more than proportional growth).
+	if nrtT[2] < 2*nrtT[1] {
+		t.Fatalf("NRT time should grow superlinearly: %v", nrtT)
+	}
+	// KERT flat-ish: growth from 10 to 60 services bounded by ~10x while
+	// NRT grows far faster.
+	kertGrowth := kertT[2] / math.Max(kertT[0], 1e-9)
+	nrtGrowth := nrtT[2] / math.Max(nrtT[0], 1e-9)
+	if kertGrowth >= nrtGrowth {
+		t.Fatalf("KERT growth %g should be below NRT growth %g", kertGrowth, nrtGrowth)
+	}
+	accP := results[1]
+	for i := range accP.Series[0].Y {
+		if accP.Series[0].Y[i] <= accP.Series[1].Y[i] {
+			t.Fatalf("KERT accuracy should beat NRT at %g services", accP.Series[0].X[i])
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	cfg := DefaultFig5Config()
+	cfg.Sizes = []int{10, 40}
+	cfg.ModelsPerSize = 3
+	cfg.TrainSize = 120
+	results, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeP, opsP := results[0], results[1]
+	for i := range timeP.Series[0].Y {
+		if timeP.Series[0].Y[i] > timeP.Series[1].Y[i] {
+			t.Fatalf("decentralized time should not exceed centralized at %g services",
+				timeP.Series[0].X[i])
+		}
+	}
+	// Op-count gap grows with size.
+	gap0 := opsP.Series[1].Y[0] / opsP.Series[0].Y[0]
+	gap1 := opsP.Series[1].Y[1] / opsP.Series[0].Y[1]
+	if gap1 <= gap0 {
+		t.Fatalf("cost ratio should grow with size: %g -> %g", gap0, gap1)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	cfg := DefaultEDiaMoNDConfig()
+	cfg.TrainSize = 800
+	cfg.RealSize = 1500
+	res, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	prior, post := res.Series[0], res.Series[1]
+	// Both are distributions over the same support.
+	if sum(prior.Y) < 0.99 || sum(post.Y) < 0.99 {
+		t.Fatal("series should be normalized distributions")
+	}
+	priorMean := dot(prior.X, prior.Y)
+	postMean := dot(post.X, post.Y)
+	// The posterior must shift upward (X4 slowed down) and be narrower.
+	if postMean <= priorMean {
+		t.Fatalf("posterior mean %g should exceed prior %g after slowdown", postMean, priorMean)
+	}
+	if stdOf(post.X, post.Y) >= stdOf(prior.X, prior.Y) {
+		t.Fatal("posterior should be narrower than prior")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	cfg := DefaultEDiaMoNDConfig()
+	cfg.TrainSize = 800
+	cfg.RealSize = 1500
+	res, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, obs := res.Series[0], res.Series[1]
+	projMean := dot(proj.X, proj.Y)
+	obsMean := dot(obs.X, obs.Y)
+	if math.Abs(projMean-obsMean)/obsMean > 0.1 {
+		t.Fatalf("projected mean %g should approximate observed %g", projMean, obsMean)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	cfg := DefaultEDiaMoNDConfig()
+	cfg.TrainSize = 800
+	cfg.RealSize = 1500
+	cfg.Fig8Reps = 2
+	cfg.NRTRestarts = 3
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kert, nrt := res.Series[0].Y, res.Series[1].Y
+	if len(kert) != 6 || len(nrt) != 6 {
+		t.Fatalf("thresholds = %d/%d, want 6", len(kert), len(nrt))
+	}
+	// Both models should stay in a sane error band; KERT should not be
+	// dramatically worse on average (paper: KERT at or below NRT).
+	mk, mn := mean(kert), mean(nrt)
+	if mk > 2*mn+0.05 {
+		t.Fatalf("KERT mean eps %g should be comparable to NRT %g", mk, mn)
+	}
+	for i, e := range kert {
+		if math.IsNaN(e) || math.IsNaN(nrt[i]) {
+			t.Fatalf("NaN epsilon at threshold %d", i)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := &FigResult{
+		ID:     "t",
+		Title:  "test",
+		XLabel: "x",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{5, math.NaN()}},
+		},
+		Notes: []string{"note"},
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== t: test ==", "x\ta\tb", "# note", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN(): "-",
+	}
+	for in, want := range cases {
+		if got := formatNum(in); got != want {
+			t.Fatalf("formatNum(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if formatNum(1e-7) == "0.0000" {
+		t.Fatal("tiny values should use scientific notation")
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func dot(xs, ws []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += xs[i] * ws[i]
+	}
+	return s
+}
+
+func mean(xs []float64) float64 { return sum(xs) / float64(len(xs)) }
+
+func stdOf(xs, ws []float64) float64 {
+	mu := dot(xs, ws)
+	v := 0.0
+	for i := range xs {
+		d := xs[i] - mu
+		v += ws[i] * d * d
+	}
+	return math.Sqrt(v)
+}
+
+func TestKnowledgeAblationShapes(t *testing.T) {
+	cfg := DefaultKnowledgeAblationConfig()
+	cfg.Services = 10
+	cfg.TrainSizes = []int{36, 216}
+	cfg.Reps = 2
+	results, err := KnowledgeAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeP, accP := results[0], results[1]
+	// Time ordering at every size: KERT-full < structure-only < NRT.
+	for i := range timeP.Series[0].Y {
+		full := timeP.Series[0].Y[i]
+		structOnly := timeP.Series[1].Y[i]
+		nrt := timeP.Series[2].Y[i]
+		if !(full <= structOnly && structOnly <= nrt) {
+			t.Fatalf("time ordering violated at size %g: %g %g %g",
+				timeP.Series[0].X[i], full, structOnly, nrt)
+		}
+	}
+	// Accuracy: full KERT strictly best at the smallest training size.
+	if !(accP.Series[0].Y[0] > accP.Series[1].Y[0] && accP.Series[0].Y[0] > accP.Series[2].Y[0]) {
+		t.Fatalf("full KERT should win at 36 points: %v", accP.Series)
+	}
+}
+
+func TestMotivationShapes(t *testing.T) {
+	cfg := DefaultMotivationConfig()
+	cfg.Intervals = 8
+	cfg.ShiftAtInterval = 4
+	cfg.PointsPerInterval = 80
+	cfg.TestSize = 200
+	res, err := Motivation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, seq := res.Series[0].Y, res.Series[1].Y
+	// Post-shift tail: windowed error must end below sequential error.
+	last := len(win) - 1
+	if win[last] >= seq[last] {
+		t.Fatalf("windowed error %g should recover below sequential %g", win[last], seq[last])
+	}
+}

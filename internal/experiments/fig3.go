@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+// Fig3Config parameterizes the first simulation experiment: KERT-BN vs
+// NRT-BN over growing training sets at fixed system size.
+type Fig3Config struct {
+	Seed uint64
+	// Services is the environment size (paper: 30).
+	Services int
+	// TrainSizes are the training-set sizes swept (paper: 36..1080,
+	// i.e. K·α_model with K=3, α from 12 to 360 at T_DATA = 10 s).
+	TrainSizes []int
+	// TestSize is the held-out set for data-fitting accuracy (paper: 100).
+	TestSize int
+	// Reps is the number of fresh-data repetitions averaged (paper: 10).
+	Reps int
+	// MaxParents bounds K2 (0 = unbounded, as the paper's BNT K2).
+	MaxParents int
+}
+
+// DefaultFig3Config reproduces the paper's settings.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		Seed:       3,
+		Services:   30,
+		TrainSizes: []int{36, 108, 216, 360, 600, 840, 1080},
+		TestSize:   100,
+		Reps:       10,
+	}
+}
+
+// Fig3 regenerates Figure 3: construction time (left panel) and data-
+// fitting accuracy (right panel) versus training-set size, for KERT-BN and
+// NRT-BN at 30 simulated services.
+func Fig3(cfg Fig3Config) ([]*FigResult, error) {
+	// Paired design: each repetition fixes one 30-service environment and
+	// sweeps every training size against it with fresh data, so accuracy
+	// curves are comparable across sizes (the paper's "fresh training and
+	// testing data" per repetition).
+	nSizes := len(cfg.TrainSizes)
+	sumKT := make([]float64, nSizes)
+	sumNT := make([]float64, nSizes)
+	sumKL := make([]float64, nSizes)
+	sumNL := make([]float64, nSizes)
+	root := stats.NewRNG(cfg.Seed)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		rng := root.Split()
+		sys, err := simsvc.RandomSystem(cfg.Services, simsvc.DefaultRandomSystemOptions(), rng)
+		if err != nil {
+			return nil, err
+		}
+		for si, size := range cfg.TrainSizes {
+			train, err := sys.GenerateDataset(size, rng)
+			if err != nil {
+				return nil, err
+			}
+			test, err := sys.GenerateDataset(cfg.TestSize, rng)
+			if err != nil {
+				return nil, err
+			}
+			kt, nt, kl, nl, err := buildBoth(sys, train, test, cfg.MaxParents)
+			if err != nil {
+				return nil, err
+			}
+			sumKT[si] += kt
+			sumNT[si] += nt
+			sumKL[si] += kl
+			sumNL[si] += nl
+		}
+	}
+	var xs, kertT, nrtT, kertL, nrtL []float64
+	r := float64(cfg.Reps)
+	for si, size := range cfg.TrainSizes {
+		xs = append(xs, float64(size))
+		kertT = append(kertT, sumKT[si]/r)
+		nrtT = append(nrtT, sumNT[si]/r)
+		kertL = append(kertL, sumKL[si]/r)
+		nrtL = append(nrtL, sumNL[si]/r)
+	}
+	timePanel := &FigResult{
+		ID:     "fig3-time",
+		Title:  "Construction time vs training set size (30 services)",
+		XLabel: "train_size",
+		YLabel: "seconds",
+		Series: []Series{
+			{Name: "KERT-BN_s", X: xs, Y: kertT},
+			{Name: "NRT-BN_s", X: xs, Y: nrtT},
+		},
+		Notes: []string{
+			"expected shape: both linear in train size; KERT-BN below NRT-BN with widening gap",
+		},
+	}
+	accPanel := &FigResult{
+		ID:     "fig3-acc",
+		Title:  "Data-fitting accuracy vs training set size (30 services)",
+		XLabel: "train_size",
+		YLabel: "log10 P(test|BN)",
+		Series: []Series{
+			{Name: "KERT-BN_ll", X: xs, Y: kertL},
+			{Name: "NRT-BN_ll", X: xs, Y: nrtL},
+		},
+		Notes: []string{
+			"expected shape: KERT-BN >= NRT-BN; KERT-BN stable from small sizes, NRT-BN needs ~600 points",
+		},
+	}
+	return []*FigResult{timePanel, accPanel}, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kertbn/internal/core"
+	"kertbn/internal/dataset"
+	"kertbn/internal/learn"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+// MotivationConfig parameterizes the stale-data study behind the paper's
+// Section-2 argument: sequential updating cannot disperse obsolete data, so
+// after an autonomic change the updated model lags a periodically
+// *reconstructed* one.
+type MotivationConfig struct {
+	Seed uint64
+	// PointsPerInterval is α_model (points per reconstruction).
+	PointsPerInterval int
+	// K is the environmental correlation metric (window = K·α points).
+	K int
+	// Intervals is the total number of construction intervals simulated.
+	Intervals int
+	// ShiftAtInterval is when the environment changes (X4 slows down).
+	ShiftAtInterval int
+	// ShiftFactor scales the shifted service's delay.
+	ShiftFactor float64
+	// Bins is the discrete model arity.
+	Bins int
+	// TestSize is the per-interval evaluation set drawn from the *current*
+	// environment.
+	TestSize int
+}
+
+// DefaultMotivationConfig returns a 20-interval run with a mid-run shift.
+func DefaultMotivationConfig() MotivationConfig {
+	return MotivationConfig{
+		Seed:              17,
+		PointsPerInterval: 120,
+		K:                 3,
+		Intervals:         20,
+		ShiftAtInterval:   10,
+		ShiftFactor:       2.0,
+		Bins:              6,
+		TestSize:          300,
+	}
+}
+
+// Motivation runs the stale-data study: at each construction interval both
+// schemes see the same stream of observations; the windowed scheme rebuilds
+// a discrete KERT-BN from the last K·α points, the sequential scheme keeps
+// folding every observation since t=0 into one model. After the shift, the
+// windowed model recovers within ~K intervals while the sequential model's
+// accuracy on current data stays depressed — the paper's justification for
+// reconstruction over updating.
+func Motivation(cfg MotivationConfig) (*FigResult, error) {
+	rng := stats.NewRNG(cfg.Seed)
+	baseSys := simsvc.EDiaMoNDSystem()
+	shifted := scaledSystem(baseSys, 3, cfg.ShiftFactor)
+
+	currentSys := baseSys
+	cols := core.ColumnNames(simsvc.EDiaMoNDSystem().ColumnNames()[:6], nil)
+	window, err := dataset.NewWindow(cols, cfg.K*cfg.PointsPerInterval)
+	if err != nil {
+		return nil, err
+	}
+
+	// The sequential model's structure and codec are fixed from a warmup
+	// window drawn before the run (it cannot re-discretize later — that
+	// would be a reconstruction).
+	warmup, err := baseSys.GenerateDataset(cfg.K*cfg.PointsPerInterval, rng)
+	if err != nil {
+		return nil, err
+	}
+	kcfg := core.DefaultKERTConfig(baseSys.Workflow)
+	kcfg.Type = core.DiscreteModel
+	kcfg.Bins = cfg.Bins
+	kcfg.Leak = 0.02
+	seqModel, err := core.BuildKERT(kcfg, warmup)
+	if err != nil {
+		return nil, err
+	}
+	// The knowledge-given D CPT stays fixed for both schemes (same model
+	// class); only the learned per-service CPDs differ in how they track
+	// the environment: rebuilt from the window vs updated forever.
+	updater, err := learn.NewSequentialUpdaterSkip(seqModel.Net, 1, map[int]bool{seqModel.DNode: true})
+	if err != nil {
+		return nil, err
+	}
+
+	var xs, winLL, seqLL []float64
+	for interval := 1; interval <= cfg.Intervals; interval++ {
+		if interval == cfg.ShiftAtInterval {
+			currentSys = shifted
+		}
+		batch, err := currentSys.GenerateDataset(cfg.PointsPerInterval, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range batch.Rows {
+			if err := window.Push(row); err != nil {
+				return nil, err
+			}
+		}
+		// Sequential: fold the encoded batch into the fixed-structure model.
+		encBatch, err := seqModel.Codec.Encode(batch)
+		if err != nil {
+			return nil, err
+		}
+		if err := updater.ObserveBatch(encBatch.Rows); err != nil {
+			return nil, err
+		}
+		// Windowed: full reconstruction from the sliding window.
+		winModel, err := core.BuildKERT(kcfg, window.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		// Evaluate both against the *current* environment with a
+		// codec-independent metric: the error of the projected
+		// threshold-violation probabilities P(D > h) against measured
+		// exceedance, averaged over three thresholds (the quantity
+		// autonomic callers actually consume, per Section 5.3).
+		test, err := currentSys.GenerateDataset(cfg.TestSize, rng)
+		if err != nil {
+			return nil, err
+		}
+		realD := test.Col(test.NumCols() - 1)
+		winPost, err := core.PriorMarginal(winModel, winModel.DNode, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		seqPost, err := core.PriorMarginal(seqModel, seqModel.DNode, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		winErr, seqErr := 0.0, 0.0
+		qs := []float64{0.5, 0.7, 0.9}
+		for _, q := range qs {
+			h := stats.Quantile(realD, q)
+			pReal := stats.EmpiricalExceedance(realD, h)
+			winErr += absErr(winPost.Exceedance(h), pReal)
+			seqErr += absErr(seqPost.Exceedance(h), pReal)
+		}
+		xs = append(xs, float64(interval))
+		winLL = append(winLL, winErr/float64(len(qs)))
+		seqLL = append(seqLL, seqErr/float64(len(qs)))
+	}
+	return &FigResult{
+		ID:     "motivation",
+		Title:  "Windowed reconstruction vs sequential updating under environment drift",
+		XLabel: "interval",
+		YLabel: "mean |P_bn(D>h) - P_real(D>h)|",
+		Series: []Series{
+			{Name: "windowed_reconstruction_err", X: xs, Y: winLL},
+			{Name: "sequential_update_err", X: xs, Y: seqLL},
+		},
+		Notes: []string{
+			fmt.Sprintf("environment shift (X4 ×%g) at interval %d; window = %d points",
+				cfg.ShiftFactor, cfg.ShiftAtInterval, cfg.K*cfg.PointsPerInterval),
+			"expected shape: after the shift the windowed model's error recovers within ~K intervals; the sequential model's stays elevated (stale counts and bins linger) — the paper's Section-2 argument",
+		},
+	}, nil
+}
+
+func absErr(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

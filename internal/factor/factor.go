@@ -1,0 +1,363 @@
+// Package factor implements discrete probability factors — multidimensional
+// tables over sets of categorical variables — together with the product,
+// marginalization, reduction and normalization operations that variable
+// elimination is built from.
+//
+// A factor's variable list is kept sorted ascending by variable id, and the
+// value table is laid out with the FIRST variable as the slowest-moving
+// index (row-major over the sorted scope).
+package factor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Factor is a non-negative table over a sorted scope of discrete variables.
+type Factor struct {
+	// Vars is the sorted list of variable ids in the factor's scope.
+	Vars []int
+	// Card holds the cardinality of each variable, parallel to Vars.
+	Card []int
+	// Values holds the table entries in row-major order over Vars.
+	Values []float64
+}
+
+// New creates a zeroed factor over the given variables. vars need not be
+// sorted; card is parallel to vars as supplied.
+func New(vars []int, card []int) *Factor {
+	if len(vars) != len(card) {
+		panic("factor: vars/card length mismatch")
+	}
+	idx := make([]int, len(vars))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vars[idx[a]] < vars[idx[b]] })
+	f := &Factor{
+		Vars: make([]int, len(vars)),
+		Card: make([]int, len(vars)),
+	}
+	size := 1
+	for i, k := range idx {
+		f.Vars[i] = vars[k]
+		f.Card[i] = card[k]
+		if card[k] <= 0 {
+			panic(fmt.Sprintf("factor: non-positive cardinality %d for var %d", card[k], vars[k]))
+		}
+		size *= card[k]
+	}
+	for i := 1; i < len(f.Vars); i++ {
+		if f.Vars[i] == f.Vars[i-1] {
+			panic(fmt.Sprintf("factor: duplicate variable %d in scope", f.Vars[i]))
+		}
+	}
+	f.Values = make([]float64, size)
+	return f
+}
+
+// Uniform returns a factor with all entries set to 1.
+func Uniform(vars []int, card []int) *Factor {
+	f := New(vars, card)
+	for i := range f.Values {
+		f.Values[i] = 1
+	}
+	return f
+}
+
+// Scalar returns a zero-variable factor holding the single value v.
+func Scalar(v float64) *Factor {
+	return &Factor{Values: []float64{v}}
+}
+
+// Clone returns a deep copy.
+func (f *Factor) Clone() *Factor {
+	c := &Factor{
+		Vars:   append([]int(nil), f.Vars...),
+		Card:   append([]int(nil), f.Card...),
+		Values: append([]float64(nil), f.Values...),
+	}
+	return c
+}
+
+// Size returns the number of table entries.
+func (f *Factor) Size() int { return len(f.Values) }
+
+// varIndex returns the position of variable v in the scope, or -1.
+func (f *Factor) varIndex(v int) int {
+	for i, u := range f.Vars {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether v is in the factor's scope.
+func (f *Factor) Contains(v int) bool { return f.varIndex(v) >= 0 }
+
+// strides returns the row-major stride of each scope position.
+func (f *Factor) strides() []int {
+	s := make([]int, len(f.Vars))
+	acc := 1
+	for i := len(f.Vars) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= f.Card[i]
+	}
+	return s
+}
+
+// Index converts an assignment (parallel to Vars) to a flat table index.
+func (f *Factor) Index(assign []int) int {
+	if len(assign) != len(f.Vars) {
+		panic("factor: assignment length mismatch")
+	}
+	idx := 0
+	acc := 1
+	for i := len(f.Vars) - 1; i >= 0; i-- {
+		a := assign[i]
+		if a < 0 || a >= f.Card[i] {
+			panic(fmt.Sprintf("factor: assignment %d out of range for var %d (card %d)", a, f.Vars[i], f.Card[i]))
+		}
+		idx += a * acc
+		acc *= f.Card[i]
+	}
+	return idx
+}
+
+// Assignment converts a flat table index to an assignment (parallel to Vars).
+func (f *Factor) Assignment(idx int) []int {
+	out := make([]int, len(f.Vars))
+	for i := len(f.Vars) - 1; i >= 0; i-- {
+		out[i] = idx % f.Card[i]
+		idx /= f.Card[i]
+	}
+	return out
+}
+
+// At returns the value at the given assignment.
+func (f *Factor) At(assign []int) float64 { return f.Values[f.Index(assign)] }
+
+// Set assigns the value at the given assignment.
+func (f *Factor) Set(assign []int, v float64) { f.Values[f.Index(assign)] = v }
+
+// Product returns the factor product f*g over the union scope.
+func Product(f, g *Factor) *Factor {
+	// Union scope.
+	unionVars, unionCard := unionScope(f, g)
+	out := New(unionVars, unionCard)
+	fMap := scopeMap(out, f)
+	gMap := scopeMap(out, g)
+	assign := make([]int, len(out.Vars))
+	fStr := f.strides()
+	gStr := g.strides()
+	for idx := range out.Values {
+		decode(out, idx, assign)
+		fi, gi := 0, 0
+		for i, pos := range fMap {
+			fi += assign[pos] * fStr[i]
+		}
+		for i, pos := range gMap {
+			gi += assign[pos] * gStr[i]
+		}
+		out.Values[idx] = f.Values[fi] * g.Values[gi]
+	}
+	return out
+}
+
+// decode fills assign with the assignment for flat index idx (avoids the
+// per-call allocation of Assignment).
+func decode(f *Factor, idx int, assign []int) {
+	for i := len(f.Vars) - 1; i >= 0; i-- {
+		assign[i] = idx % f.Card[i]
+		idx /= f.Card[i]
+	}
+}
+
+func unionScope(f, g *Factor) ([]int, []int) {
+	cards := map[int]int{}
+	for i, v := range f.Vars {
+		cards[v] = f.Card[i]
+	}
+	for i, v := range g.Vars {
+		if c, ok := cards[v]; ok && c != g.Card[i] {
+			panic(fmt.Sprintf("factor: cardinality clash for var %d: %d vs %d", v, c, g.Card[i]))
+		}
+		cards[v] = g.Card[i]
+	}
+	vars := make([]int, 0, len(cards))
+	for v := range cards {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	card := make([]int, len(vars))
+	for i, v := range vars {
+		card[i] = cards[v]
+	}
+	return vars, card
+}
+
+// scopeMap maps each position of inner's scope to its position in outer's.
+func scopeMap(outer, inner *Factor) []int {
+	m := make([]int, len(inner.Vars))
+	for i, v := range inner.Vars {
+		p := outer.varIndex(v)
+		if p < 0 {
+			panic(fmt.Sprintf("factor: scope var %d missing in outer factor", v))
+		}
+		m[i] = p
+	}
+	return m
+}
+
+// SumOut marginalizes variable v out of f, returning a factor over the
+// remaining scope. Summing the last variable out of a single-variable
+// factor yields a scalar factor.
+func (f *Factor) SumOut(v int) *Factor {
+	pos := f.varIndex(v)
+	if pos < 0 {
+		panic(fmt.Sprintf("factor: SumOut of variable %d not in scope", v))
+	}
+	newVars := make([]int, 0, len(f.Vars)-1)
+	newCard := make([]int, 0, len(f.Vars)-1)
+	for i, u := range f.Vars {
+		if i == pos {
+			continue
+		}
+		newVars = append(newVars, u)
+		newCard = append(newCard, f.Card[i])
+	}
+	var out *Factor
+	if len(newVars) == 0 {
+		out = Scalar(0)
+	} else {
+		out = New(newVars, newCard)
+	}
+	assign := make([]int, len(f.Vars))
+	outAssign := make([]int, len(newVars))
+	for idx, val := range f.Values {
+		if val == 0 {
+			continue
+		}
+		decode(f, idx, assign)
+		k := 0
+		for i := range assign {
+			if i == pos {
+				continue
+			}
+			outAssign[k] = assign[i]
+			k++
+		}
+		if len(newVars) == 0 {
+			out.Values[0] += val
+		} else {
+			out.Values[out.Index(outAssign)] += val
+		}
+	}
+	return out
+}
+
+// Reduce incorporates evidence v=value by zeroing all inconsistent entries
+// and dropping v from the scope.
+func (f *Factor) Reduce(v, value int) *Factor {
+	pos := f.varIndex(v)
+	if pos < 0 {
+		panic(fmt.Sprintf("factor: Reduce of variable %d not in scope", v))
+	}
+	if value < 0 || value >= f.Card[pos] {
+		panic(fmt.Sprintf("factor: Reduce value %d out of range for var %d", value, v))
+	}
+	newVars := make([]int, 0, len(f.Vars)-1)
+	newCard := make([]int, 0, len(f.Vars)-1)
+	for i, u := range f.Vars {
+		if i == pos {
+			continue
+		}
+		newVars = append(newVars, u)
+		newCard = append(newCard, f.Card[i])
+	}
+	var out *Factor
+	if len(newVars) == 0 {
+		out = Scalar(0)
+	} else {
+		out = New(newVars, newCard)
+	}
+	assign := make([]int, len(f.Vars))
+	outAssign := make([]int, len(newVars))
+	for idx, val := range f.Values {
+		decode(f, idx, assign)
+		if assign[pos] != value {
+			continue
+		}
+		k := 0
+		for i := range assign {
+			if i == pos {
+				continue
+			}
+			outAssign[k] = assign[i]
+			k++
+		}
+		if len(newVars) == 0 {
+			out.Values[0] += val
+		} else {
+			out.Values[out.Index(outAssign)] = val
+		}
+	}
+	return out
+}
+
+// Normalize scales the factor so its entries sum to 1 and returns the
+// pre-normalization sum. A zero factor is left unchanged and returns 0.
+func (f *Factor) Normalize() float64 {
+	s := 0.0
+	for _, v := range f.Values {
+		s += v
+	}
+	if s > 0 {
+		inv := 1 / s
+		for i := range f.Values {
+			f.Values[i] *= inv
+		}
+	}
+	return s
+}
+
+// Sum returns the sum of all entries.
+func (f *Factor) Sum() float64 {
+	s := 0.0
+	for _, v := range f.Values {
+		s += v
+	}
+	return s
+}
+
+// MaxAssignment returns the assignment (parallel to Vars) with the largest
+// value, breaking ties toward the lowest flat index.
+func (f *Factor) MaxAssignment() ([]int, float64) {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range f.Values {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return f.Assignment(best), bestV
+}
+
+// Equal reports whether g has the same scope and values within tol.
+func (f *Factor) Equal(g *Factor, tol float64) bool {
+	if len(f.Vars) != len(g.Vars) || len(f.Values) != len(g.Values) {
+		return false
+	}
+	for i := range f.Vars {
+		if f.Vars[i] != g.Vars[i] || f.Card[i] != g.Card[i] {
+			return false
+		}
+	}
+	for i := range f.Values {
+		if math.Abs(f.Values[i]-g.Values[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,275 @@
+package factor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsScope(t *testing.T) {
+	f := New([]int{3, 1}, []int{2, 4})
+	if f.Vars[0] != 1 || f.Vars[1] != 3 {
+		t.Fatalf("Vars = %v, want [1 3]", f.Vars)
+	}
+	if f.Card[0] != 4 || f.Card[1] != 2 {
+		t.Fatalf("Card = %v, want [4 2]", f.Card)
+	}
+	if f.Size() != 8 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestDuplicateVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate scope var")
+		}
+	}()
+	New([]int{1, 1}, []int{2, 2})
+}
+
+func TestIndexAssignmentRoundTrip(t *testing.T) {
+	f := New([]int{0, 1, 2}, []int{2, 3, 4})
+	for idx := 0; idx < f.Size(); idx++ {
+		a := f.Assignment(idx)
+		if f.Index(a) != idx {
+			t.Fatalf("round-trip failed at %d: %v", idx, a)
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	f := New([]int{0, 1}, []int{2, 2})
+	f.Set([]int{1, 0}, 0.7)
+	if f.At([]int{1, 0}) != 0.7 {
+		t.Fatal("Set/At mismatch")
+	}
+}
+
+func TestProductDisjointScopes(t *testing.T) {
+	a := New([]int{0}, []int{2})
+	a.Values = []float64{0.4, 0.6}
+	b := New([]int{1}, []int{2})
+	b.Values = []float64{0.3, 0.7}
+	p := Product(a, b)
+	if len(p.Vars) != 2 {
+		t.Fatalf("product scope %v", p.Vars)
+	}
+	if math.Abs(p.At([]int{0, 1})-0.4*0.7) > 1e-12 {
+		t.Fatalf("product value wrong: %v", p.Values)
+	}
+	if math.Abs(p.Sum()-1) > 1e-12 {
+		t.Fatal("product of two distributions should sum to 1")
+	}
+}
+
+func TestProductSharedScope(t *testing.T) {
+	a := New([]int{0, 1}, []int{2, 2})
+	a.Values = []float64{1, 2, 3, 4} // (0,0) (0,1) (1,0) (1,1)
+	b := New([]int{1}, []int{2})
+	b.Values = []float64{10, 100}
+	p := Product(a, b)
+	want := []float64{10, 200, 30, 400}
+	for i := range want {
+		if p.Values[i] != want[i] {
+			t.Fatalf("product = %v, want %v", p.Values, want)
+		}
+	}
+}
+
+func TestProductScalar(t *testing.T) {
+	a := New([]int{2}, []int{3})
+	a.Values = []float64{1, 2, 3}
+	s := Scalar(2)
+	p := Product(a, s)
+	for i, v := range []float64{2, 4, 6} {
+		if p.Values[i] != v {
+			t.Fatalf("scalar product = %v", p.Values)
+		}
+	}
+}
+
+func TestProductCardinalityClash(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cardinality clash")
+		}
+	}()
+	a := New([]int{0}, []int{2})
+	b := New([]int{0}, []int{3})
+	Product(a, b)
+}
+
+func TestSumOut(t *testing.T) {
+	f := New([]int{0, 1}, []int{2, 2})
+	f.Values = []float64{1, 2, 3, 4}
+	g := f.SumOut(1)
+	if len(g.Vars) != 1 || g.Vars[0] != 0 {
+		t.Fatalf("SumOut scope %v", g.Vars)
+	}
+	if g.Values[0] != 3 || g.Values[1] != 7 {
+		t.Fatalf("SumOut values %v", g.Values)
+	}
+}
+
+func TestSumOutToScalar(t *testing.T) {
+	f := New([]int{5}, []int{3})
+	f.Values = []float64{1, 2, 3}
+	g := f.SumOut(5)
+	if len(g.Vars) != 0 || g.Values[0] != 6 {
+		t.Fatalf("scalar sum-out = %+v", g)
+	}
+}
+
+func TestSumOutMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New([]int{0}, []int{2}).SumOut(9)
+}
+
+func TestReduce(t *testing.T) {
+	f := New([]int{0, 1}, []int{2, 3})
+	for idx := range f.Values {
+		f.Values[idx] = float64(idx + 1)
+	}
+	g := f.Reduce(1, 2)
+	if len(g.Vars) != 1 || g.Vars[0] != 0 {
+		t.Fatalf("Reduce scope %v", g.Vars)
+	}
+	// f(0,2)=3, f(1,2)=6.
+	if g.Values[0] != 3 || g.Values[1] != 6 {
+		t.Fatalf("Reduce values %v", g.Values)
+	}
+}
+
+func TestReduceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New([]int{0}, []int{2}).Reduce(0, 5)
+}
+
+func TestNormalize(t *testing.T) {
+	f := New([]int{0}, []int{4})
+	f.Values = []float64{1, 1, 1, 1}
+	s := f.Normalize()
+	if s != 4 {
+		t.Fatalf("pre-normalization sum = %g", s)
+	}
+	for _, v := range f.Values {
+		if v != 0.25 {
+			t.Fatalf("normalized = %v", f.Values)
+		}
+	}
+	z := New([]int{0}, []int{2})
+	if z.Normalize() != 0 {
+		t.Fatal("zero factor normalize should return 0")
+	}
+}
+
+func TestMaxAssignment(t *testing.T) {
+	f := New([]int{0, 1}, []int{2, 2})
+	f.Values = []float64{0.1, 0.5, 0.3, 0.1}
+	a, v := f.MaxAssignment()
+	if v != 0.5 || a[0] != 0 || a[1] != 1 {
+		t.Fatalf("MaxAssignment = %v %g", a, v)
+	}
+}
+
+func TestUniformScalarClone(t *testing.T) {
+	u := Uniform([]int{0}, []int{3})
+	for _, v := range u.Values {
+		if v != 1 {
+			t.Fatal("Uniform should be all ones")
+		}
+	}
+	c := u.Clone()
+	c.Values[0] = 9
+	if u.Values[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+	if !u.Contains(0) || u.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New([]int{0}, []int{2})
+	a.Values = []float64{0.5, 0.5}
+	b := a.Clone()
+	if !a.Equal(b, 0) {
+		t.Fatal("clones should be equal")
+	}
+	b.Values[0] = 0.6
+	if a.Equal(b, 0.01) {
+		t.Fatal("should differ beyond tol")
+	}
+	if !a.Equal(b, 0.2) {
+		t.Fatal("should match within tol")
+	}
+}
+
+// Property: product then sum-out in either order agrees: summing v out of
+// P(a)*P(v) equals P(a) * sum(P(v)).
+func TestProductSumOutCommutes(t *testing.T) {
+	f := func(seed uint64) bool {
+		vals := func(n int) []float64 {
+			out := make([]float64, n)
+			s := seed
+			for i := range out {
+				s = s*6364136223846793005 + 1442695040888963407
+				out[i] = float64(s%1000)/1000 + 0.001
+			}
+			seed = s
+			return out
+		}
+		a := New([]int{0}, []int{3})
+		a.Values = vals(3)
+		b := New([]int{1}, []int{4})
+		b.Values = vals(4)
+		p := Product(a, b).SumOut(1)
+		bsum := 0.0
+		for _, v := range b.Values {
+			bsum += v
+		}
+		for i := range a.Values {
+			if math.Abs(p.Values[i]-a.Values[i]*bsum) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reduce then SumOut over remaining variables equals selecting the
+// slice sum directly.
+func TestReduceConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		fac := New([]int{0, 1}, []int{2, 3})
+		s := seed
+		for i := range fac.Values {
+			s = s*6364136223846793005 + 1442695040888963407
+			fac.Values[i] = float64(s % 100)
+		}
+		for v := 0; v < 3; v++ {
+			red := fac.Reduce(1, v)
+			total := red.Values[0] + red.Values[1]
+			direct := fac.At([]int{0, v}) + fac.At([]int{1, v})
+			if math.Abs(total-direct) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

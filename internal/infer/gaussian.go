@@ -1,0 +1,154 @@
+package infer
+
+import (
+	"fmt"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/linalg"
+)
+
+// JointGaussian is a multivariate normal over all nodes of a fully
+// linear-Gaussian network, indexed by node id.
+type JointGaussian struct {
+	Mean []float64
+	Cov  *linalg.Matrix
+}
+
+// BuildJointGaussian converts a network whose every CPD is linear-Gaussian
+// into its joint multivariate normal. The standard recursion over a
+// topological order is used:
+//
+//	μ_i    = b0_i + Σ_j b_ij μ_j
+//	C_ik   = Σ_j b_ij C_jk            (k already placed)
+//	C_ii   = σ_i² + Σ_j Σ_l b_ij b_il C_jl
+func BuildJointGaussian(n *bn.Network) (*JointGaussian, error) {
+	N := n.N()
+	mean := make([]float64, N)
+	cov := linalg.NewMatrix(N, N)
+	placed := make([]bool, N)
+	for _, id := range n.TopoOrder() {
+		node := n.Node(id)
+		g, ok := node.CPD.(*bn.LinearGaussian)
+		if !ok {
+			return nil, fmt.Errorf("infer: node %q has non-linear-Gaussian CPD %T", node.Name, node.CPD)
+		}
+		ps := n.Parents(id)
+		if len(ps) != len(g.Coef) {
+			return nil, fmt.Errorf("infer: node %q arity mismatch", node.Name)
+		}
+		// Mean.
+		m := g.Intercept
+		for i, p := range ps {
+			m += g.Coef[i] * mean[p]
+		}
+		mean[id] = m
+		// Cross-covariances with every already-placed node.
+		for k := 0; k < N; k++ {
+			if !placed[k] {
+				continue
+			}
+			c := 0.0
+			for i, p := range ps {
+				c += g.Coef[i] * cov.At(p, k)
+			}
+			cov.Set(id, k, c)
+			cov.Set(k, id, c)
+		}
+		// Variance.
+		v := g.Sigma * g.Sigma
+		for i, p := range ps {
+			for j, q := range ps {
+				v += g.Coef[i] * g.Coef[j] * cov.At(p, q)
+			}
+		}
+		cov.Set(id, id, v)
+		placed[id] = true
+	}
+	return &JointGaussian{Mean: mean, Cov: cov}, nil
+}
+
+// Condition returns the conditional distribution of the `targets` given
+// exact observations of the `evidence` nodes. Standard Gaussian
+// conditioning:
+//
+//	μ_T|E = μ_T + Σ_TE Σ_EE⁻¹ (e - μ_E)
+//	Σ_T|E = Σ_TT − Σ_TE Σ_EE⁻¹ Σ_ET
+func (jg *JointGaussian) Condition(targets []int, evidence map[int]float64) (mean []float64, cov *linalg.Matrix, err error) {
+	evIDs := make([]int, 0, len(evidence))
+	for id := range evidence {
+		evIDs = append(evIDs, id)
+	}
+	// Deterministic order.
+	for i := 0; i < len(evIDs); i++ {
+		for j := i + 1; j < len(evIDs); j++ {
+			if evIDs[j] < evIDs[i] {
+				evIDs[i], evIDs[j] = evIDs[j], evIDs[i]
+			}
+		}
+	}
+	for _, t := range targets {
+		if _, isEv := evidence[t]; isEv {
+			return nil, nil, fmt.Errorf("infer: target %d is also evidence", t)
+		}
+	}
+	if len(evIDs) == 0 {
+		mean = make([]float64, len(targets))
+		for i, t := range targets {
+			mean[i] = jg.Mean[t]
+		}
+		return mean, jg.Cov.Submatrix(targets, targets), nil
+	}
+	sigmaEE := jg.Cov.Submatrix(evIDs, evIDs)
+	// Regularize: deterministic relations can make Σ_EE near-singular.
+	for i := 0; i < sigmaEE.Rows; i++ {
+		sigmaEE.Add(i, i, 1e-9)
+	}
+	sigmaTE := jg.Cov.Submatrix(targets, evIDs)
+	diff := make([]float64, len(evIDs))
+	for i, id := range evIDs {
+		diff[i] = evidence[id] - jg.Mean[id]
+	}
+	// Solve Σ_EE w = diff, then μ_T|E = μ_T + Σ_TE w.
+	w, err := linalg.SolveSPD(sigmaEE, diff)
+	if err != nil {
+		return nil, nil, fmt.Errorf("infer: conditioning failed: %w", err)
+	}
+	mean = make([]float64, len(targets))
+	for i, t := range targets {
+		mean[i] = jg.Mean[t] + linalg.Dot(sigmaTE.Row(i), w)
+	}
+	// Σ_T|E = Σ_TT − Σ_TE Σ_EE⁻¹ Σ_ET, via solves per column.
+	inv, err := linalg.InverseSPD(sigmaEE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("infer: conditioning failed: %w", err)
+	}
+	tmp, err := linalg.Mul(sigmaTE, inv)
+	if err != nil {
+		return nil, nil, err
+	}
+	corr, err := linalg.Mul(tmp, sigmaTE.T())
+	if err != nil {
+		return nil, nil, err
+	}
+	cov, err = linalg.SubMat(jg.Cov.Submatrix(targets, targets), corr)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Clamp tiny negative variances from roundoff.
+	for i := 0; i < cov.Rows; i++ {
+		if cov.At(i, i) < 0 {
+			cov.Set(i, i, 0)
+		}
+	}
+	return mean, cov, nil
+}
+
+// ConditionScalar is Condition for a single target node, returning its
+// posterior mean and variance.
+func (jg *JointGaussian) ConditionScalar(target int, evidence map[int]float64) (mu, variance float64, err error) {
+	m, c, err := jg.Condition([]int{target}, evidence)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m[0], c.At(0, 0), nil
+}

@@ -1,0 +1,145 @@
+package infer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/stats"
+)
+
+// vStructure builds a→c←b with known parameters.
+func vStructure(t *testing.T) *bn.Network {
+	t.Helper()
+	n := bn.NewNetwork()
+	a, _ := n.AddContinuousNode("a")
+	b, _ := n.AddContinuousNode("b")
+	c, _ := n.AddContinuousNode("c")
+	_ = n.AddEdge(a.ID, c.ID)
+	_ = n.AddEdge(b.ID, c.ID)
+	_ = n.SetCPD(a.ID, bn.NewLinearGaussian(0, nil, 1))
+	_ = n.SetCPD(b.ID, bn.NewLinearGaussian(0, nil, 2))
+	_ = n.SetCPD(c.ID, bn.NewLinearGaussian(1, []float64{1, 0.5}, 0.3))
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestJointGaussianVStructure(t *testing.T) {
+	n := vStructure(t)
+	jg, err := BuildJointGaussian(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Var(c) = 1·1 + 0.25·4 + 0.09 = 2.09; Cov(a,c) = 1; Cov(b,c) = 2.
+	if math.Abs(jg.Cov.At(2, 2)-2.09) > 1e-12 {
+		t.Fatalf("Var(c) = %g", jg.Cov.At(2, 2))
+	}
+	if math.Abs(jg.Cov.At(0, 2)-1) > 1e-12 || math.Abs(jg.Cov.At(1, 2)-2) > 1e-12 {
+		t.Fatalf("cross-covariances wrong:\n%v", jg.Cov)
+	}
+	// Marginal independence of the parents.
+	if jg.Cov.At(0, 1) != 0 {
+		t.Fatal("parents should be marginally independent")
+	}
+}
+
+func TestConditionMultiTarget(t *testing.T) {
+	n := vStructure(t)
+	jg, _ := BuildJointGaussian(n)
+	// Condition (a, b) jointly on c: explaining-away induces negative
+	// correlation between the parents.
+	mean, cov, err := jg.Condition([]int{0, 1}, map[int]float64{2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mean) != 2 || cov.Rows != 2 {
+		t.Fatal("shape wrong")
+	}
+	if cov.At(0, 1) >= 0 {
+		t.Fatalf("conditioning on a common child should anti-correlate parents, got cov %g", cov.At(0, 1))
+	}
+	// Posterior means must move toward explaining the high c.
+	if mean[0] <= 0 || mean[1] <= 0 {
+		t.Fatalf("posterior means %v should rise above priors (0,0)", mean)
+	}
+	// Posterior variances shrink.
+	if cov.At(0, 0) >= 1 || cov.At(1, 1) >= 4 {
+		t.Fatalf("posterior variances should contract: %g %g", cov.At(0, 0), cov.At(1, 1))
+	}
+}
+
+func TestConditionMatchesSampling(t *testing.T) {
+	// Monte-Carlo check of the closed form on the v-structure.
+	n := vStructure(t)
+	jg, _ := BuildJointGaussian(n)
+	muExact, vExact, err := jg.ConditionScalar(0, map[int]float64{2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	ws, err := LikelihoodWeighting(n, 0, ContinuousEvidence{2: 4}, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws.Mean()-muExact) > 0.05 {
+		t.Fatalf("LW mean %g vs exact %g", ws.Mean(), muExact)
+	}
+	if math.Abs(ws.Variance()-vExact) > 0.1 {
+		t.Fatalf("LW var %g vs exact %g", ws.Variance(), vExact)
+	}
+}
+
+// Property: conditioning never increases any target's variance, for random
+// linear-Gaussian chains and random single-node evidence.
+func TestConditioningContractsVarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nVars := 3 + rng.Intn(4)
+		n := bn.NewNetwork()
+		for i := 0; i < nVars; i++ {
+			if _, err := n.AddContinuousNode(string(rune('a' + i))); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < nVars; i++ {
+			for j := i + 1; j < nVars; j++ {
+				if rng.Bernoulli(0.5) {
+					_ = n.AddEdge(i, j)
+				}
+			}
+		}
+		for v := 0; v < nVars; v++ {
+			ps := n.Parents(v)
+			coef := make([]float64, len(ps))
+			for k := range coef {
+				coef[k] = rng.Normal(0.5, 0.5)
+			}
+			_ = n.SetCPD(v, bn.NewLinearGaussian(rng.Normal(0, 1), coef, 0.2+rng.Float64()))
+		}
+		jg, err := BuildJointGaussian(n)
+		if err != nil {
+			return false
+		}
+		evNode := rng.Intn(nVars)
+		for target := 0; target < nVars; target++ {
+			if target == evNode {
+				continue
+			}
+			_, vPost, err := jg.ConditionScalar(target, map[int]float64{evNode: rng.Normal(0, 2)})
+			if err != nil {
+				return false
+			}
+			vPrior := jg.Cov.At(target, target)
+			if vPost > vPrior+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package infer
+
+import (
+	"fmt"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/factor"
+	"kertbn/internal/stats"
+)
+
+// GibbsOptions configures the Gibbs sampler.
+type GibbsOptions struct {
+	// Burnin sweeps are discarded before collection (default 200).
+	Burnin int
+	// Samples is the number of collected sweeps (default 2000).
+	Samples int
+	// Thin keeps every Thin-th sweep (default 1).
+	Thin int
+}
+
+// DefaultGibbsOptions returns settings adequate for small networks.
+func DefaultGibbsOptions() GibbsOptions {
+	return GibbsOptions{Burnin: 200, Samples: 2000, Thin: 1}
+}
+
+// Gibbs estimates the posterior marginal P(query | evidence) for a fully
+// discrete network by Gibbs sampling over the hidden variables — the
+// approximate fallback when a network's treewidth makes exact variable
+// elimination or junction-tree propagation too expensive.
+func Gibbs(n *bn.Network, query int, ev DiscreteEvidence, opts GibbsOptions, rng *stats.RNG) (*factor.Factor, error) {
+	if query < 0 || query >= n.N() {
+		return nil, fmt.Errorf("infer: query node %d out of range", query)
+	}
+	if _, isEv := ev[query]; isEv {
+		return nil, fmt.Errorf("infer: query node %d is also evidence", query)
+	}
+	if opts.Burnin <= 0 {
+		opts.Burnin = 200
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = 2000
+	}
+	if opts.Thin <= 0 {
+		opts.Thin = 1
+	}
+	N := n.N()
+	cards := make([]int, N)
+	tabs := make([]*bn.Tabular, N)
+	for v := 0; v < N; v++ {
+		node := n.Node(v)
+		tab, ok := node.CPD.(*bn.Tabular)
+		if !ok {
+			return nil, fmt.Errorf("infer: Gibbs needs a fully discrete network; node %q has %T", node.Name, node.CPD)
+		}
+		tabs[v] = tab
+		cards[v] = node.Card
+	}
+	// Initialize: evidence clamped, hidden states drawn by forward sampling
+	// (guarantees a support state when CPTs contain zeros on ancestors).
+	state := make([]float64, N)
+	for _, v := range n.TopoOrder() {
+		if s, isEv := ev[v]; isEv {
+			state[v] = float64(s)
+			continue
+		}
+		state[v] = tabs[v].Sample(rng, n.ParentValues(v, state))
+	}
+	var hidden []int
+	for v := 0; v < N; v++ {
+		if _, isEv := ev[v]; !isEv {
+			hidden = append(hidden, v)
+		}
+	}
+	children := make([][]int, N)
+	for v := 0; v < N; v++ {
+		children[v] = n.Children(v)
+	}
+	counts := make([]float64, cards[query])
+	weights := make([]float64, 0, 8)
+	sweep := func() {
+		for _, v := range hidden {
+			weights = weights[:0]
+			for s := 0; s < cards[v]; s++ {
+				state[v] = float64(s)
+				w := prob(n, tabs[v], v, state)
+				for _, c := range children[v] {
+					w *= prob(n, tabs[c], c, state)
+				}
+				weights = append(weights, w)
+			}
+			total := 0.0
+			for _, w := range weights {
+				total += w
+			}
+			if total <= 0 {
+				// Stuck in a zero-probability corner; restart the variable
+				// uniformly to keep the chain moving.
+				state[v] = float64(rng.Intn(cards[v]))
+				continue
+			}
+			state[v] = float64(rng.Categorical(weights))
+		}
+	}
+	for i := 0; i < opts.Burnin; i++ {
+		sweep()
+	}
+	for i := 0; i < opts.Samples; i++ {
+		for t := 0; t < opts.Thin; t++ {
+			sweep()
+		}
+		counts[int(state[query])]++
+	}
+	out := factor.New([]int{query}, []int{cards[query]})
+	copy(out.Values, counts)
+	if out.Normalize() == 0 {
+		return nil, fmt.Errorf("infer: Gibbs collected no mass")
+	}
+	return out, nil
+}
+
+// prob evaluates P(node = state[node] | parents from state).
+func prob(n *bn.Network, tab *bn.Tabular, v int, state []float64) float64 {
+	ps := n.Parents(v)
+	pa := make([]int, len(ps))
+	for i, p := range ps {
+		pa[i] = int(state[p])
+	}
+	return tab.Prob(int(state[v]), pa)
+}

@@ -1,0 +1,67 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/stats"
+)
+
+func TestGibbsMatchesVEOnSprinkler(t *testing.T) {
+	n := sprinkler(t)
+	rng := stats.NewRNG(1)
+	cases := []DiscreteEvidence{
+		nil,
+		{2: 1},
+		{1: 1, 2: 1},
+	}
+	// The sprinkler net's zero CPT entries make the chain switch modes
+	// rarely (~1% of sweeps), so a long thinned run is needed.
+	opts := GibbsOptions{Burnin: 2000, Samples: 60000, Thin: 3}
+	for _, ev := range cases {
+		approx, err := Gibbs(n, 0, ev, opts, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Posterior(n, 0, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range exact.Values {
+			if math.Abs(approx.Values[s]-exact.Values[s]) > 0.04 {
+				t.Fatalf("ev %v: Gibbs %v vs exact %v", ev, approx.Values, exact.Values)
+			}
+		}
+	}
+}
+
+func TestGibbsValidation(t *testing.T) {
+	n := sprinkler(t)
+	rng := stats.NewRNG(2)
+	if _, err := Gibbs(n, 99, nil, DefaultGibbsOptions(), rng); err == nil {
+		t.Fatal("bad query should error")
+	}
+	if _, err := Gibbs(n, 0, DiscreteEvidence{0: 1}, DefaultGibbsOptions(), rng); err == nil {
+		t.Fatal("query==evidence should error")
+	}
+	c := bn.NewNetwork()
+	a, _ := c.AddContinuousNode("a")
+	_ = c.SetCPD(a.ID, bn.NewLinearGaussian(0, nil, 1))
+	if _, err := Gibbs(c, 0, nil, DefaultGibbsOptions(), rng); err == nil {
+		t.Fatal("continuous network should error")
+	}
+}
+
+func TestGibbsDefaults(t *testing.T) {
+	n := sprinkler(t)
+	rng := stats.NewRNG(3)
+	// Zero-valued options fall back to defaults.
+	f, err := Gibbs(n, 1, nil, GibbsOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Sum()-1) > 1e-9 {
+		t.Fatal("Gibbs marginal not normalized")
+	}
+}

@@ -1,0 +1,302 @@
+package infer
+
+import (
+	"fmt"
+	"sort"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/factor"
+	"kertbn/internal/graph"
+)
+
+// JunctionTree is a compiled clique tree for a fully discrete network.
+// Compiling once and propagating beliefs yields the posterior marginals of
+// *every* variable in one pass — the "inexpensive to use" probability
+// assessment the paper's future-work section calls for, versus one
+// variable-elimination run per query node.
+type JunctionTree struct {
+	net     *bn.Network
+	cliques [][]int // sorted variable ids per clique
+	// edges[i] lists (neighbor clique, sepset variables).
+	edges [][]jtEdge
+	// assigned[i] holds the indices of CPD factors assigned to clique i.
+	assigned [][]int
+	factors  []*factor.Factor
+	card     []int
+}
+
+type jtEdge struct {
+	to     int
+	sepset []int
+}
+
+// CompileJunctionTree builds the clique tree: moralize, triangulate with
+// min-fill (collecting elimination cliques), connect cliques by maximum
+// sepset weight (Prim over the clique graph), and assign each CPD to the
+// first clique containing its family.
+func CompileJunctionTree(n *bn.Network) (*JunctionTree, error) {
+	factors, err := networkFactors(n)
+	if err != nil {
+		return nil, err
+	}
+	N := n.N()
+	card := make([]int, N)
+	for v := 0; v < N; v++ {
+		card[v] = n.Node(v).Card
+	}
+	// Triangulate: run min-fill elimination, recording the clique formed at
+	// each elimination (node + its current neighbors).
+	moral := graph.Moralize(n.DAG())
+	work := moral.Clone()
+	all := make([]int, N)
+	for i := range all {
+		all[i] = i
+	}
+	order := graph.MinFillOrdering(moral, all)
+	var rawCliques [][]int
+	for _, v := range order {
+		nb := work.Neighbors(v)
+		clique := append([]int{v}, nb...)
+		sort.Ints(clique)
+		rawCliques = append(rawCliques, clique)
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				work.AddEdge(nb[i], nb[j])
+			}
+		}
+		for _, u := range nb {
+			work.RemoveEdge(v, u)
+		}
+	}
+	// Drop non-maximal cliques.
+	var cliques [][]int
+	for i, c := range rawCliques {
+		maximal := true
+		for j, d := range rawCliques {
+			if i != j && subset(c, d) && (len(c) < len(d) || j < i) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			cliques = append(cliques, c)
+		}
+	}
+	if len(cliques) == 0 {
+		return nil, fmt.Errorf("infer: no cliques (empty network?)")
+	}
+	// Maximum-weight spanning tree over clique intersections (Prim).
+	nc := len(cliques)
+	inTree := make([]bool, nc)
+	inTree[0] = true
+	edges := make([][]jtEdge, nc)
+	for added := 1; added < nc; added++ {
+		bestI, bestJ, bestW := -1, -1, -1
+		for i := 0; i < nc; i++ {
+			if !inTree[i] {
+				continue
+			}
+			for j := 0; j < nc; j++ {
+				if inTree[j] {
+					continue
+				}
+				w := len(intersect(cliques[i], cliques[j]))
+				if w > bestW {
+					bestI, bestJ, bestW = i, j, w
+				}
+			}
+		}
+		if bestJ < 0 {
+			return nil, fmt.Errorf("infer: clique graph disconnected")
+		}
+		sep := intersect(cliques[bestI], cliques[bestJ])
+		edges[bestI] = append(edges[bestI], jtEdge{to: bestJ, sepset: sep})
+		edges[bestJ] = append(edges[bestJ], jtEdge{to: bestI, sepset: sep})
+		inTree[bestJ] = true
+	}
+	// Assign every CPD factor to a clique covering its scope.
+	assigned := make([][]int, nc)
+	for fi, f := range factors {
+		placed := false
+		for ci, c := range cliques {
+			if subset(f.Vars, c) {
+				assigned[ci] = append(assigned[ci], fi)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("infer: no clique covers factor scope %v", f.Vars)
+		}
+	}
+	return &JunctionTree{
+		net:      n,
+		cliques:  cliques,
+		edges:    edges,
+		assigned: assigned,
+		factors:  factors,
+		card:     card,
+	}, nil
+}
+
+// NumCliques returns the clique count.
+func (jt *JunctionTree) NumCliques() int { return len(jt.cliques) }
+
+// Cliques returns copies of the clique variable sets.
+func (jt *JunctionTree) Cliques() [][]int {
+	out := make([][]int, len(jt.cliques))
+	for i, c := range jt.cliques {
+		out[i] = append([]int(nil), c...)
+	}
+	return out
+}
+
+// MaxCliqueSize returns the largest clique cardinality product (the
+// treewidth-driven cost of propagation).
+func (jt *JunctionTree) MaxCliqueSize() int {
+	best := 0
+	for _, c := range jt.cliques {
+		size := 1
+		for _, v := range c {
+			size *= jt.card[v]
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// AllMarginals runs one full belief propagation (collect + distribute from
+// clique 0) under the given evidence and returns the posterior marginal of
+// every non-evidence variable, indexed by node id (evidence nodes map to a
+// point-mass factor).
+func (jt *JunctionTree) AllMarginals(ev DiscreteEvidence) ([]*factor.Factor, error) {
+	// Initialize clique potentials: product of assigned factors reduced by
+	// evidence; keep evidence variables out of scopes entirely.
+	potentials := make([]*factor.Factor, len(jt.cliques))
+	for ci := range jt.cliques {
+		pot := factor.Scalar(1)
+		for _, fi := range jt.assigned[ci] {
+			f := jt.factors[fi]
+			for v, val := range ev {
+				if f.Contains(v) {
+					f = f.Reduce(v, val)
+				}
+			}
+			pot = factor.Product(pot, f)
+		}
+		potentials[ci] = pot
+	}
+	// Messages keyed by (from, to).
+	type key struct{ from, to int }
+	messages := map[key]*factor.Factor{}
+
+	// computeMessage produces the message from→to given messages from all
+	// of from's other neighbors.
+	var computeMessage func(from, to int) *factor.Factor
+	computeMessage = func(from, to int) *factor.Factor {
+		if m, ok := messages[key{from, to}]; ok {
+			return m
+		}
+		prod := potentials[from]
+		var sep []int
+		for _, e := range jt.edges[from] {
+			if e.to == to {
+				sep = e.sepset
+				continue
+			}
+			prod = factor.Product(prod, computeMessage(e.to, from))
+		}
+		// Marginalize down to the sepset. Evidence variables were reduced
+		// out of every potential up front, so only hidden variables remain.
+		msg := prod
+		for changed := true; changed; {
+			changed = false
+			for _, v := range msg.Vars {
+				if !containsSorted(sep, v) {
+					msg = msg.SumOut(v)
+					changed = true
+					break
+				}
+			}
+		}
+		messages[key{from, to}] = msg
+		return msg
+	}
+
+	// Clique beliefs: potential × all incoming messages.
+	beliefs := make([]*factor.Factor, len(jt.cliques))
+	for ci := range jt.cliques {
+		b := potentials[ci]
+		for _, e := range jt.edges[ci] {
+			b = factor.Product(b, computeMessage(e.to, ci))
+		}
+		beliefs[ci] = b
+	}
+
+	// Extract per-variable marginals from the smallest clique containing
+	// each variable.
+	out := make([]*factor.Factor, jt.net.N())
+	for v := 0; v < jt.net.N(); v++ {
+		if val, isEv := ev[v]; isEv {
+			point := factor.New([]int{v}, []int{jt.card[v]})
+			point.Values[val] = 1
+			out[v] = point
+			continue
+		}
+		bestCi, bestSize := -1, 0
+		for ci, c := range jt.cliques {
+			if !containsSorted(c, v) {
+				continue
+			}
+			size := beliefs[ci].Size()
+			if bestCi < 0 || size < bestSize {
+				bestCi, bestSize = ci, size
+			}
+		}
+		if bestCi < 0 {
+			return nil, fmt.Errorf("infer: variable %d in no clique", v)
+		}
+		m := beliefs[bestCi].Clone()
+		for changed := true; changed; {
+			changed = false
+			for _, u := range m.Vars {
+				if u != v {
+					m = m.SumOut(u)
+					changed = true
+					break
+				}
+			}
+		}
+		if m.Normalize() == 0 {
+			return nil, fmt.Errorf("infer: evidence has zero probability")
+		}
+		out[v] = m
+	}
+	return out, nil
+}
+
+func subset(a, b []int) bool {
+	for _, v := range a {
+		if !containsSorted(b, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsSorted(xs []int, v int) bool {
+	i := sort.SearchInts(xs, v)
+	return i < len(xs) && xs[i] == v
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	for _, v := range a {
+		if containsSorted(b, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package infer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/stats"
+)
+
+func TestJunctionTreeCompile(t *testing.T) {
+	n := sprinkler(t)
+	jt, err := CompileJunctionTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.NumCliques() == 0 {
+		t.Fatal("no cliques")
+	}
+	if jt.MaxCliqueSize() < 4 {
+		t.Fatalf("max clique size %d too small for the sprinkler net", jt.MaxCliqueSize())
+	}
+	// Every variable appears in some clique.
+	seen := map[int]bool{}
+	for _, c := range jt.Cliques() {
+		for _, v := range c {
+			seen[v] = true
+		}
+	}
+	if len(seen) != n.N() {
+		t.Fatalf("cliques cover %d of %d variables", len(seen), n.N())
+	}
+}
+
+func TestJunctionTreeMatchesVE(t *testing.T) {
+	n := sprinkler(t)
+	jt, err := CompileJunctionTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []DiscreteEvidence{
+		nil,
+		{2: 1},
+		{0: 1},
+		{1: 1, 2: 1},
+	}
+	for _, ev := range cases {
+		marg, err := jt.AllMarginals(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n.N(); v++ {
+			if _, isEv := ev[v]; isEv {
+				// Point mass on the evidence state.
+				if marg[v].Values[ev[v]] != 1 {
+					t.Fatalf("evidence marginal not a point mass: %v", marg[v].Values)
+				}
+				continue
+			}
+			want, err := Posterior(n, v, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range want.Values {
+				if math.Abs(marg[v].Values[s]-want.Values[s]) > 1e-9 {
+					t.Fatalf("ev %v var %d: JT %v vs VE %v", ev, v, marg[v].Values, want.Values)
+				}
+			}
+		}
+	}
+}
+
+func TestJunctionTreeImpossibleEvidence(t *testing.T) {
+	n := bn.NewNetwork()
+	a, _ := n.AddDiscreteNode("a", 2)
+	b, _ := n.AddDiscreteNode("b", 2)
+	_ = n.AddEdge(a.ID, b.ID)
+	ta := bn.NewTabular(2, nil)
+	_ = ta.SetRow(0, []float64{1, 0})
+	_ = n.SetCPD(a.ID, ta)
+	tb := bn.NewTabular(2, []int{2})
+	_ = tb.SetRow(0, []float64{1, 0})
+	_ = tb.SetRow(1, []float64{0, 1})
+	_ = n.SetCPD(b.ID, tb)
+	jt, err := CompileJunctionTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jt.AllMarginals(DiscreteEvidence{b.ID: 1}); err == nil {
+		t.Fatal("zero-probability evidence should error")
+	}
+}
+
+func TestJunctionTreeRejectsContinuous(t *testing.T) {
+	n := bn.NewNetwork()
+	a, _ := n.AddContinuousNode("a")
+	_ = n.SetCPD(a.ID, bn.NewLinearGaussian(0, nil, 1))
+	if _, err := CompileJunctionTree(n); err == nil {
+		t.Fatal("continuous network should be rejected")
+	}
+}
+
+// Property: on random discrete networks, JT marginals equal VE posteriors
+// for every variable under random evidence.
+func TestJunctionTreeMatchesVEProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nVars := 3 + rng.Intn(4)
+		n := bn.NewNetwork()
+		for i := 0; i < nVars; i++ {
+			card := 2 + rng.Intn(2)
+			if _, err := n.AddDiscreteNode(string(rune('a'+i)), card); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < nVars; i++ {
+			for j := i + 1; j < nVars; j++ {
+				if rng.Bernoulli(0.4) {
+					_ = n.AddEdge(i, j)
+				}
+			}
+		}
+		for v := 0; v < nVars; v++ {
+			node := n.Node(v)
+			ps := n.Parents(v)
+			cards := make([]int, len(ps))
+			for k, p := range ps {
+				cards[k] = n.Node(p).Card
+			}
+			tab := bn.NewTabular(node.Card, cards)
+			for cfg := 0; cfg < tab.Rows(); cfg++ {
+				row := make([]float64, node.Card)
+				for s := range row {
+					row[s] = 0.05 + rng.Float64()
+				}
+				if err := tab.SetRow(cfg, row); err != nil {
+					return false
+				}
+			}
+			if err := n.SetCPD(v, tab); err != nil {
+				return false
+			}
+		}
+		ev := DiscreteEvidence{}
+		if rng.Bernoulli(0.6) {
+			v := rng.Intn(nVars)
+			ev[v] = rng.Intn(n.Node(v).Card)
+		}
+		jt, err := CompileJunctionTree(n)
+		if err != nil {
+			return false
+		}
+		marg, err := jt.AllMarginals(ev)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < nVars; v++ {
+			if _, isEv := ev[v]; isEv {
+				continue
+			}
+			want, err := Posterior(n, v, ev)
+			if err != nil {
+				return false
+			}
+			for s := range want.Values {
+				if math.Abs(marg[v].Values[s]-want.Values[s]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package infer implements the three inference paths the KERT-BN system
+// uses:
+//
+//   - exact variable elimination for fully discrete networks (the path the
+//     paper's Section-5 applications use),
+//   - exact joint-Gaussian construction and conditioning for fully
+//     linear-Gaussian networks,
+//   - likelihood weighting for networks containing nonlinear deterministic
+//     CPDs (the continuous KERT-BN's D = X1+X2+max(...) node).
+package infer
+
+import (
+	"fmt"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/factor"
+	"kertbn/internal/graph"
+)
+
+// DiscreteEvidence maps node id → observed state.
+type DiscreteEvidence map[int]int
+
+// Posterior computes the exact posterior marginal P(query | evidence) for a
+// fully discrete network using variable elimination with a min-fill
+// ordering. The returned factor has the query variable as its only scope
+// variable and is normalized.
+func Posterior(n *bn.Network, query int, ev DiscreteEvidence) (*factor.Factor, error) {
+	if query < 0 || query >= n.N() {
+		return nil, fmt.Errorf("infer: query node %d out of range", query)
+	}
+	if _, isEv := ev[query]; isEv {
+		return nil, fmt.Errorf("infer: query node %d is also evidence", query)
+	}
+	factors, err := networkFactors(n)
+	if err != nil {
+		return nil, err
+	}
+	// Apply evidence.
+	for v, val := range ev {
+		node := n.Node(v)
+		if node.Kind != bn.Discrete {
+			return nil, fmt.Errorf("infer: evidence on non-discrete node %q", node.Name)
+		}
+		if val < 0 || val >= node.Card {
+			return nil, fmt.Errorf("infer: evidence state %d out of range for %q (card %d)", val, node.Name, node.Card)
+		}
+		for i, f := range factors {
+			if f.Contains(v) {
+				factors[i] = f.Reduce(v, val)
+			}
+		}
+	}
+	// Eliminate everything except query and evidence.
+	var elim []int
+	for v := 0; v < n.N(); v++ {
+		if v == query {
+			continue
+		}
+		if _, isEv := ev[v]; isEv {
+			continue
+		}
+		elim = append(elim, v)
+	}
+	order := graph.MinFillOrdering(graph.Moralize(n.DAG()), elim)
+	for _, v := range order {
+		factors = eliminate(factors, v)
+	}
+	// Multiply what remains.
+	result := factor.Scalar(1)
+	for _, f := range factors {
+		result = factor.Product(result, f)
+	}
+	if len(result.Vars) != 1 || result.Vars[0] != query {
+		return nil, fmt.Errorf("infer: internal error: residual scope %v, want [%d]", result.Vars, query)
+	}
+	if result.Normalize() == 0 {
+		return nil, fmt.Errorf("infer: evidence has zero probability")
+	}
+	return result, nil
+}
+
+// JointProbability returns P(evidence) for a fully discrete network by
+// eliminating all non-evidence variables.
+func JointProbability(n *bn.Network, ev DiscreteEvidence) (float64, error) {
+	factors, err := networkFactors(n)
+	if err != nil {
+		return 0, err
+	}
+	for v, val := range ev {
+		for i, f := range factors {
+			if f.Contains(v) {
+				factors[i] = f.Reduce(v, val)
+			}
+		}
+	}
+	var elim []int
+	for v := 0; v < n.N(); v++ {
+		if _, isEv := ev[v]; !isEv {
+			elim = append(elim, v)
+		}
+	}
+	order := graph.MinFillOrdering(graph.Moralize(n.DAG()), elim)
+	for _, v := range order {
+		factors = eliminate(factors, v)
+	}
+	p := 1.0
+	for _, f := range factors {
+		p *= f.Sum()
+	}
+	return p, nil
+}
+
+// networkFactors renders every node's tabular CPD as a factor.
+func networkFactors(n *bn.Network) ([]*factor.Factor, error) {
+	out := make([]*factor.Factor, 0, n.N())
+	for v := 0; v < n.N(); v++ {
+		node := n.Node(v)
+		tab, ok := node.CPD.(*bn.Tabular)
+		if !ok {
+			return nil, fmt.Errorf("infer: node %q has non-tabular CPD %T; variable elimination needs a fully discrete network", node.Name, node.CPD)
+		}
+		out = append(out, tab.Factor(v, n.Parents(v)))
+	}
+	return out, nil
+}
+
+// eliminate sums variable v out of the product of all factors mentioning it.
+func eliminate(factors []*factor.Factor, v int) []*factor.Factor {
+	prod := factor.Scalar(1)
+	rest := factors[:0]
+	touched := false
+	for _, f := range factors {
+		if f.Contains(v) {
+			prod = factor.Product(prod, f)
+			touched = true
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	if !touched {
+		return factors
+	}
+	return append(rest, prod.SumOut(v))
+}

@@ -1,0 +1,196 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/infer"
+)
+
+// EMOptions configures expectation-maximization parameter learning.
+type EMOptions struct {
+	// MaxIterations bounds the EM loop (default 50).
+	MaxIterations int
+	// Tolerance stops iteration when the observed-data log-likelihood
+	// improves by less than this (default 1e-4).
+	Tolerance float64
+	// DirichletAlpha is the pseudo-count prior in the M-step (default 1).
+	DirichletAlpha float64
+}
+
+// DefaultEMOptions returns the standard settings.
+func DefaultEMOptions() EMOptions {
+	return EMOptions{MaxIterations: 50, Tolerance: 1e-4, DirichletAlpha: 1}
+}
+
+// EMResult reports the learning trajectory.
+type EMResult struct {
+	Iterations int
+	// LogLik holds the observed-data log-likelihood after each iteration.
+	LogLik []float64
+	Cost   Cost
+}
+
+// Missing marks an unobserved cell in EM training rows.
+var Missing = math.NaN()
+
+// EM fits the tabular CPDs of a fully discrete network from data with
+// missing values (math.NaN entries) by expectation-maximization: the
+// E-step computes expected family counts using exact inference given each
+// row's observed cells, the M-step re-estimates every CPT from those
+// counts. This is the "full blown fill-in method" the paper's dComp
+// deliberately avoids at query time — implemented here as the offline
+// comparison point (and as a useful tool in its own right when training
+// windows have gaps).
+//
+// The network must enter with valid initial CPDs (e.g. uniform via
+// bn.NewTabular, or fit on the complete rows); EM refines them in place.
+func EM(net *bn.Network, rows [][]float64, opts EMOptions) (*EMResult, error) {
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 50
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-4
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("learn: EM with no rows")
+	}
+	N := net.N()
+	for v := 0; v < N; v++ {
+		node := net.Node(v)
+		if node.Kind != bn.Discrete {
+			return nil, fmt.Errorf("learn: EM requires a fully discrete network; node %q is continuous", node.Name)
+		}
+		if _, ok := node.CPD.(*bn.Tabular); !ok {
+			return nil, fmt.Errorf("learn: EM needs initial tabular CPDs; node %q has %T", node.Name, node.CPD)
+		}
+	}
+	res := &EMResult{}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		counts := make([][]float64, N)
+		for v := 0; v < N; v++ {
+			tab := net.Node(v).CPD.(*bn.Tabular)
+			counts[v] = make([]float64, len(tab.P))
+			for i := range counts[v] {
+				counts[v][i] = opts.DirichletAlpha
+			}
+		}
+		totalLL := 0.0
+		for ri, row := range rows {
+			if len(row) != N {
+				return nil, fmt.Errorf("learn: EM row %d has %d cells, want %d", ri, len(row), N)
+			}
+			ev := infer.DiscreteEvidence{}
+			for v, x := range row {
+				if !math.IsNaN(x) {
+					state := int(x)
+					if state < 0 || state >= net.Node(v).Card {
+						return nil, fmt.Errorf("learn: EM row %d node %d state %d out of range", ri, v, state)
+					}
+					ev[v] = state
+				}
+			}
+			pEv, err := infer.JointProbability(net, ev)
+			if err != nil {
+				return nil, err
+			}
+			if pEv <= 0 {
+				return nil, fmt.Errorf("learn: EM row %d has zero probability under the current model", ri)
+			}
+			totalLL += math.Log(pEv)
+			res.Cost.DataOps += int64(N)
+			// Accumulate expected counts per family.
+			for v := 0; v < N; v++ {
+				if err := accumulateFamily(net, v, ev, counts[v]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// M-step.
+		for v := 0; v < N; v++ {
+			tab := net.Node(v).CPD.(*bn.Tabular)
+			card := tab.Card
+			for cfg := 0; cfg < tab.Rows(); cfg++ {
+				if err := tab.SetRow(cfg, counts[v][cfg*card:(cfg+1)*card]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Iterations = iter + 1
+		res.LogLik = append(res.LogLik, totalLL)
+		if totalLL-prevLL < opts.Tolerance && iter > 0 {
+			break
+		}
+		prevLL = totalLL
+	}
+	return res, nil
+}
+
+// accumulateFamily adds the expected count of every (parent config, state)
+// assignment of node v's family given the row evidence.
+func accumulateFamily(net *bn.Network, v int, ev infer.DiscreteEvidence, counts []float64) error {
+	family := append(net.Parents(v), v)
+	var hidden []int
+	for _, u := range family {
+		if _, isEv := ev[u]; !isEv {
+			hidden = append(hidden, u)
+		}
+	}
+	tab := net.Node(v).CPD.(*bn.Tabular)
+	parents := net.Parents(v)
+
+	record := func(assign map[int]int, w float64) {
+		pa := make([]int, len(parents))
+		for i, p := range parents {
+			pa[i] = assign[p]
+		}
+		counts[tab.ConfigIndex(pa)*tab.Card+assign[v]] += w
+	}
+
+	base := map[int]int{}
+	for _, u := range family {
+		if s, isEv := ev[u]; isEv {
+			base[u] = s
+		}
+	}
+	if len(hidden) == 0 {
+		record(base, 1)
+		return nil
+	}
+	// Joint posterior over the hidden family members via chained
+	// conditioning: P(h1..hk | ev) = Π P(hi | ev, h1..h(i-1)).
+	var rec func(i int, cond infer.DiscreteEvidence, assign map[int]int, w float64) error
+	rec = func(i int, cond infer.DiscreteEvidence, assign map[int]int, w float64) error {
+		if w == 0 {
+			return nil
+		}
+		if i == len(hidden) {
+			record(assign, w)
+			return nil
+		}
+		h := hidden[i]
+		post, err := infer.Posterior(net, h, cond)
+		if err != nil {
+			return err
+		}
+		for s, p := range post.Values {
+			if p == 0 {
+				continue
+			}
+			nextCond := infer.DiscreteEvidence{}
+			for k, vv := range cond {
+				nextCond[k] = vv
+			}
+			nextCond[h] = s
+			assign[h] = s
+			if err := rec(i+1, nextCond, assign, w*p); err != nil {
+				return err
+			}
+		}
+		delete(assign, h)
+		return nil
+	}
+	return rec(0, ev, base, 1)
+}

@@ -1,0 +1,158 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/stats"
+)
+
+// emChain builds a known a→b network and samples rows with a fraction of
+// cells hidden.
+func emChain(t *testing.T, nRows int, missFrac float64, seed uint64) (*bn.Network, [][]float64) {
+	t.Helper()
+	truth := bn.NewNetwork()
+	a, _ := truth.AddDiscreteNode("a", 2)
+	b, _ := truth.AddDiscreteNode("b", 2)
+	if err := truth.AddEdge(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	ta := bn.NewTabular(2, nil)
+	_ = ta.SetRow(0, []float64{0.7, 0.3})
+	_ = truth.SetCPD(a.ID, ta)
+	tb := bn.NewTabular(2, []int{2})
+	_ = tb.SetRow(0, []float64{0.9, 0.1})
+	_ = tb.SetRow(1, []float64{0.2, 0.8})
+	_ = truth.SetCPD(b.ID, tb)
+	rng := stats.NewRNG(seed)
+	rows, err := truth.SampleN(rng, nRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		for j := range row {
+			if rng.Bernoulli(missFrac) {
+				row[j] = Missing
+			}
+		}
+	}
+	return truth, rows
+}
+
+// freshStructure clones structure with uniform CPTs as the EM start point.
+func freshStructure(t *testing.T, truth *bn.Network) *bn.Network {
+	t.Helper()
+	net := truth.CloneStructure()
+	for v := 0; v < net.N(); v++ {
+		ps := net.Parents(v)
+		cards := make([]int, len(ps))
+		for i, p := range ps {
+			cards[i] = net.Node(p).Card
+		}
+		if err := net.SetCPD(v, bn.NewTabular(net.Node(v).Card, cards)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestEMCompleteDataMatchesML(t *testing.T) {
+	truth, rows := emChain(t, 3000, 0, 1)
+	net := freshStructure(t, truth)
+	res, err := EM(net, rows, DefaultEMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 || len(res.LogLik) == 0 {
+		t.Fatal("EM did no work")
+	}
+	// With complete data EM's first M-step equals ML counting.
+	ml, _, err := FitTabular(rows, 1, 2, []int{0}, []int{2}, Options{DirichletAlpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := net.Node(1).CPD.(*bn.Tabular)
+	for cfg := 0; cfg < 2; cfg++ {
+		for s := 0; s < 2; s++ {
+			if math.Abs(got.Prob(s, []int{cfg})-ml.Prob(s, []int{cfg})) > 1e-9 {
+				t.Fatalf("EM-complete != ML at cfg %d: %v vs %v", cfg, got.Row(cfg), ml.Row(cfg))
+			}
+		}
+	}
+}
+
+func TestEMRecoversWithMissingData(t *testing.T) {
+	truth, rows := emChain(t, 4000, 0.25, 2)
+	net := freshStructure(t, truth)
+	res, err := EM(net, rows, DefaultEMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := net.Node(1).CPD.(*bn.Tabular)
+	if math.Abs(got.Prob(1, []int{1})-0.8) > 0.05 {
+		t.Fatalf("P(b=1|a=1) = %g, want ~0.8 (iters=%d)", got.Prob(1, []int{1}), res.Iterations)
+	}
+	if math.Abs(got.Prob(1, []int{0})-0.1) > 0.05 {
+		t.Fatalf("P(b=1|a=0) = %g, want ~0.1", got.Prob(1, []int{0}))
+	}
+	ga := net.Node(0).CPD.(*bn.Tabular)
+	if math.Abs(ga.Prob(1, nil)-0.3) > 0.05 {
+		t.Fatalf("P(a=1) = %g, want ~0.3", ga.Prob(1, nil))
+	}
+}
+
+func TestEMLogLikMonotone(t *testing.T) {
+	truth, rows := emChain(t, 500, 0.3, 3)
+	net := freshStructure(t, truth)
+	res, err := EM(net, rows, EMOptions{MaxIterations: 10, Tolerance: 1e-12, DirichletAlpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.LogLik); i++ {
+		// With a Dirichlet prior the penalized objective can wiggle by a
+		// hair; allow a tiny tolerance.
+		if res.LogLik[i] < res.LogLik[i-1]-0.5 {
+			t.Fatalf("log-likelihood decreased: %v", res.LogLik)
+		}
+	}
+}
+
+func TestEMValidation(t *testing.T) {
+	truth, _ := emChain(t, 10, 0, 4)
+	net := freshStructure(t, truth)
+	if _, err := EM(net, nil, DefaultEMOptions()); err == nil {
+		t.Fatal("no rows should error")
+	}
+	if _, err := EM(net, [][]float64{{0}}, DefaultEMOptions()); err == nil {
+		t.Fatal("short row should error")
+	}
+	if _, err := EM(net, [][]float64{{0, 9}}, DefaultEMOptions()); err == nil {
+		t.Fatal("out-of-range state should error")
+	}
+	// Continuous node rejected.
+	c := bn.NewNetwork()
+	a, _ := c.AddContinuousNode("a")
+	_ = c.SetCPD(a.ID, bn.NewLinearGaussian(0, nil, 1))
+	if _, err := EM(c, [][]float64{{0}}, DefaultEMOptions()); err == nil {
+		t.Fatal("continuous network should error")
+	}
+	// Missing initial CPD rejected.
+	noCPD := truth.CloneStructure()
+	if _, err := EM(noCPD, [][]float64{{0, 0}}, DefaultEMOptions()); err == nil {
+		t.Fatal("missing CPDs should error")
+	}
+}
+
+func TestEMAllMissingRow(t *testing.T) {
+	// Rows with every cell missing contribute the prior only and must not
+	// crash.
+	truth, rows := emChain(t, 200, 0, 5)
+	for j := range rows[0] {
+		rows[0][j] = Missing
+	}
+	net := freshStructure(t, truth)
+	if _, err := EM(net, rows, EMOptions{MaxIterations: 3, Tolerance: 1e-9, DirichletAlpha: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package learn implements parameter and structure learning:
+//
+//   - maximum-likelihood / Dirichlet-smoothed CPT estimation for discrete
+//     nodes,
+//   - ordinary-least-squares estimation of linear-Gaussian CPDs,
+//   - the Cooper–Herskovits Bayesian score (discrete) and a Gaussian BIC
+//     score (continuous),
+//   - the K2 greedy structure-learning algorithm with random-ordering
+//     restarts — the NRT-BN baseline of the paper.
+//
+// All learning routines report a deterministic operation-count Cost next to
+// whatever wall-clock time the caller measures, so construction-time curves
+// can be regenerated reproducibly.
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/linalg"
+)
+
+// Cost is a deterministic account of the work a learning call performed.
+// DataOps counts elementary touches of data cells; ScoreEvals counts
+// structure-score evaluations (K2's unit of work).
+type Cost struct {
+	DataOps    int64
+	ScoreEvals int64
+}
+
+// Add accumulates another cost into c.
+func (c *Cost) Add(o Cost) {
+	c.DataOps += o.DataOps
+	c.ScoreEvals += o.ScoreEvals
+}
+
+// Options configures parameter learning.
+type Options struct {
+	// DirichletAlpha is the symmetric Dirichlet pseudo-count added to every
+	// CPT cell (0 = pure maximum likelihood; 1 = Laplace smoothing).
+	DirichletAlpha float64
+}
+
+// DefaultOptions returns Laplace-smoothed learning, which keeps test-set
+// log-likelihoods finite on small training sets (the paper's small-α_model
+// regime).
+func DefaultOptions() Options { return Options{DirichletAlpha: 1} }
+
+// FitTabular estimates the CPT of a discrete child with discrete parents
+// from data rows. child and parents are column indices into rows; card and
+// parentCard give the state counts.
+func FitTabular(rows [][]float64, child int, card int, parents []int, parentCard []int, opts Options) (*bn.Tabular, Cost, error) {
+	if len(parents) != len(parentCard) {
+		return nil, Cost{}, fmt.Errorf("learn: parents/parentCard length mismatch")
+	}
+	t := bn.NewTabular(card, parentCard)
+	counts := make([]float64, len(t.P))
+	for i := range counts {
+		counts[i] = opts.DirichletAlpha
+	}
+	var cost Cost
+	pa := make([]int, len(parents))
+	for _, row := range rows {
+		x := int(row[child])
+		if x < 0 || x >= card {
+			return nil, cost, fmt.Errorf("learn: child state %d out of range (card %d)", x, card)
+		}
+		for i, p := range parents {
+			v := int(row[p])
+			if v < 0 || v >= parentCard[i] {
+				return nil, cost, fmt.Errorf("learn: parent state %d out of range (card %d)", v, parentCard[i])
+			}
+			pa[i] = v
+		}
+		counts[t.ConfigIndex(pa)*card+x]++
+		cost.DataOps += int64(len(parents) + 1)
+	}
+	for cfg := 0; cfg < t.Rows(); cfg++ {
+		rowCounts := counts[cfg*card : (cfg+1)*card]
+		if sum(rowCounts) == 0 {
+			// No data and no prior: fall back to uniform.
+			for i := range rowCounts {
+				rowCounts[i] = 1
+			}
+		}
+		if err := t.SetRow(cfg, rowCounts); err != nil {
+			return nil, cost, err
+		}
+		cost.DataOps += int64(card)
+	}
+	return t, cost, nil
+}
+
+// FitLinearGaussian estimates a linear-Gaussian CPD for a continuous child
+// with continuous parents by ordinary least squares.
+func FitLinearGaussian(rows [][]float64, child int, parents []int) (*bn.LinearGaussian, Cost, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, Cost{}, fmt.Errorf("learn: no training rows")
+	}
+	p := len(parents) + 1 // intercept
+	x := linalg.NewMatrix(n, p)
+	y := make([]float64, n)
+	for i, row := range rows {
+		x.Set(i, 0, 1)
+		for j, pc := range parents {
+			x.Set(i, j+1, row[pc])
+		}
+		y[i] = row[child]
+	}
+	beta, variance, err := linalg.OLS(x, y)
+	if err != nil {
+		return nil, Cost{}, fmt.Errorf("learn: OLS for child %d: %w", child, err)
+	}
+	cost := Cost{DataOps: int64(n) * int64(p*p+p)}
+	sigma := sqrtNonNeg(variance)
+	return bn.NewLinearGaussian(beta[0], beta[1:], sigma), cost, nil
+}
+
+// FitNode learns the CPD of one node of a network from data rows (columns
+// indexed by node id) and installs it. Nodes that already carry a DetFunc
+// CPD are left untouched — that is precisely the paper's "knowledge-given"
+// part of the model, which requires no learning.
+func FitNode(n *bn.Network, id int, rows [][]float64, opts Options) (Cost, error) {
+	node := n.Node(id)
+	if _, isDet := node.CPD.(*bn.DetFunc); isDet {
+		return Cost{}, nil
+	}
+	parents := n.Parents(id)
+	switch node.Kind {
+	case bn.Discrete:
+		parentCard := make([]int, len(parents))
+		for i, p := range parents {
+			pn := n.Node(p)
+			if pn.Kind != bn.Discrete {
+				return Cost{}, fmt.Errorf("learn: discrete node %q has continuous parent %q", node.Name, pn.Name)
+			}
+			parentCard[i] = pn.Card
+		}
+		t, cost, err := FitTabular(rows, id, node.Card, parents, parentCard, opts)
+		if err != nil {
+			return cost, err
+		}
+		return cost, n.SetCPD(id, t)
+	case bn.Continuous:
+		g, cost, err := FitLinearGaussian(rows, id, parents)
+		if err != nil {
+			return cost, err
+		}
+		return cost, n.SetCPD(id, g)
+	default:
+		return Cost{}, fmt.Errorf("learn: node %q has unknown kind %v", node.Name, node.Kind)
+	}
+}
+
+// FitParameters learns every node CPD (skipping DetFunc nodes) and returns
+// the total cost.
+func FitParameters(n *bn.Network, rows [][]float64, opts Options) (Cost, error) {
+	var total Cost
+	for id := 0; id < n.N(); id++ {
+		c, err := FitNode(n, id, rows, opts)
+		total.Add(c)
+		if err != nil {
+			return total, fmt.Errorf("learn: node %q: %w", n.Node(id).Name, err)
+		}
+	}
+	return total, nil
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func sqrtNonNeg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

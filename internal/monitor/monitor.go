@@ -1,0 +1,248 @@
+// Package monitor reproduces the paper's Section-2 data pipeline: OGSA
+// middleware monitoring points measure per-service elapsed times, a
+// monitoring agent on each machine batches them, and a management server
+// assembles complete per-request rows and feeds the periodic model
+// (re)construction scheme. Two report transports are provided: in-process
+// channels (simulation) and TCP with gob encoding (the distributed
+// deployment stand-in).
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Measurement is one monitoring-point observation: the elapsed time of one
+// service (or the end-to-end response time) for one request.
+type Measurement struct {
+	// RequestID correlates measurements of the same end-to-end request.
+	RequestID int64
+	// Column is the dataset column the value belongs to: service index,
+	// resource index, or the D column (= NumColumns-1).
+	Column int
+	// Value is the measured elapsed time (seconds).
+	Value float64
+}
+
+// Report is one batch of measurements shipped by an agent.
+type Report struct {
+	AgentID string
+	Batch   []Measurement
+}
+
+// Point is a monitoring point attached to one measured column. Observations
+// flow to the owning agent.
+type Point struct {
+	column int
+	agent  *Agent
+}
+
+// Observe records one measurement.
+func (p *Point) Observe(requestID int64, value float64) {
+	p.agent.add(Measurement{RequestID: requestID, Column: p.column, Value: value})
+}
+
+// Sender ships reports toward the management server.
+type Sender interface {
+	Send(Report) error
+}
+
+// Agent is the per-machine monitoring agent: it listens to its points and
+// batches measurements before reporting them (the batching the paper uses
+// to avoid flooding the network).
+type Agent struct {
+	ID        string
+	BatchSize int
+	sender    Sender
+
+	mu    sync.Mutex
+	batch []Measurement
+}
+
+// NewAgent creates an agent flushing every batchSize measurements.
+func NewAgent(id string, batchSize int, sender Sender) (*Agent, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("monitor: batch size must be positive")
+	}
+	if sender == nil {
+		return nil, fmt.Errorf("monitor: agent needs a sender")
+	}
+	return &Agent{ID: id, BatchSize: batchSize, sender: sender}, nil
+}
+
+// NewPoint attaches a monitoring point for one dataset column.
+func (a *Agent) NewPoint(column int) *Point {
+	return &Point{column: column, agent: a}
+}
+
+func (a *Agent) add(m Measurement) {
+	a.mu.Lock()
+	a.batch = append(a.batch, m)
+	shouldFlush := len(a.batch) >= a.BatchSize
+	var out []Measurement
+	if shouldFlush {
+		out = a.batch
+		a.batch = nil
+	}
+	a.mu.Unlock()
+	if shouldFlush {
+		// Errors are reported through Flush; periodic sends best-effort
+		// drop on the floor like the real UDP-ish reporting path would.
+		_ = a.sender.Send(Report{AgentID: a.ID, Batch: out})
+	}
+}
+
+// Flush ships any buffered measurements immediately.
+func (a *Agent) Flush() error {
+	a.mu.Lock()
+	out := a.batch
+	a.batch = nil
+	a.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	return a.sender.Send(Report{AgentID: a.ID, Batch: out})
+}
+
+// RowSink receives completed per-request rows.
+type RowSink func(row []float64)
+
+// Server is the management server: it joins measurements by request id into
+// complete rows of width numColumns and hands them to the sink (typically a
+// core.Scheduler window push).
+type Server struct {
+	numColumns int
+	sink       RowSink
+
+	mu      sync.Mutex
+	partial map[int64]*partialRow
+	// Complete counts rows delivered; Dropped counts requests evicted
+	// incomplete (missing data — the situation dComp exists for).
+	Complete int
+	Dropped  int
+	// MaxPartial bounds the join buffer; oldest incomplete requests are
+	// dropped beyond it.
+	MaxPartial int
+}
+
+type partialRow struct {
+	values []float64
+	seen   []bool
+	count  int
+	order  int64
+}
+
+// NewServer creates a management server assembling rows of the given width.
+func NewServer(numColumns int, sink RowSink) (*Server, error) {
+	if numColumns <= 0 {
+		return nil, fmt.Errorf("monitor: numColumns must be positive")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("monitor: server needs a sink")
+	}
+	return &Server{
+		numColumns: numColumns,
+		sink:       sink,
+		partial:    map[int64]*partialRow{},
+		MaxPartial: 10000,
+	}, nil
+}
+
+// Send implements Sender, accepting a report directly (in-process path).
+func (s *Server) Send(r Report) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range r.Batch {
+		if m.Column < 0 || m.Column >= s.numColumns {
+			return fmt.Errorf("monitor: column %d out of range [0,%d)", m.Column, s.numColumns)
+		}
+		p, ok := s.partial[m.RequestID]
+		if !ok {
+			p = &partialRow{
+				values: make([]float64, s.numColumns),
+				seen:   make([]bool, s.numColumns),
+				order:  m.RequestID,
+			}
+			s.partial[m.RequestID] = p
+		}
+		if !p.seen[m.Column] {
+			p.seen[m.Column] = true
+			p.count++
+		}
+		p.values[m.Column] = m.Value
+		if p.count == s.numColumns {
+			row := p.values
+			delete(s.partial, m.RequestID)
+			s.Complete++
+			s.mu.Unlock()
+			s.sink(row)
+			s.mu.Lock()
+		}
+	}
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked drops the oldest incomplete rows beyond MaxPartial.
+func (s *Server) evictLocked() {
+	if len(s.partial) <= s.MaxPartial {
+		return
+	}
+	ids := make([]int64, 0, len(s.partial))
+	for id := range s.partial {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids[:len(s.partial)-s.MaxPartial] {
+		delete(s.partial, id)
+		s.Dropped++
+	}
+}
+
+// Pending returns the number of incomplete requests buffered.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.partial)
+}
+
+// CompleteCount returns the number of fully assembled rows delivered so
+// far (a lock-guarded read of Complete for concurrent callers).
+func (s *Server) CompleteCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Complete
+}
+
+// DrainIncomplete removes and returns the buffered incomplete rows that
+// carry at least minSeen measurements, with missing cells set to NaN —
+// the data-goes-missing situation Section 5.1's dComp (and the EM
+// fill-in learner) exists for. Rows are returned oldest-first.
+func (s *Server) DrainIncomplete(minSeen int) [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int64, 0, len(s.partial))
+	for id, p := range s.partial {
+		if p.count >= minSeen {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := make([][]float64, 0, len(ids))
+	for _, id := range ids {
+		p := s.partial[id]
+		row := make([]float64, s.numColumns)
+		for j := range row {
+			if p.seen[j] {
+				row[j] = p.values[j]
+			} else {
+				row[j] = math.NaN()
+			}
+		}
+		out = append(out, row)
+		delete(s.partial, id)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPServer exposes a management Server over TCP: agents dial in and stream
+// gob-encoded Reports. It is the distributed stand-in for the paper's
+// OGSA-based reporting path.
+type TCPServer struct {
+	inner    *Server
+	listener net.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+}
+
+// ListenTCP starts accepting agent connections on addr (use "127.0.0.1:0"
+// for an ephemeral test port).
+func ListenTCP(addr string, inner *Server) (*TCPServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen: %w", err)
+	}
+	s := &TCPServer{inner: inner, listener: l}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *TCPServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var r Report
+		if err := dec.Decode(&r); err != nil {
+			return
+		}
+		_ = s.inner.Send(r)
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TCPSender is an agent-side Sender that streams reports to a TCPServer.
+type TCPSender struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// DialTCP connects a sender to the management server.
+func DialTCP(addr string) (*TCPSender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: dial: %w", err)
+	}
+	return &TCPSender{conn: conn, enc: gob.NewEncoder(conn)}, nil
+}
+
+// Send implements Sender.
+func (t *TCPSender) Send(r Report) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enc.Encode(r)
+}
+
+// Close shuts the connection.
+func (t *TCPSender) Close() error { return t.conn.Close() }

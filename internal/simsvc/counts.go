@@ -1,0 +1,119 @@
+package simsvc
+
+import (
+	"fmt"
+
+	"kertbn/internal/dataset"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+// CountSystem simulates the Section-3.3 timeout-count metric: each data
+// point is one reporting interval's per-service timeout counters, with the
+// end-to-end counter being their sum (f = Σ X_i). A service's timeout rate
+// couples to its immediate upstream services' counts — a slow or failing
+// upstream drives downstream timeouts, the counting analogue of bottleneck
+// shift.
+type CountSystem struct {
+	Workflow *workflow.Node
+	// BaseRate[i] is service i's intrinsic timeout rate per interval.
+	BaseRate []float64
+	// Coupling[i][k] weights upstream parent k's count into service i's
+	// rate (parents in sorted order; missing entries are 0).
+	Coupling [][]float64
+}
+
+// Validate checks the wiring.
+func (c *CountSystem) Validate() error {
+	if c.Workflow == nil {
+		return fmt.Errorf("simsvc: count system needs a workflow")
+	}
+	if err := c.Workflow.Validate(); err != nil {
+		return err
+	}
+	n := c.Workflow.NumServices()
+	if len(c.BaseRate) != n {
+		return fmt.Errorf("simsvc: %d base rates for %d services", len(c.BaseRate), n)
+	}
+	for i, r := range c.BaseRate {
+		if r <= 0 {
+			return fmt.Errorf("simsvc: service %d has non-positive base rate %g", i, r)
+		}
+	}
+	return nil
+}
+
+// ColumnNames returns the canonical layout (services..., D).
+func (c *CountSystem) ColumnNames() []string {
+	names := c.Workflow.ServiceNames()
+	out := make([]string, 0, len(names)+1)
+	for i := 0; i < c.Workflow.NumServices(); i++ {
+		name := names[i]
+		if name == "" {
+			name = fmt.Sprintf("X%d", i+1)
+		}
+		out = append(out, name+"_timeouts")
+	}
+	return append(out, "D")
+}
+
+// Sample draws one reporting interval's counters.
+func (c *CountSystem) Sample(rng *stats.RNG) []float64 {
+	n := c.Workflow.NumServices()
+	parents := upstreamParents(c.Workflow, n)
+	order := topoOrder(parents, n)
+	x := make([]float64, n)
+	for _, j := range order {
+		rate := c.BaseRate[j]
+		for k, p := range parents[j] {
+			w := 0.0
+			if j < len(c.Coupling) && k < len(c.Coupling[j]) {
+				w = c.Coupling[j][k]
+			}
+			rate += w * x[p]
+		}
+		x[j] = float64(rng.Poisson(rate))
+	}
+	row := make([]float64, 0, n+1)
+	row = append(row, x...)
+	total := 0.0
+	for _, v := range x {
+		total += v
+	}
+	return append(row, total)
+}
+
+// GenerateDataset draws nRows intervals.
+func (c *CountSystem) GenerateDataset(nRows int, rng *stats.RNG) (*dataset.Dataset, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if nRows <= 0 {
+		return nil, fmt.Errorf("simsvc: nRows must be positive, got %d", nRows)
+	}
+	d := dataset.New(c.ColumnNames())
+	for i := 0; i < nRows; i++ {
+		if err := d.Append(c.Sample(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// EDiaMoNDCountSystem builds a timeout-count variant of the reference
+// scenario: the remote chain times out more, and upstream timeouts ripple
+// downstream.
+func EDiaMoNDCountSystem() *CountSystem {
+	return &CountSystem{
+		Workflow: workflow.EDiaMoND(),
+		BaseRate: []float64{0.5, 0.8, 1.0, 2.5, 1.5, 3.5},
+		Coupling: [][]float64{
+			nil,
+			{0.3},
+			{0.4},
+			{0.4},
+			{0.5},
+			{0.5},
+		},
+	}
+}

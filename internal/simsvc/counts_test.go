@@ -1,0 +1,116 @@
+package simsvc
+
+import (
+	"math"
+	"testing"
+
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+func TestCountSystemValidate(t *testing.T) {
+	cs := EDiaMoNDCountSystem()
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := EDiaMoNDCountSystem()
+	bad.BaseRate = bad.BaseRate[:2]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short base rates should fail")
+	}
+	zero := EDiaMoNDCountSystem()
+	zero.BaseRate[0] = 0
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero base rate should fail")
+	}
+	if err := (&CountSystem{}).Validate(); err == nil {
+		t.Fatal("nil workflow should fail")
+	}
+}
+
+func TestCountSystemColumnNames(t *testing.T) {
+	cs := EDiaMoNDCountSystem()
+	names := cs.ColumnNames()
+	if len(names) != 7 || names[6] != "D" {
+		t.Fatalf("names = %v", names)
+	}
+	if names[0] != "image_list_timeouts" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCountSystemSumInvariant(t *testing.T) {
+	cs := EDiaMoNDCountSystem()
+	rng := stats.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		row := cs.Sample(rng)
+		sum := 0.0
+		for _, v := range row[:6] {
+			if v != math.Trunc(v) || v < 0 {
+				t.Fatalf("count %g not a non-negative integer", v)
+			}
+			sum += v
+		}
+		if row[6] != sum {
+			t.Fatalf("D=%g but sum=%g", row[6], sum)
+		}
+	}
+}
+
+func TestCountSystemCoupling(t *testing.T) {
+	// Downstream counts must correlate with upstream counts.
+	cs := EDiaMoNDCountSystem()
+	rng := stats.NewRNG(2)
+	n := 20000
+	up := make([]float64, n)
+	down := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := cs.Sample(rng)
+		up[i], down[i] = row[3], row[5] // locator_remote → dai_remote
+	}
+	if c := stats.Correlation(up, down); c < 0.1 {
+		t.Fatalf("coupled counters correlation %g too weak", c)
+	}
+}
+
+func TestCountSystemRates(t *testing.T) {
+	// A root service's mean count must match its base rate.
+	cs := EDiaMoNDCountSystem()
+	rng := stats.NewRNG(3)
+	s := stats.NewSummary()
+	for i := 0; i < 30000; i++ {
+		s.Add(cs.Sample(rng)[0])
+	}
+	if math.Abs(s.Mean()-cs.BaseRate[0]) > 0.03 {
+		t.Fatalf("root count mean %g, want ~%g", s.Mean(), cs.BaseRate[0])
+	}
+}
+
+func TestCountSystemGenerateDataset(t *testing.T) {
+	cs := EDiaMoNDCountSystem()
+	rng := stats.NewRNG(4)
+	d, err := cs.GenerateDataset(50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 50 || d.NumCols() != 7 {
+		t.Fatalf("%dx%d", d.NumRows(), d.NumCols())
+	}
+	if _, err := cs.GenerateDataset(0, rng); err == nil {
+		t.Fatal("zero rows should error")
+	}
+}
+
+func TestCountSystemCustomWorkflow(t *testing.T) {
+	cs := &CountSystem{
+		Workflow: workflow.Seq(workflow.Task(0, "a"), workflow.Task(1, "")),
+		BaseRate: []float64{1, 2},
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := cs.ColumnNames()
+	if names[1] != "X2_timeouts" {
+		t.Fatalf("fallback name wrong: %v", names)
+	}
+}

@@ -1,0 +1,326 @@
+package simsvc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"kertbn/internal/dataset"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+// StationConfig describes the serving capacity of one service in the
+// discrete-event simulator.
+type StationConfig struct {
+	// Concurrency is the number of requests the service can process at
+	// once (server threads). Minimum 1.
+	Concurrency int
+	// Service is the per-visit processing-time distribution.
+	Service DelayDist
+}
+
+// Regime is a scheduled change of service speeds: from simulated time At
+// onward, service i's processing times are multiplied by Scale[i] (missing
+// entries keep 1.0). Regimes model the autonomic actions / load shifts that
+// make models expire — the reason the paper reconstructs periodically.
+type Regime struct {
+	At    float64
+	Scale []float64
+}
+
+// DESConfig configures a discrete-event simulation run.
+type DESConfig struct {
+	// ArrivalRate is the Poisson request arrival rate (requests per
+	// second). Higher rates load the stations and produce queueing —
+	// the mechanism behind real elapsed-time correlation.
+	ArrivalRate float64
+	// Stations holds one config per service (indexed by service index).
+	Stations []StationConfig
+	// HopDelay is the network latency added between workflow hops. It is
+	// *not* attributed to any service's elapsed time, so it realizes the
+	// leak between D and f(X) that Equation 4 models.
+	HopDelay DelayDist
+	// WarmupRequests are completed-and-discarded before recording starts,
+	// letting queues reach steady state.
+	WarmupRequests int
+	// Regimes optionally schedules service-speed changes (must be sorted
+	// ascending by At).
+	Regimes []Regime
+}
+
+// RequestRecord captures one completed request's measurements.
+type RequestRecord struct {
+	Arrival    float64
+	Completion float64
+	// Elapsed[i] is the total time spent at service i (queue wait +
+	// processing, summed over visits).
+	Elapsed []float64
+}
+
+// ResponseTime returns the end-to-end response time.
+func (r *RequestRecord) ResponseTime() float64 { return r.Completion - r.Arrival }
+
+// event is a scheduled callback.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// station is a c-server FIFO queue.
+type station struct {
+	cfg   StationConfig
+	busy  int
+	queue []*job
+}
+
+type job struct {
+	enqueueT float64
+	done     func(start, end float64)
+}
+
+// DES is the discrete-event simulator state.
+type DES struct {
+	wf       *workflow.Node
+	cfg      DESConfig
+	rng      *stats.RNG
+	events   eventHeap
+	seq      int64
+	now      float64
+	stations []*station
+	records  []RequestRecord
+	want     int
+	warmLeft int
+}
+
+// NewDES validates the configuration and builds a simulator.
+func NewDES(wf *workflow.Node, cfg DESConfig, rng *stats.RNG) (*DES, error) {
+	if wf == nil {
+		return nil, fmt.Errorf("simsvc: DES needs a workflow")
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	n := wf.NumServices()
+	if len(cfg.Stations) != n {
+		return nil, fmt.Errorf("simsvc: DES has %d stations for %d services", len(cfg.Stations), n)
+	}
+	if cfg.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("simsvc: arrival rate must be positive")
+	}
+	d := &DES{wf: wf, cfg: cfg, rng: rng}
+	for i := range cfg.Stations {
+		sc := cfg.Stations[i]
+		if sc.Concurrency < 1 {
+			sc.Concurrency = 1
+		}
+		d.stations = append(d.stations, &station{cfg: sc})
+	}
+	return d, nil
+}
+
+func (d *DES) schedule(at float64, fn func()) {
+	d.seq++
+	heap.Push(&d.events, &event{t: at, seq: d.seq, fn: fn})
+}
+
+// submit enqueues a visit to service svc; done fires with the processing
+// start and end times (start includes queue wait relative to enqueue).
+func (d *DES) submit(svc int, done func(start, end float64)) {
+	st := d.stations[svc]
+	j := &job{enqueueT: d.now, done: done}
+	if st.busy < st.cfg.Concurrency {
+		d.start(svc, j)
+		return
+	}
+	st.queue = append(st.queue, j)
+}
+
+// scaleFor returns the service-time multiplier in force at the current
+// simulated time.
+func (d *DES) scaleFor(svc int) float64 {
+	scale := 1.0
+	for _, r := range d.cfg.Regimes {
+		if r.At > d.now {
+			break
+		}
+		if svc < len(r.Scale) && r.Scale[svc] > 0 {
+			scale = r.Scale[svc]
+		}
+	}
+	return scale
+}
+
+func (d *DES) start(svc int, j *job) {
+	st := d.stations[svc]
+	st.busy++
+	dur := st.cfg.Service.Sample(d.rng) * d.scaleFor(svc)
+	startT := d.now
+	d.schedule(d.now+dur, func() {
+		st.busy--
+		j.done(startT, d.now)
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			d.start(svc, next)
+		}
+	})
+}
+
+// hop adds network latency before invoking fn. A zero-valued HopDelay
+// means no latency.
+func (d *DES) hop(fn func()) {
+	var lat float64
+	if d.cfg.HopDelay != (DelayDist{}) {
+		lat = d.cfg.HopDelay.Sample(d.rng)
+	}
+	if lat <= 0 {
+		fn()
+		return
+	}
+	d.schedule(d.now+lat, fn)
+}
+
+// walk traverses a workflow node starting now, accumulating per-service
+// elapsed times into elapsed, and calls done on completion.
+func (d *DES) walk(node *workflow.Node, elapsed []float64, done func()) {
+	switch {
+	case node.IsTask():
+		svc := node.Service()
+		enq := d.now
+		d.submit(svc, func(start, end float64) {
+			elapsed[svc] += end - enq // wait + service
+			done()
+		})
+	case node.IsSeq():
+		children := node.Children()
+		var step func(i int)
+		step = func(i int) {
+			if i >= len(children) {
+				done()
+				return
+			}
+			d.walk(children[i], elapsed, func() {
+				d.hop(func() { step(i + 1) })
+			})
+		}
+		step(0)
+	case node.IsPar():
+		children := node.Children()
+		remaining := len(children)
+		for _, c := range children {
+			d.walk(c, elapsed, func() {
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			})
+		}
+	case node.IsChoice():
+		probs := node.ChoiceProbs()
+		idx := d.rng.Categorical(probs)
+		d.walk(node.Children()[idx], elapsed, done)
+	case node.IsLoop():
+		child := node.Children()[0]
+		p := node.LoopP()
+		var iter func()
+		iter = func() {
+			d.walk(child, elapsed, func() {
+				if d.rng.Bernoulli(p) {
+					iter()
+					return
+				}
+				done()
+			})
+		}
+		iter()
+	default:
+		panic("simsvc: unknown workflow construct")
+	}
+}
+
+// Run simulates until nRequests are recorded (after warmup) and returns the
+// records in completion order.
+func (d *DES) Run(nRequests int) ([]RequestRecord, error) {
+	if nRequests <= 0 {
+		return nil, fmt.Errorf("simsvc: nRequests must be positive")
+	}
+	d.want = nRequests
+	d.warmLeft = d.cfg.WarmupRequests
+	d.records = d.records[:0]
+	n := d.wf.NumServices()
+
+	var arrive func()
+	arrive = func() {
+		arrival := d.now
+		elapsed := make([]float64, n)
+		d.walk(d.wf, elapsed, func() {
+			if d.warmLeft > 0 {
+				d.warmLeft--
+			} else if len(d.records) < d.want {
+				d.records = append(d.records, RequestRecord{
+					Arrival:    arrival,
+					Completion: d.now,
+					Elapsed:    elapsed,
+				})
+			}
+		})
+		if len(d.records) < d.want {
+			gap := d.rng.Exponential(d.cfg.ArrivalRate)
+			d.schedule(d.now+gap, arrive)
+		}
+	}
+	d.schedule(0, arrive)
+
+	const maxEvents = 200_000_000
+	processed := 0
+	for len(d.events) > 0 && len(d.records) < d.want {
+		e := heap.Pop(&d.events).(*event)
+		d.now = e.t
+		e.fn()
+		processed++
+		if processed > maxEvents {
+			return nil, fmt.Errorf("simsvc: event budget exceeded (%d events); system may be unstable", maxEvents)
+		}
+	}
+	if len(d.records) < d.want {
+		return nil, fmt.Errorf("simsvc: simulation drained with only %d/%d records", len(d.records), d.want)
+	}
+	return d.records, nil
+}
+
+// RecordsToDataset converts DES records into the canonical dataset layout
+// (services..., D) with the given service names. Resource columns are not
+// produced by the DES path.
+func RecordsToDataset(records []RequestRecord, serviceNames []string) (*dataset.Dataset, error) {
+	cols := append(append([]string(nil), serviceNames...), "D")
+	d := dataset.New(cols)
+	for _, r := range records {
+		row := make([]float64, 0, len(r.Elapsed)+1)
+		row = append(row, r.Elapsed...)
+		row = append(row, r.ResponseTime())
+		if err := d.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

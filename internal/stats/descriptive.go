@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds streaming moments computed with Welford's algorithm.
+type Summary struct {
+	N        int
+	mean, m2 float64
+	Min, Max float64
+}
+
+// NewSummary returns an empty accumulator.
+func NewSummary() *Summary {
+	return &Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.N++
+	d := x - s.mean
+	s.mean += d / float64(s.N)
+	s.m2 += d * (x - s.mean)
+	if x < s.Min {
+		s.Min = x
+	}
+	if x > s.Max {
+		s.Max = x
+	}
+}
+
+// Mean returns the running mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (ML estimate).
+func (s *Summary) Variance() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.N)
+}
+
+// SampleVariance returns the unbiased (n-1) variance.
+func (s *Summary) SampleVariance() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.N-1)
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Summarize computes a Summary over a slice.
+func Summarize(xs []float64) *Summary {
+	s := NewSummary()
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 { return Summarize(xs).Variance() }
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return Summarize(xs).Std() }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%g out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Covariance returns the population covariance of paired samples.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Covariance length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs))
+}
+
+// Correlation returns the Pearson correlation coefficient, or 0 when either
+// marginal variance vanishes.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := Std(xs), Std(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// NormalPDF returns the density of N(mu, sigma²) at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("stats: NormalPDF with non-positive sigma")
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalLogPDF returns the log density of N(mu, sigma²) at x.
+func NormalLogPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("stats: NormalLogPDF with non-positive sigma")
+	}
+	z := (x - mu) / sigma
+	return -0.5*z*z - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma²).
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("stats: NormalCDF with non-positive sigma")
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples that fall outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		width := (h.Hi - h.Lo) / float64(len(h.Counts))
+		i := int((x - h.Lo) / width)
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of in-range samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Density returns the normalized bin densities (integrating to ~1 over the
+// range). All zeros when the histogram is empty.
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	t := h.Total()
+	if t == 0 {
+		return out
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / (float64(t) * width)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// EmpiricalExceedance returns the fraction of xs strictly greater than h.
+func EmpiricalExceedance(xs []float64, h float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > h {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,50 @@
+package workflow
+
+// Accessors used by traversers (e.g. the discrete-event simulator) that
+// walk the construct tree without needing its internals.
+
+// IsTask reports whether the node is a service-invocation leaf.
+func (n *Node) IsTask() bool { return n.kind == kindTask }
+
+// IsSeq reports whether the node is a sequence block.
+func (n *Node) IsSeq() bool { return n.kind == kindSeq }
+
+// IsPar reports whether the node is a parallel (AND) block.
+func (n *Node) IsPar() bool { return n.kind == kindPar }
+
+// IsChoice reports whether the node is an exclusive-choice block.
+func (n *Node) IsChoice() bool { return n.kind == kindChoice }
+
+// IsLoop reports whether the node is a loop block.
+func (n *Node) IsLoop() bool { return n.kind == kindLoop }
+
+// Service returns a task leaf's service index (panics on non-tasks).
+func (n *Node) Service() int {
+	if n.kind != kindTask {
+		panic("workflow: Service() on non-task node")
+	}
+	return n.service
+}
+
+// Name returns a task leaf's service name ("" for composites).
+func (n *Node) Name() string { return n.name }
+
+// Children returns the composite node's children (nil for tasks). The
+// returned slice is shared; callers must not mutate it.
+func (n *Node) Children() []*Node { return n.children }
+
+// ChoiceProbs returns a choice node's branch probabilities (shared slice).
+func (n *Node) ChoiceProbs() []float64 {
+	if n.kind != kindChoice {
+		panic("workflow: ChoiceProbs() on non-choice node")
+	}
+	return n.probs
+}
+
+// LoopP returns a loop node's continuation probability.
+func (n *Node) LoopP() float64 {
+	if n.kind != kindLoop {
+		panic("workflow: LoopP() on non-loop node")
+	}
+	return n.loopP
+}

@@ -1,0 +1,46 @@
+package workflow
+
+// Service indices of the eDiaMoND scenario, matching the variable numbering
+// of the paper's Figure 2 (X1..X6 → indices 0..5).
+const (
+	EDImageList          = 0 // X1: image_list
+	EDWorkList           = 1 // X2: work_list
+	EDImageLocatorLocal  = 2 // X3: image_locator_local
+	EDImageLocatorRemote = 3 // X4: image_locator_remote
+	EDOgsaDaiLocal       = 4 // X5: ogsa_dai_local
+	EDOgsaDaiRemote      = 5 // X6: ogsa_dai_remote
+)
+
+// EDiaMoNDServiceNames lists the scenario's service names in index order.
+var EDiaMoNDServiceNames = []string{
+	"image_list",
+	"work_list",
+	"image_locator_local",
+	"image_locator_remote",
+	"ogsa_dai_local",
+	"ogsa_dai_remote",
+}
+
+// EDiaMoND builds the six-service mammogram-retrieval workflow of the
+// paper's Figure 1: the radiologist's request hits image_list, which calls
+// work_list, then invokes the local and remote image_locator → ogsa_dai
+// chains in parallel. Its Cardoso reduction is exactly the paper's
+// (corrected) deterministic function
+//
+//	D = X1 + X2 + max(X3 + X5, X4 + X6).
+func EDiaMoND() *Node {
+	return Seq(
+		Task(EDImageList, EDiaMoNDServiceNames[EDImageList]),
+		Task(EDWorkList, EDiaMoNDServiceNames[EDWorkList]),
+		Par(
+			Seq(
+				Task(EDImageLocatorLocal, EDiaMoNDServiceNames[EDImageLocatorLocal]),
+				Task(EDOgsaDaiLocal, EDiaMoNDServiceNames[EDOgsaDaiLocal]),
+			),
+			Seq(
+				Task(EDImageLocatorRemote, EDiaMoNDServiceNames[EDImageLocatorRemote]),
+				Task(EDOgsaDaiRemote, EDiaMoNDServiceNames[EDOgsaDaiRemote]),
+			),
+		),
+	)
+}

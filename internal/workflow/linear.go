@@ -1,0 +1,56 @@
+package workflow
+
+// LinearCoefficients reports whether the Cardoso-reduced response-time
+// function f(X) is linear in the per-service elapsed times, and if so
+// returns its coefficients: f(X) = Σ_i coef[i]·X_i (indexed by service).
+//
+// Sequences add, choices mix linearly, loops scale linearly — only
+// parallel blocks introduce the nonlinear max. Linear workflows let the
+// continuous KERT-BN answer dComp/pAccel queries by exact joint-Gaussian
+// conditioning instead of Monte Carlo.
+func (n *Node) LinearCoefficients() ([]float64, bool) {
+	nSvc := 0
+	for _, s := range n.Services() {
+		if s+1 > nSvc {
+			nSvc = s + 1
+		}
+	}
+	coef := make([]float64, nSvc)
+	if !n.accumulateLinear(coef, 1) {
+		return nil, false
+	}
+	return coef, true
+}
+
+// accumulateLinear adds this subtree's contribution scaled by w, returning
+// false if a nonlinear construct is present.
+func (n *Node) accumulateLinear(coef []float64, w float64) bool {
+	switch n.kind {
+	case kindTask:
+		coef[n.service] += w
+		return true
+	case kindSeq:
+		for _, c := range n.children {
+			if !c.accumulateLinear(coef, w) {
+				return false
+			}
+		}
+		return true
+	case kindPar:
+		// max over branches: nonlinear unless there is only one branch.
+		if len(n.children) == 1 {
+			return n.children[0].accumulateLinear(coef, w)
+		}
+		return false
+	case kindChoice:
+		for i, c := range n.children {
+			if !c.accumulateLinear(coef, w*n.probs[i]) {
+				return false
+			}
+		}
+		return true
+	case kindLoop:
+		return n.children[0].accumulateLinear(coef, w/(1-n.loopP))
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kertbn/internal/stats"
+)
+
+func TestLinearCoefficientsSeq(t *testing.T) {
+	wf := Seq(Task(0, "a"), Task(1, "b"), Task(2, "c"))
+	coef, ok := wf.LinearCoefficients()
+	if !ok {
+		t.Fatal("sequence should be linear")
+	}
+	for i, c := range coef {
+		if c != 1 {
+			t.Fatalf("coef[%d] = %g, want 1", i, c)
+		}
+	}
+}
+
+func TestLinearCoefficientsParNotLinear(t *testing.T) {
+	if _, ok := EDiaMoND().LinearCoefficients(); ok {
+		t.Fatal("eDiaMoND contains a parallel block and must not be linear")
+	}
+	if _, ok := Par(Task(0, "a"), Task(1, "b")).LinearCoefficients(); ok {
+		t.Fatal("par must not be linear")
+	}
+}
+
+func TestLinearCoefficientsSingleBranchPar(t *testing.T) {
+	wf := Par(Task(0, "a"))
+	coef, ok := wf.LinearCoefficients()
+	if !ok || coef[0] != 1 {
+		t.Fatal("single-branch par degenerates to linear")
+	}
+}
+
+func TestLinearCoefficientsChoice(t *testing.T) {
+	wf := Choice([]float64{0.3, 0.7}, Task(0, "a"), Task(1, "b"))
+	coef, ok := wf.LinearCoefficients()
+	if !ok {
+		t.Fatal("choice should be linear")
+	}
+	if math.Abs(coef[0]-0.3) > 1e-12 || math.Abs(coef[1]-0.7) > 1e-12 {
+		t.Fatalf("coef = %v", coef)
+	}
+}
+
+func TestLinearCoefficientsLoop(t *testing.T) {
+	wf := Loop(0.5, Task(0, "a"))
+	coef, ok := wf.LinearCoefficients()
+	if !ok || math.Abs(coef[0]-2) > 1e-12 {
+		t.Fatalf("loop coef = %v ok=%v", coef, ok)
+	}
+}
+
+func TestLinearCoefficientsNested(t *testing.T) {
+	// seq(a, choice(0.5: b, 0.5: loop(0.5, c))): coef = [1, 0.5, 1].
+	wf := Seq(
+		Task(0, "a"),
+		Choice([]float64{0.5, 0.5}, Task(1, "b"), Loop(0.5, Task(2, "c"))),
+	)
+	coef, ok := wf.LinearCoefficients()
+	if !ok {
+		t.Fatal("should be linear")
+	}
+	want := []float64{1, 0.5, 1}
+	for i := range want {
+		if math.Abs(coef[i]-want[i]) > 1e-12 {
+			t.Fatalf("coef = %v, want %v", coef, want)
+		}
+	}
+}
+
+// Property: when LinearCoefficients reports linear, the dot product equals
+// ResponseTime on random inputs.
+func TestLinearCoefficientsMatchEvalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(10)
+		// Par disabled → always linear.
+		wf, err := Generate(n, GenOptions{PPar: 0, PChoice: 0.3, PLoop: 0.1, MaxBranch: 3}, rng)
+		if err != nil {
+			return false
+		}
+		coef, ok := wf.LinearCoefficients()
+		if !ok {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+		}
+		dot := 0.0
+		for i, c := range coef {
+			dot += c * x[i]
+		}
+		return math.Abs(dot-wf.ResponseTime(x)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package workflow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a workflow expression in the same notation String() prints:
+//
+//	expr   := IDENT
+//	        | "seq" "(" expr {"," expr} ")"
+//	        | "par" "(" expr {"," expr} ")"
+//	        | "choice" "(" NUM ":" expr {"," NUM ":" expr} ")"
+//	        | "loop" "(" "p" "=" NUM "," expr ")"         (p= optional)
+//
+// e.g. "seq(image_list, work_list, par(seq(a, b), seq(c, d)))". Service
+// indices are assigned by first appearance, so the returned name slice maps
+// index → name. The result is validated.
+func Parse(input string) (*Node, []string, error) {
+	p := &parser{src: input}
+	node, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, nil, fmt.Errorf("workflow: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	if err := node.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return node, p.names, nil
+}
+
+type parser struct {
+	src   string
+	pos   int
+	names []string
+	index map[string]int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("workflow: expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+// ident reads an identifier (letters, digits, '_', '-', '.').
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("workflow: expected identifier at offset %d", start)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("workflow: expected number at offset %d", start)
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("workflow: bad number %q at offset %d", p.src[start:p.pos], start)
+	}
+	return v, nil
+}
+
+func (p *parser) parseExpr() (*Node, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	isCall := p.peek() == '('
+	switch {
+	case isCall && name == "seq":
+		children, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Seq(children...), nil
+	case isCall && name == "par":
+		children, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Par(children...), nil
+	case isCall && name == "choice":
+		return p.parseChoice()
+	case isCall && name == "loop":
+		return p.parseLoop()
+	case isCall:
+		return nil, fmt.Errorf("workflow: unknown construct %q", name)
+	default:
+		return p.task(name), nil
+	}
+}
+
+func (p *parser) task(name string) *Node {
+	if p.index == nil {
+		p.index = map[string]int{}
+	}
+	idx, ok := p.index[name]
+	if !ok {
+		idx = len(p.names)
+		p.index[name] = idx
+		p.names = append(p.names, name)
+	}
+	return Task(idx, name)
+}
+
+func (p *parser) parseArgs() ([]*Node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var out []*Node
+	for {
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, child)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseChoice() (*Node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var probs []float64
+	var children []*Node
+	for {
+		prob, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		probs = append(probs, prob)
+		children = append(children, child)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return Choice(probs, children...), nil
+}
+
+func (p *parser) parseLoop() (*Node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	// Optional "p=" prefix, matching String() output.
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], "p=") || strings.HasPrefix(p.src[p.pos:], "p =") {
+		if _, err := p.ident(); err != nil {
+			return nil, err
+		}
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+	}
+	prob, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(','); err != nil {
+		return nil, err
+	}
+	child, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return Loop(prob, child), nil
+}

@@ -1,0 +1,159 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kertbn/internal/stats"
+)
+
+func TestParseTask(t *testing.T) {
+	n, names, err := Parse("image_list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsTask() || n.Service() != 0 || names[0] != "image_list" {
+		t.Fatalf("task parse wrong: %v %v", n, names)
+	}
+}
+
+func TestParseSeqPar(t *testing.T) {
+	n, names, err := Parse("seq(a, b, par(c, d))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	// a=0, b=1, c=2, d=3 by first appearance.
+	got := n.ResponseTime([]float64{1, 2, 3, 4})
+	if got != 1+2+4 {
+		t.Fatalf("f = %g, want 7", got)
+	}
+}
+
+func TestParseEDiaMoNDRoundTrip(t *testing.T) {
+	wf := EDiaMoND()
+	parsed, names, err := Parse(wf.String())
+	if err != nil {
+		t.Fatalf("parsing %q: %v", wf.String(), err)
+	}
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	// Same evaluation on the same inputs (indices match first-appearance
+	// order, which for eDiaMoND equals the canonical order).
+	x := []float64{1, 2, 3, 4, 5, 6}
+	// Canonical ordering differs: String() prints local chain before
+	// remote, and within chains locator before dai, matching indices
+	// 0,1,2,4,3,5 appearance order. Build the permuted input.
+	perm := make([]float64, 6)
+	for idx, name := range names {
+		for canon, cname := range EDiaMoNDServiceNames {
+			if name == cname {
+				perm[idx] = x[canon]
+			}
+		}
+	}
+	if got, want := parsed.ResponseTime(perm), wf.ResponseTime(x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("round-trip eval %g != %g", got, want)
+	}
+}
+
+func TestParseChoice(t *testing.T) {
+	n, _, err := Parse("choice(0.3: a, 0.7: b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.ResponseTime([]float64{10, 20})
+	if math.Abs(got-17) > 1e-12 {
+		t.Fatalf("choice eval %g, want 17", got)
+	}
+}
+
+func TestParseLoop(t *testing.T) {
+	for _, src := range []string{"loop(0.5, a)", "loop(p=0.5, a)", "loop(p=0.50, a)"} {
+		n, _, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if n.ResponseTime([]float64{3}) != 6 {
+			t.Fatalf("%q eval wrong", src)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	if _, _, err := Parse("  seq ( a ,\n b )  "); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"seq(",
+		"seq()",
+		"seq(a,)",
+		"bogus(a)",
+		"choice(a, b)",
+		"choice(0.5: a, 0.6: b)", // probs don't sum to 1 → Validate fails
+		"loop(1.5, a)",           // p out of range
+		"seq(a, a)",              // duplicate service
+		"seq(a) trailing",
+		"choice(0.5 a)",
+	}
+	for _, src := range cases {
+		if _, _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDuplicateNameSharesIndex(t *testing.T) {
+	// Duplicate names map to the same index, which Validate rejects —
+	// ensuring one service appears once.
+	if _, _, err := Parse("par(x, x)"); err == nil {
+		t.Fatal("duplicate service should be rejected by validation")
+	}
+}
+
+// Property: String() output of random workflows parses back to a tree with
+// the same number of services and equal response times under permuted
+// inputs.
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nSvc := 2 + rng.Intn(8)
+		wf, err := Generate(nSvc, GenOptions{PPar: 0.3, PChoice: 0.2, PLoop: 0.1, MaxBranch: 3}, rng)
+		if err != nil {
+			return false
+		}
+		parsed, names, err := Parse(wf.String())
+		if err != nil {
+			return false
+		}
+		if len(names) != nSvc {
+			return false
+		}
+		// Evaluate both with per-service values keyed by name.
+		origNames := wf.ServiceNames()
+		x := make([]float64, nSvc)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+		}
+		perm := make([]float64, nSvc)
+		for idx, name := range names {
+			for canon := 0; canon < nSvc; canon++ {
+				if origNames[canon] == name {
+					perm[idx] = x[canon]
+				}
+			}
+		}
+		return math.Abs(parsed.ResponseTime(perm)-wf.ResponseTime(x)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

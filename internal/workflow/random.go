@@ -1,0 +1,126 @@
+package workflow
+
+import (
+	"fmt"
+
+	"kertbn/internal/stats"
+)
+
+// GenOptions controls random workflow generation.
+type GenOptions struct {
+	// PPar is the probability an internal split becomes a parallel block
+	// (the remainder becomes a sequence). Choice and loop are added with
+	// PChoice and PLoop when enabled.
+	PPar, PChoice, PLoop float64
+	// MaxBranch bounds the fan-out of a composite construct (min 2).
+	MaxBranch int
+	// Names optionally supplies service names; defaults to "svc<i>".
+	Names []string
+}
+
+// DefaultGenOptions mirrors the evaluation's simulated applications:
+// predominantly sequences with parallel blocks, no choice or loop (the
+// eDiaMoND-style shape the paper simulates), fan-out up to 3.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{PPar: 0.4, PChoice: 0, PLoop: 0, MaxBranch: 3}
+}
+
+// Generate builds a random workflow over exactly n distinct services by
+// recursively partitioning the service index range into composite blocks.
+// The result always validates.
+func Generate(n int, opts GenOptions, rng *stats.RNG) (*Node, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workflow: Generate needs n > 0, got %d", n)
+	}
+	if opts.MaxBranch < 2 {
+		opts.MaxBranch = 2
+	}
+	if opts.PPar+opts.PChoice+opts.PLoop > 1 {
+		return nil, fmt.Errorf("workflow: construct probabilities exceed 1")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	w := build(idx, opts, rng)
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("workflow: generated workflow invalid: %w", err)
+	}
+	return w, nil
+}
+
+func build(services []int, opts GenOptions, rng *stats.RNG) *Node {
+	if len(services) == 1 {
+		s := services[0]
+		name := fmt.Sprintf("svc%d", s)
+		if s < len(opts.Names) {
+			name = opts.Names[s]
+		}
+		return Task(s, name)
+	}
+	// Loop wraps a block without consuming extra services.
+	u := rng.Float64()
+	if u < opts.PLoop && len(services) >= 2 {
+		return Loop(0.2+0.3*rng.Float64(), build(services, withoutLoop(opts), rng))
+	}
+	// Decide construct and branch count.
+	branches := 2
+	if opts.MaxBranch > 2 && len(services) > 2 {
+		branches = 2 + rng.Intn(opts.MaxBranch-1)
+	}
+	if branches > len(services) {
+		branches = len(services)
+	}
+	// Partition services into `branches` contiguous non-empty groups.
+	groups := partition(services, branches, rng)
+	children := make([]*Node, len(groups))
+	for i, g := range groups {
+		children[i] = build(g, opts, rng)
+	}
+	switch {
+	case u < opts.PLoop+opts.PPar:
+		return Par(children...)
+	case u < opts.PLoop+opts.PPar+opts.PChoice:
+		probs := make([]float64, len(children))
+		total := 0.0
+		for i := range probs {
+			probs[i] = 0.1 + rng.Float64()
+			total += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= total
+		}
+		return Choice(probs, children...)
+	default:
+		return Seq(children...)
+	}
+}
+
+func withoutLoop(o GenOptions) GenOptions {
+	o.PLoop = 0
+	return o
+}
+
+// partition splits services into k contiguous non-empty groups with random
+// cut points.
+func partition(services []int, k int, rng *stats.RNG) [][]int {
+	n := len(services)
+	// Choose k-1 distinct cut positions in 1..n-1.
+	cuts := map[int]bool{}
+	for len(cuts) < k-1 {
+		cuts[1+rng.Intn(n-1)] = true
+	}
+	positions := make([]int, 0, k+1)
+	positions = append(positions, 0)
+	for i := 1; i < n; i++ {
+		if cuts[i] {
+			positions = append(positions, i)
+		}
+	}
+	positions = append(positions, n)
+	out := make([][]int, 0, k)
+	for i := 0; i+1 < len(positions); i++ {
+		out = append(out, services[positions[i]:positions[i+1]])
+	}
+	return out
+}

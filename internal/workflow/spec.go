@@ -1,0 +1,103 @@
+package workflow
+
+import "fmt"
+
+// Spec is an exported, gob/json-friendly mirror of the workflow tree used
+// for persistence. Unlike the text notation, it preserves explicit service
+// indices, so a decoded workflow evaluates identically on the same column
+// layout.
+type Spec struct {
+	// Kind is one of "task", "seq", "par", "choice", "loop".
+	Kind string
+	// Service and Name describe task leaves.
+	Service int
+	Name    string
+	// Probs holds choice branch probabilities.
+	Probs []float64
+	// LoopP is the loop continuation probability.
+	LoopP float64
+	// Children holds composite sub-specs.
+	Children []*Spec
+}
+
+// ToSpec converts the node tree into its serializable form.
+func (n *Node) ToSpec() *Spec {
+	s := &Spec{
+		Kind:    n.kindName(),
+		Service: n.service,
+		Name:    n.name,
+		Probs:   append([]float64(nil), n.probs...),
+		LoopP:   n.loopP,
+	}
+	if n.kind == kindTask {
+		return s
+	}
+	s.Service = 0
+	for _, c := range n.children {
+		s.Children = append(s.Children, c.ToSpec())
+	}
+	return s
+}
+
+// FromSpec rebuilds a validated workflow from its serialized form.
+func FromSpec(s *Spec) (*Node, error) {
+	n, err := fromSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func fromSpec(s *Spec) (*Node, error) {
+	if s == nil {
+		return nil, fmt.Errorf("workflow: nil spec")
+	}
+	switch s.Kind {
+	case "task":
+		return Task(s.Service, s.Name), nil
+	case "sequence", "seq":
+		children, err := childrenFromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return Seq(children...), nil
+	case "parallel", "par":
+		children, err := childrenFromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return Par(children...), nil
+	case "choice":
+		children, err := childrenFromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return Choice(s.Probs, children...), nil
+	case "loop":
+		children, err := childrenFromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(children) != 1 {
+			return nil, fmt.Errorf("workflow: loop spec needs exactly one child")
+		}
+		return Loop(s.LoopP, children[0]), nil
+	default:
+		return nil, fmt.Errorf("workflow: unknown spec kind %q", s.Kind)
+	}
+}
+
+func childrenFromSpec(s *Spec) ([]*Node, error) {
+	out := make([]*Node, 0, len(s.Children))
+	for _, c := range s.Children {
+		n, err := fromSpec(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

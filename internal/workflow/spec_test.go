@@ -1,0 +1,91 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kertbn/internal/stats"
+)
+
+func TestSpecRoundTripEDiaMoND(t *testing.T) {
+	wf := EDiaMoND()
+	back, err := FromSpec(wf.ToSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indices preserved exactly — same evaluation on the same vector.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	if back.ResponseTime(x) != wf.ResponseTime(x) {
+		t.Fatal("spec round trip changed evaluation")
+	}
+	if back.String() != wf.String() {
+		t.Fatalf("spec round trip changed structure: %q vs %q", back.String(), wf.String())
+	}
+}
+
+func TestSpecGobEncodes(t *testing.T) {
+	wf := Seq(Task(0, "a"), Loop(0.25, Par(Task(1, "b"), Task(2, "c"))))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wf.ToSpec()); err != nil {
+		t.Fatal(err)
+	}
+	var spec Spec
+	if err := gob.NewDecoder(&buf).Decode(&spec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSpec(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != wf.String() {
+		t.Fatal("gob round trip changed structure")
+	}
+}
+
+func TestFromSpecValidation(t *testing.T) {
+	if _, err := FromSpec(nil); err == nil {
+		t.Fatal("nil spec should error")
+	}
+	if _, err := FromSpec(&Spec{Kind: "bogus"}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if _, err := FromSpec(&Spec{Kind: "loop", LoopP: 0.5}); err == nil {
+		t.Fatal("loop without child should error")
+	}
+	// Invalid tree (duplicate service) rejected by validation.
+	dup := &Spec{Kind: "seq", Children: []*Spec{
+		{Kind: "task", Service: 0, Name: "a"},
+		{Kind: "task", Service: 0, Name: "b"},
+	}}
+	if _, err := FromSpec(dup); err == nil {
+		t.Fatal("duplicate service should be rejected")
+	}
+}
+
+// Property: ToSpec/FromSpec preserves evaluation for random workflows
+// without any index permutation (unlike the text parser).
+func TestSpecRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(10)
+		wf, err := Generate(n, GenOptions{PPar: 0.3, PChoice: 0.2, PLoop: 0.1, MaxBranch: 3}, rng)
+		if err != nil {
+			return false
+		}
+		back, err := FromSpec(wf.ToSpec())
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+		}
+		return math.Abs(back.ResponseTime(x)-wf.ResponseTime(x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

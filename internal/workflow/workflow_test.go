@@ -1,0 +1,322 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kertbn/internal/stats"
+)
+
+func TestEDiaMoNDResponseTime(t *testing.T) {
+	wf := EDiaMoND()
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// D = X1 + X2 + max(X3+X5, X4+X6).
+	x := []float64{1, 2, 3, 4, 5, 6} // max(3+5, 4+6) = 10 → D = 13
+	if got := wf.ResponseTime(x); got != 13 {
+		t.Fatalf("ResponseTime = %g, want 13", got)
+	}
+	// Local branch dominating.
+	x = []float64{1, 1, 10, 1, 10, 1} // max(20, 2) = 20 → D = 22
+	if got := wf.ResponseTime(x); got != 22 {
+		t.Fatalf("ResponseTime = %g, want 22", got)
+	}
+}
+
+func TestEDiaMoNDStructure(t *testing.T) {
+	wf := EDiaMoND()
+	edges := wf.UpstreamEdges()
+	want := []Edge{
+		{EDImageList, EDWorkList},
+		{EDWorkList, EDImageLocatorLocal},
+		{EDWorkList, EDImageLocatorRemote},
+		{EDImageLocatorLocal, EDOgsaDaiLocal},
+		{EDImageLocatorRemote, EDOgsaDaiRemote},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+	has := map[Edge]bool{}
+	for _, e := range edges {
+		has[e] = true
+	}
+	for _, e := range want {
+		if !has[e] {
+			t.Fatalf("missing edge %v in %v", e, edges)
+		}
+	}
+}
+
+func TestEDiaMoNDServices(t *testing.T) {
+	wf := EDiaMoND()
+	svcs := wf.Services()
+	if len(svcs) != 6 {
+		t.Fatalf("services = %v", svcs)
+	}
+	for i, s := range svcs {
+		if s != i {
+			t.Fatalf("services not dense: %v", svcs)
+		}
+	}
+	names := wf.ServiceNames()
+	if names[EDOgsaDaiRemote] != "ogsa_dai_remote" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSeqEval(t *testing.T) {
+	wf := Seq(Task(0, "a"), Task(1, "b"))
+	if wf.ResponseTime([]float64{2, 3}) != 5 {
+		t.Fatal("seq should sum")
+	}
+}
+
+func TestParEval(t *testing.T) {
+	wf := Par(Task(0, "a"), Task(1, "b"))
+	if wf.ResponseTime([]float64{2, 3}) != 3 {
+		t.Fatal("par should max")
+	}
+}
+
+func TestChoiceEval(t *testing.T) {
+	wf := Choice([]float64{0.3, 0.7}, Task(0, "a"), Task(1, "b"))
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := wf.ResponseTime([]float64{10, 20})
+	if math.Abs(got-(0.3*10+0.7*20)) > 1e-12 {
+		t.Fatalf("choice = %g", got)
+	}
+}
+
+func TestLoopEval(t *testing.T) {
+	wf := Loop(0.5, Task(0, "a"))
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if wf.ResponseTime([]float64{3}) != 6 {
+		t.Fatal("loop should scale by 1/(1-p)")
+	}
+}
+
+func TestTimeoutCount(t *testing.T) {
+	wf := EDiaMoND()
+	x := []float64{1, 2, 3, 4, 5, 6}
+	if wf.TimeoutCount(x) != 21 {
+		t.Fatalf("TimeoutCount = %g, want 21", wf.TimeoutCount(x))
+	}
+}
+
+func TestValidateDuplicateService(t *testing.T) {
+	wf := Seq(Task(0, "a"), Task(0, "b"))
+	if err := wf.Validate(); err == nil {
+		t.Fatal("duplicate service index should be rejected")
+	}
+}
+
+func TestValidateEmptyComposite(t *testing.T) {
+	if err := Seq().Validate(); err == nil {
+		t.Fatal("empty seq should be rejected")
+	}
+	if err := Par().Validate(); err == nil {
+		t.Fatal("empty par should be rejected")
+	}
+}
+
+func TestValidateChoiceProbs(t *testing.T) {
+	if err := Choice([]float64{0.5}, Task(0, "a"), Task(1, "b")).Validate(); err == nil {
+		t.Fatal("probs/children mismatch should be rejected")
+	}
+	if err := Choice([]float64{0.5, 0.4}, Task(0, "a"), Task(1, "b")).Validate(); err == nil {
+		t.Fatal("probs not summing to 1 should be rejected")
+	}
+	if err := Choice([]float64{-0.5, 1.5}, Task(0, "a"), Task(1, "b")).Validate(); err == nil {
+		t.Fatal("negative prob should be rejected")
+	}
+}
+
+func TestValidateLoopP(t *testing.T) {
+	if err := Loop(1.0, Task(0, "a")).Validate(); err == nil {
+		t.Fatal("loop p=1 should be rejected")
+	}
+	if err := Loop(-0.1, Task(0, "a")).Validate(); err == nil {
+		t.Fatal("loop p<0 should be rejected")
+	}
+}
+
+func TestUpstreamEdgesSeqOfPar(t *testing.T) {
+	// seq(a, par(b, c), d): a→b, a→c, b→d, c→d.
+	wf := Seq(Task(0, "a"), Par(Task(1, "b"), Task(2, "c")), Task(3, "d"))
+	edges := wf.UpstreamEdges()
+	want := map[Edge]bool{
+		{0, 1}: true, {0, 2}: true, {1, 3}: true, {2, 3}: true,
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for _, e := range edges {
+		if !want[e] {
+			t.Fatalf("unexpected edge %v", e)
+		}
+	}
+}
+
+func TestUpstreamEdgesLoop(t *testing.T) {
+	// Loops contribute body edges only — no self-edges.
+	wf := Seq(Task(0, "a"), Loop(0.3, Seq(Task(1, "b"), Task(2, "c"))))
+	edges := wf.UpstreamEdges()
+	want := map[Edge]bool{{0, 1}: true, {1, 2}: true}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestString(t *testing.T) {
+	wf := EDiaMoND()
+	s := wf.String()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("String() too short: %q", s)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	task := Task(3, "t")
+	if !task.IsTask() || task.Service() != 3 || task.Name() != "t" {
+		t.Fatal("task accessors wrong")
+	}
+	seq := Seq(task)
+	if !seq.IsSeq() || len(seq.Children()) != 1 {
+		t.Fatal("seq accessors wrong")
+	}
+	ch := Choice([]float64{1}, Task(0, "x"))
+	if !ch.IsChoice() || len(ch.ChoiceProbs()) != 1 {
+		t.Fatal("choice accessors wrong")
+	}
+	lp := Loop(0.25, Task(0, "x"))
+	if !lp.IsLoop() || lp.LoopP() != 0.25 {
+		t.Fatal("loop accessors wrong")
+	}
+}
+
+func TestGenerateValidWorkflows(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for _, n := range []int{1, 2, 5, 10, 30, 100} {
+		wf, err := Generate(n, DefaultGenOptions(), rng)
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", n, err)
+		}
+		if wf.NumServices() != n {
+			t.Fatalf("Generate(%d) produced %d services", n, wf.NumServices())
+		}
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := Generate(0, DefaultGenOptions(), rng); err == nil {
+		t.Fatal("n=0 should be rejected")
+	}
+	opts := DefaultGenOptions()
+	opts.PPar = 0.9
+	opts.PChoice = 0.9
+	if _, err := Generate(3, opts, rng); err == nil {
+		t.Fatal("probabilities > 1 should be rejected")
+	}
+}
+
+func TestGenerateWithChoiceAndLoop(t *testing.T) {
+	rng := stats.NewRNG(7)
+	opts := GenOptions{PPar: 0.3, PChoice: 0.2, PLoop: 0.1, MaxBranch: 3}
+	for i := 0; i < 20; i++ {
+		wf, err := Generate(8, opts, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Response time must be finite and positive for positive inputs.
+		x := make([]float64, 8)
+		for j := range x {
+			x[j] = 1
+		}
+		rt := wf.ResponseTime(x)
+		if math.IsNaN(rt) || math.IsInf(rt, 0) || rt <= 0 {
+			t.Fatalf("bad response time %g for %s", rt, wf)
+		}
+	}
+}
+
+// Property: for any generated loop-free workflow, f is monotone — raising
+// any single service's elapsed time never lowers D.
+func TestResponseTimeMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(10)
+		wf, err := Generate(n, DefaultGenOptions(), rng)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+		}
+		base := wf.ResponseTime(x)
+		for i := 0; i < n; i++ {
+			bumped := append([]float64(nil), x...)
+			bumped[i] += 1
+			if wf.ResponseTime(bumped) < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: upstream edges always form a DAG over the service indices
+// (no edge is ever both directions).
+func TestUpstreamEdgesAcyclicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(20)
+		wf, err := Generate(n, GenOptions{PPar: 0.3, PChoice: 0.2, MaxBranch: 4}, rng)
+		if err != nil {
+			return false
+		}
+		seen := map[Edge]bool{}
+		for _, e := range wf.UpstreamEdges() {
+			if e.From == e.To || seen[Edge{e.To, e.From}] {
+				return false
+			}
+			seen[e] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: D for seq-only workflows equals sum of all services.
+func TestSeqOnlyEqualsSumProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(12)
+		wf, err := Generate(n, GenOptions{PPar: 0, MaxBranch: 4}, rng)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		sum := 0.0
+		for i := range x {
+			x[i] = rng.Float64()
+			sum += x[i]
+		}
+		return math.Abs(wf.ResponseTime(x)-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
