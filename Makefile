@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fmt
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# The observability and transport packages are the most concurrency-heavy;
+# run them alone under the race detector for a fast signal.
+race:
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/
+
+# Regenerate the committed instrumented-benchmark baseline (quick sweeps).
+bench:
+	$(GO) run ./cmd/kertbench -quick -metrics-json BENCH_seed.json
+
+fmt:
+	gofmt -l -w .

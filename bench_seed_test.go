@@ -1,0 +1,78 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchSeedSnapshot validates the committed instrumented-benchmark
+// baseline: BENCH_seed.json must parse as an obs.Snapshot (the same schema
+// every -metrics-json dump and the live /metrics endpoint produce) and
+// carry the headline histograms — per-phase build spans and the per-size
+// build/learn/inference latency series the paper's Figures 3–5 are drawn
+// from. Regenerate with `make bench`.
+func TestBenchSeedSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_seed.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_seed.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	// Build-phase spans (Fig. 3/4 territory).
+	for _, name := range []string{
+		"build.kert.seconds",
+		"build.kert.structure.seconds",
+		"build.kert.dcpt.seconds",
+		"build.kert.cpd.seconds",
+		"build.nrt.seconds",
+		"build.nrt.structure.seconds",
+		"build.nrt.params.seconds",
+		// Decentralized learning (Fig. 5 territory).
+		"decentral.learn.seconds",
+		"decentral.node_learn.seconds",
+		"decentral.ship.seconds",
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("baseline is missing histogram %q", name)
+			continue
+		}
+		if h.Count <= 0 {
+			t.Errorf("histogram %q has no observations", name)
+		}
+	}
+
+	// Per-size latency series: at least one size must be present for each
+	// benchmark family, and every entry must be internally consistent.
+	families := map[string]int{
+		"bench.build.kert.":      0,
+		"bench.build.nrt.":       0,
+		"bench.decentral.learn.": 0,
+		"bench.central.learn.":   0,
+		"bench.infer.query.":     0,
+	}
+	for name, h := range snap.Histograms {
+		for fam := range families {
+			if strings.HasPrefix(name, fam) && strings.HasSuffix(name, ".seconds") {
+				families[fam]++
+			}
+		}
+		if h.Count < 0 || h.Min > h.Max || h.P50 > h.P99 {
+			t.Errorf("histogram %q is inconsistent: %+v", name, h)
+		}
+	}
+	for fam, n := range families {
+		if n == 0 {
+			t.Errorf("baseline has no per-size histograms for family %q", fam)
+		}
+	}
+}

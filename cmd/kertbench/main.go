@@ -8,6 +8,11 @@
 // the default settings mirror the paper's (which means the fig3/fig4
 // sweeps take a while at full scale). -tcp routes Figure 5's column
 // shipping through a real TCP socket instead of in-process copies.
+//
+// -metrics-json dumps the internal/obs registry snapshot after the run:
+// per-phase build spans, per-size bench.* histograms (build/learn/infer
+// latency by system size), decentral ship bytes/latency — the perf
+// baseline schema committed as BENCH_seed.json.
 package main
 
 import (
@@ -16,14 +21,16 @@ import (
 	"os"
 
 	"kertbn/internal/experiments"
+	"kertbn/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation")
-		quick = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
-		seed  = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
-		tcp   = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation")
+		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
+		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
+		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
 	flag.Parse()
 
@@ -116,6 +123,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *metricsJSON != "" {
+		// Mark the sweep scale in the snapshot so baselines are compared
+		// like-for-like (quick vs full sweeps time very differently).
+		if *quick {
+			obs.G("bench.quick").Set(1)
+		} else {
+			obs.G("bench.quick").Set(0)
+		}
+		if err := obs.Default().DumpJSON(*metricsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics dump failed:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "metrics snapshot written to", *metricsJSON)
 	}
 }
 

@@ -6,9 +6,18 @@
 // model-(re)construction scheduler (W = K·T_CON); each reconstruction
 // prints the fresh model's headline numbers and a pAccel projection.
 //
+// With -metrics-addr the whole pipeline is observable live: an HTTP
+// introspection endpoint serves the internal/obs registry (/metrics JSON
+// snapshot, /spans recent spans, pprof, expvar) while the run progresses.
+// Each rebuild also re-learns the service CPDs through the decentralized
+// engine (disable with -decentral=false), so the Fig. 5 per-node
+// learn-time quantiles show up alongside the Fig. 3 build spans.
+//
 // Usage:
 //
 //	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
+//	        [-metrics-addr 127.0.0.1:8080] [-metrics-json out.json]
+//	        [-decentral=true] [-linger 0s]
 package main
 
 import (
@@ -20,7 +29,10 @@ import (
 
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
+	"kertbn/internal/decentral"
+	"kertbn/internal/learn"
 	"kertbn/internal/monitor"
+	"kertbn/internal/obs"
 	"kertbn/internal/simsvc"
 	"kertbn/internal/stats"
 	"kertbn/internal/workflow"
@@ -28,13 +40,26 @@ import (
 
 func main() {
 	var (
-		requests = flag.Int("requests", 600, "requests to simulate")
-		alpha    = flag.Int("alpha", 100, "α_model: points per construction interval")
-		k        = flag.Int("k", 3, "environmental correlation metric K")
-		rate     = flag.Float64("rate", 1.5, "DES arrival rate (req/s)")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		requests    = flag.Int("requests", 600, "requests to simulate")
+		alpha       = flag.Int("alpha", 100, "α_model: points per construction interval")
+		k           = flag.Int("k", 3, "environmental correlation metric K")
+		rate        = flag.Float64("rate", 1.5, "DES arrival rate (req/s)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		metricsAddr = flag.String("metrics-addr", "", "serve the live introspection endpoint on this address (e.g. :8080)")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
+		useDecen    = flag.Bool("decentral", true, "re-learn service CPDs decentrally on each rebuild (Fig. 5 live)")
+		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		is, err := obs.Default().Serve(*metricsAddr)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer is.Close()
+		fmt.Printf("introspection endpoint on http://%s (/metrics /spans /debug/pprof/ /debug/vars)\n", is.Addr())
+	}
 
 	wf := workflow.EDiaMoND()
 	cols := core.ColumnNames(workflow.EDiaMoNDServiceNames, nil)
@@ -46,7 +71,20 @@ func main() {
 	kcfg.Bins = 6
 	kcfg.Leak = 0.02
 	builder := func(w *dataset.Dataset) (*core.Model, error) {
-		return core.BuildKERT(kcfg, w)
+		m, err := core.BuildKERT(kcfg, w)
+		if err != nil {
+			return nil, err
+		}
+		if *useDecen {
+			// The paper's Section-3.4 scheme, live: each monitoring agent
+			// learns its own service's CPD after the parent columns ship
+			// over; the per-node times land in the
+			// decentral.node_learn.seconds histogram.
+			if err := decentralRelearn(m, w); err != nil {
+				return nil, fmt.Errorf("decentralized re-learn: %w", err)
+			}
+		}
+		return m, nil
 	}
 	sched, err := core.NewScheduler(core.ScheduleConfig{
 		TData: 20 * time.Second, // nominal; the run is in simulated time
@@ -168,6 +206,40 @@ func main() {
 	if sched.Model() == nil {
 		fatal("no model was ever built — too few points per interval?")
 	}
+	if *linger > 0 && *metricsAddr != "" {
+		fmt.Printf("holding the metrics endpoint open for %v...\n", *linger)
+		time.Sleep(*linger)
+	}
+	if *metricsJSON != "" {
+		if err := obs.Default().DumpJSON(*metricsJSON); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Println("metrics snapshot written to", *metricsJSON)
+	}
+}
+
+// decentralRelearn re-learns the service CPDs of a freshly built discrete
+// KERT-BN through the decentralized engine over the same window (encoded
+// with the model's codec), installing the results. The D node keeps its
+// workflow-generated CPT.
+func decentralRelearn(m *core.Model, w *dataset.Dataset) error {
+	enc, err := m.Codec.Encode(w)
+	if err != nil {
+		return err
+	}
+	plans, err := decentral.PlanFromNetwork(m.Net, map[int]bool{m.DNode: true})
+	if err != nil {
+		return err
+	}
+	cols := make(decentral.Columns, enc.NumCols())
+	for j := range cols {
+		cols[j] = enc.Col(j)
+	}
+	res, err := decentral.Learn(plans, cols, decentral.InProcShipper{}, learn.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	return decentral.Install(m.Net, res)
 }
 
 func fatal(msg string) {

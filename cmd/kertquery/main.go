@@ -21,25 +21,36 @@ import (
 
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
+	"kertbn/internal/obs"
 	"kertbn/internal/stats"
 	"kertbn/internal/workflow"
 )
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "training CSV (services..., D) as written by kertsim")
-		modelKind = flag.String("model", "kert", "model to build: kert or nrt")
-		wfKind    = flag.String("workflow", "ediamond", "workflow knowledge: ediamond or chain")
-		query     = flag.String("query", "paccel", "query: dcomp, paccel, threshold, plocal, loglik, dot")
-		service   = flag.Int("service", 3, "target service index (dcomp/paccel/threshold)")
-		factor    = flag.Float64("factor", 0.9, "paccel/threshold: predicted elapsed-time factor")
-		h         = flag.Float64("h", 0, "threshold: response-time threshold in seconds")
-		bins      = flag.Int("bins", 8, "discretization arity")
-		seed      = flag.Uint64("seed", 1, "random seed for NRT restarts")
-		savePath  = flag.String("save", "", "write the built model to this file")
-		loadPath  = flag.String("load", "", "load a previously saved model instead of training")
+		dataPath    = flag.String("data", "", "training CSV (services..., D) as written by kertsim")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (build spans, query latency) to this file")
+		modelKind   = flag.String("model", "kert", "model to build: kert or nrt")
+		wfKind      = flag.String("workflow", "ediamond", "workflow knowledge: ediamond or chain")
+		query       = flag.String("query", "paccel", "query: dcomp, paccel, threshold, plocal, loglik, dot")
+		service     = flag.Int("service", 3, "target service index (dcomp/paccel/threshold)")
+		factor      = flag.Float64("factor", 0.9, "paccel/threshold: predicted elapsed-time factor")
+		h           = flag.Float64("h", 0, "threshold: response-time threshold in seconds")
+		bins        = flag.Int("bins", 8, "discretization arity")
+		seed        = flag.Uint64("seed", 1, "random seed for NRT restarts")
+		savePath    = flag.String("save", "", "write the built model to this file")
+		loadPath    = flag.String("load", "", "load a previously saved model instead of training")
 	)
 	flag.Parse()
+	dumpMetrics := func() {
+		if *metricsJSON == "" {
+			return
+		}
+		if err := obs.Default().DumpJSON(*metricsJSON); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Fprintln(os.Stderr, "metrics snapshot written to", *metricsJSON)
+	}
 	if *dataPath == "" {
 		fatal("missing -data")
 	}
@@ -64,6 +75,7 @@ func main() {
 		}
 		fmt.Printf("loaded %s model from %s\n", model.Type, *loadPath)
 		answer(model, train, *query, *service, *factor, *h, *modelKind)
+		dumpMetrics()
 		return
 	}
 	nServices := train.NumCols() - 1
@@ -127,6 +139,7 @@ func main() {
 		fmt.Printf("model saved to %s\n", *savePath)
 	}
 	answer(model, train, *query, *service, *factor, *h, *modelKind)
+	dumpMetrics()
 }
 
 // answer runs one query against a (built or loaded) model.

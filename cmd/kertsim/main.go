@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 
+	"kertbn/internal/dataset"
+	"kertbn/internal/obs"
 	"kertbn/internal/simsvc"
 	"kertbn/internal/stats"
 	"kertbn/internal/workflow"
@@ -25,16 +27,30 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "ediamond", "system to simulate: ediamond, random, or counts (timeout counters)")
-		services = flag.Int("services", 30, "service count for -system random")
-		n        = flag.Int("n", 1200, "rows to generate")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		des      = flag.Bool("des", false, "use the discrete-event simulator (ediamond only)")
-		rate     = flag.Float64("rate", 1.0, "DES arrival rate (requests/sec)")
-		warmup   = flag.Int("warmup", 100, "DES warmup requests discarded before recording")
+		system      = flag.String("system", "ediamond", "system to simulate: ediamond, random, or counts (timeout counters)")
+		services    = flag.Int("services", 30, "service count for -system random")
+		n           = flag.Int("n", 1200, "rows to generate")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		des         = flag.Bool("des", false, "use the discrete-event simulator (ediamond only)")
+		rate        = flag.Float64("rate", 1.0, "DES arrival rate (requests/sec)")
+		warmup      = flag.Int("warmup", 100, "DES warmup requests discarded before recording")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
 	flag.Parse()
 	rng := stats.NewRNG(*seed)
+	emit := func(ds *dataset.Dataset) {
+		obs.C("sim.rows_emitted").Add(int64(ds.NumRows()))
+		obs.G("sim.columns").Set(float64(ds.NumCols()))
+		if err := ds.WriteCSV(os.Stdout); err != nil {
+			fatal(err.Error())
+		}
+		if *metricsJSON != "" {
+			if err := obs.Default().DumpJSON(*metricsJSON); err != nil {
+				fatal(err.Error())
+			}
+			fmt.Fprintln(os.Stderr, "metrics snapshot written to", *metricsJSON)
+		}
+	}
 
 	if *des {
 		if *system != "ediamond" {
@@ -66,9 +82,7 @@ func main() {
 		if err != nil {
 			fatal(err.Error())
 		}
-		if err := ds.WriteCSV(os.Stdout); err != nil {
-			fatal(err.Error())
-		}
+		emit(ds)
 		return
 	}
 
@@ -82,9 +96,7 @@ func main() {
 		if err != nil {
 			fatal(err.Error())
 		}
-		if err := ds.WriteCSV(os.Stdout); err != nil {
-			fatal(err.Error())
-		}
+		emit(ds)
 		return
 	case "random":
 		var err error
@@ -99,9 +111,7 @@ func main() {
 	if err != nil {
 		fatal(err.Error())
 	}
-	if err := ds.WriteCSV(os.Stdout); err != nil {
-		fatal(err.Error())
-	}
+	emit(ds)
 }
 
 func fatal(msg string) {

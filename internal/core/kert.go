@@ -7,6 +7,7 @@ import (
 	"kertbn/internal/bn"
 	"kertbn/internal/dataset"
 	"kertbn/internal/learn"
+	"kertbn/internal/obs"
 	"kertbn/internal/stats"
 	"kertbn/internal/workflow"
 )
@@ -126,7 +127,15 @@ func (cfg *KERTConfig) fillDefaults() {
 // the D-CPD from the Cardoso-reduced f with leak l, and only the remaining
 // per-service CPDs are learned from data. This is the paper's Section-3
 // construction; no structure learning happens.
+//
+// The build is traced end-to-end: a "build.kert" span with per-phase
+// children "build.kert.structure" (DAG assembly), "build.kert.dcpt"
+// (D-node CPD generation from the workflow function) and "build.kert.cpd"
+// (parameter learning of the unknown CPDs) — the Fig. 3 quantities,
+// observable live via internal/obs.
 func BuildKERT(cfg KERTConfig, train *dataset.Dataset) (*Model, error) {
+	sp := obs.StartSpan("build.kert")
+	defer sp.End()
 	cfg.fillDefaults()
 	if cfg.Workflow == nil {
 		return nil, fmt.Errorf("core: KERT-BN requires a workflow")
@@ -150,9 +159,9 @@ func BuildKERT(cfg KERTConfig, train *dataset.Dataset) (*Model, error) {
 	}
 	switch cfg.Type {
 	case ContinuousModel:
-		return buildContinuousKERT(cfg, train, n)
+		return buildContinuousKERT(cfg, train, n, sp)
 	case DiscreteModel:
-		return buildDiscreteKERT(cfg, train, n)
+		return buildDiscreteKERT(cfg, train, n, sp)
 	default:
 		return nil, fmt.Errorf("core: unknown model type %v", cfg.Type)
 	}
@@ -209,15 +218,19 @@ func buildStructure(cfg KERTConfig, n int, discrete bool, bins int) (*bn.Network
 	return net, nil
 }
 
-func buildContinuousKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model, error) {
+func buildContinuousKERT(cfg KERTConfig, train *dataset.Dataset, n int, sp *obs.Span) (*Model, error) {
+	st := sp.Child("build.kert.structure")
 	net, err := buildStructure(cfg, n, false, 0)
+	st.End()
 	if err != nil {
 		return nil, err
 	}
 	dID := n + len(cfg.Resources)
 	if cfg.LearnDCPD {
 		// Ablation: learn every CPD, including D's, from data.
+		lsp := sp.Child("build.kert.cpd")
 		cost, err := learn.FitParameters(net, train.Rows, cfg.Learn)
+		lsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -239,6 +252,7 @@ func buildContinuousKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model,
 	// Knowledge-given D-CPD (Equation 4): parents of D are exactly the
 	// service nodes 0..n-1, whose sorted order equals service-index order,
 	// so the Cardoso function applies directly.
+	dsp := sp.Child("build.kert.dcpt")
 	sigma := cfg.DetSigma
 	if sigma <= 0 {
 		// Estimate the measurement-noise width from training residuals.
@@ -270,13 +284,18 @@ func buildContinuousKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model,
 	}
 	det, err := bn.NewDetFunc(cfg.metricFunc(), n, cfg.Leak, sigma, leakLo, leakHi)
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
 	if err := net.SetCPD(dID, det); err != nil {
+		dsp.End()
 		return nil, err
 	}
+	dsp.End()
 	// Learn only the unknown CPDs (X nodes and resources).
+	lsp := sp.Child("build.kert.cpd")
 	cost, err := learn.FitParameters(net, train.Rows, cfg.Learn)
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +315,7 @@ func buildContinuousKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model,
 	}, nil
 }
 
-func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model, error) {
+func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int, sp *obs.Span) (*Model, error) {
 	// Guard the CPT explosion before doing any work.
 	entries := 1.0
 	for i := 0; i < n; i++ {
@@ -305,15 +324,20 @@ func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model, e
 			return nil, fmt.Errorf("core: discrete D-CPT would need > %d entries for %d services at %d bins; use the continuous model", cfg.MaxCPTEntries, n, cfg.Bins)
 		}
 	}
+	esp := sp.Child("build.kert.discretize")
 	codec, err := dataset.FitCodec(train, cfg.Bins, cfg.Binning)
 	if err != nil {
+		esp.End()
 		return nil, err
 	}
 	enc, err := codec.Encode(train)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
+	ssp := sp.Child("build.kert.structure")
 	net, err := buildStructure(cfg, n, true, cfg.Bins)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -323,18 +347,23 @@ func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model, e
 		// Generate the D CPT from the workflow function — the software-
 		// derived CPD the paper contrasts with its own hand-derivation
 		// mistake.
+		dsp := sp.Child("build.kert.dcpt")
 		dDisc := codec.Discretizers[train.NumCols()-1]
 		tab, genCost, err := detCPT(cfg, codec, dDisc, n, train)
 		if err != nil {
+			dsp.End()
 			return nil, err
 		}
 		if err := net.SetCPD(dID, tab); err != nil {
+			dsp.End()
 			return nil, err
 		}
+		dsp.End()
 		cost = genCost
 	}
 	// Learn the remaining CPDs (and D's too under the LearnDCPD ablation —
 	// the O(bins^n) parameter-learning cost Section 3.3 eliminates).
+	lsp := sp.Child("build.kert.cpd")
 	for id := 0; id < net.N(); id++ {
 		if id == dID && !cfg.LearnDCPD {
 			continue
@@ -342,9 +371,11 @@ func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int) (*Model, e
 		c, err := learn.FitNode(net, id, enc.Rows, cfg.Learn)
 		cost.Add(c)
 		if err != nil {
+			lsp.End()
 			return nil, err
 		}
 	}
+	lsp.End()
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}

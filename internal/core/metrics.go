@@ -20,12 +20,18 @@ func ThresholdViolationError(post *Posterior, realD []float64, h float64) (float
 		return 0, fmt.Errorf("core: real violation probability is zero at threshold %g; ε undefined", h)
 	}
 	pBN := post.Exceedance(h)
-	return abs(pBN-pReal) / pReal, nil
+	return stats.Abs(pBN-pReal) / pReal, nil
 }
 
-// ThresholdSweep evaluates ε over several thresholds, skipping thresholds
-// where the metric is undefined; the returned slice is parallel to
-// thresholds with NaN marking skipped entries.
+// ThresholdSweep evaluates ε over several thresholds. The returned slice
+// is always parallel to thresholds (out[i] corresponds to thresholds[i]).
+//
+// NaN-skip contract: a threshold where ε is undefined — the real violation
+// probability P_real(D > h) is zero, so Equation 5 would divide by zero —
+// is not dropped or zeroed; its entry is set to NaN so the caller can see
+// exactly which thresholds were skipped. Consumers averaging or plotting a
+// sweep must filter NaN entries (e.g. with math.IsNaN) rather than folding
+// them into aggregates.
 func ThresholdSweep(post *Posterior, realD []float64, thresholds []float64) []float64 {
 	out := make([]float64, len(thresholds))
 	for i, h := range thresholds {
@@ -37,11 +43,4 @@ func ThresholdSweep(post *Posterior, realD []float64, thresholds []float64) []fl
 		out[i] = eps
 	}
 	return out
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

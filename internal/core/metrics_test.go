@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// pointPosterior builds a simple point-mass posterior for metric tests.
+func pointPosterior(support []float64, probs []float64) *Posterior {
+	return &Posterior{Support: support, Probs: probs}
+}
+
+func TestThresholdViolationErrorValues(t *testing.T) {
+	// Model: P(D > 1) = 0.5. Real data: 2 of 4 samples above 1 → 0.5.
+	post := pointPosterior([]float64{0.5, 1.5}, []float64{0.5, 0.5})
+	realD := []float64{0.2, 0.8, 1.2, 1.8}
+	eps, err := ThresholdViolationError(post, realD, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 0 {
+		t.Fatalf("matching exceedances: ε = %g, want 0", eps)
+	}
+
+	// At h = 1.5 the model says P = 0, real says 0.25 → ε = |0−0.25|/0.25 = 1.
+	eps, err = ThresholdViolationError(post, realD, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-1) > 1e-12 {
+		t.Fatalf("ε = %g, want 1", eps)
+	}
+
+	// Above every real sample P_real = 0: Equation 5 is undefined.
+	if _, err := ThresholdViolationError(post, realD, 5.0); err == nil {
+		t.Fatal("expected an error at a threshold with zero real violations")
+	}
+}
+
+func TestThresholdSweepNaNSkipContract(t *testing.T) {
+	post := pointPosterior([]float64{0.5, 1.5}, []float64{0.5, 0.5})
+	realD := []float64{0.2, 0.8, 1.2, 1.8}
+	thresholds := []float64{1.0, 1.5, 5.0, 0.1}
+	out := ThresholdSweep(post, realD, thresholds)
+
+	// The output stays parallel to the input: one entry per threshold, in
+	// order, no compaction.
+	if len(out) != len(thresholds) {
+		t.Fatalf("sweep length %d, want %d", len(out), len(thresholds))
+	}
+	// Defined thresholds get finite ε values...
+	for _, i := range []int{0, 1, 3} {
+		if math.IsNaN(out[i]) {
+			t.Fatalf("threshold %g (index %d): unexpectedly NaN", thresholds[i], i)
+		}
+		if out[i] < 0 {
+			t.Fatalf("threshold %g: ε = %g, want >= 0", thresholds[i], out[i])
+		}
+	}
+	// ...and the undefined one (P_real = 0 at h = 5) is marked NaN rather
+	// than dropped or zeroed.
+	if !math.IsNaN(out[2]) {
+		t.Fatalf("threshold 5.0: got %g, want NaN (undefined ε must be marked, not zeroed)", out[2])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"kertbn/internal/bn"
 	"kertbn/internal/dataset"
 	"kertbn/internal/learn"
+	"kertbn/internal/obs"
 	"kertbn/internal/stats"
 )
 
@@ -41,7 +42,13 @@ func DefaultNRTConfig() NRTConfig {
 // n+1 variables (the X's and D) followed by full parameter learning. The
 // column convention matches BuildKERT (services..., D last; resource
 // columns are treated as ordinary variables).
+//
+// The build is traced as a "build.nrt" span with children
+// "build.nrt.structure" (K2 search) and "build.nrt.params" (full
+// parameter learning) — the baseline side of the Fig. 3/4 comparison.
 func BuildNRT(cfg NRTConfig, train *dataset.Dataset) (*Model, error) {
+	sp := obs.StartSpan("build.nrt")
+	defer sp.End()
 	if cfg.Bins == 0 {
 		cfg.Bins = 5
 	}
@@ -80,12 +87,14 @@ func BuildNRT(cfg NRTConfig, train *dataset.Dataset) (*Model, error) {
 		return nil, err
 	}
 	opts := learn.K2Options{MaxParents: cfg.MaxParents}
+	ssp := sp.Child("build.nrt.structure")
 	var res *learn.K2Result
 	if cfg.Restarts > 0 {
 		res, err = learn.K2RandomRestarts(specs, rows, scorer, opts, cfg.Restarts, cfg.RNG)
 	} else {
 		res, err = learn.K2(specs, rows, scorer, opts)
 	}
+	ssp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: K2 structure learning: %w", err)
 	}
@@ -109,7 +118,9 @@ func BuildNRT(cfg NRTConfig, train *dataset.Dataset) (*Model, error) {
 		}
 	}
 	cost := res.Cost
+	psp := sp.Child("build.nrt.params")
 	pCost, err := learn.FitParameters(net, rows, cfg.Learn)
+	psp.End()
 	cost.Add(pCost)
 	if err != nil {
 		return nil, err

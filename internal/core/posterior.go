@@ -7,7 +7,17 @@ import (
 
 	"kertbn/internal/bn"
 	"kertbn/internal/infer"
+	"kertbn/internal/obs"
 	"kertbn/internal/stats"
+)
+
+// Posterior-query metrics: every dComp/pAccel/threshold query funnels
+// through posteriorForNode, so the "infer.query" span histogram is the
+// end-to-end query latency regardless of which inference engine (VE,
+// joint-Gaussian, likelihood weighting) answers it.
+var (
+	inferQueries  = obs.C("infer.queries")
+	inferEvidence = obs.HCount("infer.query.evidence_vars")
 )
 
 // Posterior is a unified one-dimensional distribution summary used by
@@ -178,6 +188,10 @@ func (p *Posterior) Quantile(q float64) float64 {
 // posteriorForNode runs the model-appropriate inference path for one target
 // node given evidence in raw (continuous) units.
 func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples int, rng *stats.RNG) (*Posterior, error) {
+	sp := obs.StartSpan("infer.query")
+	defer sp.End()
+	inferQueries.Inc()
+	inferEvidence.Observe(float64(len(evidence)))
 	if target < 0 || target >= m.Net.N() {
 		return nil, fmt.Errorf("core: target node %d out of range", target)
 	}

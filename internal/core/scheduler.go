@@ -6,6 +6,19 @@ import (
 	"time"
 
 	"kertbn/internal/dataset"
+	"kertbn/internal/obs"
+)
+
+// Scheduler metrics: pushed points and rebuild count as counters, window
+// fill as a gauge in [0,1], rebuild durations as the "sched.rebuild"
+// span's histogram — the live view of Equation 1/2's reconstruction
+// scheme.
+var (
+	schedPushed     = obs.C("sched.points_pushed")
+	schedRebuilds   = obs.C("sched.rebuilds")
+	schedFailures   = obs.C("sched.rebuild_failures")
+	schedWindowFill = obs.G("sched.window_fill")
+	schedWindowLen  = obs.G("sched.window_len")
 )
 
 // ScheduleConfig encodes Section 2's periodic model-(re)construction
@@ -135,17 +148,24 @@ func (s *Scheduler) Push(row []float64) (*Model, error) {
 		return nil, err
 	}
 	s.pushed++
+	schedPushed.Inc()
+	schedWindowLen.Set(float64(s.window.Len()))
+	schedWindowFill.Set(float64(s.window.Len()) / float64(s.cfg.WindowPoints()))
 	if s.pushed%s.cfg.Alpha != 0 {
 		return nil, nil
 	}
+	sp := obs.StartSpan("sched.rebuild")
 	start := time.Now()
 	m, err := s.builder(s.window.Snapshot())
+	sp.End()
 	if err != nil {
+		schedFailures.Inc()
 		return nil, fmt.Errorf("core: reconstruction %d failed: %w", s.rebuilt+1, err)
 	}
 	s.lastBuild = time.Since(start)
 	s.model = m
 	s.rebuilt++
+	schedRebuilds.Inc()
 	return m, nil
 }
 

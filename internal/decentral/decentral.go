@@ -18,6 +18,20 @@ import (
 
 	"kertbn/internal/bn"
 	"kertbn/internal/learn"
+	"kertbn/internal/obs"
+)
+
+// Decentralized-learning metrics — the Fig. 5 quantities, live:
+// per-node CPD learn times (whose max is the decentralized wall time and
+// whose sum is the centralized one), column-ship latency and bytes over
+// whichever transport is in use, and per-round totals.
+var (
+	decRounds    = obs.C("decentral.rounds")
+	decShips     = obs.C("decentral.ships")
+	decShipBytes = obs.C("decentral.ship_bytes")
+	decShipSec   = obs.H("decentral.ship.seconds")
+	decShipWait  = obs.H("decentral.ship_wait.seconds")
+	decNodeLearn = obs.H("decentral.node_learn.seconds")
 )
 
 // NodePlan describes one node's learning task: which column it owns and
@@ -102,15 +116,24 @@ type Shipper interface {
 // InProcShipper copies columns directly (the simulation path).
 type InProcShipper struct{}
 
-// Ship implements Shipper by copying.
+// Ship implements Shipper by copying. Bytes are accounted as 8 bytes per
+// float64 — the payload size a wire transport would carry.
 func (InProcShipper) Ship(from, to int, col []float64) ([]float64, error) {
-	return append([]float64(nil), col...), nil
+	start := time.Now()
+	out := append([]float64(nil), col...)
+	decShips.Inc()
+	decShipBytes.Add(8 * int64(len(col)))
+	decShipSec.Observe(time.Since(start).Seconds())
+	return out, nil
 }
 
 // Learn runs one decentralized learning round: one goroutine per plan
 // receives its parents' columns through the shipper, assembles its local
 // training matrix, and fits its CPD. Options control Dirichlet smoothing.
 func Learn(plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options) (*Result, error) {
+	sp := obs.StartSpan("decentral.learn")
+	defer sp.End()
+	decRounds.Inc()
 	if shipper == nil {
 		shipper = InProcShipper{}
 	}
@@ -214,10 +237,13 @@ func learnOne(p NodePlan, cols Columns, shipper Shipper, opts learn.Options) (No
 	if err != nil {
 		return NodeResult{}, err
 	}
+	elapsed := time.Since(start)
+	decShipWait.Observe(shipWait.Seconds())
+	decNodeLearn.Observe(elapsed.Seconds())
 	return NodeResult{
 		Node:     p.Node,
 		CPD:      cpd,
-		Elapsed:  time.Since(start),
+		Elapsed:  elapsed,
 		Cost:     cost,
 		ShipWait: shipWait,
 	}, nil

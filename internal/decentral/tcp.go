@@ -3,9 +3,25 @@ package decentral
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 )
+
+// countingWriter counts the bytes actually written to the wire, so the
+// decentral.ship_bytes counter reflects real gob-encoded parcel sizes on
+// the TCP transport (vs. the 8·len payload accounting of InProcShipper).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
 
 // parcel is one shipped column on the wire.
 type parcel struct {
@@ -69,12 +85,14 @@ func (f *TCPFabric) acceptLoop() {
 // Ship implements Shipper: the column makes a real round trip through the
 // relay socket.
 func (f *TCPFabric) Ship(from, to int, col []float64) ([]float64, error) {
+	start := time.Now()
 	conn, err := net.Dial("tcp", f.Addr())
 	if err != nil {
 		return nil, fmt.Errorf("decentral: dial relay: %w", err)
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
+	cw := &countingWriter{w: conn}
+	enc := gob.NewEncoder(cw)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(&parcel{From: from, To: to, Col: col}); err != nil {
 		return nil, fmt.Errorf("decentral: send parcel: %w", err)
@@ -86,6 +104,9 @@ func (f *TCPFabric) Ship(from, to int, col []float64) ([]float64, error) {
 	if back.From != from || back.To != to {
 		return nil, fmt.Errorf("decentral: relay returned parcel %d->%d, want %d->%d", back.From, back.To, from, to)
 	}
+	decShips.Inc()
+	decShipBytes.Add(cw.n)
+	decShipSec.Observe(time.Since(start).Seconds())
 	return back.Col, nil
 }
 

@@ -1,0 +1,93 @@
+package decentral
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTCPFabricRoundTrip(t *testing.T) {
+	f, err := NewTCPFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	col := []float64{0.1, 0.2, 0.3, 4.5, -1, 0}
+	got, err := f.Ship(2, 5, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(col) {
+		t.Fatalf("shipped column length %d, want %d", len(got), len(col))
+	}
+	for i := range col {
+		if got[i] != col[i] {
+			t.Fatalf("shipped column[%d] = %v, want %v", i, got[i], col[i])
+		}
+	}
+}
+
+func TestTCPFabricConcurrentShips(t *testing.T) {
+	f, err := NewTCPFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const (
+		shippers = 8
+		perShip  = 10
+		colLen   = 64
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, shippers)
+	for s := 0; s < shippers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < perShip; k++ {
+				col := make([]float64, colLen)
+				for i := range col {
+					col[i] = float64(s*1000 + k*100 + i)
+				}
+				got, err := f.Ship(s, s+1, col)
+				if err != nil {
+					errs <- fmt.Errorf("shipper %d round %d: %w", s, k, err)
+					return
+				}
+				for i := range col {
+					if got[i] != col[i] {
+						errs <- fmt.Errorf("shipper %d round %d: col[%d] = %v, want %v", s, k, i, got[i], col[i])
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPFabricShutdown(t *testing.T) {
+	f, err := NewTCPFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Ship(0, 1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// Every Ship dials the relay fresh, so after Close it must fail.
+	if _, err := f.Ship(0, 1, []float64{1, 2}); err == nil {
+		t.Fatal("ship after close succeeded")
+	}
+}

@@ -14,9 +14,17 @@ import (
 
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
+	"kertbn/internal/obs"
 	"kertbn/internal/simsvc"
 	"kertbn/internal/stats"
 )
+
+// benchHist records a per-system-size experiment observation, e.g.
+// bench.build.kert.n030.seconds — the series BENCH_seed.json diffs run
+// against.
+func benchHist(kind string, services int, seconds float64) {
+	obs.H(fmt.Sprintf("bench.%s.n%03d.seconds", kind, services)).Observe(seconds)
+}
 
 // Series is one named curve: y(x).
 type Series struct {
@@ -147,5 +155,18 @@ func buildBoth(sys *simsvc.System, train, test *dataset.Dataset, maxParents int)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
+	// Record the build times — plus one representative posterior query —
+	// into per-size bench histograms for the BENCH_*.json baselines.
+	nSvc := train.NumCols() - 1
+	benchHist("build.kert", nSvc, kertTime)
+	benchHist("build.nrt", nSvc, nrtTime)
+	qTime, err := timeIt(func() error {
+		_, e := core.ResponseTimePosterior(kert, nil, 2000, stats.NewRNG(7))
+		return e
+	})
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("bench posterior query: %w", err)
+	}
+	benchHist("infer.query", nSvc, qTime)
 	return kertTime, nrtTime, kertLL, nrtLL, nil
 }

@@ -81,6 +81,8 @@ func Fig5(cfg Fig5Config) ([]*FigResult, error) {
 			cSum += res.CentralizedTime.Seconds()
 			dOps += float64(res.DecentralizedCost)
 			cOps += float64(res.CentralizedCost)
+			benchHist("decentral.learn", n, res.DecentralizedTime.Seconds())
+			benchHist("central.learn", n, res.CentralizedTime.Seconds())
 		}
 		k := float64(cfg.ModelsPerSize)
 		xs = append(xs, float64(n))

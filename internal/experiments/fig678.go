@@ -174,9 +174,9 @@ func Fig7(cfg EDiaMoNDConfig) (*FigResult, error) {
 	probs := make([]float64, len(post.Support))
 	counts := make([]int, len(post.Support))
 	for _, v := range realD {
-		best, bd := 0, abs(v-post.Support[0])
+		best, bd := 0, stats.Abs(v-post.Support[0])
 		for i := 1; i < len(post.Support); i++ {
-			if d := abs(v - post.Support[i]); d < bd {
+			if d := stats.Abs(v - post.Support[i]); d < bd {
 				best, bd = i, d
 			}
 		}
@@ -285,11 +285,4 @@ func Fig8(cfg EDiaMoNDConfig) (*FigResult, error) {
 		},
 	}
 	return res, nil
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

@@ -139,8 +139,8 @@ func Motivation(cfg MotivationConfig) (*FigResult, error) {
 		for _, q := range qs {
 			h := stats.Quantile(realD, q)
 			pReal := stats.EmpiricalExceedance(realD, h)
-			winErr += absErr(winPost.Exceedance(h), pReal)
-			seqErr += absErr(seqPost.Exceedance(h), pReal)
+			winErr += stats.AbsDiff(winPost.Exceedance(h), pReal)
+			seqErr += stats.AbsDiff(seqPost.Exceedance(h), pReal)
 		}
 		xs = append(xs, float64(interval))
 		winLL = append(winLL, winErr/float64(len(qs)))
@@ -161,11 +161,4 @@ func Motivation(cfg MotivationConfig) (*FigResult, error) {
 			"expected shape: after the shift the windowed model's error recovers within ~K intervals; the sequential model's stays elevated (stale counts and bins linger) — the paper's Section-2 argument",
 		},
 	}, nil
-}
-
-func absErr(a, b float64) float64 {
-	if a > b {
-		return a - b
-	}
-	return b - a
 }

@@ -4,9 +4,17 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"kertbn/internal/bn"
+	"kertbn/internal/obs"
 	"kertbn/internal/stats"
+)
+
+var (
+	lwQueries = obs.C("infer.lw.queries")
+	lwSeconds = obs.H("infer.lw.seconds")
+	lwSamples = obs.HCount("infer.lw.samples")
 )
 
 // ContinuousEvidence maps node id → observed real value (integer-valued for
@@ -25,6 +33,10 @@ type WeightedSamples struct {
 // for any CPD mix, including the nonlinear deterministic-with-leak D node of
 // a continuous KERT-BN.
 func LikelihoodWeighting(n *bn.Network, query int, ev ContinuousEvidence, nSamples int, rng *stats.RNG) (*WeightedSamples, error) {
+	start := time.Now()
+	defer func() { lwSeconds.Observe(time.Since(start).Seconds()) }()
+	lwQueries.Inc()
+	lwSamples.Observe(float64(nSamples))
 	if query < 0 || query >= n.N() {
 		return nil, fmt.Errorf("infer: query node %d out of range", query)
 	}

@@ -11,10 +11,20 @@ package infer
 
 import (
 	"fmt"
+	"time"
 
 	"kertbn/internal/bn"
 	"kertbn/internal/factor"
 	"kertbn/internal/graph"
+	"kertbn/internal/obs"
+)
+
+// Per-engine inference metrics (the cross-engine "infer.query" span lives
+// one level up, in core's posterior funnel).
+var (
+	veQueries  = obs.C("infer.ve.queries")
+	veSeconds  = obs.H("infer.ve.seconds")
+	veEvidence = obs.HCount("infer.ve.evidence_vars")
 )
 
 // DiscreteEvidence maps node id → observed state.
@@ -25,6 +35,10 @@ type DiscreteEvidence map[int]int
 // ordering. The returned factor has the query variable as its only scope
 // variable and is normalized.
 func Posterior(n *bn.Network, query int, ev DiscreteEvidence) (*factor.Factor, error) {
+	start := time.Now()
+	defer func() { veSeconds.Observe(time.Since(start).Seconds()) }()
+	veQueries.Inc()
+	veEvidence.Observe(float64(len(ev)))
 	if query < 0 || query >= n.N() {
 		return nil, fmt.Errorf("infer: query node %d out of range", query)
 	}

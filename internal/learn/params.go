@@ -15,10 +15,10 @@ package learn
 
 import (
 	"fmt"
-	"math"
 
 	"kertbn/internal/bn"
 	"kertbn/internal/linalg"
+	"kertbn/internal/stats"
 )
 
 // Cost is a deterministic account of the work a learning call performed.
@@ -114,7 +114,7 @@ func FitLinearGaussian(rows [][]float64, child int, parents []int) (*bn.LinearGa
 		return nil, Cost{}, fmt.Errorf("learn: OLS for child %d: %w", child, err)
 	}
 	cost := Cost{DataOps: int64(n) * int64(p*p+p)}
-	sigma := sqrtNonNeg(variance)
+	sigma := stats.SqrtNonNeg(variance)
 	return bn.NewLinearGaussian(beta[0], beta[1:], sigma), cost, nil
 }
 
@@ -174,11 +174,4 @@ func sum(xs []float64) float64 {
 		s += x
 	}
 	return s
-}
-
-func sqrtNonNeg(v float64) float64 {
-	if v <= 0 {
-		return 0
-	}
-	return math.Sqrt(v)
 }

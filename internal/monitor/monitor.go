@@ -12,6 +12,20 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"kertbn/internal/obs"
+)
+
+// Monitoring-pipeline metrics: what flows from points through agents into
+// assembled rows — the live Section-2 data path.
+var (
+	monBatches   = obs.C("monitor.batches")
+	monMeasures  = obs.C("monitor.measurements")
+	monRows      = obs.C("monitor.rows_assembled")
+	monDropped   = obs.C("monitor.rows_dropped")
+	monDrained   = obs.C("monitor.rows_drained_incomplete")
+	monPending   = obs.G("monitor.pending_requests")
+	monFlushSize = obs.HCount("monitor.agent_flush_size")
 )
 
 // Measurement is one monitoring-point observation: the elapsed time of one
@@ -88,6 +102,7 @@ func (a *Agent) add(m Measurement) {
 	}
 	a.mu.Unlock()
 	if shouldFlush {
+		monFlushSize.Observe(float64(len(out)))
 		// Errors are reported through Flush; periodic sends best-effort
 		// drop on the floor like the real UDP-ish reporting path would.
 		_ = a.sender.Send(Report{AgentID: a.ID, Batch: out})
@@ -103,6 +118,7 @@ func (a *Agent) Flush() error {
 	if len(out) == 0 {
 		return nil
 	}
+	monFlushSize.Observe(float64(len(out)))
 	return a.sender.Send(Report{AgentID: a.ID, Batch: out})
 }
 
@@ -152,6 +168,8 @@ func NewServer(numColumns int, sink RowSink) (*Server, error) {
 
 // Send implements Sender, accepting a report directly (in-process path).
 func (s *Server) Send(r Report) error {
+	monBatches.Inc()
+	monMeasures.Add(int64(len(r.Batch)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, m := range r.Batch {
@@ -176,12 +194,14 @@ func (s *Server) Send(r Report) error {
 			row := p.values
 			delete(s.partial, m.RequestID)
 			s.Complete++
+			monRows.Inc()
 			s.mu.Unlock()
 			s.sink(row)
 			s.mu.Lock()
 		}
 	}
 	s.evictLocked()
+	monPending.Set(float64(len(s.partial)))
 	return nil
 }
 
@@ -198,6 +218,7 @@ func (s *Server) evictLocked() {
 	for _, id := range ids[:len(s.partial)-s.MaxPartial] {
 		delete(s.partial, id)
 		s.Dropped++
+		monDropped.Inc()
 	}
 }
 
@@ -244,5 +265,6 @@ func (s *Server) DrainIncomplete(minSeen int) [][]float64 {
 		out = append(out, row)
 		delete(s.partial, id)
 	}
+	monDrained.Add(int64(len(out)))
 	return out
 }

@@ -3,9 +3,31 @@ package monitor
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+
+	"kertbn/internal/obs"
 )
+
+// TCP-transport metrics: accepted agent connections and bytes received by
+// the management server (gob-encoded Report stream).
+var (
+	monTCPConns   = obs.C("monitor.tcp.connections")
+	monTCPBytesRx = obs.C("monitor.tcp.bytes_rx")
+)
+
+// countingReader counts bytes read from the wrapped reader into a counter.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
 
 // TCPServer exposes a management Server over TCP: agents dial in and stream
 // gob-encoded Reports. It is the distributed stand-in for the paper's
@@ -49,7 +71,8 @@ func (s *TCPServer) acceptLoop() {
 func (s *TCPServer) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	monTCPConns.Inc()
+	dec := gob.NewDecoder(&countingReader{r: conn, c: monTCPBytesRx})
 	for {
 		var r Report
 		if err := dec.Decode(&r); err != nil {

@@ -1,0 +1,226 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// rowCollector is a RowSink that records delivered rows.
+type rowCollector struct {
+	mu   sync.Mutex
+	rows [][]float64
+}
+
+func (rc *rowCollector) sink(row []float64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	cp := make([]float64, len(row))
+	copy(cp, row)
+	rc.rows = append(rc.rows, cp)
+}
+
+func (rc *rowCollector) count() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.rows)
+}
+
+func (rc *rowCollector) get(i int) []float64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.rows[i]
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	const cols = 3
+	rc := &rowCollector{}
+	inner, err := NewServer(cols, rc.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sender, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent("host-a", 4, sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([]*Point, cols)
+	for c := range points {
+		points[c] = agent.NewPoint(c)
+	}
+
+	const rows = 10
+	for req := int64(0); req < rows; req++ {
+		for c := 0; c < cols; c++ {
+			points[c].Observe(req, float64(req)*10+float64(c))
+		}
+	}
+	if err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, fmt.Sprintf("%d assembled rows", rows), func() bool {
+		return rc.count() == rows
+	})
+
+	// The join is keyed by request id, so every delivered row must be
+	// internally consistent: all cells derived from the same request.
+	seen := map[int64]bool{}
+	for i := 0; i < rows; i++ {
+		row := rc.get(i)
+		req := int64(row[0] / 10)
+		if seen[req] {
+			t.Fatalf("request %d delivered twice", req)
+		}
+		seen[req] = true
+		for c, v := range row {
+			want := float64(req)*10 + float64(c)
+			if v != want {
+				t.Fatalf("row for request %d, col %d: got %v want %v", req, c, v, want)
+			}
+		}
+	}
+	if err := sender.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	const (
+		cols         = 4
+		agents       = 6
+		rowsPerAgent = 25
+	)
+	rc := &rowCollector{}
+	inner, err := NewServer(cols, rc.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var senders []*TCPSender
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		sender, err := DialTCP(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders = append(senders, sender)
+		agent, err := NewAgent(fmt.Sprintf("host-%d", a), 7, sender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(a int, agent *Agent) {
+			defer wg.Done()
+			points := make([]*Point, cols)
+			for c := range points {
+				points[c] = agent.NewPoint(c)
+			}
+			// Distinct request-id ranges per agent; each agent completes
+			// whole rows so every request assembles.
+			base := int64(a * rowsPerAgent)
+			for r := int64(0); r < rowsPerAgent; r++ {
+				for c := 0; c < cols; c++ {
+					points[c].Observe(base+r, float64(base+r))
+				}
+			}
+			if err := agent.Flush(); err != nil {
+				t.Errorf("agent %d flush: %v", a, err)
+			}
+		}(a, agent)
+	}
+	wg.Wait()
+	waitFor(t, "all concurrent rows", func() bool {
+		return rc.count() == agents*rowsPerAgent
+	})
+	if got := inner.Pending(); got != 0 {
+		t.Fatalf("pending after full delivery: %d, want 0", got)
+	}
+	for _, s := range senders {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPServerShutdown(t *testing.T) {
+	const cols = 2
+	rc := &rowCollector{}
+	inner, err := NewServer(cols, rc.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	sender, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < cols; c++ {
+		if err := sender.Send(Report{AgentID: "h", Batch: []Measurement{{RequestID: 1, Column: c, Value: 1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "row before shutdown", func() bool { return rc.count() == 1 })
+
+	// Close the client first so the server's per-connection goroutine can
+	// drain; Close then waits for it and must be idempotent.
+	if err := sender.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	// The listener is gone: a new dial fails outright, or — if the kernel
+	// still accepts the handshake — sending on it errors once the reset
+	// lands.
+	if s2, err := DialTCP(addr); err == nil {
+		deadline := time.Now().Add(5 * time.Second)
+		var sendErr error
+		for time.Now().Before(deadline) {
+			if sendErr = s2.Send(Report{AgentID: "h", Batch: []Measurement{{RequestID: 2, Column: 0, Value: 1}}}); sendErr != nil {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		s2.Close()
+		if sendErr == nil {
+			t.Fatal("send to closed server never errored")
+		}
+	}
+}

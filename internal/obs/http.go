@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live introspection endpoint:
+//
+//	/              route index (text)
+//	/metrics       full registry snapshot (JSON, the Snapshot schema)
+//	/spans         recent completed spans, oldest-first (JSON)
+//	/debug/vars    expvar (cmdline, memstats)
+//	/debug/pprof/  net/http/pprof profiles
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.RecentSpans()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "kertbn introspection endpoint")
+		fmt.Fprintln(w, "  /metrics       JSON metric snapshot")
+		fmt.Fprintln(w, "  /spans         recent spans (JSON)")
+		fmt.Fprintln(w, "  /debug/vars    expvar")
+		fmt.Fprintln(w, "  /debug/pprof/  pprof profiles")
+	})
+	return mux
+}
+
+// IntrospectionServer is a running HTTP endpoint for one registry.
+type IntrospectionServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (use "127.0.0.1:0" for
+// an ephemeral port) and serves until Close.
+func (r *Registry) Serve(addr string) (*IntrospectionServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &IntrospectionServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *IntrospectionServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down immediately.
+func (s *IntrospectionServer) Close() error { return s.srv.Close() }

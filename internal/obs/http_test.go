@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerMetricsAndSpans(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("monitor.rows_assembled").Add(7)
+	r.Gauge("sched.window_fill").Set(0.5)
+	sp := r.StartSpan("sched.rebuild")
+	sp.End()
+
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	var snap Snapshot
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if snap.Counters["monitor.rows_assembled"] != 7 {
+		t.Fatalf("rows_assembled = %d, want 7", snap.Counters["monitor.rows_assembled"])
+	}
+	if snap.Gauges["sched.window_fill"] != 0.5 {
+		t.Fatalf("window_fill = %g", snap.Gauges["sched.window_fill"])
+	}
+	if h, ok := snap.Histograms["sched.rebuild.seconds"]; !ok || h.Count != 1 {
+		t.Fatalf("rebuild histogram missing or wrong: %+v", h)
+	}
+
+	var spans []SpanRecord
+	getJSON(t, ts.URL+"/spans", &spans)
+	if len(spans) != 1 || spans[0].Name != "sched.rebuild" {
+		t.Fatalf("spans = %+v", spans)
+	}
+
+	for _, route := range []string{"/", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + route)
+		if err != nil {
+			t.Fatalf("GET %s: %v", route, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", route, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	getJSON(t, fmt.Sprintf("http://%s/metrics", srv.Addr()), &snap)
+	if snap.Counters["x"] != 1 {
+		t.Fatalf("counter over live endpoint = %d", snap.Counters["x"])
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr())); err == nil {
+		t.Fatal("endpoint still reachable after Close")
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}

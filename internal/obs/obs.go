@@ -1,0 +1,464 @@
+// Package obs is the dependency-free observability substrate of the
+// KERT-BN pipeline: atomic counters, gauges and fixed-bucket latency
+// histograms (with quantile estimation), lightweight span timers with
+// parent/child nesting, and a concurrency-safe named registry that
+// snapshots to JSON and serves a live HTTP introspection endpoint
+// (/metrics, /spans, plus mounted net/http/pprof and expvar).
+//
+// The paper's whole argument rests on costs the system can observe about
+// itself — model (re)construction time (Fig. 3/4), decentralized vs
+// centralized learning time (Fig. 5), threshold-violation error (Eq. 5) —
+// so the long-running pieces (monitor.Server, core.Scheduler, decentral,
+// infer) record into the default registry and every CLI can expose or dump
+// the numbers.
+//
+// Naming scheme (dotted, lowercase; spans implicitly own a
+// "<name>.seconds" histogram):
+//
+//	build.kert / build.kert.structure / build.kert.cpd / build.kert.dcpt
+//	build.nrt  / build.nrt.structure  / build.nrt.params
+//	sched.rebuild, sched.points_pushed, sched.window_fill
+//	monitor.batches, monitor.measurements, monitor.rows_assembled, ...
+//	decentral.learn, decentral.ship, decentral.node_learn.seconds, ...
+//	infer.query, infer.ve.*, infer.lw.*
+//	bench.* (per-system-size experiment series)
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value (last write wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe calls.
+// Bucket i covers (bounds[i-1], bounds[i]]; values above the last bound
+// land in an overflow bucket. Sum, min and max are tracked exactly, so
+// Mean is exact while Quantile linearly interpolates inside the bucket the
+// quantile falls into (clamped to the observed min/max).
+type Histogram struct {
+	bounds   []float64 // immutable, ascending
+	counts   []atomic.Int64
+	overflow atomic.Int64
+	count    atomic.Int64
+	sumBits  atomic.Uint64
+	minBits  atomic.Uint64
+	maxBits  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample. NaN samples are dropped (they would poison
+// the JSON snapshot).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i == len(h.bounds) {
+		h.overflow.Add(1)
+	} else {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+func atomicAddFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the exact sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the exact mean (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (h *Histogram) Min() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation (0 with no observations).
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket the quantile lands in, clamped to the observed
+// min/max. NaN with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	mn, mx := h.Min(), h.Max()
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := mn
+			if i > 0 {
+				lo = math.Max(mn, h.bounds[i-1])
+			}
+			hi := math.Min(mx, h.bounds[i])
+			if hi < lo {
+				hi = lo
+			}
+			return lo + (hi-lo)*(target-cum)/c
+		}
+		cum += c
+	}
+	// Quantile falls into the overflow bucket.
+	lo := mn
+	if n := len(h.bounds); n > 0 {
+		lo = math.Max(mn, h.bounds[n-1])
+	}
+	return math.Max(lo, mx)
+}
+
+// latencyBuckets spans 1µs..1000s geometrically, four buckets per decade —
+// wide enough for both sub-millisecond CPD fits and multi-minute K2 runs.
+var latencyBuckets = func() []float64 {
+	var b []float64
+	for k := -24; k <= 12; k++ {
+		b = append(b, math.Pow(10, float64(k)/4))
+	}
+	return b
+}()
+
+// countBuckets is a 1-2-5 series from 1 to 1e7 for size-like histograms
+// (batch sizes, evidence counts, row counts).
+var countBuckets = func() []float64 {
+	var b []float64
+	for d := 0.0; d < 8; d++ {
+		p := math.Pow(10, d)
+		b = append(b, p, 2*p, 5*p)
+	}
+	return b
+}()
+
+// LatencyBuckets returns the default geometric latency bounds (seconds).
+func LatencyBuckets() []float64 { return latencyBuckets }
+
+// CountBuckets returns the default 1-2-5 size bounds.
+func CountBuckets() []float64 { return countBuckets }
+
+// Registry is a concurrency-safe named collection of metrics plus a ring
+// buffer of recently completed spans.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	ring     *spanRing
+	spanID   atomic.Uint64
+}
+
+// NewRegistry creates an empty registry with a 512-span ring buffer.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		ring:     newSpanRing(512),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram with the default latency buckets,
+// creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, latencyBuckets)
+}
+
+// HistogramWith returns the named histogram, creating it with the given
+// bucket bounds on first use (an existing histogram keeps its original
+// bounds — first creation wins).
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count samples
+// at or below Le (and above the previous bucket's Le).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count    int64    `json:"count"`
+	Sum      float64  `json:"sum"`
+	Min      float64  `json:"min"`
+	Max      float64  `json:"max"`
+	Mean     float64  `json:"mean"`
+	P50      float64  `json:"p50"`
+	P90      float64  `json:"p90"`
+	P99      float64  `json:"p99"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow int64    `json:"overflow,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.Count(),
+		Sum:      jsonSafe(h.Sum()),
+		Min:      jsonSafe(h.Min()),
+		Max:      jsonSafe(h.Max()),
+		Mean:     jsonSafe(h.Mean()),
+		Overflow: h.overflow.Load(),
+	}
+	if s.Count > 0 {
+		s.P50 = jsonSafe(h.Quantile(0.50))
+		s.P90 = jsonSafe(h.Quantile(0.90))
+		s.P99 = jsonSafe(h.Quantile(0.99))
+	}
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: h.bounds[i], Count: c})
+		}
+	}
+	return s
+}
+
+// jsonSafe maps non-finite floats to 0 so the snapshot always marshals.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Snapshot is the JSON form of a whole registry — the schema served at
+// /metrics and dumped by the -metrics-json CLI flags.
+type Snapshot struct {
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]float64           `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+	SpansRecorded int64                        `json:"spans_recorded"`
+}
+
+// Snapshot captures the current state of every metric. Values are read
+// without stopping writers, so concurrent snapshots are near-consistent —
+// exact once recording has quiesced.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	s := &Snapshot{
+		Counters:      make(map[string]int64, len(counters)),
+		Gauges:        make(map[string]float64, len(gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(hists)),
+		SpansRecorded: r.ring.totalRecorded(),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = jsonSafe(g.Value())
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes an indented snapshot to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// DumpJSON writes the snapshot to a file (the -metrics-json CLI path).
+func (r *Registry) DumpJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// std is the process-wide default registry every instrumented package
+// records into.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// C returns a counter from the default registry.
+func C(name string) *Counter { return std.Counter(name) }
+
+// G returns a gauge from the default registry.
+func G(name string) *Gauge { return std.Gauge(name) }
+
+// H returns a latency histogram from the default registry.
+func H(name string) *Histogram { return std.Histogram(name) }
+
+// HCount returns a size histogram (1-2-5 buckets) from the default
+// registry.
+func HCount(name string) *Histogram { return std.HistogramWith(name, countBuckets) }
+
+// StartSpan starts a root span on the default registry.
+func StartSpan(name string) *Span { return std.StartSpan(name) }

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span as kept in the recent-span ring buffer
+// and served at /spans.
+type SpanRecord struct {
+	ID           uint64 `json:"id"`
+	ParentID     uint64 `json:"parent_id,omitempty"`
+	Name         string `json:"name"`
+	StartUnixNS  int64  `json:"start_unix_ns"`
+	DurationNS   int64  `json:"duration_ns"`
+	DurationText string `json:"duration"`
+}
+
+// Span is a lightweight in-flight timer. Ending a span records its
+// duration into the "<name>.seconds" histogram of its registry and pushes
+// a SpanRecord into the ring buffer. Spans nest: Child spans carry their
+// parent's ID so the /spans view can be reassembled into a tree.
+type Span struct {
+	reg      *Registry
+	name     string
+	id       uint64
+	parentID uint64
+	start    time.Time
+	ended    atomic.Bool
+}
+
+// StartSpan starts a root span.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{reg: r, name: name, id: r.spanID.Add(1), start: time.Now()}
+}
+
+// Child starts a nested span under s.
+func (s *Span) Child(name string) *Span {
+	return &Span{reg: s.reg, name: name, id: s.reg.spanID.Add(1), parentID: s.id, start: time.Now()}
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// End completes the span, recording its duration (once; later calls are
+// no-ops returning 0).
+func (s *Span) End() time.Duration {
+	if !s.ended.CompareAndSwap(false, true) {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.Histogram(s.name + ".seconds").Observe(d.Seconds())
+	s.reg.ring.push(SpanRecord{
+		ID:           s.id,
+		ParentID:     s.parentID,
+		Name:         s.name,
+		StartUnixNS:  s.start.UnixNano(),
+		DurationNS:   d.Nanoseconds(),
+		DurationText: d.String(),
+	})
+	return d
+}
+
+// spanRing is a fixed-capacity ring of recently completed spans.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	head  int // index of the oldest record once the ring is full
+	total int64
+}
+
+func newSpanRing(capacity int) *spanRing {
+	return &spanRing{buf: make([]SpanRecord, 0, capacity)}
+}
+
+func (r *spanRing) push(rec SpanRecord) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.head] = rec
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+func (r *spanRing) totalRecorded() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// recent returns the buffered spans oldest-first.
+func (r *spanRing) recent() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// RecentSpans returns the registry's buffered spans, oldest-first.
+func (r *Registry) RecentSpans() []SpanRecord { return r.ring.recent() }

@@ -1,0 +1,26 @@
+package stats
+
+import "math"
+
+// Abs returns |v|. It is the one shared copy of the absolute-value helper
+// the metric and experiment code kept re-declaring privately.
+func Abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AbsDiff returns |a - b|.
+func AbsDiff(a, b float64) float64 {
+	return Abs(a - b)
+}
+
+// SqrtNonNeg returns sqrt(v), clamping tiny negative inputs (numerical
+// noise from variance computations) to zero instead of producing NaN.
+func SqrtNonNeg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

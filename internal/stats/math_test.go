@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAbs(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{3.5, 3.5},
+		{-3.5, 3.5},
+		{0, 0},
+		{math.Inf(-1), math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := Abs(c.in); got != c.want {
+			t.Errorf("Abs(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Abs(math.NaN())) {
+		t.Error("Abs(NaN) should stay NaN")
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	if got := AbsDiff(0.25, 0.75); got != 0.5 {
+		t.Errorf("AbsDiff(0.25, 0.75) = %g, want 0.5", got)
+	}
+	if got := AbsDiff(0.75, 0.25); got != 0.5 {
+		t.Errorf("AbsDiff(0.75, 0.25) = %g, want 0.5", got)
+	}
+}
+
+func TestSqrtNonNeg(t *testing.T) {
+	if got := SqrtNonNeg(4); got != 2 {
+		t.Errorf("SqrtNonNeg(4) = %g, want 2", got)
+	}
+	if got := SqrtNonNeg(0); got != 0 {
+		t.Errorf("SqrtNonNeg(0) = %g, want 0", got)
+	}
+	// Tiny negatives from floating-point variance noise clamp to zero
+	// instead of going NaN.
+	if got := SqrtNonNeg(-1e-18); got != 0 {
+		t.Errorf("SqrtNonNeg(-1e-18) = %g, want 0", got)
+	}
+}
