@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fmt
+.PHONY: all build vet test race bench bench-parallel fmt
 
 all: vet build test
 
@@ -13,14 +13,19 @@ vet:
 test:
 	$(GO) test -race ./...
 
-# The observability and transport packages are the most concurrency-heavy;
-# run them alone under the race detector for a fast signal.
+# The concurrency-heavy packages — observability, transport, the worker
+# pool and the sharded samplers — alone under the race detector for a fast
+# signal.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/
 
 # Regenerate the committed instrumented-benchmark baseline (quick sweeps).
 bench:
 	$(GO) run ./cmd/kertbench -quick -metrics-json BENCH_seed.json
+
+# Regenerate the committed parallel-vs-serial inference baseline.
+bench-parallel:
+	$(GO) run ./cmd/kertbench -exp parallel -metrics-json BENCH_parallel.json
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,72 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchParallelSnapshot validates the committed parallel-vs-serial
+// inference baseline: BENCH_parallel.json must parse as an obs.Snapshot,
+// carry the serial and per-worker-count likelihood-weighting and batch
+// histograms, and show the headline result — the sharded sampler at 8
+// workers at least 2x faster than the serial baseline on the recorded
+// host. Regenerate with `make bench-parallel`.
+func TestBenchParallelSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_parallel.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-parallel`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_parallel.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	names := []string{
+		"parallel.lw.serial.seconds",
+		"parallel.batch.serial.seconds",
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		names = append(names,
+			fmt.Sprintf("parallel.lw.w%02d.seconds", w),
+			fmt.Sprintf("parallel.batch.w%02d.seconds", w),
+		)
+	}
+	for _, name := range names {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("baseline is missing histogram %q", name)
+			continue
+		}
+		if h.Count <= 0 {
+			t.Errorf("histogram %q has no observations", name)
+		}
+		if h.Min > h.Max || h.P50 > h.P99 {
+			t.Errorf("histogram %q is inconsistent: %+v", name, h)
+		}
+	}
+
+	for _, g := range []string{"parallel.cpus", "parallel.lw.nsamples"} {
+		if v, ok := snap.Gauges[g]; !ok || v <= 0 {
+			t.Errorf("baseline gauge %q missing or non-positive (%v, present=%v)", g, v, ok)
+		}
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		g := fmt.Sprintf("parallel.lw.speedup.w%02d", w)
+		if v, ok := snap.Gauges[g]; !ok || v <= 0 {
+			t.Errorf("baseline gauge %q missing or non-positive (%v, present=%v)", g, v, ok)
+		}
+	}
+
+	// The committed baseline must document the headline claim: >= 2x LW
+	// speedup at 8 workers on the eDiaMoND-size network.
+	if v := snap.Gauges["parallel.lw.speedup.w08"]; v < 2 {
+		t.Errorf("committed baseline shows lw speedup %.3f at 8 workers; want >= 2 (regenerate with `make bench-parallel`)", v)
+	}
+}

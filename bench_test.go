@@ -9,6 +9,7 @@
 package kertbn
 
 import (
+	"context"
 	"testing"
 
 	"kertbn/internal/bn"
@@ -376,6 +377,77 @@ func BenchmarkAblation_PAccel_LikelihoodWeighting(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel inference (the BENCH_parallel.json comparison) ---
+
+// lwBenchModel builds the continuous eDiaMoND KERT-BN and the pAccel-style
+// evidence the parallel benchmark queries (same setup as
+// experiments.ParallelBench).
+func lwBenchModel(b *testing.B) (*core.Model, infer.ContinuousEvidence) {
+	b.Helper()
+	sys := simsvc.EDiaMoNDSystem()
+	rng := stats.NewRNG(42)
+	train, err := sys.GenerateDataset(1200, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.BuildKERT(core.DefaultKERTConfig(sys.Workflow), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, infer.ContinuousEvidence{0: stats.Mean(train.Col(0))}
+}
+
+func BenchmarkParallel_LW_Serial(b *testing.B) {
+	m, ev := lwBenchModel(b)
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infer.LikelihoodWeighting(m.Net, m.DNode, ev, 100_000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLWParallel(b *testing.B, workers int) {
+	m, ev := lwBenchModel(b)
+	root := stats.NewRNG(1)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infer.LikelihoodWeightingParallel(ctx, m.Net, m.DNode, ev, 100_000, workers, root.Split(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_LW_1worker(b *testing.B)  { benchLWParallel(b, 1) }
+func BenchmarkParallel_LW_4workers(b *testing.B) { benchLWParallel(b, 4) }
+func BenchmarkParallel_LW_8workers(b *testing.B) { benchLWParallel(b, 8) }
+
+func benchPosteriorBatch(b *testing.B, workers int) {
+	m, _ := lwBenchModel(b)
+	queries := make([]core.Query, 16)
+	for i := range queries {
+		queries[i] = core.Query{
+			Target:   m.DNode,
+			Evidence: map[int]float64{0: 0.05 + 0.002*float64(i)},
+		}
+	}
+	root := stats.NewRNG(10)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PosteriorBatch(ctx, m, queries, core.BatchOptions{
+			NSamples: 6_000, Workers: workers, RNG: root.Split(uint64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_PosteriorBatch16_1worker(b *testing.B)  { benchPosteriorBatch(b, 1) }
+func BenchmarkParallel_PosteriorBatch16_4workers(b *testing.B) { benchPosteriorBatch(b, 4) }
 
 // EM cost per iteration on a 5-bin eDiaMoND discrete model with 20%
 // missing cells (exact inference inside the E-step dominates; larger

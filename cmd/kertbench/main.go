@@ -2,12 +2,18 @@
 //
 // Usage:
 //
-//	kertbench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8] [-quick] [-seed N] [-tcp]
+//	kertbench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8|parallel] [-quick] [-seed N] [-tcp] [-workers P]
 //
 // -quick shrinks sweeps and repetition counts for a fast sanity pass;
 // the default settings mirror the paper's (which means the fig3/fig4
 // sweeps take a while at full scale). -tcp routes Figure 5's column
 // shipping through a real TCP socket instead of in-process copies.
+//
+// -workers fans the fig3/fig4/fig5 sweeps out over P concurrent jobs
+// (averaged series are identical at any P; timing panels contend, so
+// leave it at 1 when those are the point). -exp parallel runs the
+// parallel-vs-serial inference benchmark whose snapshot is committed as
+// BENCH_parallel.json (regenerate with `make bench-parallel`).
 //
 // -metrics-json dumps the internal/obs registry snapshot after the run:
 // per-phase build spans, per-size bench.* histograms (build/learn/infer
@@ -26,10 +32,11 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, parallel")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
+		workers     = flag.Int("workers", 1, "fig3/fig4/fig5: concurrent sweep jobs (averaged series are worker-count-independent; keep 1 when timing panels matter)")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
 	flag.Parse()
@@ -48,6 +55,7 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		render(experiments.Fig3(cfg))
 	}
 	if run("fig4") {
@@ -60,6 +68,7 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		render(experiments.Fig4(cfg))
 	}
 	if run("fig5") {
@@ -73,6 +82,7 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		render(experiments.Fig5(cfg))
 	}
 	edCfg := experiments.DefaultEDiaMoNDConfig()
@@ -118,6 +128,20 @@ func main() {
 			mCfg.Seed = *seed
 		}
 		renderOne(experiments.Motivation(mCfg))
+	}
+	if *exp == "parallel" {
+		// Not part of "all": it is a hardware benchmark, not a paper figure.
+		ok = true
+		pCfg := experiments.DefaultParallelBenchConfig()
+		if *quick {
+			pCfg.NSamples = 20_000
+			pCfg.Reps = 2
+			pCfg.BatchRows = 8
+		}
+		if *seed != 0 {
+			pCfg.Seed = *seed
+		}
+		renderOne(experiments.ParallelBench(pCfg))
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve the live introspection endpoint on this address (e.g. :8080)")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 		useDecen    = flag.Bool("decentral", true, "re-learn service CPDs decentrally on each rebuild (Fig. 5 live)")
+		workers     = flag.Int("workers", 0, "bound concurrent decentralized learners per rebuild (0 = one per CPD, the paper's all-agents-at-once scheme)")
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run")
 	)
 	flag.Parse()
@@ -80,7 +82,7 @@ func main() {
 			// learns its own service's CPD after the parent columns ship
 			// over; the per-node times land in the
 			// decentral.node_learn.seconds histogram.
-			if err := decentralRelearn(m, w); err != nil {
+			if err := decentralRelearn(m, w, *workers); err != nil {
 				return nil, fmt.Errorf("decentralized re-learn: %w", err)
 			}
 		}
@@ -221,8 +223,9 @@ func main() {
 // decentralRelearn re-learns the service CPDs of a freshly built discrete
 // KERT-BN through the decentralized engine over the same window (encoded
 // with the model's codec), installing the results. The D node keeps its
-// workflow-generated CPT.
-func decentralRelearn(m *core.Model, w *dataset.Dataset) error {
+// workflow-generated CPT. workers <= 0 runs one learner per CPD (the
+// paper's fully concurrent scheme); positive values bound the fan-out.
+func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int) error {
 	enc, err := m.Codec.Encode(w)
 	if err != nil {
 		return err
@@ -235,7 +238,10 @@ func decentralRelearn(m *core.Model, w *dataset.Dataset) error {
 	for j := range cols {
 		cols[j] = enc.Col(j)
 	}
-	res, err := decentral.Learn(plans, cols, decentral.InProcShipper{}, learn.DefaultOptions())
+	if workers <= 0 {
+		workers = len(plans)
+	}
+	res, err := decentral.LearnWorkers(context.Background(), plans, cols, decentral.InProcShipper{}, learn.DefaultOptions(), workers)
 	if err != nil {
 		return err
 	}

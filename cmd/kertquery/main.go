@@ -40,6 +40,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed for NRT restarts")
 		savePath    = flag.String("save", "", "write the built model to this file")
 		loadPath    = flag.String("load", "", "load a previously saved model instead of training")
+		workers     = flag.Int("workers", 1, "Monte-Carlo inference workers: >1 uses the sharded sampler (deterministic per seed at any count), 1 the serial one")
 	)
 	flag.Parse()
 	dumpMetrics := func() {
@@ -74,7 +75,7 @@ func main() {
 			fatal(err.Error())
 		}
 		fmt.Printf("loaded %s model from %s\n", model.Type, *loadPath)
-		answer(model, train, *query, *service, *factor, *h, *modelKind)
+		answer(model, train, *query, *service, *factor, *h, *modelKind, *workers)
 		dumpMetrics()
 		return
 	}
@@ -138,12 +139,12 @@ func main() {
 		}
 		fmt.Printf("model saved to %s\n", *savePath)
 	}
-	answer(model, train, *query, *service, *factor, *h, *modelKind)
+	answer(model, train, *query, *service, *factor, *h, *modelKind, *workers)
 	dumpMetrics()
 }
 
 // answer runs one query against a (built or loaded) model.
-func answer(model *core.Model, train *dataset.Dataset, query string, service int, factor, h float64, modelKind string) {
+func answer(model *core.Model, train *dataset.Dataset, query string, service int, factor, h float64, modelKind string, workers int) {
 	switch query {
 	case "dot":
 		fmt.Print(model.Net.DOT(modelKind))
@@ -163,7 +164,7 @@ func answer(model *core.Model, train *dataset.Dataset, query string, service int
 			}
 			observed[j] = stats.Mean(train.Col(j))
 		}
-		post, err := core.DComp(model, service, observed, core.DCompOptions{})
+		post, err := core.DComp(model, service, observed, core.DCompOptions{Workers: workers})
 		if err != nil {
 			fatal(err.Error())
 		}
@@ -181,7 +182,7 @@ func answer(model *core.Model, train *dataset.Dataset, query string, service int
 			// Default: the 95th percentile of observed response times.
 			observed = stats.Quantile(train.Col(train.NumCols()-1), 0.95)
 		}
-		sus, err := core.PLocal(model, observed, core.PLocalOptions{})
+		sus, err := core.PLocal(model, observed, core.PLocalOptions{Workers: workers})
 		if err != nil {
 			fatal(err.Error())
 		}
@@ -195,7 +196,7 @@ func answer(model *core.Model, train *dataset.Dataset, query string, service int
 	case "paccel", "threshold":
 		mean := stats.Mean(train.Col(service))
 		predicted := factor * mean
-		post, err := core.PAccel(model, service, predicted, core.PAccelOptions{})
+		post, err := core.PAccel(model, service, predicted, core.PAccelOptions{Workers: workers})
 		if err != nil {
 			fatal(err.Error())
 		}

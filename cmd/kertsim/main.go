@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		des         = flag.Bool("des", false, "use the discrete-event simulator (ediamond only)")
 		rate        = flag.Float64("rate", 1.0, "DES arrival rate (requests/sec)")
 		warmup      = flag.Int("warmup", 100, "DES warmup requests discarded before recording")
+		workers     = flag.Int("workers", 1, "row-generation workers: >1 draws rows concurrently via per-row seed splitting (deterministic per seed at any count; stream layout differs from -workers 1's sequential walk)")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
 	flag.Parse()
@@ -107,7 +109,13 @@ func main() {
 	default:
 		fatal(fmt.Sprintf("unknown system %q", *system))
 	}
-	ds, err := sys.GenerateDataset(*n, rng)
+	var ds *dataset.Dataset
+	var err error
+	if *workers > 1 {
+		ds, err = sys.GenerateDatasetParallel(context.Background(), *n, *workers, rng)
+	} else {
+		ds, err = sys.GenerateDataset(*n, rng)
+	}
 	if err != nil {
 		fatal(err.Error())
 	}

@@ -1,0 +1,25 @@
+// Package bn implements the Bayesian-network engine at the heart of the
+// KERT-BN reproduction: networks of discrete and continuous nodes, tabular
+// and linear-Gaussian conditional probability distributions (CPDs), the
+// deterministic-with-leak CPD of the paper's Equation 4, ancestral sampling
+// and exact log-likelihood scoring (the paper's data-fitting accuracy
+// metric).
+//
+// Paper mapping:
+//
+//   - Equation 4 (Section 3.3): DetFunc builds P(D | X1..Xn) from the
+//     workflow's deterministic end-to-end function f with a small leak
+//     probability spread over the remaining states, so observed rows that
+//     disagree slightly with f never get zero likelihood.
+//   - Section 3.2: TabularCPD (discrete nodes) and LinearGaussianCPD
+//     (continuous nodes) are the two learned CPD families; a KERT-BN mixes
+//     them with the knowledge-derived DetFunc at the D node.
+//   - Data-fitting accuracy (Figures 3 and 6): Network.LogLikelihood
+//     scores a dataset exactly, node by node, in log10 as the paper plots
+//     it.
+//
+// Networks are static once assembled: node ids are dense 0..N-1 and edges
+// come from the graph package's cycle-checked DAG. Sampling
+// (Network.Sample) walks a topological order, which both the simulator and
+// the likelihood-weighting sampler in internal/infer rely on.
+package bn

@@ -1,9 +1,3 @@
-// Package bn implements the Bayesian-network engine at the heart of the
-// KERT-BN reproduction: networks of discrete and continuous nodes, tabular
-// and linear-Gaussian conditional probability distributions (CPDs), the
-// deterministic-with-leak CPD of the paper's Equation 4, ancestral sampling
-// and exact log-likelihood scoring (the paper's data-fitting accuracy
-// metric).
 package bn
 
 import (

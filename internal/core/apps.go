@@ -12,6 +12,13 @@ type DCompOptions struct {
 	NSamples int
 	// RNG drives Monte-Carlo inference (continuous models).
 	RNG *stats.RNG
+	// Workers > 1 answers Monte-Carlo queries with the sharded sampler
+	// (infer.LikelihoodWeightingParallel) bounded by Workers goroutines;
+	// <= 1 keeps the serial sampler. Either way results are deterministic
+	// for a fixed RNG, but the two samplers lay out streams differently, so
+	// switching Workers across the 1/2 boundary changes the (equally valid)
+	// sample set. Exact inference paths ignore Workers.
+	Workers int
 }
 
 // DComp implements Section 5.1: estimate the elapsed-time distribution of
@@ -24,13 +31,16 @@ func DComp(m *Model, target int, observed map[int]float64, opts DCompOptions) (*
 	if len(observed) == 0 {
 		return nil, fmt.Errorf("core: dComp needs at least one observed node")
 	}
-	return posteriorForNode(m, target, observed, opts.NSamples, opts.RNG)
+	return posteriorForNode(m, target, observed, opts.NSamples, opts.Workers, opts.RNG)
 }
 
 // PAccelOptions tunes the pAccel application.
 type PAccelOptions struct {
 	NSamples int
 	RNG      *stats.RNG
+	// Workers > 1 uses the sharded Monte-Carlo sampler; see
+	// DCompOptions.Workers for the determinism trade-off.
+	Workers int
 }
 
 // PAccel implements Section 5.2: project the end-to-end response time
@@ -42,12 +52,12 @@ func PAccel(m *Model, service int, predictedMean float64, opts PAccelOptions) (*
 	if service == m.DNode {
 		return nil, fmt.Errorf("core: pAccel conditions on a service node, not D")
 	}
-	return posteriorForNode(m, m.DNode, map[int]float64{service: predictedMean}, opts.NSamples, opts.RNG)
+	return posteriorForNode(m, m.DNode, map[int]float64{service: predictedMean}, opts.NSamples, opts.Workers, opts.RNG)
 }
 
 // ResponseTimePosterior returns p(D | evidence) for arbitrary evidence — a
 // generalization both applications share and autonomic callers can use
 // directly.
 func ResponseTimePosterior(m *Model, evidence map[int]float64, nSamples int, rng *stats.RNG) (*Posterior, error) {
-	return posteriorForNode(m, m.DNode, evidence, nSamples, rng)
+	return posteriorForNode(m, m.DNode, evidence, nSamples, 1, rng)
 }

@@ -1,0 +1,35 @@
+// Package core implements the paper's primary contribution: the
+// Knowledge-Enhanced Response Time Bayesian Network (KERT-BN) and its
+// purely data-driven baseline (NRT-BN), plus the two Section-5
+// applications (dComp and pAccel), the relative threshold-violation
+// error metric of Equation 5, and the periodic model-(re)construction
+// scheme of Section 2 (W = K·T_CON, T_CON = α_model·T_DATA).
+//
+// Paper mapping:
+//
+//   - Section 3 / Figure 2: BuildKERT assembles the knowledge-derived
+//     structure (workflow DAG + Equation-4 D-CPD) and learns only the
+//     remaining service CPDs from data; BuildNRT learns everything (K2
+//     structure search + parameters) as the no-knowledge baseline.
+//   - Section 5.1 (dComp): DComp infers the posterior of one service's
+//     elapsed time given everything else observed — component-level
+//     diagnosis. PLocal ranks all services by posterior shift for
+//     problem localization.
+//   - Section 5.2 (pAccel): PAccel projects the end-to-end response time
+//     under a hypothesized change to one service — what-if acceleration.
+//   - Equation 5: ThresholdSweep reports the relative
+//     threshold-violation error ε(h) over a grid of thresholds h.
+//   - Section 2: Scheduler rebuilds the model every α_model points from
+//     the sliding window W = K·T_CON.
+//
+// Batched/parallel querying: batch.go fans many posterior queries out
+// over a bounded worker pool with deterministic per-row RNG streams
+// (stats.RNG.Split), and the option structs' Workers fields shard a
+// single Monte-Carlo query (see internal/infer). Workers <= 1 always
+// reproduces the historical serial sampler bit-for-bit.
+//
+// Node/column convention shared with the simulator and dataset packages:
+// service elapsed-time nodes X_i occupy ids 0..n-1 (equal to their
+// workflow service indices), optional shared-resource nodes follow, and
+// the end-to-end response time node D is last.
+package core

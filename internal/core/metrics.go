@@ -35,12 +35,16 @@ func ThresholdViolationError(post *Posterior, realD []float64, h float64) (float
 func ThresholdSweep(post *Posterior, realD []float64, thresholds []float64) []float64 {
 	out := make([]float64, len(thresholds))
 	for i, h := range thresholds {
-		eps, err := ThresholdViolationError(post, realD, h)
-		if err != nil {
-			out[i] = math.NaN()
-			continue
-		}
-		out[i] = eps
+		out[i] = thresholdEntry(post, realD, h)
 	}
 	return out
+}
+
+// thresholdEntry is one sweep cell: ε, or NaN where it is undefined.
+func thresholdEntry(post *Posterior, realD []float64, h float64) float64 {
+	eps, err := ThresholdViolationError(post, realD, h)
+	if err != nil {
+		return math.NaN()
+	}
+	return eps
 }

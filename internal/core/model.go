@@ -1,14 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// Knowledge-Enhanced Response Time Bayesian Network (KERT-BN) and its
-// purely data-driven baseline (NRT-BN), plus the two Section-5
-// applications (dComp and pAccel), the relative threshold-violation
-// error metric of Equation 5, and the periodic model-(re)construction
-// scheme of Section 2 (W = K·T_CON, T_CON = α_model·T_DATA).
-//
-// Node/column convention shared with the simulator and dataset packages:
-// service elapsed-time nodes X_i occupy ids 0..n-1 (equal to their
-// workflow service indices), optional shared-resource nodes follow, and
-// the end-to-end response time node D is last.
 package core
 
 import (

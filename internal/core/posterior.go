@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -186,8 +187,13 @@ func (p *Posterior) Quantile(q float64) float64 {
 }
 
 // posteriorForNode runs the model-appropriate inference path for one target
-// node given evidence in raw (continuous) units.
-func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples int, rng *stats.RNG) (*Posterior, error) {
+// node given evidence in raw (continuous) units. workers <= 1 keeps the
+// serial Monte-Carlo sampler (the historical default, bit-for-bit stable
+// across releases); workers > 1 switches to the sharded sampler of
+// infer.LikelihoodWeightingParallel, whose output is deterministic for a
+// fixed rng at any worker count but uses a different stream layout than the
+// serial sampler. Exact paths (VE, joint-Gaussian) ignore workers.
+func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples, workers int, rng *stats.RNG) (*Posterior, error) {
 	sp := obs.StartSpan("infer.query")
 	defer sp.End()
 	inferQueries.Inc()
@@ -236,7 +242,13 @@ func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples i
 		if rng == nil {
 			rng = stats.NewRNG(1)
 		}
-		ws, err := infer.LikelihoodWeighting(m.Net, target, infer.ContinuousEvidence(evidence), nSamples, rng)
+		var ws *infer.WeightedSamples
+		var err error
+		if workers > 1 {
+			ws, err = infer.LikelihoodWeightingParallel(context.Background(), m.Net, target, infer.ContinuousEvidence(evidence), nSamples, workers, rng)
+		} else {
+			ws, err = infer.LikelihoodWeighting(m.Net, target, infer.ContinuousEvidence(evidence), nSamples, rng)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +261,7 @@ func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples i
 // PriorMarginal returns the no-evidence marginal of a node — the baseline
 // dComp compares its updated posterior against.
 func PriorMarginal(m *Model, target int, nSamples int, rng *stats.RNG) (*Posterior, error) {
-	return posteriorForNode(m, target, nil, nSamples, rng)
+	return posteriorForNode(m, target, nil, nSamples, 1, rng)
 }
 
 // exactGaussianPosterior attempts the closed-form path: if every CPD is

@@ -1,8 +1,3 @@
-// Package dataset holds the tabular data flowing between the monitoring
-// substrate and the model builders: named float64 columns, train/test
-// splits, the sliding data window W = K·T_CON of the paper's Section 2,
-// and the discretizers that turn continuous elapsed times into the binned
-// states a discrete KERT-BN uses.
 package dataset
 
 import (

@@ -1,0 +1,20 @@
+// Package dataset holds the tabular data flowing between the monitoring
+// substrate and the model builders: named float64 columns, train/test
+// splits, the sliding data window W = K·T_CON of the paper's Section 2,
+// and the discretizers that turn continuous elapsed times into the binned
+// states a discrete KERT-BN uses.
+//
+// Paper mapping:
+//
+//   - Section 2: Window is the sliding per-request data window the
+//     periodic reconstruction scheme maintains; its capacity is
+//     K·α_model rows.
+//   - Section 3.2: EqualWidth and EqualFrequency are the two
+//     discretization policies for the discrete model family; a fitted
+//     Discretizer doubles as the codec that en/decodes query evidence so
+//     training and inference always agree on bin boundaries.
+//
+// Datasets are column-major ([]float64 per named column) because every
+// consumer — learning, decentralized column shipping, discretization —
+// scans whole columns; rows exist only at the monitoring boundary.
+package dataset

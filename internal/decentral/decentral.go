@@ -1,24 +1,14 @@
-// Package decentral implements the paper's Section-3.4 decentralized
-// parameter learning: the CPD P(X_i | Φ(X_i)) of each KERT-BN node needs
-// only that node's data plus its parents', so it can be computed on the
-// monitoring agent of service i after the parent agents ship their columns
-// over. All agents compute concurrently; the decentralized learning time is
-// therefore the *maximum* of the per-CPD times, versus the *sum* (plus full
-// dataset assembly) for centralized learning — the comparison of Figure 5.
-//
-// Two column-shipping transports are provided: in-process (direct copy,
-// for simulations) and TCP/gob (the distributed stand-in; the paper's
-// future-work idea of piggybacking on SOAP messages, minus SOAP).
 package decentral
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"kertbn/internal/bn"
 	"kertbn/internal/learn"
 	"kertbn/internal/obs"
+	"kertbn/internal/pool"
 )
 
 // Decentralized-learning metrics — the Fig. 5 quantities, live:
@@ -127,10 +117,24 @@ func (InProcShipper) Ship(from, to int, col []float64) ([]float64, error) {
 	return out, nil
 }
 
-// Learn runs one decentralized learning round: one goroutine per plan
-// receives its parents' columns through the shipper, assembles its local
-// training matrix, and fits its CPD. Options control Dirichlet smoothing.
+// Learn runs one decentralized learning round with one concurrent learner
+// per plan — the paper's setting, where every monitoring agent computes at
+// once. Each learner receives its parents' columns through the shipper,
+// assembles its local training matrix, and fits its CPD. Options control
+// Dirichlet smoothing.
 func Learn(plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options) (*Result, error) {
+	return LearnWorkers(context.Background(), plans, cols, shipper, opts, len(plans))
+}
+
+// LearnWorkers is Learn with bounded fan-out: at most workers learners run
+// at once (workers <= 0 means GOMAXPROCS), for hosts simulating far more
+// agents than they have cores. Learned CPDs are independent of workers —
+// each node's fit is a pure function of its plan and columns — but the
+// Fig.-5 wall-time split (DecentralizedTime = max per-node elapsed) only
+// models the fully concurrent scheme when workers >= len(plans).
+// ctx cancels learners not yet started; the first per-node error aborts the
+// round.
+func LearnWorkers(ctx context.Context, plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options, workers int) (*Result, error) {
 	sp := obs.StartSpan("decentral.learn")
 	defer sp.End()
 	decRounds.Inc()
@@ -151,30 +155,21 @@ func Learn(plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options) 
 	if nRows == 0 {
 		return nil, fmt.Errorf("decentral: no training rows")
 	}
-	res := &Result{PerNode: map[int]NodeResult{}}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make(chan error, len(plans))
-	for _, plan := range plans {
-		wg.Add(1)
-		go func(p NodePlan) {
-			defer wg.Done()
-			nr, err := learnOne(p, cols, shipper, opts)
-			if err != nil {
-				errs <- fmt.Errorf("decentral: node %d: %w", p.Node, err)
-				return
-			}
-			mu.Lock()
-			res.PerNode[p.Node] = nr
-			mu.Unlock()
-		}(plan)
-	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+	perPlan := make([]NodeResult, len(plans))
+	err := pool.ForEach(ctx, "decentral.learn", len(plans), workers, func(i int) error {
+		nr, err := learnOne(plans[i], cols, shipper, opts)
+		if err != nil {
+			return fmt.Errorf("decentral: node %d: %w", plans[i].Node, err)
+		}
+		perPlan[i] = nr
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	for _, nr := range res.PerNode {
+	res := &Result{PerNode: map[int]NodeResult{}}
+	for _, nr := range perPlan {
+		res.PerNode[nr.Node] = nr
 		if nr.Elapsed > res.DecentralizedTime {
 			res.DecentralizedTime = nr.Elapsed
 		}

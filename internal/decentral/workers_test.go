@@ -1,0 +1,55 @@
+package decentral
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/learn"
+)
+
+// TestLearnWorkersMatchesLearn verifies bounded fan-out changes scheduling
+// only: the learned CPDs are identical at any worker count.
+func TestLearnWorkersMatchesLearn(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(3000, 7)
+	ref, err := Learn(plans, cols, nil, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 0} {
+		res, err := LearnWorkers(context.Background(), plans, cols, nil, learn.Options{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerNode) != len(ref.PerNode) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res.PerNode), len(ref.PerNode))
+		}
+		for id, nr := range ref.PerNode {
+			got := res.PerNode[id].CPD.(*bn.LinearGaussian)
+			want := nr.CPD.(*bn.LinearGaussian)
+			if got.Intercept != want.Intercept || got.Sigma != want.Sigma {
+				t.Fatalf("workers=%d: node %d CPD differs", workers, id)
+			}
+			for k := range want.Coef {
+				if got.Coef[k] != want.Coef[k] {
+					t.Fatalf("workers=%d: node %d coef %d differs", workers, id, k)
+				}
+			}
+		}
+	}
+}
+
+func TestLearnWorkersCancellation(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(100, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := LearnWorkers(ctx, plans, cols, nil, learn.Options{}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,8 +1,3 @@
-// Package experiments regenerates every figure of the paper's evaluation
-// (Figures 3–8): the same workloads, parameter sweeps, baselines and
-// metrics, reported as printable series. Absolute times reflect today's
-// hardware; the shapes — who wins, by what factor, where NRT-BN becomes
-// infeasible — are the reproduction targets (see EXPERIMENTS.md).
 package experiments
 
 import (
@@ -98,6 +93,17 @@ func formatNum(v float64) string {
 	default:
 		return fmt.Sprintf("%.3f", v)
 	}
+}
+
+// serialDefault maps an unset Workers field to 1: experiment harnesses
+// default to serial execution because their timing panels measure per-build
+// wall clocks that concurrent jobs would contend over. Callers opt into
+// fan-out explicitly (kertbench -workers).
+func serialDefault(workers int) int {
+	if workers <= 0 {
+		return 1
+	}
+	return workers
 }
 
 // timeIt measures fn's wall-clock duration in seconds.

@@ -1,0 +1,21 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Figures 3–8): the same workloads, parameter sweeps, baselines and
+// metrics, reported as printable series. Absolute times reflect today's
+// hardware; the shapes — who wins, by what factor, where NRT-BN becomes
+// infeasible — are the reproduction targets (see EXPERIMENTS.md).
+//
+// Figure map: Fig3 (construction time and accuracy vs training size),
+// Fig4 (construction time vs system size, with the NRT infeasibility
+// cliff), Fig5 (decentralized vs centralized learning time), Fig6–Fig8
+// (the eDiaMoND case study: accuracy, dComp and pAccel/Equation-5
+// panels). Beyond the paper: Motivation (model staleness under drift),
+// KnowledgeAblation (which knowledge source buys what), and
+// ParallelBench (serial vs sharded inference; committed as
+// BENCH_parallel.json).
+//
+// The sweep figures accept a Workers knob that fans independent
+// (size, rep) jobs over a bounded pool. Averaged series are identical at
+// any worker count — each job draws from its own Seed-split stream keyed
+// by job index — but wall-clock timing panels contend under concurrency,
+// so Workers defaults to serial (see serialDefault).
+package experiments

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+
+	"kertbn/internal/pool"
 	"kertbn/internal/simsvc"
 	"kertbn/internal/stats"
 )
@@ -20,6 +23,13 @@ type Fig3Config struct {
 	Reps int
 	// MaxParents bounds K2 (0 = unbounded, as the paper's BNT K2).
 	MaxParents int
+	// Workers bounds how many repetitions run concurrently (<= 1 serial,
+	// 0 would mean GOMAXPROCS but the default config keeps 1). Repetition
+	// rep always draws from Seed-split stream rep, so averaged accuracy
+	// series are identical at any worker count; the *timing* series are
+	// per-build wall clocks, which concurrent repetitions contend over —
+	// keep Workers at 1 when the time panels are the point.
+	Workers int
 }
 
 // DefaultFig3Config reproduces the paper's settings.
@@ -40,46 +50,59 @@ func Fig3(cfg Fig3Config) ([]*FigResult, error) {
 	// Paired design: each repetition fixes one 30-service environment and
 	// sweeps every training size against it with fresh data, so accuracy
 	// curves are comparable across sizes (the paper's "fresh training and
-	// testing data" per repetition).
+	// testing data" per repetition). Repetitions are independent jobs: rep
+	// r draws from root.Split(r) and writes row r of the per-rep matrices,
+	// so fanning out over Workers leaves the averages untouched.
 	nSizes := len(cfg.TrainSizes)
-	sumKT := make([]float64, nSizes)
-	sumNT := make([]float64, nSizes)
-	sumKL := make([]float64, nSizes)
-	sumNL := make([]float64, nSizes)
+	type repRow struct{ kt, nt, kl, nl []float64 }
+	rows := make([]repRow, cfg.Reps)
 	root := stats.NewRNG(cfg.Seed)
-	for rep := 0; rep < cfg.Reps; rep++ {
-		rng := root.Split()
+	err := pool.ForEach(context.Background(), "exp.fig3", cfg.Reps, serialDefault(cfg.Workers), func(rep int) error {
+		rng := root.Split(uint64(rep))
 		sys, err := simsvc.RandomSystem(cfg.Services, simsvc.DefaultRandomSystemOptions(), rng)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		row := repRow{
+			kt: make([]float64, nSizes), nt: make([]float64, nSizes),
+			kl: make([]float64, nSizes), nl: make([]float64, nSizes),
 		}
 		for si, size := range cfg.TrainSizes {
 			train, err := sys.GenerateDataset(size, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			test, err := sys.GenerateDataset(cfg.TestSize, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			kt, nt, kl, nl, err := buildBoth(sys, train, test, cfg.MaxParents)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumKT[si] += kt
-			sumNT[si] += nt
-			sumKL[si] += kl
-			sumNL[si] += nl
+			row.kt[si], row.nt[si], row.kl[si], row.nl[si] = kt, nt, kl, nl
 		}
+		rows[rep] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var xs, kertT, nrtT, kertL, nrtL []float64
 	r := float64(cfg.Reps)
 	for si, size := range cfg.TrainSizes {
+		var sKT, sNT, sKL, sNL float64
+		for _, row := range rows {
+			sKT += row.kt[si]
+			sNT += row.nt[si]
+			sKL += row.kl[si]
+			sNL += row.nl[si]
+		}
 		xs = append(xs, float64(size))
-		kertT = append(kertT, sumKT[si]/r)
-		nrtT = append(nrtT, sumNT[si]/r)
-		kertL = append(kertL, sumKL[si]/r)
-		nrtL = append(nrtL, sumNL[si]/r)
+		kertT = append(kertT, sKT/r)
+		nrtT = append(nrtT, sNT/r)
+		kertL = append(kertL, sKL/r)
+		nrtL = append(nrtL, sNL/r)
 	}
 	timePanel := &FigResult{
 		ID:     "fig3-time",

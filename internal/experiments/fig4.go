@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"kertbn/internal/pool"
 	"kertbn/internal/stats"
 )
 
@@ -25,6 +27,11 @@ type Fig4Config struct {
 	TConSeconds float64
 	// MaxParents bounds K2 (0 = unbounded).
 	MaxParents int
+	// Workers bounds how many (size, repetition) jobs run concurrently
+	// (<= 1 serial). Job (si, rep) draws from Seed-split stream
+	// si·Reps+rep, so accuracy series are worker-count-independent; keep 1
+	// when the timing panel is the point (see Fig3Config.Workers).
+	Workers int
 }
 
 // DefaultFig4Config reproduces the paper's settings.
@@ -72,24 +79,39 @@ func powerFit(xs, ys []float64) (a, b float64, ok bool) {
 // Fig4 regenerates Figure 4: construction time and accuracy versus
 // environment size (number of services), training on 36 points.
 func Fig4(cfg Fig4Config) ([]*FigResult, error) {
-	rng := stats.NewRNG(cfg.Seed)
+	// Every (size, repetition) pair is one independent job drawing from its
+	// own Seed-split stream, written to its own slot and reduced in job
+	// order — fan-out cannot change the averaged series.
+	root := stats.NewRNG(cfg.Seed)
+	nJobs := len(cfg.Sizes) * cfg.Reps
+	type jobOut struct{ kt, nt, kl, nl float64 }
+	outs := make([]jobOut, nJobs)
+	err := pool.ForEach(context.Background(), "exp.fig4", nJobs, serialDefault(cfg.Workers), func(j int) error {
+		n := cfg.Sizes[j/cfg.Reps]
+		sys, train, test, err := freshData(n, cfg.TrainSize, cfg.TestSize, root.Split(uint64(j)))
+		if err != nil {
+			return err
+		}
+		kt, nt, kl, nl, err := buildBoth(sys, train, test, cfg.MaxParents)
+		if err != nil {
+			return err
+		}
+		outs[j] = jobOut{kt, nt, kl, nl}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var xs, kertT, nrtT, kertL, nrtL []float64
 	infeasibleAt := -1
-	for _, n := range cfg.Sizes {
+	for si, n := range cfg.Sizes {
 		tSumK, tSumN, lSumK, lSumN := 0.0, 0.0, 0.0, 0.0
 		for rep := 0; rep < cfg.Reps; rep++ {
-			sys, train, test, err := freshData(n, cfg.TrainSize, cfg.TestSize, rng)
-			if err != nil {
-				return nil, err
-			}
-			kt, nt, kl, nl, err := buildBoth(sys, train, test, cfg.MaxParents)
-			if err != nil {
-				return nil, err
-			}
-			tSumK += kt
-			tSumN += nt
-			lSumK += kl
-			lSumN += nl
+			o := outs[si*cfg.Reps+rep]
+			tSumK += o.kt
+			tSumN += o.nt
+			lSumK += o.kl
+			lSumN += o.nl
 		}
 		r := float64(cfg.Reps)
 		xs = append(xs, float64(n))

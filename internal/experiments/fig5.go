@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"kertbn/internal/core"
 	"kertbn/internal/decentral"
 	"kertbn/internal/learn"
+	"kertbn/internal/pool"
 	"kertbn/internal/stats"
 )
 
@@ -23,6 +25,12 @@ type Fig5Config struct {
 	// UseTCP routes column shipping through the TCP/gob fabric instead of
 	// in-process copies.
 	UseTCP bool
+	// Workers bounds how many (size, model) jobs run concurrently (<= 1
+	// serial). Each job still runs its own decentralized round with one
+	// learner per CPD — Workers only stacks independent rounds — so the ops
+	// panels are unchanged; the wall-clock panel contends when Workers > 1
+	// (see Fig3Config.Workers).
+	Workers int
 }
 
 // DefaultFig5Config reproduces the paper's settings.
@@ -40,7 +48,6 @@ func DefaultFig5Config() Fig5Config {
 // (one server doing everything), as environment size grows. Both wall-clock
 // seconds and the deterministic operation-count ratio are reported.
 func Fig5(cfg Fig5Config) ([]*FigResult, error) {
-	rng := stats.NewRNG(cfg.Seed)
 	var shipper decentral.Shipper = decentral.InProcShipper{}
 	if cfg.UseTCP {
 		fabric, err := decentral.NewTCPFabric()
@@ -50,39 +57,58 @@ func Fig5(cfg Fig5Config) ([]*FigResult, error) {
 		defer fabric.Close()
 		shipper = fabric
 	}
+	// Each (size, model) pair is one independent learning round drawing
+	// from its own Seed-split stream.
+	root := stats.NewRNG(cfg.Seed)
+	nJobs := len(cfg.Sizes) * cfg.ModelsPerSize
+	type jobOut struct{ decS, cenS, decO, cenO float64 }
+	outs := make([]jobOut, nJobs)
+	err := pool.ForEach(context.Background(), "exp.fig5", nJobs, serialDefault(cfg.Workers), func(j int) error {
+		n := cfg.Sizes[j/cfg.ModelsPerSize]
+		sys, train, _, err := freshData(n, cfg.TrainSize, 1, root.Split(uint64(j)))
+		if err != nil {
+			return err
+		}
+		// Build the KERT structure (knowledge; not timed here) and then
+		// learn the unknown CPDs through the decentral engine.
+		model, err := core.BuildKERT(core.DefaultKERTConfig(sys.Workflow), train.Head(2))
+		if err != nil {
+			return err
+		}
+		plans, err := decentral.PlanFromNetwork(model.Net, nil)
+		if err != nil {
+			return err
+		}
+		cols := make(decentral.Columns, train.NumCols())
+		for c := range cols {
+			cols[c] = train.Col(c)
+		}
+		res, err := decentral.Learn(plans, cols, shipper, learn.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("size %d model %d: %w", n, j%cfg.ModelsPerSize, err)
+		}
+		outs[j] = jobOut{
+			decS: res.DecentralizedTime.Seconds(),
+			cenS: res.CentralizedTime.Seconds(),
+			decO: float64(res.DecentralizedCost),
+			cenO: float64(res.CentralizedCost),
+		}
+		benchHist("decentral.learn", n, outs[j].decS)
+		benchHist("central.learn", n, outs[j].cenS)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var xs, decT, cenT, decOps, cenOps []float64
-	for _, n := range cfg.Sizes {
-		var dSum, cSum float64
-		var dOps, cOps float64
+	for si, n := range cfg.Sizes {
+		var dSum, cSum, dOps, cOps float64
 		for m := 0; m < cfg.ModelsPerSize; m++ {
-			sys, train, _, err := freshData(n, cfg.TrainSize, 1, rng)
-			if err != nil {
-				return nil, err
-			}
-			// Build the KERT structure (knowledge; not timed here) and then
-			// learn the unknown CPDs through the decentral engine.
-			model, err := core.BuildKERT(core.DefaultKERTConfig(sys.Workflow), train.Head(2))
-			if err != nil {
-				return nil, err
-			}
-			plans, err := decentral.PlanFromNetwork(model.Net, nil)
-			if err != nil {
-				return nil, err
-			}
-			cols := make(decentral.Columns, train.NumCols())
-			for j := range cols {
-				cols[j] = train.Col(j)
-			}
-			res, err := decentral.Learn(plans, cols, shipper, learn.DefaultOptions())
-			if err != nil {
-				return nil, fmt.Errorf("size %d model %d: %w", n, m, err)
-			}
-			dSum += res.DecentralizedTime.Seconds()
-			cSum += res.CentralizedTime.Seconds()
-			dOps += float64(res.DecentralizedCost)
-			cOps += float64(res.CentralizedCost)
-			benchHist("decentral.learn", n, res.DecentralizedTime.Seconds())
-			benchHist("central.learn", n, res.CentralizedTime.Seconds())
+			o := outs[si*cfg.ModelsPerSize+m]
+			dSum += o.decS
+			cSum += o.cenS
+			dOps += o.decO
+			cOps += o.cenO
 		}
 		k := float64(cfg.ModelsPerSize)
 		xs = append(xs, float64(n))

@@ -1,0 +1,14 @@
+// Package factor implements discrete probability factors — multidimensional
+// tables over sets of categorical variables — together with the product,
+// marginalization, reduction and normalization operations that variable
+// elimination is built from.
+//
+// These are the workhorses of the exact inference path (internal/infer's
+// VE) that the paper's Section-5 applications use on discrete KERT-BNs;
+// the Monte-Carlo paths also return their posteriors as single-variable
+// factors so every caller sees one result type.
+//
+// A factor's variable list is kept sorted ascending by variable id, and the
+// value table is laid out with the FIRST variable as the slowest-moving
+// index (row-major over the sorted scope).
+package factor

@@ -1,11 +1,3 @@
-// Package factor implements discrete probability factors — multidimensional
-// tables over sets of categorical variables — together with the product,
-// marginalization, reduction and normalization operations that variable
-// elimination is built from.
-//
-// A factor's variable list is kept sorted ascending by variable id, and the
-// value table is laid out with the FIRST variable as the slowest-moving
-// index (row-major over the sorted scope).
 package factor
 
 import (

@@ -1,10 +1,3 @@
-// Package graph implements the directed-acyclic-graph machinery underlying
-// Bayesian networks: cycle-safe edge insertion, topological ordering,
-// ancestor/descendant queries, moralization and elimination orderings for
-// variable elimination.
-//
-// Nodes are dense integer identifiers 0..N-1; callers keep their own
-// id→name mapping.
 package graph
 
 import (

@@ -1,0 +1,13 @@
+// Package graph implements the directed-acyclic-graph machinery underlying
+// Bayesian networks: cycle-safe edge insertion, topological ordering,
+// ancestor/descendant queries, moralization and elimination orderings for
+// variable elimination.
+//
+// In the paper's terms this is the structural half of Section 3.1: the
+// KERT-BN's edges come from workflow knowledge (internal/workflow derives
+// them), the NRT-BN's from K2 search (internal/learn proposes them), and
+// both land here where acyclicity is enforced at insertion time.
+//
+// Nodes are dense integer identifiers 0..N-1; callers keep their own
+// id→name mapping.
+package graph

@@ -16,75 +16,104 @@ type GibbsOptions struct {
 	Samples int
 	// Thin keeps every Thin-th sweep (default 1).
 	Thin int
+	// Chains is the number of independent chains GibbsParallel runs
+	// (default 4); each chain pays its own burn-in and contributes
+	// Samples/Chains collected sweeps. Serial Gibbs always runs one chain.
+	Chains int
 }
 
 // DefaultGibbsOptions returns settings adequate for small networks.
 func DefaultGibbsOptions() GibbsOptions {
-	return GibbsOptions{Burnin: 200, Samples: 2000, Thin: 1}
+	return GibbsOptions{Burnin: 200, Samples: 2000, Thin: 1, Chains: 4}
 }
 
-// Gibbs estimates the posterior marginal P(query | evidence) for a fully
-// discrete network by Gibbs sampling over the hidden variables — the
-// approximate fallback when a network's treewidth makes exact variable
-// elimination or junction-tree propagation too expensive.
-func Gibbs(n *bn.Network, query int, ev DiscreteEvidence, opts GibbsOptions, rng *stats.RNG) (*factor.Factor, error) {
+func (o *GibbsOptions) fillDefaults() {
+	if o.Burnin <= 0 {
+		o.Burnin = 200
+	}
+	if o.Samples <= 0 {
+		o.Samples = 2000
+	}
+	if o.Thin <= 0 {
+		o.Thin = 1
+	}
+	if o.Chains <= 0 {
+		o.Chains = 4
+	}
+}
+
+// gibbsSetup is the per-query state shared by all chains: the validated
+// discrete network unpacked into flat tables. It is read-only after
+// construction, so concurrent chains may share one setup.
+type gibbsSetup struct {
+	net      *bn.Network
+	query    int
+	ev       DiscreteEvidence
+	cards    []int
+	tabs     []*bn.Tabular
+	hidden   []int
+	children [][]int
+}
+
+func newGibbsSetup(n *bn.Network, query int, ev DiscreteEvidence) (*gibbsSetup, error) {
 	if query < 0 || query >= n.N() {
 		return nil, fmt.Errorf("infer: query node %d out of range", query)
 	}
 	if _, isEv := ev[query]; isEv {
 		return nil, fmt.Errorf("infer: query node %d is also evidence", query)
 	}
-	if opts.Burnin <= 0 {
-		opts.Burnin = 200
-	}
-	if opts.Samples <= 0 {
-		opts.Samples = 2000
-	}
-	if opts.Thin <= 0 {
-		opts.Thin = 1
-	}
 	N := n.N()
-	cards := make([]int, N)
-	tabs := make([]*bn.Tabular, N)
+	s := &gibbsSetup{
+		net:      n,
+		query:    query,
+		ev:       ev,
+		cards:    make([]int, N),
+		tabs:     make([]*bn.Tabular, N),
+		children: make([][]int, N),
+	}
 	for v := 0; v < N; v++ {
 		node := n.Node(v)
 		tab, ok := node.CPD.(*bn.Tabular)
 		if !ok {
 			return nil, fmt.Errorf("infer: Gibbs needs a fully discrete network; node %q has %T", node.Name, node.CPD)
 		}
-		tabs[v] = tab
-		cards[v] = node.Card
+		s.tabs[v] = tab
+		s.cards[v] = node.Card
+		s.children[v] = n.Children(v)
 	}
+	for v := 0; v < N; v++ {
+		if _, isEv := ev[v]; !isEv {
+			s.hidden = append(s.hidden, v)
+		}
+	}
+	return s, nil
+}
+
+// chain runs one independent Gibbs chain (burn-in plus collection) and
+// returns the per-state visit counts of the query node.
+func (s *gibbsSetup) chain(burnin, samples, thin int, rng *stats.RNG) []float64 {
+	n := s.net
+	N := n.N()
 	// Initialize: evidence clamped, hidden states drawn by forward sampling
 	// (guarantees a support state when CPTs contain zeros on ancestors).
 	state := make([]float64, N)
 	for _, v := range n.TopoOrder() {
-		if s, isEv := ev[v]; isEv {
-			state[v] = float64(s)
+		if st, isEv := s.ev[v]; isEv {
+			state[v] = float64(st)
 			continue
 		}
-		state[v] = tabs[v].Sample(rng, n.ParentValues(v, state))
+		state[v] = s.tabs[v].Sample(rng, n.ParentValues(v, state))
 	}
-	var hidden []int
-	for v := 0; v < N; v++ {
-		if _, isEv := ev[v]; !isEv {
-			hidden = append(hidden, v)
-		}
-	}
-	children := make([][]int, N)
-	for v := 0; v < N; v++ {
-		children[v] = n.Children(v)
-	}
-	counts := make([]float64, cards[query])
+	counts := make([]float64, s.cards[s.query])
 	weights := make([]float64, 0, 8)
 	sweep := func() {
-		for _, v := range hidden {
+		for _, v := range s.hidden {
 			weights = weights[:0]
-			for s := 0; s < cards[v]; s++ {
-				state[v] = float64(s)
-				w := prob(n, tabs[v], v, state)
-				for _, c := range children[v] {
-					w *= prob(n, tabs[c], c, state)
+			for st := 0; st < s.cards[v]; st++ {
+				state[v] = float64(st)
+				w := prob(n, s.tabs[v], v, state)
+				for _, c := range s.children[v] {
+					w *= prob(n, s.tabs[c], c, state)
 				}
 				weights = append(weights, w)
 			}
@@ -95,22 +124,42 @@ func Gibbs(n *bn.Network, query int, ev DiscreteEvidence, opts GibbsOptions, rng
 			if total <= 0 {
 				// Stuck in a zero-probability corner; restart the variable
 				// uniformly to keep the chain moving.
-				state[v] = float64(rng.Intn(cards[v]))
+				state[v] = float64(rng.Intn(s.cards[v]))
 				continue
 			}
 			state[v] = float64(rng.Categorical(weights))
 		}
 	}
-	for i := 0; i < opts.Burnin; i++ {
+	for i := 0; i < burnin; i++ {
 		sweep()
 	}
-	for i := 0; i < opts.Samples; i++ {
-		for t := 0; t < opts.Thin; t++ {
+	for i := 0; i < samples; i++ {
+		for t := 0; t < thin; t++ {
 			sweep()
 		}
-		counts[int(state[query])]++
+		counts[int(state[s.query])]++
 	}
-	out := factor.New([]int{query}, []int{cards[query]})
+	return counts
+}
+
+// Gibbs estimates the posterior marginal P(query | evidence) for a fully
+// discrete network by Gibbs sampling over the hidden variables — the
+// approximate fallback when a network's treewidth makes exact variable
+// elimination or junction-tree propagation too expensive. It runs a single
+// chain; GibbsParallel fans several chains out across workers.
+func Gibbs(n *bn.Network, query int, ev DiscreteEvidence, opts GibbsOptions, rng *stats.RNG) (*factor.Factor, error) {
+	opts.fillDefaults()
+	setup, err := newGibbsSetup(n, query, ev)
+	if err != nil {
+		return nil, err
+	}
+	counts := setup.chain(opts.Burnin, opts.Samples, opts.Thin, rng)
+	return countsToFactor(query, counts)
+}
+
+// countsToFactor normalizes visit counts into a posterior factor.
+func countsToFactor(query int, counts []float64) (*factor.Factor, error) {
+	out := factor.New([]int{query}, []int{len(counts)})
 	copy(out.Values, counts)
 	if out.Normalize() == 0 {
 		return nil, fmt.Errorf("infer: Gibbs collected no mass")

@@ -73,23 +73,28 @@ func LikelihoodWeighting(n *bn.Network, query int, ev ContinuousEvidence, nSampl
 	if len(out.Values) == 0 {
 		return nil, fmt.Errorf("infer: all %d samples had zero evidence likelihood", nSamples)
 	}
-	// Convert log weights to normalized linear weights (log-sum-exp).
+	normalizeLogWeights(out.Weights)
+	return out, nil
+}
+
+// normalizeLogWeights converts accumulated log weights in place to
+// normalized linear weights (log-sum-exp).
+func normalizeLogWeights(weights []float64) {
 	maxLW := math.Inf(-1)
-	for _, lw := range out.Weights {
+	for _, lw := range weights {
 		if lw > maxLW {
 			maxLW = lw
 		}
 	}
 	total := 0.0
-	for i, lw := range out.Weights {
+	for i, lw := range weights {
 		w := math.Exp(lw - maxLW)
-		out.Weights[i] = w
+		weights[i] = w
 		total += w
 	}
-	for i := range out.Weights {
-		out.Weights[i] /= total
+	for i := range weights {
+		weights[i] /= total
 	}
-	return out, nil
 }
 
 // Mean returns the weighted posterior mean.

@@ -1,12 +1,3 @@
-// Package infer implements the three inference paths the KERT-BN system
-// uses:
-//
-//   - exact variable elimination for fully discrete networks (the path the
-//     paper's Section-5 applications use),
-//   - exact joint-Gaussian construction and conditioning for fully
-//     linear-Gaussian networks,
-//   - likelihood weighting for networks containing nonlinear deterministic
-//     CPDs (the continuous KERT-BN's D = X1+X2+max(...) node).
 package infer
 
 import (

@@ -1,0 +1,21 @@
+// Package learn implements parameter and structure learning:
+//
+//   - maximum-likelihood / Dirichlet-smoothed CPT estimation for discrete
+//     nodes,
+//   - ordinary-least-squares estimation of linear-Gaussian CPDs,
+//   - the Cooper–Herskovits Bayesian score (discrete) and a Gaussian BIC
+//     score (continuous),
+//   - the K2 greedy structure-learning algorithm with random-ordering
+//     restarts — the NRT-BN baseline of the paper.
+//
+// Paper mapping: Section 3.2 (parameter estimation for the service
+// nodes a KERT-BN still learns from data), Section 4 and Figures 3–4
+// (K2's construction cost is what makes NRT-BN infeasible at scale —
+// the ScoreEvals/DataOps counters feed those curves), and Section 3.4
+// (the per-node estimators here are what internal/decentral runs on
+// each agent).
+//
+// All learning routines report a deterministic operation-count Cost next to
+// whatever wall-clock time the caller measures, so construction-time curves
+// can be regenerated reproducibly.
+package learn

@@ -1,16 +1,3 @@
-// Package learn implements parameter and structure learning:
-//
-//   - maximum-likelihood / Dirichlet-smoothed CPT estimation for discrete
-//     nodes,
-//   - ordinary-least-squares estimation of linear-Gaussian CPDs,
-//   - the Cooper–Herskovits Bayesian score (discrete) and a Gaussian BIC
-//     score (continuous),
-//   - the K2 greedy structure-learning algorithm with random-ordering
-//     restarts — the NRT-BN baseline of the paper.
-//
-// All learning routines report a deterministic operation-count Cost next to
-// whatever wall-clock time the caller measures, so construction-time curves
-// can be regenerated reproducibly.
 package learn
 
 import (

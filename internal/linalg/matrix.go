@@ -1,8 +1,3 @@
-// Package linalg provides the small dense linear-algebra kernel used by the
-// Bayesian-network engine: matrices, Cholesky factorization, SPD solves and
-// ordinary least squares. It is deliberately minimal — just what conditional
-// linear-Gaussian learning and joint-Gaussian inference need — and depends
-// only on the standard library.
 package linalg
 
 import (

@@ -1,10 +1,3 @@
-// Package monitor reproduces the paper's Section-2 data pipeline: OGSA
-// middleware monitoring points measure per-service elapsed times, a
-// monitoring agent on each machine batches them, and a management server
-// assembles complete per-request rows and feeds the periodic model
-// (re)construction scheme. Two report transports are provided: in-process
-// channels (simulation) and TCP with gob encoding (the distributed
-// deployment stand-in).
 package monitor
 
 import (

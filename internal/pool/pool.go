@@ -1,0 +1,89 @@
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kertbn/internal/obs"
+)
+
+// Size resolves a requested worker count: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS), anything else is taken literally.
+func Size(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every index i in [0, n) across at most workers
+// goroutines (workers <= 0 resolves via Size). Indices are handed out from a
+// shared atomic counter, so assignment of index to goroutine is scheduling-
+// dependent — callers needing determinism must make fn's effect a pure
+// function of i (write into out[i], derive randomness with rng.Split(i)).
+//
+// The first fn error stops further indices from being issued and is
+// returned; in-flight calls finish first. A cancelled ctx likewise drains
+// the pool and returns ctx.Err() (nil ctx means context.Background()).
+//
+// Instrumentation per pool name: "pool.<name>.calls" counts invocations,
+// "pool.<name>.workers" records the resolved worker count per call, and
+// "pool.<name>.shard.seconds" is the per-index latency histogram.
+func ForEach(ctx context.Context, name string, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Size(workers)
+	if w > n {
+		w = n
+	}
+	obs.C("pool." + name + ".calls").Inc()
+	obs.H("pool." + name + ".workers").Observe(float64(w))
+	shardSec := obs.H("pool." + name + ".shard.seconds")
+
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		once.Do(func() { firstErr = err })
+		stopped.Store(true)
+	}
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				start := time.Now()
+				err := fn(i)
+				shardSec.Observe(time.Since(start).Seconds())
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

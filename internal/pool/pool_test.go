@@ -1,0 +1,124 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	var mu sync.Mutex
+	seen := make([]int, n)
+	err := ForEach(context.Background(), "test.visit", n, 8, func(i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), "test.bound", 200, workers, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent shards, want <= %d", p, workers)
+	}
+}
+
+func TestForEachFirstErrorStopsIssuing(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), "test.err", 10_000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("pool kept issuing after the error (%d ran)", n)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, "test.cancel", 100_000, 4, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100_000 {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, "test.precancel", 100, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d shards ran despite pre-cancelled context", ran.Load())
+	}
+}
+
+func TestForEachEmptyAndNilCtx(t *testing.T) {
+	if err := ForEach(context.Background(), "test.empty", 0, 4, func(i int) error { return nil }); err != nil {
+		t.Fatalf("empty range: %v", err)
+	}
+	ran := false
+	if err := ForEach(nil, "test.nilctx", 1, 1, func(i int) error { ran = true; return nil }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if !ran {
+		t.Fatal("nil ctx must default to Background and run")
+	}
+}
+
+func TestSize(t *testing.T) {
+	if Size(5) != 5 {
+		t.Fatal("explicit worker count must pass through")
+	}
+	if Size(0) < 1 || Size(-3) < 1 {
+		t.Fatal("non-positive requests must resolve to at least one worker")
+	}
+}

@@ -1,0 +1,20 @@
+// Package simsvc simulates service-oriented systems to generate the
+// training and testing data the paper's evaluation uses. Two fidelity
+// levels are provided:
+//
+//   - a correlated delay sampler (Sample/GenerateDataset) mirroring the
+//     paper's Matlab simulation (Section 4), where services "randomly
+//     generate a processing delay upon receiving calls" and immediate
+//     upstream services influence downstream elapsed times (bottleneck
+//     shift), and
+//
+//   - a discrete-event simulator (DES) with FIFO queueing stations,
+//     Poisson arrivals and workflow-driven fork/join request propagation,
+//     standing in for the paper's eDiaMoND testbed (Sections 2 and 5).
+//
+// RandomSystem grows the size-n environments of the Figure 3–5 sweeps.
+// GenerateDatasetParallel fans row generation out over a worker pool with
+// one rng.Split(i) stream per row — deterministic for a fixed seed at any
+// worker count, though its row set differs from the serial generator's
+// (same distribution, different stream layout).
+package simsvc

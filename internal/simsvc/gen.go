@@ -1,9 +1,11 @@
 package simsvc
 
 import (
+	"context"
 	"fmt"
 
 	"kertbn/internal/dataset"
+	"kertbn/internal/pool"
 	"kertbn/internal/stats"
 	"kertbn/internal/workflow"
 )
@@ -77,6 +79,44 @@ func (s *System) GenerateDataset(nRows int, rng *stats.RNG) (*dataset.Dataset, e
 		if err != nil {
 			return nil, err
 		}
+		if err := d.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// GenerateDatasetParallel draws nRows observation rows with up to workers
+// goroutines (workers <= 0 means GOMAXPROCS). Rows are independent draws, so
+// row i samples from its own stream rng.Split(i) and is written to its own
+// index: the dataset depends only on (rng state, nRows), never on workers.
+// The row set differs from GenerateDataset's (which walks one sequential
+// stream) but has the identical distribution; pick one generator per
+// experiment and keep it. ctx cancels remaining rows.
+func (s *System) GenerateDatasetParallel(ctx context.Context, nRows, workers int, rng *stats.RNG) (*dataset.Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if nRows <= 0 {
+		return nil, fmt.Errorf("simsvc: nRows must be positive, got %d", nRows)
+	}
+	if rng == nil {
+		rng = stats.NewRNG(1)
+	}
+	rows := make([][]float64, nRows)
+	err := pool.ForEach(ctx, "simsvc.gen", nRows, workers, func(i int) error {
+		row, err := s.Sample(rng.Split(uint64(i)))
+		if err != nil {
+			return fmt.Errorf("simsvc: row %d: %w", i, err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.New(s.ColumnNames())
+	for _, row := range rows {
 		if err := d.Append(row); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,71 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kertbn/internal/stats"
+)
+
+func TestGenerateDatasetParallelDeterministicAcrossWorkers(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	run := func(workers int) [][]float64 {
+		d, err := sys.GenerateDatasetParallel(context.Background(), 500, workers, stats.NewRNG(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Rows
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for r := range ref {
+			for c := range ref[r] {
+				if got[r][c] != ref[r][c] {
+					t.Fatalf("workers=%d: row %d col %d differs", workers, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDatasetParallelShape(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	d, err := sys.GenerateDatasetParallel(context.Background(), 123, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 123 || d.NumCols() != len(sys.ColumnNames()) {
+		t.Fatalf("shape %dx%d", d.NumRows(), d.NumCols())
+	}
+	// Same statistical process as the serial generator: means must agree
+	// loosely on a larger draw.
+	serial, err := sys.GenerateDataset(4000, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.GenerateDatasetParallel(context.Background(), 4000, 4, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCol := serial.NumCols() - 1
+	mS := stats.Mean(serial.Col(dCol))
+	mP := stats.Mean(par.Col(dCol))
+	if mS <= 0 || mP <= 0 || mP/mS < 0.9 || mP/mS > 1.1 {
+		t.Fatalf("serial D mean %g vs parallel %g", mS, mP)
+	}
+}
+
+func TestGenerateDatasetParallelValidationAndCancel(t *testing.T) {
+	sys := EDiaMoNDSystem()
+	if _, err := sys.GenerateDatasetParallel(context.Background(), 0, 2, nil); err == nil {
+		t.Fatal("zero rows should error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sys.GenerateDatasetParallel(ctx, 100, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,15 +1,3 @@
-// Package simsvc simulates service-oriented systems to generate the
-// training and testing data the paper's evaluation uses. Two fidelity
-// levels are provided:
-//
-//   - a correlated delay sampler (Sample/GenerateDataset) mirroring the
-//     paper's Matlab simulation, where services "randomly generate a
-//     processing delay upon receiving calls" and immediate upstream
-//     services influence downstream elapsed times (bottleneck shift), and
-//
-//   - a discrete-event simulator (DES) with FIFO queueing stations,
-//     Poisson arrivals and workflow-driven fork/join request propagation,
-//     standing in for the paper's eDiaMoND testbed.
 package simsvc
 
 import (

@@ -1,18 +1,21 @@
-// Package stats supplies the statistical primitives used across the
-// repository: a deterministic seedable random number generator, the
-// distributions the service simulator draws delays from, descriptive
-// statistics, histograms and Gaussian density/CDF helpers.
-//
-// All experiment code draws randomness exclusively through *RNG so that
-// every figure regenerated by the benchmark harness is reproducible from
-// its seed.
 package stats
 
 import "math"
 
 // RNG is a small, fast, deterministic generator (SplitMix64 core with an
-// xorshift-style output scrambler). It is not safe for concurrent use;
-// derive per-goroutine streams with Split.
+// xorshift-style output scrambler).
+//
+// Concurrency and determinism contract: an *RNG carries mutable state, so
+// the drawing methods (Uint64, Float64, Normal, ...) must never be called
+// from two goroutines at once — sharing one *RNG across concurrent queries
+// silently decorrelates both streams AND makes results depend on goroutine
+// scheduling, destroying reproducibility. Parallel code must instead give
+// each worker/shard its own stream derived with Split(i): Split is a pure
+// function of the parent's current state and the index i (it does NOT
+// advance the parent), so any number of goroutines may call Split on a
+// quiescent parent concurrently, and the set of derived streams — and
+// therefore every downstream result — depends only on the seed and the
+// index assignment, not on the worker count or interleaving.
 type RNG struct {
 	state uint64
 }
@@ -22,11 +25,18 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
-// Split derives an independent child stream. The child is seeded from the
-// parent's next output mixed with a fixed odd constant, so sibling streams
-// produced by successive Split calls are decorrelated.
-func (r *RNG) Split() *RNG {
-	return &RNG{state: r.Uint64()*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03}
+// Split derives the i-th child stream from r's current state without
+// advancing r. Children for distinct i are decorrelated from each other and
+// from the parent's own output sequence (the state is passed through two
+// rounds of SplitMix64-style finalization). Because Split is read-only on
+// the parent, it is safe to call concurrently as long as no goroutine is
+// simultaneously drawing from the parent.
+func (r *RNG) Split(i uint64) *RNG {
+	z := r.state + 0x9E3779B97F4A7C15*(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return &RNG{state: z*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03}
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -30,10 +30,51 @@ func TestRNGDifferentSeeds(t *testing.T) {
 
 func TestSplitIndependence(t *testing.T) {
 	r := NewRNG(7)
-	c1 := r.Split()
-	c2 := r.Split()
+	c1 := r.Split(0)
+	c2 := r.Split(1)
 	if c1.Uint64() == c2.Uint64() {
 		t.Fatal("sibling streams should differ")
+	}
+}
+
+func TestSplitIsPure(t *testing.T) {
+	r := NewRNG(7)
+	before := *r
+	a := r.Split(3)
+	if *r != before {
+		t.Fatal("Split must not advance the parent")
+	}
+	b := r.Split(3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split(i) must be deterministic in (state, i)")
+	}
+}
+
+func TestSplitDecorrelatedFromParent(t *testing.T) {
+	r := NewRNG(11)
+	c := r.Split(0)
+	collisions := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == c.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("%d collisions between parent and child streams", collisions)
+	}
+}
+
+func TestSplitSiblingFanout(t *testing.T) {
+	// Streams for many sibling indices must all start differently — the
+	// per-worker/per-shard assignment the parallel inference layer relies on.
+	r := NewRNG(5)
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		v := r.Split(i).Uint64()
+		if seen[v] {
+			t.Fatalf("duplicate first draw across sibling streams at i=%d", i)
+		}
+		seen[v] = true
 	}
 }
 

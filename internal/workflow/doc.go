@@ -1,0 +1,16 @@
+// Package workflow models service-oriented workflows as trees of the four
+// key constructs the paper names (Section 3.1) — sequence, parallel,
+// choice and loop — and derives from them the two pieces of domain
+// knowledge a KERT-BN consumes:
+//
+//   - the deterministic end-to-end function f(X) linking per-service
+//     elapsed times to response time (Cardoso-style reduction: sequence →
+//     sum, parallel → max, choice → probability-weighted value, loop →
+//     geometric 1/(1−p) scaling) — the f inside the paper's Equation 4,
+//     and
+//   - the DAG structure over elapsed-time nodes: an edge from every service
+//     to its immediate downstream services (Figure 2).
+//
+// The eDiaMoND scenario of the paper's Figures 1 and 2 ships as a ready-
+// made instance (EDiaMoND and the ED* service indices).
+package workflow
