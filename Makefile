@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel fmt
+.PHONY: all build vet test race fuzz differential bench bench-parallel fmt
 
 all: vet build test
 
@@ -17,7 +17,16 @@ test:
 # pool and the sharded samplers — alone under the race detector for a fast
 # signal.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/
+
+# Fuzz the framed wire codec: Decode must never panic on truncated or
+# corrupted frames, no matter what the peer sends.
+fuzz:
+	$(GO) test ./internal/wire -fuzz=FuzzDecodeMessage -fuzztime=20s
+
+# Differential tests: LW and Gibbs posteriors against the exact oracles.
+differential:
+	$(GO) test ./internal/infer -run Differential -count=1 -v
 
 # Regenerate the committed instrumented-benchmark baseline (quick sweeps).
 bench:

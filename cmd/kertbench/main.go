@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, parallel")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
@@ -128,6 +128,21 @@ func main() {
 			mCfg.Seed = *seed
 		}
 		renderOne(experiments.Motivation(mCfg))
+	}
+	if run("degradation") {
+		ok = true
+		dCfg := experiments.DefaultDegradationConfig()
+		if *quick {
+			dCfg.Models = 3
+			dCfg.RealSize = 2000
+			dCfg.NSamples = 8000
+			dCfg.FailFractions = []float64{0, 0.2, 0.4}
+		}
+		if *seed != 0 {
+			dCfg.Seed = *seed
+		}
+		dCfg.Workers = *workers
+		render(experiments.Degradation(dCfg))
 	}
 	if *exp == "parallel" {
 		// Not part of "all": it is a hardware benchmark, not a paper figure.

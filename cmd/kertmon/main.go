@@ -13,11 +13,20 @@
 // engine (disable with -decentral=false), so the Fig. 5 per-node
 // learn-time quantiles show up alongside the Fig. 3 build spans.
 //
+// The -fault-* family injects deterministic faults into the decentralized
+// relearn: column shipping moves onto a real TCP fabric wrapped by the
+// chaos injector, ships retry with backoff, and nodes whose parents stay
+// unreachable fall back to prior-only CPDs — each rebuild prints its
+// PartialLearnReport. The schedule is a pure function of -fault-seed, so
+// the same flags reproduce the same degradation:
+//
+//	kertmon -requests 600 -fault-drop 0.2 -fault-seed 7
+//
 // Usage:
 //
 //	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
 //	        [-metrics-addr 127.0.0.1:8080] [-metrics-json out.json]
-//	        [-decentral=true] [-linger 0s]
+//	        [-decentral=true] [-linger 0s] [-fault-drop P -fault-seed N ...]
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
 	"kertbn/internal/decentral"
+	"kertbn/internal/faulty"
 	"kertbn/internal/learn"
 	"kertbn/internal/monitor"
 	"kertbn/internal/obs"
@@ -50,9 +60,15 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 		useDecen    = flag.Bool("decentral", true, "re-learn service CPDs decentrally on each rebuild (Fig. 5 live)")
 		workers     = flag.Int("workers", 0, "bound concurrent decentralized learners per rebuild (0 = one per CPD, the paper's all-agents-at-once scheme)")
+		retries     = flag.Int("fault-retries", 2, "chaos: per-column ship retry budget during decentralized relearn")
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run")
 	)
+	faultCfg := faulty.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	chaos := faultCfg()
+	if chaos.Active() && !*useDecen {
+		fatal("-fault-* chaos targets the decentralized relearn; drop -decentral=false")
+	}
 
 	if *metricsAddr != "" {
 		is, err := obs.Default().Serve(*metricsAddr)
@@ -82,7 +98,7 @@ func main() {
 			// learns its own service's CPD after the parent columns ship
 			// over; the per-node times land in the
 			// decentral.node_learn.seconds histogram.
-			if err := decentralRelearn(m, w, *workers); err != nil {
+			if err := decentralRelearn(m, w, *workers, chaos, *retries); err != nil {
 				return nil, fmt.Errorf("decentralized re-learn: %w", err)
 			}
 		}
@@ -225,7 +241,12 @@ func main() {
 // with the model's codec), installing the results. The D node keeps its
 // workflow-generated CPT. workers <= 0 runs one learner per CPD (the
 // paper's fully concurrent scheme); positive values bound the fan-out.
-func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int) error {
+//
+// With an active chaos config the ships move onto a real TCP fabric
+// wrapped by the fault injector, retry up to retries times, unreachable
+// parents degrade to prior-only fallback CPDs, and the rebuild's
+// PartialLearnReport is printed.
+func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int, chaos faulty.Config, retries int) error {
 	enc, err := m.Codec.Encode(w)
 	if err != nil {
 		return err
@@ -241,9 +262,35 @@ func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int) error {
 	if workers <= 0 {
 		workers = len(plans)
 	}
-	res, err := decentral.LearnWorkers(context.Background(), plans, cols, decentral.InProcShipper{}, learn.DefaultOptions(), workers)
+	var shipper decentral.Shipper = decentral.InProcShipper{}
+	ropts := decentral.RobustOptions{Workers: workers}
+	if chaos.Active() {
+		inj, err := faulty.NewInjector(chaos)
+		if err != nil {
+			return err
+		}
+		fab, err := decentral.NewTCPFabricOpts(decentral.FabricOptions{
+			DialTimeout: time.Second,
+			IOTimeout:   2 * time.Second,
+			IdleTimeout: 2 * time.Second,
+			Injector:    inj,
+		})
+		if err != nil {
+			return err
+		}
+		defer fab.Close()
+		shipper = fab
+		ropts.ShipRetries = retries
+		ropts.Backoff = faulty.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+		ropts.Seed = chaos.Seed
+		ropts.Fallback = decentral.FallbackLocal
+	}
+	res, err := decentral.LearnRobust(context.Background(), plans, cols, shipper, learn.DefaultOptions(), ropts)
 	if err != nil {
 		return err
+	}
+	if chaos.Active() {
+		fmt.Printf("  chaos relearn: %s\n", res.Report.String())
 	}
 	return decentral.Install(m.Net, res)
 }

@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
+	"kertbn/internal/decentral"
+	"kertbn/internal/learn"
 	"kertbn/internal/obs"
 	"kertbn/internal/stats"
 	"kertbn/internal/workflow"
@@ -41,6 +44,7 @@ func main() {
 		savePath    = flag.String("save", "", "write the built model to this file")
 		loadPath    = flag.String("load", "", "load a previously saved model instead of training")
 		workers     = flag.Int("workers", 1, "Monte-Carlo inference workers: >1 uses the sharded sampler (deterministic per seed at any count), 1 the serial one")
+		useDecen    = flag.Bool("decentral", false, "re-learn the service CPDs through the decentralized engine before answering, printing its PartialLearnReport")
 	)
 	flag.Parse()
 	dumpMetrics := func() {
@@ -125,6 +129,11 @@ func main() {
 	fmt.Printf("built %s %s model: %d nodes, %d edges, cost {dataOps:%d scoreEvals:%d}\n",
 		*modelKind, model.Type, model.Net.N(), model.Net.EdgeCount(),
 		model.Cost.DataOps, model.Cost.ScoreEvals)
+	if *useDecen {
+		if err := decentralRelearn(model, train); err != nil {
+			fatal(err.Error())
+		}
+	}
 	if *savePath != "" {
 		sf, err := os.Create(*savePath)
 		if err != nil {
@@ -141,6 +150,36 @@ func main() {
 	}
 	answer(model, train, *query, *service, *factor, *h, *modelKind, *workers)
 	dumpMetrics()
+}
+
+// decentralRelearn swaps the freshly built model's service CPDs for ones
+// learned through the decentralized engine (Section 3.4) over the same
+// training data, printing the round's PartialLearnReport. The D node keeps
+// its workflow-generated CPT.
+func decentralRelearn(model *core.Model, train *dataset.Dataset) error {
+	data := train
+	if model.Codec != nil {
+		enc, err := model.Codec.Encode(train)
+		if err != nil {
+			return err
+		}
+		data = enc
+	}
+	plans, err := decentral.PlanFromNetwork(model.Net, map[int]bool{model.DNode: true})
+	if err != nil {
+		return err
+	}
+	cols := make(decentral.Columns, data.NumCols())
+	for j := range cols {
+		cols[j] = data.Col(j)
+	}
+	res, err := decentral.LearnRobust(context.Background(), plans, cols, decentral.InProcShipper{},
+		learn.DefaultOptions(), decentral.RobustOptions{Workers: len(plans)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decentralized relearn: %s\n", res.Report.String())
+	return decentral.Install(model.Net, res)
 }
 
 // answer runs one query against a (built or loaded) model.

@@ -11,6 +11,15 @@
 // -des switches from the correlated delay sampler to the discrete-event
 // simulator with queueing stations (eDiaMoND only), whose elapsed times
 // include queue waits.
+//
+// The -fault-* family turns the run into a reproducible chaos experiment:
+// after emitting the dataset, the KERT-BN is learned decentrally over a
+// real TCP fabric with deterministic fault injection (drop/delay/truncate/
+// corrupt/stall, scheduled purely by -fault-seed), and the resulting
+// PartialLearnReport is appended as "# chaos" comment lines. The same
+// flags always replay the same faults bit-for-bit:
+//
+//	kertsim -system ediamond -n 600 -fault-drop 0.2 -fault-seed 7
 package main
 
 import (
@@ -18,8 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
+	"kertbn/internal/core"
 	"kertbn/internal/dataset"
+	"kertbn/internal/decentral"
+	"kertbn/internal/faulty"
+	"kertbn/internal/learn"
 	"kertbn/internal/obs"
 	"kertbn/internal/simsvc"
 	"kertbn/internal/stats"
@@ -36,8 +51,10 @@ func main() {
 		rate        = flag.Float64("rate", 1.0, "DES arrival rate (requests/sec)")
 		warmup      = flag.Int("warmup", 100, "DES warmup requests discarded before recording")
 		workers     = flag.Int("workers", 1, "row-generation workers: >1 draws rows concurrently via per-row seed splitting (deterministic per seed at any count; stream layout differs from -workers 1's sequential walk)")
+		retries     = flag.Int("fault-retries", 2, "chaos: per-column ship retry budget")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
+	faultCfg := faulty.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	rng := stats.NewRNG(*seed)
 	emit := func(ds *dataset.Dataset) {
@@ -54,6 +71,12 @@ func main() {
 		}
 	}
 
+	chaos := faultCfg()
+	if *des || *system == "counts" {
+		if chaos.Active() {
+			fatal("-fault-* chaos runs need a sampler system (ediamond or random)")
+		}
+	}
 	if *des {
 		if *system != "ediamond" {
 			fatal("the DES path currently models the ediamond testbed only")
@@ -120,6 +143,73 @@ func main() {
 		fatal(err.Error())
 	}
 	emit(ds)
+	if chaos.Active() {
+		if err := chaosRun(sys, ds, chaos, *retries); err != nil {
+			fatal(err.Error())
+		}
+	}
+}
+
+// chaosRun learns the system's KERT-BN decentrally over a real TCP fabric
+// with the deterministic fault injector active, then appends the
+// PartialLearnReport as "# chaos" comment lines. Everything printed is a
+// pure function of the dataset and the fault seed, so the run replays
+// bit-for-bit.
+func chaosRun(sys *simsvc.System, ds *dataset.Dataset, cfg faulty.Config, retries int) error {
+	inj, err := faulty.NewInjector(cfg)
+	if err != nil {
+		return err
+	}
+	fab, err := decentral.NewTCPFabricOpts(decentral.FabricOptions{
+		DialTimeout: time.Second,
+		IOTimeout:   2 * time.Second,
+		IdleTimeout: 2 * time.Second,
+		Injector:    inj,
+	})
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+	model, err := core.BuildKERT(core.DefaultKERTConfig(sys.Workflow), ds)
+	if err != nil {
+		return err
+	}
+	plans, err := decentral.PlanFromNetwork(model.Net, nil)
+	if err != nil {
+		return err
+	}
+	cols := make(decentral.Columns, ds.NumCols())
+	for c := range cols {
+		cols[c] = ds.Col(c)
+	}
+	res, err := decentral.LearnRobust(context.Background(), plans, cols, fab, learn.DefaultOptions(),
+		decentral.RobustOptions{
+			ShipRetries: retries,
+			Backoff:     faulty.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			Seed:        cfg.Seed,
+			Fallback:    decentral.FallbackLocal,
+		})
+	if err != nil {
+		return err
+	}
+	if err := decentral.Install(model.Net, res); err != nil {
+		return err
+	}
+	if err := model.Net.Validate(); err != nil {
+		return fmt.Errorf("degraded network invalid: %w", err)
+	}
+	fmt.Printf("# chaos: %s\n", res.Report.String())
+	ids := make([]int, 0, len(res.PerNode))
+	for id := range res.PerNode {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		nr := res.PerNode[id]
+		fmt.Printf("# chaos: node %d %s (attempts %d)\n", id, nr.Status, nr.Attempts)
+	}
+	fmt.Println("# chaos: degraded network valid; learned CPDs installed")
+	return nil
 }
 
 func fatal(msg string) {

@@ -8,7 +8,6 @@ import (
 	"kertbn/internal/bn"
 	"kertbn/internal/learn"
 	"kertbn/internal/obs"
-	"kertbn/internal/pool"
 )
 
 // Decentralized-learning metrics — the Fig. 5 quantities, live:
@@ -67,13 +66,23 @@ func PlanFromNetwork(net *bn.Network, skip map[int]bool) ([]NodePlan, error) {
 	return plans, nil
 }
 
-// NodeResult is one agent's learned CPD plus its timing and cost.
+// NodeResult is one agent's learned CPD plus its timing, cost, and — under
+// LearnRobust — how its shipping went.
 type NodeResult struct {
 	Node     int
-	CPD      bn.CPD
+	CPD      bn.CPD // nil when Status is StatusFailed under FallbackKeep
 	Elapsed  time.Duration
 	Cost     learn.Cost
 	ShipWait time.Duration // time spent waiting for parent columns
+	// Status classifies the round for this node (ok / retried / failed).
+	Status NodeStatus
+	// Attempts counts every ship attempt made for this node; ShipsStarted
+	// counts distinct parent-column shipments begun, so
+	// Attempts-ShipsStarted is the node's retry total.
+	Attempts     int
+	ShipsStarted int
+	// Err holds the final error message when Status is StatusFailed.
+	Err string
 }
 
 // Result aggregates a decentralized learning round.
@@ -89,6 +98,8 @@ type Result struct {
 	// deterministic operation counts (max vs sum of per-node DataOps).
 	DecentralizedCost int64
 	CentralizedCost   int64
+	// Report summarizes failure handling (all-OK for LearnWorkers rounds).
+	Report PartialLearnReport
 }
 
 // Columns supplies the local data: Columns[i] is the observation column of
@@ -135,64 +146,28 @@ func Learn(plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options) 
 // ctx cancels learners not yet started; the first per-node error aborts the
 // round.
 func LearnWorkers(ctx context.Context, plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options, workers int) (*Result, error) {
-	sp := obs.StartSpan("decentral.learn")
-	defer sp.End()
-	decRounds.Inc()
-	if shipper == nil {
-		shipper = InProcShipper{}
-	}
-	nRows := -1
-	for _, p := range plans {
-		if p.Node < 0 || p.Node >= len(cols) {
-			return nil, fmt.Errorf("decentral: plan references column %d outside %d columns", p.Node, len(cols))
-		}
-		if nRows == -1 {
-			nRows = len(cols[p.Node])
-		} else if len(cols[p.Node]) != nRows {
-			return nil, fmt.Errorf("decentral: ragged columns (%d vs %d rows)", len(cols[p.Node]), nRows)
-		}
-	}
-	if nRows == 0 {
-		return nil, fmt.Errorf("decentral: no training rows")
-	}
-	perPlan := make([]NodeResult, len(plans))
-	err := pool.ForEach(ctx, "decentral.learn", len(plans), workers, func(i int) error {
-		nr, err := learnOne(plans[i], cols, shipper, opts)
-		if err != nil {
-			return fmt.Errorf("decentral: node %d: %w", plans[i].Node, err)
-		}
-		perPlan[i] = nr
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{PerNode: map[int]NodeResult{}}
-	for _, nr := range perPlan {
-		res.PerNode[nr.Node] = nr
-		if nr.Elapsed > res.DecentralizedTime {
-			res.DecentralizedTime = nr.Elapsed
-		}
-		res.CentralizedTime += nr.Elapsed
-		if nr.Cost.DataOps > res.DecentralizedCost {
-			res.DecentralizedCost = nr.Cost.DataOps
-		}
-		res.CentralizedCost += nr.Cost.DataOps
-	}
-	return res, nil
+	return LearnRobust(ctx, plans, cols, shipper, opts, RobustOptions{Workers: workers})
 }
 
-// learnOne is one agent's work: gather parent columns, assemble rows, fit.
-func learnOne(p NodePlan, cols Columns, shipper Shipper, opts learn.Options) (NodeResult, error) {
+// learnOne is one agent's work: gather parent columns (with r's retry
+// budget), assemble rows, fit. On a shipping error the returned NodeResult
+// still carries the attempt accounting so reports stay accurate.
+func learnOne(p NodePlan, cols Columns, shipper Shipper, opts learn.Options, r RobustOptions) (NodeResult, error) {
 	shipStart := time.Now()
+	nr := NodeResult{Node: p.Node}
 	parentCols := make([][]float64, len(p.Parents))
 	for i, pid := range p.Parents {
 		if pid < 0 || pid >= len(cols) {
-			return NodeResult{}, fmt.Errorf("parent column %d out of range", pid)
+			return nr, fmt.Errorf("parent column %d out of range", pid)
 		}
-		col, err := shipper.Ship(pid, p.Node, cols[pid])
+		nr.ShipsStarted++
+		col, attempts, err := shipWithRetry(shipper, pid, p.Node, cols[pid], r)
+		nr.Attempts += attempts
 		if err != nil {
-			return NodeResult{}, fmt.Errorf("shipping column %d: %w", pid, err)
+			return nr, fmt.Errorf("shipping column %d: %w", pid, err)
+		}
+		if attempts > 1 {
+			nr.Status = StatusRetried
 		}
 		parentCols[i] = col
 	}
@@ -202,16 +177,16 @@ func learnOne(p NodePlan, cols Columns, shipper Shipper, opts learn.Options) (No
 	local := cols[p.Node]
 	nRows := len(local)
 	rows := make([][]float64, nRows)
-	for r := 0; r < nRows; r++ {
+	for ri := 0; ri < nRows; ri++ {
 		row := make([]float64, 1+len(parentCols))
-		row[0] = local[r]
+		row[0] = local[ri]
 		for i, pc := range parentCols {
 			if len(pc) != nRows {
-				return NodeResult{}, fmt.Errorf("parent column length %d != %d", len(pc), nRows)
+				return nr, fmt.Errorf("parent column length %d != %d", len(pc), nRows)
 			}
-			row[1+i] = pc[r]
+			row[1+i] = pc[ri]
 		}
-		rows[r] = row
+		rows[ri] = row
 	}
 	parentIdx := make([]int, len(parentCols))
 	for i := range parentIdx {
@@ -230,23 +205,26 @@ func learnOne(p NodePlan, cols Columns, shipper Shipper, opts learn.Options) (No
 		cpd, cost, err = learn.FitLinearGaussian(rows, 0, parentIdx)
 	}
 	if err != nil {
-		return NodeResult{}, err
+		return nr, err
 	}
 	elapsed := time.Since(start)
 	decShipWait.Observe(shipWait.Seconds())
 	decNodeLearn.Observe(elapsed.Seconds())
-	return NodeResult{
-		Node:     p.Node,
-		CPD:      cpd,
-		Elapsed:  elapsed,
-		Cost:     cost,
-		ShipWait: shipWait,
-	}, nil
+	nr.CPD = cpd
+	nr.Elapsed = elapsed
+	nr.Cost = cost
+	nr.ShipWait = shipWait
+	return nr, nil
 }
 
-// Install writes the learned CPDs into the network.
+// Install writes the learned CPDs into the network. Nodes with a nil CPD
+// (StatusFailed under FallbackKeep) are skipped: the network keeps serving
+// with its previously installed parameters for those nodes.
 func Install(net *bn.Network, res *Result) error {
 	for id, nr := range res.PerNode {
+		if nr.CPD == nil {
+			continue
+		}
 		if err := net.SetCPD(id, nr.CPD); err != nil {
 			return fmt.Errorf("decentral: installing CPD for node %d: %w", id, err)
 		}

@@ -1,0 +1,314 @@
+package decentral
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/faulty"
+	"kertbn/internal/learn"
+	"kertbn/internal/obs"
+	"kertbn/internal/pool"
+	"kertbn/internal/stats"
+)
+
+// Robustness metrics: transport retries, nodes abandoned to a fallback CPD,
+// and frames the relay skipped as corrupted.
+var (
+	decRetries    = obs.C("decentral.retries")
+	decFailed     = obs.C("decentral.failed_nodes")
+	decFallbacks  = obs.C("decentral.fallback_cpds")
+	decBadFrames  = obs.C("decentral.bad_frames")
+	decRoundsPart = obs.C("decentral.partial_rounds")
+)
+
+// NodeStatus classifies how one agent's learning round went.
+type NodeStatus int
+
+const (
+	// StatusOK: learned on the first try.
+	StatusOK NodeStatus = iota
+	// StatusRetried: learned, but at least one parent-column shipment
+	// needed a retry.
+	StatusRetried
+	// StatusFailed: shipping failed past the retry budget; the node carries
+	// a fallback CPD (FallbackLocal) or keeps its previous one
+	// (FallbackKeep).
+	StatusFailed
+)
+
+// String renders the status for reports.
+func (s NodeStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRetried:
+		return "retried"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("NodeStatus(%d)", int(s))
+	}
+}
+
+// FallbackPolicy decides what a failed node contributes to the learned
+// network.
+type FallbackPolicy int
+
+const (
+	// FallbackAbort (the zero value) aborts the whole round on the first
+	// node failure — the seed semantics Learn/LearnWorkers keep.
+	FallbackAbort FallbackPolicy = iota
+	// FallbackLocal fits a parents-ignored CPD from the node's own column:
+	// the marginal CPT for discrete nodes, an intercept-only Gaussian for
+	// continuous ones. The manager always receives a valid, usable network;
+	// failed nodes just lose their parent coupling until the next round.
+	FallbackLocal
+	// FallbackKeep contributes no CPD for failed nodes; Install leaves the
+	// network's previous CPD in place (the last successfully learned
+	// parameters keep serving).
+	FallbackKeep
+)
+
+// RobustOptions configures LearnRobust's failure handling.
+type RobustOptions struct {
+	// Workers bounds concurrent learners (<= 0 means GOMAXPROCS), as in
+	// LearnWorkers.
+	Workers int
+	// ShipRetries is the per-parent-column retry budget after the first
+	// attempt (default 0: single attempt).
+	ShipRetries int
+	// Backoff paces retries (zero value: 10ms base, 500ms cap).
+	Backoff faulty.Backoff
+	// Seed roots the deterministic jitter streams (keyed per edge and
+	// attempt, so schedules replay).
+	Seed uint64
+	// Fallback picks the degradation policy for nodes that fail past the
+	// retry budget.
+	Fallback FallbackPolicy
+}
+
+// PartialLearnReport summarizes a round's failure handling — the CLI- and
+// metrics-facing record that a chaos run completed and how much of the
+// network it degraded.
+type PartialLearnReport struct {
+	Nodes            int
+	OK               int
+	Retried          int
+	Failed           int
+	FallbackCPDs     int
+	TotalShipRetries int
+	// FailedNodes lists failed node ids in ascending order.
+	FailedNodes []int
+	// Errors maps failed node id -> the final error message.
+	Errors map[int]string
+}
+
+// Degraded reports whether any node failed.
+func (r PartialLearnReport) Degraded() bool { return r.Failed > 0 }
+
+// String renders the one-line CLI form.
+func (r PartialLearnReport) String() string {
+	s := fmt.Sprintf("nodes %d: ok %d, retried %d, failed %d (fallback CPDs %d, ship retries %d)",
+		r.Nodes, r.OK, r.Retried, r.Failed, r.FallbackCPDs, r.TotalShipRetries)
+	if len(r.FailedNodes) > 0 {
+		s += fmt.Sprintf(", failed nodes %v", r.FailedNodes)
+	}
+	return s
+}
+
+// AttemptShipper is a Shipper whose transport distinguishes retry attempts,
+// letting deterministic fault schedules (and fresh connections) redraw per
+// attempt. LearnRobust uses it when available.
+type AttemptShipper interface {
+	Shipper
+	ShipAttempt(from, to, attempt int, col []float64) ([]float64, error)
+}
+
+// DownShipper simulates permanently failed agents on top of any transport:
+// every shipment FROM a down agent errors (its column is unreachable), the
+// degradation-sweep model of an agent crash. Deterministic by construction.
+type DownShipper struct {
+	Inner Shipper
+	Down  map[int]bool
+}
+
+// Ship implements Shipper.
+func (d DownShipper) Ship(from, to int, col []float64) ([]float64, error) {
+	if d.Down[from] {
+		return nil, fmt.Errorf("decentral: agent %d is down", from)
+	}
+	return d.Inner.Ship(from, to, col)
+}
+
+// shipWithRetry runs the ship with the robust retry loop and returns the
+// column plus the number of attempts used. Jitter derives from
+// (Seed, edge, attempt), so the pacing is deterministic too.
+func shipWithRetry(sh Shipper, from, to int, col []float64, r RobustOptions) ([]float64, int, error) {
+	as, hasAttempts := sh.(AttemptShipper)
+	var lastErr error
+	for attempt := 0; attempt <= r.ShipRetries; attempt++ {
+		if attempt > 0 {
+			decRetries.Inc()
+			jrng := stats.NewRNG(r.Seed).Split(edgeKey(from, to)).Split(uint64(attempt))
+			time.Sleep(r.Backoff.Delay(attempt-1, jrng))
+		}
+		var out []float64
+		var err error
+		if hasAttempts {
+			out, err = as.ShipAttempt(from, to, attempt, col)
+		} else {
+			out, err = sh.Ship(from, to, col)
+		}
+		if err == nil {
+			return out, attempt + 1, nil
+		}
+		lastErr = err
+	}
+	return nil, r.ShipRetries + 1, lastErr
+}
+
+// fallbackCPD fits the parents-ignored local CPD of FallbackLocal: a
+// marginal CPT replicated across parent configurations for discrete nodes,
+// an intercept-only linear Gaussian for continuous ones. It needs only the
+// node's own column, which a monitoring agent always has locally.
+func fallbackCPD(p NodePlan, local []float64, opts learn.Options) (bn.CPD, error) {
+	if p.Discrete {
+		counts := make([]float64, p.Card)
+		for i := range counts {
+			counts[i] = opts.DirichletAlpha
+		}
+		for _, v := range local {
+			s := int(v)
+			if s < 0 || s >= p.Card {
+				return nil, fmt.Errorf("decentral: fallback state %d outside card %d", s, p.Card)
+			}
+			counts[s]++
+		}
+		total := 0.0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			for i := range counts {
+				counts[i] = 1
+			}
+		}
+		tab := bn.NewTabular(p.Card, p.ParentCard)
+		for cfg := 0; cfg < tab.Rows(); cfg++ {
+			if err := tab.SetRow(cfg, counts); err != nil {
+				return nil, err
+			}
+		}
+		return tab, nil
+	}
+	mu := stats.Mean(local)
+	sigma := stats.Std(local)
+	if sigma <= 0 {
+		sigma = 1e-9
+	}
+	return bn.NewLinearGaussian(mu, make([]float64, len(p.Parents)), sigma), nil
+}
+
+// LearnRobust is LearnWorkers with a failure envelope: per-column retries
+// with exponential backoff + deterministic jitter, per-node ok/retried/
+// failed status, and a fallback policy that keeps the returned network
+// usable when agents are down. With FallbackAbort it behaves exactly like
+// LearnWorkers; with FallbackLocal/FallbackKeep the round always completes
+// (absent validation errors) and Result.Report records the degradation.
+func LearnRobust(ctx context.Context, plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options, r RobustOptions) (*Result, error) {
+	sp := obs.StartSpan("decentral.learn")
+	defer sp.End()
+	decRounds.Inc()
+	if shipper == nil {
+		shipper = InProcShipper{}
+	}
+	if err := validatePlans(plans, cols); err != nil {
+		return nil, err
+	}
+	perPlan := make([]NodeResult, len(plans))
+	err := pool.ForEach(ctx, "decentral.learn", len(plans), r.Workers, func(i int) error {
+		nr, err := learnOne(plans[i], cols, shipper, opts, r)
+		if err != nil {
+			if r.Fallback == FallbackAbort {
+				return fmt.Errorf("decentral: node %d: %w", plans[i].Node, err)
+			}
+			nr = NodeResult{Node: plans[i].Node, Status: StatusFailed,
+				Attempts: nr.Attempts, ShipsStarted: nr.ShipsStarted, Err: err.Error()}
+			if r.Fallback == FallbackLocal {
+				cpd, ferr := fallbackCPD(plans[i], cols[plans[i].Node], opts)
+				if ferr != nil {
+					return fmt.Errorf("decentral: node %d fallback: %w", plans[i].Node, ferr)
+				}
+				nr.CPD = cpd
+			}
+		}
+		perPlan[i] = nr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{PerNode: map[int]NodeResult{}}
+	rep := &res.Report
+	rep.Nodes = len(perPlan)
+	rep.Errors = map[int]string{}
+	for _, nr := range perPlan {
+		res.PerNode[nr.Node] = nr
+		if nr.Elapsed > res.DecentralizedTime {
+			res.DecentralizedTime = nr.Elapsed
+		}
+		res.CentralizedTime += nr.Elapsed
+		if nr.Cost.DataOps > res.DecentralizedCost {
+			res.DecentralizedCost = nr.Cost.DataOps
+		}
+		res.CentralizedCost += nr.Cost.DataOps
+		if nr.Attempts > nr.ShipsStarted {
+			rep.TotalShipRetries += nr.Attempts - nr.ShipsStarted
+		}
+		switch nr.Status {
+		case StatusOK:
+			rep.OK++
+		case StatusRetried:
+			rep.Retried++
+		case StatusFailed:
+			rep.Failed++
+			rep.FailedNodes = append(rep.FailedNodes, nr.Node)
+			if nr.Err != "" {
+				rep.Errors[nr.Node] = nr.Err
+			}
+			if nr.CPD != nil {
+				rep.FallbackCPDs++
+			}
+		}
+	}
+	sort.Ints(rep.FailedNodes)
+	decFailed.Add(int64(rep.Failed))
+	decFallbacks.Add(int64(rep.FallbackCPDs))
+	if rep.Degraded() {
+		decRoundsPart.Inc()
+	}
+	return res, nil
+}
+
+// validatePlans is the shared pre-flight check of Learn*: plans must
+// reference in-range, equal-length, non-empty columns.
+func validatePlans(plans []NodePlan, cols Columns) error {
+	nRows := -1
+	for _, p := range plans {
+		if p.Node < 0 || p.Node >= len(cols) {
+			return fmt.Errorf("decentral: plan references column %d outside %d columns", p.Node, len(cols))
+		}
+		if nRows == -1 {
+			nRows = len(cols[p.Node])
+		} else if len(cols[p.Node]) != nRows {
+			return fmt.Errorf("decentral: ragged columns (%d vs %d rows)", len(cols[p.Node]), nRows)
+		}
+	}
+	if nRows == 0 {
+		return fmt.Errorf("decentral: no training rows")
+	}
+	return nil
+}

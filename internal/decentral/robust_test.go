@@ -1,0 +1,349 @@
+package decentral
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/faulty"
+	"kertbn/internal/learn"
+)
+
+// tinyBackoff keeps retry pacing out of test wall time.
+var tinyBackoff = faulty.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+// flakyShipper fails a given edge for its first failUntil attempts, then
+// succeeds. It implements AttemptShipper so the test also proves LearnRobust
+// threads attempt numbers through to the transport.
+type flakyShipper struct {
+	mu        sync.Mutex
+	failUntil map[uint64]int // edgeKey -> attempts that must fail
+	seen      map[uint64][]int
+}
+
+func (f *flakyShipper) Ship(from, to int, col []float64) ([]float64, error) {
+	return f.ShipAttempt(from, to, 0, col)
+}
+
+func (f *flakyShipper) ShipAttempt(from, to, attempt int, col []float64) ([]float64, error) {
+	f.mu.Lock()
+	if f.seen == nil {
+		f.seen = map[uint64][]int{}
+	}
+	k := edgeKey(from, to)
+	f.seen[k] = append(f.seen[k], attempt)
+	limit := f.failUntil[k]
+	f.mu.Unlock()
+	if attempt < limit {
+		return nil, fmt.Errorf("flaky: edge %d->%d attempt %d", from, to, attempt)
+	}
+	return InProcShipper{}.Ship(from, to, col)
+}
+
+func TestLearnRobustAllOKReport(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(500, 10)
+	res, err := LearnRobust(context.Background(), plans, cols, nil, learn.Options{}, RobustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Nodes != 3 || rep.OK != 3 || rep.Retried != 0 || rep.Failed != 0 || rep.Degraded() {
+		t.Fatalf("clean round report = %+v", rep)
+	}
+	for _, nr := range res.PerNode {
+		if nr.Status != StatusOK {
+			t.Fatalf("node %d status = %v", nr.Node, nr.Status)
+		}
+	}
+}
+
+func TestLearnRobustRetriesFlakyEdges(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(500, 11)
+	sh := &flakyShipper{failUntil: map[uint64]int{edgeKey(0, 1): 2, edgeKey(1, 2): 1}}
+	res, err := LearnRobust(context.Background(), plans, cols, sh, learn.Options{},
+		RobustOptions{ShipRetries: 3, Backoff: tinyBackoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.OK != 1 || rep.Retried != 2 || rep.Failed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.TotalShipRetries != 3 {
+		t.Fatalf("TotalShipRetries = %d, want 3", rep.TotalShipRetries)
+	}
+	if res.PerNode[1].Status != StatusRetried || res.PerNode[2].Status != StatusRetried {
+		t.Fatalf("statuses: %v / %v", res.PerNode[1].Status, res.PerNode[2].Status)
+	}
+	// Attempt numbers must have reached the transport in order.
+	if got := sh.seen[edgeKey(0, 1)]; !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("edge 0->1 attempts = %v", got)
+	}
+	if err := Install(net, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnRobustAbortMatchesLearnWorkers(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(200, 12)
+	down := DownShipper{Inner: InProcShipper{}, Down: map[int]bool{1: true}}
+	if _, err := LearnRobust(context.Background(), plans, cols, down, learn.Options{}, RobustOptions{}); err == nil {
+		t.Fatal("FallbackAbort must fail the round on a dead agent")
+	}
+	if _, err := LearnWorkers(context.Background(), plans, cols, down, learn.Options{}, 0); err == nil {
+		t.Fatal("LearnWorkers must keep the seed abort semantics")
+	}
+}
+
+func TestLearnRobustFallbackLocalContinuous(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(2000, 13)
+	// Agent 1 is down: node 2 cannot receive its parent column.
+	down := DownShipper{Inner: InProcShipper{}, Down: map[int]bool{1: true}}
+	res, err := LearnRobust(context.Background(), plans, cols, down, learn.Options{},
+		RobustOptions{ShipRetries: 1, Backoff: tinyBackoff, Fallback: FallbackLocal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Failed != 1 || rep.FallbackCPDs != 1 || !reflect.DeepEqual(rep.FailedNodes, []int{2}) {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Errors[2] == "" {
+		t.Fatal("failed node must carry its error message")
+	}
+	// One retry on the dead edge.
+	if rep.TotalShipRetries != 1 {
+		t.Fatalf("TotalShipRetries = %d, want 1", rep.TotalShipRetries)
+	}
+	// The fallback CPD is parents-ignored: intercept-only Gaussian near the
+	// column's marginal mean.
+	lg, ok := res.PerNode[2].CPD.(*bn.LinearGaussian)
+	if !ok {
+		t.Fatalf("fallback CPD type %T", res.PerNode[2].CPD)
+	}
+	for i, c := range lg.Coef {
+		if c != 0 {
+			t.Fatalf("fallback Coef[%d] = %g, want 0", i, c)
+		}
+	}
+	mean := 0.0
+	for _, v := range cols[2] {
+		mean += v
+	}
+	mean /= float64(len(cols[2]))
+	if math.Abs(lg.Intercept-mean) > 1e-9 {
+		t.Fatalf("fallback intercept %g, column mean %g", lg.Intercept, mean)
+	}
+	// The degraded network is still fully valid and installable.
+	if err := Install(net, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnRobustFallbackLocalDiscrete(t *testing.T) {
+	net := bn.NewNetwork()
+	a, _ := net.AddDiscreteNode("a", 2)
+	b, _ := net.AddDiscreteNode("b", 3)
+	_ = net.AddEdge(a.ID, b.ID)
+	plans, _ := PlanFromNetwork(net, nil)
+	n := 900
+	cols := Columns{make([]float64, n), make([]float64, n)}
+	for r := 0; r < n; r++ {
+		cols[0][r] = float64(r % 2)
+		cols[1][r] = float64(r % 3)
+	}
+	down := DownShipper{Inner: InProcShipper{}, Down: map[int]bool{a.ID: true}}
+	res, err := LearnRobust(context.Background(), plans, cols, down, learn.DefaultOptions(),
+		RobustOptions{Fallback: FallbackLocal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := res.PerNode[b.ID].CPD.(*bn.Tabular)
+	if !ok {
+		t.Fatalf("fallback CPD type %T", res.PerNode[b.ID].CPD)
+	}
+	// Marginal is uniform over 3 states, replicated across both parent rows.
+	for _, pcfg := range [][]int{{0}, {1}} {
+		for s := 0; s < 3; s++ {
+			if p := tab.Prob(s, pcfg); math.Abs(p-1.0/3) > 0.01 {
+				t.Fatalf("P(b=%d|a=%v) = %g, want ~1/3", s, pcfg, p)
+			}
+		}
+	}
+	if err := Install(net, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnRobustFallbackKeepPreservesCPD(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	cols := chainColumns(800, 14)
+	// First, a clean round installs known-good CPDs.
+	res, err := LearnRobust(context.Background(), plans, cols, nil, learn.Options{}, RobustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(net, res); err != nil {
+		t.Fatal(err)
+	}
+	prev := net.Node(2).CPD
+	// Then a degraded round under FallbackKeep: node 2 fails, gets nil CPD.
+	down := DownShipper{Inner: InProcShipper{}, Down: map[int]bool{1: true}}
+	res2, err := LearnRobust(context.Background(), plans, cols, down, learn.Options{},
+		RobustOptions{Fallback: FallbackKeep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.Failed != 1 || res2.Report.FallbackCPDs != 0 {
+		t.Fatalf("report = %+v", res2.Report)
+	}
+	if res2.PerNode[2].CPD != nil {
+		t.Fatal("FallbackKeep must not fabricate a CPD")
+	}
+	if err := Install(net, res2); err != nil {
+		t.Fatal(err)
+	}
+	if net.Node(2).CPD != prev {
+		t.Fatal("Install must keep the previous CPD for nil entries")
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLearnRobustTCPChaosDeterministic is the tentpole's replay contract:
+// two chaos rounds over real TCP with the same fault seed produce identical
+// PartialLearnReports and per-node statuses, because fault plans are keyed
+// by (edge, attempt), not by scheduling.
+func TestLearnRobustTCPChaosDeterministic(t *testing.T) {
+	run := func() (PartialLearnReport, map[int]NodeStatus, map[int]int) {
+		inj, err := faulty.NewInjector(faulty.Config{Seed: 7, Drop: 0.45})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab, err := NewTCPFabricOpts(FabricOptions{
+			DialTimeout: time.Second, IOTimeout: 500 * time.Millisecond,
+			IdleTimeout: 500 * time.Millisecond, Injector: inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fab.Close()
+		net := buildChainNet(t)
+		plans, _ := PlanFromNetwork(net, nil)
+		cols := chainColumns(300, 7)
+		res, err := LearnRobust(context.Background(), plans, cols, fab, learn.Options{},
+			RobustOptions{ShipRetries: 2, Backoff: tinyBackoff, Seed: 7, Fallback: FallbackLocal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Install(net, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		statuses := map[int]NodeStatus{}
+		attempts := map[int]int{}
+		for id, nr := range res.PerNode {
+			statuses[id] = nr.Status
+			attempts[id] = nr.Attempts
+		}
+		return res.Report, statuses, attempts
+	}
+	rep1, st1, at1 := run()
+	rep2, st2, at2 := run()
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("reports differ:\n%+v\n%+v", rep1, rep2)
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("statuses differ: %v vs %v", st1, st2)
+	}
+	if !reflect.DeepEqual(at1, at2) {
+		t.Fatalf("attempts differ: %v vs %v", at1, at2)
+	}
+}
+
+// TestTCPFabricStallHitsDeadline is the regression test for the missing
+// read/write deadlines: a stalled connection must surface a timeout within
+// the IO budget instead of hanging the learner forever.
+func TestTCPFabricStallHitsDeadline(t *testing.T) {
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 3, Stall: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := NewTCPFabricOpts(FabricOptions{
+		DialTimeout: time.Second, IOTimeout: 150 * time.Millisecond,
+		IdleTimeout: 200 * time.Millisecond, Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	col := make([]float64, 256)
+	start := time.Now()
+	_, shipErr := fab.Ship(0, 1, col)
+	elapsed := time.Since(start)
+	if shipErr == nil {
+		t.Fatal("stalled ship must error")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("stalled ship took %v; deadline not enforced", elapsed)
+	}
+}
+
+// TestTCPFabricCorruptFrameCounted: a corrupted parcel fails the relay's
+// checksum, is counted, and the shipper sees a bounded error (echo timeout)
+// rather than a hang or panic.
+func TestTCPFabricCorruptFrameCounted(t *testing.T) {
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 5, Corrupt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := NewTCPFabricOpts(FabricOptions{
+		DialTimeout: time.Second, IOTimeout: 150 * time.Millisecond,
+		IdleTimeout: 200 * time.Millisecond, Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	before := decBadFrames.Value()
+	col := make([]float64, 512)
+	start := time.Now()
+	if _, err := fab.Ship(3, 4, col); err == nil {
+		t.Fatal("corrupted ship must error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("corrupted ship not bounded by deadline")
+	}
+	// The flipped bit may land in the frame header (connection error, relay
+	// counts nothing) or the payload (checksum skip, counted). With this
+	// seed and a 512-float payload the corrupt offset is in the payload.
+	if decBadFrames.Value() <= before {
+		t.Fatalf("bad-frame counter did not advance (%d -> %d)", before, decBadFrames.Value())
+	}
+}

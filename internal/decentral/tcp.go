@@ -1,17 +1,20 @@
 package decentral
 
 import (
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
+
+	"kertbn/internal/faulty"
+	"kertbn/internal/wire"
 )
 
 // countingWriter counts the bytes actually written to the wire, so the
-// decentral.ship_bytes counter reflects real gob-encoded parcel sizes on
-// the TCP transport (vs. the 8·len payload accounting of InProcShipper).
+// decentral.ship_bytes counter reflects real framed parcel sizes on the TCP
+// transport (vs. the 8·len payload accounting of InProcShipper).
 type countingWriter struct {
 	w io.Writer
 	n int64
@@ -29,28 +32,90 @@ type parcel struct {
 	Col      []float64
 }
 
+// FabricOptions tunes the TCP fabric's robustness envelope. The zero value
+// gets production-shaped defaults; tests shrink the timeouts.
+type FabricOptions struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// IOTimeout is the per-message read/write deadline on the shipping side
+	// (default 5s) — the fix for the stalled-peer-hangs-the-learner-forever
+	// failure mode.
+	IOTimeout time.Duration
+	// IdleTimeout is the relay-side per-parcel read deadline (default 30s);
+	// an idle or stalled shipper costs one relay goroutine for at most this
+	// long.
+	IdleTimeout time.Duration
+	// Injector, when non-nil, injects deterministic faults into every
+	// shipping connection, keyed by (from, to, attempt) — the chaos hook.
+	Injector *faulty.Injector
+}
+
+func (o FabricOptions) withDefaults() FabricOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 5 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 30 * time.Second
+	}
+	return o
+}
+
 // TCPFabric is a Shipper that routes every column through a real TCP
-// socket with gob encoding, so decentralized-learning measurements include
-// genuine serialization and network-stack cost. A single relay listener
-// accepts a connection per shipment, reads the parcel and echoes it back —
-// the in-one-process equivalent of agent-to-agent transfer.
+// socket with framed gob encoding, so decentralized-learning measurements
+// include genuine serialization and network-stack cost. A single relay
+// listener accepts a connection per shipment, reads the parcel and echoes
+// it back — the in-one-process equivalent of agent-to-agent transfer.
+//
+// Every read and write carries a deadline, and the fabric implements
+// AttemptShipper so LearnRobust's retries redraw the fault plan (and the
+// connection) per attempt.
 type TCPFabric struct {
 	listener net.Listener
+	opts     FabricOptions
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	closed   bool
+	conns    map[net.Conn]struct{}
 }
 
-// NewTCPFabric starts the relay on 127.0.0.1 (ephemeral port).
+// NewTCPFabric starts the relay on 127.0.0.1 (ephemeral port) with default
+// robustness options.
 func NewTCPFabric() (*TCPFabric, error) {
+	return NewTCPFabricOpts(FabricOptions{})
+}
+
+// NewTCPFabricOpts starts the relay with explicit options.
+func NewTCPFabricOpts(opts FabricOptions) (*TCPFabric, error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("decentral: listen: %w", err)
 	}
-	f := &TCPFabric{listener: l}
+	f := &TCPFabric{listener: l, opts: opts.withDefaults(), conns: map[net.Conn]struct{}{}}
 	f.wg.Add(1)
 	go f.acceptLoop()
 	return f, nil
+}
+
+// track registers a live relay connection; it returns false (and closes the
+// conn) when the fabric is already shutting down.
+func (f *TCPFabric) track(c net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		c.Close()
+		return false
+	}
+	f.conns[c] = struct{}{}
+	return true
+}
+
+func (f *TCPFabric) untrack(c net.Conn) {
+	f.mu.Lock()
+	delete(f.conns, c)
+	f.mu.Unlock()
 }
 
 // Addr returns the relay address.
@@ -66,15 +131,26 @@ func (f *TCPFabric) acceptLoop() {
 		f.wg.Add(1)
 		go func(c net.Conn) {
 			defer f.wg.Done()
+			if !f.track(c) {
+				return
+			}
+			defer f.untrack(c)
 			defer c.Close()
-			dec := gob.NewDecoder(c)
-			enc := gob.NewEncoder(c)
 			for {
 				var p parcel
-				if err := dec.Decode(&p); err != nil {
+				c.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
+				if err := wire.Decode(c, 0, &p); err != nil {
+					if errors.Is(err, wire.ErrChecksum) {
+						// The frame was fully consumed; the stream is still
+						// aligned. Count it and keep serving — the shipper's
+						// echo read will time out and retry.
+						decBadFrames.Inc()
+						continue
+					}
 					return
 				}
-				if err := enc.Encode(&p); err != nil {
+				c.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
+				if _, err := wire.Encode(c, &p); err != nil {
 					return
 				}
 			}
@@ -82,23 +158,44 @@ func (f *TCPFabric) acceptLoop() {
 	}
 }
 
-// Ship implements Shipper: the column makes a real round trip through the
-// relay socket.
+// edgeKey identifies the (from, to) shipping edge for fault plans and
+// jitter streams: each edge is owned by exactly one learner, so per-edge
+// attempt numbering is deterministic regardless of scheduling.
+func edgeKey(from, to int) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// Ship implements Shipper: one attempt with full deadlines (attempt 0 of
+// ShipAttempt). Retrying callers use ShipAttempt so the fault schedule and
+// jitter redraw per attempt.
 func (f *TCPFabric) Ship(from, to int, col []float64) ([]float64, error) {
+	return f.ShipAttempt(from, to, 0, col)
+}
+
+// ShipAttempt implements AttemptShipper: the column makes a real round trip
+// through the relay socket, with dial/read/write deadlines and optional
+// deterministic fault injection keyed by (from, to, attempt).
+func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64, error) {
 	start := time.Now()
-	conn, err := net.Dial("tcp", f.Addr())
+	var conn net.Conn
+	var err error
+	if f.opts.Injector != nil {
+		conn, err = f.opts.Injector.Dial("tcp", f.Addr(), edgeKey(from, to), uint64(attempt), f.opts.DialTimeout)
+	} else {
+		conn, err = net.DialTimeout("tcp", f.Addr(), f.opts.DialTimeout)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("decentral: dial relay: %w", err)
 	}
 	defer conn.Close()
 	cw := &countingWriter{w: conn}
-	enc := gob.NewEncoder(cw)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&parcel{From: from, To: to, Col: col}); err != nil {
+	conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout))
+	if _, err := wire.Encode(cw, &parcel{From: from, To: to, Col: col}); err != nil {
 		return nil, fmt.Errorf("decentral: send parcel: %w", err)
 	}
 	var back parcel
-	if err := dec.Decode(&back); err != nil {
+	conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout))
+	if err := wire.Decode(conn, 0, &back); err != nil {
 		return nil, fmt.Errorf("decentral: receive parcel: %w", err)
 	}
 	if back.From != from || back.To != to {
@@ -110,7 +207,8 @@ func (f *TCPFabric) Ship(from, to int, col []float64) ([]float64, error) {
 	return back.Col, nil
 }
 
-// Close shuts the relay down.
+// Close shuts the relay down, severing any live connections so shutdown
+// never waits out an idle deadline.
 func (f *TCPFabric) Close() error {
 	f.mu.Lock()
 	if f.closed {
@@ -118,6 +216,9 @@ func (f *TCPFabric) Close() error {
 		return nil
 	}
 	f.closed = true
+	for c := range f.conns {
+		c.Close()
+	}
 	f.mu.Unlock()
 	err := f.listener.Close()
 	f.wg.Wait()

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"kertbn/internal/core"
+	"kertbn/internal/decentral"
+	"kertbn/internal/learn"
+	"kertbn/internal/pool"
+	"kertbn/internal/stats"
+)
+
+// DegradationConfig parameterizes the graceful-degradation sweep: how much
+// the paper's Equation 5 accuracy metric suffers as a growing fraction of
+// monitoring agents fails during a decentralized learning round.
+type DegradationConfig struct {
+	Seed uint64
+	// Services is the size of the random systems swept.
+	Services int
+	// Models is how many random systems are averaged per failure fraction.
+	Models int
+	// TrainSize / RealSize are the learning window and the empirical
+	// reference sample for Eq. 5.
+	TrainSize, RealSize int
+	// FailFractions are the fractions of agents taken down per round.
+	FailFractions []float64
+	// ThresholdQuantile locates Eq. 5's threshold h on the real response
+	// distribution (default 0.8: P_real(D>h) = 0.2).
+	ThresholdQuantile float64
+	// NSamples sizes the likelihood-weighting posterior per evaluation.
+	NSamples int
+	// Workers bounds concurrent (fraction, model) jobs (<= 0 serial).
+	Workers int
+}
+
+// DefaultDegradationConfig returns the sweep used by kertbench.
+func DefaultDegradationConfig() DegradationConfig {
+	return DegradationConfig{
+		Seed:              17,
+		Services:          15,
+		Models:            10,
+		TrainSize:         360,
+		RealSize:          4000,
+		FailFractions:     []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		ThresholdQuantile: 0.8,
+		NSamples:          20_000,
+	}
+}
+
+// Degradation sweeps Equation 5's ε against the fraction of failed agents.
+// Every round learns the KERT-BN decentrally under decentral.LearnRobust
+// with FallbackLocal: shipping from a down agent fails, the affected nodes
+// fall back to parents-ignored local CPDs, and the round still produces a
+// valid network. ε is then measured on that degraded network against fresh
+// data from the true system. The expected shape — ε rising smoothly with
+// the failed fraction rather than the round aborting — is the tentpole's
+// graceful-degradation contract.
+func Degradation(cfg DegradationConfig) ([]*FigResult, error) {
+	if cfg.ThresholdQuantile <= 0 || cfg.ThresholdQuantile >= 1 {
+		cfg.ThresholdQuantile = 0.8
+	}
+	if cfg.NSamples <= 0 {
+		cfg.NSamples = 20_000
+	}
+	if cfg.Models < 1 {
+		cfg.Models = 1
+	}
+	root := stats.NewRNG(cfg.Seed)
+	nJobs := len(cfg.FailFractions) * cfg.Models
+	type jobOut struct {
+		eps      float64
+		failed   float64 // fraction of learned nodes that actually failed
+		fallback float64 // fallback CPDs installed
+		ok       bool    // Eq. 5 defined (P_real > 0 and posterior valid)
+	}
+	outs := make([]jobOut, nJobs)
+	err := pool.ForEach(context.Background(), "exp.degradation", nJobs, serialDefault(cfg.Workers), func(j int) error {
+		frac := cfg.FailFractions[j/cfg.Models]
+		rng := root.Split(uint64(j))
+		sys, train, test, err := freshData(cfg.Services, cfg.TrainSize, cfg.RealSize, rng)
+		if err != nil {
+			return err
+		}
+		model, err := core.BuildKERT(core.DefaultKERTConfig(sys.Workflow), train)
+		if err != nil {
+			return err
+		}
+		plans, err := decentral.PlanFromNetwork(model.Net, nil)
+		if err != nil {
+			return err
+		}
+		cols := make(decentral.Columns, train.NumCols())
+		for c := range cols {
+			cols[c] = train.Col(c)
+		}
+		// Take down floor(frac * agents) agents, drawn without replacement
+		// from the service columns (agents own one column each).
+		nDown := int(frac * float64(cfg.Services))
+		down := map[int]bool{}
+		perm := rng.Split(1).Perm(cfg.Services)
+		for _, id := range perm[:nDown] {
+			down[id] = true
+		}
+		shipper := decentral.DownShipper{Inner: decentral.InProcShipper{}, Down: down}
+		res, err := decentral.LearnRobust(context.Background(), plans, cols, shipper, learn.DefaultOptions(),
+			decentral.RobustOptions{Fallback: decentral.FallbackLocal})
+		if err != nil {
+			return fmt.Errorf("fraction %.2f model %d: %w", frac, j%cfg.Models, err)
+		}
+		if err := decentral.Install(model.Net, res); err != nil {
+			return err
+		}
+		realD := test.Col(test.NumCols() - 1)
+		h := stats.Quantile(realD, cfg.ThresholdQuantile)
+		post, err := core.ResponseTimePosterior(model, nil, cfg.NSamples, rng.Split(2))
+		if err != nil {
+			return err
+		}
+		o := jobOut{
+			failed:   float64(res.Report.Failed) / float64(res.Report.Nodes),
+			fallback: float64(res.Report.FallbackCPDs),
+		}
+		if eps, err := core.ThresholdViolationError(post, realD, h); err == nil && !math.IsNaN(eps) {
+			o.eps, o.ok = eps, true
+		}
+		outs[j] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, epsY, failedY, fallbackY []float64
+	for fi, frac := range cfg.FailFractions {
+		var epsSum, failedSum, fbSum float64
+		nEps := 0
+		for m := 0; m < cfg.Models; m++ {
+			o := outs[fi*cfg.Models+m]
+			if o.ok {
+				epsSum += o.eps
+				nEps++
+			}
+			failedSum += o.failed
+			fbSum += o.fallback
+		}
+		xs = append(xs, frac)
+		if nEps > 0 {
+			epsY = append(epsY, epsSum/float64(nEps))
+		} else {
+			epsY = append(epsY, math.NaN())
+		}
+		k := float64(cfg.Models)
+		failedY = append(failedY, failedSum/k)
+		fallbackY = append(fallbackY, fbSum/k)
+	}
+	// The headline check: ε at the worst fraction vs the clean baseline.
+	worst := epsY[0]
+	for _, e := range epsY {
+		if !math.IsNaN(e) && e > worst {
+			worst = e
+		}
+	}
+	panel := &FigResult{
+		ID:     "degradation",
+		Title:  "Graceful degradation: Eq. 5 error vs fraction of failed agents",
+		XLabel: "failed_fraction",
+		YLabel: "epsilon",
+		Series: []Series{
+			{Name: "epsilon", X: xs, Y: epsY},
+			{Name: "failed_node_frac", X: xs, Y: failedY},
+		},
+		Notes: []string{
+			fmt.Sprintf("threshold h at the %.0f%% quantile of the real response distribution", 100*cfg.ThresholdQuantile),
+			fmt.Sprintf("epsilon: clean %.4f, worst %.4f; every round completed via FallbackLocal", epsY[0], worst),
+			"expected shape: epsilon rises smoothly with the failed fraction; no round aborts",
+		},
+	}
+	fbPanel := &FigResult{
+		ID:     "degradation-fallback",
+		Title:  "Fallback CPDs installed per round",
+		XLabel: "failed_fraction",
+		YLabel: "fallback_cpds",
+		Series: []Series{{Name: "fallback_cpds", X: xs, Y: fallbackY}},
+	}
+	return []*FigResult{panel, fbPanel}, nil
+}

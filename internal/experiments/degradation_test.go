@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDegradationShapes(t *testing.T) {
+	cfg := DefaultDegradationConfig()
+	cfg.Services = 10
+	cfg.Models = 3
+	cfg.TrainSize = 200
+	cfg.RealSize = 1500
+	cfg.NSamples = 6000
+	cfg.FailFractions = []float64{0, 0.3}
+	results, err := Degradation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, failed := results[0].Series[0], results[0].Series[1]
+	fb := results[1].Series[0]
+	// Clean round: nothing fails, ε is defined and finite.
+	if failed.Y[0] != 0 || fb.Y[0] != 0 {
+		t.Fatalf("clean round reports failures: failed %g, fallback %g", failed.Y[0], fb.Y[0])
+	}
+	if math.IsNaN(eps.Y[0]) || eps.Y[0] < 0 {
+		t.Fatalf("clean epsilon = %g", eps.Y[0])
+	}
+	// Degraded round: failures happen, fallback CPDs keep it completing —
+	// ε stays defined (the graceful-degradation contract).
+	if failed.Y[1] <= 0 || fb.Y[1] <= 0 {
+		t.Fatalf("degraded round reports no failures: failed %g, fallback %g", failed.Y[1], fb.Y[1])
+	}
+	if math.IsNaN(eps.Y[1]) || eps.Y[1] < 0 {
+		t.Fatalf("degraded epsilon = %g", eps.Y[1])
+	}
+}
+
+func TestDegradationDeterministic(t *testing.T) {
+	cfg := DefaultDegradationConfig()
+	cfg.Services = 8
+	cfg.Models = 2
+	cfg.TrainSize = 150
+	cfg.RealSize = 800
+	cfg.NSamples = 3000
+	cfg.FailFractions = []float64{0.25}
+	r1, err := Degradation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Degradation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range r1[0].Series {
+		for i := range r1[0].Series[s].Y {
+			if r1[0].Series[s].Y[i] != r2[0].Series[s].Y[i] {
+				t.Fatalf("series %q index %d differs: %g vs %g",
+					r1[0].Series[s].Name, i, r1[0].Series[s].Y[i], r2[0].Series[s].Y[i])
+			}
+		}
+	}
+}

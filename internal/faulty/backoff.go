@@ -1,0 +1,49 @@
+package faulty
+
+import (
+	"time"
+
+	"kertbn/internal/stats"
+)
+
+// Backoff is the shared retry pacing policy: exponential growth from Base
+// capped at Max, with "equal jitter" — the delay for attempt k is drawn
+// uniformly from [d/2, d) where d = min(Base·2^k, Max). Jitter comes from a
+// caller-supplied stats.RNG stream, so retry schedules are as deterministic
+// as everything else in a seeded run.
+type Backoff struct {
+	Base time.Duration // first-retry delay (default 10ms)
+	Max  time.Duration // delay ceiling (default 500ms)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max < b.Base {
+		b.Max = 500 * time.Millisecond
+		if b.Max < b.Base {
+			b.Max = b.Base
+		}
+	}
+	return b
+}
+
+// Delay returns the pause before retry attempt k (k = 0 is the first
+// retry). A nil rng disables jitter and returns the full deterministic
+// ceiling for the attempt.
+func (b Backoff) Delay(attempt int, rng *stats.RNG) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if rng == nil {
+		return d
+	}
+	half := float64(d) / 2
+	return time.Duration(half + rng.Float64()*half)
+}

@@ -1,0 +1,189 @@
+package faulty
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// errTruncated is returned by writes after an injected truncation.
+var errTruncated = fmt.Errorf("faulty: connection truncated by injected fault")
+
+// conn applies a Plan to an underlying net.Conn. Truncation and corruption
+// act on the write stream (the sender-side view of a crashing or lossy
+// peer); stalls freeze both directions once the byte budget is exhausted,
+// honoring whatever deadlines the caller set — callers without deadlines
+// hang, which is precisely the failure mode the stall injector exposes.
+type conn struct {
+	inner net.Conn
+	plan  Plan
+
+	mu        sync.Mutex
+	written   int64
+	read      int64
+	delayed   bool
+	truncated bool
+	readDL    time.Time
+	writeDL   time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newConn(inner net.Conn, p Plan) *conn {
+	return &conn{inner: inner, plan: p, closed: make(chan struct{})}
+}
+
+// maybeDelay sleeps the injected delay before the first I/O operation.
+func (c *conn) maybeDelay() {
+	c.mu.Lock()
+	d := time.Duration(0)
+	if !c.delayed {
+		c.delayed = true
+		d = c.plan.Delay
+	}
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// stallBudget returns how many bytes may still move before the stall fault
+// triggers (negative means no stall is planned).
+func (c *conn) stallBudget() int64 {
+	if c.plan.StallAfter < 0 {
+		return -1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.plan.StallAfter - (c.written + c.read)
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// stall blocks until the given deadline passes or the connection closes,
+// polling so that deadline updates made while blocked are honored.
+func (c *conn) stall(deadline func() time.Time) error {
+	for {
+		dl := deadline()
+		if !dl.IsZero() && time.Now().After(dl) {
+			return os.ErrDeadlineExceeded
+		}
+		select {
+		case <-c.closed:
+			return net.ErrClosed
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.maybeDelay()
+	if budget := c.stallBudget(); budget == 0 {
+		return 0, c.stall(func() time.Time {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.readDL
+		})
+	} else if budget > 0 && int64(len(p)) > budget {
+		// A short read is legal; the next Read hits the stall at entry.
+		p = p[:budget]
+	}
+	n, err := c.inner.Read(p)
+	c.mu.Lock()
+	c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.maybeDelay()
+	writeDL := func() time.Time {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.writeDL
+	}
+	stallNow := false
+	if budget := c.stallBudget(); budget == 0 {
+		return 0, c.stall(writeDL)
+	} else if budget > 0 && int64(len(p)) > budget {
+		// The stall hits mid-buffer: move the prefix, then freeze inside
+		// this call — a partial write must not return a nil error.
+		p = p[:budget]
+		stallNow = true
+	}
+	c.mu.Lock()
+	if c.truncated {
+		c.mu.Unlock()
+		return 0, errTruncated
+	}
+	written := c.written
+	truncAt := int64(-1)
+	if c.plan.TruncateAfter >= 0 && written+int64(len(p)) > c.plan.TruncateAfter {
+		truncAt = c.plan.TruncateAfter - written
+		if truncAt < 0 {
+			truncAt = 0
+		}
+		c.truncated = true
+	}
+	c.mu.Unlock()
+
+	buf := p
+	if truncAt >= 0 {
+		buf = p[:truncAt]
+	}
+	if c.plan.CorruptAt >= 0 && c.plan.CorruptAt >= written && c.plan.CorruptAt < written+int64(len(buf)) {
+		tmp := append([]byte(nil), buf...)
+		tmp[c.plan.CorruptAt-written] ^= 0x01
+		buf = tmp
+	}
+	n := 0
+	var err error
+	if len(buf) > 0 {
+		n, err = c.inner.Write(buf)
+	}
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+	if truncAt >= 0 {
+		c.inner.Close()
+		return n, errTruncated
+	}
+	if stallNow && err == nil {
+		return n, c.stall(writeDL)
+	}
+	return n, err
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

@@ -1,0 +1,272 @@
+package faulty
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"kertbn/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Drop: 0.2, Stall: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Drop: 0.7, Stall: 0.7}).Validate(); err == nil {
+		t.Fatal("probabilities summing past 1 accepted")
+	}
+	if err := (Config{Drop: -0.1}).Validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := NewInjector(Config{Corrupt: 2}); err == nil {
+		t.Fatal("NewInjector accepted invalid config")
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 42, Drop: 0.2, Delay: 0.2, Truncate: 0.2, Corrupt: 0.2, Stall: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, _ := NewInjector(in.Config())
+	for key := uint64(0); key < 200; key++ {
+		for attempt := uint64(0); attempt < 3; attempt++ {
+			a := in.Plan(key, attempt)
+			b := in2.Plan(key, attempt)
+			if a != b {
+				t.Fatalf("plan(%d,%d) differs across identical injectors: %+v vs %+v", key, attempt, a, b)
+			}
+		}
+	}
+}
+
+func TestPlanMixRoughlyMatchesProbabilities(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 7, Drop: 0.3, Stall: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	var drops, stalls, clean int
+	for key := uint64(0); key < n; key++ {
+		p := in.Plan(key, 0)
+		switch {
+		case p.Drop:
+			drops++
+		case p.StallAfter >= 0:
+			stalls++
+		case p.Clean():
+			clean++
+		default:
+			t.Fatalf("unexpected fault kind in plan %+v", p)
+		}
+	}
+	for name, got := range map[string]int{"drops": drops, "stalls": stalls} {
+		frac := float64(got) / n
+		if frac < 0.25 || frac > 0.35 {
+			t.Fatalf("%s fraction %.3f far from configured 0.3", name, frac)
+		}
+	}
+	if clean == 0 {
+		t.Fatal("no clean connections at 60% fault rate")
+	}
+}
+
+// pipePair returns the two ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestTruncateClosesMidStream(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Plan{TruncateAfter: 5, CorruptAt: -1, StallAfter: -1})
+	got := make([]byte, 16)
+	done := make(chan int)
+	go func() {
+		n, _ := io.ReadFull(b, got[:5])
+		done <- n
+	}()
+	n, err := fc.Write([]byte("0123456789"))
+	if n != 5 {
+		t.Fatalf("wrote %d bytes, want 5 before truncation", n)
+	}
+	if !errors.Is(err, errTruncated) {
+		t.Fatalf("truncating write error = %v", err)
+	}
+	if rn := <-done; rn != 5 {
+		t.Fatalf("peer read %d bytes, want 5", rn)
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, errTruncated) {
+		t.Fatalf("post-truncation write error = %v", err)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Plan{TruncateAfter: -1, CorruptAt: 3, StallAfter: -1})
+	payload := []byte("hello world")
+	go func() {
+		fc.Write(payload)
+		fc.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(payload))
+	}
+	diffs := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diffs++
+			if i != 3 || got[i] != payload[i]^0x01 {
+				t.Fatalf("byte %d corrupted to %#x, want single bit flip at offset 3", i, got[i])
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes corrupted, want exactly 1", diffs)
+	}
+	// The caller's view is a clean full write — corruption is silent.
+}
+
+func TestStallHonorsDeadline(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Plan{TruncateAfter: -1, CorruptAt: -1, StallAfter: 0})
+	fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := fc.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read error = %v, want deadline exceeded", err)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("stalled read returned after %v, want ~50ms", el)
+	}
+}
+
+func TestStallFreezesMidWrite(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Plan{TruncateAfter: -1, CorruptAt: -1, StallAfter: 4})
+	fc.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	got := make([]byte, 4)
+	go io.ReadFull(b, got)
+	// The buffer crosses the stall threshold: the prefix moves, then the
+	// write freezes until the deadline — it must NOT succeed silently.
+	n, err := fc.Write([]byte("0123456789"))
+	if n != 4 {
+		t.Fatalf("wrote %d bytes, want 4 before the stall", n)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("mid-write stall error = %v, want deadline exceeded", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("peer saw %q, want the 4-byte prefix", got)
+	}
+}
+
+func TestStallUnblocksOnClose(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Plan{TruncateAfter: -1, CorruptAt: -1, StallAfter: 0})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("read after close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read did not unblock on Close")
+	}
+}
+
+func TestDelayDelaysFirstIO(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Plan{Delay: 40 * time.Millisecond, TruncateAfter: -1, CorruptAt: -1, StallAfter: -1})
+	go io.Copy(io.Discard, b)
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("first write returned after %v, want >= ~40ms delay", el)
+	}
+	// Second write is not delayed again.
+	start = time.Now()
+	if _, err := fc.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 20*time.Millisecond {
+		t.Fatalf("second write delayed %v, delay must fire once", el)
+	}
+	fc.Close()
+}
+
+func TestDialDropAndListenerDrop(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 3, Drop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Dial("tcp", "127.0.0.1:1", 0, 0, time.Second); err == nil {
+		t.Fatal("drop-everything injector allowed a dial")
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := in.WrapListener(l)
+	defer fl.Close()
+	go func() {
+		// The listener drops every accepted conn; dialers see resets.
+		for i := 0; i < 3; i++ {
+			c, err := net.Dial("tcp", l.Addr().String())
+			if err == nil {
+				c.SetReadDeadline(time.Now().Add(time.Second))
+				c.Read(make([]byte, 1)) // observe the reset/EOF
+				c.Close()
+			}
+		}
+		fl.Close()
+	}()
+	if c, err := fl.Accept(); err == nil {
+		c.Close()
+		t.Fatal("drop-everything listener accepted a connection")
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	if d := b.Delay(0, nil); d != 10*time.Millisecond {
+		t.Fatalf("attempt 0 delay %v, want 10ms", d)
+	}
+	if d := b.Delay(10, nil); d != 80*time.Millisecond {
+		t.Fatalf("deep attempt delay %v, want capped at 80ms", d)
+	}
+	for attempt := 0; attempt < 6; attempt++ {
+		d1 := b.Delay(attempt, stats.NewRNG(9).Split(uint64(attempt)))
+		d2 := b.Delay(attempt, stats.NewRNG(9).Split(uint64(attempt)))
+		if d1 != d2 {
+			t.Fatalf("jittered delay not deterministic: %v vs %v", d1, d2)
+		}
+		full := b.Delay(attempt, nil)
+		if d1 < full/2 || d1 > full {
+			t.Fatalf("attempt %d jittered delay %v outside [%v, %v]", attempt, d1, full/2, full)
+		}
+	}
+	// Zero-value policy gets sane defaults.
+	if d := (Backoff{}).Delay(0, nil); d != 10*time.Millisecond {
+		t.Fatalf("zero-value base delay %v, want 10ms default", d)
+	}
+}

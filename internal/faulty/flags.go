@@ -1,0 +1,28 @@
+package faulty
+
+import "flag"
+
+// RegisterFlags installs the -fault-* flag family on fs and returns a
+// closure that assembles the Config after the flags are parsed. Every CLI
+// exposing chaos runs uses the same family, so a scenario reproduces by
+// copying the flags verbatim between tools.
+func RegisterFlags(fs *flag.FlagSet) func() Config {
+	var (
+		seed    = fs.Uint64("fault-seed", 0, "chaos: seed for the deterministic fault schedule")
+		drop    = fs.Float64("fault-drop", 0, "chaos: probability a connection is dropped outright")
+		delay   = fs.Float64("fault-delay", 0, "chaos: probability a connection's first I/O is delayed")
+		trunc   = fs.Float64("fault-truncate", 0, "chaos: probability a connection is cut mid-stream")
+		corrupt = fs.Float64("fault-corrupt", 0, "chaos: probability one payload bit is flipped")
+		stall   = fs.Float64("fault-stall", 0, "chaos: probability a connection stalls until its deadline")
+	)
+	return func() Config {
+		return Config{
+			Seed:     *seed,
+			Drop:     *drop,
+			Delay:    *delay,
+			Truncate: *trunc,
+			Corrupt:  *corrupt,
+			Stall:    *stall,
+		}
+	}
+}

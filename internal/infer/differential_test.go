@@ -1,0 +1,243 @@
+package infer
+
+// Differential tests: the approximate samplers (likelihood weighting,
+// Gibbs) are checked against exact oracles — the closed-form joint
+// Gaussian for continuous networks, the junction tree (itself verified
+// against variable elimination) for discrete ones — on seeded random
+// networks with tolerance bands. Run just these with:
+//
+//	go test ./internal/infer -run Differential
+
+import (
+	"math"
+	"testing"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/stats"
+)
+
+// randomGaussianNet builds a random linear-Gaussian DAG: every pair i<j is
+// an edge with probability pEdge, coefficients and noise drawn from rng.
+func randomGaussianNet(t *testing.T, nNodes int, pEdge float64, rng *stats.RNG) *bn.Network {
+	t.Helper()
+	n := bn.NewNetwork()
+	for i := 0; i < nNodes; i++ {
+		if _, err := n.AddContinuousNode(string(rune('a' + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nNodes; i++ {
+		for j := i + 1; j < nNodes; j++ {
+			if rng.Float64() < pEdge {
+				if err := n.AddEdge(i, j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for id := 0; id < nNodes; id++ {
+		parents := n.Parents(id)
+		coef := make([]float64, len(parents))
+		for k := range coef {
+			coef[k] = rng.Normal(0, 0.8)
+		}
+		sigma := 0.3 + rng.Float64()
+		if err := n.SetCPD(id, bn.NewLinearGaussian(rng.Normal(0, 1), coef, sigma)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// randomDiscreteNet builds a random discrete DAG with CPT entries bounded
+// away from zero, so the Gibbs chain mixes fast enough for tight bands.
+func randomDiscreteNet(t *testing.T, nNodes int, pEdge float64, rng *stats.RNG) *bn.Network {
+	t.Helper()
+	n := bn.NewNetwork()
+	cards := make([]int, nNodes)
+	for i := 0; i < nNodes; i++ {
+		cards[i] = 2 + rng.Intn(2)
+		if _, err := n.AddDiscreteNode(string(rune('a'+i)), cards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nNodes; i++ {
+		for j := i + 1; j < nNodes; j++ {
+			if rng.Float64() < pEdge {
+				if err := n.AddEdge(i, j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for id := 0; id < nNodes; id++ {
+		parentCards := make([]int, 0)
+		for _, p := range n.Parents(id) {
+			parentCards = append(parentCards, cards[p])
+		}
+		tab := bn.NewTabular(cards[id], parentCards)
+		for cfg := 0; cfg < tab.Rows(); cfg++ {
+			row := make([]float64, cards[id])
+			for s := range row {
+				row[s] = 0.15 + rng.Float64() // floor keeps the chain mobile
+			}
+			if err := tab.SetRow(cfg, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.SetCPD(id, tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestDifferentialLWvsExactGaussian: on random linear-Gaussian networks,
+// the likelihood-weighting posterior of an upstream node given downstream
+// evidence must match the closed-form conditional from the joint Gaussian —
+// mean, standard deviation, and a tail probability, each within a band
+// scaled to the Monte Carlo error.
+func TestDifferentialLWvsExactGaussian(t *testing.T) {
+	const nSamples = 120_000
+	for trial := uint64(0); trial < 6; trial++ {
+		rng := stats.NewRNG(100 + trial)
+		nNodes := 4 + rng.Intn(3)
+		net := randomGaussianNet(t, nNodes, 0.5, rng)
+		jg, err := BuildJointGaussian(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Evidence on the last node at a typical value (its own prior mean),
+		// query the first node — the deepest upstream propagation.
+		evNode, query := nNodes-1, 0
+		evMu, _, err := jg.ConditionScalar(evNode, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := ContinuousEvidence{evNode: evMu}
+		exactMu, exactVar, err := jg.ConditionScalar(query, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactStd := math.Sqrt(exactVar)
+
+		ws, err := LikelihoodWeighting(net, query, ev, nSamples, rng.Split(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Monte Carlo band: a few standard errors of the weighted mean.
+		se := exactStd / math.Sqrt(ws.EffectiveSampleSize())
+		tol := 6*se + 1e-3
+		if d := math.Abs(ws.Mean() - exactMu); d > tol {
+			t.Fatalf("trial %d: LW mean %.4f vs exact %.4f (|d|=%.4g > tol %.4g, ESS %.0f)",
+				trial, ws.Mean(), exactMu, d, tol, ws.EffectiveSampleSize())
+		}
+		if d := math.Abs(ws.Std() - exactStd); d > 0.08*exactStd+1e-3 {
+			t.Fatalf("trial %d: LW std %.4f vs exact %.4f", trial, ws.Std(), exactStd)
+		}
+		// Tail probability at half a standard deviation above the mean.
+		h := exactMu + 0.5*exactStd
+		wantTail := 1 - stats.NormalCDF(h, exactMu, exactStd)
+		if d := math.Abs(ws.Exceedance(h) - wantTail); d > 0.03 {
+			t.Fatalf("trial %d: LW tail %.4f vs exact %.4f", trial, ws.Exceedance(h), wantTail)
+		}
+	}
+}
+
+// TestDifferentialLWPriorMatchesExactGaussian: with no evidence at all, LW
+// reduces to forward sampling; its marginals must match the joint Gaussian
+// on every node, not just the response.
+func TestDifferentialLWPriorMatchesExactGaussian(t *testing.T) {
+	rng := stats.NewRNG(200)
+	net := randomGaussianNet(t, 6, 0.5, rng)
+	jg, err := BuildJointGaussian(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 6; q++ {
+		mu, v, err := jg.ConditionScalar(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := LikelihoodWeighting(net, q, nil, 80_000, rng.Split(uint64(q)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		std := math.Sqrt(v)
+		if d := math.Abs(ws.Mean() - mu); d > 4*std/math.Sqrt(80_000)+1e-3 {
+			t.Fatalf("node %d: prior mean %.4f vs exact %.4f", q, ws.Mean(), mu)
+		}
+		if d := math.Abs(ws.Std() - std); d > 0.05*std+1e-3 {
+			t.Fatalf("node %d: prior std %.4f vs exact %.4f", q, ws.Std(), std)
+		}
+	}
+}
+
+// TestDifferentialGibbsVsJunctionTree: on random discrete networks, the
+// Gibbs marginal of the first node under leaf evidence must match the
+// junction-tree exact marginal within a tolerance band.
+func TestDifferentialGibbsVsJunctionTree(t *testing.T) {
+	opts := GibbsOptions{Burnin: 1500, Samples: 50_000, Thin: 2}
+	for trial := uint64(0); trial < 5; trial++ {
+		rng := stats.NewRNG(300 + trial)
+		nNodes := 4 + rng.Intn(2)
+		net := randomDiscreteNet(t, nNodes, 0.5, rng)
+		jt, err := CompileJunctionTree(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evNode, query := nNodes-1, 0
+		ev := DiscreteEvidence{evNode: rng.Intn(net.Node(evNode).Card)}
+		marg, err := jt.AllMarginals(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := marg[query]
+		approx, err := Gibbs(net, query, ev, opts, rng.Split(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range exact.Values {
+			if d := math.Abs(approx.Values[s] - exact.Values[s]); d > 0.03 {
+				t.Fatalf("trial %d state %d: Gibbs %.4f vs junction tree %.4f (|d|=%.4g)",
+					trial, s, approx.Values[s], exact.Values[s], d)
+			}
+		}
+	}
+}
+
+// TestDifferentialJunctionTreeVsBruteForce closes the oracle loop: the
+// junction tree itself is cross-checked against joint enumeration on the
+// same random networks the Gibbs test uses.
+func TestDifferentialJunctionTreeVsBruteForce(t *testing.T) {
+	for trial := uint64(0); trial < 5; trial++ {
+		rng := stats.NewRNG(300 + trial)
+		nNodes := 4 + rng.Intn(2)
+		net := randomDiscreteNet(t, nNodes, 0.5, rng)
+		jt, err := CompileJunctionTree(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evNode := nNodes - 1
+		ev := DiscreteEvidence{evNode: rng.Intn(net.Node(evNode).Card)}
+		marg, err := jt.AllMarginals(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < nNodes-1; q++ {
+			want := bruteForcePosterior(net, q, ev)
+			for s, w := range want {
+				if math.Abs(marg[q].Values[s]-w) > 1e-9 {
+					t.Fatalf("trial %d node %d state %d: junction tree %.6g vs brute force %.6g",
+						trial, q, s, marg[q].Values[s], w)
+				}
+			}
+		}
+	}
+}

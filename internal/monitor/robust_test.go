@@ -1,0 +1,186 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"kertbn/internal/faulty"
+)
+
+var tinyBackoff = faulty.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+// TestSenderRedialsAfterServerRestart: the sender's persistent connection
+// breaks when the server goes away; with a retry budget it re-dials the
+// replacement server on the same address and the report still lands.
+func TestSenderRedialsAfterServerRestart(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	sender, err := DialTCPOpts(addr, SenderOptions{
+		IOTimeout: 200 * time.Millisecond, Retries: 5, Backoff: tinyBackoff, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if err := sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: 1, Column: 0, Value: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first row", func() bool { return rc.count() == 1 })
+
+	// Kill the server, restart on the same address.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := ListenTCP(addr, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	// The first write may succeed into the dead socket's buffer; keep
+	// sending until the broken connection surfaces and the re-dial path
+	// delivers again.
+	waitFor(t, "row after restart", func() bool {
+		_ = sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: 2, Column: 0, Value: 2}}})
+		return rc.count() >= 2
+	})
+	if monTCPRedials.Value() == 0 {
+		t.Fatal("re-dial counter did not advance")
+	}
+}
+
+// TestSenderExhaustsRetriesAgainstDeadServer: with no listener at all the
+// send fails after the budget, with bounded wall time — no infinite loop.
+func TestSenderExhaustsRetriesAgainstDeadServer(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	sender, err := DialTCPOpts(addr, SenderOptions{
+		DialTimeout: 200 * time.Millisecond, IOTimeout: 200 * time.Millisecond,
+		Retries: 2, Backoff: tinyBackoff, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	srv.Close()
+
+	start := time.Now()
+	var sendErr error
+	// Drain until the failure mode stabilizes: every send errors.
+	for i := int64(0); i < 10; i++ {
+		sendErr = sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: i, Column: 0, Value: 1}}})
+		if sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("sends against a dead server must eventually error")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("retry budget not bounded: %v", time.Since(start))
+	}
+}
+
+// TestSenderStallHitsDeadline is the regression test for the missing write
+// deadline on the monitoring path: a stalled connection must time out within
+// the IO budget instead of hanging the agent forever.
+func TestSenderStallHitsDeadline(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	srv, err := ListenTCPOpts("127.0.0.1:0", inner, ServerOptions{IdleTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 4, Stall: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		IOTimeout: 150 * time.Millisecond, Retries: 1, Backoff: tinyBackoff,
+		Seed: 4, Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	// Big enough batch that the frame exceeds any stall offset.
+	batch := make([]Measurement, 64)
+	for i := range batch {
+		batch[i] = Measurement{RequestID: int64(i), Column: 0, Value: float64(i)}
+	}
+	start := time.Now()
+	err = sender.Send(Report{AgentID: "a", Batch: batch})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled send must error (every attempt stalls)")
+	}
+	// Budget: 2 attempts x 150ms deadline + backoff, with scheduling slack.
+	if elapsed > 3*time.Second {
+		t.Fatalf("stalled send took %v; write deadline not enforced", elapsed)
+	}
+}
+
+// TestServerSkipsCorruptedFrames: a corrupted report frame is counted and
+// skipped, and later clean frames on the same connection still assemble.
+func TestServerSkipsCorruptedFrames(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	srv, err := ListenTCPOpts("127.0.0.1:0", inner, ServerOptions{IdleTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Corrupt every connection's stream once; the sender re-dials and the
+	// retry lands on a fresh (also corrupting) connection — so give the
+	// sender enough budget that some frame eventually passes... instead,
+	// drive the corruption deterministically: first sender corrupts, second
+	// is clean on the same server connection count.
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 6, Corrupt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		IOTimeout: 150 * time.Millisecond, Retries: 0, Seed: 6, Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	before := monTCPBadFrames.Value()
+	batch := make([]Measurement, 64)
+	for i := range batch {
+		batch[i] = Measurement{RequestID: 99, Column: 0, Value: 1}
+	}
+	// The write itself succeeds (corruption flips a bit in flight).
+	_ = bad.Send(Report{AgentID: "bad", Batch: batch})
+	waitFor(t, "bad-frame counter", func() bool { return monTCPBadFrames.Value() > before })
+	if rc.count() != 0 {
+		t.Fatal("corrupted frame must not assemble rows")
+	}
+
+	// A clean sender on the same server still delivers.
+	good, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Send(Report{AgentID: "good", Batch: []Measurement{{RequestID: 1, Column: 0, Value: 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "clean row", func() bool { return rc.count() == 1 })
+}

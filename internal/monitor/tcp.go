@@ -1,20 +1,28 @@
 package monitor
 
 import (
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"kertbn/internal/faulty"
 	"kertbn/internal/obs"
+	"kertbn/internal/stats"
+	"kertbn/internal/wire"
 )
 
-// TCP-transport metrics: accepted agent connections and bytes received by
-// the management server (gob-encoded Report stream).
+// TCP-transport metrics: accepted agent connections, bytes received by the
+// management server, plus the robustness envelope — send retries, re-dials
+// after a broken connection, and corrupted frames skipped by the receiver.
 var (
-	monTCPConns   = obs.C("monitor.tcp.connections")
-	monTCPBytesRx = obs.C("monitor.tcp.bytes_rx")
+	monTCPConns     = obs.C("monitor.tcp.connections")
+	monTCPBytesRx   = obs.C("monitor.tcp.bytes_rx")
+	monTCPRetries   = obs.C("monitor.tcp.retries")
+	monTCPRedials   = obs.C("monitor.tcp.redials")
+	monTCPBadFrames = obs.C("monitor.tcp.bad_frames")
 )
 
 // countingReader counts bytes read from the wrapped reader into a counter.
@@ -29,28 +37,70 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// ServerOptions tunes the receive path. The zero value gets defaults.
+type ServerOptions struct {
+	// IdleTimeout is the per-report read deadline (default 30s): a stalled
+	// or dead agent costs one serving goroutine for at most this long
+	// instead of forever.
+	IdleTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 30 * time.Second
+	}
+	return o
+}
+
 // TCPServer exposes a management Server over TCP: agents dial in and stream
-// gob-encoded Reports. It is the distributed stand-in for the paper's
-// OGSA-based reporting path.
+// framed gob-encoded Reports (see internal/wire). It is the distributed
+// stand-in for the paper's OGSA-based reporting path. Corrupted frames are
+// counted and skipped; the stream survives them.
 type TCPServer struct {
 	inner    *Server
 	listener net.Listener
+	opts     ServerOptions
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	closed   bool
+	conns    map[net.Conn]struct{}
 }
 
 // ListenTCP starts accepting agent connections on addr (use "127.0.0.1:0"
-// for an ephemeral test port).
+// for an ephemeral test port) with default options.
 func ListenTCP(addr string, inner *Server) (*TCPServer, error) {
+	return ListenTCPOpts(addr, inner, ServerOptions{})
+}
+
+// ListenTCPOpts is ListenTCP with explicit robustness options.
+func ListenTCPOpts(addr string, inner *Server, opts ServerOptions) (*TCPServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: listen: %w", err)
 	}
-	s := &TCPServer{inner: inner, listener: l}
+	s := &TCPServer{inner: inner, listener: l, opts: opts.withDefaults(), conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// track registers a live connection; it returns false (and closes the conn)
+// when the server is already shutting down.
+func (s *TCPServer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		c.Close()
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *TCPServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
 }
 
 // Addr returns the listening address.
@@ -70,19 +120,31 @@ func (s *TCPServer) acceptLoop() {
 
 func (s *TCPServer) serve(conn net.Conn) {
 	defer s.wg.Done()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	defer conn.Close()
 	monTCPConns.Inc()
-	dec := gob.NewDecoder(&countingReader{r: conn, c: monTCPBytesRx})
+	cr := &countingReader{r: conn, c: monTCPBytesRx}
 	for {
 		var r Report
-		if err := dec.Decode(&r); err != nil {
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		if err := wire.Decode(cr, 0, &r); err != nil {
+			if errors.Is(err, wire.ErrChecksum) {
+				// Frame fully consumed; stream still aligned. Count the
+				// corruption and keep receiving — the agent will retry.
+				monTCPBadFrames.Inc()
+				continue
+			}
 			return
 		}
 		_ = s.inner.Send(r)
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, severs live agent connections, and waits for the
+// serving goroutines to finish.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -90,34 +152,135 @@ func (s *TCPServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
 	s.mu.Unlock()
 	err := s.listener.Close()
 	s.wg.Wait()
 	return err
 }
 
-// TCPSender is an agent-side Sender that streams reports to a TCPServer.
-type TCPSender struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+// SenderOptions tunes the agent-side robustness envelope. The zero value
+// gets defaults.
+type SenderOptions struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// IOTimeout is the per-report write deadline (default 5s).
+	IOTimeout time.Duration
+	// Retries is the per-report retry budget after the first attempt
+	// (default 2). Each retry re-dials if the connection broke.
+	Retries int
+	// Backoff paces retries (zero value: 10ms base, 500ms cap).
+	Backoff faulty.Backoff
+	// Seed roots the deterministic retry jitter; combined with AgentKey so
+	// co-hosted agents draw independent streams.
+	Seed uint64
+	// AgentKey identifies this agent in fault plans and jitter streams.
+	AgentKey uint64
+	// Injector, when non-nil, wraps every dialed connection with
+	// deterministic faults keyed by (AgentKey, send sequence, attempt).
+	Injector *faulty.Injector
 }
 
-// DialTCP connects a sender to the management server.
+func (o SenderOptions) withDefaults() SenderOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o
+}
+
+// TCPSender is an agent-side Sender that ships framed reports to a
+// TCPServer over a persistent connection, with per-send write deadlines and
+// retry + re-dial when the connection breaks — the agent-side half of the
+// failure model (a lost report is retried, a dead manager eventually
+// surfaces as an error after the budget).
+type TCPSender struct {
+	addr string
+	opts SenderOptions
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64 // sends attempted, for fault-plan keying
+}
+
+// DialTCP connects a sender to the management server with default options
+// (2 retries, 10ms..500ms backoff).
 func DialTCP(addr string) (*TCPSender, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTCPOpts(addr, SenderOptions{Retries: 2})
+}
+
+// DialTCPOpts is DialTCP with explicit robustness options. The initial dial
+// is performed eagerly so configuration errors surface immediately.
+func DialTCPOpts(addr string, opts SenderOptions) (*TCPSender, error) {
+	t := &TCPSender{addr: addr, opts: opts.withDefaults()}
+	conn, err := t.dial(0, 0)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: dial: %w", err)
 	}
-	return &TCPSender{conn: conn, enc: gob.NewEncoder(conn)}, nil
+	t.conn = conn
+	return t, nil
 }
 
-// Send implements Sender.
+// dial opens one connection, routed through the injector when configured.
+// seq/attempt key the fault plan so chaos runs replay.
+func (t *TCPSender) dial(seq uint64, attempt int) (net.Conn, error) {
+	if in := t.opts.Injector; in != nil {
+		return in.Dial("tcp", t.addr, t.opts.AgentKey^seq, uint64(attempt), t.opts.DialTimeout)
+	}
+	return net.DialTimeout("tcp", t.addr, t.opts.DialTimeout)
+}
+
+// Send implements Sender: frame the report, write it under a deadline, and
+// on failure re-dial and retry up to the budget with seeded backoff jitter.
 func (t *TCPSender) Send(r Report) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.enc.Encode(r)
+	seq := t.seq
+	t.seq++
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
+		if attempt > 0 {
+			monTCPRetries.Inc()
+			jrng := stats.NewRNG(t.opts.Seed).Split(t.opts.AgentKey).Split(seq).Split(uint64(attempt))
+			time.Sleep(t.opts.Backoff.Delay(attempt-1, jrng))
+		}
+		if t.conn == nil {
+			conn, err := t.dial(seq, attempt)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			monTCPRedials.Inc()
+			t.conn = conn
+		}
+		t.conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout))
+		if _, err := wire.Encode(t.conn, &r); err != nil {
+			// The frame may have landed partially: the connection is not
+			// trustworthy anymore. Drop it and re-dial on the next attempt.
+			t.conn.Close()
+			t.conn = nil
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("monitor: send after %d attempts: %w", t.opts.Retries+1, lastErr)
 }
 
 // Close shuts the connection.
-func (t *TCPSender) Close() error { return t.conn.Close() }
+func (t *TCPSender) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	return err
+}

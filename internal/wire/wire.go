@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic marks the start of every frame ("KB" for kertbn).
+const Magic uint16 = 0x4B42
+
+// DefaultMaxFrame caps payload sizes at 16 MiB — far above any CPD or
+// monitoring batch this system ships, far below an allocation bomb.
+const DefaultMaxFrame = 16 << 20
+
+const headerSize = 2 + 4 + 4 // magic | length | crc32
+
+var (
+	// ErrBadMagic means the stream is desynchronized or speaking another
+	// protocol; the connection cannot be salvaged.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	// ErrTooLarge means the declared payload exceeds the cap; rejected
+	// before allocation.
+	ErrTooLarge = errors.New("wire: frame exceeds size cap")
+	// ErrChecksum means the payload arrived corrupted. The full frame has
+	// been consumed, so the caller may skip it and read the next one.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+)
+
+// WriteFrame writes one framed payload and returns the bytes put on the
+// wire.
+func WriteFrame(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > DefaultMaxFrame {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	hdr := make([]byte, headerSize)
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	binary.BigEndian.PutUint32(hdr[2:6], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[6:10], crc32.ChecksumIEEE(payload))
+	n1, err := w.Write(hdr)
+	if err != nil {
+		return n1, err
+	}
+	n2, err := w.Write(payload)
+	return n1 + n2, err
+}
+
+// ReadFrame reads one frame, enforcing the max payload size (maxLen <= 0
+// means DefaultMaxFrame). A checksum failure is reported only after the
+// frame is fully consumed, so the stream stays aligned for the next read.
+// Truncation surfaces as io.EOF (clean close before any header byte) or
+// io.ErrUnexpectedEOF (mid-frame).
+func ReadFrame(r io.Reader, maxLen int) ([]byte, error) {
+	if maxLen <= 0 {
+		maxLen = DefaultMaxFrame
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		// ReadFull yields io.EOF on a clean close before any byte and
+		// io.ErrUnexpectedEOF mid-header; both pass through untouched.
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return nil, ErrBadMagic
+	}
+	length := binary.BigEndian.Uint32(hdr[2:6])
+	if int64(length) > int64(maxLen) {
+		return nil, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[6:10]) {
+		return nil, ErrChecksum
+	}
+	return payload, nil
+}
+
+// Encode gob-encodes v into a fresh frame and writes it, returning the
+// bytes put on the wire. Each frame carries an independent gob stream, so
+// frames decode in isolation.
+func Encode(w io.Writer, v any) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0, fmt.Errorf("wire: encode: %w", err)
+	}
+	return WriteFrame(w, buf.Bytes())
+}
+
+// Decode reads one frame and gob-decodes its payload into v. Checksum
+// failures return ErrChecksum (wrapped) with the stream still aligned;
+// callers choosing resilience can count and skip.
+func Decode(r io.Reader, maxLen int, v any) error {
+	payload, err := ReadFrame(r, maxLen)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}

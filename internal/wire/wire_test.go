@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/stats"
+)
+
+// parcel mirrors the decentral column-shipment payload.
+type parcel struct {
+	From, To int
+	Col      []float64
+}
+
+// report mirrors the monitor batch payload.
+type report struct {
+	AgentID string
+	Batch   []measurement
+}
+
+type measurement struct {
+	RequestID int64
+	Column    int
+	Value     float64
+}
+
+// cpdParcel is the CPD-shipping payload of the paper's Section 4.3: the
+// learned parameters an agent sends to the manager.
+type cpdParcel struct {
+	Node     int
+	Tabular  *bn.Tabular
+	Gaussian *bn.LinearGaussian
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		payload := make([]byte, rng.Intn(4096))
+		for i := range payload {
+			payload[i] = byte(rng.Uint64())
+		}
+		var buf bytes.Buffer
+		n, err := WriteFrame(&buf, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != buf.Len() {
+			t.Fatalf("WriteFrame reported %d bytes, wrote %d", n, buf.Len())
+		}
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("trial %d: round trip mismatch (%d bytes)", trial, len(payload))
+		}
+	}
+}
+
+// TestEncodeDecodeArbitraryPayloads is the codec property test: arbitrary
+// seeded parcel/report/CPD payloads round-trip exactly, and multiple frames
+// on one stream decode independently.
+func TestEncodeDecodeArbitraryPayloads(t *testing.T) {
+	rng := stats.NewRNG(23)
+	var buf bytes.Buffer
+	var wantParcels []parcel
+	var wantReports []report
+	var wantCPDs []cpdParcel
+	for trial := 0; trial < 50; trial++ {
+		p := parcel{From: rng.Intn(100), To: rng.Intn(100), Col: make([]float64, rng.Intn(200))}
+		for i := range p.Col {
+			p.Col[i] = rng.Normal(0, 10)
+		}
+		r := report{AgentID: "agent", Batch: make([]measurement, rng.Intn(30))}
+		for i := range r.Batch {
+			r.Batch[i] = measurement{RequestID: int64(rng.Uint64() >> 1), Column: rng.Intn(8), Value: rng.Float64()}
+		}
+		card := 2 + rng.Intn(4)
+		tab := bn.NewTabular(card, []int{2 + rng.Intn(3)})
+		for cfg := 0; cfg < tab.Rows(); cfg++ {
+			row := make([]float64, card)
+			for i := range row {
+				row[i] = rng.Float64() + 1e-6
+			}
+			if err := tab.SetRow(cfg, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		coef := make([]float64, rng.Intn(5))
+		for i := range coef {
+			coef[i] = rng.Normal(0, 1)
+		}
+		c := cpdParcel{
+			Node:     rng.Intn(100),
+			Tabular:  tab,
+			Gaussian: bn.NewLinearGaussian(rng.Normal(0, 1), coef, rng.Float64()+0.01),
+		}
+		for _, v := range []any{&p, &r, &c} {
+			if _, err := Encode(&buf, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantParcels = append(wantParcels, p)
+		wantReports = append(wantReports, r)
+		wantCPDs = append(wantCPDs, c)
+	}
+	for trial := range wantParcels {
+		var p parcel
+		var r report
+		var c cpdParcel
+		if err := Decode(&buf, 0, &p); err != nil {
+			t.Fatalf("trial %d parcel: %v", trial, err)
+		}
+		if err := Decode(&buf, 0, &r); err != nil {
+			t.Fatalf("trial %d report: %v", trial, err)
+		}
+		if err := Decode(&buf, 0, &c); err != nil {
+			t.Fatalf("trial %d cpd: %v", trial, err)
+		}
+		if p.From != wantParcels[trial].From || p.To != wantParcels[trial].To || len(p.Col) != len(wantParcels[trial].Col) {
+			t.Fatalf("trial %d: parcel header mismatch", trial)
+		}
+		for i := range p.Col {
+			if p.Col[i] != wantParcels[trial].Col[i] {
+				t.Fatalf("trial %d: parcel col[%d] mismatch", trial, i)
+			}
+		}
+		if len(r.Batch) != len(wantReports[trial].Batch) {
+			t.Fatalf("trial %d: report batch size mismatch", trial)
+		}
+		for i := range r.Batch {
+			if r.Batch[i] != wantReports[trial].Batch[i] {
+				t.Fatalf("trial %d: report measurement %d mismatch", trial, i)
+			}
+		}
+		want := wantCPDs[trial]
+		if c.Node != want.Node || c.Tabular.Card != want.Tabular.Card || len(c.Gaussian.Coef) != len(want.Gaussian.Coef) {
+			t.Fatalf("trial %d: cpd shape mismatch", trial)
+		}
+		for i := range c.Tabular.P {
+			if c.Tabular.P[i] != want.Tabular.P[i] {
+				t.Fatalf("trial %d: CPT cell %d mismatch", trial, i)
+			}
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d stray bytes after decoding every frame", buf.Len())
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	var full bytes.Buffer
+	if _, err := Encode(&full, &parcel{From: 1, To: 2, Col: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		var v parcel
+		err := Decode(bytes.NewReader(raw[:cut]), 0, &v)
+		if err == nil {
+			t.Fatalf("decoding %d/%d bytes succeeded", cut, len(raw))
+		}
+		if cut == 0 && !errors.Is(err, io.EOF) {
+			t.Fatalf("empty stream error = %v, want io.EOF", err)
+		}
+		if cut > 0 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d error = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestCorruptedFrameIsSkippable(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, &parcel{From: 1, To: 2, Col: []float64{4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Encode(&buf, &parcel{From: 3, To: 4, Col: []float64{6}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[headerSize+2] ^= 0x10 // corrupt the first frame's payload
+	r := bytes.NewReader(raw)
+	var v parcel
+	if err := Decode(r, 0, &v); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted frame error = %v, want ErrChecksum", err)
+	}
+	// The stream stays aligned: the next frame decodes cleanly.
+	if err := Decode(r, 0, &v); err != nil {
+		t.Fatalf("frame after corrupted one failed: %v", err)
+	}
+	if v.From != 3 || v.To != 4 {
+		t.Fatalf("post-skip parcel = %+v, want From 3 To 4", v)
+	}
+}
+
+func TestLengthCapRejectsBeforeAllocating(t *testing.T) {
+	hdr := make([]byte, headerSize)
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	binary.BigEndian.PutUint32(hdr[2:6], 1<<31-1) // 2 GiB claim
+	if _, err := ReadFrame(bytes.NewReader(hdr), 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("giant frame error = %v, want ErrTooLarge", err)
+	}
+	if _, err := WriteFrame(io.Discard, make([]byte, DefaultMaxFrame+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized write error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := make([]byte, headerSize)
+	raw[0], raw[1] = 0xDE, 0xAD
+	if _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic error = %v, want ErrBadMagic", err)
+	}
+}
+
+// FuzzDecodeMessage asserts the never-panic contract of the receive path:
+// whatever bytes arrive — truncated frames, corrupted payloads, hostile
+// lengths, garbage gob — Decode returns an error or a value, never panics.
+func FuzzDecodeMessage(f *testing.F) {
+	var seedBuf bytes.Buffer
+	Encode(&seedBuf, &parcel{From: 1, To: 2, Col: []float64{1.5, 2.5}})
+	f.Add(seedBuf.Bytes())
+	Encode(&seedBuf, &report{AgentID: "a", Batch: []measurement{{1, 2, 3.5}}})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x4B, 0x42, 0, 0, 0, 4, 0, 0, 0, 0, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		// Drain the stream the way a resilient receiver would: decode
+		// frames until a non-recoverable error, skipping checksum failures.
+		for i := 0; i < 64; i++ {
+			var p parcel
+			err := Decode(r, 1<<20, &p)
+			if err == nil || errors.Is(err, ErrChecksum) {
+				continue
+			}
+			break
+		}
+		// And again as a Report stream — different gob target, same bytes.
+		r = bytes.NewReader(data)
+		var rep report
+		_ = Decode(r, 1<<20, &rep)
+	})
+}
