@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz differential bench bench-parallel fmt
+.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental equivalence fmt
 
 all: vet build test
 
@@ -14,10 +14,17 @@ test:
 	$(GO) test -race ./...
 
 # The concurrency-heavy packages — observability, transport, the worker
-# pool and the sharded samplers — alone under the race detector for a fast
-# signal.
+# pool, the sharded samplers, and the incremental ingest paths — alone
+# under the race detector for a fast signal.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/dataset/ ./internal/core/
+
+# Incremental-vs-full equivalence: refits from sufficient statistics must
+# match from-scratch builds (bit-identical discrete, <= 1e-9 continuous).
+equivalence:
+	$(GO) test ./internal/core -run 'Incremental.*Equivalence' -count=1 -v
+	$(GO) test ./internal/decentral -run 'IncrementalLearner.*Equivalence' -count=1 -v
+	$(GO) test ./internal/learn -run 'Stats.*Equivalence' -count=1 -v
 
 # Fuzz the framed wire codec: Decode must never panic on truncated or
 # corrupted frames, no matter what the peer sends.
@@ -35,6 +42,10 @@ bench:
 # Regenerate the committed parallel-vs-serial inference baseline.
 bench-parallel:
 	$(GO) run ./cmd/kertbench -exp parallel -metrics-json BENCH_parallel.json
+
+# Regenerate the committed incremental-vs-full rebuild baseline.
+bench-incremental:
+	$(GO) run ./cmd/kertbench -exp incremental -metrics-json BENCH_incremental.json
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,79 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchIncrementalSnapshot validates the committed incremental-rebuild
+// baseline: BENCH_incremental.json must parse as an obs.Snapshot, carry the
+// full-vs-incremental rebuild histograms for every swept window size, show
+// the headline scaling — the incremental speedup growing with the window,
+// reaching at least 10x at the largest size — and document the equivalence
+// guarantee (max parameter diff <= 1e-9). Regenerate with
+// `make bench-incremental`.
+func TestBenchIncrementalSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_incremental.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-incremental`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_incremental.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	windows := []int{200, 400, 800, 1600, 3200}
+	for _, w := range windows {
+		for _, kind := range []string{"full", "inc"} {
+			name := fmt.Sprintf("incremental.%s.w%05d.seconds", kind, w)
+			h, ok := snap.Histograms[name]
+			if !ok {
+				t.Errorf("baseline is missing histogram %q", name)
+				continue
+			}
+			if h.Count <= 0 {
+				t.Errorf("histogram %q has no observations", name)
+			}
+			if h.Min > h.Max || h.P50 > h.P99 {
+				t.Errorf("histogram %q is inconsistent: %+v", name, h)
+			}
+		}
+		g := fmt.Sprintf("incremental.speedup.w%05d", w)
+		if v, ok := snap.Gauges[g]; !ok || v <= 0 {
+			t.Errorf("baseline gauge %q missing or non-positive (%v, present=%v)", g, v, ok)
+		}
+	}
+
+	if v, ok := snap.Gauges["incremental.services"]; !ok || v <= 0 {
+		t.Errorf("baseline gauge incremental.services missing or non-positive (%v, present=%v)", v, ok)
+	}
+
+	// The exact-equivalence guarantee the incremental subsystem makes:
+	// refits from sufficient statistics match from-scratch builds to 1e-9
+	// on every experiment configuration.
+	diff, ok := snap.Gauges["incremental.max_param_diff"]
+	if !ok {
+		t.Fatal("baseline is missing gauge incremental.max_param_diff")
+	}
+	if diff > 1e-9 {
+		t.Errorf("committed baseline records max param diff %g; the incremental build guarantees <= 1e-9", diff)
+	}
+
+	// The headline claim: incremental rebuilds pull away as history grows.
+	small := snap.Gauges[fmt.Sprintf("incremental.speedup.w%05d", windows[0])]
+	large := snap.Gauges[fmt.Sprintf("incremental.speedup.w%05d", windows[len(windows)-1])]
+	if large < 10 {
+		t.Errorf("committed baseline shows speedup %.2f at the largest window; want >= 10 (regenerate with `make bench-incremental`)", large)
+	}
+	if large <= small {
+		t.Errorf("speedup should grow with the window (flat incremental vs linear full): w=%d gives %.2f, w=%d gives %.2f",
+			windows[0], small, windows[len(windows)-1], large)
+	}
+}

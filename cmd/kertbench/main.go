@@ -13,7 +13,9 @@
 // (averaged series are identical at any P; timing panels contend, so
 // leave it at 1 when those are the point). -exp parallel runs the
 // parallel-vs-serial inference benchmark whose snapshot is committed as
-// BENCH_parallel.json (regenerate with `make bench-parallel`).
+// BENCH_parallel.json (regenerate with `make bench-parallel`); -exp
+// incremental runs the incremental-vs-full rebuild benchmark behind
+// BENCH_incremental.json (regenerate with `make bench-incremental`).
 //
 // -metrics-json dumps the internal/obs registry snapshot after the run:
 // per-phase build spans, per-size bench.* histograms (build/learn/infer
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
@@ -157,6 +159,21 @@ func main() {
 			pCfg.Seed = *seed
 		}
 		renderOne(experiments.ParallelBench(pCfg))
+	}
+	if *exp == "incremental" {
+		// Not part of "all" either: a rebuild-latency benchmark whose
+		// snapshot is committed as BENCH_incremental.json.
+		ok = true
+		iCfg := experiments.DefaultIncrementalBenchConfig()
+		if *quick {
+			iCfg.Windows = []int{200, 800}
+			iCfg.Reps = 2
+			iCfg.Services = 15
+		}
+		if *seed != 0 {
+			iCfg.Seed = *seed
+		}
+		renderOne(experiments.IncrementalBench(iCfg))
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -22,11 +22,16 @@
 //
 //	kertmon -requests 600 -fault-drop 0.2 -fault-seed 7
 //
+// Reconstructions are incremental by default: sufficient statistics track
+// the sliding window as rows arrive and each rebuild refits from them
+// (flat cost in window size); -full-rebuild restores the re-scan path.
+//
 // Usage:
 //
 //	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
 //	        [-metrics-addr 127.0.0.1:8080] [-metrics-json out.json]
-//	        [-decentral=true] [-linger 0s] [-fault-drop P -fault-seed N ...]
+//	        [-decentral=true] [-full-rebuild] [-linger 0s]
+//	        [-fault-drop P -fault-seed N ...]
 package main
 
 import (
@@ -59,6 +64,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve the live introspection endpoint on this address (e.g. :8080)")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 		useDecen    = flag.Bool("decentral", true, "re-learn service CPDs decentrally on each rebuild (Fig. 5 live)")
+		fullBuild   = flag.Bool("full-rebuild", false, "re-scan the whole window on every reconstruction instead of the default incremental sufficient-statistics refit")
 		workers     = flag.Int("workers", 0, "bound concurrent decentralized learners per rebuild (0 = one per CPD, the paper's all-agents-at-once scheme)")
 		retries     = flag.Int("fault-retries", 2, "chaos: per-column ship retry budget during decentralized relearn")
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run")
@@ -83,36 +89,60 @@ func main() {
 	cols := core.ColumnNames(workflow.EDiaMoNDServiceNames, nil)
 
 	// The reconstruction scheduler: discrete KERT-BN rebuilt every α points
-	// from the sliding window.
+	// from the sliding window. By default rebuilds are incremental —
+	// per-family sufficient statistics track the window as rows arrive and
+	// each reconstruction refits from them; -full-rebuild restores the
+	// re-scan-everything path.
 	kcfg := core.DefaultKERTConfig(wf)
 	kcfg.Type = core.DiscreteModel
 	kcfg.Bins = 6
 	kcfg.Leak = 0.02
-	builder := func(w *dataset.Dataset) (*core.Model, error) {
-		m, err := core.BuildKERT(kcfg, w)
-		if err != nil {
-			return nil, err
+	relearn := func(m *core.Model, w *dataset.Dataset) error {
+		if !*useDecen {
+			return nil
 		}
-		if *useDecen {
-			// The paper's Section-3.4 scheme, live: each monitoring agent
-			// learns its own service's CPD after the parent columns ship
-			// over; the per-node times land in the
-			// decentral.node_learn.seconds histogram.
-			if err := decentralRelearn(m, w, *workers, chaos, *retries); err != nil {
-				return nil, fmt.Errorf("decentralized re-learn: %w", err)
-			}
+		// The paper's Section-3.4 scheme, live: each monitoring agent
+		// learns its own service's CPD after the parent columns ship
+		// over; the per-node times land in the
+		// decentral.node_learn.seconds histogram.
+		if err := decentralRelearn(m, w, *workers, chaos, *retries); err != nil {
+			return fmt.Errorf("decentralized re-learn: %w", err)
 		}
-		return m, nil
+		return nil
 	}
-	sched, err := core.NewScheduler(core.ScheduleConfig{
+	scfg := core.ScheduleConfig{
 		TData: 20 * time.Second, // nominal; the run is in simulated time
 		Alpha: *alpha,
 		K:     *k,
-	}, cols, builder)
+	}
+	var (
+		sched *core.Scheduler
+		err   error
+	)
+	mode := "incremental"
+	if *fullBuild {
+		mode = "full-rebuild"
+		builder := func(w *dataset.Dataset) (*core.Model, error) {
+			m, err := core.BuildKERT(kcfg, w)
+			if err != nil {
+				return nil, err
+			}
+			return m, relearn(m, w)
+		}
+		sched, err = core.NewScheduler(scfg, cols, builder)
+	} else {
+		var ik *core.IncrementalKERT
+		ik, err = core.NewIncrementalKERT(kcfg, scfg.WindowPoints())
+		if err != nil {
+			fatal(err.Error())
+		}
+		sched, err = core.NewSchedulerIncremental(scfg, &relearnBuilder{ik: ik, relearn: relearn})
+	}
 	if err != nil {
 		fatal(err.Error())
 	}
-	fmt.Printf("schedule: T_CON = %v, window = %d points\n", sched.Config().TCon(), sched.Config().WindowPoints())
+	fmt.Printf("schedule: T_CON = %v, window = %d points, %s reconstructions\n",
+		sched.Config().TCon(), sched.Config().WindowPoints(), mode)
 
 	// Management server over TCP; rows flow into the scheduler.
 	var rebuilds atomic.Int64
@@ -213,12 +243,13 @@ func main() {
 			fatal(err.Error())
 		}
 	}
-	// TCP delivery is asynchronous; wait for the rows to drain.
-	deadline := time.Now().Add(5 * time.Second)
-	for inner.CompleteCount() < *requests && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	// TCP delivery is asynchronous; WaitComplete is a true completion
+	// barrier — rows are counted only after their sink (including any
+	// rebuild it triggers) returns, so no trailing sleep is needed.
+	if !inner.WaitComplete(*requests, 5*time.Second) {
+		fmt.Fprintf(os.Stderr, "kertmon: warning: only %d/%d rows drained before timeout\n",
+			inner.CompleteCount(), *requests)
 	}
-	time.Sleep(200 * time.Millisecond) // let a final in-flight rebuild print
 	fmt.Printf("\npipeline done: %d requests measured, %d rows assembled, %d reconstructions\n",
 		*requests, inner.CompleteCount(), sched.Rebuilds())
 	if sched.Model() == nil {
@@ -234,6 +265,26 @@ func main() {
 		}
 		fmt.Println("metrics snapshot written to", *metricsJSON)
 	}
+}
+
+// relearnBuilder adapts IncrementalKERT to the scheduler's incremental
+// interface while keeping kertmon's post-build hook: after each refit from
+// sufficient statistics, the decentralized relearn (when enabled) runs over
+// the window snapshot exactly as in the full-rebuild path.
+type relearnBuilder struct {
+	ik      *core.IncrementalKERT
+	relearn func(*core.Model, *dataset.Dataset) error
+}
+
+func (b *relearnBuilder) Ingest(row []float64) error { return b.ik.Ingest(row) }
+func (b *relearnBuilder) Len() int                   { return b.ik.Len() }
+
+func (b *relearnBuilder) Build() (*core.Model, error) {
+	m, err := b.ik.Build()
+	if err != nil {
+		return nil, err
+	}
+	return m, b.relearn(m, b.ik.Snapshot())
 }
 
 // decentralRelearn re-learns the service CPDs of a freshly built discrete

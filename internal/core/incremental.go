@@ -1,0 +1,812 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/dataset"
+	"kertbn/internal/learn"
+	"kertbn/internal/obs"
+	"kertbn/internal/stats"
+)
+
+// Incremental rebuild metrics: builds through the sufficient-statistics
+// path, accumulator invalidations (structure-hash changes forcing a window
+// replay), and rows streamed into accumulators.
+var (
+	incKERTBuilds    = obs.C("build.kert.incremental.builds")
+	incInvalidations = obs.C("build.kert.incremental.invalidations")
+	incRowsIngested  = obs.C("build.kert.incremental.rows")
+	incNRTBuilds     = obs.C("build.nrt.incremental.builds")
+)
+
+// structureHash fingerprints everything that determines the shape and
+// interpretation of the accumulators: the workflow DAG, resource sharing,
+// metric and model type, discretization geometry, and the learning options.
+// When any of it changes, previously accumulated statistics are meaningless
+// and must be rebuilt from the buffered window.
+func structureHash(cfg *KERTConfig, n int) uint64 {
+	h := fnv.New64a()
+	put := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], v)
+			h.Write(b[:])
+		}
+	}
+	putF := func(vs ...float64) {
+		for _, v := range vs {
+			put(math.Float64bits(v))
+		}
+	}
+	put(uint64(n), uint64(cfg.Metric), uint64(cfg.Type), uint64(cfg.Bins), uint64(cfg.Binning), uint64(cfg.DetCPTSamples))
+	if cfg.LearnDCPD {
+		put(1)
+	} else {
+		put(0)
+	}
+	putF(cfg.Leak, cfg.DetSigma, cfg.LeakLo, cfg.LeakHi, cfg.Learn.DirichletAlpha)
+	for _, e := range cfg.Workflow.UpstreamEdges() {
+		put(uint64(e.From), uint64(e.To))
+	}
+	for _, r := range cfg.Resources {
+		h.Write([]byte(r.Name))
+		for _, s := range r.Services {
+			put(uint64(s))
+		}
+	}
+	if cfg.Codec != nil {
+		hashCodec(put, putF, cfg.Codec)
+	}
+	return h.Sum64()
+}
+
+func hashCodec(put func(...uint64), putF func(...float64), c *dataset.Codec) {
+	for _, d := range c.Discretizers {
+		put(uint64(d.Bins))
+		putF(d.Lo, d.Hi)
+		putF(d.Cuts...)
+		putF(d.Centers...)
+	}
+}
+
+// dagHash fingerprints a learned NRT structure (node kinds + edge list +
+// codec geometry), the invalidation key for incremental NRT refits.
+func dagHash(specs []learn.VarSpec, edges [][2]int, codec *dataset.Codec) uint64 {
+	h := fnv.New64a()
+	put := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], v)
+			h.Write(b[:])
+		}
+	}
+	putF := func(vs ...float64) {
+		for _, v := range vs {
+			put(math.Float64bits(v))
+		}
+	}
+	for _, s := range specs {
+		h.Write([]byte(s.Name))
+		if s.Continuous {
+			put(1)
+		} else {
+			put(0, uint64(s.Card))
+		}
+	}
+	for _, e := range edges {
+		put(uint64(e[0]), uint64(e[1]))
+	}
+	if codec != nil {
+		hashCodec(put, putF, codec)
+	}
+	return h.Sum64()
+}
+
+// MaxParamDiff returns the largest absolute difference between
+// corresponding CPD parameters of two models with identical structure —
+// the exactness metric of the incremental-rebuild guarantee (incremental
+// == from-scratch within ~1e-9).
+func MaxParamDiff(a, b *Model) (float64, error) {
+	if a.Net.N() != b.Net.N() {
+		return 0, fmt.Errorf("core: models have %d vs %d nodes", a.Net.N(), b.Net.N())
+	}
+	maxDiff := 0.0
+	upd := func(x, y float64) {
+		if d := math.Abs(x - y); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	for id := 0; id < a.Net.N(); id++ {
+		ca, cb := a.Net.Node(id).CPD, b.Net.Node(id).CPD
+		switch x := ca.(type) {
+		case *bn.LinearGaussian:
+			y, ok := cb.(*bn.LinearGaussian)
+			if !ok || len(x.Coef) != len(y.Coef) {
+				return 0, fmt.Errorf("core: node %d CPD shape mismatch", id)
+			}
+			upd(x.Intercept, y.Intercept)
+			upd(x.Sigma, y.Sigma)
+			for i := range x.Coef {
+				upd(x.Coef[i], y.Coef[i])
+			}
+		case *bn.Tabular:
+			y, ok := cb.(*bn.Tabular)
+			if !ok || len(x.P) != len(y.P) {
+				return 0, fmt.Errorf("core: node %d CPD shape mismatch", id)
+			}
+			for i := range x.P {
+				upd(x.P[i], y.P[i])
+			}
+		case *bn.DetFunc:
+			y, ok := cb.(*bn.DetFunc)
+			if !ok {
+				return 0, fmt.Errorf("core: node %d CPD shape mismatch", id)
+			}
+			upd(x.Leak, y.Leak)
+			upd(x.Sigma, y.Sigma)
+			upd(x.LeakLo, y.LeakLo)
+			upd(x.LeakHi, y.LeakHi)
+		default:
+			return 0, fmt.Errorf("core: node %d has uncomparable CPD %T", id, ca)
+		}
+	}
+	return maxDiff, nil
+}
+
+// contKERTAcc keeps the sufficient statistics of a continuous KERT-BN:
+// one regression-moment accumulator per learned node, plus (when the
+// deterministic noise width is estimated from data) the Welford summary of
+// the residuals D − f(X).
+type contKERTAcc struct {
+	lg  []*learn.LGStats
+	res *stats.Summary // nil when DetSigma is fixed or D's CPD is learned
+	f   func([]float64) float64
+	n   int // services (f's arity)
+	d   int // D column
+}
+
+func (a *contKERTAcc) AddRow(row []float64) error {
+	for _, g := range a.lg {
+		if err := g.AddRow(row); err != nil {
+			return err
+		}
+	}
+	if a.res != nil {
+		a.res.Add(row[a.d] - a.f(row[:a.n]))
+	}
+	return nil
+}
+
+func (a *contKERTAcc) RemoveRow(row []float64) error {
+	for _, g := range a.lg {
+		if err := g.RemoveRow(row); err != nil {
+			return err
+		}
+	}
+	if a.res != nil {
+		a.res.Remove(row[a.d] - a.f(row[:a.n]))
+	}
+	return nil
+}
+
+// discKERTAcc keeps the sufficient statistics of a discrete KERT-BN: joint
+// count tables per learned node over codec-encoded rows, plus the
+// per-service within-bin value pools the Monte-Carlo D-CPT resamples from.
+// Pool eviction removes the first matching occurrence: rows leave in FIFO
+// order, so the surviving pool contents and order equal a fresh scan of the
+// surviving rows — keeping the seeded D-CPT generation bit-identical to a
+// full rebuild.
+type discKERTAcc struct {
+	codec *dataset.Codec
+	tabs  []*learn.TabularStats
+	pools [][][]float64 // nil when DetCPTSamples <= 1 or D's CPD is learned
+	n     int
+}
+
+func (a *discKERTAcc) AddRow(row []float64) error {
+	enc, err := a.codec.EncodeRow(row)
+	if err != nil {
+		return err
+	}
+	for _, ts := range a.tabs {
+		if err := ts.AddRow(enc); err != nil {
+			return err
+		}
+	}
+	if a.pools != nil {
+		for i := 0; i < a.n; i++ {
+			b := a.codec.Discretizers[i].Bin(row[i])
+			a.pools[i][b] = append(a.pools[i][b], row[i])
+		}
+	}
+	return nil
+}
+
+func (a *discKERTAcc) RemoveRow(row []float64) error {
+	enc, err := a.codec.EncodeRow(row)
+	if err != nil {
+		return err
+	}
+	for _, ts := range a.tabs {
+		if err := ts.RemoveRow(enc); err != nil {
+			return err
+		}
+	}
+	if a.pools != nil {
+		for i := 0; i < a.n; i++ {
+			b := a.codec.Discretizers[i].Bin(row[i])
+			pool := a.pools[i][b]
+			found := false
+			for j, v := range pool {
+				if v == row[i] {
+					a.pools[i][b] = append(pool[:j], pool[j+1:]...)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("core: evicted value %g missing from bin pool %d/%d", row[i], i, b)
+			}
+		}
+	}
+	return nil
+}
+
+// IncrementalKERT maintains a KERT-BN over a sliding window using
+// sufficient-statistic accumulators: Ingest is O(columns) per row and Build
+// refits every CPD from the accumulators in O(parameters), independent of
+// how many rows the window holds. A full BuildKERT over the same window
+// contents (with the same frozen codec for discrete models) produces the
+// same parameters to well within 1e-9 — bit-identical on the pure-append
+// path.
+//
+// Discrete models freeze their discretization codec at the first Build
+// (from the rows buffered so far) unless cfg.Codec is already set; the
+// codec then becomes part of the structure hash, so supplying a different
+// one later invalidates and replays the accumulators.
+type IncrementalKERT struct {
+	cfg    KERTConfig
+	stream *dataset.Stream
+	n      int // services
+	dID    int
+
+	// Typed references into the accumulators bound to the stream,
+	// refreshed by the Bind closure on (re)binding.
+	cont *contKERTAcc
+	disc *discKERTAcc
+}
+
+// NewIncrementalKERT creates an incremental builder over a sliding window
+// of at most capacity rows. The column layout is derived from the workflow
+// exactly as BuildKERT expects it (services..., resources..., D).
+func NewIncrementalKERT(cfg KERTConfig, capacity int) (*IncrementalKERT, error) {
+	cfg.fillDefaults()
+	if cfg.Workflow == nil {
+		return nil, fmt.Errorf("core: KERT-BN requires a workflow")
+	}
+	if err := cfg.Workflow.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid workflow: %w", err)
+	}
+	services := cfg.Workflow.Services()
+	n := len(services)
+	for i, s := range services {
+		if s != i {
+			return nil, fmt.Errorf("core: workflow service indices must be dense 0..n-1, got %v", services)
+		}
+	}
+	if cfg.Type != ContinuousModel && cfg.Type != DiscreteModel {
+		return nil, fmt.Errorf("core: unknown model type %v", cfg.Type)
+	}
+	svcNames := cfg.Workflow.ServiceNames()
+	names := make([]string, n)
+	for i := range names {
+		if names[i] = svcNames[i]; names[i] == "" {
+			names[i] = fmt.Sprintf("X%d", i+1)
+		}
+	}
+	cols := ColumnNames(names, cfg.Resources)
+	st, err := dataset.NewStream(cols, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &IncrementalKERT{cfg: cfg, stream: st, n: n, dID: n + len(cfg.Resources)}, nil
+}
+
+// Ingest folds one data point into the window and every bound accumulator.
+func (ik *IncrementalKERT) Ingest(row []float64) error {
+	if err := ik.stream.Push(row); err != nil {
+		return err
+	}
+	incRowsIngested.Inc()
+	return nil
+}
+
+// Len returns the number of buffered points.
+func (ik *IncrementalKERT) Len() int { return ik.stream.Len() }
+
+// Snapshot copies the buffered window — the full-rebuild escape hatch.
+func (ik *IncrementalKERT) Snapshot() *dataset.Dataset { return ik.stream.Snapshot() }
+
+// Config returns the (default-filled) build configuration, including any
+// codec frozen by the first discrete Build.
+func (ik *IncrementalKERT) Config() KERTConfig { return ik.cfg }
+
+// Build refits the model from the accumulated sufficient statistics. The
+// first call (and any call after a structure change) binds fresh
+// accumulators and replays the buffered window into them; steady-state
+// calls never touch the raw rows.
+func (ik *IncrementalKERT) Build() (*Model, error) {
+	sp := obs.StartSpan("build.kert.incremental")
+	defer sp.End()
+	if ik.stream.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training data")
+	}
+	if ik.cfg.Type == DiscreteModel && ik.cfg.Codec == nil {
+		// Freeze the bin geometry on the data seen so far; it joins the
+		// structure hash below, so accumulators bind against it.
+		codec, err := dataset.FitCodec(ik.stream.Snapshot(), ik.cfg.Bins, ik.cfg.Binning)
+		if err != nil {
+			return nil, err
+		}
+		ik.cfg.Codec = codec
+	}
+	_, wasBound := ik.stream.Bound()
+	rebuilt, err := ik.stream.Bind(structureHash(&ik.cfg, ik.n), ik.bindAccumulators)
+	if err != nil {
+		return nil, err
+	}
+	if rebuilt && wasBound {
+		incInvalidations.Inc()
+	}
+	var m *Model
+	err = ik.stream.View(func(rows int) error {
+		var err error
+		if ik.cfg.Type == ContinuousModel {
+			m, err = ik.buildContinuous(sp)
+		} else {
+			m, err = ik.buildDiscrete(sp)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	incKERTBuilds.Inc()
+	return m, nil
+}
+
+// bindAccumulators constructs the accumulator set for the current
+// configuration and retains typed references for Build.
+func (ik *IncrementalKERT) bindAccumulators() ([]dataset.Accumulator, error) {
+	// The skeleton network fixes each learned node's parent list (sorted
+	// ascending, matching what FitParameters would see).
+	net, err := buildStructure(ik.cfg, ik.n, ik.cfg.Type == DiscreteModel, ik.cfg.Bins)
+	if err != nil {
+		return nil, err
+	}
+	ik.cont, ik.disc = nil, nil
+	if ik.cfg.Type == ContinuousModel {
+		acc := &contKERTAcc{f: ik.cfg.metricFunc(), n: ik.n, d: ik.dID}
+		for id := 0; id < net.N(); id++ {
+			if id == ik.dID && !ik.cfg.LearnDCPD {
+				continue
+			}
+			acc.lg = append(acc.lg, learn.NewLGStats(id, net.Parents(id)))
+		}
+		if !ik.cfg.LearnDCPD && ik.cfg.DetSigma <= 0 {
+			acc.res = stats.NewSummary()
+		}
+		ik.cont = acc
+		return []dataset.Accumulator{acc}, nil
+	}
+	acc := &discKERTAcc{codec: ik.cfg.Codec, n: ik.n}
+	for id := 0; id < net.N(); id++ {
+		if id == ik.dID && !ik.cfg.LearnDCPD {
+			continue
+		}
+		parents := net.Parents(id)
+		parentCard := make([]int, len(parents))
+		for i := range parents {
+			parentCard[i] = ik.cfg.Bins
+		}
+		ts, err := learn.NewTabularStats(id, ik.cfg.Bins, parents, parentCard)
+		if err != nil {
+			return nil, err
+		}
+		acc.tabs = append(acc.tabs, ts)
+	}
+	if !ik.cfg.LearnDCPD && ik.cfg.DetCPTSamples > 1 {
+		acc.pools = newBinPools(ik.n, ik.cfg.Bins)
+	}
+	ik.disc = acc
+	return []dataset.Accumulator{acc}, nil
+}
+
+func (ik *IncrementalKERT) buildContinuous(sp *obs.Span) (*Model, error) {
+	cfg := ik.cfg
+	st := sp.Child("build.kert.structure")
+	net, err := buildStructure(cfg, ik.n, false, 0)
+	st.End()
+	if err != nil {
+		return nil, err
+	}
+	var cost learn.Cost
+	if !cfg.LearnDCPD {
+		dsp := sp.Child("build.kert.dcpt")
+		sigma := cfg.DetSigma
+		if sigma <= 0 {
+			sigma = ik.cont.res.Std()
+			const minSigma = 1e-4
+			if sigma < minSigma {
+				sigma = minSigma
+			}
+		}
+		leakLo, leakHi := cfg.LeakLo, cfg.LeakHi
+		if cfg.Leak > 0 && leakHi <= leakLo {
+			// Min/max over the window cannot be reverse-updated, so the
+			// auto leak range is the one quantity still derived from a
+			// window scan; pin LeakLo/LeakHi to avoid it.
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, r := range ik.stream.Snapshot().Rows {
+				lo = math.Min(lo, r[ik.dID])
+				hi = math.Max(hi, r[ik.dID])
+			}
+			span := hi - lo
+			if span <= 0 {
+				span = 1
+			}
+			leakLo, leakHi = lo-span, hi+span
+		}
+		det, err := bn.NewDetFunc(cfg.metricFunc(), ik.n, cfg.Leak, sigma, leakLo, leakHi)
+		if err != nil {
+			dsp.End()
+			return nil, err
+		}
+		if err := net.SetCPD(ik.dID, det); err != nil {
+			dsp.End()
+			return nil, err
+		}
+		dsp.End()
+	}
+	lsp := sp.Child("build.kert.cpd")
+	for _, g := range ik.cont.lg {
+		cpd, c, err := learn.FitLinearGaussianFromStats(g)
+		cost.Add(c)
+		if err != nil {
+			lsp.End()
+			return nil, err
+		}
+		if err := net.SetCPD(g.Child, cpd); err != nil {
+			lsp.End()
+			return nil, err
+		}
+	}
+	lsp.End()
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Net:          net,
+		Wf:           cfg.Workflow,
+		NumServices:  ik.n,
+		NumResources: len(cfg.Resources),
+		DNode:        ik.dID,
+		Type:         ContinuousModel,
+		Metric:       cfg.Metric,
+		Cost:         cost,
+		Knowledge:    true,
+	}, nil
+}
+
+func (ik *IncrementalKERT) buildDiscrete(sp *obs.Span) (*Model, error) {
+	cfg := ik.cfg
+	entries := 1.0
+	for i := 0; i < ik.n; i++ {
+		entries *= float64(cfg.Bins)
+		if entries*float64(cfg.Bins) > float64(cfg.MaxCPTEntries) {
+			return nil, fmt.Errorf("core: discrete D-CPT would need > %d entries for %d services at %d bins; use the continuous model", cfg.MaxCPTEntries, ik.n, cfg.Bins)
+		}
+	}
+	st := sp.Child("build.kert.structure")
+	net, err := buildStructure(cfg, ik.n, true, cfg.Bins)
+	st.End()
+	if err != nil {
+		return nil, err
+	}
+	var cost learn.Cost
+	if !cfg.LearnDCPD {
+		dsp := sp.Child("build.kert.dcpt")
+		dDisc := cfg.Codec.Discretizers[ik.dID]
+		tab, genCost, err := detCPTFromPools(cfg, cfg.Codec, dDisc, ik.n, ik.disc.pools)
+		if err != nil {
+			dsp.End()
+			return nil, err
+		}
+		if err := net.SetCPD(ik.dID, tab); err != nil {
+			dsp.End()
+			return nil, err
+		}
+		dsp.End()
+		cost.Add(genCost)
+	}
+	lsp := sp.Child("build.kert.cpd")
+	for _, ts := range ik.disc.tabs {
+		cpd, c, err := learn.FitTabularFromStats(ts, cfg.Learn)
+		cost.Add(c)
+		if err != nil {
+			lsp.End()
+			return nil, err
+		}
+		if err := net.SetCPD(ts.Child, cpd); err != nil {
+			lsp.End()
+			return nil, err
+		}
+	}
+	lsp.End()
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Net:          net,
+		Wf:           cfg.Workflow,
+		NumServices:  ik.n,
+		NumResources: len(cfg.Resources),
+		DNode:        ik.dID,
+		Type:         DiscreteModel,
+		Metric:       cfg.Metric,
+		Codec:        cfg.Codec,
+		Cost:         cost,
+		Knowledge:    true,
+	}, nil
+}
+
+// nrtAcc accumulates per-node sufficient statistics for a learned NRT
+// structure: regression moments for continuous networks, count tables over
+// encoded rows for discrete ones.
+type nrtAcc struct {
+	codec *dataset.Codec // discrete only
+	lg    []*learn.LGStats
+	tabs  []*learn.TabularStats
+}
+
+func (a *nrtAcc) AddRow(row []float64) error {
+	if a.codec != nil {
+		enc, err := a.codec.EncodeRow(row)
+		if err != nil {
+			return err
+		}
+		for _, ts := range a.tabs {
+			if err := ts.AddRow(enc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, g := range a.lg {
+		if err := g.AddRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *nrtAcc) RemoveRow(row []float64) error {
+	if a.codec != nil {
+		enc, err := a.codec.EncodeRow(row)
+		if err != nil {
+			return err
+		}
+		for _, ts := range a.tabs {
+			if err := ts.RemoveRow(enc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, g := range a.lg {
+		if err := g.RemoveRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IncrementalNRT maintains an NRT-BN over a sliding window. The expensive
+// part of BuildNRT — K2 structure search — runs only on the first Build
+// (and after InvalidateStructure); every later Build refits the parameters
+// of the learned DAG from sufficient statistics, matching a from-scratch
+// FitParameters over the same structure and window to within 1e-9.
+type IncrementalNRT struct {
+	cfg     NRTConfig
+	stream  *dataset.Stream
+	columns []string
+
+	specs []learn.VarSpec
+	edges [][2]int
+	codec *dataset.Codec
+	cost  learn.Cost // structure-search cost, carried into refit models
+	acc   *nrtAcc
+}
+
+// NewIncrementalNRT creates an incremental NRT builder over a sliding
+// window of at most capacity rows with the given column names.
+func NewIncrementalNRT(cfg NRTConfig, columns []string, capacity int) (*IncrementalNRT, error) {
+	if cfg.Bins == 0 {
+		cfg.Bins = 5
+	}
+	if len(columns) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 columns (one service + D)")
+	}
+	st, err := dataset.NewStream(columns, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &IncrementalNRT{cfg: cfg, stream: st, columns: append([]string(nil), columns...)}, nil
+}
+
+// Ingest folds one data point into the window and every bound accumulator.
+func (in *IncrementalNRT) Ingest(row []float64) error {
+	if err := in.stream.Push(row); err != nil {
+		return err
+	}
+	incRowsIngested.Inc()
+	return nil
+}
+
+// Len returns the number of buffered points.
+func (in *IncrementalNRT) Len() int { return in.stream.Len() }
+
+// InvalidateStructure forces the next Build to re-run K2 structure search
+// (and, for discrete models, refit the codec) from the buffered window.
+func (in *IncrementalNRT) InvalidateStructure() {
+	in.specs, in.edges, in.codec = nil, nil, nil
+}
+
+// Build returns the current model. The first call performs a full BuildNRT
+// (structure + parameters); subsequent calls refit parameters from the
+// accumulators without re-scanning the window or re-running K2.
+func (in *IncrementalNRT) Build() (*Model, error) {
+	sp := obs.StartSpan("build.nrt.incremental")
+	defer sp.End()
+	if in.specs == nil {
+		full, err := BuildNRT(in.cfg, in.stream.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		in.specs = make([]learn.VarSpec, full.Net.N())
+		for i := range in.specs {
+			in.specs[i] = learn.VarSpec{
+				Name:       full.Net.Node(i).Name,
+				Continuous: in.cfg.Type == ContinuousModel,
+				Card:       in.cfg.Bins,
+			}
+		}
+		in.edges = in.edges[:0]
+		for id := 0; id < full.Net.N(); id++ {
+			for _, p := range full.Net.Parents(id) {
+				in.edges = append(in.edges, [2]int{p, id})
+			}
+		}
+		in.codec = full.Codec
+		in.cost = full.Cost
+		if _, err := in.stream.Bind(dagHash(in.specs, in.edges, in.codec), in.bindAccumulators); err != nil {
+			return nil, err
+		}
+		incNRTBuilds.Inc()
+		return full, nil
+	}
+	_, wasBound := in.stream.Bound()
+	rebuilt, err := in.stream.Bind(dagHash(in.specs, in.edges, in.codec), in.bindAccumulators)
+	if err != nil {
+		return nil, err
+	}
+	if rebuilt && wasBound {
+		incInvalidations.Inc()
+	}
+	var m *Model
+	err = in.stream.View(func(rows int) error {
+		if rows == 0 {
+			return fmt.Errorf("core: empty training data")
+		}
+		var err error
+		m, err = in.refit()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	incNRTBuilds.Inc()
+	return m, nil
+}
+
+func (in *IncrementalNRT) bindAccumulators() ([]dataset.Accumulator, error) {
+	net, err := in.materialize()
+	if err != nil {
+		return nil, err
+	}
+	acc := &nrtAcc{codec: in.codec}
+	for id := 0; id < net.N(); id++ {
+		parents := net.Parents(id)
+		if in.cfg.Type == DiscreteModel {
+			parentCard := make([]int, len(parents))
+			for i := range parents {
+				parentCard[i] = in.cfg.Bins
+			}
+			ts, err := learn.NewTabularStats(id, in.cfg.Bins, parents, parentCard)
+			if err != nil {
+				return nil, err
+			}
+			acc.tabs = append(acc.tabs, ts)
+		} else {
+			acc.lg = append(acc.lg, learn.NewLGStats(id, parents))
+		}
+	}
+	in.acc = acc
+	return []dataset.Accumulator{acc}, nil
+}
+
+// materialize rebuilds an empty network with the learned structure.
+func (in *IncrementalNRT) materialize() (*bn.Network, error) {
+	net := bn.NewNetwork()
+	for _, s := range in.specs {
+		var err error
+		if s.Continuous {
+			_, err = net.AddContinuousNode(s.Name)
+		} else {
+			_, err = net.AddDiscreteNode(s.Name, s.Card)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range in.edges {
+		if err := net.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+func (in *IncrementalNRT) refit() (*Model, error) {
+	net, err := in.materialize()
+	if err != nil {
+		return nil, err
+	}
+	cost := in.cost
+	for _, g := range in.acc.lg {
+		cpd, c, err := learn.FitLinearGaussianFromStats(g)
+		cost.Add(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SetCPD(g.Child, cpd); err != nil {
+			return nil, err
+		}
+	}
+	for _, ts := range in.acc.tabs {
+		cpd, c, err := learn.FitTabularFromStats(ts, in.cfg.Learn)
+		cost.Add(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SetCPD(ts.Child, cpd); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Net:         net,
+		NumServices: len(in.specs) - 1,
+		DNode:       len(in.specs) - 1,
+		Type:        in.cfg.Type,
+		Codec:       in.codec,
+		Cost:        cost,
+		Knowledge:   false,
+	}, nil
+}

@@ -65,6 +65,12 @@ type KERTConfig struct {
 	Bins int
 	// Binning picks the discretization method (default Quantile).
 	Binning dataset.BinningMethod
+	// Codec, when non-nil, freezes the discretization for discrete models
+	// instead of refitting it from each training set. Incremental rebuilds
+	// require a frozen codec — count accumulators are only valid while the
+	// bin geometry stays fixed — and it also lets two builds over different
+	// windows share one bin geometry for exact comparison.
+	Codec *dataset.Codec
 	// Learn controls parameter smoothing.
 	Learn learn.Options
 	// MaxCPTEntries guards discrete D-CPT generation: bins^n·bins may not
@@ -325,10 +331,14 @@ func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int, sp *obs.Sp
 		}
 	}
 	esp := sp.Child("build.kert.discretize")
-	codec, err := dataset.FitCodec(train, cfg.Bins, cfg.Binning)
-	if err != nil {
-		esp.End()
-		return nil, err
+	codec := cfg.Codec
+	if codec == nil {
+		var err error
+		codec, err = dataset.FitCodec(train, cfg.Bins, cfg.Binning)
+		if err != nil {
+			esp.End()
+			return nil, err
+		}
 	}
 	enc, err := codec.Encode(train)
 	esp.End()
@@ -402,6 +412,41 @@ func buildDiscreteKERT(cfg KERTConfig, train *dataset.Dataset, n int, sp *obs.Sp
 // across the D bins f actually reaches. The leak l spreads uniformly over
 // all bins.
 func detCPT(cfg KERTConfig, codec *dataset.Codec, dDisc *dataset.Discretizer, n int, train *dataset.Dataset) (*bn.Tabular, learn.Cost, error) {
+	// Per-service empirical values grouped by bin, for within-bin
+	// resampling. Empty bins fall back to the bin center.
+	var binVals [][][]float64
+	var cost learn.Cost
+	if cfg.DetCPTSamples > 1 {
+		binVals = newBinPools(n, cfg.Bins)
+		for _, r := range train.Rows {
+			for i := 0; i < n; i++ {
+				b := codec.Discretizers[i].Bin(r[i])
+				binVals[i][b] = append(binVals[i][b], r[i])
+			}
+		}
+		cost.DataOps += int64(len(train.Rows) * n)
+	}
+	tab, genCost, err := detCPTFromPools(cfg, codec, dDisc, n, binVals)
+	cost.Add(genCost)
+	return tab, cost, err
+}
+
+// newBinPools allocates empty per-service, per-bin value pools.
+func newBinPools(n, bins int) [][][]float64 {
+	pools := make([][][]float64, n)
+	for i := range pools {
+		pools[i] = make([][]float64, bins)
+	}
+	return pools
+}
+
+// detCPTFromPools generates the D CPT given already-grouped within-bin
+// training values — the shared core of the full (scan-the-dataset) and
+// incremental (pools maintained row by row) paths. Because each CPT row's
+// Monte-Carlo stream is seeded purely by its configuration index, two calls
+// over pools with identical contents and ordering produce bit-identical
+// tables.
+func detCPTFromPools(cfg KERTConfig, codec *dataset.Codec, dDisc *dataset.Discretizer, n int, binVals [][][]float64) (*bn.Tabular, learn.Cost, error) {
 	parentCard := make([]int, n)
 	for i := range parentCard {
 		parentCard[i] = cfg.Bins
@@ -412,23 +457,6 @@ func detCPT(cfg KERTConfig, codec *dataset.Codec, dDisc *dataset.Discretizer, n 
 	row := make([]float64, cfg.Bins)
 	samples := cfg.DetCPTSamples
 	f := cfg.metricFunc()
-
-	// Per-service empirical values grouped by bin, for within-bin
-	// resampling. Empty bins fall back to the bin center.
-	var binVals [][][]float64
-	if samples > 1 {
-		binVals = make([][][]float64, n)
-		for i := 0; i < n; i++ {
-			binVals[i] = make([][]float64, cfg.Bins)
-		}
-		for _, r := range train.Rows {
-			for i := 0; i < n; i++ {
-				b := codec.Discretizers[i].Bin(r[i])
-				binVals[i][b] = append(binVals[i][b], r[i])
-			}
-		}
-		cost.DataOps += int64(len(train.Rows) * n)
-	}
 
 	for cfgIdx := 0; cfgIdx < tab.Rows(); cfgIdx++ {
 		assign := tab.ConfigAssignment(cfgIdx)

@@ -100,6 +100,19 @@ func CombineCorrelationMetric(changeIntervals []time.Duration, tCon time.Duratio
 // model replaces the scheduler's current one.
 type Builder func(window *dataset.Dataset) (*Model, error)
 
+// IncrementalBuilder is the streaming alternative to Builder: rows are
+// ingested one at a time into sufficient-statistic accumulators, and Build
+// refits parameters from those accumulators without re-scanning the window
+// (see IncrementalKERT/IncrementalNRT).
+type IncrementalBuilder interface {
+	// Ingest folds one data point into the accumulators.
+	Ingest(row []float64) error
+	// Build refits the model from accumulated statistics.
+	Build() (*Model, error)
+	// Len returns the number of buffered points.
+	Len() int
+}
+
 // Scheduler drives periodic reconstruction in "data time": every Alpha
 // pushed points one construction fires over the sliding window. Counting
 // points instead of wall-clock keeps experiments deterministic; the monitor
@@ -109,6 +122,10 @@ type Builder func(window *dataset.Dataset) (*Model, error)
 type Scheduler struct {
 	cfg     ScheduleConfig
 	builder Builder
+
+	// Exactly one of window+builder (full refit per rebuild) or inc
+	// (incremental sufficient-statistics refit) is active.
+	inc IncrementalBuilder
 
 	mu      sync.Mutex
 	window  *dataset.Window
@@ -135,6 +152,22 @@ func NewScheduler(cfg ScheduleConfig, columns []string, builder Builder) (*Sched
 	return &Scheduler{cfg: cfg, window: w, builder: builder}, nil
 }
 
+// NewSchedulerIncremental creates a scheduler that rebuilds through an
+// incremental builder: each Push streams into sufficient-statistic
+// accumulators and rebuilds refit from them, so reconstruction cost no
+// longer grows with the window length. The builder's window capacity
+// should match cfg.WindowPoints() (see NewIncrementalKERT /
+// NewIncrementalNRT).
+func NewSchedulerIncremental(cfg ScheduleConfig, ib IncrementalBuilder) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ib == nil {
+		return nil, fmt.Errorf("core: scheduler needs an incremental builder")
+	}
+	return &Scheduler{cfg: cfg, inc: ib}, nil
+}
+
 // Push feeds one data point. When a construction interval completes
 // (every α points) the model is rebuilt from the window snapshot; the
 // rebuilt model (or nil if no rebuild fired) is returned. The builder runs
@@ -144,19 +177,29 @@ func NewScheduler(cfg ScheduleConfig, columns []string, builder Builder) (*Sched
 func (s *Scheduler) Push(row []float64) (*Model, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.window.Push(row); err != nil {
+	if s.inc != nil {
+		if err := s.inc.Ingest(row); err != nil {
+			return nil, err
+		}
+	} else if _, err := s.window.Push(row); err != nil {
 		return nil, err
 	}
 	s.pushed++
 	schedPushed.Inc()
-	schedWindowLen.Set(float64(s.window.Len()))
-	schedWindowFill.Set(float64(s.window.Len()) / float64(s.cfg.WindowPoints()))
+	schedWindowLen.Set(float64(s.windowLenLocked()))
+	schedWindowFill.Set(float64(s.windowLenLocked()) / float64(s.cfg.WindowPoints()))
 	if s.pushed%s.cfg.Alpha != 0 {
 		return nil, nil
 	}
 	sp := obs.StartSpan("sched.rebuild")
 	start := time.Now()
-	m, err := s.builder(s.window.Snapshot())
+	var m *Model
+	var err error
+	if s.inc != nil {
+		m, err = s.inc.Build()
+	} else {
+		m, err = s.builder(s.window.Snapshot())
+	}
 	sp.End()
 	if err != nil {
 		schedFailures.Inc()
@@ -188,6 +231,13 @@ func (s *Scheduler) Rebuilds() int {
 func (s *Scheduler) WindowLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.windowLenLocked()
+}
+
+func (s *Scheduler) windowLenLocked() int {
+	if s.inc != nil {
+		return s.inc.Len()
+	}
 	return s.window.Len()
 }
 

@@ -167,13 +167,17 @@ func NewWindow(columns []string, capacity int) (*Window, error) {
 	}, nil
 }
 
-// Push appends a row, evicting the oldest when full.
-func (w *Window) Push(row []float64) error {
+// Push appends a row, evicting the oldest when full. The evicted row (nil
+// while the window is still filling) is returned so streaming accumulators
+// can reverse-update their sufficient statistics for rows leaving the
+// window.
+func (w *Window) Push(row []float64) (evicted []float64, err error) {
 	if len(row) != len(w.Columns) {
-		return fmt.Errorf("dataset: row width %d != %d columns", len(row), len(w.Columns))
+		return nil, fmt.Errorf("dataset: row width %d != %d columns", len(row), len(w.Columns))
 	}
 	idx := (w.start + w.count) % w.Capacity
 	if w.count == w.Capacity {
+		evicted = w.rows[w.start]
 		w.start = (w.start + 1) % w.Capacity
 		idx = (w.start + w.count - 1) % w.Capacity
 	}
@@ -181,7 +185,7 @@ func (w *Window) Push(row []float64) error {
 	if w.count < w.Capacity {
 		w.count++
 	}
-	return nil
+	return evicted, nil
 }
 
 // Len returns the number of buffered rows.

@@ -122,8 +122,17 @@ func TestWindowBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 5; i++ {
-		if err := w.Push([]float64{float64(i)}); err != nil {
+		evicted, err := w.Push([]float64{float64(i)})
+		if err != nil {
 			t.Fatal(err)
+		}
+		// The first eviction happens on the 4th push and yields the oldest
+		// row; while filling, Push reports nil.
+		if i <= 3 && evicted != nil {
+			t.Fatalf("push %d evicted %v from a filling window", i, evicted)
+		}
+		if i > 3 && (evicted == nil || evicted[0] != float64(i-3)) {
+			t.Fatalf("push %d evicted %v, want [%d]", i, evicted, i-3)
 		}
 	}
 	if w.Len() != 3 {
@@ -143,15 +152,15 @@ func TestWindowValidation(t *testing.T) {
 		t.Fatal("zero capacity should error")
 	}
 	w, _ := NewWindow([]string{"a"}, 2)
-	if err := w.Push([]float64{1, 2}); err == nil {
+	if _, err := w.Push([]float64{1, 2}); err == nil {
 		t.Fatal("width mismatch should error")
 	}
 }
 
 func TestWindowPartialFill(t *testing.T) {
 	w, _ := NewWindow([]string{"a"}, 5)
-	_ = w.Push([]float64{1})
-	_ = w.Push([]float64{2})
+	_, _ = w.Push([]float64{1})
+	_, _ = w.Push([]float64{2})
 	snap := w.Snapshot()
 	if snap.NumRows() != 2 || snap.Rows[0][0] != 1 {
 		t.Fatal("partial window snapshot wrong")
@@ -319,7 +328,7 @@ func TestWindowOrderProperty(t *testing.T) {
 		}
 		n := rng.Intn(40)
 		for i := 0; i < n; i++ {
-			if err := w.Push([]float64{float64(i)}); err != nil {
+			if _, err := w.Push([]float64{float64(i)}); err != nil {
 				return false
 			}
 		}

@@ -1,0 +1,312 @@
+package decentral
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/learn"
+	"kertbn/internal/obs"
+	"kertbn/internal/pool"
+)
+
+// Delta-shipping metrics: incremental rounds vs full resyncs, and how many
+// row shipments the accumulator scheme avoided relative to re-shipping the
+// whole window every round.
+var (
+	decDeltaRounds = obs.C("decentral.delta_rounds")
+	decFullSyncs   = obs.C("decentral.full_syncs")
+	decDeltaSaved  = obs.C("decentral.delta_rows_saved")
+)
+
+// IncrementalLearner is the delta-shipping variant of decentralized
+// learning: instead of shipping every parent column in full each round,
+// agents keep per-node sufficient-statistic accumulators (joint counts for
+// discrete CPDs, regression moments for linear-Gaussian ones) and ship only
+// the rows added to — and evicted from — the sliding window since the last
+// round. Refits then run from the accumulators.
+//
+// Equivalence contract, matching internal/learn's from-stats fits: discrete
+// refits are bit-identical to a full Learn over the same window, and
+// linear-Gaussian refits agree within ~1e-9 (rounding-level drift from
+// eviction reverse-updates).
+//
+// The learner is the management-side mirror of one agent group; it is not
+// safe for concurrent use.
+type IncrementalLearner struct {
+	plans   []NodePlan
+	shipper Shipper
+	opts    learn.Options
+	synced  bool
+	n       int // rows currently incorporated in every accumulator
+	tabs    map[int]*learn.TabularStats
+	lgs     map[int]*learn.LGStats
+}
+
+// NewIncrementalLearner builds an empty learner for the given plans. A nil
+// shipper means in-process copying, as in Learn.
+func NewIncrementalLearner(plans []NodePlan, shipper Shipper, opts learn.Options) (*IncrementalLearner, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("decentral: no plans to learn")
+	}
+	if shipper == nil {
+		shipper = InProcShipper{}
+	}
+	l := &IncrementalLearner{
+		plans:   plans,
+		shipper: shipper,
+		opts:    opts,
+		tabs:    map[int]*learn.TabularStats{},
+		lgs:     map[int]*learn.LGStats{},
+	}
+	if err := l.reset(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// reset replaces every accumulator with a fresh, empty one. Assembled rows
+// are laid out [child, parents...], so the accumulators index child 0 and
+// parents 1..k.
+func (l *IncrementalLearner) reset() error {
+	for _, p := range l.plans {
+		parentIdx := make([]int, len(p.Parents))
+		for i := range parentIdx {
+			parentIdx[i] = i + 1
+		}
+		if p.Discrete {
+			ts, err := learn.NewTabularStats(0, p.Card, parentIdx, p.ParentCard)
+			if err != nil {
+				return fmt.Errorf("decentral: node %d: %w", p.Node, err)
+			}
+			l.tabs[p.Node] = ts
+		} else {
+			l.lgs[p.Node] = learn.NewLGStats(0, parentIdx)
+		}
+	}
+	l.synced = false
+	l.n = 0
+	return nil
+}
+
+// Rows returns the number of window rows currently incorporated.
+func (l *IncrementalLearner) Rows() int { return l.n }
+
+// Sync runs a full round: complete parent columns are shipped, the
+// accumulators are rebuilt from scratch, and every plan's CPD is refit.
+// Call it once to seed the learner, and again whenever the window contents
+// diverge from what Delta has been fed (a full resync).
+func (l *IncrementalLearner) Sync(cols Columns) (*Result, error) {
+	sp := obs.StartSpan("decentral.sync")
+	defer sp.End()
+	decFullSyncs.Inc()
+	if err := validatePlans(l.plans, cols); err != nil {
+		return nil, err
+	}
+	if err := l.reset(); err != nil {
+		return nil, err
+	}
+	res, err := l.round(cols, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.synced = true
+	l.n = len(cols[l.plans[0].Node])
+	return res, nil
+}
+
+// Delta runs an incremental round: added holds, per column, only the rows
+// pushed into the window since the last round, and evicted only the rows
+// the window dropped. Agents ship those short column segments instead of
+// the whole window; accumulators fold them in and CPDs refit from stats.
+func (l *IncrementalLearner) Delta(added, evicted Columns) (*Result, error) {
+	sp := obs.StartSpan("decentral.delta")
+	defer sp.End()
+	if !l.synced {
+		return nil, fmt.Errorf("decentral: Delta before first Sync")
+	}
+	nAdd, err := l.deltaLen(added, "added")
+	if err != nil {
+		return nil, err
+	}
+	nEvict, err := l.deltaLen(evicted, "evicted")
+	if err != nil {
+		return nil, err
+	}
+	if nEvict > l.n+nAdd {
+		return nil, fmt.Errorf("decentral: evicting %d rows from a %d-row window", nEvict, l.n+nAdd)
+	}
+	decDeltaRounds.Inc()
+	res, err := l.round(added, evicted)
+	if err != nil {
+		// Accumulators may be partially updated; force a resync.
+		l.synced = false
+		return nil, err
+	}
+	l.n += nAdd - nEvict
+	// Every parent shipment moved nAdd+nEvict rows where a full round
+	// would have re-shipped the whole l.n-row window.
+	if saved := l.n - nAdd - nEvict; saved > 0 {
+		for _, p := range l.plans {
+			decDeltaSaved.Add(int64(saved) * int64(len(p.Parents)))
+		}
+	}
+	return res, nil
+}
+
+// deltaLen checks that every column a plan touches carries the same number
+// of delta rows and returns that count. A nil Columns means "no rows".
+func (l *IncrementalLearner) deltaLen(cols Columns, what string) (int, error) {
+	if cols == nil {
+		return 0, nil
+	}
+	n := -1
+	for _, p := range l.plans {
+		for _, id := range append([]int{p.Node}, p.Parents...) {
+			if id < 0 || id >= len(cols) {
+				return 0, fmt.Errorf("decentral: %s columns missing column %d", what, id)
+			}
+			if n == -1 {
+				n = len(cols[id])
+			} else if len(cols[id]) != n {
+				return 0, fmt.Errorf("decentral: ragged %s columns (%d vs %d rows)", what, len(cols[id]), n)
+			}
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
+// round ships the given column segments, folds them into the accumulators
+// (adding `add`, removing `evict`), and refits every plan from stats. Sync
+// passes the whole window as add; Delta passes the two delta segments.
+func (l *IncrementalLearner) round(add, evict Columns) (*Result, error) {
+	perPlan := make([]NodeResult, len(l.plans))
+	err := pool.ForEach(context.Background(), "decentral.delta", len(l.plans), len(l.plans), func(i int) error {
+		nr, err := l.learnOneFromStats(l.plans[i], add, evict)
+		if err != nil {
+			return fmt.Errorf("decentral: node %d: %w", l.plans[i].Node, err)
+		}
+		perPlan[i] = nr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{PerNode: map[int]NodeResult{}}
+	res.Report.Nodes = len(perPlan)
+	res.Report.Errors = map[int]string{}
+	for _, nr := range perPlan {
+		res.PerNode[nr.Node] = nr
+		if nr.Elapsed > res.DecentralizedTime {
+			res.DecentralizedTime = nr.Elapsed
+		}
+		res.CentralizedTime += nr.Elapsed
+		if nr.Cost.DataOps > res.DecentralizedCost {
+			res.DecentralizedCost = nr.Cost.DataOps
+		}
+		res.CentralizedCost += nr.Cost.DataOps
+		res.Report.OK++
+	}
+	return res, nil
+}
+
+// learnOneFromStats is one agent's incremental round: ship the parent
+// column segments, fold assembled delta rows into the node's accumulator,
+// and refit from the accumulated statistics.
+func (l *IncrementalLearner) learnOneFromStats(p NodePlan, add, evict Columns) (NodeResult, error) {
+	nr := NodeResult{Node: p.Node}
+	shipStart := time.Now()
+	addRows, ships, err := l.assemble(p, add)
+	if err != nil {
+		return nr, err
+	}
+	nr.ShipsStarted += ships
+	evictRows, ships, err := l.assemble(p, evict)
+	if err != nil {
+		return nr, err
+	}
+	nr.ShipsStarted += ships
+	nr.Attempts = nr.ShipsStarted
+	nr.ShipWait = time.Since(shipStart)
+
+	start := time.Now()
+	var (
+		cpd  bn.CPD
+		cost learn.Cost
+	)
+	if p.Discrete {
+		ts := l.tabs[p.Node]
+		for _, row := range addRows {
+			if err := ts.AddRow(row); err != nil {
+				return nr, err
+			}
+		}
+		for _, row := range evictRows {
+			if err := ts.RemoveRow(row); err != nil {
+				return nr, err
+			}
+		}
+		cpd, cost, err = learn.FitTabularFromStats(ts, l.opts)
+	} else {
+		g := l.lgs[p.Node]
+		for _, row := range addRows {
+			if err := g.AddRow(row); err != nil {
+				return nr, err
+			}
+		}
+		for _, row := range evictRows {
+			if err := g.RemoveRow(row); err != nil {
+				return nr, err
+			}
+		}
+		cpd, cost, err = learn.FitLinearGaussianFromStats(g)
+	}
+	if err != nil {
+		return nr, err
+	}
+	cost.DataOps += int64(len(addRows)+len(evictRows)) * int64(len(p.Parents)+1)
+	elapsed := time.Since(start)
+	decShipWait.Observe(nr.ShipWait.Seconds())
+	decNodeLearn.Observe(elapsed.Seconds())
+	nr.CPD = cpd
+	nr.Elapsed = elapsed
+	nr.Cost = cost
+	return nr, nil
+}
+
+// assemble ships the parent segments of cols to p.Node and zips them with
+// the local child segment into [child, parents...] rows. A nil cols (or an
+// empty segment) assembles nothing and ships nothing.
+func (l *IncrementalLearner) assemble(p NodePlan, cols Columns) ([][]float64, int, error) {
+	if cols == nil || len(cols[p.Node]) == 0 {
+		return nil, 0, nil
+	}
+	local := cols[p.Node]
+	parentCols := make([][]float64, len(p.Parents))
+	ships := 0
+	for i, pid := range p.Parents {
+		col, err := l.shipper.Ship(pid, p.Node, cols[pid])
+		if err != nil {
+			return nil, ships, fmt.Errorf("shipping column %d: %w", pid, err)
+		}
+		ships++
+		if len(col) != len(local) {
+			return nil, ships, fmt.Errorf("parent column length %d != %d", len(col), len(local))
+		}
+		parentCols[i] = col
+	}
+	rows := make([][]float64, len(local))
+	for ri := range local {
+		row := make([]float64, 1+len(parentCols))
+		row[0] = local[ri]
+		for i, pc := range parentCols {
+			row[1+i] = pc[ri]
+		}
+		rows[ri] = row
+	}
+	return rows, ships, nil
+}

@@ -1,0 +1,201 @@
+package decentral
+
+import (
+	"math"
+	"testing"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/learn"
+	"kertbn/internal/stats"
+)
+
+// windowCols returns the sliding-window view cols[lo:hi] per column.
+func windowCols(cols Columns, lo, hi int) Columns {
+	out := make(Columns, len(cols))
+	for i, c := range cols {
+		out[i] = c[lo:hi]
+	}
+	return out
+}
+
+// Continuous delta rounds must track a full Learn over the same window
+// within 1e-9 as the window slides.
+func TestIncrementalLearnerContinuousEquivalence(t *testing.T) {
+	net := buildChainNet(t)
+	plans, err := PlanFromNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := chainColumns(600, 11)
+	const window = 200
+	il, err := NewIncrementalLearner(plans, nil, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := il.Sync(windowCols(all, 0, window)); err != nil {
+		t.Fatal(err)
+	}
+	// Slide the window in uneven chunks, comparing after every round.
+	lo, hi := 0, window
+	for _, chunk := range []int{30, 65, 105, 200} {
+		added := windowCols(all, hi, hi+chunk)
+		evicted := windowCols(all, lo, lo+chunk)
+		lo += chunk
+		hi += chunk
+		res, err := il.Delta(added, evicted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if il.Rows() != window {
+			t.Fatalf("learner rows = %d, want %d", il.Rows(), window)
+		}
+		full, err := Learn(plans, windowCols(all, lo, hi), nil, learn.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range plans {
+			got := res.PerNode[p.Node].CPD.(*bn.LinearGaussian)
+			want := full.PerNode[p.Node].CPD.(*bn.LinearGaussian)
+			if d := math.Abs(got.Intercept - want.Intercept); d > 1e-9 {
+				t.Fatalf("node %d intercept diff %g", p.Node, d)
+			}
+			for i := range want.Coef {
+				if d := math.Abs(got.Coef[i] - want.Coef[i]); d > 1e-9 {
+					t.Fatalf("node %d coef[%d] diff %g", p.Node, i, d)
+				}
+			}
+			if d := math.Abs(got.Sigma - want.Sigma); d > 1e-9 {
+				t.Fatalf("node %d sigma diff %g", p.Node, d)
+			}
+		}
+	}
+}
+
+// Discrete delta rounds are count-based and must be bit-identical to a
+// full Learn over the same window.
+func TestIncrementalLearnerDiscreteEquivalence(t *testing.T) {
+	net := bn.NewNetwork()
+	a, _ := net.AddDiscreteNode("a", 3)
+	b, _ := net.AddDiscreteNode("b", 2)
+	if err := net.AddEdge(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	plans, err := PlanFromNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	const total, window = 500, 180
+	all := Columns{make([]float64, total), make([]float64, total)}
+	for r := 0; r < total; r++ {
+		all[0][r] = float64(rng.Intn(3))
+		bv := 0.0
+		if rng.Bernoulli(0.2 + 0.3*all[0][r]) {
+			bv = 1
+		}
+		all[1][r] = bv
+	}
+	opts := learn.Options{DirichletAlpha: 1}
+	il, err := NewIncrementalLearner(plans, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := il.Sync(windowCols(all, 0, window)); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0, window
+	for _, chunk := range []int{40, 77, 160} {
+		res, err := il.Delta(windowCols(all, hi, hi+chunk), windowCols(all, lo, lo+chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo += chunk
+		hi += chunk
+		full, err := Learn(plans, windowCols(all, lo, hi), nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range plans {
+			got := res.PerNode[p.Node].CPD.(*bn.Tabular)
+			want := full.PerNode[p.Node].CPD.(*bn.Tabular)
+			if len(got.P) != len(want.P) {
+				t.Fatalf("node %d CPT shape mismatch", p.Node)
+			}
+			for i := range want.P {
+				if got.P[i] != want.P[i] {
+					t.Fatalf("node %d P[%d]: %g != %g (want bit-identical)", p.Node, i, got.P[i], want.P[i])
+				}
+			}
+		}
+	}
+}
+
+// Growing (no eviction) and shrink-to-grow deltas must keep Rows() honest,
+// and misuse must error.
+func TestIncrementalLearnerValidation(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	il, err := NewIncrementalLearner(plans, nil, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := chainColumns(100, 3)
+	if _, err := il.Delta(windowCols(all, 0, 10), nil); err == nil {
+		t.Fatal("Delta before Sync should error")
+	}
+	if _, err := il.Sync(windowCols(all, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	// Pure growth: add 20, evict none.
+	if _, err := il.Delta(windowCols(all, 50, 70), nil); err != nil {
+		t.Fatal(err)
+	}
+	if il.Rows() != 70 {
+		t.Fatalf("rows = %d, want 70", il.Rows())
+	}
+	// Ragged delta columns error during validation, before any accumulator
+	// is touched — the learner stays usable.
+	bad := Columns{all[0][70:75], all[1][70:73], all[2][70:75]}
+	if _, err := il.Delta(bad, nil); err == nil {
+		t.Fatal("ragged delta should error")
+	}
+	if _, err := il.Delta(windowCols(all, 70, 80), nil); err != nil {
+		t.Fatalf("validation error must not poison the learner: %v", err)
+	}
+	if il.Rows() != 80 {
+		t.Fatalf("rows = %d, want 80", il.Rows())
+	}
+	if _, err := NewIncrementalLearner(nil, nil, learn.Options{}); err == nil {
+		t.Fatal("empty plans should error")
+	}
+}
+
+// A failure mid-round (a down agent) can leave accumulators partially
+// updated, so the learner must refuse further deltas until a full Sync.
+func TestIncrementalLearnerResyncAfterShipFailure(t *testing.T) {
+	net := buildChainNet(t)
+	plans, _ := PlanFromNetwork(net, nil)
+	down := map[int]bool{}
+	il, err := NewIncrementalLearner(plans, DownShipper{Inner: InProcShipper{}, Down: down}, learn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := chainColumns(100, 5)
+	if _, err := il.Sync(windowCols(all, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	down[0] = true // agent 0 crashes; its column cannot ship
+	if _, err := il.Delta(windowCols(all, 60, 80), nil); err == nil {
+		t.Fatal("delta with a down agent should error")
+	}
+	down[0] = false
+	if _, err := il.Delta(windowCols(all, 80, 90), nil); err == nil {
+		t.Fatal("post-failure Delta should demand a Sync")
+	}
+	if _, err := il.Sync(windowCols(all, 0, 90)); err != nil {
+		t.Fatal(err)
+	}
+	if il.Rows() != 90 {
+		t.Fatalf("rows after resync = %d", il.Rows())
+	}
+}

@@ -99,7 +99,7 @@ func Motivation(cfg MotivationConfig) (*FigResult, error) {
 			return nil, err
 		}
 		for _, row := range batch.Rows {
-			if err := window.Push(row); err != nil {
+			if _, err := window.Push(row); err != nil {
 				return nil, err
 			}
 		}

@@ -30,19 +30,27 @@ func (b Backoff) withDefaults() Backoff {
 }
 
 // Delay returns the pause before retry attempt k (k = 0 is the first
-// retry). A nil rng disables jitter and returns the full deterministic
-// ceiling for the attempt.
+// retry). A nil rng disables randomness and returns the midpoint 3d/4 of
+// the jitter interval [d/2, d), so seeded and unseeded callers share the
+// same pacing envelope — an unjittered delay never exceeds what any
+// jittered draw could have produced plus d/4, and both average to 3d/4.
 func (b Backoff) Delay(attempt int, rng *stats.RNG) time.Duration {
 	b = b.withDefaults()
 	d := b.Base
-	for i := 0; i < attempt && d < b.Max; i++ {
+	for i := 0; i < attempt; i++ {
+		if d > b.Max/2 {
+			// Doubling again would exceed (or overflow past) the
+			// ceiling; clamp and stop.
+			d = b.Max
+			break
+		}
 		d *= 2
 	}
 	if d > b.Max {
 		d = b.Max
 	}
 	if rng == nil {
-		return d
+		return d/2 + d/4
 	}
 	half := float64(d) / 2
 	return time.Duration(half + rng.Float64()*half)

@@ -248,11 +248,13 @@ func TestDialDropAndListenerDrop(t *testing.T) {
 
 func TestBackoffDeterministicAndBounded(t *testing.T) {
 	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
-	if d := b.Delay(0, nil); d != 10*time.Millisecond {
-		t.Fatalf("attempt 0 delay %v, want 10ms", d)
+	// The nil-rng path returns the midpoint 3d/4 of the jitter interval
+	// [d/2, d), keeping seeded and unseeded callers on the same envelope.
+	if d := b.Delay(0, nil); d != 7500*time.Microsecond {
+		t.Fatalf("attempt 0 delay %v, want 7.5ms (3/4 of 10ms ceiling)", d)
 	}
-	if d := b.Delay(10, nil); d != 80*time.Millisecond {
-		t.Fatalf("deep attempt delay %v, want capped at 80ms", d)
+	if d := b.Delay(10, nil); d != 60*time.Millisecond {
+		t.Fatalf("deep attempt delay %v, want 60ms (3/4 of 80ms cap)", d)
 	}
 	for attempt := 0; attempt < 6; attempt++ {
 		d1 := b.Delay(attempt, stats.NewRNG(9).Split(uint64(attempt)))
@@ -260,13 +262,54 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 		if d1 != d2 {
 			t.Fatalf("jittered delay not deterministic: %v vs %v", d1, d2)
 		}
-		full := b.Delay(attempt, nil)
-		if d1 < full/2 || d1 > full {
-			t.Fatalf("attempt %d jittered delay %v outside [%v, %v]", attempt, d1, full/2, full)
+		// Reconstruct the attempt's ceiling d = min(Base·2^k, Max) and
+		// check both paths stay inside the documented [d/2, d) envelope.
+		full := b.Base << uint(attempt)
+		if full > b.Max {
+			full = b.Max
+		}
+		if d1 < full/2 || d1 >= full {
+			t.Fatalf("attempt %d jittered delay %v outside [%v, %v)", attempt, d1, full/2, full)
+		}
+		if mid := b.Delay(attempt, nil); mid < full/2 || mid >= full {
+			t.Fatalf("attempt %d nil-rng delay %v outside [%v, %v)", attempt, mid, full/2, full)
 		}
 	}
-	// Zero-value policy gets sane defaults.
-	if d := (Backoff{}).Delay(0, nil); d != 10*time.Millisecond {
-		t.Fatalf("zero-value base delay %v, want 10ms default", d)
+	// Zero-value policy gets sane defaults (Base 10ms → midpoint 7.5ms).
+	if d := (Backoff{}).Delay(0, nil); d != 7500*time.Microsecond {
+		t.Fatalf("zero-value base delay %v, want 7.5ms", d)
+	}
+}
+
+// The growth loop must survive attempt counts large enough that naive
+// doubling would overflow time.Duration, and must clamp exactly at Max.
+func TestBackoffGrowthBoundary(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 1<<62 - 1}
+	for _, attempt := range []int{62, 63, 64, 200, 1 << 20} {
+		d := b.Delay(attempt, nil)
+		if d <= 0 {
+			t.Fatalf("attempt %d: delay %v overflowed", attempt, d)
+		}
+		want := b.Max/2 + b.Max/4
+		if d != want {
+			t.Fatalf("attempt %d: delay %v, want clamped midpoint %v", attempt, d, want)
+		}
+		j := b.Delay(attempt, stats.NewRNG(1).Split(uint64(attempt)))
+		if j < b.Max/2 || j >= b.Max {
+			t.Fatalf("attempt %d: jittered delay %v outside [Max/2, Max)", attempt, j)
+		}
+	}
+	// Exact-power-of-two landings: Base·2^k == Max must cap, not double past.
+	c := Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond}
+	steps := []time.Duration{
+		7500 * time.Microsecond, // 3/4 · 10ms
+		15 * time.Millisecond,   // 3/4 · 20ms
+		30 * time.Millisecond,   // 3/4 · 40ms
+		30 * time.Millisecond,   // capped
+	}
+	for attempt, want := range steps {
+		if d := c.Delay(attempt, nil); d != want {
+			t.Fatalf("attempt %d: delay %v, want %v", attempt, d, want)
+		}
 	}
 }

@@ -36,47 +36,24 @@ func DefaultOptions() Options { return Options{DirichletAlpha: 1} }
 
 // FitTabular estimates the CPT of a discrete child with discrete parents
 // from data rows. child and parents are column indices into rows; card and
-// parentCard give the state counts.
+// parentCard give the state counts. It is the scan-everything twin of
+// FitTabularFromStats: counting here and fitting from a TabularStats fed
+// the same rows produce bit-identical tables.
 func FitTabular(rows [][]float64, child int, card int, parents []int, parentCard []int, opts Options) (*bn.Tabular, Cost, error) {
-	if len(parents) != len(parentCard) {
-		return nil, Cost{}, fmt.Errorf("learn: parents/parentCard length mismatch")
-	}
-	t := bn.NewTabular(card, parentCard)
-	counts := make([]float64, len(t.P))
-	for i := range counts {
-		counts[i] = opts.DirichletAlpha
+	ts, err := NewTabularStats(child, card, parents, parentCard)
+	if err != nil {
+		return nil, Cost{}, err
 	}
 	var cost Cost
-	pa := make([]int, len(parents))
 	for _, row := range rows {
-		x := int(row[child])
-		if x < 0 || x >= card {
-			return nil, cost, fmt.Errorf("learn: child state %d out of range (card %d)", x, card)
-		}
-		for i, p := range parents {
-			v := int(row[p])
-			if v < 0 || v >= parentCard[i] {
-				return nil, cost, fmt.Errorf("learn: parent state %d out of range (card %d)", v, parentCard[i])
-			}
-			pa[i] = v
-		}
-		counts[t.ConfigIndex(pa)*card+x]++
-		cost.DataOps += int64(len(parents) + 1)
-	}
-	for cfg := 0; cfg < t.Rows(); cfg++ {
-		rowCounts := counts[cfg*card : (cfg+1)*card]
-		if sum(rowCounts) == 0 {
-			// No data and no prior: fall back to uniform.
-			for i := range rowCounts {
-				rowCounts[i] = 1
-			}
-		}
-		if err := t.SetRow(cfg, rowCounts); err != nil {
+		if err := ts.AddRow(row); err != nil {
 			return nil, cost, err
 		}
-		cost.DataOps += int64(card)
+		cost.DataOps += int64(len(parents) + 1)
 	}
-	return t, cost, nil
+	t, fitCost, err := FitTabularFromStats(ts, opts)
+	cost.Add(fitCost)
+	return t, cost, err
 }
 
 // FitLinearGaussian estimates a linear-Gaussian CPD for a continuous child

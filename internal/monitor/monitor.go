@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"kertbn/internal/obs"
 )
@@ -126,6 +127,7 @@ type Server struct {
 	sink       RowSink
 
 	mu      sync.Mutex
+	cond    *sync.Cond // signaled after each completed-row sink returns
 	partial map[int64]*partialRow
 	// Complete counts rows delivered; Dropped counts requests evicted
 	// incomplete (missing data — the situation dComp exists for).
@@ -151,12 +153,14 @@ func NewServer(numColumns int, sink RowSink) (*Server, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("monitor: server needs a sink")
 	}
-	return &Server{
+	s := &Server{
 		numColumns: numColumns,
 		sink:       sink,
 		partial:    map[int64]*partialRow{},
 		MaxPartial: 10000,
-	}, nil
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // Send implements Sender, accepting a report directly (in-process path).
@@ -186,11 +190,18 @@ func (s *Server) Send(r Report) error {
 		if p.count == s.numColumns {
 			row := p.values
 			delete(s.partial, m.RequestID)
-			s.Complete++
-			monRows.Inc()
 			s.mu.Unlock()
 			s.sink(row)
 			s.mu.Lock()
+			// Count the row only after its sink returned: that makes
+			// CompleteCount()==N a completion barrier — when the counter
+			// reads N, all N sink invocations (including any model rebuild
+			// the sink triggered) have finished. Incrementing before the
+			// sink is the shutdown race that let a process exit while the
+			// final rebuild was still in flight.
+			s.Complete++
+			monRows.Inc()
+			s.cond.Broadcast()
 		}
 	}
 	s.evictLocked()
@@ -228,6 +239,33 @@ func (s *Server) CompleteCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.Complete
+}
+
+// WaitComplete blocks until at least n rows have been delivered — meaning
+// their sink invocations have returned, since Complete is incremented only
+// afterwards — or the timeout elapses. It reports whether the target was
+// reached. This is the shutdown synchronization point: after
+// WaitComplete(n, ...) returns true, no rebuild triggered by any of those
+// n rows is still in flight.
+func (s *Server) WaitComplete(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	// The timer takes the lock before broadcasting so it cannot fire
+	// between a waiter's deadline check and its Wait (lost wakeup).
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.mu.Unlock() //nolint:staticcheck // empty critical section is the handoff
+		s.cond.Broadcast()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.Complete < n {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		s.cond.Wait()
+	}
+	return true
 }
 
 // DrainIncomplete removes and returns the buffered incomplete rows that

@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression test for the shutdown race: Complete used to be incremented
+// before the sink ran, so a process polling CompleteCount() could observe
+// the target and exit while the final sink invocation (and any model
+// rebuild it triggered) was still in flight. The fix counts a row only
+// after its sink returns, making CompleteCount()==N a completion barrier.
+func TestCompleteCountIsCompletionBarrier(t *testing.T) {
+	release := make(chan struct{})
+	var sinkDone atomic.Bool
+	srv, err := NewServer(1, func(row []float64) {
+		<-release // simulate a slow rebuild inside the sink
+		sinkDone.Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Send(Report{Batch: []Measurement{{RequestID: 1, Column: 0, Value: 7}}})
+	}()
+	// While the sink is blocked the row must NOT be counted — with the
+	// pre-fix ordering this reads 1 and the race is back.
+	time.Sleep(20 * time.Millisecond)
+	if got := srv.CompleteCount(); got != 0 {
+		t.Fatalf("CompleteCount = %d while sink still running, want 0", got)
+	}
+	close(release)
+	if !srv.WaitComplete(1, 2*time.Second) {
+		t.Fatal("WaitComplete timed out after sink released")
+	}
+	if !sinkDone.Load() {
+		t.Fatal("CompleteCount reached target before the sink finished")
+	}
+	wg.Wait()
+}
+
+// The kertmon shutdown pattern: many requests streamed concurrently into a
+// deliberately slow sink, then WaitComplete as the drain. When it returns
+// true, every sink side effect must already be visible — no trailing sleep
+// required.
+func TestWaitCompleteDrainsSlowSink(t *testing.T) {
+	const requests = 40
+	var delivered atomic.Int64
+	srv, err := NewServer(2, func(row []float64) {
+		time.Sleep(time.Millisecond) // a rebuild-ish delay per row
+		delivered.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < requests; i += 4 {
+				_ = srv.Send(Report{Batch: []Measurement{
+					{RequestID: int64(i), Column: 0, Value: 1},
+					{RequestID: int64(i), Column: 1, Value: 2},
+				}})
+			}
+		}(g)
+	}
+	if !srv.WaitComplete(requests, 10*time.Second) {
+		t.Fatalf("WaitComplete timed out at %d/%d", srv.CompleteCount(), requests)
+	}
+	if got := delivered.Load(); got != requests {
+		t.Fatalf("barrier passed with %d/%d sink invocations finished", got, requests)
+	}
+	wg.Wait()
+}
+
+// WaitComplete must honor its timeout when the target never arrives.
+func TestWaitCompleteTimeout(t *testing.T) {
+	srv, err := NewServer(1, func([]float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if srv.WaitComplete(5, 50*time.Millisecond) {
+		t.Fatal("WaitComplete returned true with no rows sent")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+}

@@ -7,10 +7,23 @@ import (
 )
 
 // Summary holds streaming moments computed with Welford's algorithm.
+//
+// NaN semantics (skip-and-count): Add ignores NaN observations entirely —
+// they touch neither the moments nor Min/Max — and counts them in NaNs, so
+// a single bad measurement cannot poison a whole monitoring window while
+// callers can still see data quality. ±Inf observations are real values and
+// propagate.
+//
+// Empty semantics: with N == 0 the Min/Max fields hold the ±Inf sentinels
+// they were initialized with. Callers that print or aggregate extremes must
+// use Range, which reports emptiness explicitly instead of leaking the
+// sentinels.
 type Summary struct {
 	N        int
 	mean, m2 float64
 	Min, Max float64
+	// NaNs counts observations skipped because they were NaN.
+	NaNs int
 }
 
 // NewSummary returns an empty accumulator.
@@ -18,8 +31,13 @@ func NewSummary() *Summary {
 	return &Summary{Min: math.Inf(1), Max: math.Inf(-1)}
 }
 
-// Add folds one observation into the summary.
+// Add folds one observation into the summary. NaN observations are skipped
+// and counted in NaNs.
 func (s *Summary) Add(x float64) {
+	if math.IsNaN(x) {
+		s.NaNs++
+		return
+	}
 	s.N++
 	d := x - s.mean
 	s.mean += d / float64(s.N)
@@ -30,6 +48,76 @@ func (s *Summary) Add(x float64) {
 	if x > s.Max {
 		s.Max = x
 	}
+}
+
+// Remove reverse-updates the running moments, deleting one previously Added
+// observation — the sliding-window path of the incremental rebuild
+// accumulators. Removing a NaN decrements the NaNs counter. Min and Max
+// cannot be reverse-updated from moments alone, so after a Remove they are
+// high-water marks of everything ever Added, not of the surviving set; use
+// them (or Range) accordingly. Removing from an empty summary panics: it
+// always indicates accumulator corruption.
+func (s *Summary) Remove(x float64) {
+	if math.IsNaN(x) {
+		if s.NaNs <= 0 {
+			panic("stats: Summary.Remove(NaN) with no NaN observations")
+		}
+		s.NaNs--
+		return
+	}
+	if s.N <= 0 {
+		panic("stats: Summary.Remove from empty summary")
+	}
+	if s.N == 1 {
+		s.N, s.mean, s.m2 = 0, 0, 0
+		return
+	}
+	meanOld := (float64(s.N)*s.mean - x) / float64(s.N-1)
+	s.m2 -= (x - meanOld) * (x - s.mean)
+	if s.m2 < 0 {
+		s.m2 = 0 // guard tiny negative round-off
+	}
+	s.mean = meanOld
+	s.N--
+}
+
+// Merge folds another summary into s using the pairwise (Chan et al.)
+// update, making Welford accumulators mergeable across shards or agents.
+// Min/Max and NaNs combine exactly.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil || (o.N == 0 && o.NaNs == 0) {
+		return
+	}
+	s.NaNs += o.NaNs
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		s.N, s.mean, s.m2 = o.N, o.mean, o.m2
+		s.Min, s.Max = o.Min, o.Max
+		return
+	}
+	n := float64(s.N + o.N)
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.N)*float64(o.N)/n
+	s.mean += d * float64(o.N) / n
+	s.N += o.N
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Range returns the observed extremes and whether any (non-NaN) observation
+// exists. Empty summaries report ok == false instead of the ±Inf
+// sentinels, which callers must not print verbatim.
+func (s *Summary) Range() (lo, hi float64, ok bool) {
+	if s.N == 0 {
+		return 0, 0, false
+	}
+	return s.Min, s.Max, true
 }
 
 // Mean returns the running mean (0 for an empty summary).
@@ -54,7 +142,9 @@ func (s *Summary) SampleVariance() float64 {
 // Std returns the population standard deviation.
 func (s *Summary) Std() float64 { return math.Sqrt(s.Variance()) }
 
-// Summarize computes a Summary over a slice.
+// Summarize computes a Summary over a slice. NaN entries are skipped and
+// counted (see Summary); an empty slice yields N == 0, for which Min/Max
+// hold the ±Inf sentinels — consult Range before printing extremes.
 func Summarize(xs []float64) *Summary {
 	s := NewSummary()
 	for _, x := range xs {
