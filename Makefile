@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental equivalence fmt
+.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental bench-drift equivalence fmt
 
 all: vet build test
 
@@ -17,7 +17,7 @@ test:
 # pool, the sharded samplers, and the incremental ingest paths — alone
 # under the race detector for a fast signal.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/dataset/ ./internal/core/
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/dataset/ ./internal/core/ ./internal/health/
 
 # Incremental-vs-full equivalence: refits from sufficient statistics must
 # match from-scratch builds (bit-identical discrete, <= 1e-9 continuous).
@@ -46,6 +46,11 @@ bench-parallel:
 # Regenerate the committed incremental-vs-full rebuild baseline.
 bench-incremental:
 	$(GO) run ./cmd/kertbench -exp incremental -metrics-json BENCH_incremental.json
+
+# Regenerate the committed model-health drift baseline (detection delay and
+# Eq. 5 ε recovery, drift-triggered vs fixed-cadence rebuilds).
+bench-drift:
+	$(GO) run ./cmd/kertbench -exp drift -metrics-json BENCH_drift.json
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,111 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchDriftSnapshot validates the committed model-health drift
+// baseline: BENCH_drift.json must parse as an obs.Snapshot and show the
+// headline behaviour — a clean stationary prefix, detection of the
+// injected shift well inside one construction interval, Equation-5 ε
+// recovering at least as fast as the fixed cadence, and streaming scoring
+// costing under 10% of the monitoring ingest path. Regenerate with
+// `make bench-drift`.
+func TestBenchDriftSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_drift.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-drift`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_drift.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	g := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("baseline is missing gauge %q", name)
+		}
+		return v
+	}
+
+	// No false alarms on the stationary prefix, in either pipeline.
+	if v := g("drift.false_alarms"); v != 0 {
+		t.Errorf("baseline records %v drift rebuilds before the shift, want 0", v)
+	}
+
+	// Detection beats the cadence: the drift rebuild fires within a small
+	// fraction of one construction interval, while the fixed cadence waits
+	// for its next scheduled rebuild.
+	delay, alpha := g("drift.detection_delay_rows"), g("drift.alpha")
+	if delay < 1 || delay > alpha {
+		t.Errorf("detection delay %v rows outside (0, α=%v]", delay, alpha)
+	}
+	if cadence := g("drift.first_rebuild_rows.cadence"); delay >= cadence {
+		t.Errorf("detection delay %v rows not ahead of the cadence's first rebuild at %v rows", delay, cadence)
+	}
+	if v := g("drift.forced_rebuilds"); v < 1 {
+		t.Errorf("baseline records %v forced rebuilds, want >= 1", v)
+	}
+
+	// The acceptance headline: ε recovers at least as fast as fixed
+	// cadence — both the first crossing of the recovery band and the mean
+	// over the whole post-shift horizon.
+	if dr, cr := g("drift.recover_rows.drift"), g("drift.recover_rows.cadence"); dr > cr {
+		t.Errorf("drift-triggered ε recovery at %v rows is slower than fixed cadence at %v rows", dr, cr)
+	}
+	if dm, cm := g("drift.eps_true_mean.drift"), g("drift.eps_true_mean.cadence"); dm > cm {
+		t.Errorf("drift-triggered mean ε %v exceeds fixed-cadence mean ε %v", dm, cm)
+	}
+	if v := g("drift.p_real"); v <= 0 || v >= 1 {
+		t.Errorf("ground-truth exceedance P_real = %v outside (0,1)", v)
+	}
+
+	// Scoring overhead: streaming health scoring must cost < 10% of the
+	// monitoring ingest path (assembly + scoring + ingest + amortized
+	// rebuilds).
+	if v := g("drift.score_overhead_frac"); v <= 0 || v >= 0.10 {
+		t.Errorf("scoring overhead %v of ingest latency, want in (0, 0.10)", v)
+	}
+
+	for _, name := range []string{"health.score.seconds", "monitor.ingest.seconds", "sched.rebuild.seconds"} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("baseline is missing histogram %q", name)
+			continue
+		}
+		if h.Count <= 0 {
+			t.Errorf("histogram %q has no observations", name)
+		}
+	}
+	// Per-node calibration histograms ride along in the snapshot.
+	if h, ok := snap.Histograms["health.pit.D"]; !ok || h.Count <= 0 {
+		t.Errorf("baseline is missing a populated health.pit.D calibration histogram (present=%v)", ok)
+	}
+
+	c := func(name string) int64 {
+		t.Helper()
+		v, ok := snap.Counters[name]
+		if !ok {
+			t.Fatalf("baseline is missing counter %q", name)
+		}
+		return v
+	}
+	if c("sched.drift_rebuilds") < 1 {
+		t.Error("baseline shows no drift-forced reconstructions")
+	}
+	if c("health.drift.alarms") < 1 {
+		t.Error("baseline shows no drift alarms")
+	}
+	if c("health.rows_scored") <= 0 || c("health.holdout_rows") <= 0 {
+		t.Error("baseline shows no scored/holdout rows")
+	}
+}

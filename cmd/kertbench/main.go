@@ -15,7 +15,9 @@
 // parallel-vs-serial inference benchmark whose snapshot is committed as
 // BENCH_parallel.json (regenerate with `make bench-parallel`); -exp
 // incremental runs the incremental-vs-full rebuild benchmark behind
-// BENCH_incremental.json (regenerate with `make bench-incremental`).
+// BENCH_incremental.json (regenerate with `make bench-incremental`);
+// -exp drift runs the model-health drift benchmark behind
+// BENCH_drift.json (regenerate with `make bench-drift`).
 //
 // -metrics-json dumps the internal/obs registry snapshot after the run:
 // per-phase build spans, per-size bench.* histograms (build/learn/infer
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
@@ -174,6 +176,22 @@ func main() {
 			iCfg.Seed = *seed
 		}
 		renderOne(experiments.IncrementalBench(iCfg))
+	}
+	if *exp == "drift" {
+		// Not part of "all" either: the model-health benchmark whose
+		// snapshot is committed as BENCH_drift.json — detection delay and
+		// ε recovery for drift-triggered vs fixed-cadence rebuilds.
+		ok = true
+		dCfg := experiments.DefaultDriftBenchConfig()
+		if *quick {
+			dCfg.PrefixRebuilds = 3
+			dCfg.PostRows = 250
+			dCfg.RealSample = 1500
+		}
+		if *seed != 0 {
+			dCfg.Seed = *seed
+		}
+		renderOne(experiments.DriftBench(dCfg))
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

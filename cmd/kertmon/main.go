@@ -26,11 +26,20 @@
 // the sliding window as rows arrive and each rebuild refits from them
 // (flat cost in window size); -full-rebuild restores the re-scan path.
 //
+// -health attaches the streaming model-health monitor: every assembled row
+// is scored against the live model (per-node log-likelihoods, PIT
+// calibration, CUSUM/Page–Hinkley drift detectors, rolling Equation-5 ε
+// against an online holdout split), each rebuild prints a health line, and
+// the full report is served at /health when -metrics-addr is set.
+// -rebuild-on-drift additionally lets drift alarms force reconstructions
+// ahead of the α cadence, truncating the window to the newest α rows.
+//
 // Usage:
 //
 //	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
 //	        [-metrics-addr 127.0.0.1:8080] [-metrics-json out.json]
 //	        [-decentral=true] [-full-rebuild] [-linger 0s]
+//	        [-health] [-rebuild-on-drift]
 //	        [-fault-drop P -fault-seed N ...]
 package main
 
@@ -46,6 +55,7 @@ import (
 	"kertbn/internal/dataset"
 	"kertbn/internal/decentral"
 	"kertbn/internal/faulty"
+	"kertbn/internal/health"
 	"kertbn/internal/learn"
 	"kertbn/internal/monitor"
 	"kertbn/internal/obs"
@@ -68,6 +78,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "bound concurrent decentralized learners per rebuild (0 = one per CPD, the paper's all-agents-at-once scheme)")
 		retries     = flag.Int("fault-retries", 2, "chaos: per-column ship retry budget during decentralized relearn")
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run")
+		withHealth  = flag.Bool("health", false, "attach a streaming model-health monitor: every row is scored against the live model, drift detectors run per node, and each rebuild prints a health report (served at /health when -metrics-addr is set)")
+		onDrift     = flag.Bool("rebuild-on-drift", false, "let drift alarms force reconstructions ahead of the α-cadence (implies -health)")
 	)
 	faultCfg := faulty.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -144,6 +156,23 @@ func main() {
 	fmt.Printf("schedule: T_CON = %v, window = %d points, %s reconstructions\n",
 		sched.Config().TCon(), sched.Config().WindowPoints(), mode)
 
+	// Optional model-health telemetry: the monitor rides the scheduler's
+	// data path, scoring every row against the live model. Observe-only
+	// with -health; -rebuild-on-drift additionally lets alarms force early
+	// reconstructions (with window truncation, K -> 1).
+	var mon *health.Monitor
+	if *withHealth || *onDrift {
+		mon = health.NewMonitor(health.Config{Seed: *seed})
+		if err := sched.SetHealthPolicy(mon, *onDrift); err != nil {
+			fatal(err.Error())
+		}
+		if *metricsAddr != "" {
+			obs.Default().Handle("/health", mon.Handler())
+			fmt.Println("model-health report served at /health")
+		}
+		fmt.Printf("model health: scoring on (rebuild-on-drift=%v)\n", *onDrift)
+	}
+
 	// Management server over TCP; rows flow into the scheduler.
 	var rebuilds atomic.Int64
 	inner, err := monitor.NewServer(len(cols), func(row []float64) {
@@ -169,6 +198,9 @@ func main() {
 		if err == nil {
 			fmt.Printf("  pAccel(ogsa_dai_remote ->80%%): mean %.3fs, P(D>1.2s)=%.3f\n",
 				acc.Mean(), acc.Exceedance(1.2))
+		}
+		if mon != nil {
+			printHealth(mon, sched)
 		}
 	})
 	if err != nil {
@@ -252,6 +284,10 @@ func main() {
 	}
 	fmt.Printf("\npipeline done: %d requests measured, %d rows assembled, %d reconstructions\n",
 		*requests, inner.CompleteCount(), sched.Rebuilds())
+	if mon != nil {
+		fmt.Println("final model health:")
+		printHealth(mon, sched)
+	}
 	if sched.Model() == nil {
 		fatal("no model was ever built — too few points per interval?")
 	}
@@ -344,6 +380,31 @@ func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int, chaos faul
 		fmt.Printf("  chaos relearn: %s\n", res.Report.String())
 	}
 	return decentral.Install(m.Net, res)
+}
+
+// printHealth prints the monitor's per-rebuild health summary: generation,
+// rolling log-likelihood, Equation-5 ε against the online holdout split,
+// and any drifting nodes.
+func printHealth(mon *health.Monitor, sched *core.Scheduler) {
+	r := mon.Report()
+	eps := "ε undefined (no holdout violations yet)"
+	if r.EpsDefined {
+		eps = fmt.Sprintf("ε %.3f (p_bn %.3f, p_emp %.3f over %d holdout rows)", r.Eps, r.PBN, r.PEmp, r.HoldoutRows)
+	}
+	// Right after a rebuild the rolling window has just reset, so fall back
+	// to the retiring generation's mean.
+	loglik := fmt.Sprintf("mean loglik %.2f", r.MeanLogLik)
+	if r.MeanLogLik == 0 && r.PrevMeanLLSet {
+		loglik = fmt.Sprintf("mean loglik %.2f (gen %d)", r.PrevMeanLogLik, r.Generation-1)
+	} else if r.MeanLogLik == 0 {
+		loglik = "no rows scored yet"
+	}
+	fmt.Printf("  health: gen %d, %d rows scored, %s, %s\n",
+		r.Generation, r.RowsScored, loglik, eps)
+	if r.Drifting {
+		fmt.Printf("  health: DRIFT on %v (%d drift-forced rebuilds so far)\n",
+			r.DriftingNodes, sched.DriftRebuilds())
+	}
 }
 
 func fatal(msg string) {

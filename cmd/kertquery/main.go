@@ -8,6 +8,12 @@
 //	kertquery -data train.csv -model kert -query paccel -service 3 -factor 0.9
 //	kertquery -data train.csv -model kert -query dcomp -service 3
 //	kertquery -data train.csv -model nrt  -query threshold -service 3 -factor 0.9 -h 1.2
+//	kertquery -data fresh.csv -load model.kert -query health
+//
+// The health query audits a model against a dataset offline: every row is
+// scored (per-node log-likelihoods, PIT calibration, drift detectors) and
+// the Equation-5 ε is computed with the whole file as holdout — the
+// one-shot counterpart of kertmon's streaming -health monitor.
 //
 // The workflow is selected with -workflow: "ediamond" (the paper's
 // six-service scenario) or "chain" (all service columns invoked
@@ -23,6 +29,7 @@ import (
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
 	"kertbn/internal/decentral"
+	"kertbn/internal/health"
 	"kertbn/internal/learn"
 	"kertbn/internal/obs"
 	"kertbn/internal/stats"
@@ -35,7 +42,7 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (build spans, query latency) to this file")
 		modelKind   = flag.String("model", "kert", "model to build: kert or nrt")
 		wfKind      = flag.String("workflow", "ediamond", "workflow knowledge: ediamond or chain")
-		query       = flag.String("query", "paccel", "query: dcomp, paccel, threshold, plocal, loglik, dot")
+		query       = flag.String("query", "paccel", "query: dcomp, paccel, threshold, plocal, loglik, health, dot")
 		service     = flag.Int("service", 3, "target service index (dcomp/paccel/threshold)")
 		factor      = flag.Float64("factor", 0.9, "paccel/threshold: predicted elapsed-time factor")
 		h           = flag.Float64("h", 0, "threshold: response-time threshold in seconds")
@@ -194,6 +201,30 @@ func answer(model *core.Model, train *dataset.Dataset, query string, service int
 			fatal(err.Error())
 		}
 		fmt.Printf("log10 P(train | model) = %.3f\n", ll)
+
+	case "health":
+		// One-shot model-health audit: every row of -data is scored against
+		// the model — per-node log-likelihoods, PIT calibration, drift
+		// detectors and the Equation-5 ε with the whole file as holdout.
+		rep, err := health.ScoreDataset(model, train, health.Config{})
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("model health over %d rows (%s model):\n", rep.RowsScored, rep.ModelType)
+		fmt.Printf("  mean row loglik %.3f (natural log)\n", rep.MeanLogLik)
+		if rep.EpsDefined {
+			fmt.Printf("  Equation-5 ε = %.4f at h = %.4f s (P_bn %.4f vs empirical %.4f)\n",
+				rep.Eps, rep.Threshold, rep.PBN, rep.PEmp)
+		} else {
+			fmt.Printf("  Equation-5 ε undefined: no rows exceed h = %.4f s\n", rep.Threshold)
+		}
+		if rep.Drifting {
+			fmt.Printf("  DRIFT detected on %v\n", rep.DriftingNodes)
+		}
+		fmt.Println("  node                    mean_ll   pit_ks  state")
+		for _, n := range rep.Nodes {
+			fmt.Printf("  %-22s  %7.3f  %7.3f  %s\n", n.Name, n.MeanLogLik, n.PITKS, n.State)
+		}
 
 	case "dcomp":
 		observed := map[int]float64{}

@@ -7,10 +7,16 @@
 //	kertsim -system ediamond -n 1200 > train.csv
 //	kertsim -system random -services 30 -n 600 -seed 7 > train.csv
 //	kertsim -system ediamond -des -rate 2.0 -n 500 > loaded.csv
+//	kertsim -system ediamond -n 1200 -shift-at 600 -shift-service 5 > drifted.csv
 //
 // -des switches from the correlated delay sampler to the discrete-event
 // simulator with queueing stations (eDiaMoND only), whose elapsed times
 // include queue waits.
+//
+// -shift-at injects a performance regression partway through a sampler
+// run: rows after the cut are drawn with -shift-service's base delay
+// multiplied by -shift-factor. The result is the canonical input for the
+// model-health drift tooling (kertquery -query health, kertmon -health).
 //
 // The -fault-* family turns the run into a reproducible chaos experiment:
 // after emitting the dataset, the KERT-BN is learned decentrally over a
@@ -51,6 +57,9 @@ func main() {
 		rate        = flag.Float64("rate", 1.0, "DES arrival rate (requests/sec)")
 		warmup      = flag.Int("warmup", 100, "DES warmup requests discarded before recording")
 		workers     = flag.Int("workers", 1, "row-generation workers: >1 draws rows concurrently via per-row seed splitting (deterministic per seed at any count; stream layout differs from -workers 1's sequential walk)")
+		shiftAt     = flag.Int("shift-at", 0, "inject a performance shift after this many rows: the remaining rows are drawn with -shift-service slowed by -shift-factor (sampler systems only; 0 disables)")
+		shiftSvc    = flag.Int("shift-service", 0, "service index whose base delay the shift scales")
+		shiftFactor = flag.Float64("shift-factor", 3, "multiplier applied to the shifted service's base delay")
 		retries     = flag.Int("fault-retries", 2, "chaos: per-column ship retry budget")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
@@ -75,6 +84,9 @@ func main() {
 	if *des || *system == "counts" {
 		if chaos.Active() {
 			fatal("-fault-* chaos runs need a sampler system (ediamond or random)")
+		}
+		if *shiftAt > 0 {
+			fatal("-shift-at needs a sampler system (ediamond or random)")
 		}
 	}
 	if *des {
@@ -132,15 +144,40 @@ func main() {
 	default:
 		fatal(fmt.Sprintf("unknown system %q", *system))
 	}
+	gen := func(rows int) (*dataset.Dataset, error) {
+		if *workers > 1 {
+			return sys.GenerateDatasetParallel(context.Background(), rows, *workers, rng)
+		}
+		return sys.GenerateDataset(rows, rng)
+	}
 	var ds *dataset.Dataset
 	var err error
-	if *workers > 1 {
-		ds, err = sys.GenerateDatasetParallel(context.Background(), *n, *workers, rng)
+	if *shiftAt > 0 {
+		// Drifted dataset: a stationary prefix, then the remaining rows
+		// drawn with one service slowed down — offline fodder for the
+		// model-health drift detectors (kertquery -query health).
+		if *shiftAt >= *n {
+			fatal(fmt.Sprintf("-shift-at %d must leave rows after the shift (n = %d)", *shiftAt, *n))
+		}
+		ds, err = gen(*shiftAt)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if err := sys.ScaleService(*shiftSvc, *shiftFactor); err != nil {
+			fatal(err.Error())
+		}
+		post, err := gen(*n - *shiftAt)
+		if err != nil {
+			fatal(err.Error())
+		}
+		ds.Rows = append(ds.Rows, post.Rows...)
+		fmt.Fprintf(os.Stderr, "shift injected after row %d: service %d base delay x%g\n",
+			*shiftAt, *shiftSvc, *shiftFactor)
 	} else {
-		ds, err = sys.GenerateDataset(*n, rng)
-	}
-	if err != nil {
-		fatal(err.Error())
+		ds, err = gen(*n)
+		if err != nil {
+			fatal(err.Error())
+		}
 	}
 	emit(ds)
 	if chaos.Active() {

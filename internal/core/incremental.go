@@ -273,6 +273,10 @@ type IncrementalKERT struct {
 	stream *dataset.Stream
 	n      int // services
 	dID    int
+	// userCodec records whether the discrete codec was supplied by the
+	// caller (kept across InvalidateStructure) or frozen by the first
+	// Build (dropped, so the geometry refits to the current window).
+	userCodec bool
 
 	// Typed references into the accumulators bound to the stream,
 	// refreshed by the Bind closure on (re)binding.
@@ -313,7 +317,18 @@ func NewIncrementalKERT(cfg KERTConfig, capacity int) (*IncrementalKERT, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &IncrementalKERT{cfg: cfg, stream: st, n: n, dID: n + len(cfg.Resources)}, nil
+	return &IncrementalKERT{cfg: cfg, stream: st, n: n, dID: n + len(cfg.Resources), userCodec: cfg.Codec != nil}, nil
+}
+
+// InvalidateStructure forces the next Build to refit any auto-frozen
+// discretization codec from the buffered window; the KERT structure itself
+// is knowledge-given and never changes, so for continuous models (or a
+// caller-supplied codec) this is a no-op. Changing the codec changes the
+// structure hash, so the accumulators replay automatically.
+func (ik *IncrementalKERT) InvalidateStructure() {
+	if ik.cfg.Type == DiscreteModel && !ik.userCodec {
+		ik.cfg.Codec = nil
+	}
 }
 
 // Ingest folds one data point into the window and every bound accumulator.
@@ -323,6 +338,13 @@ func (ik *IncrementalKERT) Ingest(row []float64) error {
 	}
 	incRowsIngested.Inc()
 	return nil
+}
+
+// TruncateWindow keeps only the newest keep rows, reverse-updating the
+// accumulators for every dropped row — the scheduler's drift-recovery
+// path, which discards data from before a detected environmental change.
+func (ik *IncrementalKERT) TruncateWindow(keep int) (int, error) {
+	return ik.stream.Truncate(keep)
 }
 
 // Len returns the number of buffered points.
@@ -659,6 +681,12 @@ func (in *IncrementalNRT) Ingest(row []float64) error {
 
 // Len returns the number of buffered points.
 func (in *IncrementalNRT) Len() int { return in.stream.Len() }
+
+// TruncateWindow keeps only the newest keep rows, reverse-updating the
+// accumulators for every dropped row (see IncrementalKERT.TruncateWindow).
+func (in *IncrementalNRT) TruncateWindow(keep int) (int, error) {
+	return in.stream.Truncate(keep)
+}
 
 // InvalidateStructure forces the next Build to re-run K2 structure search
 // (and, for discrete models, refit the codec) from the buffered window.

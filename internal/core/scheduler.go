@@ -14,11 +14,15 @@ import (
 // span's histogram — the live view of Equation 1/2's reconstruction
 // scheme.
 var (
-	schedPushed     = obs.C("sched.points_pushed")
-	schedRebuilds   = obs.C("sched.rebuilds")
-	schedFailures   = obs.C("sched.rebuild_failures")
-	schedWindowFill = obs.G("sched.window_fill")
-	schedWindowLen  = obs.G("sched.window_len")
+	schedPushed        = obs.C("sched.points_pushed")
+	schedRebuilds      = obs.C("sched.rebuilds")
+	schedFailures      = obs.C("sched.rebuild_failures")
+	schedWindowFill    = obs.G("sched.window_fill")
+	schedWindowLen     = obs.G("sched.window_len")
+	schedRebuildsG     = obs.G("sched.rebuilds_done")
+	schedLastBuildG    = obs.G("sched.last_build_seconds")
+	schedHoldout       = obs.C("sched.holdout_rows")
+	schedDriftRebuilds = obs.C("sched.drift_rebuilds")
 )
 
 // ScheduleConfig encodes Section 2's periodic model-(re)construction
@@ -113,6 +117,46 @@ type IncrementalBuilder interface {
 	Len() int
 }
 
+// HealthPolicy is the hook through which a model-health monitor (see
+// internal/health) rides the scheduler's data path without core depending
+// on it. The scheduler calls SetModel after every successful
+// reconstruction, Observe for every pushed row once a model exists
+// (withholding rows Observe marks as holdout from the training window),
+// and — only when RebuildOnDrift is enabled — ConsumeAlarm to learn
+// whether a drift alarm should force an early reconstruction.
+type HealthPolicy interface {
+	// SetModel is told about each newly deployed model.
+	SetModel(m *Model) error
+	// Observe scores one raw row; holdout=true means the row must be
+	// withheld from model training (it belongs to the online holdout split
+	// the policy evaluates ε on).
+	Observe(row []float64) (holdout bool, err error)
+	// ConsumeAlarm returns true at most once per drift alarm.
+	ConsumeAlarm() bool
+}
+
+// StructureInvalidator is implemented by incremental builders whose cached
+// structure (learned DAG, frozen discretization codec) can be forced to
+// refit on the next Build — what a drift-triggered reconstruction wants,
+// since drift means the cached structure itself is suspect.
+type StructureInvalidator interface {
+	InvalidateStructure()
+}
+
+// WindowTruncator is implemented by incremental builders that can drop
+// their oldest buffered rows while keeping accumulators consistent (see
+// dataset.Stream.Truncate). The drift-triggered reconstruction path uses
+// it: Equation 1's window W = K·T_CON rests on the assumption that the
+// last K construction intervals remain correlated with the present, and a
+// drift alarm is direct evidence that assumption just broke — so the
+// window collapses to the most recent interval (K = 1) and refills with
+// post-change traffic.
+type WindowTruncator interface {
+	// TruncateWindow keeps only the newest keep rows, reporting how many
+	// were dropped.
+	TruncateWindow(keep int) (dropped int, err error)
+}
+
 // Scheduler drives periodic reconstruction in "data time": every Alpha
 // pushed points one construction fires over the sliding window. Counting
 // points instead of wall-clock keeps experiments deterministic; the monitor
@@ -135,6 +179,12 @@ type Scheduler struct {
 	// lastBuild records the wall-clock duration of the most recent
 	// reconstruction (informational).
 	lastBuild time.Duration
+
+	// health, when set, observes every row once a model exists; with
+	// rebuildOnDrift enabled its drift alarms force early reconstructions.
+	health         HealthPolicy
+	rebuildOnDrift bool
+	driftRebuilds  int
 }
 
 // NewScheduler creates a scheduler over the given column layout.
@@ -177,6 +227,26 @@ func NewSchedulerIncremental(cfg ScheduleConfig, ib IncrementalBuilder) (*Schedu
 func (s *Scheduler) Push(row []float64) (*Model, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Model-health scoring rides in front of ingestion: once a model is
+	// deployed every row is scored, and rows the policy claims for its
+	// online holdout split never enter the training window.
+	drift := false
+	if s.health != nil && s.model != nil {
+		holdout, err := s.health.Observe(row)
+		if err != nil {
+			return nil, fmt.Errorf("core: health policy: %w", err)
+		}
+		if holdout {
+			schedHoldout.Inc()
+			s.exportGaugesLocked()
+			return nil, nil
+		}
+		if s.rebuildOnDrift {
+			drift = s.health.ConsumeAlarm()
+		}
+	}
+
 	if s.inc != nil {
 		if err := s.inc.Ingest(row); err != nil {
 			return nil, err
@@ -186,10 +256,25 @@ func (s *Scheduler) Push(row []float64) (*Model, error) {
 	}
 	s.pushed++
 	schedPushed.Inc()
-	schedWindowLen.Set(float64(s.windowLenLocked()))
-	schedWindowFill.Set(float64(s.windowLenLocked()) / float64(s.cfg.WindowPoints()))
-	if s.pushed%s.cfg.Alpha != 0 {
+	s.exportGaugesLocked()
+	if s.pushed%s.cfg.Alpha != 0 && !drift {
 		return nil, nil
+	}
+	if drift {
+		// A drift alarm means the deployed model no longer explains the
+		// traffic: rebuild now rather than waiting out T_CON, force cached
+		// structure (learned DAG / frozen codec) to refit, and drop window
+		// rows older than one construction interval — the correlation
+		// premise behind W = K·T_CON is void once a change is detected, so
+		// K collapses to 1 and the window refills with fresh traffic.
+		s.driftRebuilds++
+		schedDriftRebuilds.Inc()
+		if inv, ok := s.inc.(StructureInvalidator); ok {
+			inv.InvalidateStructure()
+		}
+		if err := s.truncateWindowLocked(s.cfg.Alpha); err != nil {
+			return nil, fmt.Errorf("core: drift window truncation: %w", err)
+		}
 	}
 	sp := obs.StartSpan("sched.rebuild")
 	start := time.Now()
@@ -209,7 +294,65 @@ func (s *Scheduler) Push(row []float64) (*Model, error) {
 	s.model = m
 	s.rebuilt++
 	schedRebuilds.Inc()
+	s.exportGaugesLocked()
+	if s.health != nil {
+		if herr := s.health.SetModel(m); herr != nil {
+			return m, fmt.Errorf("core: health policy rejected model %d: %w", s.rebuilt, herr)
+		}
+	}
 	return m, nil
+}
+
+// truncateWindowLocked keeps only the newest keep window rows, through the
+// incremental builder's accumulator-consistent path when one is attached.
+func (s *Scheduler) truncateWindowLocked(keep int) error {
+	if s.inc != nil {
+		if tr, ok := s.inc.(WindowTruncator); ok {
+			_, err := tr.TruncateWindow(keep)
+			return err
+		}
+		return nil
+	}
+	s.window.DropOldest(s.window.Len() - keep)
+	return nil
+}
+
+// exportGaugesLocked publishes the scheduler state gauges — window
+// occupancy, rebuild count and last build duration — so /metrics always
+// reflects the live reconstruction scheme.
+func (s *Scheduler) exportGaugesLocked() {
+	wl := s.windowLenLocked()
+	schedWindowLen.Set(float64(wl))
+	schedWindowFill.Set(float64(wl) / float64(s.cfg.WindowPoints()))
+	schedRebuildsG.Set(float64(s.rebuilt))
+	schedLastBuildG.Set(s.lastBuild.Seconds())
+}
+
+// SetHealthPolicy attaches a model-health policy (observe-only when
+// rebuildOnDrift is false). With rebuildOnDrift enabled, a consumed drift
+// alarm forces an immediate reconstruction ahead of the fixed α-cadence,
+// with structure invalidation on incremental builders and the window
+// truncated to the most recent construction interval (see WindowTruncator). If a model is
+// already deployed the policy is told about it immediately.
+func (s *Scheduler) SetHealthPolicy(p HealthPolicy, rebuildOnDrift bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health = p
+	s.rebuildOnDrift = rebuildOnDrift && p != nil
+	if p != nil && s.model != nil {
+		if err := p.SetModel(s.model); err != nil {
+			return fmt.Errorf("core: health policy rejected current model: %w", err)
+		}
+	}
+	return nil
+}
+
+// DriftRebuilds returns how many reconstructions were forced by drift
+// alarms (always ≤ Rebuilds()).
+func (s *Scheduler) DriftRebuilds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.driftRebuilds
 }
 
 // Model returns the most recently constructed model (nil before the first

@@ -191,6 +191,28 @@ func (w *Window) Push(row []float64) (evicted []float64, err error) {
 // Len returns the number of buffered rows.
 func (w *Window) Len() int { return w.count }
 
+// DropOldest removes up to n of the oldest buffered rows and returns them,
+// oldest first — the same order Push evicts in, so streaming accumulators
+// can reverse-update for each dropped row. Used by the drift-triggered
+// reconstruction path, where data from before a detected change no longer
+// describes the environment.
+func (w *Window) DropOldest(n int) [][]float64 {
+	if n > w.count {
+		n = w.count
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, w.rows[w.start])
+		w.rows[w.start] = nil
+		w.start = (w.start + 1) % w.Capacity
+		w.count--
+	}
+	return out
+}
+
 // Snapshot copies the window contents, oldest first, into a Dataset.
 func (w *Window) Snapshot() *Dataset {
 	d := New(w.Columns)

@@ -94,6 +94,30 @@ func (s *Stream) Bind(hash uint64, build func() ([]Accumulator, error)) (rebuilt
 	return true, nil
 }
 
+// Truncate drops all but the newest keep rows from the window,
+// reverse-updating every bound accumulator for each dropped row (oldest
+// first, the order eviction uses), and reports how many rows were dropped.
+// After Truncate the accumulators still summarize exactly the buffered
+// rows. This is the drift-recovery path: a detected environmental change
+// invalidates data older than the change, so the window shrinks and
+// refills with fresh traffic.
+func (s *Stream) Truncate(keep int) (dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keep < 0 {
+		keep = 0
+	}
+	rows := s.win.DropOldest(s.win.Len() - keep)
+	for _, row := range rows {
+		for _, a := range s.accs {
+			if err := a.RemoveRow(row); err != nil {
+				return len(rows), fmt.Errorf("dataset: accumulator remove on truncate: %w", err)
+			}
+		}
+	}
+	return len(rows), nil
+}
+
 // Bound reports whether accumulators are installed and under which hash.
 func (s *Stream) Bound() (hash uint64, ok bool) {
 	s.mu.Lock()

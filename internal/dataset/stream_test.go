@@ -104,3 +104,61 @@ func TestStreamConcurrentIngestAndView(t *testing.T) {
 		t.Fatalf("snapshot rows %d, want %d", got, capacity)
 	}
 }
+
+// TestStreamTruncate: dropping the oldest rows must reverse-update bound
+// accumulators so they keep summarizing exactly the buffered window, must
+// preserve FIFO order (oldest rows leave first), and must keep the ring
+// consistent for subsequent pushes.
+func TestStreamTruncate(t *testing.T) {
+	s, err := NewStream([]string{"v"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := &sumAcc{}
+	if _, err := s.Bind(1, func() ([]Accumulator, error) { return []Accumulator{acc}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Push 8 rows through a 6-row window: contents {3..8}, sum 33.
+	for i := 1; i <= 8; i++ {
+		if err := s.Push([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := s.Truncate(2) // keep {7,8}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 4 {
+		t.Fatalf("dropped %d rows, want 4", dropped)
+	}
+	if s.Len() != 2 || acc.rows != 2 || acc.sum != 15 {
+		t.Fatalf("after truncate len=%d acc={sum %g rows %d}, want 2/{15 2}", s.Len(), acc.sum, acc.rows)
+	}
+	snap := s.Snapshot()
+	if snap.Rows[0][0] != 7 || snap.Rows[1][0] != 8 {
+		t.Fatalf("kept rows %v, want newest {7,8} oldest-first", snap.Rows)
+	}
+	// The ring stays usable: refill past capacity again.
+	for i := 9; i <= 14; i++ {
+		if err := s.Push([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 6 || acc.rows != 6 {
+		t.Fatalf("after refill len=%d acc rows=%d, want 6/6", s.Len(), acc.rows)
+	}
+	want := 9.0 + 10 + 11 + 12 + 13 + 14
+	if acc.sum != want {
+		t.Fatalf("refilled sum %g, want %g", acc.sum, want)
+	}
+	// Truncating below zero or beyond the window is clamped, not an error.
+	if n, err := s.Truncate(100); err != nil || n != 0 {
+		t.Fatalf("over-keep truncate: dropped=%d err=%v, want 0/nil", n, err)
+	}
+	if n, err := s.Truncate(-1); err != nil || n != 6 {
+		t.Fatalf("negative keep: dropped=%d err=%v, want 6/nil", n, err)
+	}
+	if s.Len() != 0 || acc.rows != 0 || acc.sum != 0 {
+		t.Fatalf("after full truncate len=%d acc={%g %d}, want empty", s.Len(), acc.sum, acc.rows)
+	}
+}

@@ -1,0 +1,28 @@
+// Package health is the model-observability layer: where internal/obs
+// watches the *system* (latencies, counters, spans), health watches the
+// *model* — how well the currently deployed KERT-BN/NRT-BN still explains
+// the live traffic.
+//
+// The paper's reconstruction scheme (Section 2) rebuilds the model every
+// T_CON because models go stale; this package supplies the missing signal
+// for *whether* the current model has actually gone stale:
+//
+//   - Scorer computes per-row, per-node log-likelihood terms under the
+//     live model — the per-service CPD terms plus the Equation-4 D-node
+//     term, the same family decomposition internal/learn fits — and PIT
+//     (probability integral transform) calibration values per node.
+//   - Monitor maintains rolling windows of those scores, per-node PIT
+//     calibration histograms, and a rolling Equation-5 threshold-violation
+//     error ε measured against an online holdout split (every k-th row is
+//     scored but withheld from training).
+//   - Per-node CUSUM and Page–Hinkley detectors watch the log-likelihood
+//     streams for the sustained drops that mark concept drift, with
+//     deterministic thresholds self-calibrated from a warmup segment.
+//
+// Everything is exported through internal/obs (health.* counters/gauges/
+// histograms) and served as one JSON document at /health beside /metrics
+// (obs.Registry.Handle). core.Scheduler accepts a Monitor as its
+// HealthPolicy: observe-only by default, and with RebuildOnDrift enabled a
+// drift alarm forces an early reconstruction (plus structure invalidation
+// on incremental builders) ahead of the fixed T_CON cadence.
+package health

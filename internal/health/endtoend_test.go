@@ -1,0 +1,171 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"kertbn/internal/core"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+// TestDriftEndToEnd is the full pipeline satellite: a seeded simsvc stream
+// with a known mid-stream workload shift flows through a Scheduler running
+// an incremental KERT builder with a Monitor attached as RebuildOnDrift
+// health policy. The test pins three behaviours:
+//
+//  1. no drift-forced rebuild fires on the stationary prefix (no false
+//     alarms at the default thresholds);
+//  2. after the injected shift, a drift rebuild fires within a bounded
+//     delay — well inside one construction interval, which is the whole
+//     point of drift-triggered reconstruction;
+//  3. the rebuild restores health: a full post-recovery construction
+//     interval passes with no further drift alarm, i.e. the refreshed
+//     model explains the shifted traffic.
+//
+// Everything is seeded (stats.NewRNG + Split), so the trajectory — alarm
+// rows included — is bit-reproducible.
+func TestDriftEndToEnd(t *testing.T) {
+	sys := simsvc.EDiaMoNDSystem()
+	rng := stats.NewRNG(123)
+
+	schedCfg := core.ScheduleConfig{TData: time.Second, Alpha: 60, K: 3}
+	ib, err := core.NewIncrementalKERT(core.KERTConfig{Workflow: sys.Workflow}, schedCfg.WindowPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewSchedulerIncremental(schedCfg, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thresholds are a notch above the package defaults: early generations
+	// train on as few as 60 rows, and such weak models legitimately score
+	// a little below their own warmup reference. The injected shift is
+	// dozens of σ₀ per row (winsorized to 8), so detection stays fast.
+	mon := NewMonitor(Config{
+		Seed:         9,
+		HoldoutEvery: 10,
+		Detector:     DetectorConfig{Warmup: 30, CUSUMThreshold: 16, PHLambda: 28},
+	})
+	if err := sched.SetHealthPolicy(mon, true); err != nil {
+		t.Fatal(err)
+	}
+
+	push := func() {
+		t.Helper()
+		row, err := sys.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sched.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stationary prefix: run through five cadence rebuilds, then 35 rows
+	// into the sixth interval so the live generation's detectors are past
+	// warmup when the shift lands.
+	pushed := 0
+	for sched.Rebuilds() < 5 {
+		push()
+		pushed++
+		if pushed > 1000 {
+			t.Fatal("cadence rebuilds never reached 5")
+		}
+	}
+	for i := 0; i < 35; i++ {
+		push()
+	}
+	if got := sched.DriftRebuilds(); got != 0 {
+		t.Fatalf("%d drift rebuilds on the stationary prefix, want 0", got)
+	}
+
+	// Inject the shift: the slowest service triples its mean delay.
+	if err := sys.ScaleService(5, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	detectDelay := -1
+	for i := 0; i < 120; i++ {
+		push()
+		if sched.DriftRebuilds() > 0 {
+			detectDelay = i + 1
+			break
+		}
+	}
+	if detectDelay < 0 {
+		t.Fatal("no drift rebuild within 120 rows of the shift")
+	}
+	if detectDelay > 40 {
+		t.Errorf("detection delay %d rows, want <= 40 (cadence alone would need up to %d)", detectDelay, schedCfg.Alpha)
+	}
+
+	// Recovery: let reconstruction absorb the shifted distribution, then
+	// verify one full construction interval passes alarm-free.
+	rebuilds := sched.Rebuilds()
+	pushed = 0
+	for sched.Rebuilds() < rebuilds+3 {
+		push()
+		pushed++
+		if pushed > 1000 {
+			t.Fatal("recovery rebuilds never completed")
+		}
+	}
+	quietStart := sched.DriftRebuilds()
+	for i := 0; i < 70; i++ {
+		push()
+	}
+	if got := sched.DriftRebuilds(); got != quietStart {
+		t.Errorf("%d new drift rebuilds after recovery, want 0 (model should explain shifted traffic)", got-quietStart)
+	}
+
+	r := mon.Report()
+	if r.Generation < 8 {
+		t.Errorf("generation %d at end of run, want >= 8", r.Generation)
+	}
+	if !r.EpsDefined {
+		t.Error("ε undefined at end of run despite a populated holdout split")
+	}
+	if r.Drifting {
+		t.Errorf("monitor still drifting after recovery: nodes %v", r.DriftingNodes)
+	}
+}
+
+// TestSchedulerWithholdsHoldoutRows: rows the policy flags as holdout must
+// never enter the training window.
+func TestSchedulerWithholdsHoldoutRows(t *testing.T) {
+	sys := simsvc.EDiaMoNDSystem()
+	rng := stats.NewRNG(3)
+	schedCfg := core.ScheduleConfig{TData: time.Second, Alpha: 40, K: 10}
+	ib, err := core.NewIncrementalKERT(core.KERTConfig{Workflow: sys.Workflow}, schedCfg.WindowPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewSchedulerIncremental(schedCfg, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(Config{HoldoutEvery: 5, Detector: DetectorConfig{Warmup: 1 << 30}})
+	if err := sched.SetHealthPolicy(mon, false); err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	for i := 0; i < total; i++ {
+		row, err := sys.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sched.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first 40 rows train unscored (no model yet); afterwards every
+	// 5th scored row is held out, so the window must hold fewer than the
+	// total pushed.
+	holdouts := mon.Report().HoldoutRows
+	if holdouts == 0 {
+		t.Fatal("no holdout rows selected")
+	}
+	if got, want := sched.WindowLen(), total-int(holdouts); got != want {
+		t.Errorf("window holds %d rows, want %d (= %d pushed - %d holdout)", got, want, total, holdouts)
+	}
+}

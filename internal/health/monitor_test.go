@@ -1,0 +1,181 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"kertbn/internal/core"
+	"kertbn/internal/dataset"
+	"kertbn/internal/obs"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+func TestMonitorObserveBeforeModel(t *testing.T) {
+	m := NewMonitor(Config{})
+	if _, err := m.Observe([]float64{1, 2, 3}); err != ErrNoModel {
+		t.Errorf("Observe before SetModel: err = %v, want ErrNoModel", err)
+	}
+}
+
+// TestMonitorHoldoutAndEps: with HoldoutEvery=k every k-th row is flagged
+// holdout, feeds the ε ring, and ε becomes defined once violations appear.
+func TestMonitorHoldoutAndEps(t *testing.T) {
+	model, rows := buildTestModel(t, core.ContinuousModel)
+	m := NewMonitor(Config{HoldoutEvery: 4, Detector: DetectorConfig{Warmup: 1 << 30}})
+	if err := m.SetModel(model); err != nil {
+		t.Fatal(err)
+	}
+	holdouts := 0
+	for _, row := range rows {
+		h, err := m.Observe(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h {
+			holdouts++
+		}
+	}
+	if want := len(rows) / 4; holdouts != want {
+		t.Errorf("%d holdout rows, want %d", holdouts, want)
+	}
+	r := m.Report()
+	if r.HoldoutRows != int64(holdouts) {
+		t.Errorf("report holdout rows %d != %d", r.HoldoutRows, holdouts)
+	}
+	if r.Threshold <= 0 {
+		t.Errorf("auto-calibrated threshold %g, want > 0", r.Threshold)
+	}
+	// The threshold is the model's p95, so ~5%% of the 50 holdout rows
+	// should violate it — enough for ε to be defined on this seed.
+	if !r.EpsDefined {
+		t.Errorf("ε undefined after %d holdout rows (p_emp=%g)", holdouts, r.PEmp)
+	}
+	if r.Eps < 0 || r.Eps > 3 {
+		t.Errorf("ε = %g, implausible for in-distribution data", r.Eps)
+	}
+	if r.RowsScored != int64(len(rows)) {
+		t.Errorf("rows scored %d, want %d (holdout rows are scored too)", r.RowsScored, len(rows))
+	}
+}
+
+// TestMonitorThresholdFixedAcrossGenerations: an auto-calibrated threshold
+// freezes at generation 1 so ε stays comparable across model swaps.
+func TestMonitorThresholdFixedAcrossGenerations(t *testing.T) {
+	model, _ := buildTestModel(t, core.ContinuousModel)
+	m := NewMonitor(Config{})
+	if err := m.SetModel(model); err != nil {
+		t.Fatal(err)
+	}
+	h1 := m.Threshold()
+	if err := m.SetModel(model); err != nil {
+		t.Fatal(err)
+	}
+	if h2 := m.Threshold(); h2 != h1 {
+		t.Errorf("threshold moved across generations: %g -> %g", h1, h2)
+	}
+	if r := m.Report(); r.Generation != 2 {
+		t.Errorf("generation %d after two SetModel calls, want 2", r.Generation)
+	}
+}
+
+// TestMonitorHandlerServesReport: the /health handler returns the full
+// report as JSON, servable from the obs introspection mux.
+func TestMonitorHandlerServesReport(t *testing.T) {
+	model, rows := buildTestModel(t, core.ContinuousModel)
+	m := NewMonitor(Config{HoldoutEvery: 5})
+	if err := m.SetModel(model); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows[:60] {
+		if _, err := m.Observe(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	handler := reg.Handler()
+	reg.Handle("/health", m.Handler())
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/health", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/health status %d", rec.Code)
+	}
+	var r Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatalf("/health body is not a Report: %v\n%s", err, rec.Body.String())
+	}
+	if r.Generation != 1 || r.RowsScored != 60 || r.ModelType != "continuous" {
+		t.Errorf("served report gen=%d rows=%d type=%q, want 1/60/continuous", r.Generation, r.RowsScored, r.ModelType)
+	}
+	if len(r.Nodes) != model.Net.N() {
+		t.Errorf("served %d node entries, want %d", len(r.Nodes), model.Net.N())
+	}
+	for _, n := range r.Nodes {
+		if n.State != "warmup" && n.State != "ok" && n.State != "drift" {
+			t.Errorf("node %s: bad state %q", n.Name, n.State)
+		}
+	}
+}
+
+// TestScoreDataset exercises the one-shot kertquery path on both model
+// flavors.
+func TestScoreDataset(t *testing.T) {
+	for _, mt := range []core.ModelType{core.ContinuousModel, core.DiscreteModel} {
+		model, rows := buildTestModel(t, mt)
+		ds := &dataset.Dataset{Columns: model.Net.Names(), Rows: rows}
+		r, err := ScoreDataset(model, ds, Config{})
+		if err != nil {
+			t.Fatalf("%v: ScoreDataset: %v", mt, err)
+		}
+		if r.RowsScored != int64(len(rows)) || r.HoldoutRows != int64(len(rows)) {
+			t.Errorf("%v: scored=%d holdout=%d, want both %d", mt, r.RowsScored, r.HoldoutRows, len(rows))
+		}
+		if r.MeanLogLik == 0 {
+			t.Errorf("%v: zero mean log-likelihood over %d rows", mt, len(rows))
+		}
+		if !r.EpsDefined {
+			t.Errorf("%v: ε undefined over the full dataset", mt)
+		}
+	}
+}
+
+// TestMonitorDeterministic: two monitors fed the same stream report
+// identical health state — the stats.RNG.Split determinism contract
+// extended to the telemetry layer.
+func TestMonitorDeterministic(t *testing.T) {
+	run := func() string {
+		sys := simsvc.EDiaMoNDSystem()
+		rng := stats.NewRNG(11)
+		train, err := sys.GenerateDataset(300, rng.Split(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := core.BuildKERT(core.KERTConfig{Workflow: sys.Workflow}, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMonitor(Config{Seed: 5, HoldoutEvery: 7, Detector: DetectorConfig{Warmup: 25}})
+		if err := m.SetModel(model); err != nil {
+			t.Fatal(err)
+		}
+		eval, err := sys.GenerateDataset(150, rng.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range eval.Rows {
+			if _, err := m.Observe(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, err := json.Marshal(m.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("monitor not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

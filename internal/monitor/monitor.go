@@ -164,7 +164,13 @@ func NewServer(numColumns int, sink RowSink) (*Server, error) {
 }
 
 // Send implements Sender, accepting a report directly (in-process path).
+// Each call is timed into the "monitor.ingest.seconds" histogram — the
+// end-to-end ingest latency (row assembly plus whatever the sink does,
+// model-health scoring and rebuilds included) that the health package's
+// "health.score.seconds" overhead is judged against.
 func (s *Server) Send(r Report) error {
+	sp := obs.StartSpan("monitor.ingest")
+	defer sp.End()
 	monBatches.Inc()
 	monMeasures.Add(int64(len(r.Batch)))
 	s.mu.Lock()

@@ -7,7 +7,40 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 )
+
+// Handle registers an extra route served by Handler() beside the built-in
+// ones — how subsystems with their own live views (e.g. the /health model
+// telemetry endpoint) join the introspection mux without obs depending on
+// them. Routes are matched dynamically, so registration order relative to
+// Handler()/Serve() does not matter; registering a path twice replaces the
+// handler.
+func (r *Registry) Handle(path string, h http.Handler) {
+	r.mu.Lock()
+	r.routes[path] = h
+	r.mu.Unlock()
+}
+
+// route looks up a registered extra route.
+func (r *Registry) route(path string) (http.Handler, bool) {
+	r.mu.RLock()
+	h, ok := r.routes[path]
+	r.mu.RUnlock()
+	return h, ok
+}
+
+// routePaths returns the registered extra paths, sorted.
+func (r *Registry) routePaths() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.routes))
+	for p := range r.routes {
+		out = append(out, p)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
 
 // Handler returns the live introspection endpoint:
 //
@@ -16,6 +49,8 @@ import (
 //	/spans         recent completed spans, oldest-first (JSON)
 //	/debug/vars    expvar (cmdline, memstats)
 //	/debug/pprof/  net/http/pprof profiles
+//
+// plus any routes added with Handle (e.g. /health).
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -39,6 +74,10 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if h, ok := r.route(req.URL.Path); ok {
+			h.ServeHTTP(w, req)
+			return
+		}
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
@@ -48,6 +87,9 @@ func (r *Registry) Handler() http.Handler {
 		fmt.Fprintln(w, "  /spans         recent spans (JSON)")
 		fmt.Fprintln(w, "  /debug/vars    expvar")
 		fmt.Fprintln(w, "  /debug/pprof/  pprof profiles")
+		for _, p := range r.routePaths() {
+			fmt.Fprintf(w, "  %-14s registered route\n", p)
+		}
 	})
 	return mux
 }

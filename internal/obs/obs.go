@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -21,6 +22,11 @@ func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter. Intended for test isolation and per-window
+// health reports over the process-global registry; production counters are
+// normally monotonic.
+func (c *Counter) Reset() { c.v.Store(0) }
 
 // Gauge is an atomically settable float value (last write wins).
 type Gauge struct{ bits atomic.Uint64 }
@@ -114,6 +120,22 @@ func atomicMaxFloat(bits *atomic.Uint64, v float64) {
 			return
 		}
 	}
+}
+
+// Reset discards every observation, returning the histogram to its
+// freshly created state (bucket bounds are kept). Concurrent Observe calls
+// during a Reset are not torn — each atomic field resets independently —
+// but may land partially before and partially after it; reset only once
+// writers have quiesced when exact zeroing matters.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.overflow.Store(0)
+	h.count.Store(0)
+	h.sumBits.Store(math.Float64bits(0))
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 }
 
 // Count returns the number of observations.
@@ -224,6 +246,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	routes   map[string]http.Handler
 	ring     *spanRing
 	spanID   atomic.Uint64
 }
@@ -234,6 +257,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		routes:   map[string]http.Handler{},
 		ring:     newSpanRing(512),
 	}
 }
@@ -298,6 +322,38 @@ func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
 	h = newHistogram(bounds)
 	r.hists[name] = h
 	return h
+}
+
+// Reset zeroes every registered metric in place and clears the span ring.
+// Registered Counter/Gauge/Histogram pointers stay valid — packages hold
+// them in top-level vars, so metrics are never dropped from the maps, only
+// zeroed. This is how tests and per-rebuild health reports read deltas off
+// the process-global registry without cross-test/cross-window bleed.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+	for _, c := range counters {
+		c.Reset()
+	}
+	for _, g := range gauges {
+		g.Set(0)
+	}
+	for _, h := range hists {
+		h.Reset()
+	}
+	r.ring.reset()
 }
 
 // Bucket is one non-empty histogram bucket in a snapshot: Count samples

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryReset checks that Reset zeroes every metric in place: the
+// pointers packages captured keep working, values return to their initial
+// state, and the span ring empties.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	g := r.Gauge("x.gauge")
+	h := r.Histogram("x.hist")
+	c.Add(7)
+	g.Set(3.5)
+	h.Observe(0.25)
+	h.Observe(4)
+	sp := r.StartSpan("x.span")
+	sp.End()
+
+	r.Reset()
+
+	if v := c.Value(); v != 0 {
+		t.Errorf("counter after Reset = %d, want 0", v)
+	}
+	if v := g.Value(); v != 0 {
+		t.Errorf("gauge after Reset = %g, want 0", v)
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("histogram after Reset: count=%d sum=%g, want zeros", h.Count(), h.Sum())
+	}
+	if got := h.Min(); got != 0 {
+		t.Errorf("histogram Min after Reset = %g, want 0 (no observations)", got)
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Errorf("histogram Quantile after Reset = %g, want NaN", h.Quantile(0.5))
+	}
+	if n := len(r.RecentSpans()); n != 0 {
+		t.Errorf("span ring holds %d spans after Reset, want 0", n)
+	}
+	snap := r.Snapshot()
+	if snap.SpansRecorded != 0 {
+		t.Errorf("SpansRecorded after Reset = %d, want 0", snap.SpansRecorded)
+	}
+
+	// The same pointers must accept new observations after the reset.
+	c.Inc()
+	h.Observe(1)
+	if c.Value() != 1 || h.Count() != 1 {
+		t.Errorf("metrics dead after Reset: counter=%d hist count=%d", c.Value(), h.Count())
+	}
+	// The old histogram stays registered under its name (not replaced).
+	if r.Histogram("x.hist") != h {
+		t.Error("Reset replaced the registered histogram pointer")
+	}
+}
+
+// TestMetricsScrapeRace scrapes /metrics (and Reset) concurrently with
+// counter, gauge and histogram writes; run under -race this proves the
+// snapshot path never tears against live recording.
+func TestMetricsScrapeRace(t *testing.T) {
+	r := NewRegistry()
+	handler := r.Handler()
+	const writers = 4
+	const perWriter = 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("race.count")
+			g := r.Gauge("race.gauge")
+			h := r.Histogram("race.hist")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) / 100)
+				sp := r.StartSpan("race.span")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			if rec.Code != 200 {
+				t.Errorf("scrape %d: status %d", i, rec.Code)
+				return
+			}
+			var snap Snapshot
+			if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+				t.Errorf("scrape %d: bad JSON: %v", i, err)
+				return
+			}
+			if i == 25 {
+				r.Reset() // resets must also be safe against live writers
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestHandlerExtraRoutes verifies Handle-registered routes are served by
+// the introspection mux beside the built-ins and listed on the index page.
+func TestHandlerExtraRoutes(t *testing.T) {
+	r := NewRegistry()
+	handler := r.Handler() // build before Handle: registration is dynamic
+	r.Handle("/health", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/health", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "\"ok\":true") {
+		t.Errorf("registered route not served: status %d body %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(rec.Body.String(), "/health") {
+		t.Errorf("index page does not list the registered route:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("unregistered path served with status %d, want 404", rec.Code)
+	}
+}

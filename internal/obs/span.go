@@ -86,6 +86,15 @@ func (r *spanRing) push(rec SpanRecord) {
 	r.mu.Unlock()
 }
 
+// reset clears the buffered spans and the recorded total.
+func (r *spanRing) reset() {
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.head = 0
+	r.total = 0
+	r.mu.Unlock()
+}
+
 func (r *spanRing) totalRecorded() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()

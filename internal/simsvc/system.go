@@ -73,6 +73,26 @@ func (d DelayDist) Mean() float64 {
 	}
 }
 
+// Scaled returns the distribution with its mean multiplied by factor,
+// keeping the shape family fixed — the primitive behind mid-stream
+// workload shifts in drift experiments.
+func (d DelayDist) Scaled(factor float64) DelayDist {
+	switch d.Kind {
+	case DistGamma:
+		d.B *= factor // mean = A·B
+	case DistLogNormal:
+		d.A += math.Log(factor) // mean = exp(A + B²/2)
+	case DistExponential:
+		d.A /= factor // mean = 1/A
+	case DistUniform, DistNormalPos:
+		d.A *= factor
+		d.B *= factor
+	default:
+		panic(fmt.Sprintf("simsvc: unknown distribution kind %d", d.Kind))
+	}
+	return d
+}
+
 // ServiceSpec describes one simulated service's delay behaviour.
 type ServiceSpec struct {
 	Name string
@@ -133,6 +153,22 @@ func (s *System) Validate() error {
 			}
 		}
 	}
+	return nil
+}
+
+// ScaleService multiplies service svc's base delay mean by factor in
+// place — the mid-stream workload/capacity shift drift experiments inject
+// (factor > 1: the service slows down; factor < 1: it speeds up). The
+// shape family and every other service are untouched, so the shift is
+// exactly localized.
+func (s *System) ScaleService(svc int, factor float64) error {
+	if svc < 0 || svc >= len(s.Services) {
+		return fmt.Errorf("simsvc: service index %d out of range [0,%d)", svc, len(s.Services))
+	}
+	if factor <= 0 {
+		return fmt.Errorf("simsvc: scale factor %g must be positive", factor)
+	}
+	s.Services[svc].Base = s.Services[svc].Base.Scaled(factor)
 	return nil
 }
 
