@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental bench-drift equivalence fmt
+.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental bench-drift bench-trace equivalence fmt
 
 all: vet build test
 
@@ -51,6 +51,11 @@ bench-incremental:
 # Eq. 5 ε recovery, drift-triggered vs fixed-cadence rebuilds).
 bench-drift:
 	$(GO) run ./cmd/kertbench -exp drift -metrics-json BENCH_drift.json
+
+# Regenerate the committed distributed-tracing baseline (per-hop latency
+# decomposition of one drift-chain trace plus sampling overhead).
+bench-trace:
+	$(GO) run ./cmd/kertbench -exp trace -metrics-json BENCH_trace.json
 
 fmt:
 	gofmt -l -w .

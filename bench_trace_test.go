@@ -1,0 +1,94 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchTraceSnapshot validates the committed distributed-tracing
+// baseline: BENCH_trace.json must parse as an obs.Snapshot and show the
+// headline behaviour — the drift chain assembled into one complete trace,
+// a per-hop latency decomposition covering every hop of the autonomic
+// loop, batch sampling at 1/64 costing under 2% of the ingest path, and a
+// strictly allocation-free unsampled scoring path. Regenerate with
+// `make bench-trace`.
+func TestBenchTraceSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_trace.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-trace`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_trace.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	g := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("baseline is missing gauge %q", name)
+		}
+		return v
+	}
+
+	// The acceptance headline: every hop of the drift chain — flush, wire
+	// hop, ingest, push, score, rebuild, first query — landed in ONE trace.
+	if v := g("trace.chain_complete"); v != 1 {
+		t.Errorf("trace.chain_complete = %v, want 1", v)
+	}
+	if v := g("trace.chain_spans"); v < 7 {
+		t.Errorf("chain trace has %v spans, want >= 7", v)
+	}
+	if v := g("trace.chain_events"); v < 4 {
+		t.Errorf("chain carries %v journal events, want >= 4 (alarm, truncation, rebuild, swap)", v)
+	}
+	if v := g("trace.detection_delay_rows"); v < 1 {
+		t.Errorf("detection delay %v rows, want >= 1", v)
+	}
+
+	// Per-hop latency decomposition: every hop gauge present and positive.
+	for _, hop := range []string{
+		"monitor_flush", "monitor_wire_hop", "monitor_ingest",
+		"sched_push", "health_score", "sched_rebuild", "infer_query",
+	} {
+		if v := g("trace.hop_mean_seconds." + hop); v <= 0 {
+			t.Errorf("hop %s mean %v seconds, want > 0", hop, v)
+		}
+	}
+
+	// Sampling overhead: tracing 1 batch in 64 must cost < 2% of the
+	// ingest path (negative just means the difference drowned in noise).
+	if v := g("trace.overhead_frac"); v >= 0.02 {
+		t.Errorf("sampling overhead %v of ingest latency, want < 0.02", v)
+	}
+	if every := g("trace.sample_every"); every != 64 {
+		t.Errorf("baseline sampled 1/%v, want 1/64", every)
+	}
+
+	// Tracing must be free when off: zero allocations per unsampled row.
+	if v := g("trace.unsampled_allocs_per_row"); v != 0 {
+		t.Errorf("unsampled scoring path allocates %v per row, want 0", v)
+	}
+
+	// Ring accounting rode along.
+	if v := g("trace.spans_recorded"); v <= 0 {
+		t.Errorf("baseline recorded %v spans, want > 0", v)
+	}
+	if v, ok := snap.Gauges["trace.spans_dropped"]; !ok || v < 0 {
+		t.Errorf("baseline is missing span-drop accounting (present=%v, v=%v)", ok, v)
+	}
+
+	// Snapshot-level span/event accounting from the obs registry itself.
+	if snap.SpansRecorded <= 0 {
+		t.Error("snapshot records no spans")
+	}
+	if snap.EventsRecorded <= 0 {
+		t.Error("snapshot records no journal events")
+	}
+}

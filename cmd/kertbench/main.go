@@ -17,7 +17,9 @@
 // incremental runs the incremental-vs-full rebuild benchmark behind
 // BENCH_incremental.json (regenerate with `make bench-incremental`);
 // -exp drift runs the model-health drift benchmark behind
-// BENCH_drift.json (regenerate with `make bench-drift`).
+// BENCH_drift.json (regenerate with `make bench-drift`); -exp trace runs
+// the distributed-tracing benchmark behind BENCH_trace.json (regenerate
+// with `make bench-trace`).
 //
 // -metrics-json dumps the internal/obs registry snapshot after the run:
 // per-phase build spans, per-size bench.* histograms (build/learn/infer
@@ -176,6 +178,22 @@ func main() {
 			iCfg.Seed = *seed
 		}
 		renderOne(experiments.IncrementalBench(iCfg))
+	}
+	if *exp == "trace" {
+		// Not part of "all": the distributed-tracing benchmark whose
+		// snapshot is committed as BENCH_trace.json — per-hop latency
+		// decomposition of one drift-chain trace plus sampling overhead.
+		ok = true
+		tCfg := experiments.DefaultTraceBenchConfig()
+		if *quick {
+			tCfg.OverheadRows = 300
+			tCfg.AllocRows = 500
+			tCfg.QuerySamples = 500
+		}
+		if *seed != 0 {
+			tCfg.Seed = *seed
+		}
+		renderOne(experiments.TraceBench(tCfg))
 	}
 	if *exp == "drift" {
 		// Not part of "all" either: the model-health benchmark whose

@@ -34,17 +34,31 @@
 // -rebuild-on-drift additionally lets drift alarms force reconstructions
 // ahead of the α cadence, truncating the window to the newest α rows.
 //
+// -trace-every N turns on end-to-end distributed tracing: 1 in N agent
+// batches is sampled into a trace that links the measurement flush, the
+// TCP wire hop, row assembly, the scheduler push, health scoring, any
+// rebuild it triggers (including the decentralized relearn's per-attempt
+// ships) and the new generation's first query. Traces are served at
+// /traces (?format=chrome for the Perfetto-loadable Chrome trace-event
+// form), the causal event journal at /events, and -trace-out dumps the
+// Chrome document (journal appended) to a file at exit:
+//
+//	kertmon -requests 600 -health -rebuild-on-drift \
+//	        -trace-every 8 -trace-out traces.json
+//
 // Usage:
 //
 //	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
 //	        [-metrics-addr 127.0.0.1:8080] [-metrics-json out.json]
 //	        [-decentral=true] [-full-rebuild] [-linger 0s]
 //	        [-health] [-rebuild-on-drift]
+//	        [-trace-every N] [-trace-seed N] [-trace-out traces.json]
 //	        [-fault-drop P -fault-seed N ...]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -80,12 +94,25 @@ func main() {
 		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run")
 		withHealth  = flag.Bool("health", false, "attach a streaming model-health monitor: every row is scored against the live model, drift detectors run per node, and each rebuild prints a health report (served at /health when -metrics-addr is set)")
 		onDrift     = flag.Bool("rebuild-on-drift", false, "let drift alarms force reconstructions ahead of the α-cadence (implies -health)")
+		traceEvery  = flag.Int("trace-every", 0, "sample 1 in N agent batches into distributed traces (0 = tracing off); sampled batches link flush, wire hop, ingest, scheduler push, health scoring, rebuilds and the new generation's first query into one trace, served at /traces when -metrics-addr is set")
+		traceSeed   = flag.Uint64("trace-seed", 0, "seed for the deterministic batch sampler (0 = use -seed)")
+		traceOut    = flag.String("trace-out", "", "write the assembled traces as a Chrome trace-event JSON document (Perfetto-loadable, journal appended) to this file")
 	)
 	faultCfg := faulty.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	chaos := faultCfg()
 	if chaos.Active() && !*useDecen {
 		fatal("-fault-* chaos targets the decentralized relearn; drop -decentral=false")
+	}
+	if *traceSeed == 0 {
+		*traceSeed = *seed
+	}
+	tracing := *traceEvery > 0
+	if tracing {
+		// Size the span ring for a whole run's sampled spans so the traces
+		// dumped at exit are not partially evicted.
+		obs.Default().SetSpanCapacity(8192)
+		fmt.Printf("tracing: sampling 1 in %d agent batches (seed %d)\n", *traceEvery, *traceSeed)
 	}
 
 	if *metricsAddr != "" {
@@ -109,15 +136,17 @@ func main() {
 	kcfg.Type = core.DiscreteModel
 	kcfg.Bins = 6
 	kcfg.Leak = 0.02
-	relearn := func(m *core.Model, w *dataset.Dataset) error {
+	relearn := func(m *core.Model, w *dataset.Dataset, tc obs.TraceContext) error {
 		if !*useDecen {
 			return nil
 		}
 		// The paper's Section-3.4 scheme, live: each monitoring agent
 		// learns its own service's CPD after the parent columns ship
 		// over; the per-node times land in the
-		// decentral.node_learn.seconds histogram.
-		if err := decentralRelearn(m, w, *workers, chaos, *retries); err != nil {
+		// decentral.node_learn.seconds histogram. A sampled build trace
+		// threads through the round: the learn span and every per-attempt
+		// ship join the rebuild's trace.
+		if err := decentralRelearn(m, w, *workers, chaos, *retries, tc); err != nil {
 			return fmt.Errorf("decentralized re-learn: %w", err)
 		}
 		return nil
@@ -139,7 +168,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return m, relearn(m, w)
+			return m, relearn(m, w, obs.TraceContext{})
 		}
 		sched, err = core.NewScheduler(scfg, cols, builder)
 	} else {
@@ -173,10 +202,11 @@ func main() {
 		fmt.Printf("model health: scoring on (rebuild-on-drift=%v)\n", *onDrift)
 	}
 
-	// Management server over TCP; rows flow into the scheduler.
+	// Management server over TCP; rows flow into the scheduler carrying the
+	// trace context of the batch that completed them.
 	var rebuilds atomic.Int64
-	inner, err := monitor.NewServer(len(cols), func(row []float64) {
-		m, err := sched.Push(row)
+	inner, err := monitor.NewServerCtx(len(cols), func(row []float64, tc obs.TraceContext) {
+		m, err := sched.PushCtx(row, tc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reconstruction failed:", err)
 			return
@@ -223,6 +253,7 @@ func main() {
 	points := map[int]*monitor.Point{}
 	var agents []*monitor.Agent
 	var senders []*monitor.TCPSender
+	agentIdx := uint64(0)
 	for host, columns := range hosts {
 		sender, err := monitor.DialTCP(tcpSrv.Addr())
 		if err != nil {
@@ -232,6 +263,12 @@ func main() {
 		agent, err := monitor.NewAgent(host, 25, sender)
 		if err != nil {
 			fatal(err.Error())
+		}
+		if tracing {
+			// Each agent samples independently from its own derived seed,
+			// so co-hosted agents never collide on trace IDs.
+			agent.SetTracer(obs.NewTracer(obs.DeriveID(*traceSeed, agentIdx), *traceEvery))
+			agentIdx++
 		}
 		agents = append(agents, agent)
 		for _, c := range columns {
@@ -301,6 +338,25 @@ func main() {
 		}
 		fmt.Println("metrics snapshot written to", *metricsJSON)
 	}
+	if *traceOut != "" {
+		if !tracing {
+			fatal("-trace-out needs tracing on: set -trace-every N")
+		}
+		traces := obs.Default().Traces()
+		doc := struct {
+			*obs.ChromeTraceDoc
+			Journal []obs.Event `json:"journal"`
+		}{obs.ChromeTrace(traces), obs.J().Recent()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err.Error())
+		}
+		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("%d traces (%d journal events) written to %s — load in Perfetto (ui.perfetto.dev) or chrome://tracing\n",
+			len(traces), len(doc.Journal), *traceOut)
+	}
 }
 
 // relearnBuilder adapts IncrementalKERT to the scheduler's incremental
@@ -309,18 +365,25 @@ func main() {
 // the window snapshot exactly as in the full-rebuild path.
 type relearnBuilder struct {
 	ik      *core.IncrementalKERT
-	relearn func(*core.Model, *dataset.Dataset) error
+	relearn func(*core.Model, *dataset.Dataset, obs.TraceContext) error
+	trace   obs.TraceContext
 }
 
 func (b *relearnBuilder) Ingest(row []float64) error { return b.ik.Ingest(row) }
 func (b *relearnBuilder) Len() int                   { return b.ik.Len() }
+
+// SetBuildTrace implements core.TraceAwareBuilder: the scheduler hands over
+// the trace context of the row that triggered this rebuild so the
+// decentralized relearn (its learn span and every per-attempt ship) joins
+// the same trace.
+func (b *relearnBuilder) SetBuildTrace(tc obs.TraceContext) { b.trace = tc }
 
 func (b *relearnBuilder) Build() (*core.Model, error) {
 	m, err := b.ik.Build()
 	if err != nil {
 		return nil, err
 	}
-	return m, b.relearn(m, b.ik.Snapshot())
+	return m, b.relearn(m, b.ik.Snapshot(), b.trace)
 }
 
 // decentralRelearn re-learns the service CPDs of a freshly built discrete
@@ -333,7 +396,7 @@ func (b *relearnBuilder) Build() (*core.Model, error) {
 // wrapped by the fault injector, retry up to retries times, unreachable
 // parents degrade to prior-only fallback CPDs, and the rebuild's
 // PartialLearnReport is printed.
-func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int, chaos faulty.Config, retries int) error {
+func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int, chaos faulty.Config, retries int, tc obs.TraceContext) error {
 	enc, err := m.Codec.Encode(w)
 	if err != nil {
 		return err
@@ -350,7 +413,7 @@ func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int, chaos faul
 		workers = len(plans)
 	}
 	var shipper decentral.Shipper = decentral.InProcShipper{}
-	ropts := decentral.RobustOptions{Workers: workers}
+	ropts := decentral.RobustOptions{Workers: workers, Trace: tc}
 	if chaos.Active() {
 		inj, err := faulty.NewInjector(chaos)
 		if err != nil {

@@ -7,6 +7,7 @@
 //	kertsim -system ediamond -n 1200 > train.csv
 //	kertquery -data train.csv -model kert -query paccel -service 3 -factor 0.9
 //	kertquery -data train.csv -model kert -query dcomp -service 3
+//	kertquery -data train.csv -model kert -query trace
 //	kertquery -data train.csv -model nrt  -query threshold -service 3 -factor 0.9 -h 1.2
 //	kertquery -data fresh.csv -load model.kert -query health
 //
@@ -15,6 +16,12 @@
 // the Equation-5 ε is computed with the whole file as holdout — the
 // one-shot counterpart of kertmon's streaming -health monitor.
 //
+// The trace query runs one traced prior response-time query against the
+// model and dumps the assembled trace trees, their Chrome trace-event form
+// (load at ui.perfetto.dev or chrome://tracing) and the causal event
+// journal as a single JSON document on stdout — the offline counterpart of
+// kertmon's /traces and /events endpoints.
+//
 // The workflow is selected with -workflow: "ediamond" (the paper's
 // six-service scenario) or "chain" (all service columns invoked
 // sequentially, for ad-hoc datasets).
@@ -22,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +50,7 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (build spans, query latency) to this file")
 		modelKind   = flag.String("model", "kert", "model to build: kert or nrt")
 		wfKind      = flag.String("workflow", "ediamond", "workflow knowledge: ediamond or chain")
-		query       = flag.String("query", "paccel", "query: dcomp, paccel, threshold, plocal, loglik, health, dot")
+		query       = flag.String("query", "paccel", "query: dcomp, paccel, threshold, plocal, loglik, health, trace, dot")
 		service     = flag.Int("service", 3, "target service index (dcomp/paccel/threshold)")
 		factor      = flag.Float64("factor", 0.9, "paccel/threshold: predicted elapsed-time factor")
 		h           = flag.Float64("h", 0, "threshold: response-time threshold in seconds")
@@ -86,7 +94,7 @@ func main() {
 			fatal(err.Error())
 		}
 		fmt.Printf("loaded %s model from %s\n", model.Type, *loadPath)
-		answer(model, train, *query, *service, *factor, *h, *modelKind, *workers)
+		answer(model, train, *query, *service, *factor, *h, *modelKind, *workers, *seed)
 		dumpMetrics()
 		return
 	}
@@ -155,7 +163,7 @@ func main() {
 		}
 		fmt.Printf("model saved to %s\n", *savePath)
 	}
-	answer(model, train, *query, *service, *factor, *h, *modelKind, *workers)
+	answer(model, train, *query, *service, *factor, *h, *modelKind, *workers, *seed)
 	dumpMetrics()
 }
 
@@ -190,10 +198,39 @@ func decentralRelearn(model *core.Model, train *dataset.Dataset) error {
 }
 
 // answer runs one query against a (built or loaded) model.
-func answer(model *core.Model, train *dataset.Dataset, query string, service int, factor, h float64, modelKind string, workers int) {
+func answer(model *core.Model, train *dataset.Dataset, query string, service int, factor, h float64, modelKind string, workers int, seed uint64) {
 	switch query {
 	case "dot":
 		fmt.Print(model.Net.DOT(modelKind))
+
+	case "trace":
+		// Offline counterpart of kertmon's /traces and /events: stamp the
+		// model as a fresh generation carrying a sampled trace, journal the
+		// install as a generation swap, run one prior response-time query
+		// (which claims the trace as the generation's first infer.query
+		// span), then dump the assembled trace trees, their Chrome
+		// trace-event form (Perfetto-loadable) and the causal event journal
+		// as one JSON document on stdout.
+		tc := obs.TraceContext{TraceID: obs.DeriveID(seed, 0)}
+		model.SetProvenance(1, tc)
+		obs.J().Record(obs.Event{
+			Type: obs.EventGenerationSwap, TraceID: tc.TraceID,
+			Generation: 1, Detail: "offline model installed by kertquery",
+		})
+		if _, err := core.PriorMarginal(model, model.DNode, 0, nil); err != nil {
+			fatal(err.Error())
+		}
+		traces := obs.Default().Traces()
+		doc := struct {
+			Traces  []obs.Trace         `json:"traces"`
+			Chrome  *obs.ChromeTraceDoc `json:"chrome"`
+			Journal []obs.Event         `json:"journal"`
+		}{traces, obs.ChromeTrace(traces), obs.J().Recent()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Println(string(raw))
 
 	case "loglik":
 		ll, err := model.Log10Likelihood(train)

@@ -26,10 +26,20 @@
 // flags always replay the same faults bit-for-bit:
 //
 //	kertsim -system ediamond -n 600 -fault-drop 0.2 -fault-seed 7
+//
+// Adding -trace-out to a chaos run traces the relearn round — the learn
+// span, every per-attempt column ship over the faulty fabric (retries as
+// sibling spans tagged with their attempt number), receiver-side relay
+// hops and any fallback journal events — and writes the assembled spans
+// as a Chrome trace-event JSON document (Perfetto-loadable):
+//
+//	kertsim -system ediamond -n 600 -fault-drop 0.2 -fault-seed 7 \
+//	        -trace-out chaos_trace.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +57,10 @@ import (
 	"kertbn/internal/workflow"
 )
 
+func init() {
+	obs.RegisterPrefix("sim", "cmd/kertsim")
+}
+
 func main() {
 	var (
 		system      = flag.String("system", "ediamond", "system to simulate: ediamond, random, or counts (timeout counters)")
@@ -61,6 +75,7 @@ func main() {
 		shiftSvc    = flag.Int("shift-service", 0, "service index whose base delay the shift scales")
 		shiftFactor = flag.Float64("shift-factor", 3, "multiplier applied to the shifted service's base delay")
 		retries     = flag.Int("fault-retries", 2, "chaos: per-column ship retry budget")
+		traceOut    = flag.String("trace-out", "", "trace the chaos relearn round (learn span, every per-attempt ship over the faulty fabric, relay hops, fallback events) and write the assembled spans as a Chrome trace-event JSON document (Perfetto-loadable, journal appended) to this file; needs -fault-*")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
 	faultCfg := faulty.RegisterFlags(flag.CommandLine)
@@ -81,6 +96,9 @@ func main() {
 	}
 
 	chaos := faultCfg()
+	if *traceOut != "" && !chaos.Active() {
+		fatal("-trace-out traces the chaos relearn round; add -fault-* flags")
+	}
 	if *des || *system == "counts" {
 		if chaos.Active() {
 			fatal("-fault-* chaos runs need a sampler system (ediamond or random)")
@@ -181,7 +199,7 @@ func main() {
 	}
 	emit(ds)
 	if chaos.Active() {
-		if err := chaosRun(sys, ds, chaos, *retries); err != nil {
+		if err := chaosRun(sys, ds, chaos, *retries, *traceOut); err != nil {
 			fatal(err.Error())
 		}
 	}
@@ -192,7 +210,14 @@ func main() {
 // PartialLearnReport as "# chaos" comment lines. Everything printed is a
 // pure function of the dataset and the fault seed, so the run replays
 // bit-for-bit.
-func chaosRun(sys *simsvc.System, ds *dataset.Dataset, cfg faulty.Config, retries int) error {
+func chaosRun(sys *simsvc.System, ds *dataset.Dataset, cfg faulty.Config, retries int, traceOut string) error {
+	var trace obs.TraceContext
+	if traceOut != "" {
+		// One sampled trace for the whole round, derived from the fault
+		// seed so the same flags replay the same trace IDs.
+		obs.Default().SetSpanCapacity(4096)
+		trace = obs.TraceContext{TraceID: obs.DeriveID(cfg.Seed, 0)}
+	}
 	inj, err := faulty.NewInjector(cfg)
 	if err != nil {
 		return err
@@ -225,6 +250,7 @@ func chaosRun(sys *simsvc.System, ds *dataset.Dataset, cfg faulty.Config, retrie
 			Backoff:     faulty.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
 			Seed:        cfg.Seed,
 			Fallback:    decentral.FallbackLocal,
+			Trace:       trace,
 		})
 	if err != nil {
 		return err
@@ -246,6 +272,22 @@ func chaosRun(sys *simsvc.System, ds *dataset.Dataset, cfg faulty.Config, retrie
 		fmt.Printf("# chaos: node %d %s (attempts %d)\n", id, nr.Status, nr.Attempts)
 	}
 	fmt.Println("# chaos: degraded network valid; learned CPDs installed")
+	if traceOut != "" {
+		traces := obs.Default().Traces()
+		doc := struct {
+			*obs.ChromeTraceDoc
+			Journal []obs.Event `json:"journal"`
+		}{obs.ChromeTrace(traces), obs.J().Recent()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%d traces (%d journal events) written to %s — load in Perfetto (ui.perfetto.dev) or chrome://tracing\n",
+			len(traces), len(doc.Journal), traceOut)
+	}
 	return nil
 }
 

@@ -10,6 +10,12 @@ import (
 	"kertbn/internal/stats"
 )
 
+func init() {
+	obs.RegisterPrefix("core", "internal/core")
+	obs.RegisterPrefix("sched", "internal/core")
+	obs.RegisterPrefix("build", "internal/core")
+}
+
 var (
 	batchCalls   = obs.C("core.batch.calls")
 	batchRows    = obs.HCount("core.batch.rows")

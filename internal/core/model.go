@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kertbn/internal/bn"
 	"kertbn/internal/dataset"
 	"kertbn/internal/learn"
+	"kertbn/internal/obs"
 	"kertbn/internal/workflow"
 )
 
@@ -61,6 +63,45 @@ type Model struct {
 	// Knowledge reports whether structure and the D-CPD came from domain
 	// knowledge (KERT-BN) rather than data (NRT-BN).
 	Knowledge bool
+
+	// Trace provenance, stamped by the scheduler after a rebuild. The
+	// fields are unexported so gob-shipped models simply omit them.
+	generation int
+	buildTrace obs.TraceContext
+	// firstQuery latches the one-time handoff of the build trace to the
+	// first posterior query served by this generation (a pointer so Model
+	// values stay copyable and gob-encodable).
+	firstQuery *atomic.Bool
+}
+
+// SetProvenance stamps the model with its generation number and the trace
+// context of the reconstruction that produced it, arming the one-time
+// first-query trace handoff.
+func (m *Model) SetProvenance(generation int, tc obs.TraceContext) {
+	m.generation = generation
+	m.buildTrace = tc
+	m.firstQuery = &atomic.Bool{}
+}
+
+// Generation returns the scheduler generation this model was built as
+// (0 for models never stamped).
+func (m *Model) Generation() int { return m.generation }
+
+// BuildTrace returns the trace context of the reconstruction that produced
+// the model (zero when the rebuild was not sampled).
+func (m *Model) BuildTrace() obs.TraceContext { return m.buildTrace }
+
+// ClaimFirstQueryTrace returns the build trace exactly once — to the first
+// posterior query served by this model generation, which closes the
+// autonomic loop's trace: measurement → rebuild → swap → first answer.
+func (m *Model) ClaimFirstQueryTrace() (obs.TraceContext, bool) {
+	if m == nil || m.firstQuery == nil || !m.buildTrace.Sampled() {
+		return obs.TraceContext{}, false
+	}
+	if m.firstQuery.CompareAndSwap(false, true) {
+		return m.buildTrace, true
+	}
+	return obs.TraceContext{}, false
 }
 
 // ColumnNames returns the canonical column names for a system with the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"kertbn/internal/bn"
 	"kertbn/internal/infer"
@@ -194,7 +195,16 @@ func (p *Posterior) Quantile(q float64) float64 {
 // fixed rng at any worker count but uses a different stream layout than the
 // serial sampler. Exact paths (VE, joint-Gaussian) ignore workers.
 func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples, workers int, rng *stats.RNG) (*Posterior, error) {
-	sp := obs.StartSpan("infer.query")
+	var sp *obs.Span
+	if tc, first := m.ClaimFirstQueryTrace(); first {
+		// The first query served by a freshly swapped-in generation joins
+		// the trace of the reconstruction that produced it — closing the
+		// loop from measurement to the first answer the new model gives.
+		sp = obs.StartSpanCtx("infer.query", tc)
+		sp.SetAttr("first_query_of_generation", strconv.Itoa(m.Generation()))
+	} else {
+		sp = obs.StartSpan("infer.query")
+	}
 	defer sp.End()
 	inferQueries.Inc()
 	inferEvidence.Observe(float64(len(evidence)))

@@ -127,12 +127,22 @@ type IncrementalBuilder interface {
 type HealthPolicy interface {
 	// SetModel is told about each newly deployed model.
 	SetModel(m *Model) error
-	// Observe scores one raw row; holdout=true means the row must be
+	// ObserveCtx scores one raw row; holdout=true means the row must be
 	// withheld from model training (it belongs to the online holdout split
-	// the policy evaluates ε on).
-	Observe(row []float64) (holdout bool, err error)
+	// the policy evaluates ε on). tc is the trace context of the batch the
+	// row arrived in — the zero context for unsampled batches, which the
+	// policy must handle without allocating.
+	ObserveCtx(row []float64, tc obs.TraceContext) (holdout bool, err error)
 	// ConsumeAlarm returns true at most once per drift alarm.
 	ConsumeAlarm() bool
+}
+
+// TraceAwareBuilder is optionally implemented by incremental builders that
+// propagate trace context into the work a rebuild fans out (e.g. a
+// decentralized relearn shipping CPDs over TCP). The scheduler hands it the
+// rebuild span's context immediately before Build.
+type TraceAwareBuilder interface {
+	SetBuildTrace(tc obs.TraceContext)
 }
 
 // StructureInvalidator is implemented by incremental builders whose cached
@@ -225,15 +235,32 @@ func NewSchedulerIncremental(cfg ScheduleConfig, ib IncrementalBuilder) (*Schedu
 // a reconstruction — exactly the back-pressure a real management server
 // would apply.
 func (s *Scheduler) Push(row []float64) (*Model, error) {
+	return s.PushCtx(row, obs.TraceContext{})
+}
+
+// PushCtx is Push carrying the trace context of the batch the row arrived
+// in. With a sampled context the whole push — health scoring, ingestion,
+// any rebuild it triggers — nests under one "sched.push" span inside the
+// caller's trace, and the journal events it emits carry the trace IDs. The
+// zero context makes PushCtx behave exactly like Push, without allocating
+// for tracing.
+func (s *Scheduler) PushCtx(row []float64, tc obs.TraceContext) (*Model, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	var push *obs.Span
+	if tc.Sampled() {
+		push = obs.StartSpanCtx("sched.push", tc)
+		defer push.End()
+		tc = push.Context()
+	}
 
 	// Model-health scoring rides in front of ingestion: once a model is
 	// deployed every row is scored, and rows the policy claims for its
 	// online holdout split never enter the training window.
 	drift := false
 	if s.health != nil && s.model != nil {
-		holdout, err := s.health.Observe(row)
+		holdout, err := s.health.ObserveCtx(row, tc)
 		if err != nil {
 			return nil, fmt.Errorf("core: health policy: %w", err)
 		}
@@ -272,11 +299,22 @@ func (s *Scheduler) Push(row []float64) (*Model, error) {
 		if inv, ok := s.inc.(StructureInvalidator); ok {
 			inv.InvalidateStructure()
 		}
-		if err := s.truncateWindowLocked(s.cfg.Alpha); err != nil {
+		dropped, err := s.truncateWindowLocked(s.cfg.Alpha)
+		if err != nil {
 			return nil, fmt.Errorf("core: drift window truncation: %w", err)
 		}
+		obs.J().Record(obs.Event{
+			Type: obs.EventTruncation, TraceID: tc.TraceID, SpanID: tc.SpanID,
+			Generation: s.rebuilt, Rows: dropped, Detail: "drift collapsed K to 1",
+		})
 	}
-	sp := obs.StartSpan("sched.rebuild")
+	sp := obs.StartSpanCtx("sched.rebuild", tc)
+	if drift {
+		sp.SetAttr("cause", "drift")
+	}
+	if tb, ok := s.inc.(TraceAwareBuilder); ok {
+		tb.SetBuildTrace(sp.Context())
+	}
 	start := time.Now()
 	var m *Model
 	var err error
@@ -285,6 +323,7 @@ func (s *Scheduler) Push(row []float64) (*Model, error) {
 	} else {
 		m, err = s.builder(s.window.Snapshot())
 	}
+	buildCtx := sp.Context()
 	sp.End()
 	if err != nil {
 		schedFailures.Inc()
@@ -293,6 +332,19 @@ func (s *Scheduler) Push(row []float64) (*Model, error) {
 	s.lastBuild = time.Since(start)
 	s.model = m
 	s.rebuilt++
+	cause := "cadence"
+	if drift {
+		cause = "drift"
+	}
+	m.SetProvenance(s.rebuilt, buildCtx)
+	obs.J().Record(obs.Event{
+		Type: obs.EventRebuild, TraceID: tc.TraceID, SpanID: buildCtx.SpanID,
+		Generation: s.rebuilt, Rows: s.windowLenLocked(), Detail: cause,
+	})
+	obs.J().Record(obs.Event{
+		Type: obs.EventGenerationSwap, TraceID: tc.TraceID, SpanID: buildCtx.SpanID,
+		Generation: s.rebuilt,
+	})
 	schedRebuilds.Inc()
 	s.exportGaugesLocked()
 	if s.health != nil {
@@ -304,17 +356,18 @@ func (s *Scheduler) Push(row []float64) (*Model, error) {
 }
 
 // truncateWindowLocked keeps only the newest keep window rows, through the
-// incremental builder's accumulator-consistent path when one is attached.
-func (s *Scheduler) truncateWindowLocked(keep int) error {
+// incremental builder's accumulator-consistent path when one is attached,
+// reporting how many rows were dropped.
+func (s *Scheduler) truncateWindowLocked(keep int) (int, error) {
 	if s.inc != nil {
 		if tr, ok := s.inc.(WindowTruncator); ok {
-			_, err := tr.TruncateWindow(keep)
-			return err
+			return tr.TruncateWindow(keep)
 		}
-		return nil
+		return 0, nil
 	}
-	s.window.DropOldest(s.window.Len() - keep)
-	return nil
+	before := s.window.Len()
+	s.window.DropOldest(before - keep)
+	return before - s.window.Len(), nil
 }
 
 // exportGaugesLocked publishes the scheduler state gauges — window

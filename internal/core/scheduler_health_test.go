@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kertbn/internal/dataset"
+	"kertbn/internal/obs"
 )
 
 // TestFailedBuilderDoesNotAdvanceRebuilds: a reconstruction error must
@@ -80,7 +81,7 @@ func (p *stubPolicy) SetModel(m *Model) error {
 	return nil
 }
 
-func (p *stubPolicy) Observe(row []float64) (bool, error) {
+func (p *stubPolicy) ObserveCtx(row []float64, _ obs.TraceContext) (bool, error) {
 	if p.observeErr != nil {
 		return false, p.observeErr
 	}

@@ -10,6 +10,10 @@ import (
 	"kertbn/internal/obs"
 )
 
+func init() {
+	obs.RegisterPrefix("decentral", "internal/decentral")
+}
+
 // Decentralized-learning metrics — the Fig. 5 quantities, live:
 // per-node CPD learn times (whose max is the decentralized wall time and
 // whose sum is the centralized one), column-ship latency and bytes over

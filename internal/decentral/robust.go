@@ -72,6 +72,20 @@ const (
 	FallbackKeep
 )
 
+// String renders the policy for reports and journal entries.
+func (f FallbackPolicy) String() string {
+	switch f {
+	case FallbackAbort:
+		return "abort"
+	case FallbackLocal:
+		return "fallback_local"
+	case FallbackKeep:
+		return "fallback_keep"
+	default:
+		return fmt.Sprintf("FallbackPolicy(%d)", int(f))
+	}
+}
+
 // RobustOptions configures LearnRobust's failure handling.
 type RobustOptions struct {
 	// Workers bounds concurrent learners (<= 0 means GOMAXPROCS), as in
@@ -88,6 +102,17 @@ type RobustOptions struct {
 	// Fallback picks the degradation policy for nodes that fail past the
 	// retry budget.
 	Fallback FallbackPolicy
+	// Trace, when sampled, joins the round's "decentral.learn" span (and,
+	// through TraceSettable shippers, every per-attempt ship span) to an
+	// existing trace — typically the rebuild span of the scheduler that
+	// requested the round.
+	Trace obs.TraceContext
+}
+
+// TraceSettable is implemented by shippers (like TCPFabric) that can join
+// their shipments to a trace context.
+type TraceSettable interface {
+	SetTrace(tc obs.TraceContext)
 }
 
 // PartialLearnReport summarizes a round's failure handling — the CLI- and
@@ -219,11 +244,17 @@ func fallbackCPD(p NodePlan, local []float64, opts learn.Options) (bn.CPD, error
 // LearnWorkers; with FallbackLocal/FallbackKeep the round always completes
 // (absent validation errors) and Result.Report records the degradation.
 func LearnRobust(ctx context.Context, plans []NodePlan, cols Columns, shipper Shipper, opts learn.Options, r RobustOptions) (*Result, error) {
-	sp := obs.StartSpan("decentral.learn")
+	sp := obs.StartSpanCtx("decentral.learn", r.Trace)
 	defer sp.End()
 	decRounds.Inc()
 	if shipper == nil {
 		shipper = InProcShipper{}
+	}
+	if ts, ok := shipper.(TraceSettable); ok {
+		// Ship spans nest under this round's learn span; detach afterwards
+		// so later untraced rounds stay allocation-free.
+		ts.SetTrace(sp.Context())
+		defer ts.SetTrace(obs.TraceContext{})
 	}
 	if err := validatePlans(plans, cols); err != nil {
 		return nil, err
@@ -282,6 +313,13 @@ func LearnRobust(ctx context.Context, plans []NodePlan, cols Columns, shipper Sh
 			if nr.CPD != nil {
 				rep.FallbackCPDs++
 			}
+			lctx := sp.Context()
+			obs.J().Record(obs.Event{
+				Type:    obs.EventFallback,
+				TraceID: lctx.TraceID,
+				SpanID:  lctx.SpanID,
+				Detail:  fmt.Sprintf("node %d %s: %s", nr.Node, r.Fallback, nr.Err),
+			})
 		}
 	}
 	sort.Ints(rep.FailedNodes)

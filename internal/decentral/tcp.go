@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"kertbn/internal/faulty"
+	"kertbn/internal/obs"
 	"kertbn/internal/wire"
 )
 
@@ -79,6 +81,24 @@ type TCPFabric struct {
 	mu       sync.Mutex
 	closed   bool
 	conns    map[net.Conn]struct{}
+	trace    obs.TraceContext
+}
+
+// SetTrace attaches a trace context to the fabric: subsequent shipments
+// (including delta syncs routed through it) emit per-attempt
+// "decentral.ship" spans under that context and put flagged frames on the
+// wire, so CPD shipping shows up inside the rebuild's trace. The zero
+// context turns tracing back off.
+func (f *TCPFabric) SetTrace(tc obs.TraceContext) {
+	f.mu.Lock()
+	f.trace = tc
+	f.mu.Unlock()
+}
+
+func (f *TCPFabric) traceCtx() obs.TraceContext {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.trace
 }
 
 // NewTCPFabric starts the relay on 127.0.0.1 (ephemeral port) with default
@@ -139,7 +159,8 @@ func (f *TCPFabric) acceptLoop() {
 			for {
 				var p parcel
 				c.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
-				if err := wire.Decode(c, 0, &p); err != nil {
+				fctx, err := wire.DecodeCtx(c, 0, &p)
+				if err != nil {
 					if errors.Is(err, wire.ErrChecksum) {
 						// The frame was fully consumed; the stream is still
 						// aligned. Count it and keep serving — the shipper's
@@ -148,6 +169,15 @@ func (f *TCPFabric) acceptLoop() {
 						continue
 					}
 					return
+				}
+				if fctx.Sampled() {
+					// Record the relay-side wire hop: sender clock to now,
+					// nested under the shipping attempt's span.
+					hop := obs.StartSpanCtxAt("decentral.relay_hop",
+						obs.TraceContext{TraceID: fctx.TraceID, SpanID: fctx.SpanID},
+						time.Unix(0, fctx.SendUnixNS))
+					hop.SetAttr("attempt", strconv.Itoa(int(fctx.Attempt)))
+					hop.EndAt(time.Now())
 				}
 				c.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
 				if _, err := wire.Encode(c, &p); err != nil {
@@ -177,6 +207,19 @@ func (f *TCPFabric) Ship(from, to int, col []float64) ([]float64, error) {
 // deterministic fault injection keyed by (from, to, attempt).
 func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64, error) {
 	start := time.Now()
+	// Each attempt gets its own span, so retried shipments appear as
+	// sibling "decentral.ship" spans tagged with their attempt number.
+	var sp *obs.Span
+	var fctx wire.TraceContext
+	if tc := f.traceCtx(); tc.Sampled() {
+		sp = obs.StartSpanCtx("decentral.ship", tc)
+		sp.SetAttr("edge", fmt.Sprintf("%d->%d", from, to))
+		sp.SetAttr("attempt", strconv.Itoa(attempt))
+		defer sp.End()
+		sctx := sp.Context()
+		fctx = wire.TraceContext{TraceID: sctx.TraceID, SpanID: sctx.SpanID,
+			SendUnixNS: start.UnixNano(), Attempt: uint8(min(attempt, 255))}
+	}
 	var conn net.Conn
 	var err error
 	if f.opts.Injector != nil {
@@ -190,7 +233,7 @@ func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64
 	defer conn.Close()
 	cw := &countingWriter{w: conn}
 	conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout))
-	if _, err := wire.Encode(cw, &parcel{From: from, To: to, Col: col}); err != nil {
+	if _, err := wire.EncodeCtx(cw, &parcel{From: from, To: to, Col: col}, fctx); err != nil {
 		return nil, fmt.Errorf("decentral: send parcel: %w", err)
 	}
 	var back parcel

@@ -13,6 +13,14 @@ import (
 	"kertbn/internal/stats"
 )
 
+func init() {
+	obs.RegisterPrefix("bench", "internal/experiments")
+	obs.RegisterPrefix("drift", "internal/experiments")
+	obs.RegisterPrefix("incremental", "internal/experiments")
+	obs.RegisterPrefix("parallel", "internal/experiments")
+	obs.RegisterPrefix("trace", "internal/experiments")
+}
+
 // DriftBenchConfig parameterizes the drift-detection benchmark
 // (BENCH_drift.json): a seeded eDiaMoND stream with a mid-stream workload
 // shift, run through identical scheduler+monitor pipelines that differ

@@ -1,0 +1,547 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"kertbn/internal/core"
+	"kertbn/internal/health"
+	"kertbn/internal/monitor"
+	"kertbn/internal/obs"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+// TraceBenchConfig parameterizes the tracing benchmark (BENCH_trace.json):
+// a drift-shifted eDiaMoND stream pushed through the full distributed
+// pipeline — agent batches over a real TCP socket into the management
+// server, rows into an incremental scheduler with a drift-rebuilding
+// health monitor — with every batch trace-sampled, so the complete
+// autonomic chain (measurement emit → wire hop → ingest → push → health
+// score → drift alarm → window truncation → rebuild → generation swap →
+// first query of the new generation) assembles into one trace. A second,
+// in-process phase measures what sampling costs the ingest path.
+type TraceBenchConfig struct {
+	Seed uint64
+	// Alpha and K set the reconstruction schedule.
+	Alpha, K int
+	// PrefixRebuilds cadence rebuilds run on stationary traffic before the
+	// shift, so the detector is armed on a converged generation.
+	PrefixRebuilds int
+	// ShiftSlack is how many rows past the last prefix rebuild the shift
+	// lands; it must exceed the detector warmup.
+	ShiftSlack int
+	// PostRows bounds how long the shifted stream may run before the drift
+	// alarm must have fired.
+	PostRows int
+	// ShiftService / ShiftFactor define the injected change.
+	ShiftService int
+	ShiftFactor  float64
+	// HoldoutEvery diverts every k-th scored row to the online holdout.
+	HoldoutEvery int
+	// Detector configures the drift detectors.
+	Detector health.DetectorConfig
+	// OverheadRows sizes the in-process overhead comparison (per arm).
+	OverheadRows int
+	// OverheadReps pairs of arms are measured (after one discarded warmup
+	// pair) and the median ratio reported, suppressing scheduler noise.
+	OverheadReps int
+	// OverheadSampleEvery is the production-shaped sampling period the
+	// overhead arm uses (default 64).
+	OverheadSampleEvery int
+	// AllocRows sizes the unsampled-path allocation measurement.
+	AllocRows int
+	// SpanCapacity resizes the span ring so the chain phase (sampling every
+	// batch) does not evict the drift trace before assembly.
+	SpanCapacity int
+	// QuerySamples sizes the first posterior query of the new generation.
+	QuerySamples int
+}
+
+// DefaultTraceBenchConfig matches the committed BENCH_trace.json.
+func DefaultTraceBenchConfig() TraceBenchConfig {
+	return TraceBenchConfig{
+		Seed:                11,
+		Alpha:               40,
+		K:                   2,
+		PrefixRebuilds:      2,
+		ShiftSlack:          35,
+		PostRows:            300,
+		ShiftService:        5,
+		ShiftFactor:         3,
+		HoldoutEvery:        10,
+		Detector:            health.DetectorConfig{Warmup: 30, CUSUMThreshold: 16, PHLambda: 28},
+		OverheadRows:        1500,
+		OverheadReps:        3,
+		OverheadSampleEvery: 64,
+		AllocRows:           2000,
+		SpanCapacity:        8192,
+		QuerySamples:        2000,
+	}
+}
+
+// traceChainSpans are the hops a complete drift chain must contain, in
+// causal order. monitor.wire_hop only appears on the TCP path; health.score
+// only once a model is deployed.
+var traceChainSpans = []string{
+	"monitor.flush",
+	"monitor.wire_hop",
+	"monitor.ingest",
+	"sched.push",
+	"health.score",
+	"sched.rebuild",
+	"infer.query",
+}
+
+func newTracePipeline(cfg TraceBenchConfig, rebuildOnDrift bool) (*core.Scheduler, *health.Monitor, error) {
+	schedCfg := core.ScheduleConfig{TData: time.Second, Alpha: cfg.Alpha, K: cfg.K}
+	base := simsvc.EDiaMoNDSystem()
+	ib, err := core.NewIncrementalKERT(core.KERTConfig{Workflow: base.Workflow}, schedCfg.WindowPoints())
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := core.NewSchedulerIncremental(schedCfg, ib)
+	if err != nil {
+		return nil, nil, err
+	}
+	mon := health.NewMonitor(health.Config{
+		Seed:         cfg.Seed,
+		HoldoutEvery: cfg.HoldoutEvery,
+		Detector:     cfg.Detector,
+	})
+	if err := sched.SetHealthPolicy(mon, rebuildOnDrift); err != nil {
+		return nil, nil, err
+	}
+	return sched, mon, nil
+}
+
+// TraceBench runs three phases:
+//
+//  1. Chain: the distributed pipeline (agent → TCP → server → scheduler)
+//     with SampleEvery=1 streams a stationary prefix, then a sustained
+//     service slowdown, until the drift alarm forces a reconstruction; the
+//     first posterior query of the swapped-in generation closes the trace.
+//     The phase fails unless the whole chain assembles into ONE trace.
+//  2. Overhead: identical in-process pipelines, untraced vs sampled 1-in-
+//     OverheadSampleEvery, compared on mean monitor.ingest.seconds.
+//  3. Allocations: the unsampled health-scoring path measured in
+//     allocations per row (must be 0 — tracing is free when off).
+//
+// The obs names (the BENCH_trace.json schema):
+//
+//	trace.sample_every / trace.span_capacity       gauges: geometry
+//	trace.chain_complete                           gauge: 1 iff every hop of
+//	                                               the drift chain landed in
+//	                                               one assembled trace
+//	trace.chain_spans / trace.chain_events         gauges: trace size and
+//	                                               journal records on it
+//	trace.detection_delay_rows                     gauge: shift → drift rebuild
+//	trace.hop_mean_seconds.<hop>                   gauges: per-hop latency
+//	                                               decomposition (flush,
+//	                                               wire_hop, ingest, push,
+//	                                               score, rebuild, query)
+//	trace.ingest_mean_seconds.base / .sampled      gauges: overhead arms
+//	trace.overhead_frac                            gauge: sampled vs base
+//	                                               ingest cost (< 0.02)
+//	trace.unsampled_allocs_per_row                 gauge: must be 0
+//	trace.spans_recorded / trace.spans_dropped     gauges: ring accounting
+func TraceBench(cfg TraceBenchConfig) (*FigResult, error) {
+	warmup := cfg.Detector.Warmup
+	if warmup <= 0 {
+		warmup = 40
+	}
+	if cfg.ShiftSlack <= warmup {
+		return nil, fmt.Errorf("trace: ShiftSlack %d must exceed detector warmup %d", cfg.ShiftSlack, warmup)
+	}
+	if cfg.OverheadSampleEvery <= 0 {
+		cfg.OverheadSampleEvery = 64
+	}
+	if cfg.SpanCapacity > 0 {
+		obs.Default().SetSpanCapacity(cfg.SpanCapacity)
+	}
+	root := stats.NewRNG(cfg.Seed)
+
+	// Source streams: a generous stationary budget and the shifted tail,
+	// consumed adaptively (holdout rows stretch the cadence).
+	base := simsvc.EDiaMoNDSystem()
+	budget := 2*(cfg.PrefixRebuilds+1)*cfg.Alpha + cfg.ShiftSlack + cfg.Alpha
+	pre, err := base.GenerateDataset(budget, root.Split(0))
+	if err != nil {
+		return nil, err
+	}
+	shifted := simsvc.EDiaMoNDSystem()
+	if err := shifted.ScaleService(cfg.ShiftService, cfg.ShiftFactor); err != nil {
+		return nil, err
+	}
+	post, err := shifted.GenerateDataset(cfg.PostRows, root.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	nCols := len(pre.Columns)
+
+	// ---- Phase 1: the traced chain over TCP ----
+	sched, _, err := newTracePipeline(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := monitor.NewServerCtx(nCols, func(row []float64, tc obs.TraceContext) {
+		_, _ = sched.PushCtx(row, tc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := monitor.ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	sender, err := monitor.DialTCP(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer sender.Close()
+	agent, err := monitor.NewAgent("trace-agent", nCols, sender)
+	if err != nil {
+		return nil, err
+	}
+	agent.SetTracer(obs.NewTracer(cfg.Seed, 1)) // every batch sampled
+	points := make([]*monitor.Point, nCols)
+	for c := range points {
+		points[c] = agent.NewPoint(c)
+	}
+	// pushRow emits one request's measurements (one full batch → one flush
+	// → one trace) and waits until its row has cleared the sink, so the
+	// scheduler state read afterwards is causally after this row.
+	delivered := 0
+	pushRow := func(id int64, row []float64) error {
+		for c, v := range row {
+			points[c].Observe(id, v)
+		}
+		delivered++
+		if !inner.WaitComplete(delivered, 10*time.Second) {
+			return fmt.Errorf("trace: row %d not delivered within deadline", delivered)
+		}
+		return nil
+	}
+	reqID := int64(0)
+	// Stationary prefix: run out the cadence rebuilds, then the slack that
+	// lets the fresh generation's detector warm up.
+	slack := 0
+	for _, row := range pre.Rows {
+		if sched.Rebuilds() >= cfg.PrefixRebuilds {
+			if slack >= cfg.ShiftSlack {
+				break
+			}
+			slack++
+		}
+		if err := pushRow(reqID, row); err != nil {
+			return nil, err
+		}
+		reqID++
+	}
+	if sched.Rebuilds() < cfg.PrefixRebuilds || slack < cfg.ShiftSlack {
+		return nil, fmt.Errorf("trace: stationary budget %d rows too small (rebuilds %d, slack %d)",
+			budget, sched.Rebuilds(), slack)
+	}
+	// Shifted tail until the drift alarm forces a reconstruction.
+	shiftRow := reqID
+	detectRows := -1
+	for i, row := range post.Rows {
+		if err := pushRow(reqID, row); err != nil {
+			return nil, err
+		}
+		reqID++
+		if sched.DriftRebuilds() > 0 {
+			detectRows = i + 1
+			break
+		}
+	}
+	if detectRows < 0 {
+		return nil, fmt.Errorf("trace: no drift rebuild within %d shifted rows", cfg.PostRows)
+	}
+	// First query of the freshly swapped-in generation joins its trace.
+	model := sched.Model()
+	if model == nil {
+		return nil, fmt.Errorf("trace: no model deployed after drift rebuild")
+	}
+	if _, err := core.PriorMarginal(model, model.DNode, cfg.QuerySamples, root.Split(2)); err != nil {
+		return nil, err
+	}
+
+	// Assemble and locate the drift trace: the one whose sched.rebuild span
+	// is attributed cause=drift.
+	traces := obs.Default().Traces()
+	var chain *obs.Trace
+	for i := range traces {
+		if traceHasSpan(&traces[i], "sched.rebuild", "cause", "drift") {
+			chain = &traces[i]
+		}
+	}
+	if chain == nil {
+		return nil, fmt.Errorf("trace: drift rebuild span not found in %d assembled traces", len(traces))
+	}
+	missing := missingChainSpans(chain)
+	chainComplete := 0.0
+	if len(missing) == 0 {
+		chainComplete = 1
+	} else {
+		return nil, fmt.Errorf("trace: drift chain trace %016x missing spans %v", chain.TraceID, missing)
+	}
+	chainEvents := 0
+	for _, ev := range obs.J().Recent() {
+		if ev.TraceID == chain.TraceID {
+			chainEvents++
+		}
+	}
+
+	// Per-hop latency decomposition over every sampled span this phase
+	// recorded (the chain plus its stationary siblings).
+	hopSum := map[string]float64{}
+	hopN := map[string]int{}
+	for _, rec := range obs.Default().RecentSpans() {
+		if rec.TraceID == 0 {
+			continue
+		}
+		hopSum[rec.Name] += float64(rec.DurationNS) / 1e9
+		hopN[rec.Name]++
+	}
+	sender.Close()
+	srv.Close()
+
+	// ---- Phase 2: sampling overhead on the in-process ingest path ----
+	ingestHist := obs.H("monitor.ingest.seconds")
+	overheadArm := func(sampleEvery int) (float64, error) {
+		s2, _, err := newTracePipeline(cfg, false)
+		if err != nil {
+			return 0, err
+		}
+		srv2, err := monitor.NewServerCtx(nCols, func(row []float64, tc obs.TraceContext) {
+			_, _ = s2.PushCtx(row, tc)
+		})
+		if err != nil {
+			return 0, err
+		}
+		ag, err := monitor.NewAgent("overhead-agent", nCols, srv2)
+		if err != nil {
+			return 0, err
+		}
+		if sampleEvery > 0 {
+			ag.SetTracer(obs.NewTracer(cfg.Seed, sampleEvery))
+		}
+		pts := make([]*monitor.Point, nCols)
+		for c := range pts {
+			pts[c] = ag.NewPoint(c)
+		}
+		sum0, n0 := ingestHist.Sum(), ingestHist.Count()
+		for i := 0; i < cfg.OverheadRows; i++ {
+			row := pre.Rows[i%len(pre.Rows)]
+			for c, v := range row {
+				pts[c].Observe(int64(i), v)
+			}
+		}
+		n := ingestHist.Count() - n0
+		if n == 0 {
+			return 0, fmt.Errorf("trace: overhead arm ingested no batches")
+		}
+		return (ingestHist.Sum() - sum0) / float64(n), nil
+	}
+	reps := cfg.OverheadReps
+	if reps <= 0 {
+		reps = 3
+	}
+	// One discarded warmup pair, then paired arms; medians suppress the
+	// run-to-run noise of rebuild costs amortized into the ingest mean.
+	if _, err := overheadArm(0); err != nil {
+		return nil, err
+	}
+	if _, err := overheadArm(cfg.OverheadSampleEvery); err != nil {
+		return nil, err
+	}
+	var bases, sampleds, ratios []float64
+	for r := 0; r < reps; r++ {
+		b, err := overheadArm(0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := overheadArm(cfg.OverheadSampleEvery)
+		if err != nil {
+			return nil, err
+		}
+		bases = append(bases, b)
+		sampleds = append(sampleds, s)
+		if b > 0 {
+			ratios = append(ratios, (s-b)/b)
+		}
+	}
+	baseMean, sampledMean := median(bases), median(sampleds)
+	overhead := median(ratios)
+
+	// ---- Phase 3: the unsampled scoring path must not allocate ----
+	allocMon := health.NewMonitor(health.Config{Seed: cfg.Seed, Detector: cfg.Detector})
+	if err := allocMon.SetModel(model); err != nil {
+		return nil, err
+	}
+	allocRow := append([]float64(nil), pre.Rows[0]...)
+	if _, err := allocMon.ObserveCtx(allocRow, obs.TraceContext{}); err != nil {
+		return nil, err
+	}
+	// Min over passes: the scoring loop itself is allocation-free, so any
+	// nonzero pass is background-runtime noise (timers, GC bookkeeping).
+	allocsPerRow := 0.0
+	for pass := 0; pass < 3; pass++ {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < cfg.AllocRows; i++ {
+			if _, err := allocMon.ObserveCtx(allocRow, obs.TraceContext{}); err != nil {
+				return nil, err
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		per := float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.AllocRows)
+		if pass == 0 || per < allocsPerRow {
+			allocsPerRow = per
+		}
+	}
+
+	snap := obs.Default().Snapshot()
+	obs.G("trace.sample_every").Set(float64(cfg.OverheadSampleEvery))
+	obs.G("trace.span_capacity").Set(float64(cfg.SpanCapacity))
+	obs.G("trace.chain_complete").Set(chainComplete)
+	obs.G("trace.chain_spans").Set(float64(chain.Spans))
+	obs.G("trace.chain_events").Set(float64(chainEvents))
+	obs.G("trace.detection_delay_rows").Set(float64(detectRows))
+	obs.G("trace.ingest_mean_seconds.base").Set(baseMean)
+	obs.G("trace.ingest_mean_seconds.sampled").Set(sampledMean)
+	obs.G("trace.overhead_frac").Set(overhead)
+	obs.G("trace.unsampled_allocs_per_row").Set(allocsPerRow)
+	obs.G("trace.spans_recorded").Set(float64(snap.SpansRecorded))
+	obs.G("trace.spans_dropped").Set(float64(snap.SpansDropped))
+
+	// The figure: mean latency per hop, in causal order.
+	var xs, ys []float64
+	var notes []string
+	hopNames := make([]string, 0, len(hopSum))
+	for _, hop := range traceChainSpans {
+		if hopN[hop] > 0 {
+			hopNames = append(hopNames, hop)
+		}
+	}
+	for n := range hopSum {
+		if !contains(hopNames, n) {
+			hopNames = append(hopNames, n)
+		}
+	}
+	sort.SliceStable(hopNames, func(a, b int) bool {
+		return chainIndex(hopNames[a]) < chainIndex(hopNames[b])
+	})
+	for i, hop := range hopNames {
+		mean := hopSum[hop] / float64(hopN[hop])
+		obs.G("trace.hop_mean_seconds." + lastSegmentName(hop)).Set(mean)
+		xs = append(xs, float64(i+1))
+		ys = append(ys, mean*1e6)
+		notes = append(notes, fmt.Sprintf("hop %d %s: mean %.1fus over %d sampled spans", i+1, hop, mean*1e6, hopN[hop]))
+	}
+	notes = append(notes,
+		fmt.Sprintf("drift chain: trace %016x, %d spans, %d journal events, detected %d rows after shift (row %d)",
+			chain.TraceID, chain.Spans, chainEvents, detectRows, shiftRow),
+		fmt.Sprintf("sampling overhead at 1/%d: ingest %.1fus -> %.1fus (%.2f%%)",
+			cfg.OverheadSampleEvery, baseMean*1e6, sampledMean*1e6, overhead*100),
+		fmt.Sprintf("unsampled scoring path: %.3f allocs/row over %d rows", allocsPerRow, cfg.AllocRows),
+	)
+	return &FigResult{
+		ID: "trace",
+		Title: fmt.Sprintf("End-to-end trace decomposition (drift chain %d spans; 1/%d sampling overhead %.2f%%)",
+			chain.Spans, cfg.OverheadSampleEvery, overhead*100),
+		XLabel: "hop (causal order)",
+		YLabel: "mean span latency (us)",
+		Series: []Series{{Name: "hop_mean_us", X: xs, Y: ys}},
+		Notes:  notes,
+	}, nil
+}
+
+// traceHasSpan reports whether the trace holds a span by this name, and —
+// when attrKey is non-empty — with that attribute value.
+func traceHasSpan(tr *obs.Trace, name, attrKey, attrVal string) bool {
+	found := false
+	walkTrace(tr, func(n *obs.TraceNode) {
+		if n.Name != name {
+			return
+		}
+		if attrKey == "" || n.Attrs[attrKey] == attrVal {
+			found = true
+		}
+	})
+	return found
+}
+
+// missingChainSpans lists the canonical chain hops absent from the trace.
+func missingChainSpans(tr *obs.Trace) []string {
+	present := map[string]bool{}
+	walkTrace(tr, func(n *obs.TraceNode) { present[n.Name] = true })
+	var missing []string
+	for _, name := range traceChainSpans {
+		if !present[name] {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
+func walkTrace(tr *obs.Trace, fn func(*obs.TraceNode)) {
+	var walk func(n *obs.TraceNode)
+	walk = func(n *obs.TraceNode) {
+		fn(n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, root := range tr.Roots {
+		walk(root)
+	}
+}
+
+func chainIndex(name string) int {
+	for i, n := range traceChainSpans {
+		if n == name {
+			return i
+		}
+	}
+	return len(traceChainSpans)
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// median returns the middle value (mean of the middle pair for even n).
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// lastSegmentName flattens a span name into one metric segment
+// ("monitor.wire_hop" -> "monitor_wire_hop") so per-hop gauges conform to
+// the dotted naming scheme.
+func lastSegmentName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if c == '.' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// quickTraceConfig shrinks the benchmark for CI: the chain phase still runs
+// the full TCP pipeline to a drift rebuild, the overhead/alloc phases just
+// use fewer rows.
+func quickTraceConfig() TraceBenchConfig {
+	cfg := DefaultTraceBenchConfig()
+	cfg.OverheadRows = 300
+	cfg.AllocRows = 500
+	cfg.QuerySamples = 500
+	return cfg
+}
+
+// TestTraceBenchAssemblesDriftChain is the tracing e2e: a drift-triggered
+// reconstruction must produce ONE assembled trace containing every hop of
+// the autonomic chain — measurement flush, wire hop, ingest, scheduler
+// push, health score, rebuild, and the first query of the new generation —
+// and that trace must export to a loadable Chrome trace-event document.
+func TestTraceBenchAssemblesDriftChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline e2e")
+	}
+	res, err := TraceBench(quickTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "trace" {
+		t.Fatalf("FigResult ID = %q, want trace", res.ID)
+	}
+	if got := obs.G("trace.chain_complete").Value(); got != 1 {
+		t.Errorf("trace.chain_complete = %v, want 1", got)
+	}
+	if got := obs.G("trace.chain_spans").Value(); got < float64(len(traceChainSpans)) {
+		t.Errorf("chain trace has %v spans, want >= %d", got, len(traceChainSpans))
+	}
+	// The journal must have recorded the alarm → truncation → rebuild →
+	// swap sequence on the chain's trace.
+	if got := obs.G("trace.chain_events").Value(); got < 4 {
+		t.Errorf("chain carries %v journal events, want >= 4 (alarm, truncation, rebuild, swap)", got)
+	}
+	// Tracing must be free when off.
+	if got := obs.G("trace.unsampled_allocs_per_row").Value(); got != 0 {
+		t.Errorf("unsampled scoring path allocates %v/row, want 0", got)
+	}
+
+	// The assembled traces export to Chrome trace-event format: complete
+	// events with microsecond timestamps and hex IDs, JSON-serializable.
+	doc := obs.ChromeTrace(obs.Default().Traces())
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome export produced no events")
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		seen[ev.Name] = true
+	}
+	for _, hop := range traceChainSpans {
+		if !seen[hop] {
+			t.Errorf("Chrome export missing %q events", hop)
+		}
+	}
+	if _, err := json.Marshal(doc); err != nil {
+		t.Fatalf("Chrome document does not serialize: %v", err)
+	}
+
+	// The full pipeline just exercised every instrumented package: its
+	// metric and span names must all conform to the naming scheme.
+	if errs := obs.Default().LintNames(); len(errs) != 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+	}
+}

@@ -9,6 +9,10 @@ import (
 	"kertbn/internal/stats"
 )
 
+func init() {
+	obs.RegisterPrefix("faulty", "internal/faulty")
+}
+
 // Injected-fault metrics. faulty.conns counts every planned connection
 // (clean or not); the per-kind counters count injected fault plans.
 var (

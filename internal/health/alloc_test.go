@@ -1,0 +1,78 @@
+package health
+
+import (
+	"testing"
+
+	"kertbn/internal/core"
+	"kertbn/internal/obs"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+// allocFixture builds a deployed monitor with holdout disabled, so
+// ObserveCtx runs the pure scoring path.
+func allocFixture(tb testing.TB) (*Monitor, []float64) {
+	tb.Helper()
+	sys := simsvc.EDiaMoNDSystem()
+	rng := stats.NewRNG(7)
+	train, err := sys.GenerateDataset(400, rng.Split(0))
+	if err != nil {
+		tb.Fatalf("generate train: %v", err)
+	}
+	model, err := core.BuildKERT(core.KERTConfig{Workflow: sys.Workflow}, train)
+	if err != nil {
+		tb.Fatalf("build model: %v", err)
+	}
+	m := NewMonitor(Config{Seed: 7, Detector: DetectorConfig{Warmup: 1 << 30}})
+	if err := m.SetModel(model); err != nil {
+		tb.Fatal(err)
+	}
+	row := append([]float64(nil), train.Rows[0]...)
+	return m, row
+}
+
+// TestObserveCtxUnsampledDoesNotAllocate is the tracing-cost gate: scoring
+// a row with the zero trace context must not allocate at all — tracing is
+// free for every batch the sampler skips.
+func TestObserveCtxUnsampledDoesNotAllocate(t *testing.T) {
+	m, row := allocFixture(t)
+	if _, err := m.ObserveCtx(row, obs.TraceContext{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := m.ObserveCtx(row, obs.TraceContext{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("unsampled ObserveCtx allocates %v per row, want 0", avg)
+	}
+}
+
+// BenchmarkObserveCtxUnsampled reports the per-row cost (and, via
+// ReportAllocs, the zero-allocation property) of the untraced scoring path
+// — the overhead every monitored row pays whether or not tracing is on.
+func BenchmarkObserveCtxUnsampled(b *testing.B) {
+	m, row := allocFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ObserveCtx(row, obs.TraceContext{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObserveCtxSampled is the comparison arm: the same row scored
+// inside a sampled trace, spans and all.
+func BenchmarkObserveCtxSampled(b *testing.B) {
+	m, row := allocFixture(b)
+	tc := obs.TraceContext{TraceID: obs.DeriveID(7, 0), SpanID: obs.DeriveID(7, 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ObserveCtx(row, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

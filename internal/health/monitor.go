@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"kertbn/internal/bn"
 	"kertbn/internal/core"
@@ -13,6 +14,10 @@ import (
 	"kertbn/internal/obs"
 	"kertbn/internal/stats"
 )
+
+func init() {
+	obs.RegisterPrefix("health", "internal/health")
+}
 
 // Model-health metrics. Scoring latency lands in the "health.score.seconds"
 // span histogram; compare it against "monitor.ingest.seconds" to see the
@@ -30,6 +35,10 @@ var (
 	healthPEmp       = obs.G("health.p_emp")
 	healthThreshold  = obs.G("health.threshold")
 	healthDriftNodes = obs.G("health.drift.nodes_drifting")
+	// healthScoreHist is the same histogram the "health.score" span records
+	// into; the unsampled hot path observes it directly so per-row scoring
+	// stays allocation-free while the latency distribution stays complete.
+	healthScoreHist = obs.H("health.score.seconds")
 )
 
 // ErrNoModel is returned by Observe before the first SetModel.
@@ -311,6 +320,15 @@ func sameNames(a, b []string) bool {
 // row belongs to the online holdout split — callers that train models (the
 // scheduler) must withhold such rows from the training window.
 func (m *Monitor) Observe(row []float64) (holdout bool, err error) {
+	return m.ObserveCtx(row, obs.TraceContext{})
+}
+
+// ObserveCtx is Observe carrying the trace context of the batch the row
+// arrived in. A sampled context wraps scoring in a "health.score" span
+// joined to the trace and stamps any drift-alarm journal event with the
+// trace IDs; the zero context takes an allocation-free path that records
+// the same latency histogram directly.
+func (m *Monitor) ObserveCtx(row []float64, tc obs.TraceContext) (holdout bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.scorer == nil {
@@ -319,9 +337,20 @@ func (m *Monitor) Observe(row []float64) (holdout bool, err error) {
 	m.rowsSeen++
 	holdout = m.cfg.HoldoutEvery > 0 && m.rowsSeen%int64(m.cfg.HoldoutEvery) == 0
 
-	sp := obs.StartSpan("health.score")
+	var sp *obs.Span
+	var start time.Time
+	if tc.Sampled() {
+		sp = obs.StartSpanCtx("health.score", tc)
+	} else {
+		start = time.Now()
+	}
 	total, err := m.scorer.ScoreRow(row, m.perNode, m.pit)
-	sp.End()
+	if sp != nil {
+		tc = sp.Context() // alarm events point at the scoring span
+		sp.End()
+	} else {
+		healthScoreHist.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		return false, err
 	}
@@ -330,7 +359,7 @@ func (m *Monitor) Observe(row []float64) (holdout bool, err error) {
 
 	m.totalLL.push(total)
 	if m.detTotal.Observe(total) {
-		m.recordAlarmLocked(m.detTotal)
+		m.recordAlarmLocked(m.detTotal, "_total", tc)
 	}
 	drifting := 0
 	for i := range m.names {
@@ -346,7 +375,7 @@ func (m *Monitor) Observe(row []float64) (holdout bool, err error) {
 			m.pitHists[i].Observe(u)
 		}
 		if m.detNode[i].Observe(m.perNode[i]) {
-			m.recordAlarmLocked(m.detNode[i])
+			m.recordAlarmLocked(m.detNode[i], m.names[i], tc)
 		}
 		m.stateG[i].Set(float64(m.detNode[i].State()))
 		if m.detNode[i].State() == StateDrift {
@@ -372,8 +401,9 @@ func (m *Monitor) Observe(row []float64) (holdout bool, err error) {
 	return holdout, nil
 }
 
-// recordAlarmLocked bumps the drift counters and latches the pending alarm.
-func (m *Monitor) recordAlarmLocked(d *Detector) {
+// recordAlarmLocked bumps the drift counters, latches the pending alarm and
+// journals the event (with trace IDs when the triggering row was sampled).
+func (m *Monitor) recordAlarmLocked(d *Detector, source string, tc obs.TraceContext) {
 	m.alarmPending = true
 	healthAlarms.Inc()
 	if cusum, ph := d.FiredBy(); true {
@@ -384,6 +414,10 @@ func (m *Monitor) recordAlarmLocked(d *Detector) {
 			healthPH.Inc()
 		}
 	}
+	obs.J().Record(obs.Event{
+		Type: obs.EventDriftAlarm, TraceID: tc.TraceID, SpanID: tc.SpanID,
+		Generation: m.gen, Detail: source,
+	})
 }
 
 // epsLocked returns (ε, pEmp, defined) from the current holdout ring.

@@ -10,6 +10,10 @@ import (
 	"kertbn/internal/obs"
 )
 
+func init() {
+	obs.RegisterPrefix("infer", "internal/infer")
+}
+
 // Per-engine inference metrics (the cross-engine "infer.query" span lives
 // one level up, in core's posterior funnel).
 var (

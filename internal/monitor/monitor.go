@@ -10,6 +10,8 @@ import (
 	"kertbn/internal/obs"
 )
 
+func init() { obs.RegisterPrefix("monitor", "internal/monitor") }
+
 // Monitoring-pipeline metrics: what flows from points through agents into
 // assembled rows — the live Section-2 data path.
 var (
@@ -34,10 +36,15 @@ type Measurement struct {
 	Value float64
 }
 
-// Report is one batch of measurements shipped by an agent.
+// Report is one batch of measurements shipped by an agent. Trace carries
+// the batch's trace context when the agent's tracer sampled it; the zero
+// value gob-encodes to nothing, so reports from untraced agents are
+// byte-identical to pre-trace reports and old receivers simply ignore the
+// field (gob schema evolution).
 type Report struct {
 	AgentID string
 	Batch   []Measurement
+	Trace   obs.TraceContext
 }
 
 // Point is a monitoring point attached to one measured column. Observations
@@ -67,6 +74,22 @@ type Agent struct {
 
 	mu    sync.Mutex
 	batch []Measurement
+
+	// tracer, when set, samples whole batches: the decision is drawn when
+	// a batch opens, so every measurement of a sampled batch rides one
+	// trace. batchStart backdates the flush span to the batch opening,
+	// making the span's duration the queue wait plus the send.
+	tracer     *obs.Tracer
+	batchCtx   obs.TraceContext
+	batchStart time.Time
+}
+
+// SetTracer attaches a batch-sampling tracer (nil disables tracing). Safe
+// to call before traffic starts.
+func (a *Agent) SetTracer(t *obs.Tracer) {
+	a.mu.Lock()
+	a.tracer = t
+	a.mu.Unlock()
 }
 
 // NewAgent creates an agent flushing every batchSize measurements.
@@ -87,44 +110,72 @@ func (a *Agent) NewPoint(column int) *Point {
 
 func (a *Agent) add(m Measurement) {
 	a.mu.Lock()
+	if len(a.batch) == 0 {
+		// A new batch opens: draw its sampling decision now so the flush
+		// span can be backdated to this moment (queue wait included).
+		a.batchCtx = a.tracer.Sample()
+		if a.batchCtx.Sampled() {
+			a.batchStart = time.Now()
+		}
+	}
 	a.batch = append(a.batch, m)
 	shouldFlush := len(a.batch) >= a.BatchSize
 	var out []Measurement
+	var tc obs.TraceContext
+	var start time.Time
 	if shouldFlush {
-		out = a.batch
-		a.batch = nil
+		out, tc, start = a.batch, a.batchCtx, a.batchStart
+		a.batch, a.batchCtx = nil, obs.TraceContext{}
 	}
 	a.mu.Unlock()
 	if shouldFlush {
-		monFlushSize.Observe(float64(len(out)))
 		// Errors are reported through Flush; periodic sends best-effort
 		// drop on the floor like the real UDP-ish reporting path would.
-		_ = a.sender.Send(Report{AgentID: a.ID, Batch: out})
+		_ = a.send(out, tc, start)
 	}
 }
 
 // Flush ships any buffered measurements immediately.
 func (a *Agent) Flush() error {
 	a.mu.Lock()
-	out := a.batch
-	a.batch = nil
+	out, tc, start := a.batch, a.batchCtx, a.batchStart
+	a.batch, a.batchCtx = nil, obs.TraceContext{}
 	a.mu.Unlock()
 	if len(out) == 0 {
 		return nil
 	}
+	return a.send(out, tc, start)
+}
+
+// send ships one batch, wrapping sampled batches in a "monitor.flush" root
+// span that starts when the batch opened — its duration is the time
+// measurements waited in the buffer plus the send itself.
+func (a *Agent) send(out []Measurement, tc obs.TraceContext, start time.Time) error {
 	monFlushSize.Observe(float64(len(out)))
-	return a.sender.Send(Report{AgentID: a.ID, Batch: out})
+	var sp *obs.Span
+	if tc.Sampled() {
+		sp = obs.StartSpanCtxAt("monitor.flush", tc, start)
+		sp.SetAttr("agent", a.ID)
+		defer sp.End()
+		tc = sp.Context()
+	}
+	return a.sender.Send(Report{AgentID: a.ID, Batch: out, Trace: tc})
 }
 
 // RowSink receives completed per-request rows.
 type RowSink func(row []float64)
+
+// RowSinkCtx receives completed per-request rows together with the trace
+// context of the batch that completed them (the zero context for rows whose
+// completing batch was unsampled) — typically a core.Scheduler.PushCtx.
+type RowSinkCtx func(row []float64, tc obs.TraceContext)
 
 // Server is the management server: it joins measurements by request id into
 // complete rows of width numColumns and hands them to the sink (typically a
 // core.Scheduler window push).
 type Server struct {
 	numColumns int
-	sink       RowSink
+	sink       RowSinkCtx
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled after each completed-row sink returns
@@ -147,6 +198,15 @@ type partialRow struct {
 
 // NewServer creates a management server assembling rows of the given width.
 func NewServer(numColumns int, sink RowSink) (*Server, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("monitor: server needs a sink")
+	}
+	return NewServerCtx(numColumns, func(row []float64, _ obs.TraceContext) { sink(row) })
+}
+
+// NewServerCtx is NewServer with a trace-aware sink: completed rows arrive
+// with the trace context of the report that completed them.
+func NewServerCtx(numColumns int, sink RowSinkCtx) (*Server, error) {
 	if numColumns <= 0 {
 		return nil, fmt.Errorf("monitor: numColumns must be positive")
 	}
@@ -169,8 +229,12 @@ func NewServer(numColumns int, sink RowSink) (*Server, error) {
 // model-health scoring and rebuilds included) that the health package's
 // "health.score.seconds" overhead is judged against.
 func (s *Server) Send(r Report) error {
-	sp := obs.StartSpan("monitor.ingest")
+	// A sampled report's ingest span joins the batch's trace (child of the
+	// flush span in-process, of the wire-hop span over TCP); the rows it
+	// completes inherit the ingest span as their parent.
+	sp := obs.StartSpanCtx("monitor.ingest", r.Trace)
 	defer sp.End()
+	tc := sp.Context()
 	monBatches.Inc()
 	monMeasures.Add(int64(len(r.Batch)))
 	s.mu.Lock()
@@ -197,7 +261,7 @@ func (s *Server) Send(r Report) error {
 			row := p.values
 			delete(s.partial, m.RequestID)
 			s.mu.Unlock()
-			s.sink(row)
+			s.sink(row, tc)
 			s.mu.Lock()
 			// Count the row only after its sink returned: that makes
 			// CompleteCount()==N a completion barrier — when the counter

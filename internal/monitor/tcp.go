@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -130,7 +131,8 @@ func (s *TCPServer) serve(conn net.Conn) {
 	for {
 		var r Report
 		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
-		if err := wire.Decode(cr, 0, &r); err != nil {
+		fctx, err := wire.DecodeCtx(cr, 0, &r)
+		if err != nil {
 			if errors.Is(err, wire.ErrChecksum) {
 				// Frame fully consumed; stream still aligned. Count the
 				// corruption and keep receiving — the agent will retry.
@@ -138,6 +140,20 @@ func (s *TCPServer) serve(conn net.Conn) {
 				continue
 			}
 			return
+		}
+		if fctx.Sampled() {
+			// Reconstruct the wire hop as a span running from the sender's
+			// send timestamp to now — network latency plus any injected
+			// delay — parented under the agent's flush span. Each delivered
+			// retry becomes a sibling hop tagged with its attempt number.
+			hop := obs.StartSpanCtxAt("monitor.wire_hop",
+				obs.TraceContext{TraceID: fctx.TraceID, SpanID: fctx.SpanID},
+				time.Unix(0, fctx.SendUnixNS))
+			hop.SetAttr("attempt", strconv.Itoa(int(fctx.Attempt)))
+			hop.SetAttr("agent", r.AgentID)
+			hop.EndAt(time.Now())
+			// Reattach so the ingest span nests under this hop.
+			r.Trace = hop.Context()
 		}
 		_ = s.inner.Send(r)
 	}
@@ -260,7 +276,20 @@ func (t *TCPSender) Send(r Report) error {
 			t.conn = conn
 		}
 		t.conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout))
-		if _, err := wire.Encode(t.conn, &r); err != nil {
+		// Sampled reports ship the flagged frame layout, stamping each
+		// attempt with its own send timestamp and attempt number so the
+		// receiver can reconstruct per-attempt wire-hop spans. Unsampled
+		// reports stay byte-identical to the legacy layout.
+		var fctx wire.TraceContext
+		if r.Trace.Sampled() {
+			fctx = wire.TraceContext{
+				TraceID:    r.Trace.TraceID,
+				SpanID:     r.Trace.SpanID,
+				SendUnixNS: time.Now().UnixNano(),
+				Attempt:    uint8(min(attempt, 255)),
+			}
+		}
+		if _, err := wire.EncodeCtx(t.conn, &r, fctx); err != nil {
 			// The frame may have landed partially: the connection is not
 			// trustworthy anymore. Drop it and re-dial on the next attempt.
 			t.conn.Close()

@@ -1,0 +1,134 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"kertbn/internal/faulty"
+	"kertbn/internal/obs"
+)
+
+// TestTracingSurvivesFaultInjection streams sampled batches through a TCP
+// path whose dials are deterministically dropped and delayed, and asserts
+// the tracing invariants hold under chaos:
+//
+//   - every assembled trace is rooted at exactly its monitor.flush span —
+//     no orphan spans, even when the delivering attempt was a retry;
+//   - delivered retries surface as wire-hop spans tagged with their attempt
+//     number (attempt > 0 for at least one hop, since dials were dropped);
+//   - every wire hop nests an ingest span (the chain never dead-ends).
+//
+// Run under -race via the standard race target: the tracer, agent, sender
+// and server all share the default registry concurrently here.
+func TestTracingSurvivesFaultInjection(t *testing.T) {
+	obs.Default().Reset()
+	obs.Default().SetSpanCapacity(4096)
+
+	const cols = 2
+	const rows = 40
+	rc := &rowCollector{}
+	inner, err := NewServer(cols, rc.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Truncation faults sever established connections mid-frame (the
+	// persistent-connection failure mode), forcing write errors, re-dials
+	// and retried reports; delays jitter the hop timings.
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 7, Truncate: 0.4, Delay: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		DialTimeout: 200 * time.Millisecond,
+		IOTimeout:   500 * time.Millisecond,
+		Retries:     8,
+		Backoff:     tinyBackoff,
+		Seed:        7,
+		AgentKey:    3,
+		Injector:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	agent, err := NewAgent("chaos-agent", cols, sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.SetTracer(obs.NewTracer(7, 1)) // sample every batch
+	p0, p1 := agent.NewPoint(0), agent.NewPoint(1)
+	for i := int64(0); i < rows; i++ {
+		p0.Observe(i, float64(i))
+		p1.Observe(i, float64(i)+0.5)
+	}
+	// At-least-once delivery: a frame that landed fully just before its
+	// connection truncated is retransmitted, so duplicates can push the
+	// count past rows.
+	waitFor(t, "all rows through the chaos path", func() bool { return rc.count() >= rows })
+
+	if monTCPRetries.Value() == 0 {
+		t.Fatal("fault schedule injected no retries; the test exercises nothing")
+	}
+
+	traces := obs.Default().Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces assembled")
+	}
+	retriedHops := 0
+	for _, tr := range traces {
+		if len(tr.Roots) != 1 {
+			t.Fatalf("trace %016x has %d roots, want 1 (orphan spans)", tr.TraceID, len(tr.Roots))
+		}
+		root := tr.Roots[0]
+		if root.Name != "monitor.flush" {
+			t.Fatalf("trace %016x rooted at %q, want monitor.flush", tr.TraceID, root.Name)
+		}
+		for _, hop := range root.Children {
+			if hop.Name != "monitor.wire_hop" {
+				t.Fatalf("flush child is %q, want monitor.wire_hop", hop.Name)
+			}
+			att, ok := hop.Attrs["attempt"]
+			if !ok {
+				t.Fatalf("wire hop in trace %016x missing attempt attr", tr.TraceID)
+			}
+			if att != "0" {
+				retriedHops++
+			}
+			ingest := 0
+			for _, c := range hop.Children {
+				if c.Name == "monitor.ingest" {
+					ingest++
+				}
+			}
+			if ingest != 1 {
+				t.Fatalf("wire hop (attempt %s) has %d ingest children, want 1", att, ingest)
+			}
+		}
+	}
+	if retriedHops == 0 {
+		t.Error("no delivered retry surfaced as an attempt>0 wire hop")
+	}
+}
+
+// TestUnsampledTracerDrawsWithoutAllocating pins the cost of the sampling
+// decision itself: the per-batch Sample() call on an unsampled draw must
+// not allocate — that is what makes tracing free for the 63-in-64 batches
+// that are not sampled.
+func TestUnsampledTracerDrawsWithoutAllocating(t *testing.T) {
+	tr := obs.NewTracer(9, 1<<30) // first draw samples; the rest never do
+	tr.Sample()
+	if avg := testing.AllocsPerRun(1000, func() {
+		if tc := tr.Sample(); tc.Sampled() {
+			t.Fatal("draw unexpectedly sampled")
+		}
+	}); avg != 0 {
+		t.Fatalf("unsampled Sample() allocates %v per draw, want 0", avg)
+	}
+}

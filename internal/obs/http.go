@@ -42,11 +42,39 @@ func (r *Registry) routePaths() []string {
 	return out
 }
 
+// SpansPage is the JSON shape served at /spans: the buffered spans plus
+// the recorded/dropped totals, so a reader can tell when the ring rotated
+// records out from under it.
+type SpansPage struct {
+	Spans         []SpanRecord `json:"spans"`
+	SpansRecorded int64        `json:"spans_recorded"`
+	SpansDropped  int64        `json:"spans_dropped"`
+}
+
+// EventsPage is the JSON shape served at /events.
+type EventsPage struct {
+	Events         []Event `json:"events"`
+	EventsRecorded int64   `json:"events_recorded"`
+	EventsDropped  int64   `json:"events_dropped"`
+}
+
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 // Handler returns the live introspection endpoint:
 //
 //	/              route index (text)
 //	/metrics       full registry snapshot (JSON, the Snapshot schema)
-//	/spans         recent completed spans, oldest-first (JSON)
+//	/spans         recent completed spans, oldest-first, with drop counts (JSON)
+//	/traces        assembled trace trees (JSON; ?format=chrome for the
+//	               Chrome trace-event form, loadable in Perfetto)
+//	/events        the bounded event journal, oldest-first (JSON)
 //	/debug/vars    expvar (cmdline, memstats)
 //	/debug/pprof/  net/http/pprof profiles
 //
@@ -60,12 +88,28 @@ func (r *Registry) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(r.RecentSpans()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		ring := r.spanRingRef()
+		writeIndentedJSON(w, SpansPage{
+			Spans:         ring.recent(),
+			SpansRecorded: ring.totalRecorded(),
+			SpansDropped:  ring.totalDropped(),
+		})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		traces := r.Traces()
+		if req.URL.Query().Get("format") == "chrome" {
+			writeIndentedJSON(w, ChromeTrace(traces))
+			return
 		}
+		writeIndentedJSON(w, traces)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		j := r.Journal()
+		writeIndentedJSON(w, EventsPage{
+			Events:         j.Recent(),
+			EventsRecorded: j.Total(),
+			EventsDropped:  j.Dropped(),
+		})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -85,6 +129,8 @@ func (r *Registry) Handler() http.Handler {
 		fmt.Fprintln(w, "kertbn introspection endpoint")
 		fmt.Fprintln(w, "  /metrics       JSON metric snapshot")
 		fmt.Fprintln(w, "  /spans         recent spans (JSON)")
+		fmt.Fprintln(w, "  /traces        assembled traces (?format=chrome for Perfetto)")
+		fmt.Fprintln(w, "  /events        event journal (JSON)")
 		fmt.Fprintln(w, "  /debug/vars    expvar")
 		fmt.Fprintln(w, "  /debug/pprof/  pprof profiles")
 		for _, p := range r.routePaths() {

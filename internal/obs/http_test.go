@@ -31,13 +31,16 @@ func TestHandlerMetricsAndSpans(t *testing.T) {
 		t.Fatalf("rebuild histogram missing or wrong: %+v", h)
 	}
 
-	var spans []SpanRecord
-	getJSON(t, ts.URL+"/spans", &spans)
-	if len(spans) != 1 || spans[0].Name != "sched.rebuild" {
-		t.Fatalf("spans = %+v", spans)
+	var page SpansPage
+	getJSON(t, ts.URL+"/spans", &page)
+	if len(page.Spans) != 1 || page.Spans[0].Name != "sched.rebuild" {
+		t.Fatalf("spans = %+v", page.Spans)
+	}
+	if page.SpansRecorded != 1 || page.SpansDropped != 0 {
+		t.Fatalf("spans page totals = %d recorded / %d dropped", page.SpansRecorded, page.SpansDropped)
 	}
 
-	for _, route := range []string{"/", "/debug/vars", "/debug/pprof/"} {
+	for _, route := range []string{"/", "/debug/vars", "/debug/pprof/", "/traces", "/traces?format=chrome", "/events"} {
 		resp, err := http.Get(ts.URL + route)
 		if err != nil {
 			t.Fatalf("GET %s: %v", route, err)

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType classifies journal records — the discrete state changes of the
+// autonomic loop worth keeping a causal record of.
+type EventType string
+
+const (
+	// EventDriftAlarm: a drift detector fired on the scored row stream.
+	EventDriftAlarm EventType = "drift_alarm"
+	// EventTruncation: the training window was truncated (K collapsed to 1
+	// after a drift alarm).
+	EventTruncation EventType = "truncation"
+	// EventRebuild: a model reconstruction ran (cadence or drift-forced).
+	EventRebuild EventType = "rebuild"
+	// EventGenerationSwap: a freshly built model replaced the deployed one.
+	EventGenerationSwap EventType = "generation_swap"
+	// EventFallback: a decentralized learning round degraded a node to a
+	// fallback CPD (or kept its previous one) after transport failures.
+	EventFallback EventType = "fallback"
+)
+
+// Event is one structured journal record. TraceID/SpanID link the event
+// into the distributed trace that caused it (zero when the causing batch
+// was not sampled).
+type Event struct {
+	Seq        int64     `json:"seq"`
+	TimeUnixNS int64     `json:"time_unix_ns"`
+	Type       EventType `json:"type"`
+	TraceID    uint64    `json:"trace_id,omitempty"`
+	SpanID     uint64    `json:"span_id,omitempty"`
+	// Generation is the model generation the event concerns (0 = n/a).
+	Generation int `json:"generation,omitempty"`
+	// Rows is a row count when the event has one (rows truncated, window
+	// rows at rebuild...).
+	Rows int `json:"rows,omitempty"`
+	// Detail carries free-form context: alarm source, fallback node, the
+	// rebuild cause ("drift" vs "cadence").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is a bounded ring of typed events. Like the span ring it keeps
+// the most recent records and counts what it had to drop; unlike metrics it
+// preserves ordering, so the /events view reads as a causal log.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int
+	seq     int64
+	dropped int64
+}
+
+// NewJournal creates a journal keeping the most recent capacity events
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Event, 0, capacity)}
+}
+
+// Record stamps the event with a sequence number and timestamp and appends
+// it, returning the sequence number. Safe for concurrent use.
+func (j *Journal) Record(e Event) int64 {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if e.TimeUnixNS == 0 {
+		e.TimeUnixNS = time.Now().UnixNano()
+	}
+	if len(j.buf) < cap(j.buf) {
+		j.buf = append(j.buf, e)
+	} else {
+		j.buf[j.head] = e
+		j.head = (j.head + 1) % len(j.buf)
+		j.dropped++
+	}
+	j.mu.Unlock()
+	return e.Seq
+}
+
+// Recent returns the buffered events oldest-first.
+func (j *Journal) Recent() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.buf))
+	out = append(out, j.buf[j.head:]...)
+	out = append(out, j.buf[:j.head]...)
+	return out
+}
+
+// Total returns how many events have ever been recorded.
+func (j *Journal) Total() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Dropped returns how many events aged out of the ring.
+func (j *Journal) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// reset clears the journal (Registry.Reset calls it for test isolation).
+func (j *Journal) reset() {
+	j.mu.Lock()
+	j.buf = j.buf[:0]
+	j.head = 0
+	j.seq = 0
+	j.dropped = 0
+	j.mu.Unlock()
+}
+
+// Journal returns the registry's event journal.
+func (r *Registry) Journal() *Journal { return r.journal }
+
+// J returns the default registry's event journal.
+func J() *Journal { return std.Journal() }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metric and span names follow one scheme across the repo:
+//
+//	<prefix>.<segment>[.<segment>...]
+//
+// where every segment is non-empty lowercase [a-z0-9_]+, except the LAST
+// segment, which may carry uppercase — per-node metrics embed node names
+// ("health.pit.D", "health.drift.state.Rdisk"). The first segment must be a
+// prefix the owning package registered with RegisterPrefix, so a typo'd or
+// ad-hoc namespace fails the lint test instead of silently forking the
+// metric tree.
+
+var lintMu sync.Mutex
+var lintPrefixes = map[string]string{}
+
+// RegisterPrefix declares a metric/span name prefix as owned (owner is a
+// package path, for the lint failure message). Called from var-init blocks
+// of instrumented packages; re-registration by the same owner is a no-op.
+func RegisterPrefix(prefix, owner string) {
+	lintMu.Lock()
+	defer lintMu.Unlock()
+	lintPrefixes[prefix] = owner
+}
+
+// RegisteredPrefixes returns the declared prefixes, sorted.
+func RegisteredPrefixes() []string {
+	lintMu.Lock()
+	defer lintMu.Unlock()
+	out := make([]string, 0, len(lintPrefixes))
+	for p := range lintPrefixes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func prefixRegistered(p string) bool {
+	lintMu.Lock()
+	defer lintMu.Unlock()
+	_, ok := lintPrefixes[p]
+	return ok
+}
+
+func lowerSegment(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func lastSegment(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckName validates one metric or span name against the naming scheme,
+// returning nil when it conforms.
+func CheckName(name string) error {
+	segs := strings.Split(name, ".")
+	if len(segs) < 2 {
+		return fmt.Errorf("obs: name %q must have at least two dotted segments", name)
+	}
+	for i, seg := range segs {
+		if i == len(segs)-1 {
+			if !lastSegment(seg) {
+				return fmt.Errorf("obs: name %q segment %q has characters outside [A-Za-z0-9_]", name, seg)
+			}
+			continue
+		}
+		if !lowerSegment(seg) {
+			return fmt.Errorf("obs: name %q segment %q must be lowercase [a-z0-9_]+", name, seg)
+		}
+	}
+	if !prefixRegistered(segs[0]) {
+		return fmt.Errorf("obs: name %q uses unregistered prefix %q (RegisterPrefix it in the owning package)", name, segs[0])
+	}
+	return nil
+}
+
+// LintNames walks every metric name in the registry plus every buffered
+// span name and returns the violations, sorted. Run from a test after a
+// full pipeline pass so every lazily created metric exists.
+func (r *Registry) LintNames() []error {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	r.mu.RLock()
+	for n := range r.counters {
+		add(n)
+	}
+	for n := range r.gauges {
+		add(n)
+	}
+	for n := range r.hists {
+		add(n)
+	}
+	r.mu.RUnlock()
+	for _, rec := range r.RecentSpans() {
+		add(rec.Name)
+	}
+	sort.Strings(names)
+	var errs []error
+	for _, n := range names {
+		if err := CheckName(n); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+func TestCheckName(t *testing.T) {
+	RegisterPrefix("health", "internal/health")
+	RegisterPrefix("monitor", "internal/monitor")
+	good := []string{
+		"monitor.ingest.seconds",
+		"health.pit.D",
+		"health.drift.state.Rdisk",
+		"monitor.batches",
+	}
+	for _, n := range good {
+		if err := CheckName(n); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{
+		"monitor",                  // single segment
+		"Monitor.batches",          // uppercase outside last segment
+		"monitor.Pit.D",            // uppercase in a middle segment
+		"monitor..double",          // empty segment
+		"monitor.bad-char",         // hyphen
+		"unregistered.prefix.name", // prefix never registered
+	}
+	for _, n := range bad {
+		if err := CheckName(n); err == nil {
+			t.Errorf("CheckName(%q) = nil, want error", n)
+		}
+	}
+}
+
+func TestLintNamesWalksRegistryAndSpans(t *testing.T) {
+	RegisterPrefix("core", "internal/core")
+	r := NewRegistry()
+	r.Counter("core.ok").Inc()
+	r.Gauge("BadGauge.value").Set(1)
+	r.StartSpan("core.fine").End()
+	r.StartSpan("nope").End()
+	errs := r.LintNames()
+	// Violations: BadGauge.value (uppercase prefix + unregistered),
+	// BadGauge.value.seconds does not exist (gauge, not span), "nope"
+	// (single segment) and "nope.seconds" (unregistered prefix).
+	if len(errs) != 3 {
+		t.Fatalf("lint errors = %d: %v", len(errs), errs)
+	}
+}

@@ -240,7 +240,7 @@ func LatencyBuckets() []float64 { return latencyBuckets }
 func CountBuckets() []float64 { return countBuckets }
 
 // Registry is a concurrency-safe named collection of metrics plus a ring
-// buffer of recently completed spans.
+// buffer of recently completed spans and a bounded event journal.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
@@ -248,18 +248,57 @@ type Registry struct {
 	hists    map[string]*Histogram
 	routes   map[string]http.Handler
 	ring     *spanRing
+	journal  *Journal
 	spanID   atomic.Uint64
+	procKey  atomic.Uint64
 }
 
-// NewRegistry creates an empty registry with a 512-span ring buffer.
+// DefaultSpanCapacity is the span-ring size NewRegistry uses.
+const DefaultSpanCapacity = 512
+
+// NewRegistry creates an empty registry with a DefaultSpanCapacity-span
+// ring buffer.
 func NewRegistry() *Registry {
+	return NewRegistryWithCapacity(DefaultSpanCapacity)
+}
+
+// NewRegistryWithCapacity is NewRegistry with an explicit span-ring
+// capacity — sized up for trace-heavy runs where the default 512 records
+// would rotate out a causal chain before /traces could assemble it. The
+// journal is sized to half the span capacity (minimum 256).
+func NewRegistryWithCapacity(spanCapacity int) *Registry {
+	if spanCapacity < 1 {
+		spanCapacity = 1
+	}
+	jcap := spanCapacity / 2
+	if jcap < 256 {
+		jcap = 256
+	}
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		routes:   map[string]http.Handler{},
-		ring:     newSpanRing(512),
+		ring:     newSpanRing(spanCapacity),
+		journal:  NewJournal(jcap),
 	}
+}
+
+// SetSpanCapacity replaces the span ring with an empty one of the given
+// capacity — how CLIs grow the process-global registry's ring for traced
+// runs. Buffered spans are discarded; counters are unaffected.
+func (r *Registry) SetSpanCapacity(capacity int) {
+	r.mu.Lock()
+	r.ring = newSpanRing(capacity)
+	r.mu.Unlock()
+}
+
+// spanRingRef reads the current ring under the registry lock, so pushes
+// racing a SetSpanCapacity land consistently in one ring or the other.
+func (r *Registry) spanRingRef() *spanRing {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -353,7 +392,8 @@ func (r *Registry) Reset() {
 	for _, h := range hists {
 		h.Reset()
 	}
-	r.ring.reset()
+	r.spanRingRef().reset()
+	r.journal.reset()
 }
 
 // Bucket is one non-empty histogram bucket in a snapshot: Count samples
@@ -414,6 +454,10 @@ type Snapshot struct {
 	Gauges        map[string]float64           `json:"gauges"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms"`
 	SpansRecorded int64                        `json:"spans_recorded"`
+	// SpansDropped counts spans overwritten in the ring before being read.
+	SpansDropped int64 `json:"spans_dropped"`
+	// EventsRecorded counts journal events ever recorded.
+	EventsRecorded int64 `json:"events_recorded"`
 }
 
 // Snapshot captures the current state of every metric. Values are read
@@ -434,11 +478,14 @@ func (r *Registry) Snapshot() *Snapshot {
 		hists[k] = v
 	}
 	r.mu.RUnlock()
+	ring := r.spanRingRef()
 	s := &Snapshot{
-		Counters:      make(map[string]int64, len(counters)),
-		Gauges:        make(map[string]float64, len(gauges)),
-		Histograms:    make(map[string]HistogramSnapshot, len(hists)),
-		SpansRecorded: r.ring.totalRecorded(),
+		Counters:       make(map[string]int64, len(counters)),
+		Gauges:         make(map[string]float64, len(gauges)),
+		Histograms:     make(map[string]HistogramSnapshot, len(hists)),
+		SpansRecorded:  ring.totalRecorded(),
+		SpansDropped:   ring.totalDropped(),
+		EventsRecorded: r.journal.Total(),
 	}
 	for k, c := range counters {
 		s.Counters[k] = c.Value()

@@ -10,6 +10,10 @@ import (
 	"kertbn/internal/obs"
 )
 
+func init() {
+	obs.RegisterPrefix("pool", "internal/pool")
+}
+
 // Size resolves a requested worker count: values <= 0 mean "one worker per
 // available CPU" (GOMAXPROCS), anything else is taken literally.
 func Size(workers int) int {

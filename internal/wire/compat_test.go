@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+// legacyReadFrame is a verbatim copy of the frame reader as it existed
+// before the flag byte was introduced. The compat tests pin the interop
+// contract against this, not against the current reader, so a regression in
+// the layout cannot hide behind a matching change on the read side.
+func legacyReadFrame(r io.Reader, maxLen int) ([]byte, error) {
+	if maxLen <= 0 {
+		maxLen = DefaultMaxFrame
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return nil, ErrBadMagic
+	}
+	length := binary.BigEndian.Uint32(hdr[2:6])
+	if int64(length) > int64(maxLen) {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[6:10]) {
+		return nil, ErrChecksum
+	}
+	return payload, nil
+}
+
+var sampledCtx = TraceContext{TraceID: 0xA1B2C3D4E5F60718, SpanID: 0x1122334455667788, SendUnixNS: 1_700_000_000_123_456_789, Attempt: 2}
+
+func TestUnsampledCtxFrameIsByteIdenticalToLegacy(t *testing.T) {
+	payload := []byte("window of K control intervals")
+	var legacy, ctx bytes.Buffer
+	if _, err := WriteFrame(&legacy, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFrameCtx(&ctx, payload, TraceContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), ctx.Bytes()) {
+		t.Fatal("zero-context frame differs from legacy layout")
+	}
+	got, err := legacyReadFrame(&ctx, 0)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("legacy reader on zero-context frame: %v", err)
+	}
+}
+
+func TestNewReaderDecodesLegacyFrames(t *testing.T) {
+	payload := []byte{0, 1, 2, 0x80, 0xFF}
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, tc, err := ReadFrameCtx(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if tc.Sampled() {
+		t.Fatalf("legacy frame produced a sampled context: %+v", tc)
+	}
+}
+
+func TestFlaggedFrameRoundTrip(t *testing.T) {
+	payload := []byte("traced batch")
+	var buf bytes.Buffer
+	n, err := WriteFrameCtx(&buf, payload, sampledCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if want := flaggedHeaderSize + traceExtSize + len(payload); n != want {
+		t.Fatalf("flagged frame is %d bytes, want %d", n, want)
+	}
+	got, tc, err := ReadFrameCtx(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if tc != sampledCtx {
+		t.Fatalf("context = %+v, want %+v", tc, sampledCtx)
+	}
+	// The ctx-discarding ReadFrame accepts flagged frames too.
+	buf.Reset()
+	WriteFrameCtx(&buf, payload, sampledCtx)
+	if got, err := ReadFrame(&buf, 0); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadFrame on flagged frame: %v", err)
+	}
+}
+
+func TestLegacyReaderRejectsFlaggedFrameDeterministically(t *testing.T) {
+	// The documented interop contract: a legacy reader misparses the flag
+	// byte as the length MSB and fails with ErrTooLarge — deterministic,
+	// never garbage.
+	var buf bytes.Buffer
+	if _, err := WriteFrameCtx(&buf, []byte("x"), sampledCtx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacyReadFrame(&buf, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("legacy reader on flagged frame = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUnknownFlagBitsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrameCtx(&buf, []byte("y"), sampledCtx)
+	raw := buf.Bytes()
+	raw[2] = flagMarker | 0x02 // a flag this reader does not know
+	if _, _, err := ReadFrameCtx(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadFlag) {
+		t.Fatalf("unknown flag = %v, want ErrBadFlag", err)
+	}
+}
+
+func TestFlaggedFrameCRCCoversExtension(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrameCtx(&buf, []byte("payload"), sampledCtx)
+	WriteFrame(&buf, []byte("next"))
+	raw := buf.Bytes()
+	raw[flaggedHeaderSize+3] ^= 0x01 // flip a bit inside the trace extension
+	r := bytes.NewReader(raw)
+	if _, _, err := ReadFrameCtx(r, 0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted extension = %v, want ErrChecksum", err)
+	}
+	// Stream stays aligned: the following legacy frame still decodes.
+	got, _, err := ReadFrameCtx(r, 0)
+	if err != nil || string(got) != "next" {
+		t.Fatalf("frame after corrupted flagged frame: %q %v", got, err)
+	}
+}
+
+func TestFlaggedFrameTruncation(t *testing.T) {
+	var full bytes.Buffer
+	WriteFrameCtx(&full, []byte("abcdef"), sampledCtx)
+	raw := full.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		_, _, err := ReadFrameCtx(bytes.NewReader(raw[:cut]), 0)
+		if err == nil {
+			t.Fatalf("decoding %d/%d bytes succeeded", cut, len(raw))
+		}
+		if cut == 0 && !errors.Is(err, io.EOF) {
+			t.Fatalf("empty stream error = %v, want io.EOF", err)
+		}
+		if cut > 0 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d error = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFlaggedFrameRespectsSizeCap(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrameCtx(&buf, make([]byte, 2048), sampledCtx)
+	if _, _, err := ReadFrameCtx(&buf, 1024); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("capped flagged frame = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodeDecodeCtxRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := parcel{From: 4, To: 9, Col: []float64{1, 2, 3}}
+	if _, err := EncodeCtx(&buf, &want, sampledCtx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeCtx(&buf, &want, TraceContext{}); err != nil {
+		t.Fatal(err)
+	}
+	var got parcel
+	tc, err := DecodeCtx(&buf, 0, &got)
+	if err != nil || tc != sampledCtx {
+		t.Fatalf("flagged decode: ctx %+v err %v", tc, err)
+	}
+	if got.From != want.From || len(got.Col) != 3 {
+		t.Fatalf("payload mismatch: %+v", got)
+	}
+	got = parcel{}
+	tc, err = DecodeCtx(&buf, 0, &got)
+	if err != nil || tc.Sampled() {
+		t.Fatalf("legacy decode: ctx %+v err %v", tc, err)
+	}
+	if got.To != want.To {
+		t.Fatalf("payload mismatch: %+v", got)
+	}
+}

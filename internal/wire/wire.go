@@ -19,6 +19,33 @@ const DefaultMaxFrame = 16 << 20
 
 const headerSize = 2 + 4 + 4 // magic | length | crc32
 
+// Flagged-frame extension. A frame carrying trace context inserts one flag
+// byte after the magic:
+//
+//	magic(2) | flag(1) | length(4) | crc32(4) | ext(25) | payload
+//
+// The flag byte always has bit 7 set. Because the legacy header puts the
+// length's most significant byte in that position and payloads are capped
+// at 16 MiB (MSB <= 0x01), bit 7 discriminates the two layouts without
+// ambiguity. The 25-byte extension is trace_id(8) | span_id(8) |
+// send_unix_ns(8) | attempt(1), big-endian, and the CRC covers ext||payload
+// so corruption of the trace context is detected like payload corruption.
+//
+// Interop contract: unsampled frames keep the exact legacy layout, so a
+// legacy reader interoperates on the common path. A legacy reader handed a
+// flagged frame misparses the flag byte as the length MSB and fails
+// deterministically with ErrTooLarge (0x81xxxxxx > 16 MiB) — it never
+// decodes garbage. The flag-aware reader accepts both layouts.
+const (
+	// FlagTrace marks a frame carrying the trace-context extension.
+	FlagTrace byte = 0x01
+	// flagMarker is bit 7, set on every flag byte.
+	flagMarker byte = 0x80
+
+	traceExtSize      = 8 + 8 + 8 + 1
+	flaggedHeaderSize = 2 + 1 + 4 + 4
+)
+
 var (
 	// ErrBadMagic means the stream is desynchronized or speaking another
 	// protocol; the connection cannot be salvaged.
@@ -29,7 +56,42 @@ var (
 	// ErrChecksum means the payload arrived corrupted. The full frame has
 	// been consumed, so the caller may skip it and read the next one.
 	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrBadFlag means a flagged frame declared extension bits this reader
+	// does not know; the stream cannot be realigned.
+	ErrBadFlag = errors.New("wire: unknown frame flag")
 )
+
+// TraceContext is the cross-process trace extension a flagged frame
+// carries: which trace and span caused the send, when it left the sender's
+// clock, and which retry attempt it was. The zero value means "untraced"
+// and encodes as a plain legacy frame.
+type TraceContext struct {
+	TraceID    uint64
+	SpanID     uint64
+	SendUnixNS int64
+	Attempt    uint8
+}
+
+// Sampled reports whether the context carries a live trace.
+func (tc TraceContext) Sampled() bool { return tc.TraceID != 0 }
+
+func (tc TraceContext) appendExt(b []byte) []byte {
+	var ext [traceExtSize]byte
+	binary.BigEndian.PutUint64(ext[0:8], tc.TraceID)
+	binary.BigEndian.PutUint64(ext[8:16], tc.SpanID)
+	binary.BigEndian.PutUint64(ext[16:24], uint64(tc.SendUnixNS))
+	ext[24] = tc.Attempt
+	return append(b, ext[:]...)
+}
+
+func traceContextFromExt(ext []byte) TraceContext {
+	return TraceContext{
+		TraceID:    binary.BigEndian.Uint64(ext[0:8]),
+		SpanID:     binary.BigEndian.Uint64(ext[8:16]),
+		SendUnixNS: int64(binary.BigEndian.Uint64(ext[16:24])),
+		Attempt:    ext[24],
+	}
+}
 
 // WriteFrame writes one framed payload and returns the bytes put on the
 // wire.
@@ -49,39 +111,103 @@ func WriteFrame(w io.Writer, payload []byte) (int, error) {
 	return n1 + n2, err
 }
 
+// WriteFrameCtx writes one framed payload carrying trace context. The zero
+// context produces a byte-identical legacy frame; a sampled context
+// produces the flagged layout.
+func WriteFrameCtx(w io.Writer, payload []byte, tc TraceContext) (int, error) {
+	if !tc.Sampled() {
+		return WriteFrame(w, payload)
+	}
+	if len(payload) > DefaultMaxFrame {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	buf := make([]byte, 0, flaggedHeaderSize+traceExtSize+len(payload))
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, flagMarker|FlagTrace)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(tc.appendExt(nil))
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+	buf = tc.appendExt(buf)
+	buf = append(buf, payload...)
+	return w.Write(buf)
+}
+
 // ReadFrame reads one frame, enforcing the max payload size (maxLen <= 0
 // means DefaultMaxFrame). A checksum failure is reported only after the
 // frame is fully consumed, so the stream stays aligned for the next read.
 // Truncation surfaces as io.EOF (clean close before any header byte) or
-// io.ErrUnexpectedEOF (mid-frame).
+// io.ErrUnexpectedEOF (mid-frame). Flagged frames are accepted and their
+// trace context discarded.
 func ReadFrame(r io.Reader, maxLen int) ([]byte, error) {
+	payload, _, err := ReadFrameCtx(r, maxLen)
+	return payload, err
+}
+
+// ReadFrameCtx reads one frame in either layout, returning the payload and
+// the trace context (zero for legacy frames).
+func ReadFrameCtx(r io.Reader, maxLen int) ([]byte, TraceContext, error) {
 	if maxLen <= 0 {
 		maxLen = DefaultMaxFrame
 	}
-	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	// Read through the byte after the magic: bit 7 tells the layouts apart
+	// (a legacy length MSB is at most 0x01 under the 16 MiB cap).
+	head := make([]byte, 3)
+	if _, err := io.ReadFull(r, head); err != nil {
 		// ReadFull yields io.EOF on a clean close before any byte and
 		// io.ErrUnexpectedEOF mid-header; both pass through untouched.
-		return nil, err
+		return nil, TraceContext{}, err
 	}
-	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
-		return nil, ErrBadMagic
+	if binary.BigEndian.Uint16(head[0:2]) != Magic {
+		return nil, TraceContext{}, ErrBadMagic
 	}
-	length := binary.BigEndian.Uint32(hdr[2:6])
-	if int64(length) > int64(maxLen) {
-		return nil, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
-	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, io.ErrUnexpectedEOF
+	if head[2]&flagMarker == 0 {
+		// Legacy layout: head[2] is the length MSB; read the remaining
+		// 3 length bytes and the CRC.
+		rest := make([]byte, headerSize-3)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, TraceContext{}, unexpectedEOF(err)
 		}
-		return nil, err
+		length := uint32(head[2])<<24 | uint32(rest[0])<<16 | uint32(rest[1])<<8 | uint32(rest[2])
+		if int64(length) > int64(maxLen) {
+			return nil, TraceContext{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, TraceContext{}, unexpectedEOF(err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[3:7]) {
+			return nil, TraceContext{}, ErrChecksum
+		}
+		return payload, TraceContext{}, nil
 	}
-	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[6:10]) {
-		return nil, ErrChecksum
+	flag := head[2]
+	if flag&^flagMarker != FlagTrace {
+		return nil, TraceContext{}, fmt.Errorf("%w: 0x%02x", ErrBadFlag, flag)
 	}
-	return payload, nil
+	rest := make([]byte, flaggedHeaderSize-3)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, TraceContext{}, unexpectedEOF(err)
+	}
+	length := binary.BigEndian.Uint32(rest[0:4])
+	if int64(length) > int64(maxLen) {
+		return nil, TraceContext{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
+	}
+	body := make([]byte, traceExtSize+int(length))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, TraceContext{}, unexpectedEOF(err)
+	}
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(rest[4:8]) {
+		return nil, TraceContext{}, ErrChecksum
+	}
+	return body[traceExtSize:], traceContextFromExt(body[:traceExtSize]), nil
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // Encode gob-encodes v into a fresh frame and writes it, returning the
@@ -95,16 +221,33 @@ func Encode(w io.Writer, v any) (int, error) {
 	return WriteFrame(w, buf.Bytes())
 }
 
+// EncodeCtx gob-encodes v into a frame carrying trace context (legacy
+// layout when tc is the zero value), returning the bytes put on the wire.
+func EncodeCtx(w io.Writer, v any, tc TraceContext) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0, fmt.Errorf("wire: encode: %w", err)
+	}
+	return WriteFrameCtx(w, buf.Bytes(), tc)
+}
+
 // Decode reads one frame and gob-decodes its payload into v. Checksum
 // failures return ErrChecksum (wrapped) with the stream still aligned;
 // callers choosing resilience can count and skip.
 func Decode(r io.Reader, maxLen int, v any) error {
-	payload, err := ReadFrame(r, maxLen)
+	_, err := DecodeCtx(r, maxLen, v)
+	return err
+}
+
+// DecodeCtx reads one frame in either layout and gob-decodes its payload
+// into v, returning the frame's trace context (zero for legacy frames).
+func DecodeCtx(r io.Reader, maxLen int, v any) (TraceContext, error) {
+	payload, tc, err := ReadFrameCtx(r, maxLen)
 	if err != nil {
-		return err
+		return tc, err
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
-		return fmt.Errorf("wire: decode: %w", err)
+		return tc, fmt.Errorf("wire: decode: %w", err)
 	}
-	return nil
+	return tc, nil
 }

@@ -227,8 +227,14 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(seedBuf.Bytes())
 	Encode(&seedBuf, &report{AgentID: "a", Batch: []measurement{{1, 2, 3.5}}})
 	f.Add(seedBuf.Bytes())
+	var flaggedBuf bytes.Buffer
+	EncodeCtx(&flaggedBuf, &parcel{From: 3, To: 4, Col: []float64{9}}, TraceContext{TraceID: 7, SpanID: 8, SendUnixNS: 9, Attempt: 1})
+	f.Add(flaggedBuf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x4B, 0x42, 0, 0, 0, 4, 0, 0, 0, 0, 1, 2, 3, 4})
+	// Flagged header with hostile flag bits and a flagged frame cut mid-ext.
+	f.Add([]byte{0x4B, 0x42, 0xFF, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Add(flaggedBuf.Bytes()[:flaggedHeaderSize+5])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		// Drain the stream the way a resilient receiver would: decode
@@ -245,5 +251,16 @@ func FuzzDecodeMessage(f *testing.F) {
 		r = bytes.NewReader(data)
 		var rep report
 		_ = Decode(r, 1<<20, &rep)
+		// And through the context-aware reader, which must agree with the
+		// plain reader on payload bytes whenever both succeed.
+		r = bytes.NewReader(data)
+		for i := 0; i < 64; i++ {
+			var p parcel
+			_, err := DecodeCtx(r, 1<<20, &p)
+			if err == nil || errors.Is(err, ErrChecksum) {
+				continue
+			}
+			break
+		}
 	})
 }
