@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental bench-drift bench-trace equivalence fmt
+.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental bench-drift bench-trace bench-serve serve-e2e equivalence fmt
 
 all: vet build test
 
@@ -17,7 +17,7 @@ test:
 # pool, the sharded samplers, and the incremental ingest paths — alone
 # under the race detector for a fast signal.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/dataset/ ./internal/core/ ./internal/health/
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/dataset/ ./internal/core/ ./internal/health/ ./internal/gateway/
 
 # Incremental-vs-full equivalence: refits from sufficient statistics must
 # match from-scratch builds (bit-identical discrete, <= 1e-9 continuous).
@@ -56,6 +56,16 @@ bench-drift:
 # decomposition of one drift-chain trace plus sampling overhead).
 bench-trace:
 	$(GO) run ./cmd/kertbench -exp trace -metrics-json BENCH_trace.json
+
+# Regenerate the committed inference-gateway serving baseline (cold vs
+# warm cache latency, closed-loop QPS, cached-result identity).
+bench-serve:
+	$(GO) run ./cmd/kertbench -exp serve -metrics-json BENCH_serve.json
+
+# End-to-end gateway check: start kertquery -serve on real data, drive the
+# query API over HTTP (miss -> hit), verify gateway.* counters in /metrics.
+serve-e2e:
+	./scripts/serve_e2e.sh
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,111 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchServeSnapshot validates the committed inference-gateway serving
+// baseline: BENCH_serve.json must parse as an obs.Snapshot and show the
+// headline behaviour — a warm (cache-hit) path at least 5x faster than the
+// cold (cache-miss) path, cached responses byte-identical to uncached ones
+// on both the continuous Monte-Carlo and the discrete exact-inference
+// model, positive closed-loop throughput, and the gateway.* serving
+// counters riding along. Regenerate with `make bench-serve`.
+func TestBenchServeSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-serve`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_serve.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	g := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("baseline is missing gauge %q", name)
+		}
+		return v
+	}
+
+	// The acceptance headline: the result cache must buy at least 5x on
+	// the measured p50, and the latency gauges must be real measurements.
+	if v := g("serve.speedup.cold_over_warm"); v < 5 {
+		t.Errorf("cold/warm speedup = %.2fx, want >= 5x", v)
+	}
+	if v := g("serve.cold.p50_seconds"); v <= 0 {
+		t.Errorf("cold p50 = %v seconds, want > 0", v)
+	}
+	if v := g("serve.warm.p99_seconds"); v <= 0 {
+		t.Errorf("warm p99 = %v seconds, want > 0", v)
+	}
+	if cold, warm := g("serve.cold.p50_seconds"), g("serve.warm.p50_seconds"); warm >= cold {
+		t.Errorf("warm p50 (%v) not below cold p50 (%v)", warm, cold)
+	}
+
+	// Cached results must be indistinguishable from uncached ones: hits
+	// byte-identical to misses, re-execution after a flush byte-identical
+	// on the Monte-Carlo model (key-derived seeds), and the discrete model
+	// identical across its generation swap.
+	for _, id := range []string{"serve.identity.warm", "serve.identity.reexec", "serve.identity.discrete"} {
+		if v := g(id); v != 1 {
+			t.Errorf("%s = %v, want 1 (cached body differed from uncached)", id, v)
+		}
+	}
+
+	// Closed-loop phase actually ran and produced throughput numbers.
+	if v := g("serve.load.qps"); v <= 0 {
+		t.Errorf("closed-loop qps = %v, want > 0", v)
+	}
+	if v := g("serve.load.p99_seconds"); v <= 0 {
+		t.Errorf("closed-loop p99 = %v seconds, want > 0", v)
+	}
+	if v := g("serve.load.requests"); v <= 0 {
+		t.Errorf("closed-loop completed %v requests, want > 0", v)
+	}
+
+	// The gateway's own serving counters must have ridden into the
+	// snapshot: per-route traffic, cache hit/miss accounting with actual
+	// hits, and the model swap of the discrete-identity phase.
+	c := func(name string) int64 {
+		t.Helper()
+		v, ok := snap.Counters[name]
+		if !ok {
+			t.Fatalf("baseline is missing counter %q", name)
+		}
+		return v
+	}
+	if v := c("gateway.route.paccel.requests"); v <= 0 {
+		t.Errorf("gateway.route.paccel.requests = %v, want > 0", v)
+	}
+	if v := c("gateway.route.paccel.errors"); v != 0 {
+		t.Errorf("gateway.route.paccel.errors = %v, want 0", v)
+	}
+	if v := c("gateway.result_cache.hits"); v <= 0 {
+		t.Errorf("gateway.result_cache.hits = %v, want > 0", v)
+	}
+	if v := c("gateway.result_cache.misses"); v <= 0 {
+		t.Errorf("gateway.result_cache.misses = %v, want > 0", v)
+	}
+	if v := c("gateway.model_swaps"); v < 2 {
+		t.Errorf("gateway.model_swaps = %v, want >= 2 (deploy + discrete swap)", v)
+	}
+	if hits, execs := c("gateway.result_cache.hits"), c("gateway.coalesce.executions"); execs <= 0 || hits < execs {
+		t.Errorf("cache economics implausible: %v hits vs %v executions (caching should dominate)", hits, execs)
+	}
+
+	// Per-route latency histograms recorded real observations.
+	h, ok := snap.Histograms["gateway.route.paccel.seconds"]
+	if !ok || h.Count <= 0 {
+		t.Errorf("gateway.route.paccel.seconds histogram missing or empty (present=%v)", ok)
+	}
+}

@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift, serve")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
@@ -210,6 +210,23 @@ func main() {
 			dCfg.Seed = *seed
 		}
 		renderOne(experiments.DriftBench(dCfg))
+	}
+	if *exp == "serve" {
+		// Not part of "all": the inference-gateway serving benchmark whose
+		// snapshot is committed as BENCH_serve.json — cold vs warm cache
+		// latency, closed-loop QPS, and the cached-result identity checks.
+		ok = true
+		sCfg := experiments.DefaultServeBenchConfig()
+		if *quick {
+			sCfg.NSamples = 4000
+			sCfg.DistinctQueries = 8
+			sCfg.LoadRequests = 120
+			sCfg.Concurrency = 4
+		}
+		if *seed != 0 {
+			sCfg.Seed = *seed
+		}
+		renderOne(experiments.ServeBench(sCfg))
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

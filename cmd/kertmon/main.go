@@ -69,6 +69,7 @@ import (
 	"kertbn/internal/dataset"
 	"kertbn/internal/decentral"
 	"kertbn/internal/faulty"
+	"kertbn/internal/gateway"
 	"kertbn/internal/health"
 	"kertbn/internal/learn"
 	"kertbn/internal/monitor"
@@ -86,6 +87,7 @@ func main() {
 		rate        = flag.Float64("rate", 1.5, "DES arrival rate (req/s)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		metricsAddr = flag.String("metrics-addr", "", "serve the live introspection endpoint on this address (e.g. :8080)")
+		serveAddr   = flag.String("serve-addr", "", "serve the inference gateway (JSON query API, see API.md) on this address; each reconstruction deploys the new model generation and invalidates the gateway's result cache")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 		useDecen    = flag.Bool("decentral", true, "re-learn service CPDs decentrally on each rebuild (Fig. 5 live)")
 		fullBuild   = flag.Bool("full-rebuild", false, "re-scan the whole window on every reconstruction instead of the default incremental sufficient-statistics refit")
@@ -202,6 +204,19 @@ func main() {
 		fmt.Printf("model health: scoring on (rebuild-on-drift=%v)\n", *onDrift)
 	}
 
+	// Inference gateway: deployed generations become queryable over HTTP
+	// the moment the scheduler swaps them in.
+	var gw *gateway.Server
+	if *serveAddr != "" {
+		gw = gateway.New(nil, gateway.Options{})
+		gwRun, err := gw.Serve(*serveAddr)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer gwRun.Close()
+		fmt.Printf("inference gateway serving on http://%s (API reference: API.md)\n", gwRun.Addr())
+	}
+
 	// Management server over TCP; rows flow into the scheduler carrying the
 	// trace context of the batch that completed them.
 	var rebuilds atomic.Int64
@@ -217,6 +232,9 @@ func main() {
 		n := rebuilds.Add(1)
 		fmt.Printf("\n[rebuild %d] %s KERT-BN from %d points in %v (cost: %d data ops)\n",
 			n, m.Type, sched.WindowLen(), sched.LastBuildTime(), m.Cost.DataOps)
+		if gw != nil {
+			gw.SetModel(m)
+		}
 		post, err := core.ResponseTimePosterior(m, nil, 0, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "  query failed:", err)
@@ -442,7 +460,12 @@ func decentralRelearn(m *core.Model, w *dataset.Dataset, workers int, chaos faul
 	if chaos.Active() {
 		fmt.Printf("  chaos relearn: %s\n", res.Report.String())
 	}
-	return decentral.Install(m.Net, res)
+	if err := decentral.Install(m.Net, res); err != nil {
+		return err
+	}
+	// Compiled query plans embed CPD pointers; the install swapped CPDs.
+	m.InvalidatePlans()
+	return nil
 }
 
 // printHealth prints the monitor's per-rebuild health summary: generation,

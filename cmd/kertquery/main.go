@@ -10,6 +10,15 @@
 //	kertquery -data train.csv -model kert -query trace
 //	kertquery -data train.csv -model nrt  -query threshold -service 3 -factor 0.9 -h 1.2
 //	kertquery -data fresh.csv -load model.kert -query health
+//	kertquery -data train.csv -model kert -serve -addr 127.0.0.1:8080
+//
+// With -serve, kertquery stays resident as the inference gateway: the
+// built (or loaded) model is deployed behind the JSON query API described
+// in API.md — posterior/dcomp/paccel/threshold/health over HTTP with
+// compiled-plan reuse, an evidence-keyed result cache, request
+// coalescing, and admission control — instead of answering one -query and
+// exiting. The obs introspection surface (/metrics, /spans, /traces,
+// /events) is served on the same port.
 //
 // The health query audits a model against a dataset offline: every row is
 // scored (per-node log-likelihoods, PIT calibration, drift detectors) and
@@ -33,10 +42,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
 	"kertbn/internal/decentral"
+	"kertbn/internal/gateway"
 	"kertbn/internal/health"
 	"kertbn/internal/learn"
 	"kertbn/internal/obs"
@@ -60,6 +72,11 @@ func main() {
 		loadPath    = flag.String("load", "", "load a previously saved model instead of training")
 		workers     = flag.Int("workers", 1, "Monte-Carlo inference workers: >1 uses the sharded sampler (deterministic per seed at any count), 1 the serial one")
 		useDecen    = flag.Bool("decentral", false, "re-learn the service CPDs through the decentralized engine before answering, printing its PartialLearnReport")
+		serve       = flag.Bool("serve", false, "stay resident as the inference gateway (JSON API, see API.md) instead of answering one -query")
+		addr        = flag.String("addr", "127.0.0.1:8080", "serve: listen address")
+		maxInFlight = flag.Int("max-inflight", 64, "serve: bound on concurrently executing queries (excess shed with 503)")
+		rate        = flag.Float64("rate", 0, "serve: per-tenant sustained queries/second (429 beyond; 0 = unlimited)")
+		burst       = flag.Int("burst", 0, "serve: per-tenant burst allowance (default ceil(rate))")
 	)
 	flag.Parse()
 	dumpMetrics := func() {
@@ -94,7 +111,11 @@ func main() {
 			fatal(err.Error())
 		}
 		fmt.Printf("loaded %s model from %s\n", model.Type, *loadPath)
-		answer(model, train, *query, *service, *factor, *h, *modelKind, *workers, *seed)
+		if *serve {
+			serveGateway(model, *addr, *rate, *burst, *maxInFlight, *workers)
+		} else {
+			answer(model, train, *query, *service, *factor, *h, *modelKind, *workers, *seed)
+		}
 		dumpMetrics()
 		return
 	}
@@ -163,8 +184,33 @@ func main() {
 		}
 		fmt.Printf("model saved to %s\n", *savePath)
 	}
-	answer(model, train, *query, *service, *factor, *h, *modelKind, *workers, *seed)
+	if *serve {
+		serveGateway(model, *addr, *rate, *burst, *maxInFlight, *workers)
+	} else {
+		answer(model, train, *query, *service, *factor, *h, *modelKind, *workers, *seed)
+	}
 	dumpMetrics()
+}
+
+// serveGateway deploys the model behind the long-running inference
+// gateway and blocks until SIGINT/SIGTERM.
+func serveGateway(model *core.Model, addr string, rate float64, burst, maxInFlight, workers int) {
+	srv := gateway.New(model, gateway.Options{
+		MaxInFlight:   maxInFlight,
+		RatePerTenant: rate,
+		Burst:         burst,
+		Workers:       workers,
+	})
+	run, err := srv.Serve(addr)
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("kertbn gateway serving on http://%s (API reference: API.md; ctrl-c to stop)\n", run.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	run.Close()
+	fmt.Fprintln(os.Stderr, "kertquery: gateway stopped")
 }
 
 // decentralRelearn swaps the freshly built model's service CPDs for ones
@@ -194,7 +240,12 @@ func decentralRelearn(model *core.Model, train *dataset.Dataset) error {
 		return err
 	}
 	fmt.Printf("decentralized relearn: %s\n", res.Report.String())
-	return decentral.Install(model.Net, res)
+	if err := decentral.Install(model.Net, res); err != nil {
+		return err
+	}
+	// Compiled query plans embed CPD pointers; the install swapped CPDs.
+	model.InvalidatePlans()
+	return nil
 }
 
 // answer runs one query against a (built or loaded) model.

@@ -258,6 +258,8 @@ func chaosRun(sys *simsvc.System, ds *dataset.Dataset, cfg faulty.Config, retrie
 	if err := decentral.Install(model.Net, res); err != nil {
 		return err
 	}
+	// Compiled query plans embed CPD pointers; the install swapped CPDs.
+	model.InvalidatePlans()
 	if err := model.Net.Validate(); err != nil {
 		return fmt.Errorf("degraded network invalid: %w", err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"kertbn/internal/bn"
@@ -72,6 +73,13 @@ type Model struct {
 	// first posterior query served by this generation (a pointer so Model
 	// values stay copyable and gob-encodable).
 	firstQuery *atomic.Bool
+
+	// plans caches compiled likelihood-weighting query plans per (target,
+	// evidence shape), created lazily under planMu on the first continuous
+	// Monte-Carlo query; see plancache.go. Unexported, so persisted and
+	// gob-shipped models simply rebuild it on first use.
+	planMu sync.Mutex
+	plans  *planCache
 }
 
 // SetProvenance stamps the model with its generation number and the trace

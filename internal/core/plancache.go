@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/infer"
+	"kertbn/internal/obs"
+)
+
+// Plan-cache metrics: every continuous Monte-Carlo posterior query resolves
+// its compiled likelihood-weighting plan through the per-model cache, so
+// hits/misses directly measure how often plan compilation is skipped —
+// once per (model generation, query shape) instead of once per query.
+var (
+	planCacheHits   = obs.C("core.plan_cache.hits")
+	planCacheMisses = obs.C("core.plan_cache.misses")
+	planCacheSize   = obs.G("core.plan_cache.size")
+)
+
+// planKey identifies one compiled query plan inside a model: the target
+// node plus the evidence *shape* (which nodes are clamped). Evidence
+// values are run-time inputs of infer.QueryPlan, so every query with the
+// same shape shares one plan.
+type planKey struct {
+	target int
+	shape  string
+}
+
+// planCache holds one model generation's compiled query plans. Plans embed
+// the model's CPD objects, so the cache lives and dies with the model: a
+// generation swap starts from an empty cache, which is exactly the
+// "plan compilation paid once per model generation" contract.
+type planCache struct {
+	mu    sync.RWMutex
+	plans map[planKey]*infer.QueryPlan
+}
+
+// EvidenceShape canonicalizes an evidence map's node-id set into the cache
+// key form: sorted ids joined with commas ("" for no evidence). Gateway
+// caches reuse it so plan and result keys agree on what a "query shape" is.
+func EvidenceShape(evidence map[int]float64) string {
+	if len(evidence) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(evidence))
+	for id := range evidence {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// evidenceIDs returns the sorted node ids of an evidence map.
+func evidenceIDs(evidence map[int]float64) []int {
+	ids := make([]int, 0, len(evidence))
+	for id := range evidence {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// planCacheRef returns the model's plan cache, creating it on first use.
+// The double-checked locking keeps the fast path a read lock; Model methods
+// all run on *Model, and the pointer is published under planMu.
+func (m *Model) planCacheRef() *planCache {
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
+	if m.plans == nil {
+		m.plans = &planCache{plans: map[planKey]*infer.QueryPlan{}}
+	}
+	return m.plans
+}
+
+// queryPlan resolves the compiled likelihood-weighting plan for (target,
+// evidence shape), compiling and caching it on first use. Concurrent
+// first-time callers may compile the same plan twice; the map write is
+// idempotent, so correctness never depends on winning that race.
+func (m *Model) queryPlan(target int, evidence map[int]float64) (*infer.QueryPlan, error) {
+	pc := m.planCacheRef()
+	key := planKey{target: target, shape: EvidenceShape(evidence)}
+	pc.mu.RLock()
+	plan := pc.plans[key]
+	pc.mu.RUnlock()
+	if plan != nil {
+		planCacheHits.Inc()
+		return plan, nil
+	}
+	planCacheMisses.Inc()
+	plan, err := infer.CompileQueryPlan(m.Net, target, evidenceIDs(evidence))
+	if err != nil {
+		return nil, err
+	}
+	pc.mu.Lock()
+	pc.plans[key] = plan
+	size := len(pc.plans)
+	pc.mu.Unlock()
+	planCacheSize.Set(float64(size))
+	return plan, nil
+}
+
+// PlanCacheLen reports how many compiled query plans the model currently
+// holds (introspection for the gateway's /v1/stats view).
+func (m *Model) PlanCacheLen() int {
+	m.planMu.Lock()
+	pc := m.plans
+	m.planMu.Unlock()
+	if pc == nil {
+		return 0
+	}
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return len(pc.plans)
+}
+
+// InvalidatePlans drops every cached query plan. Call it after mutating the
+// model's CPDs in place (e.g. a decentralized relearn installing fresh
+// CPDs through decentral.Install) — cached plans embed the old CPD objects
+// and would keep answering from them.
+func (m *Model) InvalidatePlans() {
+	m.planMu.Lock()
+	m.plans = nil
+	m.planMu.Unlock()
+}
+
+// StructureHash fingerprints the queryable shape of the model: node names
+// and kinds, the edge list, CPD types, model type, metric, and (discrete)
+// the discretization geometry. Two models with equal hashes compile
+// identical query-plan shapes, which is what the gateway's plan and result
+// caches key on (alongside the generation, since equal structure does not
+// mean equal parameters).
+func (m *Model) StructureHash() uint64 {
+	h := fnv.New64a()
+	put := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], v)
+			h.Write(b[:])
+		}
+	}
+	putF := func(vs ...float64) {
+		for _, v := range vs {
+			put(math.Float64bits(v))
+		}
+	}
+	put(uint64(m.Type), uint64(m.Metric), uint64(m.Net.N()), uint64(m.DNode),
+		uint64(m.NumServices), uint64(m.NumResources))
+	for id := 0; id < m.Net.N(); id++ {
+		node := m.Net.Node(id)
+		h.Write([]byte(node.Name))
+		put(uint64(node.Kind), uint64(node.Card))
+		put(cpdKindHash(node.CPD))
+		for _, p := range m.Net.Parents(id) {
+			put(uint64(p))
+		}
+		put(^uint64(0)) // per-node terminator so parent lists cannot alias
+	}
+	if m.Codec != nil {
+		for _, d := range m.Codec.Discretizers {
+			put(uint64(d.Bins))
+			putF(d.Lo, d.Hi)
+			putF(d.Cuts...)
+			putF(d.Centers...)
+		}
+	}
+	return h.Sum64()
+}
+
+// cpdKindHash maps a CPD's concrete type to a stable small fingerprint.
+func cpdKindHash(cpd bn.CPD) uint64 {
+	switch cpd.(type) {
+	case *bn.Tabular:
+		return 1
+	case *bn.LinearGaussian:
+		return 2
+	case *bn.DetFunc:
+		return 3
+	case nil:
+		return 0
+	default:
+		return 99
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"kertbn/internal/obs"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+// buildContinuousTestModel constructs a continuous eDiaMoND KERT-BN whose
+// Monte-Carlo path (DetFunc D with leak → no exact Gaussian shortcut) is
+// forced, so queries exercise the compiled-plan cache.
+func buildContinuousTestModel(t testing.TB, rows int) (*Model, int) {
+	t.Helper()
+	sys := simsvc.EDiaMoNDSystem()
+	train, err := sys.GenerateDataset(rows, stats.NewRNG(5))
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	cfg := DefaultKERTConfig(workflow.EDiaMoND())
+	cfg.Type = ContinuousModel
+	cfg.Leak = 0.02
+	m, err := BuildKERT(cfg, train)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m, train.NumCols()
+}
+
+// TestPlanCacheSecondQuerySkipsCompilation is the regression gate for the
+// one-shot kertquery fix: the first query of a shape compiles (one miss),
+// and every following query with the same shape — same or different
+// evidence values — hits the cache instead of recompiling.
+func TestPlanCacheSecondQuerySkipsCompilation(t *testing.T) {
+	m, _ := buildContinuousTestModel(t, 300)
+	hits0 := obs.C("core.plan_cache.hits").Value()
+	misses0 := obs.C("core.plan_cache.misses").Value()
+
+	if _, err := PAccel(m, 3, 0.2, PAccelOptions{NSamples: 400, RNG: stats.NewRNG(1)}); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if got := obs.C("core.plan_cache.misses").Value() - misses0; got != 1 {
+		t.Fatalf("first query compiled %d plans, want 1", got)
+	}
+	// Same shape, different evidence value: must reuse the plan.
+	if _, err := PAccel(m, 3, 0.25, PAccelOptions{NSamples: 400, RNG: stats.NewRNG(2)}); err != nil {
+		t.Fatalf("second query: %v", err)
+	}
+	if got := obs.C("core.plan_cache.misses").Value() - misses0; got != 1 {
+		t.Errorf("second query recompiled (misses %d, want 1)", got)
+	}
+	if got := obs.C("core.plan_cache.hits").Value() - hits0; got != 1 {
+		t.Errorf("second query hits = %d, want 1", got)
+	}
+	// A different shape compiles its own plan.
+	if _, err := PAccel(m, 1, 0.2, PAccelOptions{NSamples: 400, RNG: stats.NewRNG(3)}); err != nil {
+		t.Fatalf("third query: %v", err)
+	}
+	if got := obs.C("core.plan_cache.misses").Value() - misses0; got != 2 {
+		t.Errorf("distinct shape did not compile (misses %d, want 2)", got)
+	}
+	if n := m.PlanCacheLen(); n != 2 {
+		t.Errorf("PlanCacheLen = %d, want 2", n)
+	}
+}
+
+// TestPlanCacheResultsUnchanged pins the equivalence contract: routing the
+// serial Monte-Carlo path through the cached plan must not change results —
+// two identical queries with identical seeds are bit-for-bit equal, cached
+// or not, and invalidation changes nothing but the compilation count.
+func TestPlanCacheResultsUnchanged(t *testing.T) {
+	m, _ := buildContinuousTestModel(t, 300)
+	q := func() *Posterior {
+		t.Helper()
+		post, err := PAccel(m, 3, 0.2, PAccelOptions{NSamples: 2000, RNG: stats.NewRNG(9)})
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		return post
+	}
+	cold := q() // compiles
+	warm := q() // cached plan
+	m.InvalidatePlans()
+	recompiled := q() // compiled again after invalidation
+	for i := range cold.Support {
+		if cold.Support[i] != warm.Support[i] || cold.Probs[i] != warm.Probs[i] {
+			t.Fatalf("warm result differs at %d: (%v,%v) vs (%v,%v)",
+				i, warm.Support[i], warm.Probs[i], cold.Support[i], cold.Probs[i])
+		}
+		if cold.Support[i] != recompiled.Support[i] || cold.Probs[i] != recompiled.Probs[i] {
+			t.Fatalf("recompiled result differs at %d", i)
+		}
+	}
+	if n := m.PlanCacheLen(); n != 1 {
+		t.Errorf("PlanCacheLen after invalidation+requery = %d, want 1", n)
+	}
+}
+
+// TestStructureHashStability: equal builds hash equal; changing the
+// discretization geometry or model type changes the hash.
+func TestStructureHashStability(t *testing.T) {
+	sys := simsvc.EDiaMoNDSystem()
+	train, err := sys.GenerateDataset(300, stats.NewRNG(5))
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	build := func(bins int, typ ModelType) *Model {
+		t.Helper()
+		cfg := DefaultKERTConfig(workflow.EDiaMoND())
+		cfg.Type = typ
+		cfg.Bins = bins
+		m, err := BuildKERT(cfg, train)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return m
+	}
+	a := build(6, DiscreteModel)
+	b := build(6, DiscreteModel)
+	if a.StructureHash() != b.StructureHash() {
+		t.Error("identical builds hash differently")
+	}
+	if a.StructureHash() == build(8, DiscreteModel).StructureHash() {
+		t.Error("bin-count change did not change the hash")
+	}
+	if a.StructureHash() == build(6, ContinuousModel).StructureHash() {
+		t.Error("model-type change did not change the hash")
+	}
+}
+
+// BenchmarkQueryColdPlan measures the per-query cost when every query pays
+// plan compilation (the pre-cache one-shot behaviour, via invalidation).
+func BenchmarkQueryColdPlan(b *testing.B) {
+	m, _ := buildContinuousTestModel(b, 300)
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.InvalidatePlans()
+		if _, err := PAccel(m, 3, 0.2, PAccelOptions{NSamples: 512, RNG: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryWarmPlan is the same query against the warm plan cache —
+// the regression benchmark asserting the second query skips compilation.
+func BenchmarkQueryWarmPlan(b *testing.B) {
+	m, _ := buildContinuousTestModel(b, 300)
+	rng := stats.NewRNG(1)
+	if _, err := PAccel(m, 3, 0.2, PAccelOptions{NSamples: 512, RNG: rng}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PAccel(m, 3, 0.2, PAccelOptions{NSamples: 512, RNG: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -252,12 +252,21 @@ func posteriorForNode(m *Model, target int, evidence map[int]float64, nSamples, 
 		if rng == nil {
 			rng = stats.NewRNG(1)
 		}
+		// The compiled query plan is resolved through the per-model cache:
+		// compilation is paid once per (model generation, query shape), and
+		// every later query with the same shape — a gateway serving the same
+		// route, or a CLI's second query — reuses it. Results are unchanged:
+		// QueryPlan.Serial is bit-for-bit the serial sampler, and .Parallel
+		// the sharded one.
+		plan, err := m.queryPlan(target, evidence)
+		if err != nil {
+			return nil, err
+		}
 		var ws *infer.WeightedSamples
-		var err error
 		if workers > 1 {
-			ws, err = infer.LikelihoodWeightingParallel(context.Background(), m.Net, target, infer.ContinuousEvidence(evidence), nSamples, workers, rng)
+			ws, err = plan.Parallel(context.Background(), infer.ContinuousEvidence(evidence), nSamples, workers, rng)
 		} else {
-			ws, err = infer.LikelihoodWeighting(m.Net, target, infer.ContinuousEvidence(evidence), nSamples, rng)
+			ws, err = plan.Serial(infer.ContinuousEvidence(evidence), nSamples, rng)
 		}
 		if err != nil {
 			return nil, err

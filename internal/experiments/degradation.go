@@ -112,6 +112,8 @@ func Degradation(cfg DegradationConfig) ([]*FigResult, error) {
 		if err := decentral.Install(model.Net, res); err != nil {
 			return err
 		}
+		// Compiled query plans embed CPD pointers; the install swapped CPDs.
+		model.InvalidatePlans()
 		realD := test.Col(test.NumCols() - 1)
 		h := stats.Quantile(realD, cfg.ThresholdQuantile)
 		post, err := core.ResponseTimePosterior(model, nil, cfg.NSamples, rng.Split(2))

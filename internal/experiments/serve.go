@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"kertbn/internal/core"
+	"kertbn/internal/gateway"
+	"kertbn/internal/obs"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+	"kertbn/internal/workflow"
+)
+
+func init() { obs.RegisterPrefix("serve", "internal/experiments") }
+
+// ServeBenchConfig parameterizes the inference-gateway serving benchmark
+// (BENCH_serve.json): cold vs warm cache latency, closed-loop throughput,
+// and the cached-result identity checks.
+type ServeBenchConfig struct {
+	Seed uint64
+	// TrainSize sizes the eDiaMoND training set both models are built from.
+	TrainSize int
+	// NSamples is the Monte-Carlo budget per continuous query — the cost a
+	// cold (cache-miss) query pays and a warm (cache-hit) query skips.
+	NSamples int
+	// DistinctQueries is how many distinct pAccel queries are swept; each
+	// is measured once cold and once warm.
+	DistinctQueries int
+	// LoadRequests and Concurrency drive the closed-loop throughput phase:
+	// Concurrency clients issue LoadRequests total over the warm cache.
+	LoadRequests int
+	Concurrency  int
+}
+
+// DefaultServeBenchConfig matches the committed BENCH_serve.json.
+func DefaultServeBenchConfig() ServeBenchConfig {
+	return ServeBenchConfig{
+		Seed:            42,
+		TrainSize:       1200,
+		NSamples:        20_000,
+		DistinctQueries: 24,
+		LoadRequests:    400,
+		Concurrency:     8,
+	}
+}
+
+// serveLatencies collects per-request wall clocks and summarizes them.
+type serveLatencies struct {
+	seconds []float64
+}
+
+func (l *serveLatencies) add(d time.Duration) { l.seconds = append(l.seconds, d.Seconds()) }
+
+func (l *serveLatencies) quantile(q float64) float64 {
+	if len(l.seconds) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), l.seconds...)
+	sort.Float64s(s)
+	return stats.Quantile(s, q)
+}
+
+// ServeBench benchmarks the long-running inference gateway end to end over
+// loopback HTTP and records the BENCH_serve.json series:
+//
+//	serve.cold.p50_seconds / p99  gauges: first-touch (cache-miss) latency
+//	serve.warm.p50_seconds / p99  gauges: cache-hit latency, same queries
+//	serve.speedup.cold_over_warm  gauge: cold p50 / warm p50
+//	serve.load.qps                gauge: closed-loop throughput
+//	serve.load.p50_seconds / p99  gauges: latency under concurrent load
+//	serve.identity.warm           gauge: 1 iff every hit body was
+//	                              byte-identical to its miss body
+//	serve.identity.reexec         gauge: 1 iff re-execution after a cache
+//	                              flush reproduced every body bit-for-bit
+//	                              (continuous Monte-Carlo model)
+//	serve.identity.discrete       gauge: same contract on the discrete
+//	                              (exact-inference) model after a swap
+//	serve.coalesce.merged         gauge: requests merged in the burst phase
+//
+// plus the gateway.* counters the serving stack itself emits, which ride
+// into the snapshot. The identity gauges are the acceptance criterion that
+// cached results are indistinguishable from uncached ones; the speedup
+// gauge is the point of the result cache.
+func ServeBench(cfg ServeBenchConfig) (*FigResult, error) {
+	sys := simsvc.EDiaMoNDSystem()
+	root := stats.NewRNG(cfg.Seed)
+	train, err := sys.GenerateDataset(cfg.TrainSize, root.Split(0))
+	if err != nil {
+		return nil, err
+	}
+	contCfg := core.DefaultKERTConfig(workflow.EDiaMoND())
+	contCfg.Type = core.ContinuousModel
+	contCfg.Leak = 0.02 // leak forces the Monte-Carlo path: cold queries pay NSamples
+	contModel, err := core.BuildKERT(contCfg, train)
+	if err != nil {
+		return nil, err
+	}
+	discCfg := core.DefaultKERTConfig(workflow.EDiaMoND())
+	discCfg.Type = core.DiscreteModel
+	discModel, err := core.BuildKERT(discCfg, train)
+	if err != nil {
+		return nil, err
+	}
+
+	srv := gateway.New(contModel, gateway.Options{NSamples: cfg.NSamples})
+	run, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	base := "http://" + run.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	service := train.Columns[3]
+	mean := stats.Mean(train.Col(3))
+	reqBody := func(i int) []byte {
+		factor := 0.5 + 0.5*float64(i)/float64(cfg.DistinctQueries)
+		b, _ := json.Marshal(map[string]any{
+			"service":        service,
+			"predicted_mean": factor * mean,
+		})
+		return b
+	}
+	do := func(body []byte) ([]byte, string, error) {
+		resp, err := client.Post(base+"/v1/query/paccel", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, "", err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", fmt.Errorf("query status %d: %s", resp.StatusCode, out)
+		}
+		return out, resp.Header.Get("X-Kertbn-Cache"), nil
+	}
+
+	// Phase 1: cold pass — every query is a first touch (cache miss paying
+	// plan compilation once plus NSamples of Monte-Carlo per query).
+	cold := &serveLatencies{}
+	coldBodies := make([][]byte, cfg.DistinctQueries)
+	for i := 0; i < cfg.DistinctQueries; i++ {
+		start := time.Now()
+		body, disposition, err := do(reqBody(i))
+		cold.add(time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("cold query %d: %w", i, err)
+		}
+		if disposition != "miss" {
+			return nil, fmt.Errorf("cold query %d disposition %q, want miss", i, disposition)
+		}
+		coldBodies[i] = body
+	}
+
+	// Phase 2: warm pass — identical queries served from the result cache.
+	warm := &serveLatencies{}
+	warmIdentical := 1.0
+	for i := 0; i < cfg.DistinctQueries; i++ {
+		start := time.Now()
+		body, disposition, err := do(reqBody(i))
+		warm.add(time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("warm query %d: %w", i, err)
+		}
+		if disposition != "hit" {
+			return nil, fmt.Errorf("warm query %d disposition %q, want hit", i, disposition)
+		}
+		if !bytes.Equal(body, coldBodies[i]) {
+			warmIdentical = 0
+		}
+	}
+
+	// Phase 3: identity under re-execution — flush the cache and re-run;
+	// key-derived seeds must reproduce every continuous Monte-Carlo body
+	// bit-for-bit.
+	srv.FlushResultCache()
+	reexecIdentical := 1.0
+	for i := 0; i < cfg.DistinctQueries; i++ {
+		body, disposition, err := do(reqBody(i))
+		if err != nil {
+			return nil, fmt.Errorf("re-exec query %d: %w", i, err)
+		}
+		if disposition != "miss" {
+			return nil, fmt.Errorf("re-exec query %d disposition %q, want miss", i, disposition)
+		}
+		if !bytes.Equal(body, coldBodies[i]) {
+			reexecIdentical = 0
+		}
+	}
+
+	// Phase 4: closed-loop throughput over the warm cache — Concurrency
+	// clients round-robin the distinct queries.
+	load := &serveLatencies{}
+	var loadMu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	loadStart := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				_, _, err := do(reqBody(i % cfg.DistinctQueries))
+				d := time.Since(start)
+				if err == nil {
+					loadMu.Lock()
+					load.add(d)
+					loadMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.LoadRequests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	loadSeconds := time.Since(loadStart).Seconds()
+
+	// Phase 5: coalescing burst — flush, then fire Concurrency identical
+	// requests at once; merged ones rode an in-flight execution.
+	srv.FlushResultCache()
+	mergedBefore := srv.CoalescedRequests()
+	var burst sync.WaitGroup
+	for c := 0; c < cfg.Concurrency; c++ {
+		burst.Add(1)
+		go func() {
+			defer burst.Done()
+			do(reqBody(0))
+		}()
+	}
+	burst.Wait()
+	merged := srv.CoalescedRequests() - mergedBefore
+
+	// Phase 6: discrete identity across a generation swap — exact
+	// inference, so cached == uncached must hold bit-for-bit too.
+	srv.SetModel(discModel)
+	discBody := func() ([]byte, string, error) { return do(reqBody(0)) }
+	first, disposition, err := discBody()
+	if err != nil {
+		return nil, fmt.Errorf("discrete query: %w", err)
+	}
+	if disposition != "miss" {
+		return nil, fmt.Errorf("post-swap query disposition %q, want miss (stale cache survived the swap)", disposition)
+	}
+	hit, _, err := discBody()
+	if err != nil {
+		return nil, err
+	}
+	srv.FlushResultCache()
+	reexec, _, err := discBody()
+	if err != nil {
+		return nil, err
+	}
+	discreteIdentical := 1.0
+	if !bytes.Equal(first, hit) || !bytes.Equal(first, reexec) {
+		discreteIdentical = 0
+	}
+
+	coldP50, coldP99 := cold.quantile(0.5), cold.quantile(0.99)
+	warmP50, warmP99 := warm.quantile(0.5), warm.quantile(0.99)
+	speedup := 0.0
+	if warmP50 > 0 {
+		speedup = coldP50 / warmP50
+	}
+	qps := 0.0
+	if loadSeconds > 0 {
+		qps = float64(len(load.seconds)) / loadSeconds
+	}
+
+	obs.G("serve.nsamples").Set(float64(cfg.NSamples))
+	obs.G("serve.distinct_queries").Set(float64(cfg.DistinctQueries))
+	obs.G("serve.concurrency").Set(float64(cfg.Concurrency))
+	obs.G("serve.cold.p50_seconds").Set(coldP50)
+	obs.G("serve.cold.p99_seconds").Set(coldP99)
+	obs.G("serve.warm.p50_seconds").Set(warmP50)
+	obs.G("serve.warm.p99_seconds").Set(warmP99)
+	obs.G("serve.speedup.cold_over_warm").Set(speedup)
+	obs.G("serve.load.qps").Set(qps)
+	obs.G("serve.load.requests").Set(float64(len(load.seconds)))
+	obs.G("serve.load.p50_seconds").Set(load.quantile(0.5))
+	obs.G("serve.load.p99_seconds").Set(load.quantile(0.99))
+	obs.G("serve.identity.warm").Set(warmIdentical)
+	obs.G("serve.identity.reexec").Set(reexecIdentical)
+	obs.G("serve.identity.discrete").Set(discreteIdentical)
+	obs.G("serve.coalesce.merged").Set(float64(merged))
+
+	return &FigResult{
+		ID:     "serve",
+		Title:  "inference gateway: cold vs warm cache latency and throughput",
+		XLabel: "phase",
+		YLabel: "seconds (p50 / p99) or ratio",
+		Series: []Series{
+			{Name: "p50_s", X: []float64{1, 2, 3}, Y: []float64{coldP50, warmP50, load.quantile(0.5)}},
+			{Name: "p99_s", X: []float64{1, 2, 3}, Y: []float64{coldP99, warmP99, load.quantile(0.99)}},
+		},
+		Notes: []string{
+			fmt.Sprintf("phases: 1=cold (cache miss, %d MC samples), 2=warm (cache hit), 3=closed loop (%d clients)", cfg.NSamples, cfg.Concurrency),
+			fmt.Sprintf("cold/warm p50 speedup: %.1fx; closed-loop throughput: %.0f qps over %d requests", speedup, qps, len(load.seconds)),
+			fmt.Sprintf("identity: warm=%v reexec=%v discrete=%v (1 = byte-identical bodies); coalesce merged %d of %d burst requests", warmIdentical, reexecIdentical, discreteIdentical, merged, cfg.Concurrency),
+		},
+	}, nil
+}

@@ -1,0 +1,66 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readAPIDoc loads the repo-root API.md.
+func readAPIDoc(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "API.md"))
+	if err != nil {
+		t.Fatalf("API.md must exist at the repo root: %v", err)
+	}
+	return string(raw)
+}
+
+// TestAPIDocCoversEveryRoute is the doc-drift gate: every route the
+// gateway registers must appear in API.md as `METHOD /path`, and the
+// documented contract pieces — error codes, Retry-After, the cache and
+// generation headers — must be present. Adding a route without
+// documenting it fails CI.
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	doc := readAPIDoc(t)
+	for _, rd := range RouteDocs() {
+		needle := fmt.Sprintf("`%s %s`", rd.Method, rd.Path)
+		if !strings.Contains(doc, needle) {
+			t.Errorf("API.md does not document %s (expected the literal %s)", rd.Path, needle)
+		}
+	}
+	for _, contract := range []string{
+		"`400`", "`404`", "`405`", "`429`", "`503`",
+		"Retry-After",
+		"X-Kertbn-Generation", "X-Kertbn-Model-Hash", "X-Kertbn-Cache", "X-Kertbn-Tenant",
+		"miss", "hit", "coalesced",
+	} {
+		if !strings.Contains(doc, contract) {
+			t.Errorf("API.md is missing the documented contract element %q", contract)
+		}
+	}
+}
+
+// TestRouteTableMatchesHandler pins the other direction: every RouteDoc
+// path actually resolves to its own handler (no dead documentation). A
+// GET to each documented path must not 404-at-the-mux (the index handler
+// answers unknown paths with a JSON 404 naming the route index).
+func TestRouteTableMatchesHandler(t *testing.T) {
+	s := New(testModel(t), Options{})
+	h := s.Handler()
+	for _, rd := range RouteDocs() {
+		req := httptest.NewRequest(rd.Method, rd.Path, strings.NewReader("{}"))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code == http.StatusNotFound && strings.Contains(w.Body.String(), "no route") {
+			t.Errorf("documented route %s %s is not registered", rd.Method, rd.Path)
+		}
+		if w.Code == http.StatusMethodNotAllowed {
+			t.Errorf("documented method %s is rejected by %s", rd.Method, rd.Path)
+		}
+	}
+}

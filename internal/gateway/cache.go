@@ -1,0 +1,99 @@
+package gateway
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cachedResult is one fully rendered query answer: the exact JSON body the
+// miss produced, plus the generation it was computed under. Serving the
+// stored bytes verbatim is what makes cached responses bit-identical to
+// uncached ones.
+type cachedResult struct {
+	key  string
+	body []byte
+	gen  int
+}
+
+// resultCache is a small mutex-guarded LRU of rendered responses keyed by
+// the canonical query key (route, target, evidence values, sample count,
+// model generation + structure hash — see Server.queryKey). Invalidate
+// drops everything at once; the generation baked into every key makes even
+// a racing writer harmless, since a stale generation can no longer be
+// looked up.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+
+	hits, misses, evictions, invalidations int64
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached result for key, marking it most recently used.
+func (c *resultCache) get(key string) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cachedResult), true
+}
+
+// put stores a result, evicting the least recently used entry past cap.
+func (c *resultCache) put(r *cachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[r.key]; ok {
+		el.Value = r
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[r.key] = c.ll.PushFront(r)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cachedResult).key)
+		c.evictions++
+	}
+}
+
+// invalidate empties the cache (generation swap).
+func (c *resultCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[string]*list.Element{}
+	c.invalidations++
+}
+
+// cacheStats is the /v1/stats snapshot of the cache counters.
+type cacheStats struct {
+	Len           int   `json:"len"`
+	Capacity      int   `json:"capacity"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Len: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Invalidations: c.invalidations,
+	}
+}

@@ -1,0 +1,105 @@
+package gateway
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestGatewayCoalescesConcurrentIdenticalQueries pins the singleflight
+// contract: N concurrent identical queries perform exactly ONE underlying
+// PosteriorBatch execution, every caller gets a byte-identical body, and
+// exactly one response is the "miss" leader while the rest are
+// "coalesced". Run under -race in CI.
+func TestGatewayCoalescesConcurrentIdenticalQueries(t *testing.T) {
+	const followers = 7
+	m := testModel(t)
+	s := New(m, Options{})
+	s.testHoldExec = make(chan struct{})
+	h := s.Handler()
+	names := m.Net.Names()
+	body := map[string]any{
+		"target":   names[m.DNode],
+		"evidence": map[string]float64{names[0]: 0.3},
+	}
+
+	// Leader first: it registers the flight entry and parks on the hold
+	// gate, so every follower deterministically finds it in flight.
+	results := make([]*bytes.Buffer, followers+1)
+	caches := make([]string, followers+1)
+	var wg sync.WaitGroup
+	run := func(i int) {
+		defer wg.Done()
+		w := post(t, h, "/v1/query/posterior", body, nil)
+		if w.Code != http.StatusOK {
+			t.Errorf("request %d: status %d %s", i, w.Code, w.Body.String())
+			return
+		}
+		results[i] = w.Body
+		caches[i] = w.Header().Get("X-Kertbn-Cache")
+	}
+	wg.Add(1)
+	go run(0)
+	waitFor(t, func() bool { return s.flightLen() == 1 })
+
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Followers register as coalesced before blocking on the leader's done
+	// channel; once all have, release the leader.
+	waitFor(t, func() bool { return s.CoalescedRequests() == followers })
+	close(s.testHoldExec)
+	wg.Wait()
+
+	if got := s.BatchExecutions(); got != 1 {
+		t.Fatalf("batch executions = %d, want exactly 1 for %d concurrent identical queries", got, followers+1)
+	}
+	misses, coalesced := 0, 0
+	for i, c := range caches {
+		switch c {
+		case "miss":
+			misses++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Errorf("request %d: unexpected cache disposition %q", i, c)
+		}
+		if results[i] == nil || !bytes.Equal(results[0].Bytes(), results[i].Bytes()) {
+			t.Errorf("request %d body differs from leader's", i)
+		}
+	}
+	if misses != 1 || coalesced != followers {
+		t.Errorf("dispositions: %d miss / %d coalesced, want 1 / %d", misses, coalesced, followers)
+	}
+
+	// After the flight lands in the cache, the same query is a plain hit.
+	w := post(t, h, "/v1/query/posterior", body, nil)
+	if c := w.Header().Get("X-Kertbn-Cache"); c != "hit" {
+		t.Errorf("follow-up cache disposition = %q, want hit", c)
+	}
+	if got := s.BatchExecutions(); got != 1 {
+		t.Errorf("follow-up hit executed a batch (executions %d)", got)
+	}
+}
+
+// TestGatewayDistinctQueriesDoNotCoalesce guards against over-eager key
+// canonicalization: queries differing only in evidence value, sample
+// count, or route must execute separately.
+func TestGatewayDistinctQueriesDoNotCoalesce(t *testing.T) {
+	m := testModel(t)
+	s := New(m, Options{})
+	h := s.Handler()
+	names := m.Net.Names()
+
+	post(t, h, "/v1/query/posterior", map[string]any{"target": names[m.DNode], "evidence": map[string]float64{names[0]: 0.1}}, nil)
+	post(t, h, "/v1/query/posterior", map[string]any{"target": names[m.DNode], "evidence": map[string]float64{names[0]: 0.2}}, nil)
+	post(t, h, "/v1/query/posterior", map[string]any{"target": names[m.DNode], "evidence": map[string]float64{names[0]: 0.1}, "n_samples": 500}, nil)
+	if got := s.BatchExecutions(); got != 3 {
+		t.Errorf("distinct queries executed %d batches, want 3", got)
+	}
+	if merged := s.CoalescedRequests(); merged != 0 {
+		t.Errorf("sequential distinct queries coalesced %d times, want 0", merged)
+	}
+}

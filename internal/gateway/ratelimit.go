@@ -1,0 +1,68 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a standard continuous-refill token bucket. Tokens refill
+// at rate per second up to burst; each admitted request costs one token.
+// The zero rate means "unlimited" and is handled by the caller.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take refills the bucket to now and tries to spend one token, returning
+// whether the request is admitted and — when it is not — how long until a
+// token will be available (the Retry-After hint).
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// limiter holds one token bucket per tenant. Tenants are identified by the
+// X-Kertbn-Tenant header (empty string is the anonymous tenant); buckets
+// are created full on first sight.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	tenants map[string]*tokenBucket
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), tenants: map[string]*tokenBucket{}}
+}
+
+// allow admits or rejects one request for a tenant. A zero/negative rate
+// disables limiting entirely.
+func (l *limiter) allow(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.tenants[tenant]
+	if b == nil {
+		b = &tokenBucket{rate: l.rate, burst: l.burst, tokens: l.burst, last: now}
+		l.tenants[tenant] = b
+	}
+	return b.take(now)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"kertbn/internal/bn"
@@ -28,62 +29,100 @@ var (
 // matter how many workers drain the shard queue.
 const lwShardSize = 2048
 
-// lwPlan is a compiled likelihood-weighting query: the network unpacked
-// into flat, allocation-free per-node state (CPDs, parent index lists,
-// clamped evidence) in topological order. Compiling once per query and
-// running many samples against the plan avoids the per-sample parent-list
-// copies, sorts and map lookups of the naive loop — the optimization that
-// makes the sharded path beat the serial one even on a single core.
-// A plan is read-only after compile, so shards may share it.
-type lwPlan struct {
+// QueryPlan is a compiled likelihood-weighting query: the network unpacked
+// into flat, allocation-free per-node state (CPDs, parent index lists, the
+// evidence *shape* — which nodes are clamped, not their values) in
+// topological order. Compiling once per query shape and running many
+// samples (or many requests with different evidence values) against the
+// plan avoids the per-sample parent-list copies, sorts and map lookups of
+// the naive loop — the optimization that makes the sharded path beat the
+// serial one even on a single core, and the unit the gateway's plan cache
+// stores per (structure hash, query shape).
+//
+// A plan is read-only after compile, so shards and concurrent requests may
+// share it; evidence values are supplied per run. A plan embeds the
+// network's CPD objects, so it is valid only for the model generation it
+// was compiled from.
+type QueryPlan struct {
 	nNodes  int
 	query   int
 	order   []int
 	cpds    []bn.CPD
 	parents [][]int
 	isEv    []bool
-	evVal   []float64
+	evNodes []int // sorted clamped node ids (the query shape)
 	maxPar  int
 }
 
-func compileLW(n *bn.Network, query int, ev ContinuousEvidence, nSamples int) (*lwPlan, error) {
+// CompileQueryPlan compiles the likelihood-weighting plan for one query
+// node and one evidence shape (the set of clamped node ids; values come
+// later, per run). The same plan answers every query with this shape
+// against the same network.
+func CompileQueryPlan(n *bn.Network, query int, evNodes []int) (*QueryPlan, error) {
 	if query < 0 || query >= n.N() {
 		return nil, fmt.Errorf("infer: query node %d out of range", query)
 	}
-	if _, isEv := ev[query]; isEv {
-		return nil, fmt.Errorf("infer: query node %d is also evidence", query)
-	}
-	if nSamples <= 0 {
-		return nil, fmt.Errorf("infer: nSamples must be positive, got %d", nSamples)
-	}
 	N := n.N()
-	p := &lwPlan{
+	p := &QueryPlan{
 		nNodes:  N,
 		query:   query,
 		order:   n.TopoOrder(),
 		cpds:    make([]bn.CPD, N),
 		parents: make([][]int, N),
 		isEv:    make([]bool, N),
-		evVal:   make([]float64, N),
+		evNodes: append([]int(nil), evNodes...),
 	}
+	sort.Ints(p.evNodes)
 	for id := 0; id < N; id++ {
 		p.cpds[id] = n.Node(id).CPD
 		p.parents[id] = n.Parents(id)
 		if len(p.parents[id]) > p.maxPar {
 			p.maxPar = len(p.parents[id])
 		}
-		if v, isEv := ev[id]; isEv {
-			p.isEv[id] = true
-			p.evVal[id] = v
+	}
+	for i, id := range p.evNodes {
+		if id < 0 || id >= N {
+			return nil, fmt.Errorf("infer: evidence node %d out of range", id)
 		}
+		if id == query {
+			return nil, fmt.Errorf("infer: query node %d is also evidence", query)
+		}
+		if i > 0 && p.evNodes[i-1] == id {
+			return nil, fmt.Errorf("infer: duplicate evidence node %d", id)
+		}
+		p.isEv[id] = true
 	}
 	return p, nil
 }
 
+// EvidenceNodes returns the sorted clamped node ids the plan was compiled
+// for (the query shape).
+func (p *QueryPlan) EvidenceNodes() []int { return append([]int(nil), p.evNodes...) }
+
+// Query returns the plan's query node id.
+func (p *QueryPlan) Query() int { return p.query }
+
+// evValues spreads an evidence map into a node-indexed value vector,
+// erroring unless the map's keys are exactly the plan's evidence shape.
+func (p *QueryPlan) evValues(ev ContinuousEvidence) ([]float64, error) {
+	if len(ev) != len(p.evNodes) {
+		return nil, fmt.Errorf("infer: plan compiled for %d evidence nodes, got %d", len(p.evNodes), len(ev))
+	}
+	evVal := make([]float64, p.nNodes)
+	for id, v := range ev {
+		if id < 0 || id >= p.nNodes || !p.isEv[id] {
+			return nil, fmt.Errorf("infer: evidence node %d not in the plan's shape", id)
+		}
+		evVal[id] = v
+	}
+	return evVal, nil
+}
+
 // run draws nSamples weighted samples against the plan, appending surviving
 // query values and log weights to the passed slices (reused across shards
-// of one worker only, never shared).
-func (p *lwPlan) run(rng *stats.RNG, nSamples int, values, logws []float64) ([]float64, []float64) {
+// of one worker only, never shared). evVal is the node-indexed evidence
+// value vector (only positions where isEv holds are read).
+func (p *QueryPlan) run(rng *stats.RNG, nSamples int, evVal []float64, values, logws []float64) ([]float64, []float64) {
 	row := make([]float64, p.nNodes)
 	pbuf := make([]float64, p.maxPar)
 	for s := 0; s < nSamples; s++ {
@@ -95,8 +134,8 @@ func (p *lwPlan) run(rng *stats.RNG, nSamples int, values, logws []float64) ([]f
 				pv[k] = row[pid]
 			}
 			if p.isEv[id] {
-				row[id] = p.evVal[id]
-				logW += p.cpds[id].LogProb(p.evVal[id], pv)
+				row[id] = evVal[id]
+				logW += p.cpds[id].LogProb(evVal[id], pv)
 			} else {
 				row[id] = p.cpds[id].Sample(rng, pv)
 			}
@@ -110,21 +149,52 @@ func (p *lwPlan) run(rng *stats.RNG, nSamples int, values, logws []float64) ([]f
 	return values, logws
 }
 
-// LikelihoodWeightingParallel is the sharded counterpart of
-// LikelihoodWeighting: nSamples are cut into fixed-size shards, shard s
-// draws from the independent stream rng.Split(s), and up to workers
-// goroutines (workers <= 0 means GOMAXPROCS) drain the shard queue over one
-// compiled query plan. Results are assembled in shard order and normalized
+// Serial draws nSamples weighted samples against the plan with one
+// sequential pass over the caller's rng — the exact draw sequence of
+// LikelihoodWeighting, so for a given (network, query, evidence, rng state)
+// the two are bit-for-bit identical; only compilation is hoisted out. A nil
+// rng defaults to seed 1.
+func (p *QueryPlan) Serial(ev ContinuousEvidence, nSamples int, rng *stats.RNG) (*WeightedSamples, error) {
+	start := time.Now()
+	defer func() { lwSeconds.Observe(time.Since(start).Seconds()) }()
+	lwQueries.Inc()
+	lwSamples.Observe(float64(nSamples))
+	if nSamples <= 0 {
+		return nil, fmt.Errorf("infer: nSamples must be positive, got %d", nSamples)
+	}
+	evVal, err := p.evValues(ev)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = stats.NewRNG(1)
+	}
+	values, logws := p.run(rng, nSamples, evVal,
+		make([]float64, 0, nSamples), make([]float64, 0, nSamples))
+	if len(values) == 0 {
+		return nil, fmt.Errorf("infer: all %d samples had zero evidence likelihood", nSamples)
+	}
+	normalizeLogWeights(logws)
+	return &WeightedSamples{Values: values, Weights: logws}, nil
+}
+
+// Parallel is the sharded run: nSamples are cut into fixed-size shards,
+// shard s draws from the independent stream rng.Split(s), and up to workers
+// goroutines (workers <= 0 means GOMAXPROCS) drain the shard queue over the
+// shared plan. Results are assembled in shard order and normalized
 // globally, so for a fixed rng state the output is bit-for-bit identical at
 // any worker count — only wall-clock changes. A nil rng defaults to seed 1.
 //
 // ctx cancels the remaining shards; the error is then ctx.Err().
-func LikelihoodWeightingParallel(ctx context.Context, n *bn.Network, query int, ev ContinuousEvidence, nSamples, workers int, rng *stats.RNG) (*WeightedSamples, error) {
+func (p *QueryPlan) Parallel(ctx context.Context, ev ContinuousEvidence, nSamples, workers int, rng *stats.RNG) (*WeightedSamples, error) {
 	start := time.Now()
 	defer func() { lwParSeconds.Observe(time.Since(start).Seconds()) }()
 	lwParQueries.Inc()
 	lwParWorkers.Observe(float64(pool.Size(workers)))
-	plan, err := compileLW(n, query, ev, nSamples)
+	if nSamples <= 0 {
+		return nil, fmt.Errorf("infer: nSamples must be positive, got %d", nSamples)
+	}
+	evVal, err := p.evValues(ev)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +209,7 @@ func LikelihoodWeightingParallel(ctx context.Context, n *bn.Network, query int, 
 		if s == nShards-1 {
 			cnt = nSamples - s*lwShardSize
 		}
-		shardVals[s], shardLogs[s] = plan.run(rng.Split(uint64(s)), cnt, nil, nil)
+		shardVals[s], shardLogs[s] = p.run(rng.Split(uint64(s)), cnt, evVal, nil, nil)
 		return nil
 	})
 	if err != nil {
@@ -158,6 +228,28 @@ func LikelihoodWeightingParallel(ctx context.Context, n *bn.Network, query int, 
 	}
 	normalizeLogWeights(out.Weights)
 	return out, nil
+}
+
+// evidenceNodeIDs extracts the sorted node-id set of an evidence map.
+func evidenceNodeIDs(ev ContinuousEvidence) []int {
+	ids := make([]int, 0, len(ev))
+	for id := range ev {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// LikelihoodWeightingParallel is the sharded counterpart of
+// LikelihoodWeighting: compile the query plan, then QueryPlan.Parallel.
+// Callers answering the same query shape repeatedly should compile (and
+// cache) the plan once instead.
+func LikelihoodWeightingParallel(ctx context.Context, n *bn.Network, query int, ev ContinuousEvidence, nSamples, workers int, rng *stats.RNG) (*WeightedSamples, error) {
+	plan, err := CompileQueryPlan(n, query, evidenceNodeIDs(ev))
+	if err != nil {
+		return nil, err
+	}
+	return plan.Parallel(ctx, ev, nSamples, workers, rng)
 }
 
 // GibbsParallel fans opts.Chains independent Gibbs chains out across up to
