@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz differential bench bench-parallel bench-incremental bench-drift bench-trace bench-serve serve-e2e equivalence fmt
+.PHONY: all build vet test race fuzz differential alloc bench bench-parallel bench-incremental bench-drift bench-trace bench-serve bench-wire serve-e2e equivalence fmt
 
 all: vet build test
 
@@ -17,7 +17,7 @@ test:
 # pool, the sharded samplers, and the incremental ingest paths — alone
 # under the race detector for a fast signal.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/dataset/ ./internal/core/ ./internal/health/ ./internal/gateway/
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/wire/binfmt/ ./internal/dataset/ ./internal/core/ ./internal/health/ ./internal/gateway/
 
 # Incremental-vs-full equivalence: refits from sufficient statistics must
 # match from-scratch builds (bit-identical discrete, <= 1e-9 continuous).
@@ -27,9 +27,16 @@ equivalence:
 	$(GO) test ./internal/learn -run 'Stats.*Equivalence' -count=1 -v
 
 # Fuzz the framed wire codec: Decode must never panic on truncated or
-# corrupted frames, no matter what the peer sends.
+# corrupted frames (gob, flagged, or fixed-layout binary), and no binfmt
+# payload may decode without surviving a re-encode round trip.
 fuzz:
 	$(GO) test ./internal/wire -fuzz=FuzzDecodeMessage -fuzztime=20s
+	$(GO) test ./internal/wire/binfmt -fuzz=FuzzDecodePayload -fuzztime=20s
+
+# Allocation gates: the per-row hot paths (frame encode, health scoring,
+# stream ingest, compiled-plan LW sampling) must not allocate.
+alloc:
+	$(GO) test ./internal/wire ./internal/health ./internal/infer ./internal/dataset -run 'ZeroAlloc|DoesNotAllocate' -count=1 -v
 
 # Differential tests: LW and Gibbs posteriors against the exact oracles.
 differential:
@@ -61,6 +68,11 @@ bench-trace:
 # warm cache latency, closed-loop QPS, cached-result identity).
 bench-serve:
 	$(GO) run ./cmd/kertbench -exp serve -metrics-json BENCH_serve.json
+
+# Regenerate the committed wire-codec baseline (gob vs fixed binary layout
+# bytes on the three hot message types, hot-path ns/row and allocations).
+bench-wire:
+	$(GO) run ./cmd/kertbench -exp wire -metrics-json BENCH_wire.json
 
 # End-to-end gateway check: start kertquery -serve on real data, drive the
 # query API over HTTP (miss -> hit), verify gateway.* counters in /metrics.

@@ -1,0 +1,92 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchWireSnapshot validates the committed wire-codec baseline:
+// BENCH_wire.json must parse as an obs.Snapshot and show the acceptance
+// headline — the fixed binary layout at least 3x smaller than gob on the
+// wire for all three hot message types at their gate operating points, a
+// faster frame encode, and zero allocations per row on every codec-fed hot
+// path. Regenerate with `make bench-wire`.
+func TestBenchWireSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_wire.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-wire`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_wire.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	g := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("baseline is missing gauge %q", name)
+		}
+		return v
+	}
+
+	// The acceptance headline: >= 3x wire-byte reduction on every hot type
+	// at its gate operating point, with the raw byte gauges consistent.
+	for _, typ := range []string{"batch", "segment", "cpd"} {
+		ratio := g("wire.ratio." + typ)
+		if ratio < 3 {
+			t.Errorf("wire.ratio.%s = %.2fx, want >= 3x", typ, ratio)
+		}
+		gob, bin := g("wire.bytes."+typ+".gob"), g("wire.bytes."+typ+".binary")
+		if gob <= 0 || bin <= 0 || bin >= gob {
+			t.Errorf("wire.bytes.%s: gob %v, binary %v — binary must be positive and smaller", typ, gob, bin)
+		}
+		if got := gob / bin; got < ratio-0.01 || got > ratio+0.01 {
+			t.Errorf("wire.ratio.%s = %v inconsistent with byte gauges (%v/%v = %v)", typ, ratio, gob, bin, got)
+		}
+	}
+
+	// The gates are pinned to real operating points.
+	if v := g("wire.gate.batch_rows"); v < 1 {
+		t.Errorf("wire.gate.batch_rows = %v, want >= 1", v)
+	}
+	if v := g("wire.gate.segment_len"); v < 1 {
+		t.Errorf("wire.gate.segment_len = %v, want >= 1", v)
+	}
+
+	// Frame encode: the binary path is measured, allocation-free on a warm
+	// buffer, and beats the gob encoder it replaces.
+	binEnc, gobEnc := g("wire.encode_ns_per_row.binary"), g("wire.encode_ns_per_row.gob")
+	if binEnc <= 0 || gobEnc <= 0 {
+		t.Errorf("encode timings must be positive: binary %v, gob %v", binEnc, gobEnc)
+	}
+	if binEnc >= gobEnc {
+		t.Errorf("binary encode (%.0fns/row) not faster than gob (%.0fns/row)", binEnc, gobEnc)
+	}
+	if v := g("wire.encode_allocs_per_frame.binary"); v != 0 {
+		t.Errorf("binary frame encode allocates %v per frame, want 0", v)
+	}
+
+	// The allocation-free hot paths: zero allocs per row on scoring and
+	// ingest; LW sampling amortizes its result storage to (well) under one
+	// allocation per drawn sample.
+	for _, gate := range []string{"wire.score_allocs_per_row", "wire.ingest_allocs_per_row"} {
+		if v := g(gate); v != 0 {
+			t.Errorf("%s = %v, want 0", gate, v)
+		}
+	}
+	if v := g("wire.sample_allocs_per_sample"); v >= 1 {
+		t.Errorf("wire.sample_allocs_per_sample = %v, want < 1", v)
+	}
+	for _, ns := range []string{"wire.score_ns_per_row", "wire.ingest_ns_per_row", "wire.sample_ns_per_sample"} {
+		if v := g(ns); v <= 0 {
+			t.Errorf("%s = %v, want > 0 (a real measurement)", ns, v)
+		}
+	}
+}

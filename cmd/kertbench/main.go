@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift, serve")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift, serve, wire")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
@@ -227,6 +227,25 @@ func main() {
 			sCfg.Seed = *seed
 		}
 		renderOne(experiments.ServeBench(sCfg))
+	}
+	if *exp == "wire" {
+		// Not part of "all": the wire-codec benchmark whose snapshot is
+		// committed as BENCH_wire.json — framed bytes for the three hot
+		// message types under gob vs the fixed binary layout, plus per-row
+		// cost and allocation counts of the codec-fed hot paths.
+		ok = true
+		wCfg := experiments.DefaultWireBenchConfig()
+		if *quick {
+			wCfg.ScoreRows = 500
+			wCfg.IngestRows = 1000
+			wCfg.EncodeFrames = 1000
+			wCfg.NSamples = 500
+			wCfg.Reps = 3
+		}
+		if *seed != 0 {
+			wCfg.Seed = *seed
+		}
+		renderOne(experiments.WireBench(wCfg))
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -114,26 +114,42 @@ func (t *Tabular) Prob(state int, parents []int) float64 {
 	return t.P[t.ConfigIndex(parents)*t.Card+state]
 }
 
-// LogProb implements CPD. x and parents must hold integer-valued states.
-func (t *Tabular) LogProb(x float64, parents []float64) float64 {
-	pi := make([]int, len(parents))
-	for i, p := range parents {
-		pi[i] = int(p)
+// configIndexF is ConfigIndex over float64-encoded parent states, computed
+// with the same mixed-radix recurrence but no intermediate []int — the
+// allocation-free form the per-row scoring and sampling paths use. Range
+// violations panic exactly as ConfigIndex does.
+func (t *Tabular) configIndexF(parents []float64) int {
+	if len(parents) != len(t.ParentCard) {
+		panic("bn: tabular parent arity mismatch")
 	}
-	p := t.Prob(int(x), pi)
+	idx := 0
+	for i, pf := range parents {
+		p := int(pf)
+		if p < 0 || p >= t.ParentCard[i] {
+			panic(fmt.Sprintf("bn: parent state %d out of range (card %d)", p, t.ParentCard[i]))
+		}
+		idx = idx*t.ParentCard[i] + p
+	}
+	return idx
+}
+
+// LogProb implements CPD. x and parents must hold integer-valued states.
+// The lookup is allocation-free: it indexes P directly via configIndexF.
+func (t *Tabular) LogProb(x float64, parents []float64) float64 {
+	s := int(x)
+	if s < 0 || s >= t.Card {
+		panic(fmt.Sprintf("bn: state %d out of range (card %d)", s, t.Card))
+	}
+	p := t.P[t.configIndexF(parents)*t.Card+s]
 	if p <= 0 {
 		return math.Inf(-1)
 	}
 	return math.Log(p)
 }
 
-// Sample implements CPD.
+// Sample implements CPD, drawing from the configuration's row in place.
 func (t *Tabular) Sample(rng *stats.RNG, parents []float64) float64 {
-	pi := make([]int, len(parents))
-	for i, p := range parents {
-		pi[i] = int(p)
-	}
-	base := t.ConfigIndex(pi) * t.Card
+	base := t.configIndexF(parents) * t.Card
 	return float64(rng.Categorical(t.P[base : base+t.Card]))
 }
 

@@ -153,6 +153,10 @@ type Window struct {
 	rows     [][]float64
 	start    int // ring-buffer start
 	count    int
+	// spare is the most recently evicted row's backing array, recycled as
+	// the copy target of the next Push so a full window ingests rows with
+	// zero steady-state allocations.
+	spare []float64
 }
 
 // NewWindow creates a sliding window holding at most capacity rows.
@@ -171,6 +175,11 @@ func NewWindow(columns []string, capacity int) (*Window, error) {
 // while the window is still filling) is returned so streaming accumulators
 // can reverse-update their sufficient statistics for rows leaving the
 // window.
+//
+// The evicted slice is valid only until the next Push: its backing array is
+// recycled as the copy target of a later row, which is what makes
+// steady-state ingest allocation-free. Callers that need the evicted row
+// beyond the current call must copy it.
 func (w *Window) Push(row []float64) (evicted []float64, err error) {
 	if len(row) != len(w.Columns) {
 		return nil, fmt.Errorf("dataset: row width %d != %d columns", len(row), len(w.Columns))
@@ -181,10 +190,21 @@ func (w *Window) Push(row []float64) (evicted []float64, err error) {
 		w.start = (w.start + 1) % w.Capacity
 		idx = (w.start + w.count - 1) % w.Capacity
 	}
-	w.rows[idx] = append([]float64(nil), row...)
+	buf := w.spare
+	w.spare = nil
+	if cap(buf) >= len(row) {
+		buf = buf[:len(row)]
+	} else {
+		buf = make([]float64, len(row))
+	}
+	copy(buf, row)
+	w.rows[idx] = buf
 	if w.count < w.Capacity {
 		w.count++
 	}
+	// The evicted buffer becomes the next push's copy target — hence the
+	// valid-until-next-Push contract on the returned slice.
+	w.spare = evicted
 	return evicted, nil
 }
 

@@ -184,14 +184,26 @@ func (c *Codec) Encode(d *Dataset) (*Dataset, error) {
 	return out, nil
 }
 
-// EncodeRow converts one continuous row in place-allocation-free fashion.
+// EncodeRow converts one continuous row, allocating the encoded row. Hot
+// paths should use EncodeRowInto with a reused buffer.
 func (c *Codec) EncodeRow(row []float64) ([]float64, error) {
+	return c.EncodeRowInto(nil, row)
+}
+
+// EncodeRowInto converts one continuous row into dst, reusing dst's backing
+// array when it has capacity — the allocation-free per-row path. It returns
+// the encoded slice (length len(row)).
+func (c *Codec) EncodeRowInto(dst, row []float64) ([]float64, error) {
 	if len(row) != len(c.Discretizers) {
 		return nil, fmt.Errorf("dataset: codec has %d columns, row has %d", len(c.Discretizers), len(row))
 	}
-	enc := make([]float64, len(row))
-	for j, v := range row {
-		enc[j] = float64(c.Discretizers[j].Bin(v))
+	if cap(dst) >= len(row) {
+		dst = dst[:len(row)]
+	} else {
+		dst = make([]float64, len(row))
 	}
-	return enc, nil
+	for j, v := range row {
+		dst[j] = float64(c.Discretizers[j].Bin(v))
+	}
+	return dst, nil
 }

@@ -107,6 +107,14 @@ type RobustOptions struct {
 	// existing trace — typically the rebuild span of the scheduler that
 	// requested the round.
 	Trace obs.TraceContext
+	// ShipCPDs routes every fitted CPD through the shipper's CPD path
+	// (CPDShipper) before it lands in the result — the decentralized
+	// deployment hop, where agents push parameter deltas to the management
+	// server instead of the server pulling columns. Failures keep the
+	// locally fitted CPD and count decentral.cpd_ship_skips; the round's
+	// learned parameters are identical either way because the binary layout
+	// is bit-exact.
+	ShipCPDs bool
 }
 
 // TraceSettable is implemented by shippers (like TCPFabric) that can join
@@ -262,6 +270,9 @@ func LearnRobust(ctx context.Context, plans []NodePlan, cols Columns, shipper Sh
 	perPlan := make([]NodeResult, len(plans))
 	err := pool.ForEach(ctx, "decentral.learn", len(plans), r.Workers, func(i int) error {
 		nr, err := learnOne(plans[i], cols, shipper, opts, r)
+		if err == nil && r.ShipCPDs && nr.CPD != nil {
+			nr.CPD = shipFittedCPD(shipper, plans[i].Node, nr.CPD)
+		}
 		if err != nil {
 			if r.Fallback == FallbackAbort {
 				return fmt.Errorf("decentral: node %d: %w", plans[i].Node, err)

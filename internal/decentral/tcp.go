@@ -12,6 +12,14 @@ import (
 	"kertbn/internal/faulty"
 	"kertbn/internal/obs"
 	"kertbn/internal/wire"
+	"kertbn/internal/wire/binfmt"
+)
+
+// Frame-codec metrics on the relay: how many frames arrived in each
+// encoding. Codec-negotiation tests assert on these.
+var (
+	decFramesBinary = obs.C("decentral.tcp.binary_frames")
+	decFramesGob    = obs.C("decentral.tcp.gob_frames")
 )
 
 // countingWriter counts the bytes actually written to the wire, so the
@@ -34,6 +42,39 @@ type parcel struct {
 	Col      []float64
 }
 
+// relayMsg is the relay's binary-frame decoder: it validates the payload as
+// one of the binary message kinds the fabric relays (row segments and CPD
+// deltas) and keeps the raw bytes so the echo needs no re-encode.
+type relayMsg struct {
+	seg   binfmt.RowSegment
+	delta binfmt.CPDDelta
+	raw   []byte
+}
+
+// UnmarshalWire implements wire.Unmarshaler by sniffing the message type
+// and decoding with the matching scratch struct — a full validation pass,
+// so a corrupt-but-CRC-valid payload is rejected before it gets echoed.
+func (m *relayMsg) UnmarshalWire(payload []byte) error {
+	t, ok := binfmt.MsgType(payload)
+	if !ok {
+		return fmt.Errorf("%w: unknown binary payload on relay", binfmt.ErrMalformed)
+	}
+	switch t {
+	case binfmt.TypeRowSegment:
+		if err := m.seg.UnmarshalWire(payload); err != nil {
+			return err
+		}
+	case binfmt.TypeCPDDelta:
+		if err := m.delta.UnmarshalWire(payload); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: binary type 0x%02x not relayed", binfmt.ErrMalformed, t)
+	}
+	m.raw = payload
+	return nil
+}
+
 // FabricOptions tunes the TCP fabric's robustness envelope. The zero value
 // gets production-shaped defaults; tests shrink the timeouts.
 type FabricOptions struct {
@@ -50,6 +91,13 @@ type FabricOptions struct {
 	// Injector, when non-nil, injects deterministic faults into every
 	// shipping connection, keyed by (from, to, attempt) — the chaos hook.
 	Injector *faulty.Injector
+	// Codec selects the parcel encoding. CodecAuto (the default) ships
+	// fixed-layout binary row segments on a shipment's first two attempts
+	// and falls back to gob parcels from attempt 2 on, covering a peer that
+	// rejects the binary layout. The choice is a pure function of
+	// (Codec, attempt) and the fabric dials per attempt, so no negotiation
+	// state exists to go stale across re-dials or generation swaps.
+	Codec wire.Codec
 }
 
 func (o FabricOptions) withDefaults() FabricOptions {
@@ -156,12 +204,15 @@ func (f *TCPFabric) acceptLoop() {
 			}
 			defer f.untrack(c)
 			defer c.Close()
+			// relayMsg is reused across frames so a binary stream decodes
+			// with steady-state allocation only for the raw echo copy.
+			var bin relayMsg
 			for {
 				var p parcel
 				c.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
-				fctx, err := wire.DecodeCtx(c, 0, &p)
+				isBinary, fctx, err := wire.DecodeAnyCtx(c, 0, &p, &bin)
 				if err != nil {
-					if errors.Is(err, wire.ErrChecksum) {
+					if errors.Is(err, wire.ErrChecksum) || errors.Is(err, binfmt.ErrMalformed) {
 						// The frame was fully consumed; the stream is still
 						// aligned. Count it and keep serving — the shipper's
 						// echo read will time out and retry.
@@ -180,8 +231,19 @@ func (f *TCPFabric) acceptLoop() {
 					hop.EndAt(time.Now())
 				}
 				c.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
-				if _, err := wire.Encode(c, &p); err != nil {
-					return
+				// Echo in kind: a binary frame is answered with its validated
+				// payload re-framed as binary (no re-encode); a gob parcel is
+				// re-encoded as gob, preserving interop with old shippers.
+				if isBinary {
+					decFramesBinary.Inc()
+					if _, err := wire.WriteBinaryPayload(c, bin.raw, wire.TraceContext{}); err != nil {
+						return
+					}
+				} else {
+					decFramesGob.Inc()
+					if _, err := wire.Encode(c, &p); err != nil {
+						return
+					}
 				}
 			}
 		}(conn)
@@ -200,6 +262,19 @@ func edgeKey(from, to int) uint64 {
 // jitter redraw per attempt.
 func (f *TCPFabric) Ship(from, to int, col []float64) ([]float64, error) {
 	return f.ShipAttempt(from, to, 0, col)
+}
+
+// useBinary decides the codec for one attempt — a pure function, so codec
+// choice can never carry stale per-peer state across re-dials.
+func (f *TCPFabric) useBinary(attempt int) bool {
+	switch f.opts.Codec {
+	case wire.CodecBinary:
+		return true
+	case wire.CodecGob:
+		return false
+	default: // CodecAuto: binary first, gob from attempt 2 on
+		return attempt < 2
+	}
 }
 
 // ShipAttempt implements AttemptShipper: the column makes a real round trip
@@ -233,13 +308,27 @@ func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64
 	defer conn.Close()
 	cw := &countingWriter{w: conn}
 	conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout))
-	if _, err := wire.EncodeCtx(cw, &parcel{From: from, To: to, Col: col}, fctx); err != nil {
-		return nil, fmt.Errorf("decentral: send parcel: %w", err)
+	if f.useBinary(attempt) {
+		seg := binfmt.RowSegment{From: from, To: to, Col: col}
+		if _, err := wire.EncodeBinaryCtx(cw, &seg, fctx); err != nil {
+			return nil, fmt.Errorf("decentral: send parcel: %w", err)
+		}
+	} else {
+		if _, err := wire.EncodeCtx(cw, &parcel{From: from, To: to, Col: col}, fctx); err != nil {
+			return nil, fmt.Errorf("decentral: send parcel: %w", err)
+		}
 	}
+	// The relay echoes in kind, but accept either encoding so a mixed-era
+	// pairing (old relay, new shipper or vice versa) still round-trips.
 	var back parcel
+	var backSeg binfmt.RowSegment
 	conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout))
-	if err := wire.Decode(conn, 0, &back); err != nil {
+	isBinary, _, err := wire.DecodeAnyCtx(conn, 0, &back, &backSeg)
+	if err != nil {
 		return nil, fmt.Errorf("decentral: receive parcel: %w", err)
+	}
+	if isBinary {
+		back = parcel{From: backSeg.From, To: backSeg.To, Col: backSeg.Col}
 	}
 	if back.From != from || back.To != to {
 		return nil, fmt.Errorf("decentral: relay returned parcel %d->%d, want %d->%d", back.From, back.To, from, to)
@@ -248,6 +337,59 @@ func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64
 	decShipBytes.Add(cw.n)
 	decShipSec.Observe(time.Since(start).Seconds())
 	return back.Col, nil
+}
+
+// ShipCPD implements CPDShipper over the relay socket: the fitted delta
+// rides a binary frame to the relay and its echo is decoded back, so the
+// measured path includes true serialization and network cost. CPD deltas
+// have no gob form on the wire, so a gob-forced fabric reports
+// ErrBinaryRequired and the caller keeps the locally fitted CPD.
+func (f *TCPFabric) ShipCPD(from, attempt int, delta *binfmt.CPDDelta) (*binfmt.CPDDelta, error) {
+	if f.opts.Codec == wire.CodecGob {
+		return nil, ErrBinaryRequired
+	}
+	start := time.Now()
+	var fctx wire.TraceContext
+	if tc := f.traceCtx(); tc.Sampled() {
+		sp := obs.StartSpanCtx("decentral.ship_cpd", tc)
+		sp.SetAttr("node", strconv.Itoa(delta.Node))
+		sp.SetAttr("attempt", strconv.Itoa(attempt))
+		defer sp.End()
+		sctx := sp.Context()
+		fctx = wire.TraceContext{TraceID: sctx.TraceID, SpanID: sctx.SpanID,
+			SendUnixNS: start.UnixNano(), Attempt: uint8(min(attempt, 255))}
+	}
+	// The management server plays the "to" side; key fault plans on the
+	// from->server edge (server id -1) so CPD ships draw independent
+	// schedules from column ships.
+	var conn net.Conn
+	var err error
+	if f.opts.Injector != nil {
+		conn, err = f.opts.Injector.Dial("tcp", f.Addr(), edgeKey(from, -1), uint64(attempt), f.opts.DialTimeout)
+	} else {
+		conn, err = net.DialTimeout("tcp", f.Addr(), f.opts.DialTimeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("decentral: dial relay: %w", err)
+	}
+	defer conn.Close()
+	cw := &countingWriter{w: conn}
+	conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout))
+	if _, err := wire.EncodeBinaryCtx(cw, delta, fctx); err != nil {
+		return nil, fmt.Errorf("decentral: send CPD delta: %w", err)
+	}
+	var back binfmt.CPDDelta
+	conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout))
+	isBinary, _, err := wire.DecodeAnyCtx(conn, 0, nil, &back)
+	if err != nil {
+		return nil, fmt.Errorf("decentral: receive CPD delta: %w", err)
+	}
+	if !isBinary || back.Node != delta.Node {
+		return nil, fmt.Errorf("decentral: relay returned wrong CPD echo for node %d", delta.Node)
+	}
+	decCPDShipBytes.Add(cw.n)
+	decShipSec.Observe(time.Since(start).Seconds())
+	return &back, nil
 }
 
 // Close shuts the relay down, severing any live connections so shutdown

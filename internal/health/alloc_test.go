@@ -31,6 +31,30 @@ func allocFixture(tb testing.TB) (*Monitor, []float64) {
 	return m, row
 }
 
+// discreteAllocFixture is the tabular counterpart: a discrete KERT model,
+// whose scoring path additionally runs the row discretization codec and
+// CPT lookups — both must stay allocation-free per row.
+func discreteAllocFixture(tb testing.TB) (*Monitor, []float64) {
+	tb.Helper()
+	sys := simsvc.EDiaMoNDSystem()
+	rng := stats.NewRNG(7)
+	train, err := sys.GenerateDataset(400, rng.Split(0))
+	if err != nil {
+		tb.Fatalf("generate train: %v", err)
+	}
+	cfg := core.KERTConfig{Workflow: sys.Workflow, Type: core.DiscreteModel, Bins: 4}
+	model, err := core.BuildKERT(cfg, train)
+	if err != nil {
+		tb.Fatalf("build discrete model: %v", err)
+	}
+	m := NewMonitor(Config{Seed: 7, Detector: DetectorConfig{Warmup: 1 << 30}})
+	if err := m.SetModel(model); err != nil {
+		tb.Fatal(err)
+	}
+	row := append([]float64(nil), train.Rows[0]...)
+	return m, row
+}
+
 // TestObserveCtxUnsampledDoesNotAllocate is the tracing-cost gate: scoring
 // a row with the zero trace context must not allocate at all — tracing is
 // free for every batch the sampler skips.
@@ -46,6 +70,36 @@ func TestObserveCtxUnsampledDoesNotAllocate(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("unsampled ObserveCtx allocates %v per row, want 0", avg)
+	}
+}
+
+// TestObserveCtxDiscreteDoesNotAllocate is the discrete-scoring gate: the
+// per-row path through Codec.EncodeRowInto and direct CPT indexing must be
+// allocation-free once the scorer's encode buffer is warm.
+func TestObserveCtxDiscreteDoesNotAllocate(t *testing.T) {
+	m, row := discreteAllocFixture(t)
+	if _, err := m.ObserveCtx(row, obs.TraceContext{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := m.ObserveCtx(row, obs.TraceContext{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("discrete ObserveCtx allocates %v per row, want 0", avg)
+	}
+}
+
+// BenchmarkObserveCtxDiscrete reports the discrete per-row scoring cost.
+func BenchmarkObserveCtxDiscrete(b *testing.B) {
+	m, row := discreteAllocFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ObserveCtx(row, obs.TraceContext{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

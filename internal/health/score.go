@@ -85,8 +85,10 @@ func (s *Scorer) ScoreRow(row []float64, perNode, pit []float64) (float64, error
 	}
 	enc := row
 	if s.model.Type == core.DiscreteModel {
+		// Encode into the scorer's scratch buffer: after the first row the
+		// buffer has capacity and per-row scoring allocates nothing.
 		var err error
-		s.encBuf, err = s.model.Codec.EncodeRow(row)
+		s.encBuf, err = s.model.Codec.EncodeRowInto(s.encBuf, row)
 		if err != nil {
 			return 0, err
 		}
@@ -136,20 +138,25 @@ func pitValue(cpd bn.CPD, x float64, parents []float64) float64 {
 		}
 		return u
 	case *bn.Tabular:
-		pi := make([]int, len(parents))
-		for i, p := range parents {
-			pi[i] = int(p)
-		}
-		probs := c.Row(c.ConfigIndex(pi))
+		// Index the CPT row in place — no []int conversion, no row copy.
 		state := int(x)
-		if state < 0 || state >= len(probs) {
+		if state < 0 || state >= c.Card {
 			return math.NaN()
 		}
+		base := 0
+		for i, p := range parents {
+			pi := int(p)
+			if pi < 0 || pi >= c.ParentCard[i] {
+				return math.NaN()
+			}
+			base = base*c.ParentCard[i] + pi
+		}
+		base *= c.Card
 		u := 0.0
 		for s := 0; s < state; s++ {
-			u += probs[s]
+			u += c.P[base+s]
 		}
-		return u + 0.5*probs[state]
+		return u + 0.5*c.P[base+state]
 	default:
 		return math.NaN()
 	}

@@ -1,0 +1,99 @@
+package infer
+
+import (
+	"testing"
+
+	"kertbn/internal/stats"
+)
+
+// The compiled-plan allocation gates: once a plan's run scratch and result
+// slices are warm, drawing likelihood-weighted samples must not allocate —
+// neither on the flat linear-Gaussian dispatch nor on the flat tabular
+// dispatch. This is what makes per-interval prediction cost proportional to
+// samples drawn, not to garbage collected.
+
+// warmPlanRun compiles a plan, runs it once to size every buffer, and
+// returns a closure that replays the run against reused storage.
+func warmPlanRun(t *testing.T, compile func() (*QueryPlan, []float64)) func() {
+	t.Helper()
+	p, evVal := compile()
+	rng := stats.NewRNG(17)
+	var sc runScratch
+	const nSamples = 64
+	values, logws := p.run(rng, nSamples, evVal, nil, nil, &sc)
+	values, logws = values[:0], logws[:0]
+	return func() {
+		values, logws = p.run(rng, nSamples, evVal, values[:0], logws[:0], &sc)
+	}
+}
+
+func TestPlanRunContinuousZeroAlloc(t *testing.T) {
+	run := warmPlanRun(t, func() (*QueryPlan, []float64) {
+		n := planTestNet(t)
+		p, err := CompileQueryPlan(n, 2, []int{0, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evVal := make([]float64, n.N())
+		evVal[0], evVal[3] = 0.31, 0.9
+		return p, evVal
+	})
+	if avg := testing.AllocsPerRun(200, run); avg != 0 {
+		t.Fatalf("continuous plan run allocates %v per batch, want 0", avg)
+	}
+}
+
+func TestPlanRunDiscreteZeroAlloc(t *testing.T) {
+	run := warmPlanRun(t, func() (*QueryPlan, []float64) {
+		n := sprinkler(t)
+		p, err := CompileQueryPlan(n, 0, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evVal := make([]float64, n.N())
+		evVal[2] = 1
+		return p, evVal
+	})
+	if avg := testing.AllocsPerRun(200, run); avg != 0 {
+		t.Fatalf("discrete plan run allocates %v per batch, want 0", avg)
+	}
+}
+
+// BenchmarkPlanRunContinuous reports ns per sample batch on the flat
+// linear-Gaussian dispatch (ReportAllocs pins the zero-allocation claim).
+func BenchmarkPlanRunContinuous(b *testing.B) {
+	n := planTestNet(b)
+	p, err := CompileQueryPlan(n, 2, []int{0, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	evVal := make([]float64, n.N())
+	evVal[0], evVal[3] = 0.31, 0.9
+	rng := stats.NewRNG(17)
+	var sc runScratch
+	values, logws := p.run(rng, 128, evVal, nil, nil, &sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		values, logws = p.run(rng, 128, evVal, values[:0], logws[:0], &sc)
+	}
+}
+
+// BenchmarkPlanRunDiscrete is the tabular counterpart.
+func BenchmarkPlanRunDiscrete(b *testing.B) {
+	n := sprinkler(b)
+	p, err := CompileQueryPlan(n, 0, []int{2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	evVal := make([]float64, n.N())
+	evVal[2] = 1
+	rng := stats.NewRNG(17)
+	var sc runScratch
+	values, logws := p.run(rng, 128, evVal, nil, nil, &sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		values, logws = p.run(rng, 128, evVal, values[:0], logws[:0], &sc)
+	}
+}

@@ -11,7 +11,7 @@ import (
 
 // sprinkler builds the classic rain/sprinkler/wet network with known
 // posteriors.
-func sprinkler(t *testing.T) *bn.Network {
+func sprinkler(t testing.TB) *bn.Network {
 	t.Helper()
 	n := bn.NewNetwork()
 	rain, _ := n.AddDiscreteNode("rain", 2)

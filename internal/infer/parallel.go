@@ -43,6 +43,17 @@ const lwShardSize = 2048
 // share it; evidence values are supplied per run. A plan embeds the
 // network's CPD objects, so it is valid only for the model generation it
 // was compiled from.
+// Per-node CPD dispatch kinds in a compiled plan. Tabular and
+// linear-Gaussian families — the two the learner fits — are flattened into
+// the plan's parameter arrays so the per-sample loop needs no interface
+// dispatch or pointer chasing; everything else (DetFunc, custom CPDs) keeps
+// the interface call.
+const (
+	planOther byte = iota
+	planTabular
+	planLG
+)
+
 type QueryPlan struct {
 	nNodes  int
 	query   int
@@ -52,6 +63,23 @@ type QueryPlan struct {
 	isEv    []bool
 	evNodes []int // sorted clamped node ids (the query shape)
 	maxPar  int
+
+	// Flat CPD parameters: per-node kind tags plus the tabular CPTs, parent
+	// cardinalities and LG coefficients of all flattened nodes concatenated
+	// into single arrays with per-node offsets. Parameters are copied out of
+	// the CPDs at compile time (cache-local, and immune to later CPD
+	// mutation); the flat path replays the exact arithmetic of the CPD
+	// methods, so results stay bit-identical to the interface path.
+	kind      []byte
+	tabCard   []int // planTabular: node cardinality
+	tabPCOff  []int // planTabular: offset into flatPC (len = len(parents))
+	tabPOff   []int // planTabular: offset into flatP (cells P[cfg*card+state])
+	flatPC    []int
+	flatP     []float64
+	lgIcpt    []float64 // planLG: intercept
+	lgSigma   []float64 // planLG: sigma
+	lgCoefOff []int     // planLG: offset into flatCoef (len = len(parents))
+	flatCoef  []float64
 }
 
 // CompileQueryPlan compiles the likelihood-weighting plan for one query
@@ -73,11 +101,33 @@ func CompileQueryPlan(n *bn.Network, query int, evNodes []int) (*QueryPlan, erro
 		evNodes: append([]int(nil), evNodes...),
 	}
 	sort.Ints(p.evNodes)
+	p.kind = make([]byte, N)
+	p.tabCard = make([]int, N)
+	p.tabPCOff = make([]int, N)
+	p.tabPOff = make([]int, N)
+	p.lgIcpt = make([]float64, N)
+	p.lgSigma = make([]float64, N)
+	p.lgCoefOff = make([]int, N)
 	for id := 0; id < N; id++ {
 		p.cpds[id] = n.Node(id).CPD
 		p.parents[id] = n.Parents(id)
 		if len(p.parents[id]) > p.maxPar {
 			p.maxPar = len(p.parents[id])
+		}
+		switch c := p.cpds[id].(type) {
+		case *bn.Tabular:
+			p.kind[id] = planTabular
+			p.tabCard[id] = c.Card
+			p.tabPCOff[id] = len(p.flatPC)
+			p.flatPC = append(p.flatPC, c.ParentCard...)
+			p.tabPOff[id] = len(p.flatP)
+			p.flatP = append(p.flatP, c.P...)
+		case *bn.LinearGaussian:
+			p.kind[id] = planLG
+			p.lgIcpt[id] = c.Intercept
+			p.lgSigma[id] = c.Sigma
+			p.lgCoefOff[id] = len(p.flatCoef)
+			p.flatCoef = append(p.flatCoef, c.Coef...)
 		}
 	}
 	for i, id := range p.evNodes {
@@ -118,26 +168,91 @@ func (p *QueryPlan) evValues(ev ContinuousEvidence) ([]float64, error) {
 	return evVal, nil
 }
 
+// runScratch holds the per-sample buffers one run loop reuses. Hoisting it
+// out of run makes repeated runs (and therefore each sampled row)
+// allocation-free; a scratch belongs to one goroutine at a time.
+type runScratch struct {
+	row, pbuf []float64
+}
+
+func (sc *runScratch) ensure(p *QueryPlan) {
+	if cap(sc.row) < p.nNodes {
+		sc.row = make([]float64, p.nNodes)
+	}
+	sc.row = sc.row[:p.nNodes]
+	if cap(sc.pbuf) < p.maxPar {
+		sc.pbuf = make([]float64, p.maxPar)
+	}
+	sc.pbuf = sc.pbuf[:p.maxPar]
+}
+
 // run draws nSamples weighted samples against the plan, appending surviving
 // query values and log weights to the passed slices (reused across shards
 // of one worker only, never shared). evVal is the node-indexed evidence
 // value vector (only positions where isEv holds are read).
-func (p *QueryPlan) run(rng *stats.RNG, nSamples int, evVal []float64, values, logws []float64) ([]float64, []float64) {
-	row := make([]float64, p.nNodes)
-	pbuf := make([]float64, p.maxPar)
+//
+// The inner loop dispatches on the plan's flat parameter arrays for tabular
+// and linear-Gaussian nodes — replaying the exact arithmetic (and RNG draw
+// sequence) of the CPD methods with no interface calls, parent-buffer fills
+// or allocations — and falls back to the CPD interface for other families.
+func (p *QueryPlan) run(rng *stats.RNG, nSamples int, evVal []float64, values, logws []float64, sc *runScratch) ([]float64, []float64) {
+	sc.ensure(p)
+	row, pbuf := sc.row, sc.pbuf
 	for s := 0; s < nSamples; s++ {
 		logW := 0.0
 		for _, id := range p.order {
 			ps := p.parents[id]
-			pv := pbuf[:len(ps)]
-			for k, pid := range ps {
-				pv[k] = row[pid]
-			}
-			if p.isEv[id] {
-				row[id] = evVal[id]
-				logW += p.cpds[id].LogProb(evVal[id], pv)
-			} else {
-				row[id] = p.cpds[id].Sample(rng, pv)
+			switch p.kind[id] {
+			case planTabular:
+				card := p.tabCard[id]
+				pcs := p.flatPC[p.tabPCOff[id] : p.tabPCOff[id]+len(ps)]
+				cfg := 0
+				for k, pid := range ps {
+					st := int(row[pid])
+					if st < 0 || st >= pcs[k] {
+						panic(fmt.Sprintf("bn: parent state %d out of range (card %d)", st, pcs[k]))
+					}
+					cfg = cfg*pcs[k] + st
+				}
+				base := p.tabPOff[id] + cfg*card
+				if p.isEv[id] {
+					x := evVal[id]
+					st := int(x)
+					if st < 0 || st >= card {
+						panic(fmt.Sprintf("bn: state %d out of range (card %d)", st, card))
+					}
+					row[id] = x
+					if pr := p.flatP[base+st]; pr <= 0 {
+						logW += math.Inf(-1)
+					} else {
+						logW += math.Log(pr)
+					}
+				} else {
+					row[id] = float64(rng.Categorical(p.flatP[base : base+card]))
+				}
+			case planLG:
+				m := p.lgIcpt[id]
+				coef := p.flatCoef[p.lgCoefOff[id] : p.lgCoefOff[id]+len(ps)]
+				for k, pid := range ps {
+					m += coef[k] * row[pid]
+				}
+				if p.isEv[id] {
+					row[id] = evVal[id]
+					logW += stats.NormalLogPDF(evVal[id], m, p.lgSigma[id])
+				} else {
+					row[id] = rng.Normal(m, p.lgSigma[id])
+				}
+			default:
+				pv := pbuf[:len(ps)]
+				for k, pid := range ps {
+					pv[k] = row[pid]
+				}
+				if p.isEv[id] {
+					row[id] = evVal[id]
+					logW += p.cpds[id].LogProb(evVal[id], pv)
+				} else {
+					row[id] = p.cpds[id].Sample(rng, pv)
+				}
 			}
 		}
 		if math.IsInf(logW, -1) {
@@ -169,8 +284,9 @@ func (p *QueryPlan) Serial(ev ContinuousEvidence, nSamples int, rng *stats.RNG) 
 	if rng == nil {
 		rng = stats.NewRNG(1)
 	}
+	var sc runScratch
 	values, logws := p.run(rng, nSamples, evVal,
-		make([]float64, 0, nSamples), make([]float64, 0, nSamples))
+		make([]float64, 0, nSamples), make([]float64, 0, nSamples), &sc)
 	if len(values) == 0 {
 		return nil, fmt.Errorf("infer: all %d samples had zero evidence likelihood", nSamples)
 	}
@@ -209,7 +325,8 @@ func (p *QueryPlan) Parallel(ctx context.Context, ev ContinuousEvidence, nSample
 		if s == nShards-1 {
 			cnt = nSamples - s*lwShardSize
 		}
-		shardVals[s], shardLogs[s] = p.run(rng.Split(uint64(s)), cnt, evVal, nil, nil)
+		var sc runScratch
+		shardVals[s], shardLogs[s] = p.run(rng.Split(uint64(s)), cnt, evVal, nil, nil, &sc)
 		return nil
 	})
 	if err != nil {

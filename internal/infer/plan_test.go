@@ -11,7 +11,7 @@ import (
 // planTestNet builds a small mixed network: two linear-Gaussian roots, a
 // linear-Gaussian middle node and a DetFunc-free sum-ish sink, enough
 // structure for likelihood weighting to exercise parents and evidence.
-func planTestNet(t *testing.T) *bn.Network {
+func planTestNet(t testing.TB) *bn.Network {
 	t.Helper()
 	n := bn.NewNetwork()
 	for _, name := range []string{"a", "b", "c", "d"} {

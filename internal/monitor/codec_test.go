@@ -1,0 +1,163 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kertbn/internal/faulty"
+	"kertbn/internal/wire"
+)
+
+// sendFullRows ships one report per request id carrying every column, so
+// each delivered report completes a row regardless of retries or duplicate
+// deliveries after a mid-stream connection loss.
+func sendFullRows(t *testing.T, s *TCPSender, cols, rows int) {
+	t.Helper()
+	for req := 0; req < rows; req++ {
+		rep := Report{AgentID: "agent-a"}
+		for c := 0; c < cols; c++ {
+			rep.Batch = append(rep.Batch, Measurement{RequestID: int64(req), Column: c, Value: float64(req*10 + c)})
+		}
+		if err := s.Send(rep); err != nil {
+			t.Fatalf("send %d: %v", req, err)
+		}
+	}
+}
+
+// distinctRows counts distinct leading request ids in the collector.
+func distinctRows(rc *rowCollector) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	seen := map[float64]bool{}
+	for _, row := range rc.rows {
+		seen[row[0]] = true
+	}
+	return len(seen)
+}
+
+// TestTCPBinaryEndToEnd: a CodecAuto sender on a clean link ships every
+// report in the fixed binary layout and the server assembles the same rows
+// a gob sender would produce.
+func TestTCPBinaryEndToEnd(t *testing.T) {
+	const cols, rows = 3, 20
+	rc := &rowCollector{}
+	inner, err := NewServer(cols, rc.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	binRx := monTCPBinaryRx.Value()
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	sendFullRows(t, sender, cols, rows)
+	nBin, nGob := sender.SentFrames()
+	if nBin != rows || nGob != 0 {
+		t.Fatalf("clean CodecAuto sender sent %d binary / %d gob frames, want %d / 0", nBin, nGob, rows)
+	}
+	waitFor(t, "all binary rows", func() bool { return distinctRows(rc) == rows })
+	if got := monTCPBinaryRx.Value() - binRx; got < int64(rows) {
+		t.Fatalf("server counted %d binary frames, want >= %d", got, rows)
+	}
+	// The values survived the layout round trip exactly.
+	row := rc.get(0)
+	req := int(row[0] / 10)
+	for c, v := range row {
+		if v != float64(req*10+c) {
+			t.Fatalf("row %d col %d = %v", req, c, v)
+		}
+	}
+}
+
+// TestTCPGobForcedInterop: a CodecGob sender speaks the old wire protocol
+// end to end — the fallback every pre-binary reader depends on.
+func TestTCPGobForcedInterop(t *testing.T) {
+	const cols, rows = 2, 10
+	rc := &rowCollector{}
+	inner, err := NewServer(cols, rc.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{Retries: 2, Codec: wire.CodecGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	sendFullRows(t, sender, cols, rows)
+	nBin, nGob := sender.SentFrames()
+	if nBin != 0 || nGob != rows {
+		t.Fatalf("CodecGob sender sent %d binary / %d gob frames, want 0 / %d", nBin, nGob, rows)
+	}
+	waitFor(t, "all gob rows", func() bool { return distinctRows(rc) == rows })
+}
+
+// TestCodecResetsAcrossRedial is the negotiation regression test: injected
+// truncation faults kill the connection mid-stream, the sender downgrades
+// the interrupted send to gob (CodecAuto semantics) and re-dials — and
+// because the binary preference is re-derived per send, later sends return
+// to the binary layout instead of staying downgraded forever. A stale
+// "peer is gob-only" belief surviving the re-dial would show up here as
+// nGob growing with every send after the first fault.
+func TestCodecResetsAcrossRedial(t *testing.T) {
+	const cols, rows = 3, 200
+	rc := &rowCollector{}
+	inner, err := NewServer(cols, rc.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Every connection is truncated somewhere in its first 4 KiB, so a
+	// steady stream of ~70-byte binary frames loses its connection every
+	// few dozen sends, mid-stream and deterministically.
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 42, Truncate: 1, MaxFaultOffset: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	redials := monTCPRedials.Value()
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		Retries:  6,
+		Backoff:  faulty.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Seed:     7,
+		AgentKey: 1,
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	sendFullRows(t, sender, cols, rows)
+
+	nBin, nGob := sender.SentFrames()
+	if nBin+nGob != rows {
+		t.Fatalf("sent %d binary + %d gob = %d frames, want %d", nBin, nGob, nBin+nGob, rows)
+	}
+	if nGob == 0 {
+		t.Fatal("no send ever downgraded to gob — the fault injection never hit a binary write mid-stream")
+	}
+	if nBin <= nGob {
+		t.Fatalf("binary did not resume after re-dials: %d binary vs %d gob frames", nBin, nGob)
+	}
+	if got := monTCPRedials.Value() - redials; got == 0 {
+		t.Fatal("connection never re-dialed — the test exercised nothing")
+	}
+	waitFor(t, fmt.Sprintf("%d distinct rows", rows), func() bool { return distinctRows(rc) == rows })
+}

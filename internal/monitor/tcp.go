@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"kertbn/internal/obs"
 	"kertbn/internal/stats"
 	"kertbn/internal/wire"
+	"kertbn/internal/wire/binfmt"
 )
 
 // TCP-transport metrics: accepted agent connections, bytes received by the
@@ -24,6 +26,8 @@ var (
 	monTCPRetries   = obs.C("monitor.tcp.retries")
 	monTCPRedials   = obs.C("monitor.tcp.redials")
 	monTCPBadFrames = obs.C("monitor.tcp.bad_frames")
+	monTCPBinaryRx  = obs.C("monitor.tcp.binary_frames_rx")
+	monTCPGobRx     = obs.C("monitor.tcp.gob_frames_rx")
 )
 
 // countingReader counts bytes read from the wrapped reader into a counter.
@@ -128,10 +132,14 @@ func (s *TCPServer) serve(conn net.Conn) {
 	defer conn.Close()
 	monTCPConns.Inc()
 	cr := &countingReader{r: conn, c: monTCPBytesRx}
+	// Per-connection binary decode scratch: UnmarshalWire reuses its backing
+	// arrays, so a steady binary stream decodes without per-frame batch
+	// allocations on this side of the conversion.
+	var mb binfmt.MeasurementBatch
 	for {
 		var r Report
 		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
-		fctx, err := wire.DecodeCtx(cr, 0, &r)
+		isBinary, fctx, err := wire.DecodeAnyCtx(cr, 0, &r, &mb)
 		if err != nil {
 			if errors.Is(err, wire.ErrChecksum) {
 				// Frame fully consumed; stream still aligned. Count the
@@ -139,7 +147,28 @@ func (s *TCPServer) serve(conn net.Conn) {
 				monTCPBadFrames.Inc()
 				continue
 			}
+			if errors.Is(err, binfmt.ErrMalformed) {
+				// The frame passed its CRC but the payload does not parse:
+				// a writer bug or version skew, not wire corruption. The
+				// stream is still aligned; skip the frame.
+				monTCPBadFrames.Inc()
+				continue
+			}
 			return
+		}
+		if isBinary {
+			monTCPBinaryRx.Inc()
+			// Convert to the server's Report form. The batch is freshly
+			// allocated because inner senders (collectors, forwarders) may
+			// retain it past this call.
+			r.AgentID = mb.AgentID
+			r.Batch = make([]Measurement, len(mb.Batch))
+			for i := range mb.Batch {
+				m := &mb.Batch[i]
+				r.Batch[i] = Measurement{RequestID: m.RequestID, Column: int(m.Column), Value: m.Value}
+			}
+		} else {
+			monTCPGobRx.Inc()
 		}
 		if fctx.Sampled() {
 			// Reconstruct the wire hop as a span running from the sender's
@@ -197,6 +226,13 @@ type SenderOptions struct {
 	// Injector, when non-nil, wraps every dialed connection with
 	// deterministic faults keyed by (AgentKey, send sequence, attempt).
 	Injector *faulty.Injector
+	// Codec selects the report encoding. CodecAuto (the default) ships
+	// fixed-layout binary frames and downgrades to gob only for the rest of
+	// a Send whose binary attempt failed; because the preference is
+	// re-derived at the start of every Send, a downgrade can never outlive
+	// the send that caused it — re-dials and fresh sends always return to
+	// the configured preference. CodecGob forces the old wire behavior.
+	Codec wire.Codec
 }
 
 func (o SenderOptions) withDefaults() SenderOptions {
@@ -223,6 +259,46 @@ type TCPSender struct {
 	mu   sync.Mutex
 	conn net.Conn
 	seq  uint64 // sends attempted, for fault-plan keying
+
+	// Per-sender scratch: the binary frame buffer and the wire-form batch
+	// are reused across sends, so the steady-state binary path allocates
+	// nothing per report.
+	encBuf  []byte
+	mb      binfmt.MeasurementBatch
+	nBinary uint64 // frames sent with the binary codec
+	nGob    uint64 // frames sent with gob
+}
+
+// SentFrames reports how many reports this sender shipped with each codec —
+// the observability hook codec-negotiation tests assert on.
+func (t *TCPSender) SentFrames() (binary, gob uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nBinary, t.nGob
+}
+
+// fillBatch converts r into the sender's scratch wire-form batch. It
+// reports false when the report cannot be represented in the fixed layout
+// (agent id over 255 bytes or a column outside int32) — the sender then
+// uses gob for that report.
+func (t *TCPSender) fillBatch(r *Report) bool {
+	if len(r.AgentID) > 255 {
+		return false
+	}
+	t.mb.AgentID = r.AgentID
+	if cap(t.mb.Batch) >= len(r.Batch) {
+		t.mb.Batch = t.mb.Batch[:len(r.Batch)]
+	} else {
+		t.mb.Batch = make([]binfmt.Measurement, len(r.Batch))
+	}
+	for i := range r.Batch {
+		m := &r.Batch[i]
+		if m.Column < math.MinInt32 || m.Column > math.MaxInt32 {
+			return false
+		}
+		t.mb.Batch[i] = binfmt.Measurement{RequestID: m.RequestID, Column: int32(m.Column), Value: m.Value}
+	}
+	return true
 }
 
 // DialTCP connects a sender to the management server with default options
@@ -254,11 +330,18 @@ func (t *TCPSender) dial(seq uint64, attempt int) (net.Conn, error) {
 
 // Send implements Sender: frame the report, write it under a deadline, and
 // on failure re-dial and retry up to the budget with seeded backoff jitter.
+//
+// Codec negotiation is per-send by construction: the binary preference is
+// re-derived here from the configured Codec, a CodecAuto downgrade applies
+// only to this send's remaining attempts, and the re-dial inside the retry
+// loop carries no codec state — so stale "peer is gob-only" beliefs cannot
+// survive a reconnect or a server generation swap.
 func (t *TCPSender) Send(r Report) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	seq := t.seq
 	t.seq++
+	binary := t.opts.Codec != wire.CodecGob && t.fillBatch(&r)
 	var lastErr error
 	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -289,6 +372,30 @@ func (t *TCPSender) Send(r Report) error {
 				Attempt:    uint8(min(attempt, 255)),
 			}
 		}
+		if binary {
+			buf, err := wire.AppendBinaryFrame(t.encBuf[:0], &t.mb, fctx)
+			t.encBuf = buf
+			if err != nil {
+				// Unrepresentable despite the fillBatch check (can't happen
+				// for well-formed reports); fall back to gob this send.
+				binary = false
+			} else if _, err := t.conn.Write(buf); err != nil {
+				// The frame may have landed partially: the connection is not
+				// trustworthy anymore. Drop it and re-dial on the next
+				// attempt; under CodecAuto the rest of this send uses gob in
+				// case the peer rejected the binary layout.
+				if t.opts.Codec == wire.CodecAuto {
+					binary = false
+				}
+				t.conn.Close()
+				t.conn = nil
+				lastErr = err
+				continue
+			} else {
+				t.nBinary++
+				return nil
+			}
+		}
 		if _, err := wire.EncodeCtx(t.conn, &r, fctx); err != nil {
 			// The frame may have landed partially: the connection is not
 			// trustworthy anymore. Drop it and re-dial on the next attempt.
@@ -297,6 +404,7 @@ func (t *TCPSender) Send(r Report) error {
 			lastErr = err
 			continue
 		}
+		t.nGob++
 		return nil
 	}
 	return fmt.Errorf("monitor: send after %d attempts: %w", t.opts.Retries+1, lastErr)

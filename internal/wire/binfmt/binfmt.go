@@ -1,0 +1,163 @@
+package binfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Version is the payload format version carried in byte 1 of every message.
+// Readers reject other versions deterministically, so a future layout change
+// can never be misparsed as the current one.
+const Version = 1
+
+// Message types, carried in byte 0 of every payload. The type byte is what
+// lets one connection interleave message kinds: a fixed-layout payload is
+// self-describing down to the variant.
+const (
+	// TypeMeasurementBatch is one monitoring agent's flushed batch
+	// (monitor.Report on the wire).
+	TypeMeasurementBatch byte = 0x01
+	// TypeRowSegment is one shipped column segment between learning agents
+	// (a full parent column or an incremental delta segment).
+	TypeRowSegment byte = 0x02
+	// TypeCPDDelta is one fitted CPD update shipped from a learning agent to
+	// the management server.
+	TypeCPDDelta byte = 0x03
+)
+
+// ErrMalformed wraps every decode failure: truncated fields, counts that
+// overrun the payload, unknown layout or kind bytes, version mismatches, and
+// trailing garbage. It is deterministic — the same payload always yields the
+// same error — and decoding never panics or allocates proportionally to a
+// declared (unvalidated) count.
+var ErrMalformed = errors.New("binfmt: malformed payload")
+
+// MsgType sniffs the message type of a payload without decoding it. ok is
+// false when the payload is too short to carry the two-byte type/version
+// header or declares an unknown type or version.
+func MsgType(payload []byte) (byte, bool) {
+	if len(payload) < 2 || payload[1] != Version {
+		return 0, false
+	}
+	switch payload[0] {
+	case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta:
+		return payload[0], true
+	}
+	return 0, false
+}
+
+// reader is a bounds-checked big-endian cursor over one payload. Every
+// failure marks the reader bad; callers check err once at the end of the
+// fixed-size prefix and before any count-driven allocation.
+type reader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *reader) fail() {
+	r.bad = true
+}
+
+func (r *reader) take(n int) []byte {
+	if r.bad || n < 0 || len(r.b)-r.off < n {
+		r.fail()
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8() byte {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *reader) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(s)
+}
+
+func (r *reader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s)
+}
+
+func (r *reader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(s)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// remaining reports the unread byte count (0 when already failed).
+func (r *reader) remaining() int {
+	if r.bad {
+		return 0
+	}
+	return len(r.b) - r.off
+}
+
+// done verifies the payload was consumed exactly.
+func (r *reader) done(what string) error {
+	if r.bad {
+		return fmt.Errorf("%w: truncated %s", ErrMalformed, what)
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes after %s", ErrMalformed, len(r.b)-r.off, what)
+	}
+	return nil
+}
+
+// header checks the two-byte type/version prefix.
+func (r *reader) header(wantType byte, what string) error {
+	t, v := r.u8(), r.u8()
+	if r.bad {
+		return fmt.Errorf("%w: truncated %s header", ErrMalformed, what)
+	}
+	if t != wantType {
+		return fmt.Errorf("%w: %s type byte 0x%02x, want 0x%02x", ErrMalformed, what, t, wantType)
+	}
+	if v != Version {
+		return fmt.Errorf("%w: %s version %d, want %d", ErrMalformed, what, v, Version)
+	}
+	return nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// resizeF64 reuses dst's backing array when it has capacity for n values
+// (UnmarshalWire's steady-state zero-allocation path) and allocates only on
+// growth. n has already been validated against the payload length, so the
+// allocation is bounded by the frame cap.
+func resizeF64(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// internString replaces *dst only when the bytes differ, so a connection
+// repeatedly carrying the same agent id never reallocates the string.
+func internString(dst *string, b []byte) {
+	if *dst != string(b) {
+		*dst = string(b)
+	}
+}

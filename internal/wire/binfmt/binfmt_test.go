@@ -1,0 +1,450 @@
+package binfmt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"testing"
+
+	"kertbn/internal/stats"
+)
+
+// The differential contract of the fixed binary layout: for every value a
+// sender can ship, decoding the binary payload must yield exactly what
+// decoding a gob payload of the same value yields. Discrete fields must be
+// bit-identical; continuous fields ride as raw IEEE-754 bits, so they are
+// bit-identical too — strictly stronger than the repo-wide <= 1e-9
+// equivalence contract.
+
+// gobTrip round-trips v through gob into out (the old wire path).
+func gobTrip(t *testing.T, v, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+}
+
+// binTrip round-trips a Marshaler/Unmarshaler pair through the fixed layout.
+func binTrip(t *testing.T, enc interface {
+	AppendWire([]byte) ([]byte, error)
+}, dec interface {
+	UnmarshalWire([]byte) error
+}) []byte {
+	t.Helper()
+	payload, err := enc.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("AppendWire: %v", err)
+	}
+	if err := dec.UnmarshalWire(payload); err != nil {
+		t.Fatalf("UnmarshalWire: %v", err)
+	}
+	return payload
+}
+
+// f64Eq compares floats by bit pattern, so NaN == NaN and -0 != +0 — the
+// bit-identity the differential tests demand.
+func f64Eq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func f64SliceEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !f64Eq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func batchEq(a, b *MeasurementBatch) bool {
+	if a.AgentID != b.AgentID || len(a.Batch) != len(b.Batch) {
+		return false
+	}
+	for i := range a.Batch {
+		if a.Batch[i].RequestID != b.Batch[i].RequestID ||
+			a.Batch[i].Column != b.Batch[i].Column ||
+			!f64Eq(a.Batch[i].Value, b.Batch[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func deltaEq(a, b *CPDDelta) bool {
+	if a.Node != b.Node || a.Kind != b.Kind || a.Card != b.Card {
+		return false
+	}
+	if len(a.ParentCard) != len(b.ParentCard) {
+		return false
+	}
+	for i := range a.ParentCard {
+		if a.ParentCard[i] != b.ParentCard[i] {
+			return false
+		}
+	}
+	return f64SliceEq(a.P, b.P) && f64Eq(a.Intercept, b.Intercept) &&
+		f64Eq(a.Sigma, b.Sigma) && f64SliceEq(a.Coef, b.Coef)
+}
+
+// gridBatch builds the cyclic monitoring pattern: requests base.. each
+// observed on every column in order, truncated to count measurements
+// starting at offset phase into the cycle.
+func gridBatch(agent string, base int64, cols []int32, phase, count int) *MeasurementBatch {
+	m := &MeasurementBatch{AgentID: agent}
+	for i := 0; i < count; i++ {
+		k := phase + i
+		m.Batch = append(m.Batch, Measurement{
+			RequestID: base + int64(k/len(cols)),
+			Column:    cols[k%len(cols)],
+			Value:     float64(k) * 1.25,
+		})
+	}
+	return m
+}
+
+func TestMeasurementBatchDifferentialVsGob(t *testing.T) {
+	cases := map[string]*MeasurementBatch{
+		"empty":      {AgentID: "a"},
+		"empty_id":   {},
+		"single_row": {AgentID: "host-1", Batch: []Measurement{{RequestID: 42, Column: 3, Value: 1.5}}},
+		"nan_values": {AgentID: "n", Batch: []Measurement{
+			{RequestID: 1, Column: 0, Value: math.NaN()},
+			{RequestID: 1, Column: 1, Value: math.Inf(1)},
+			{RequestID: 1, Column: 2, Value: math.Inf(-1)},
+		}},
+		"grid":        gridBatch("g", 100, []int32{0, 1, 2}, 0, 12),
+		"grid_phased": gridBatch("g", 100, []int32{0, 1, 2, 3}, 2, 10),
+		"narrow": {AgentID: "nr", Batch: []Measurement{
+			{RequestID: 1000, Column: 5, Value: 0.5},
+			{RequestID: 1000 + math.MaxUint16, Column: 255, Value: -0.5},
+		}},
+		"wide_negative_id": {AgentID: "w", Batch: []Measurement{
+			{RequestID: -7, Column: 0, Value: 2},
+			{RequestID: math.MaxInt64, Column: math.MaxInt32, Value: 3},
+		}},
+		"wide_negative_col": {AgentID: "w", Batch: []Measurement{
+			{RequestID: 5, Column: -1, Value: 2},
+		}},
+		"max_agent_id": {AgentID: string(bytes.Repeat([]byte{'x'}, 255))},
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			var viaBin, viaGob MeasurementBatch
+			binTrip(t, src, &viaBin)
+			gobTrip(t, src, &viaGob)
+			if !batchEq(&viaBin, src) {
+				t.Fatalf("binary trip changed the batch: %+v -> %+v", src, viaBin)
+			}
+			if !batchEq(&viaBin, &viaGob) {
+				t.Fatalf("binary and gob decode diverge:\nbin %+v\ngob %+v", viaBin, viaGob)
+			}
+			// nil-vs-empty shape parity with gob, so reflect-level consumers
+			// cannot tell the codecs apart either.
+			if (viaBin.Batch == nil) != (viaGob.Batch == nil) {
+				t.Fatalf("batch nil-ness diverges: bin %v gob %v", viaBin.Batch == nil, viaGob.Batch == nil)
+			}
+		})
+	}
+}
+
+func TestMeasurementBatchLayoutSelection(t *testing.T) {
+	grid := gridBatch("g", 9, []int32{0, 1, 2}, 1, 8)
+	if l := grid.pickLayout(); l != layoutGrid {
+		t.Fatalf("cyclic batch picked layout %d, want grid", l)
+	}
+	narrow := &MeasurementBatch{AgentID: "n", Batch: []Measurement{
+		{RequestID: 10, Column: 0, Value: 1}, {RequestID: 12, Column: 0, Value: 2},
+	}}
+	if l := narrow.pickLayout(); l != layoutNarrow {
+		t.Fatalf("gappy batch picked layout %d, want narrow", l)
+	}
+	wide := &MeasurementBatch{AgentID: "w", Batch: []Measurement{{RequestID: -1, Column: -1, Value: 1}}}
+	if l := wide.pickLayout(); l != layoutWide {
+		t.Fatalf("negative-column batch picked layout %d, want wide", l)
+	}
+	// The grid layout is the size win the wire benchmark gates on: 8 bytes
+	// per measurement plus a small header.
+	payload, err := grid.AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + len(grid.AgentID) + 8 + 1 + 3 + 1 + 4 + 8*len(grid.Batch); len(payload) != want {
+		t.Fatalf("grid payload is %d bytes, want %d", len(payload), want)
+	}
+}
+
+func TestRowSegmentDifferentialVsGob(t *testing.T) {
+	big := make([]float64, 1<<16)
+	for i := range big {
+		big[i] = float64(i) * 0.001
+	}
+	cases := map[string]*RowSegment{
+		"empty":        {From: 1, To: 2},
+		"single_value": {From: 0, To: 0, Col: []float64{3.25}},
+		"nan_values":   {From: 3, To: 4, Col: []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0}},
+		"max_size":     {From: 5, To: 6, Col: big},
+		"narrow_edge":  {From: math.MaxUint16, To: math.MaxUint16, Col: []float64{1}},
+		"wide_ids":     {From: math.MaxUint16 + 1, To: -3, Col: []float64{2}},
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			var viaBin, viaGob RowSegment
+			binTrip(t, src, &viaBin)
+			gobTrip(t, src, &viaGob)
+			if viaBin.From != viaGob.From || viaBin.To != viaGob.To || !f64SliceEq(viaBin.Col, viaGob.Col) {
+				t.Fatalf("binary and gob decode diverge:\nbin %+v\ngob %+v", viaBin, viaGob)
+			}
+			if (viaBin.Col == nil) != (viaGob.Col == nil) {
+				t.Fatalf("col nil-ness diverges: bin %v gob %v", viaBin.Col == nil, viaGob.Col == nil)
+			}
+		})
+	}
+}
+
+func TestCPDDeltaDifferentialVsGob(t *testing.T) {
+	cases := map[string]*CPDDelta{
+		"tabular": {Node: 2, Kind: KindTabular, Card: 3, ParentCard: []int{2, 3},
+			P: []float64{0.1, 0.2, 0.7, 0.3, 0.3, 0.4, 1, 0, 0, 0.25, 0.25, 0.5, 0.5, 0.5, 0, 0.9, 0.05, 0.05}},
+		"tabular_rootless": {Node: 0, Kind: KindTabular, Card: 2, P: []float64{0.5, 0.5}},
+		"gaussian":         {Node: 7, Kind: KindGaussian, Intercept: 1.5, Sigma: 0.25, Coef: []float64{0.5, -2}},
+		"gaussian_root":    {Node: -1, Kind: KindGaussian, Intercept: -3, Sigma: 1e-12},
+		"gaussian_nan":     {Node: 1, Kind: KindGaussian, Intercept: math.NaN(), Sigma: math.Inf(1), Coef: []float64{math.NaN()}},
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			var viaBin, viaGob CPDDelta
+			binTrip(t, src, &viaBin)
+			gobTrip(t, src, &viaGob)
+			if !deltaEq(&viaBin, src) {
+				t.Fatalf("binary trip changed the delta: %+v -> %+v", src, viaBin)
+			}
+			if !deltaEq(&viaBin, &viaGob) {
+				t.Fatalf("binary and gob decode diverge:\nbin %+v\ngob %+v", viaBin, viaGob)
+			}
+		})
+	}
+}
+
+// randomBatch draws a batch from one of the three layout families, so the
+// property test exercises grid, narrow and wide encodings.
+func randomBatch(rng *stats.RNG) *MeasurementBatch {
+	agent := string(rune('a' + rng.Intn(26)))
+	switch rng.Intn(3) {
+	case 0: // grid-shaped
+		ncols := 1 + rng.Intn(6)
+		cols := make([]int32, ncols)
+		for i := range cols {
+			cols[i] = int32(rng.Intn(200))
+		}
+		phase := rng.Intn(ncols)
+		count := rng.Intn(4 * ncols)
+		m := gridBatch(agent, int64(rng.Intn(1_000_000)), cols, phase, count)
+		for i := range m.Batch {
+			m.Batch[i].Value = rng.Normal(0, 10)
+		}
+		return m
+	case 1: // narrow-range ids
+		m := &MeasurementBatch{AgentID: agent}
+		base := int64(rng.Intn(1_000_000))
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			m.Batch = append(m.Batch, Measurement{
+				RequestID: base + int64(rng.Intn(math.MaxUint16)),
+				Column:    int32(rng.Intn(256)),
+				Value:     rng.Normal(0, 10),
+			})
+		}
+		return m
+	default: // arbitrary ids and columns
+		m := &MeasurementBatch{AgentID: agent}
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			m.Batch = append(m.Batch, Measurement{
+				RequestID: int64(rng.Uint64()),
+				Column:    int32(rng.Uint64()),
+				Value:     rng.Normal(0, 10),
+			})
+		}
+		return m
+	}
+}
+
+// TestPropertyBatchRoundTrip drives seeded random batches through both
+// codecs: decode equality, deterministic re-encode, and scratch reuse (a
+// second decode into a dirty struct must equal a fresh decode).
+func TestPropertyBatchRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	var reused MeasurementBatch
+	for trial := 0; trial < 300; trial++ {
+		src := randomBatch(rng)
+		var viaBin, viaGob MeasurementBatch
+		payload := binTrip(t, src, &viaBin)
+		gobTrip(t, src, &viaGob)
+		if !batchEq(&viaBin, &viaGob) {
+			t.Fatalf("trial %d: codecs diverge\nbin %+v\ngob %+v", trial, viaBin, viaGob)
+		}
+		if err := reused.UnmarshalWire(payload); err != nil {
+			t.Fatalf("trial %d: reuse decode: %v", trial, err)
+		}
+		if !batchEq(&reused, &viaBin) {
+			t.Fatalf("trial %d: reused-scratch decode diverges from fresh decode", trial)
+		}
+		again, err := src.AppendWire(nil)
+		if err != nil {
+			t.Fatalf("trial %d: re-encode: %v", trial, err)
+		}
+		if !bytes.Equal(payload, again) {
+			t.Fatalf("trial %d: encoding is not deterministic", trial)
+		}
+	}
+}
+
+func TestPropertySegmentAndDeltaRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(99)
+	var segScratch RowSegment
+	var deltaScratch CPDDelta
+	for trial := 0; trial < 300; trial++ {
+		seg := &RowSegment{From: rng.Intn(1 << 20), To: rng.Intn(1 << 20)}
+		for i, n := 0, rng.Intn(64); i < n; i++ {
+			seg.Col = append(seg.Col, rng.Normal(0, 1))
+		}
+		var viaBin, viaGob RowSegment
+		payload := binTrip(t, seg, &viaBin)
+		gobTrip(t, seg, &viaGob)
+		if viaBin.From != viaGob.From || viaBin.To != viaGob.To || !f64SliceEq(viaBin.Col, viaGob.Col) {
+			t.Fatalf("trial %d: segment codecs diverge", trial)
+		}
+		if err := segScratch.UnmarshalWire(payload); err != nil {
+			t.Fatalf("trial %d: segment reuse decode: %v", trial, err)
+		}
+		if !f64SliceEq(segScratch.Col, viaBin.Col) {
+			t.Fatalf("trial %d: segment reused-scratch decode diverges", trial)
+		}
+
+		var delta *CPDDelta
+		if rng.Intn(2) == 0 {
+			card := 2 + rng.Intn(4)
+			pcs := make([]int, rng.Intn(3))
+			rows := 1
+			for i := range pcs {
+				pcs[i] = 2 + rng.Intn(3)
+				rows *= pcs[i]
+			}
+			p := make([]float64, rows*card)
+			for i := range p {
+				p[i] = rng.Float64()
+			}
+			delta = &CPDDelta{Node: rng.Intn(64), Kind: KindTabular, Card: card, ParentCard: pcs, P: p}
+		} else {
+			coef := make([]float64, rng.Intn(5))
+			for i := range coef {
+				coef[i] = rng.Normal(0, 2)
+			}
+			delta = &CPDDelta{Node: rng.Intn(64), Kind: KindGaussian,
+				Intercept: rng.Normal(0, 5), Sigma: rng.Float64() + 1e-9, Coef: coef}
+		}
+		var dBin, dGob CPDDelta
+		dPayload := binTrip(t, delta, &dBin)
+		gobTrip(t, delta, &dGob)
+		if !deltaEq(&dBin, &dGob) {
+			t.Fatalf("trial %d: delta codecs diverge\nbin %+v\ngob %+v", trial, dBin, dGob)
+		}
+		if err := deltaScratch.UnmarshalWire(dPayload); err != nil {
+			t.Fatalf("trial %d: delta reuse decode: %v", trial, err)
+		}
+		if !deltaEq(&deltaScratch, &dBin) {
+			t.Fatalf("trial %d: delta reused-scratch decode diverges", trial)
+		}
+	}
+}
+
+// TestTruncationAndTrailingBytes: every strict prefix of a valid payload
+// (and any payload with trailing bytes) is rejected with ErrMalformed,
+// without panicking — the hardened-decode half of the codec contract.
+func TestTruncationAndTrailingBytes(t *testing.T) {
+	payloads := map[string][]byte{}
+	if p, err := gridBatch("abc", 50, []int32{0, 1}, 1, 7).AppendWire(nil); err == nil {
+		payloads["grid"] = p
+	}
+	if p, err := (&MeasurementBatch{AgentID: "x", Batch: []Measurement{{RequestID: -2, Column: 1, Value: 3}}}).AppendWire(nil); err == nil {
+		payloads["wide"] = p
+	}
+	if p, err := (&RowSegment{From: 1, To: 2, Col: []float64{1, 2, 3}}).AppendWire(nil); err == nil {
+		payloads["segment"] = p
+	}
+	if p, err := (&CPDDelta{Node: 1, Kind: KindTabular, Card: 2, ParentCard: []int{2}, P: []float64{0.5, 0.5, 0.1, 0.9}}).AppendWire(nil); err == nil {
+		payloads["delta"] = p
+	}
+	decodeInto := func(p []byte) error {
+		switch p[0] {
+		case TypeMeasurementBatch:
+			var m MeasurementBatch
+			return m.UnmarshalWire(p)
+		case TypeRowSegment:
+			var s RowSegment
+			return s.UnmarshalWire(p)
+		default:
+			var d CPDDelta
+			return d.UnmarshalWire(p)
+		}
+	}
+	for name, full := range payloads {
+		t.Run(name, func(t *testing.T) {
+			for cut := 1; cut < len(full); cut++ {
+				if err := decodeInto(full[:cut]); !errors.Is(err, ErrMalformed) {
+					t.Fatalf("prefix %d/%d decoded: err=%v, want ErrMalformed", cut, len(full), err)
+				}
+			}
+			padded := append(append([]byte(nil), full...), 0)
+			if err := decodeInto(padded); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("trailing byte accepted: err=%v, want ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestMsgTypeSniffer(t *testing.T) {
+	p, err := (&RowSegment{From: 1, To: 2}).AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, ok := MsgType(p); !ok || typ != TypeRowSegment {
+		t.Fatalf("MsgType = (0x%02x, %v), want (0x%02x, true)", typ, ok, TypeRowSegment)
+	}
+	for _, bad := range [][]byte{nil, {TypeRowSegment}, {0x7F, Version}, {TypeRowSegment, Version + 1}} {
+		if _, ok := MsgType(bad); ok {
+			t.Fatalf("MsgType accepted %v", bad)
+		}
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	p, err := (&RowSegment{From: 1, To: 2, Col: []float64{1}}).AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[1] = Version + 1
+	var s RowSegment
+	if err := s.UnmarshalWire(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("future version decoded: %v", err)
+	}
+}
+
+func TestAppendWireRejectsUnrepresentable(t *testing.T) {
+	long := &MeasurementBatch{AgentID: string(bytes.Repeat([]byte{'y'}, 256))}
+	if _, err := long.AppendWire(nil); err == nil {
+		t.Fatal("256-byte agent id encoded")
+	}
+	badCells := &CPDDelta{Node: 1, Kind: KindTabular, Card: 2, ParentCard: []int{2}, P: []float64{0.5}}
+	if _, err := badCells.AppendWire(nil); err == nil {
+		t.Fatal("mis-sized CPT encoded")
+	}
+	badKind := &CPDDelta{Node: 1, Kind: CPDKind(9)}
+	if _, err := badKind.AppendWire(nil); err == nil {
+		t.Fatal("unknown CPD kind encoded")
+	}
+}

@@ -1,0 +1,184 @@
+package binfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// CPDKind tags which parameter family a CPDDelta carries.
+type CPDKind byte
+
+const (
+	// KindTabular is a conditional probability table (discrete nodes).
+	KindTabular CPDKind = 0
+	// KindGaussian is a linear-Gaussian CPD (continuous nodes).
+	KindGaussian CPDKind = 1
+)
+
+// String renders the kind for reports.
+func (k CPDKind) String() string {
+	switch k {
+	case KindTabular:
+		return "tabular"
+	case KindGaussian:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("CPDKind(%d)", int(k))
+	}
+}
+
+// CPDDelta is the fixed-layout form of one fitted CPD shipped from a
+// learning agent to the management server — the third hot message type. It
+// carries the raw parameters of the two learnable families (tabular CPTs and
+// linear Gaussians); deterministic-function CPDs are knowledge-given and
+// never learned, so they never ship.
+//
+// Layout (big-endian):
+//
+//	0   type = 0x03
+//	1   version = 1
+//	2   kind (0 tabular | 1 gaussian)
+//	3   node i32
+//
+// tabular:  card u16 | nParents u8 | parentCard nParents x u16 |
+//           nP u32 | P nP x f64   (nP must equal card x prod(parentCard))
+// gaussian: intercept f64 | sigma f64 | nCoef u16 | coef nCoef x f64
+//
+// Probabilities and coefficients ship as raw IEEE-754 bits, so a decoded
+// delta is bit-identical to the fitted CPD — shipping never perturbs the
+// model (the repo-wide determinism contract).
+type CPDDelta struct {
+	Node int
+	Kind CPDKind
+
+	// Tabular parameters (Kind == KindTabular).
+	Card       int
+	ParentCard []int
+	P          []float64
+
+	// Gaussian parameters (Kind == KindGaussian).
+	Intercept float64
+	Sigma     float64
+	Coef      []float64
+}
+
+// AppendWire appends the delta's fixed-layout encoding to dst, implementing
+// wire.Marshaler.
+func (d *CPDDelta) AppendWire(dst []byte) ([]byte, error) {
+	if d.Node < math.MinInt32 || d.Node > math.MaxInt32 {
+		return dst, fmt.Errorf("binfmt: node id %d exceeds i32", d.Node)
+	}
+	dst = append(dst, TypeCPDDelta, Version, byte(d.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(d.Node)))
+	switch d.Kind {
+	case KindTabular:
+		if d.Card < 0 || d.Card > math.MaxUint16 {
+			return dst, fmt.Errorf("binfmt: tabular card %d exceeds u16", d.Card)
+		}
+		if len(d.ParentCard) > 255 {
+			return dst, fmt.Errorf("binfmt: %d parents exceeds u8", len(d.ParentCard))
+		}
+		rows := 1
+		for _, pc := range d.ParentCard {
+			if pc < 0 || pc > math.MaxUint16 {
+				return dst, fmt.Errorf("binfmt: parent card %d exceeds u16", pc)
+			}
+			rows *= pc
+		}
+		if len(d.P) != rows*d.Card {
+			return dst, fmt.Errorf("binfmt: CPT has %d cells, want %d", len(d.P), rows*d.Card)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(d.Card))
+		dst = append(dst, byte(len(d.ParentCard)))
+		for _, pc := range d.ParentCard {
+			dst = binary.BigEndian.AppendUint16(dst, uint16(pc))
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(d.P)))
+		for _, v := range d.P {
+			dst = appendF64(dst, v)
+		}
+	case KindGaussian:
+		if len(d.Coef) > math.MaxUint16 {
+			return dst, fmt.Errorf("binfmt: %d coefficients exceeds u16", len(d.Coef))
+		}
+		dst = appendF64(dst, d.Intercept)
+		dst = appendF64(dst, d.Sigma)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(d.Coef)))
+		for _, v := range d.Coef {
+			dst = appendF64(dst, v)
+		}
+	default:
+		return dst, fmt.Errorf("binfmt: unknown CPD kind %d", d.Kind)
+	}
+	return dst, nil
+}
+
+// UnmarshalWire decodes a fixed-layout payload in place, implementing
+// wire.Unmarshaler. Slice backing arrays are reused when large enough.
+func (d *CPDDelta) UnmarshalWire(payload []byte) error {
+	r := &reader{b: payload}
+	if err := r.header(TypeCPDDelta, "CPD delta"); err != nil {
+		return err
+	}
+	kind := CPDKind(r.u8())
+	node := int(int32(r.u32()))
+	switch kind {
+	case KindTabular:
+		card := int(r.u16())
+		nPar := int(r.u8())
+		if r.bad || nPar*2 > r.remaining() {
+			return fmt.Errorf("%w: bad tabular CPD delta", ErrMalformed)
+		}
+		pc := resizeInts(d.ParentCard, nPar)
+		rows := 1
+		for i := 0; i < nPar; i++ {
+			pc[i] = int(r.u16())
+			rows *= pc[i]
+		}
+		nP := int(r.u32())
+		if r.bad || nP > r.remaining()/8 || nP != rows*card {
+			return fmt.Errorf("%w: tabular CPD delta cell count mismatch", ErrMalformed)
+		}
+		p := resizeF64(d.P, nP)
+		for i := 0; i < nP; i++ {
+			p[i] = r.f64()
+		}
+		if err := r.done("CPD delta"); err != nil {
+			return err
+		}
+		*d = CPDDelta{Node: node, Kind: KindTabular, Card: card, ParentCard: pc, P: p}
+	case KindGaussian:
+		intercept := r.f64()
+		sigma := r.f64()
+		nCoef := int(r.u16())
+		if r.bad || nCoef > r.remaining()/8 {
+			return fmt.Errorf("%w: bad gaussian CPD delta", ErrMalformed)
+		}
+		coef := resizeF64(d.Coef, nCoef)
+		for i := 0; i < nCoef; i++ {
+			coef[i] = r.f64()
+		}
+		if err := r.done("CPD delta"); err != nil {
+			return err
+		}
+		*d = CPDDelta{Node: node, Kind: KindGaussian, Intercept: intercept, Sigma: sigma, Coef: coef}
+	default:
+		return fmt.Errorf("%w: unknown CPD kind %d", ErrMalformed, int(kind))
+	}
+	return nil
+}
+
+// resizeInts mirrors resizeF64 for int slices, preserving nil for n == 0.
+func resizeInts(dst []int, n int) []int {
+	if n == 0 {
+		if dst == nil {
+			return nil
+		}
+		return dst[:0]
+	}
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]int, n)
+}

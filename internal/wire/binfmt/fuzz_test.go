@@ -1,0 +1,109 @@
+package binfmt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodePayload asserts the hardened-decode contract at the payload
+// layer (below the wire frame's CRC): arbitrary bytes fed to every decoder
+// either decode or fail with ErrMalformed — never a panic, never an
+// allocation driven by an unvalidated count. A successful decode must also
+// survive a re-encode/re-decode round trip unchanged, so no malformed value
+// can slip through and corrupt the wire later.
+func FuzzDecodePayload(f *testing.F) {
+	if p, err := gridBatch("agent", 100, []int32{0, 1, 2}, 1, 8).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	if p, err := (&MeasurementBatch{AgentID: "n", Batch: []Measurement{{RequestID: 5, Column: 1, Value: 2.5}}}).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	if p, err := (&MeasurementBatch{AgentID: "w", Batch: []Measurement{{RequestID: -5, Column: -1, Value: 2.5}}}).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	if p, err := (&RowSegment{From: 3, To: 9, Col: []float64{1, 2, 3}}).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	if p, err := (&CPDDelta{Node: 4, Kind: KindTabular, Card: 2, ParentCard: []int{3}, P: []float64{0.5, 0.5, 0.1, 0.9, 1, 0}}).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	if p, err := (&CPDDelta{Node: 4, Kind: KindGaussian, Intercept: 1, Sigma: 2, Coef: []float64{3}}).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	// Hostile counts: headers declaring far more elements than bytes.
+	f.Add([]byte{TypeMeasurementBatch, Version, layoutWide, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TypeRowSegment, Version, segNarrow, 0, 1, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TypeCPDDelta, Version, byte(KindTabular), 0, 0, 0, 1, 0, 2, 3})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m MeasurementBatch
+		if err := m.UnmarshalWire(data); err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("batch decode error %v does not wrap ErrMalformed", err)
+			}
+		} else {
+			reencode := func(v *MeasurementBatch) []byte {
+				p, err := v.AppendWire(nil)
+				if err != nil {
+					t.Fatalf("decoded batch does not re-encode: %v", err)
+				}
+				return p
+			}
+			var again MeasurementBatch
+			if err := again.UnmarshalWire(reencode(&m)); err != nil {
+				t.Fatalf("re-encoded batch does not decode: %v", err)
+			}
+			if !batchEq(&m, &again) {
+				t.Fatalf("batch round trip diverges: %+v vs %+v", m, again)
+			}
+		}
+
+		var s RowSegment
+		if err := s.UnmarshalWire(data); err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("segment decode error %v does not wrap ErrMalformed", err)
+			}
+		} else {
+			p, err := s.AppendWire(nil)
+			if err != nil {
+				t.Fatalf("decoded segment does not re-encode: %v", err)
+			}
+			var again RowSegment
+			if err := again.UnmarshalWire(p); err != nil {
+				t.Fatalf("re-encoded segment does not decode: %v", err)
+			}
+			if s.From != again.From || s.To != again.To || !f64SliceEq(s.Col, again.Col) {
+				t.Fatalf("segment round trip diverges: %+v vs %+v", s, again)
+			}
+		}
+
+		var d CPDDelta
+		if err := d.UnmarshalWire(data); err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("delta decode error %v does not wrap ErrMalformed", err)
+			}
+		} else {
+			p, err := d.AppendWire(nil)
+			if err != nil {
+				t.Fatalf("decoded delta does not re-encode: %v", err)
+			}
+			var again CPDDelta
+			if err := again.UnmarshalWire(p); err != nil {
+				t.Fatalf("re-encoded delta does not decode: %v", err)
+			}
+			if !deltaEq(&d, &again) {
+				t.Fatalf("delta round trip diverges: %+v vs %+v", d, again)
+			}
+		}
+
+		// The sniffer must agree with the decoders on the type byte.
+		if typ, ok := MsgType(data); ok {
+			switch typ {
+			case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta:
+			default:
+				t.Fatalf("MsgType invented type 0x%02x", typ)
+			}
+		}
+	})
+}

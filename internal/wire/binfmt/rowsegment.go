@@ -1,0 +1,90 @@
+package binfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RowSegment is the fixed-layout form of one shipped column segment between
+// learning agents — a full parent column on a sync round or the short
+// added/evicted delta segments of incremental rounds (decentral's parcel).
+//
+// Layout (big-endian):
+//
+//	0   type = 0x02
+//	1   version = 1
+//	2   layout byte: 0 = narrow, 1 = wide
+//
+// narrow: from u16 | to u16 | count u32 | count x f64
+// wide:   from i64 | to i64 | count u32 | count x f64
+//
+// The narrow layout covers every real deployment (node ids are small); wide
+// is the always-valid fallback for out-of-range ids.
+type RowSegment struct {
+	From, To int
+	Col      []float64
+}
+
+const (
+	segNarrow byte = 0
+	segWide   byte = 1
+)
+
+// AppendWire appends the segment's fixed-layout encoding to dst,
+// implementing wire.Marshaler.
+func (s *RowSegment) AppendWire(dst []byte) ([]byte, error) {
+	if len(s.Col) > math.MaxUint32 {
+		return dst, fmt.Errorf("binfmt: segment of %d rows exceeds u32", len(s.Col))
+	}
+	narrow := s.From >= 0 && s.From <= math.MaxUint16 && s.To >= 0 && s.To <= math.MaxUint16
+	if narrow {
+		dst = append(dst, TypeRowSegment, Version, segNarrow)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(s.From))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(s.To))
+	} else {
+		dst = append(dst, TypeRowSegment, Version, segWide)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(s.From)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(s.To)))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Col)))
+	for _, v := range s.Col {
+		dst = appendF64(dst, v)
+	}
+	return dst, nil
+}
+
+// UnmarshalWire decodes a fixed-layout payload in place, implementing
+// wire.Unmarshaler. Col's backing array is reused when large enough.
+func (s *RowSegment) UnmarshalWire(payload []byte) error {
+	r := &reader{b: payload}
+	if err := r.header(TypeRowSegment, "row segment"); err != nil {
+		return err
+	}
+	layout := r.u8()
+	switch layout {
+	case segNarrow:
+		s.From = int(r.u16())
+		s.To = int(r.u16())
+	case segWide:
+		s.From = int(int64(r.u64()))
+		s.To = int(int64(r.u64()))
+	default:
+		return fmt.Errorf("%w: unknown segment layout 0x%02x", ErrMalformed, layout)
+	}
+	count := int(r.u32())
+	if r.bad || count > r.remaining()/8 {
+		return fmt.Errorf("%w: bad row segment", ErrMalformed)
+	}
+	if count == 0 {
+		if s.Col != nil {
+			s.Col = s.Col[:0]
+		}
+	} else {
+		s.Col = resizeF64(s.Col, count)
+		for i := 0; i < count; i++ {
+			s.Col[i] = r.f64()
+		}
+	}
+	return r.done("row segment")
+}

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Codec selects how a sender encodes the hot message types that have a
+// fixed binary layout (package binfmt). Types without a binary layout
+// always use gob regardless of the setting.
+type Codec int
+
+const (
+	// CodecAuto prefers the binary layout and downgrades to gob per
+	// connection when the peer demonstrably cannot accept binary frames
+	// (e.g. an old reader closing the connection on ErrBadFlag). A re-dial
+	// resets the preference, so a downgrade never outlives the connection
+	// that caused it.
+	CodecAuto Codec = iota
+	// CodecGob forces gob frames for everything — the old wire behavior.
+	CodecGob
+	// CodecBinary forces the fixed binary layout for types that have one
+	// and never downgrades.
+	CodecBinary
+)
+
+// String renders the codec for reports and logs.
+func (c Codec) String() string {
+	switch c {
+	case CodecAuto:
+		return "auto"
+	case CodecGob:
+		return "gob"
+	case CodecBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// Marshaler is implemented by message types with a fixed binary layout
+// (binfmt.MeasurementBatch and friends). AppendWire appends the payload
+// encoding to dst and returns the extended slice, allocating only when dst
+// lacks capacity.
+type Marshaler interface {
+	AppendWire(dst []byte) ([]byte, error)
+}
+
+// Unmarshaler is the decoding half: UnmarshalWire decodes a fixed-layout
+// payload in place, reusing the receiver's backing arrays where possible.
+type Unmarshaler interface {
+	UnmarshalWire(payload []byte) error
+}
+
+// AppendBinaryFrame appends one complete binary-flagged frame carrying m to
+// dst and returns the extended slice. The zero trace context produces an
+// extension-free frame (flag 0x82); a sampled one produces the traced
+// layout (flag 0x83). On error dst is returned truncated to its original
+// length. A sender that reuses dst across calls encodes frames with zero
+// steady-state allocations.
+func AppendBinaryFrame(dst []byte, m Marshaler, tc TraceContext) ([]byte, error) {
+	start := len(dst)
+	flag := flagMarker | FlagBinary
+	extSize := 0
+	if tc.Sampled() {
+		flag |= FlagTrace
+		extSize = traceExtSize
+	}
+	// Reserve the header (and extension) bytes, then marshal the payload
+	// directly after them and backfill length and CRC.
+	var zero [flaggedHeaderSize + traceExtSize]byte
+	dst = append(dst, zero[:flaggedHeaderSize+extSize]...)
+	dst, err := m.AppendWire(dst)
+	if err != nil {
+		return dst[:start], fmt.Errorf("wire: encode binary: %w", err)
+	}
+	bodyStart := start + flaggedHeaderSize
+	length := len(dst) - bodyStart - extSize
+	if length > DefaultMaxFrame {
+		return dst[:start], fmt.Errorf("%w: %d bytes", ErrTooLarge, length)
+	}
+	binary.BigEndian.PutUint16(dst[start:], Magic)
+	dst[start+2] = flag
+	binary.BigEndian.PutUint32(dst[start+3:], uint32(length))
+	if extSize > 0 {
+		// Backfill the reserved extension bytes in place: the destination
+		// slice is empty but has exactly extSize capacity inside dst.
+		_ = tc.appendExt(dst[bodyStart:bodyStart:bodyStart+extSize])
+	}
+	binary.BigEndian.PutUint32(dst[start+7:], crc32.ChecksumIEEE(dst[bodyStart:]))
+	return dst, nil
+}
+
+// WriteBinaryPayload frames an already-encoded binfmt payload as a binary
+// frame and writes it, returning the bytes put on the wire. Relays use this
+// to echo a binary payload without re-encoding it.
+func WriteBinaryPayload(w io.Writer, payload []byte, tc TraceContext) (int, error) {
+	if len(payload) > DefaultMaxFrame {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	flag := flagMarker | FlagBinary
+	extSize := 0
+	if tc.Sampled() {
+		flag |= FlagTrace
+		extSize = traceExtSize
+	}
+	buf := make([]byte, 0, flaggedHeaderSize+extSize+len(payload))
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, flag)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(nil)
+	if extSize > 0 {
+		crc = crc32.ChecksumIEEE(tc.appendExt(nil))
+	}
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+	if extSize > 0 {
+		buf = tc.appendExt(buf)
+	}
+	buf = append(buf, payload...)
+	return w.Write(buf)
+}
+
+// EncodeBinary writes m as an untraced binary frame, returning the bytes
+// put on the wire.
+func EncodeBinary(w io.Writer, m Marshaler) (int, error) {
+	return EncodeBinaryCtx(w, m, TraceContext{})
+}
+
+// EncodeBinaryCtx writes m as a binary frame carrying trace context,
+// returning the bytes put on the wire. Callers on a hot path should prefer
+// AppendBinaryFrame with a reused buffer; this helper allocates the frame.
+func EncodeBinaryCtx(w io.Writer, m Marshaler, tc TraceContext) (int, error) {
+	buf, err := AppendBinaryFrame(nil, m, tc)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(buf)
+}
+
+// DecodeAnyCtx reads one frame in any layout and decodes it into the
+// matching destination: a binary-flagged payload goes through
+// bin.UnmarshalWire, anything else gob-decodes into gobV. It returns which
+// path ran and the frame's trace context. Either destination may be nil
+// when the caller knows that codec cannot appear; a frame hitting a nil
+// destination is an error with the stream still aligned.
+func DecodeAnyCtx(r io.Reader, maxLen int, gobV any, bin Unmarshaler) (isBinary bool, tc TraceContext, err error) {
+	payload, isBinary, tc, err := ReadFrameAnyCtx(r, maxLen)
+	if err != nil {
+		return isBinary, tc, err
+	}
+	if isBinary {
+		if bin == nil {
+			return true, tc, fmt.Errorf("wire: decode: unexpected binary frame")
+		}
+		if err := bin.UnmarshalWire(payload); err != nil {
+			return true, tc, fmt.Errorf("wire: decode: %w", err)
+		}
+		return true, tc, nil
+	}
+	if gobV == nil {
+		return false, tc, fmt.Errorf("wire: decode: unexpected gob frame")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(gobV); err != nil {
+		return false, tc, fmt.Errorf("wire: decode: %w", err)
+	}
+	return false, tc, nil
+}

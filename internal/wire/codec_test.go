@@ -1,0 +1,330 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"kertbn/internal/wire/binfmt"
+)
+
+// pr6ReadFrameCtx is a pinned copy of the flag-aware frame reader as it
+// existed when the trace extension (flag 0x01) was the only registered
+// flag bit. The compat tests pin the downgrade contract against it: a
+// reader of that era handed a binary-flagged frame must fail with
+// ErrBadFlag — deterministic, never garbage — which is exactly the signal
+// CodecAuto senders downgrade on.
+func pr6ReadFrameCtx(r io.Reader, maxLen int) ([]byte, TraceContext, error) {
+	if maxLen <= 0 {
+		maxLen = DefaultMaxFrame
+	}
+	head := make([]byte, 3)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, TraceContext{}, err
+	}
+	if binary.BigEndian.Uint16(head[0:2]) != Magic {
+		return nil, TraceContext{}, ErrBadMagic
+	}
+	if head[2]&flagMarker == 0 {
+		rest := make([]byte, headerSize-3)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, TraceContext{}, unexpectedEOF(err)
+		}
+		length := uint32(head[2])<<24 | uint32(rest[0])<<16 | uint32(rest[1])<<8 | uint32(rest[2])
+		if int64(length) > int64(maxLen) {
+			return nil, TraceContext{}, ErrTooLarge
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, TraceContext{}, unexpectedEOF(err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[3:7]) {
+			return nil, TraceContext{}, ErrChecksum
+		}
+		return payload, TraceContext{}, nil
+	}
+	if head[2]&^flagMarker != FlagTrace {
+		return nil, TraceContext{}, ErrBadFlag
+	}
+	rest := make([]byte, flaggedHeaderSize-3)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, TraceContext{}, unexpectedEOF(err)
+	}
+	length := binary.BigEndian.Uint32(rest[0:4])
+	if int64(length) > int64(maxLen) {
+		return nil, TraceContext{}, ErrTooLarge
+	}
+	body := make([]byte, traceExtSize+int(length))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, TraceContext{}, unexpectedEOF(err)
+	}
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(rest[4:8]) {
+		return nil, TraceContext{}, ErrChecksum
+	}
+	return body[traceExtSize:], traceContextFromExt(body[:traceExtSize]), nil
+}
+
+func testSegment() *binfmt.RowSegment {
+	return &binfmt.RowSegment{From: 3, To: 9, Col: []float64{1.5, -2.25, 0}}
+}
+
+func TestBinaryFrameRoundTrip(t *testing.T) {
+	for _, tc := range []TraceContext{{}, sampledCtx} {
+		buf, err := AppendBinaryFrame(nil, testSegment(), tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFlag := flagMarker | FlagBinary
+		if tc.Sampled() {
+			wantFlag |= FlagTrace
+		}
+		if buf[2] != wantFlag {
+			t.Fatalf("flag byte = 0x%02x, want 0x%02x", buf[2], wantFlag)
+		}
+		payload, isBinary, gotTC, err := ReadFrameAnyCtx(bytes.NewReader(buf), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isBinary || gotTC != tc {
+			t.Fatalf("isBinary=%v tc=%+v, want true %+v", isBinary, gotTC, tc)
+		}
+		var seg binfmt.RowSegment
+		if err := seg.UnmarshalWire(payload); err != nil {
+			t.Fatal(err)
+		}
+		if seg.From != 3 || seg.To != 9 || len(seg.Col) != 3 {
+			t.Fatalf("decoded segment %+v", seg)
+		}
+	}
+}
+
+func TestWriteBinaryPayloadMatchesAppend(t *testing.T) {
+	seg := testSegment()
+	payload, err := seg.AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []TraceContext{{}, sampledCtx} {
+		framed, err := AppendBinaryFrame(nil, seg, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var echoed bytes.Buffer
+		if _, err := WriteBinaryPayload(&echoed, payload, tc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(framed, echoed.Bytes()) {
+			t.Fatalf("relay echo framing diverges from sender framing (sampled=%v)", tc.Sampled())
+		}
+	}
+}
+
+func TestDecodeAnyCtxDispatch(t *testing.T) {
+	var stream bytes.Buffer
+	if _, err := EncodeBinary(&stream, testSegment()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Encode(&stream, &parcel{From: 1, To: 2, Col: []float64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	var p parcel
+	var seg binfmt.RowSegment
+	isBinary, _, err := DecodeAnyCtx(&stream, 0, &p, &seg)
+	if err != nil || !isBinary {
+		t.Fatalf("first frame: isBinary=%v err=%v", isBinary, err)
+	}
+	if seg.From != 3 || p.From != 0 {
+		t.Fatalf("binary frame decoded into the wrong destination: seg=%+v p=%+v", seg, p)
+	}
+	isBinary, _, err = DecodeAnyCtx(&stream, 0, &p, &seg)
+	if err != nil || isBinary {
+		t.Fatalf("second frame: isBinary=%v err=%v", isBinary, err)
+	}
+	if p.From != 1 || p.To != 2 {
+		t.Fatalf("gob frame decoded wrong: %+v", p)
+	}
+}
+
+func TestDecodeAnyCtxNilDestinationKeepsStreamAligned(t *testing.T) {
+	var stream bytes.Buffer
+	EncodeBinary(&stream, testSegment())
+	Encode(&stream, &parcel{From: 1, To: 2})
+	EncodeBinary(&stream, testSegment())
+
+	// A gob-only receiver (nil binary destination) must reject the binary
+	// frame without desyncing: the following gob frame still decodes.
+	var p parcel
+	if _, _, err := DecodeAnyCtx(&stream, 0, &p, nil); err == nil {
+		t.Fatal("binary frame into nil destination decoded")
+	}
+	if _, _, err := DecodeAnyCtx(&stream, 0, &p, nil); err != nil || p.From != 1 {
+		t.Fatalf("gob frame after rejected binary frame: %+v %v", p, err)
+	}
+	// And the mirror image: a binary-only receiver rejecting... nothing left
+	// but a binary frame, which must still decode with a nil gob target.
+	var seg binfmt.RowSegment
+	if isBinary, _, err := DecodeAnyCtx(&stream, 0, nil, &seg); err != nil || !isBinary {
+		t.Fatalf("binary frame with nil gob destination: %v", err)
+	}
+}
+
+func TestBinaryFrameCorruptionAndTruncation(t *testing.T) {
+	full, err := AppendBinaryFrame(nil, testSegment(), sampledCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload corruption -> ErrChecksum, frame fully consumed.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-1] ^= 0x40
+	var next bytes.Buffer
+	next.Write(corrupt)
+	WriteFrame(&next, []byte("after"))
+	if _, _, _, err := ReadFrameAnyCtx(&next, 0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted binary frame = %v, want ErrChecksum", err)
+	}
+	if got, _, _, err := ReadFrameAnyCtx(&next, 0); err != nil || string(got) != "after" {
+		t.Fatalf("stream desynced after corrupted binary frame: %q %v", got, err)
+	}
+	// Every truncation fails with EOF semantics, never a panic.
+	for cut := 0; cut < len(full); cut++ {
+		_, _, _, err := ReadFrameAnyCtx(bytes.NewReader(full[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncated binary frame (%d/%d bytes) decoded", cut, len(full))
+		}
+		if cut == 0 && !errors.Is(err, io.EOF) {
+			t.Fatalf("empty stream = %v, want io.EOF", err)
+		}
+		if cut > 0 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Size cap applies to binary frames like any other.
+	big := &binfmt.RowSegment{From: 1, To: 2, Col: make([]float64, 1024)}
+	var buf bytes.Buffer
+	if _, err := EncodeBinary(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFrameAnyCtx(&buf, 64); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("capped binary frame = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMalformedBinaryPayloadKeepsStreamAligned(t *testing.T) {
+	// A CRC-valid frame whose payload fails binfmt validation must surface
+	// ErrMalformed with the stream aligned for the next frame — the relay
+	// and the monitor server skip such frames and keep serving.
+	garbage := []byte{0x7F, 0x00, 0x01}
+	var stream bytes.Buffer
+	flag := flagMarker | FlagBinary
+	stream.Write([]byte{byte(Magic >> 8), byte(Magic & 0xFF), flag, 0, 0, 0, byte(len(garbage))})
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(garbage))
+	stream.Write(crc[:])
+	stream.Write(garbage)
+	Encode(&stream, &parcel{From: 5, To: 6})
+
+	var p parcel
+	var seg binfmt.RowSegment
+	if _, _, err := DecodeAnyCtx(&stream, 0, &p, &seg); !errors.Is(err, binfmt.ErrMalformed) {
+		t.Fatalf("garbage binary payload = %v, want ErrMalformed", err)
+	}
+	if _, _, err := DecodeAnyCtx(&stream, 0, &p, &seg); err != nil || p.From != 5 {
+		t.Fatalf("stream desynced after malformed binary payload: %+v %v", p, err)
+	}
+}
+
+func TestLegacyReaderRejectsBinaryFrameDeterministically(t *testing.T) {
+	for _, tc := range []TraceContext{{}, sampledCtx} {
+		var buf bytes.Buffer
+		if _, err := EncodeBinaryCtx(&buf, testSegment(), tc); err != nil {
+			t.Fatal(err)
+		}
+		// The pre-flag reader misparses the flag byte as the length MSB:
+		// 0x82/0x83 both exceed the 16 MiB cap, so it fails with ErrTooLarge.
+		if _, err := legacyReadFrame(bytes.NewReader(buf.Bytes()), 0); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("legacy reader on binary frame = %v, want ErrTooLarge", err)
+		}
+	}
+}
+
+func TestPR6ReaderRejectsBinaryFrameDeterministically(t *testing.T) {
+	for _, tc := range []TraceContext{{}, sampledCtx} {
+		var buf bytes.Buffer
+		if _, err := EncodeBinaryCtx(&buf, testSegment(), tc); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pr6ReadFrameCtx(bytes.NewReader(buf.Bytes()), 0); !errors.Is(err, ErrBadFlag) {
+			t.Fatalf("PR6-era reader on binary frame = %v, want ErrBadFlag", err)
+		}
+	}
+	// And the other direction: frames that reader produced (legacy and
+	// trace-flagged) still decode under the current reader.
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("legacy"))
+	WriteFrameCtx(&buf, []byte("traced"), sampledCtx)
+	for _, want := range []string{"legacy", "traced"} {
+		payload, isBinary, _, err := ReadFrameAnyCtx(&buf, 0)
+		if err != nil || isBinary || string(payload) != want {
+			t.Fatalf("current reader on old-writer frame: %q %v %v", payload, isBinary, err)
+		}
+	}
+}
+
+// TestAppendBinaryFrameZeroAlloc is the encode-side allocation gate: with a
+// warm buffer, framing a measurement batch costs zero allocations.
+func TestAppendBinaryFrameZeroAlloc(t *testing.T) {
+	mb := &binfmt.MeasurementBatch{AgentID: "agent-1"}
+	for i := 0; i < 8; i++ {
+		mb.Batch = append(mb.Batch, binfmt.Measurement{RequestID: int64(100 + i/4), Column: int32(i % 4), Value: float64(i)})
+	}
+	var buf []byte
+	var err error
+	if buf, err = AppendBinaryFrame(buf[:0], mb, sampledCtx); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		buf, err = AppendBinaryFrame(buf[:0], mb, sampledCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("AppendBinaryFrame allocates %v per frame, want 0", avg)
+	}
+}
+
+// BenchmarkAppendBinaryFrame reports the per-frame encode cost of the
+// binary fast path next to its gob equivalent.
+func BenchmarkAppendBinaryFrame(b *testing.B) {
+	mb := &binfmt.MeasurementBatch{AgentID: "agent-1"}
+	for i := 0; i < 8; i++ {
+		mb.Batch = append(mb.Batch, binfmt.Measurement{RequestID: int64(100 + i/4), Column: int32(i % 4), Value: float64(i)})
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendBinaryFrame(buf[:0], mb, TraceContext{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeGobFrame(b *testing.B) {
+	rep := &report{AgentID: "agent-1"}
+	for i := 0; i < 8; i++ {
+		rep.Batch = append(rep.Batch, measurement{RequestID: int64(100 + i/4), Column: i % 4, Value: float64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(io.Discard, rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -127,9 +127,14 @@ func TestUnknownFlagBitsRejected(t *testing.T) {
 	var buf bytes.Buffer
 	WriteFrameCtx(&buf, []byte("y"), sampledCtx)
 	raw := buf.Bytes()
-	raw[2] = flagMarker | 0x02 // a flag this reader does not know
+	raw[2] = flagMarker | 0x04 // a flag this reader does not know
 	if _, _, err := ReadFrameCtx(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadFlag) {
 		t.Fatalf("unknown flag = %v, want ErrBadFlag", err)
+	}
+	// Bit 7 alone (no known flag bits) is also malformed, not a legacy frame.
+	raw[2] = flagMarker
+	if _, _, err := ReadFrameCtx(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadFlag) {
+		t.Fatalf("bare marker flag = %v, want ErrBadFlag", err)
 	}
 }
 

@@ -19,28 +19,50 @@ const DefaultMaxFrame = 16 << 20
 
 const headerSize = 2 + 4 + 4 // magic | length | crc32
 
-// Flagged-frame extension. A frame carrying trace context inserts one flag
-// byte after the magic:
+// Flagged-frame extension. A flagged frame inserts one flag byte after the
+// magic:
 //
-//	magic(2) | flag(1) | length(4) | crc32(4) | ext(25) | payload
+//	magic(2) | flag(1) | length(4) | crc32(4) | [ext(25)] | payload
 //
 // The flag byte always has bit 7 set. Because the legacy header puts the
 // length's most significant byte in that position and payloads are capped
 // at 16 MiB (MSB <= 0x01), bit 7 discriminates the two layouts without
-// ambiguity. The 25-byte extension is trace_id(8) | span_id(8) |
-// send_unix_ns(8) | attempt(1), big-endian, and the CRC covers ext||payload
-// so corruption of the trace context is detected like payload corruption.
+// ambiguity.
 //
-// Interop contract: unsampled frames keep the exact legacy layout, so a
+// Flag-bit registry (low 7 bits; unknown bits are rejected with ErrBadFlag):
+//
+//	0x01 FlagTrace  — the 25-byte trace extension follows the header:
+//	                  trace_id(8) | span_id(8) | send_unix_ns(8) | attempt(1),
+//	                  big-endian. The CRC covers ext||payload so trace
+//	                  corruption is detected like payload corruption.
+//	0x02 FlagBinary — the payload is a fixed-layout binfmt message, not a
+//	                  gob stream. No extension of its own; combines with
+//	                  FlagTrace (0x83 = traced binary).
+//
+// The extension is present iff FlagTrace is set; the CRC always covers
+// ext||payload (payload alone when there is no extension).
+//
+// Interop contract: unsampled gob frames keep the exact legacy layout, so a
 // legacy reader interoperates on the common path. A legacy reader handed a
 // flagged frame misparses the flag byte as the length MSB and fails
 // deterministically with ErrTooLarge (0x81xxxxxx > 16 MiB) — it never
-// decodes garbage. The flag-aware reader accepts both layouts.
+// decodes garbage. A flag-aware reader predating FlagBinary rejects binary
+// frames with ErrBadFlag. The current reader accepts all layouts.
 const (
 	// FlagTrace marks a frame carrying the trace-context extension.
 	FlagTrace byte = 0x01
+	// FlagBinary marks a frame whose payload is a fixed-layout binfmt
+	// message rather than a gob stream. The trace extension is present iff
+	// FlagTrace is also set; an untraced binary frame is
+	// magic(2) | 0x82 | length(4) | crc32(4) | payload with the CRC over the
+	// payload alone. Readers predating this bit fail such frames
+	// deterministically with ErrBadFlag (flag-aware) or ErrTooLarge
+	// (pre-flag); they never decode garbage.
+	FlagBinary byte = 0x02
 	// flagMarker is bit 7, set on every flag byte.
 	flagMarker byte = 0x80
+
+	knownFlags = FlagTrace | FlagBinary
 
 	traceExtSize      = 8 + 8 + 8 + 1
 	flaggedHeaderSize = 2 + 1 + 4 + 4
@@ -145,8 +167,18 @@ func ReadFrame(r io.Reader, maxLen int) ([]byte, error) {
 }
 
 // ReadFrameCtx reads one frame in either layout, returning the payload and
-// the trace context (zero for legacy frames).
+// the trace context (zero for legacy frames). Binary-flagged frames are
+// accepted; use ReadFrameAnyCtx when the caller must know which codec the
+// payload uses.
 func ReadFrameCtx(r io.Reader, maxLen int) ([]byte, TraceContext, error) {
+	payload, _, tc, err := ReadFrameAnyCtx(r, maxLen)
+	return payload, tc, err
+}
+
+// ReadFrameAnyCtx reads one frame in any layout, additionally reporting
+// whether the payload is a fixed-layout binary message (FlagBinary set) as
+// opposed to a gob stream.
+func ReadFrameAnyCtx(r io.Reader, maxLen int) (payload []byte, isBinary bool, tc TraceContext, err error) {
 	if maxLen <= 0 {
 		maxLen = DefaultMaxFrame
 	}
@@ -156,51 +188,60 @@ func ReadFrameCtx(r io.Reader, maxLen int) ([]byte, TraceContext, error) {
 	if _, err := io.ReadFull(r, head); err != nil {
 		// ReadFull yields io.EOF on a clean close before any byte and
 		// io.ErrUnexpectedEOF mid-header; both pass through untouched.
-		return nil, TraceContext{}, err
+		return nil, false, TraceContext{}, err
 	}
 	if binary.BigEndian.Uint16(head[0:2]) != Magic {
-		return nil, TraceContext{}, ErrBadMagic
+		return nil, false, TraceContext{}, ErrBadMagic
 	}
 	if head[2]&flagMarker == 0 {
 		// Legacy layout: head[2] is the length MSB; read the remaining
 		// 3 length bytes and the CRC.
 		rest := make([]byte, headerSize-3)
 		if _, err := io.ReadFull(r, rest); err != nil {
-			return nil, TraceContext{}, unexpectedEOF(err)
+			return nil, false, TraceContext{}, unexpectedEOF(err)
 		}
 		length := uint32(head[2])<<24 | uint32(rest[0])<<16 | uint32(rest[1])<<8 | uint32(rest[2])
 		if int64(length) > int64(maxLen) {
-			return nil, TraceContext{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
+			return nil, false, TraceContext{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil, TraceContext{}, unexpectedEOF(err)
+			return nil, false, TraceContext{}, unexpectedEOF(err)
 		}
 		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[3:7]) {
-			return nil, TraceContext{}, ErrChecksum
+			return nil, false, TraceContext{}, ErrChecksum
 		}
-		return payload, TraceContext{}, nil
+		return payload, false, TraceContext{}, nil
 	}
 	flag := head[2]
-	if flag&^flagMarker != FlagTrace {
-		return nil, TraceContext{}, fmt.Errorf("%w: 0x%02x", ErrBadFlag, flag)
+	bits := flag &^ flagMarker
+	if bits&^knownFlags != 0 || bits == 0 {
+		return nil, false, TraceContext{}, fmt.Errorf("%w: 0x%02x", ErrBadFlag, flag)
+	}
+	isBinary = bits&FlagBinary != 0
+	extSize := 0
+	if bits&FlagTrace != 0 {
+		extSize = traceExtSize
 	}
 	rest := make([]byte, flaggedHeaderSize-3)
 	if _, err := io.ReadFull(r, rest); err != nil {
-		return nil, TraceContext{}, unexpectedEOF(err)
+		return nil, false, TraceContext{}, unexpectedEOF(err)
 	}
 	length := binary.BigEndian.Uint32(rest[0:4])
 	if int64(length) > int64(maxLen) {
-		return nil, TraceContext{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
+		return nil, false, TraceContext{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, length, maxLen)
 	}
-	body := make([]byte, traceExtSize+int(length))
+	body := make([]byte, extSize+int(length))
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, TraceContext{}, unexpectedEOF(err)
+		return nil, false, TraceContext{}, unexpectedEOF(err)
 	}
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(rest[4:8]) {
-		return nil, TraceContext{}, ErrChecksum
+		return nil, false, TraceContext{}, ErrChecksum
 	}
-	return body[traceExtSize:], traceContextFromExt(body[:traceExtSize]), nil
+	if extSize > 0 {
+		tc = traceContextFromExt(body[:extSize])
+	}
+	return body[extSize:], isBinary, tc, nil
 }
 
 func unexpectedEOF(err error) error {

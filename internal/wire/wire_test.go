@@ -9,6 +9,7 @@ import (
 
 	"kertbn/internal/bn"
 	"kertbn/internal/stats"
+	"kertbn/internal/wire/binfmt"
 )
 
 // parcel mirrors the decentral column-shipment payload.
@@ -235,6 +236,19 @@ func FuzzDecodeMessage(f *testing.F) {
 	// Flagged header with hostile flag bits and a flagged frame cut mid-ext.
 	f.Add([]byte{0x4B, 0x42, 0xFF, 0, 0, 0, 1, 0, 0, 0, 0})
 	f.Add(flaggedBuf.Bytes()[:flaggedHeaderSize+5])
+	// Binary-flagged frames (0x82 untraced, 0x83 traced), a truncated one,
+	// and one whose flag byte was flipped to gob after the CRC was computed.
+	var binBuf bytes.Buffer
+	EncodeBinary(&binBuf, &binfmt.RowSegment{From: 1, To: 2, Col: []float64{1.5, 2.5}})
+	f.Add(binBuf.Bytes())
+	var binTraced bytes.Buffer
+	EncodeBinaryCtx(&binTraced, &binfmt.MeasurementBatch{AgentID: "a", Batch: []binfmt.Measurement{{RequestID: 1, Column: 2, Value: 3.5}}},
+		TraceContext{TraceID: 7, SpanID: 8, SendUnixNS: 9, Attempt: 1})
+	f.Add(binTraced.Bytes())
+	f.Add(binBuf.Bytes()[:flaggedHeaderSize+2])
+	flipped := append([]byte(nil), binBuf.Bytes()...)
+	flipped[2] &^= FlagBinary
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		// Drain the stream the way a resilient receiver would: decode
@@ -258,6 +272,20 @@ func FuzzDecodeMessage(f *testing.F) {
 			var p parcel
 			_, err := DecodeCtx(r, 1<<20, &p)
 			if err == nil || errors.Is(err, ErrChecksum) {
+				continue
+			}
+			break
+		}
+		// And as a codec-aware receiver: binary frames dispatch to the
+		// fixed-layout decoder, everything else to gob, skipping checksum
+		// failures and malformed-but-CRC-valid binary payloads the way the
+		// monitor server and the relay do.
+		r = bytes.NewReader(data)
+		var seg binfmt.RowSegment
+		for i := 0; i < 64; i++ {
+			var p parcel
+			_, _, err := DecodeAnyCtx(r, 1<<20, &p, &seg)
+			if err == nil || errors.Is(err, ErrChecksum) || errors.Is(err, binfmt.ErrMalformed) {
 				continue
 			}
 			break
