@@ -1,0 +1,92 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchOutageSnapshot validates the committed durability baseline:
+// BENCH_outage.json must parse as an obs.Snapshot and show the acceptance
+// headline — zero rows lost across the forced server outage with the
+// store-and-forward journal, a bit-identical rebuilt model, a lossy
+// no-journal counterfactual, and exactly-once delivery under truncation
+// chaos with every duplicate suppressed by the server's dedup window.
+// Regenerate with `make bench-outage`.
+func TestBenchOutageSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_outage.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-outage`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_outage.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	g := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("baseline is missing gauge %q", name)
+		}
+		return v
+	}
+
+	// The acceptance headline: the journaled arms lose nothing across the
+	// outage and the chaos schedule, and the outage arm's replayed stream is
+	// bit-identical to the no-outage baseline — rows and rebuilt model both.
+	total := g("outage.rows_total")
+	if total < 1 {
+		t.Fatalf("outage.rows_total = %v, want >= 1", total)
+	}
+	for _, arm := range []string{"outage", "chaos"} {
+		if v := g("outage.rows_lost." + arm); v != 0 {
+			t.Errorf("outage.rows_lost.%s = %v, want 0", arm, v)
+		}
+	}
+	if v := g("outage.rows_delivered.baseline"); v != total {
+		t.Errorf("outage.rows_delivered.baseline = %v, want %v", v, total)
+	}
+	if v := g("outage.rows_delivered.outage"); v != total {
+		t.Errorf("outage.rows_delivered.outage = %v, want %v (nothing lost)", v, total)
+	}
+	if v := g("outage.rows_identical"); v != 1 {
+		t.Errorf("outage.rows_identical = %v, want 1 (replayed stream must match the baseline bit-for-bit)", v)
+	}
+	if v := g("outage.model_identical"); v != 1 {
+		t.Errorf("outage.model_identical = %v, want 1 (rebuilt model must be bit-identical)", v)
+	}
+	if v := g("outage.journal_replays"); v < 1 {
+		t.Errorf("outage.journal_replays = %v, want >= 1 (the outage must force a replay)", v)
+	}
+	if v := g("outage.journal_pending_after"); v != 0 {
+		t.Errorf("outage.journal_pending_after = %v, want 0 (the journal must drain)", v)
+	}
+
+	// The counterfactual: the same outage without a journal loses rows and
+	// the losses are accounted, not silent.
+	lost := g("outage.rows_lost.nojournal")
+	if lost < 1 {
+		t.Errorf("outage.rows_lost.nojournal = %v, want >= 1 (the counterfactual must lose rows)", lost)
+	}
+	if v := g("outage.rows_delivered.nojournal"); v != total-lost {
+		t.Errorf("outage.rows_delivered.nojournal = %v inconsistent with total %v - lost %v", v, total, lost)
+	}
+	if v := g("outage.dropped_reports.nojournal"); v < 1 {
+		t.Errorf("outage.dropped_reports.nojournal = %v, want >= 1 (drops must be counted)", v)
+	}
+
+	// The chaos arm: truncated connections force replays through the dedup
+	// window, and every duplicate is suppressed — exactly-once delivery.
+	if v := g("outage.chaos_exactly_once"); v != 1 {
+		t.Errorf("outage.chaos_exactly_once = %v, want 1", v)
+	}
+	if v := g("outage.dup_suppressed"); v < 1 {
+		t.Errorf("outage.dup_suppressed = %v, want >= 1 (chaos must exercise the dedup window)", v)
+	}
+}

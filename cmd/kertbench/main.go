@@ -21,6 +21,12 @@
 // the distributed-tracing benchmark behind BENCH_trace.json (regenerate
 // with `make bench-trace`).
 //
+// -exp outage runs the
+// store-and-forward durability benchmark behind BENCH_outage.json
+// (regenerate with `make bench-outage`): the same monitored row stream
+// across a forced server outage with and without the journal, plus a
+// truncation-chaos arm exercising the dedup window.
+//
 // -metrics-json dumps the internal/obs registry snapshot after the run:
 // per-phase build spans, per-size bench.* histograms (build/learn/infer
 // latency by system size), decentral ship bytes/latency — the perf
@@ -38,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift, serve, wire")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift, serve, wire, outage")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
@@ -246,6 +252,24 @@ func main() {
 			wCfg.Seed = *seed
 		}
 		renderOne(experiments.WireBench(wCfg))
+	}
+	if *exp == "outage" {
+		// Not part of "all": the durability benchmark whose snapshot is
+		// committed as BENCH_outage.json — rows delivered and lost across a
+		// forced server outage with and without the store-and-forward
+		// journal, plus the truncation-chaos dedup exercise.
+		ok = true
+		oCfg := experiments.DefaultOutageBenchConfig()
+		if *quick {
+			oCfg.Rows = 90
+			oCfg.OutageAfter = 30
+			oCfg.OutageRows = 30
+			oCfg.ChaosRows = 50
+		}
+		if *seed != 0 {
+			oCfg.Seed = *seed
+		}
+		renderOne(experiments.OutageBench(oCfg))
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

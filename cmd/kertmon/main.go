@@ -46,6 +46,13 @@
 //	kertmon -requests 600 -health -rebuild-on-drift \
 //	        -trace-every 8 -trace-out traces.json
 //
+// -journal-dir makes the agent transport durable: each host's agent
+// appends its report batches to a per-host write-ahead journal in that
+// directory before shipping, so a management-server outage parks rows on
+// disk instead of losing them; they replay after reconnect and the server
+// dedups on (origin, seq). Journals persist across runs — a crashed run's
+// unacked reports ship first on the next start.
+//
 // Usage:
 //
 //	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
@@ -53,7 +60,7 @@
 //	        [-decentral=true] [-full-rebuild] [-linger 0s]
 //	        [-health] [-rebuild-on-drift]
 //	        [-trace-every N] [-trace-seed N] [-trace-out traces.json]
-//	        [-fault-drop P -fault-seed N ...]
+//	        [-fault-drop P -fault-seed N ...] [-journal-dir DIR]
 package main
 
 import (
@@ -62,6 +69,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +79,7 @@ import (
 	"kertbn/internal/faulty"
 	"kertbn/internal/gateway"
 	"kertbn/internal/health"
+	"kertbn/internal/journal"
 	"kertbn/internal/learn"
 	"kertbn/internal/monitor"
 	"kertbn/internal/obs"
@@ -99,6 +108,7 @@ func main() {
 		traceEvery  = flag.Int("trace-every", 0, "sample 1 in N agent batches into distributed traces (0 = tracing off); sampled batches link flush, wire hop, ingest, scheduler push, health scoring, rebuilds and the new generation's first query into one trace, served at /traces when -metrics-addr is set")
 		traceSeed   = flag.Uint64("trace-seed", 0, "seed for the deterministic batch sampler (0 = use -seed)")
 		traceOut    = flag.String("trace-out", "", "write the assembled traces as a Chrome trace-event JSON document (Perfetto-loadable, journal appended) to this file")
+		journalDir  = flag.String("journal-dir", "", "durable store-and-forward: keep one append-only journal per agent under this directory (created if missing); reports survive transport outages on disk and replay after reconnect, deduped server-side")
 	)
 	faultCfg := faulty.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -268,12 +278,38 @@ func main() {
 		"aix-remote":   {workflow.EDImageLocatorRemote, workflow.EDOgsaDaiRemote},
 		"edge-probe":   {len(cols) - 1}, // end-to-end D measured at the edge
 	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("durable transport: per-agent journals under %s\n", *journalDir)
+	}
 	points := map[int]*monitor.Point{}
 	var agents []*monitor.Agent
 	var senders []*monitor.TCPSender
+	var journals []*journal.Journal
 	agentIdx := uint64(0)
 	for host, columns := range hosts {
-		sender, err := monitor.DialTCP(tcpSrv.Addr())
+		var sopts monitor.SenderOptions
+		if *journalDir != "" {
+			j, err := journal.Open(journal.Options{Path: filepath.Join(*journalDir, host+".wal")})
+			if err != nil {
+				fatal(err.Error())
+			}
+			journals = append(journals, j)
+			if n := j.Pending(); n > 0 {
+				fmt.Printf("  %s: replaying %d journaled reports from a previous run\n", host, n)
+			}
+			sopts.Journal = j
+			// The origin key must be stable across restarts (the journal file
+			// is host-keyed, and the server dedups on origin+seq), so derive
+			// it from the host name rather than map-iteration order.
+			sopts.AgentKey = obs.DeriveID(0x6A726E6C, uint64(len(host)))
+			for i := 0; i < len(host); i++ {
+				sopts.AgentKey = obs.DeriveID(sopts.AgentKey, uint64(host[i]))
+			}
+		}
+		sender, err := monitor.DialTCPOpts(tcpSrv.Addr(), sopts)
 		if err != nil {
 			fatal(err.Error())
 		}
@@ -296,6 +332,11 @@ func main() {
 	defer func() {
 		for _, s := range senders {
 			s.Close()
+		}
+		// Journals outlive their senders: anything still pending stays on
+		// disk for the next run's replay.
+		for _, j := range journals {
+			j.Close()
 		}
 	}()
 

@@ -15,13 +15,15 @@ import (
 )
 
 // Robustness metrics: transport retries, nodes abandoned to a fallback CPD,
-// and frames the relay skipped as corrupted.
+// frames the relay skipped as corrupted, and segments lost outright when a
+// non-durable shipper's retry budget ran out.
 var (
 	decRetries    = obs.C("decentral.retries")
 	decFailed     = obs.C("decentral.failed_nodes")
 	decFallbacks  = obs.C("decentral.fallback_cpds")
 	decBadFrames  = obs.C("decentral.bad_frames")
 	decRoundsPart = obs.C("decentral.partial_rounds")
+	decDropped    = obs.C("decentral.dropped_segments")
 )
 
 // NodeStatus classifies how one agent's learning round went.
@@ -178,7 +180,11 @@ func (d DownShipper) Ship(from, to int, col []float64) ([]float64, error) {
 
 // shipWithRetry runs the ship with the robust retry loop and returns the
 // column plus the number of attempts used. Jitter derives from
-// (Seed, edge, attempt), so the pacing is deterministic too.
+// (Seed, edge, attempt), so the pacing is deterministic too. An exhausted
+// budget on a non-durable shipper means the segment is gone — counted in
+// decentral.dropped_segments and journaled, never silent. Durable shippers
+// (a journaled TCPFabric) keep the segment pending for later replay, so the
+// counter stays untouched.
 func shipWithRetry(sh Shipper, from, to int, col []float64, r RobustOptions) ([]float64, int, error) {
 	as, hasAttempts := sh.(AttemptShipper)
 	var lastErr error
@@ -199,6 +205,18 @@ func shipWithRetry(sh Shipper, from, to int, col []float64, r RobustOptions) ([]
 			return out, attempt + 1, nil
 		}
 		lastErr = err
+	}
+	durable := false
+	if d, ok := sh.(interface{ Durable() bool }); ok {
+		durable = d.Durable()
+	}
+	if !durable {
+		decDropped.Inc()
+		obs.J().Record(obs.Event{
+			Type:   obs.EventDataLoss,
+			Rows:   len(col),
+			Detail: fmt.Sprintf("decentral: segment %d->%d dropped after %d attempts: %v", from, to, r.ShipRetries+1, lastErr),
+		})
 	}
 	return nil, r.ShipRetries + 1, lastErr
 }

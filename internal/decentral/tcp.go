@@ -10,16 +10,20 @@ import (
 	"time"
 
 	"kertbn/internal/faulty"
+	"kertbn/internal/journal"
 	"kertbn/internal/obs"
 	"kertbn/internal/wire"
 	"kertbn/internal/wire/binfmt"
 )
 
 // Frame-codec metrics on the relay: how many frames arrived in each
-// encoding. Codec-negotiation tests assert on these.
+// encoding, plus the store-and-forward ledger (journaled frames shipped and
+// at-least-once duplicates the relay suppressed).
 var (
 	decFramesBinary = obs.C("decentral.tcp.binary_frames")
 	decFramesGob    = obs.C("decentral.tcp.gob_frames")
+	decJournaledTx  = obs.C("decentral.tcp.journaled_frames")
+	decDups         = obs.C("decentral.tcp.dup_suppressed")
 )
 
 // countingWriter counts the bytes actually written to the wire, so the
@@ -44,11 +48,16 @@ type parcel struct {
 
 // relayMsg is the relay's binary-frame decoder: it validates the payload as
 // one of the binary message kinds the fabric relays (row segments and CPD
-// deltas) and keeps the raw bytes so the echo needs no re-encode.
+// deltas, bare or inside a journaled envelope) and keeps the raw bytes so
+// the echo needs no re-encode.
 type relayMsg struct {
-	seg   binfmt.RowSegment
-	delta binfmt.CPDDelta
-	raw   []byte
+	seg       binfmt.RowSegment
+	delta     binfmt.CPDDelta
+	env       binfmt.Journaled
+	journaled bool
+	origin    uint64
+	seq       uint64
+	raw       []byte
 }
 
 // UnmarshalWire implements wire.Unmarshaler by sniffing the message type
@@ -59,13 +68,23 @@ func (m *relayMsg) UnmarshalWire(payload []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: unknown binary payload on relay", binfmt.ErrMalformed)
 	}
+	m.journaled = false
+	body := payload
+	if t == binfmt.TypeJournaled {
+		if err := m.env.UnmarshalWire(payload); err != nil {
+			return err
+		}
+		m.journaled, m.origin, m.seq = true, m.env.Origin, m.env.Seq
+		body = m.env.Inner
+		t, _ = binfmt.MsgType(body)
+	}
 	switch t {
 	case binfmt.TypeRowSegment:
-		if err := m.seg.UnmarshalWire(payload); err != nil {
+		if err := m.seg.UnmarshalWire(body); err != nil {
 			return err
 		}
 	case binfmt.TypeCPDDelta:
-		if err := m.delta.UnmarshalWire(payload); err != nil {
+		if err := m.delta.UnmarshalWire(body); err != nil {
 			return err
 		}
 	default:
@@ -98,6 +117,19 @@ type FabricOptions struct {
 	// (Codec, attempt) and the fabric dials per attempt, so no negotiation
 	// state exists to go stale across re-dials or generation swaps.
 	Codec wire.Codec
+	// Journal enables durable shipping of row segments (full columns and
+	// delta-sync segments alike): each outgoing segment is appended before
+	// its first attempt and released only by the relay's validated echo,
+	// which doubles as the ack. Segments whose shipment fails replay ahead
+	// of later shipments, so a relay outage costs latency, not segments.
+	// Durable shipping is binary-only (gob-forced fabrics reject it). The
+	// caller keeps ownership of the journal.
+	Journal *journal.Journal
+	// Origin identifies this fabric's journal in envelopes (default 1).
+	Origin uint64
+	// Dedup is the relay-side at-least-once suppression window. Nil gets a
+	// fresh private window; share one to keep suppression across restarts.
+	Dedup *journal.Dedup
 }
 
 func (o FabricOptions) withDefaults() FabricOptions {
@@ -109,6 +141,12 @@ func (o FabricOptions) withDefaults() FabricOptions {
 	}
 	if o.IdleTimeout <= 0 {
 		o.IdleTimeout = 30 * time.Second
+	}
+	if o.Origin == 0 {
+		o.Origin = 1
+	}
+	if o.Dedup == nil {
+		o.Dedup = journal.NewDedup()
 	}
 	return o
 }
@@ -130,6 +168,15 @@ type TCPFabric struct {
 	closed   bool
 	conns    map[net.Conn]struct{}
 	trace    obs.TraceContext
+
+	// Durable-shipping state (opts.Journal != nil). jmu serializes journaled
+	// shipments: replay order must match journal order, and the pendEdge
+	// bookkeeping (edge -> pending journal seq, so a caller's retry re-ships
+	// its existing record instead of appending a duplicate) is shared.
+	jmu      sync.Mutex
+	pendEdge map[uint64]uint64
+	jplBuf   []byte
+	jenvBuf  []byte
 }
 
 // SetTrace attaches a trace context to the fabric: subsequent shipments
@@ -162,6 +209,9 @@ func NewTCPFabricOpts(opts FabricOptions) (*TCPFabric, error) {
 		return nil, fmt.Errorf("decentral: listen: %w", err)
 	}
 	f := &TCPFabric{listener: l, opts: opts.withDefaults(), conns: map[net.Conn]struct{}{}}
+	if f.opts.Journal != nil {
+		f.pendEdge = map[uint64]uint64{}
+	}
 	f.wg.Add(1)
 	go f.acceptLoop()
 	return f, nil
@@ -209,7 +259,11 @@ func (f *TCPFabric) acceptLoop() {
 			var bin relayMsg
 			for {
 				var p parcel
-				c.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
+				if err := c.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout)); err != nil {
+					// A conn that rejects deadlines can pin this goroutine
+					// forever; treat it as dead.
+					return
+				}
 				isBinary, fctx, err := wire.DecodeAnyCtx(c, 0, &p, &bin)
 				if err != nil {
 					if errors.Is(err, wire.ErrChecksum) || errors.Is(err, binfmt.ErrMalformed) {
@@ -230,12 +284,20 @@ func (f *TCPFabric) acceptLoop() {
 					hop.SetAttr("attempt", strconv.Itoa(int(fctx.Attempt)))
 					hop.EndAt(time.Now())
 				}
-				c.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
+				if err := c.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout)); err != nil {
+					return
+				}
 				// Echo in kind: a binary frame is answered with its validated
 				// payload re-framed as binary (no re-encode); a gob parcel is
 				// re-encoded as gob, preserving interop with old shippers.
 				if isBinary {
 					decFramesBinary.Inc()
+					if bin.journaled && !f.opts.Dedup.Fresh(bin.origin, bin.seq) {
+						// At-least-once replay of a record already relayed.
+						// The echo is idempotent, so still answer it — the
+						// shipper clearly never saw the previous echo.
+						decDups.Inc()
+					}
 					if _, err := wire.WriteBinaryPayload(c, bin.raw, wire.TraceContext{}); err != nil {
 						return
 					}
@@ -277,10 +339,23 @@ func (f *TCPFabric) useBinary(attempt int) bool {
 	}
 }
 
+// Durable reports whether this fabric journals outgoing segments — an
+// exhausted retry budget then leaves the segment pending instead of lost,
+// which is what the dropped-segment accounting keys on.
+func (f *TCPFabric) Durable() bool { return f.opts.Journal != nil }
+
 // ShipAttempt implements AttemptShipper: the column makes a real round trip
 // through the relay socket, with dial/read/write deadlines and optional
-// deterministic fault injection keyed by (from, to, attempt).
+// deterministic fault injection keyed by (from, to, attempt). With a
+// journal configured the segment is persisted first and replayed (together
+// with any earlier stranded segments) until the relay's echo acks it.
 func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64, error) {
+	if f.opts.Journal != nil {
+		if f.opts.Codec == wire.CodecGob {
+			return nil, ErrBinaryRequired
+		}
+		return f.shipAttemptDurable(from, to, attempt, col)
+	}
 	start := time.Now()
 	// Each attempt gets its own span, so retried shipments appear as
 	// sibling "decentral.ship" spans tagged with their attempt number.
@@ -307,7 +382,11 @@ func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64
 	}
 	defer conn.Close()
 	cw := &countingWriter{w: conn}
-	conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout))
+	if err := conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+		// A deadline the conn rejects means an unbounded write; the conn is
+		// as dead as one that fails the write, so fail the attempt.
+		return nil, fmt.Errorf("decentral: set write deadline: %w", err)
+	}
 	if f.useBinary(attempt) {
 		seg := binfmt.RowSegment{From: from, To: to, Col: col}
 		if _, err := wire.EncodeBinaryCtx(cw, &seg, fctx); err != nil {
@@ -322,7 +401,9 @@ func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64
 	// pairing (old relay, new shipper or vice versa) still round-trips.
 	var back parcel
 	var backSeg binfmt.RowSegment
-	conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout))
+	if err := conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+		return nil, fmt.Errorf("decentral: set read deadline: %w", err)
+	}
 	isBinary, _, err := wire.DecodeAnyCtx(conn, 0, &back, &backSeg)
 	if err != nil {
 		return nil, fmt.Errorf("decentral: receive parcel: %w", err)
@@ -337,6 +418,102 @@ func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64
 	decShipBytes.Add(cw.n)
 	decShipSec.Observe(time.Since(start).Seconds())
 	return back.Col, nil
+}
+
+// shipAttemptDurable is the journaled shipment path. The segment is
+// appended to the journal (unless this caller's earlier attempt already
+// did — pendEdge remembers), then every pending record is replayed in
+// sequence order over one connection: write the envelope, read the relay's
+// echo, validate it, and ack. A failure leaves the unacked suffix pending
+// for the next shipment; the relay's dedup window absorbs any record whose
+// echo (not delivery) was what got lost.
+//
+// CPD deltas deliberately stay off the journal: they are refit every round
+// from data the journal already protects, so re-delivery has nothing to add
+// (RobustOptions.ShipCPDs failures keep the locally fitted CPD).
+func (f *TCPFabric) shipAttemptDurable(from, to, attempt int, col []float64) ([]float64, error) {
+	f.jmu.Lock()
+	defer f.jmu.Unlock()
+	j := f.opts.Journal
+	key := edgeKey(from, to)
+	mySeq, pending := f.pendEdge[key]
+	if !pending {
+		seg := binfmt.RowSegment{From: from, To: to, Col: col}
+		payload, err := seg.AppendWire(f.jplBuf[:0])
+		f.jplBuf = payload
+		if err != nil {
+			return nil, fmt.Errorf("decentral: encode for journal: %w", err)
+		}
+		mySeq, err = j.Append(payload)
+		if err != nil {
+			return nil, fmt.Errorf("decentral: journal append: %w", err)
+		}
+		f.pendEdge[key] = mySeq
+	}
+	start := time.Now()
+	var conn net.Conn
+	var err error
+	if f.opts.Injector != nil {
+		conn, err = f.opts.Injector.Dial("tcp", f.Addr(), key, uint64(attempt), f.opts.DialTimeout)
+	} else {
+		conn, err = net.DialTimeout("tcp", f.Addr(), f.opts.DialTimeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("decentral: dial relay: %w", err)
+	}
+	defer conn.Close()
+	cw := &countingWriter{w: conn}
+	var out []float64
+	err = j.Replay(func(seq uint64, payload []byte, attempts int) error {
+		env := binfmt.Journaled{Origin: f.opts.Origin, Seq: seq, Inner: payload}
+		buf, err := env.AppendWire(f.jenvBuf[:0])
+		f.jenvBuf = buf
+		if err != nil {
+			return err
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+			return fmt.Errorf("set write deadline: %w", err)
+		}
+		if _, err := wire.WriteBinaryPayload(cw, buf, wire.TraceContext{}); err != nil {
+			return err
+		}
+		decJournaledTx.Inc()
+		if err := conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+			return fmt.Errorf("set read deadline: %w", err)
+		}
+		var echo binfmt.Journaled
+		isBinary, _, err := wire.DecodeAnyCtx(conn, 0, nil, &echo)
+		if err != nil {
+			return err
+		}
+		if !isBinary || echo.Origin != f.opts.Origin || echo.Seq != seq {
+			return fmt.Errorf("relay echoed wrong journal record (origin %d seq %d, want %d/%d)", echo.Origin, echo.Seq, f.opts.Origin, seq)
+		}
+		// The validated echo is the ack: the relay held this record.
+		j.Ack(seq)
+		var s binfmt.RowSegment
+		if err := s.UnmarshalWire(echo.Inner); err != nil {
+			return err
+		}
+		delete(f.pendEdge, edgeKey(s.From, s.To))
+		if seq == mySeq {
+			if s.From != from || s.To != to {
+				return fmt.Errorf("relay returned parcel %d->%d, want %d->%d", s.From, s.To, from, to)
+			}
+			out = append([]float64(nil), s.Col...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("decentral: durable ship: %w", err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("decentral: journal record %d for edge %d->%d was not replayed", mySeq, from, to)
+	}
+	decShips.Inc()
+	decShipBytes.Add(cw.n)
+	decShipSec.Observe(time.Since(start).Seconds())
+	return out, nil
 }
 
 // ShipCPD implements CPDShipper over the relay socket: the fitted delta
@@ -374,12 +551,16 @@ func (f *TCPFabric) ShipCPD(from, attempt int, delta *binfmt.CPDDelta) (*binfmt.
 	}
 	defer conn.Close()
 	cw := &countingWriter{w: conn}
-	conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout))
+	if err := conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+		return nil, fmt.Errorf("decentral: set write deadline: %w", err)
+	}
 	if _, err := wire.EncodeBinaryCtx(cw, delta, fctx); err != nil {
 		return nil, fmt.Errorf("decentral: send CPD delta: %w", err)
 	}
 	var back binfmt.CPDDelta
-	conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout))
+	if err := conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+		return nil, fmt.Errorf("decentral: set read deadline: %w", err)
+	}
 	isBinary, _, err := wire.DecodeAnyCtx(conn, 0, nil, &back)
 	if err != nil {
 		return nil, fmt.Errorf("decentral: receive CPD delta: %w", err)

@@ -1,0 +1,525 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"kertbn/internal/bn"
+	"kertbn/internal/core"
+	"kertbn/internal/dataset"
+	"kertbn/internal/faulty"
+	"kertbn/internal/journal"
+	"kertbn/internal/monitor"
+	"kertbn/internal/obs"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+)
+
+func init() { obs.RegisterPrefix("outage", "internal/experiments") }
+
+// OutageBenchConfig parameterizes the durability benchmark
+// (BENCH_outage.json): the same monitored row stream is driven through the
+// TCP reporting path under a forced mid-stream server outage, with and
+// without the store-and-forward journal, plus a seeded truncation-chaos arm
+// that forces at-least-once replays through the dedup window.
+type OutageBenchConfig struct {
+	Seed uint64
+	// Rows is the dataset length streamed through each arm.
+	Rows int
+	// OutageAfter rows are delivered before the server is killed;
+	// OutageRows more are sent while it is down. The remainder is sent
+	// after the restart.
+	OutageAfter int
+	OutageRows  int
+	// Bins sizes the discrete model rebuilt from each arm's delivered rows
+	// (the bit-identical-model acceptance check).
+	Bins int
+	// ChaosRows rows are streamed measurement-by-measurement through a
+	// seeded truncation injector in the chaos arm.
+	ChaosRows int
+	// ChaosTruncate is the per-connection truncation probability.
+	ChaosTruncate float64
+	// RetriesNoJournal is the non-durable arm's retry budget per report.
+	RetriesNoJournal int
+}
+
+// DefaultOutageBenchConfig matches the committed BENCH_outage.json.
+func DefaultOutageBenchConfig() OutageBenchConfig {
+	return OutageBenchConfig{
+		Seed:             29,
+		Rows:             320,
+		OutageAfter:      120,
+		OutageRows:       100,
+		Bins:             4,
+		ChaosRows:        120,
+		ChaosTruncate:    0.4,
+		RetriesNoJournal: 1,
+	}
+}
+
+// orderedRows is the benchmark's row sink: rows in delivery order.
+type orderedRows struct {
+	mu   sync.Mutex
+	rows [][]float64
+}
+
+func (c *orderedRows) sink(row []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rows = append(c.rows, append([]float64(nil), row...))
+}
+
+func (c *orderedRows) snapshot() [][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([][]float64(nil), c.rows...)
+}
+
+// fnv1a folds bytes into a 64-bit FNV-1a state.
+const fnvOffset uint64 = 14695981039346656037
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func fnvU64(h, v uint64) uint64 {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return fnvBytes(h, b[:])
+}
+
+func fnvF64(h uint64, v float64) uint64 { return fnvU64(h, math.Float64bits(v)) }
+
+// rowsFingerprint hashes the delivered row stream bit-for-bit, order
+// included — the strongest form of "nothing lost, nothing reordered,
+// nothing duplicated".
+func rowsFingerprint(rows [][]float64) uint64 {
+	h := fnvU64(fnvOffset, uint64(len(rows)))
+	for _, row := range rows {
+		for _, v := range row {
+			h = fnvF64(h, v)
+		}
+	}
+	return h
+}
+
+// rowFP hashes one row (the chaos arm's multiset key).
+func rowFP(row []float64) uint64 {
+	h := fnvOffset
+	for _, v := range row {
+		h = fnvF64(h, v)
+	}
+	return h
+}
+
+// modelFingerprint hashes every CPD's parameters in node-id order. Gob
+// snapshots hash map iteration order; this walk is deterministic, so two
+// models fitted from identical data produce identical fingerprints.
+func modelFingerprint(m *core.Model) uint64 {
+	h := fnvOffset
+	for id := 0; id < m.Net.N(); id++ {
+		h = fnvU64(h, uint64(id))
+		switch c := m.Net.Node(id).CPD.(type) {
+		case *bn.Tabular:
+			h = fnvU64(h, uint64(c.Card))
+			for _, pc := range c.ParentCard {
+				h = fnvU64(h, uint64(pc))
+			}
+			for _, p := range c.P {
+				h = fnvF64(h, p)
+			}
+		case *bn.LinearGaussian:
+			h = fnvF64(h, c.Intercept)
+			h = fnvF64(h, c.Sigma)
+			for _, co := range c.Coef {
+				h = fnvF64(h, co)
+			}
+		}
+	}
+	return h
+}
+
+// rebuildDiscrete fits the paper's discrete KERT model from delivered rows.
+func rebuildDiscrete(sys *simsvc.System, columns []string, rows [][]float64, bins int) (*core.Model, error) {
+	d := dataset.New(columns)
+	for _, row := range rows {
+		if err := d.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	cfg := core.DefaultKERTConfig(sys.Workflow)
+	cfg.Type = core.DiscreteModel
+	cfg.Bins = bins
+	return core.BuildKERT(cfg, d)
+}
+
+// rowReport frames one dataset row as a single agent report: every column
+// as a measurement of the same request, so the row assembles atomically.
+func rowReport(id int64, row []float64) monitor.Report {
+	r := monitor.Report{AgentID: "outage-agent"}
+	for col, v := range row {
+		r.Batch = append(r.Batch, monitor.Measurement{RequestID: id, Column: col, Value: v})
+	}
+	return r
+}
+
+// outageArm runs the monitored stream through a durable sender with a
+// forced server kill + restart mid-stream. withOutage=false is the
+// baseline: same machinery, no outage. Returns the rows in delivery order.
+func outageArm(cfg OutageBenchConfig, data *dataset.Dataset, dir string, withOutage bool) ([][]float64, error) {
+	name := "baseline"
+	if withOutage {
+		name = "outage"
+	}
+	col := &orderedRows{}
+	inner, err := monitor.NewServer(data.NumCols(), col.sink)
+	if err != nil {
+		return nil, err
+	}
+	dedup := journal.NewDedup()
+	srv, err := monitor.ListenTCPOpts("127.0.0.1:0", inner, monitor.ServerOptions{Dedup: dedup, IdleTimeout: 5 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	j, err := journal.Open(journal.Options{Path: filepath.Join(dir, name+".wal")})
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	sender, err := monitor.DialTCPOpts(addr, monitor.SenderOptions{
+		Journal: j, AgentKey: 31, Seed: cfg.Seed,
+		DialTimeout: time.Second, IOTimeout: 2 * time.Second, AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sender.Close()
+
+	killAt, reviveAt := cfg.Rows+1, cfg.Rows+1
+	if withOutage {
+		killAt = cfg.OutageAfter
+		reviveAt = cfg.OutageAfter + cfg.OutageRows
+	}
+	for i := 0; i < data.NumRows(); i++ {
+		if i == killAt {
+			if err := srv.Close(); err != nil {
+				return nil, err
+			}
+		}
+		if i == reviveAt {
+			srv2, err := monitor.ListenTCPOpts(addr, inner, monitor.ServerOptions{Dedup: dedup, IdleTimeout: 5 * time.Second})
+			if err != nil {
+				return nil, err
+			}
+			defer srv2.Close()
+		}
+		// Durable send: nil even while the server is down.
+		if err := sender.Send(rowReport(int64(i), data.Rows[i])); err != nil {
+			return nil, fmt.Errorf("outage %s arm: send %d: %w", name, i, err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for j.Pending() > 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("outage %s arm: journal did not drain (%d pending)", name, j.Pending())
+		}
+		_ = sender.FlushJournal()
+	}
+	if !inner.WaitComplete(data.NumRows(), 10*time.Second) {
+		return nil, fmt.Errorf("outage %s arm: only %d/%d rows completed", name, inner.CompleteCount(), data.NumRows())
+	}
+	return col.snapshot(), nil
+}
+
+// noJournalArm is the counterfactual: same outage, no journal, a finite
+// retry budget — the pre-durability behavior whose losses the counters
+// expose. Returns the delivered row count.
+func noJournalArm(cfg OutageBenchConfig, data *dataset.Dataset) (int, error) {
+	col := &orderedRows{}
+	inner, err := monitor.NewServer(data.NumCols(), col.sink)
+	if err != nil {
+		return 0, err
+	}
+	srv, err := monitor.ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	sender, err := monitor.DialTCPOpts(addr, monitor.SenderOptions{
+		DialTimeout: 300 * time.Millisecond, IOTimeout: 500 * time.Millisecond,
+		Retries: cfg.RetriesNoJournal, Backoff: faulty.Backoff{Base: 2 * time.Millisecond, Max: 10 * time.Millisecond},
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sender.Close()
+
+	for i := 0; i < data.NumRows(); i++ {
+		if i == cfg.OutageAfter {
+			if err := srv.Close(); err != nil {
+				return 0, err
+			}
+		}
+		if i == cfg.OutageAfter+cfg.OutageRows {
+			srv2, err := monitor.ListenTCP(addr, inner)
+			if err != nil {
+				return 0, err
+			}
+			defer srv2.Close()
+		}
+		_ = sender.Send(rowReport(int64(i), data.Rows[i])) // outage-era sends fail; that is the point
+	}
+	// A sentinel row (impossible values) flushes the in-order delivery
+	// pipeline: once it assembles, everything the server will ever deliver
+	// has been delivered.
+	sentinel := make([]float64, data.NumCols())
+	for i := range sentinel {
+		sentinel[i] = -1e308
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		if sender.Send(rowReport(int64(data.NumRows()), sentinel)) == nil {
+			break
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rows := col.snapshot()
+		if n := len(rows); n > 0 && rows[n-1][0] == sentinel[0] {
+			return n - 1, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("outage nojournal arm: sentinel row never assembled")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// chaosArm streams rows measurement-by-measurement through a seeded
+// truncation injector: connections die mid-frame and mid-ack, records are
+// delivered-but-unacked and replayed, and the dedup window must absorb
+// every duplicate. Returns delivered rows (completion order is not
+// meaningful under chaos; callers compare multisets).
+func chaosArm(cfg OutageBenchConfig, data *dataset.Dataset, dir string) ([][]float64, error) {
+	col := &orderedRows{}
+	inner, err := monitor.NewServer(data.NumCols(), col.sink)
+	if err != nil {
+		return nil, err
+	}
+	dedup := journal.NewDedup()
+	srv, err := monitor.ListenTCPOpts("127.0.0.1:0", inner, monitor.ServerOptions{Dedup: dedup, IdleTimeout: 5 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	j, err := journal.Open(journal.Options{Path: filepath.Join(dir, "chaos.wal")})
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	inj, err := faulty.NewInjector(faulty.Config{Seed: cfg.Seed, Truncate: cfg.ChaosTruncate})
+	if err != nil {
+		return nil, err
+	}
+	chaos, err := monitor.DialTCPOpts(srv.Addr(), monitor.SenderOptions{
+		Journal: j, AgentKey: 37, Seed: cfg.Seed, Injector: inj,
+		DialTimeout: time.Second, IOTimeout: time.Second, AckTimeout: time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer chaos.Close()
+	rows := min(cfg.ChaosRows, data.NumRows())
+	for i := 0; i < rows; i++ {
+		for c := 0; c < data.NumCols(); c++ {
+			r := monitor.Report{AgentID: "chaos-agent",
+				Batch: []monitor.Measurement{{RequestID: int64(i), Column: c, Value: data.Rows[i][c]}}}
+			if err := chaos.Send(r); err != nil {
+				return nil, fmt.Errorf("outage chaos arm: send %d/%d: %w", i, c, err)
+			}
+		}
+	}
+	// Clean drain through a fault-free sender sharing the journal + origin.
+	drain, err := monitor.DialTCPOpts(srv.Addr(), monitor.SenderOptions{
+		Journal: j, AgentKey: 37, Seed: cfg.Seed + 1,
+		DialTimeout: time.Second, IOTimeout: 2 * time.Second, AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer drain.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for j.Pending() > 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("outage chaos arm: journal did not drain (%d pending)", j.Pending())
+		}
+		_ = drain.FlushJournal()
+	}
+	if !inner.WaitComplete(rows, 10*time.Second) {
+		return nil, fmt.Errorf("outage chaos arm: only %d/%d rows completed", inner.CompleteCount(), rows)
+	}
+	return col.snapshot(), nil
+}
+
+// OutageBench measures durability across a forced management-server outage,
+// producing the BENCH_outage.json schema:
+//
+//	outage.rows_total                       gauge: rows streamed per arm
+//	outage.rows_delivered.baseline/.outage  gauges: delivered rows (journal)
+//	outage.rows_lost.outage                 gauge: must be 0
+//	outage.rows_identical                   gauge: 1 iff the outage arm's rows
+//	                                        are bit- and order-identical to
+//	                                        the no-outage baseline
+//	outage.model_identical                  gauge: 1 iff the discrete model
+//	                                        rebuilt from the outage rows is
+//	                                        bit-identical to the baseline's
+//	outage.journal_replays                  gauge: replayed records (outage arm)
+//	outage.journal_pending_after            gauge: records left pending (0)
+//	outage.rows_delivered.nojournal         gauge: the counterfactual
+//	outage.rows_lost.nojournal              gauge: must be > 0 (the bug)
+//	outage.dropped_reports.nojournal        gauge: counted drops, = sends failed
+//	outage.rows_delivered.chaos             gauge: truncation-chaos arm
+//	outage.rows_lost.chaos                  gauge: must be 0
+//	outage.chaos_exactly_once               gauge: 1 iff chaos delivery is the
+//	                                        exact expected multiset (no dup
+//	                                        row reached the sink)
+//	outage.dup_suppressed                   gauge: duplicates the dedup window
+//	                                        absorbed across the run (>= 1)
+//
+// The figure plots delivered and lost rows per arm.
+func OutageBench(cfg OutageBenchConfig) (*FigResult, error) {
+	if cfg.Rows <= 0 || cfg.OutageAfter <= 0 || cfg.OutageRows <= 0 ||
+		cfg.OutageAfter+cfg.OutageRows >= cfg.Rows {
+		return nil, fmt.Errorf("outagebench: need 0 < OutageAfter, OutageRows with OutageAfter+OutageRows < Rows")
+	}
+	sys := simsvc.EDiaMoNDSystem()
+	data, err := sys.GenerateDataset(cfg.Rows, stats.NewRNG(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "kertbn-outage-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	dupBefore := obs.C("monitor.tcp.dup_suppressed").Value()
+	replayBefore := obs.C("journal.replayed_records").Value()
+
+	// Arm 1: durable, no outage — the reference stream and model.
+	baseRows, err := outageArm(cfg, data, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	// Arm 2: durable, server killed after OutageAfter rows and restarted
+	// OutageRows rows later.
+	outRows, err := outageArm(cfg, data, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	replays := obs.C("journal.replayed_records").Value() - replayBefore
+
+	// Arm 3: the counterfactual without a journal.
+	dropBefore := obs.C("monitor.tcp.dropped_reports").Value()
+	delivered3, err := noJournalArm(cfg, data)
+	if err != nil {
+		return nil, err
+	}
+	dropped3 := obs.C("monitor.tcp.dropped_reports").Value() - dropBefore
+
+	// Arm 4: truncation chaos, per-measurement frames.
+	chaosRows, err := chaosArm(cfg, data, dir)
+	if err != nil {
+		return nil, err
+	}
+	dups := obs.C("monitor.tcp.dup_suppressed").Value() - dupBefore
+
+	// Acceptance checks on the durable arms.
+	rowsIdentical := rowsFingerprint(baseRows) == rowsFingerprint(outRows)
+	baseModel, err := rebuildDiscrete(sys, data.Columns, baseRows, cfg.Bins)
+	if err != nil {
+		return nil, fmt.Errorf("outagebench: baseline rebuild: %w", err)
+	}
+	outModel, err := rebuildDiscrete(sys, data.Columns, outRows, cfg.Bins)
+	if err != nil {
+		return nil, fmt.Errorf("outagebench: outage rebuild: %w", err)
+	}
+	modelIdentical := modelFingerprint(baseModel) == modelFingerprint(outModel)
+
+	// Chaos arm: exact multiset match against what was sent.
+	want := map[uint64]int{}
+	nChaos := min(cfg.ChaosRows, data.NumRows())
+	for i := 0; i < nChaos; i++ {
+		want[rowFP(data.Rows[i])]++
+	}
+	for _, row := range chaosRows {
+		want[rowFP(row)]--
+	}
+	chaosExact := len(chaosRows) == nChaos
+	for _, n := range want {
+		if n != 0 {
+			chaosExact = false
+		}
+	}
+
+	b01 := func(ok bool) float64 {
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	obs.G("outage.rows_total").Set(float64(cfg.Rows))
+	obs.G("outage.rows_delivered.baseline").Set(float64(len(baseRows)))
+	obs.G("outage.rows_delivered.outage").Set(float64(len(outRows)))
+	obs.G("outage.rows_lost.outage").Set(float64(cfg.Rows - len(outRows)))
+	obs.G("outage.rows_identical").Set(b01(rowsIdentical))
+	obs.G("outage.model_identical").Set(b01(modelIdentical))
+	obs.G("outage.journal_replays").Set(float64(replays))
+	obs.G("outage.journal_pending_after").Set(0)
+	obs.G("outage.rows_delivered.nojournal").Set(float64(delivered3))
+	obs.G("outage.rows_lost.nojournal").Set(float64(cfg.Rows - delivered3))
+	obs.G("outage.dropped_reports.nojournal").Set(float64(dropped3))
+	obs.G("outage.rows_delivered.chaos").Set(float64(len(chaosRows)))
+	obs.G("outage.rows_lost.chaos").Set(float64(nChaos - len(chaosRows)))
+	obs.G("outage.chaos_exactly_once").Set(b01(chaosExact))
+	obs.G("outage.dup_suppressed").Set(float64(dups))
+
+	arms := []float64{1, 2, 3, 4}
+	deliveredY := []float64{float64(len(baseRows)), float64(len(outRows)), float64(delivered3), float64(len(chaosRows))}
+	lostY := []float64{float64(cfg.Rows - len(baseRows)), float64(cfg.Rows - len(outRows)),
+		float64(cfg.Rows - delivered3), float64(nChaos - len(chaosRows))}
+	notes := []string{
+		fmt.Sprintf("arm 1 baseline (journal, no outage): %d/%d rows", len(baseRows), cfg.Rows),
+		fmt.Sprintf("arm 2 outage (journal, server killed @%d, revived @%d): %d/%d rows, %d replays, rows identical=%v, model identical=%v",
+			cfg.OutageAfter, cfg.OutageAfter+cfg.OutageRows, len(outRows), cfg.Rows, replays, rowsIdentical, modelIdentical),
+		fmt.Sprintf("arm 3 no journal (same outage, %d retries): %d/%d rows, %d counted drops",
+			cfg.RetriesNoJournal, delivered3, cfg.Rows, dropped3),
+		fmt.Sprintf("arm 4 truncation chaos (p=%.2f): %d/%d rows, exactly-once=%v, %d duplicates suppressed",
+			cfg.ChaosTruncate, len(chaosRows), nChaos, chaosExact, dups),
+	}
+	return &FigResult{
+		ID: "outage",
+		Title: fmt.Sprintf("Store-and-forward durability across a server outage (lost: journal %d, no journal %d)",
+			cfg.Rows-len(outRows), cfg.Rows-delivered3),
+		XLabel: "arm (1 baseline, 2 outage+journal, 3 outage only, 4 chaos+journal)",
+		YLabel: "rows",
+		Series: []Series{
+			{Name: "delivered", X: arms, Y: deliveredY},
+			{Name: "lost", X: arms, Y: lostY},
+		},
+		Notes: notes,
+	}, nil
+}

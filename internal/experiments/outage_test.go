@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// quickOutageConfig is the shrunken sweep used by tests and -quick runs.
+func quickOutageConfig() OutageBenchConfig {
+	cfg := DefaultOutageBenchConfig()
+	cfg.Rows = 90
+	cfg.OutageAfter = 30
+	cfg.OutageRows = 30
+	cfg.ChaosRows = 50
+	return cfg
+}
+
+// TestOutageBenchInvariants runs the durability benchmark at test scale and
+// asserts the acceptance headline: zero rows lost across the forced outage,
+// a bit-identical rebuilt model, a lossy no-journal counterfactual, and
+// exactly-once delivery under truncation chaos with duplicates suppressed.
+func TestOutageBenchInvariants(t *testing.T) {
+	res, err := OutageBench(quickOutageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "outage" || len(res.Series) != 2 {
+		t.Fatalf("unexpected figure shape: %+v", res)
+	}
+	g := func(name string) float64 { return obs.G(name).Value() }
+	if v := g("outage.rows_lost.outage"); v != 0 {
+		t.Errorf("outage.rows_lost.outage = %v, want 0", v)
+	}
+	if v := g("outage.rows_identical"); v != 1 {
+		t.Errorf("outage.rows_identical = %v, want 1", v)
+	}
+	if v := g("outage.model_identical"); v != 1 {
+		t.Errorf("outage.model_identical = %v, want 1", v)
+	}
+	if v := g("outage.journal_replays"); v < 1 {
+		t.Errorf("outage.journal_replays = %v, want >= 1", v)
+	}
+	if v := g("outage.rows_lost.nojournal"); v < 1 {
+		t.Errorf("outage.rows_lost.nojournal = %v, want >= 1 (the counterfactual must lose rows)", v)
+	}
+	if v := g("outage.dropped_reports.nojournal"); v < 1 {
+		t.Errorf("outage.dropped_reports.nojournal = %v, want >= 1", v)
+	}
+	if v := g("outage.rows_lost.chaos"); v != 0 {
+		t.Errorf("outage.rows_lost.chaos = %v, want 0", v)
+	}
+	if v := g("outage.chaos_exactly_once"); v != 1 {
+		t.Errorf("outage.chaos_exactly_once = %v, want 1", v)
+	}
+	if v := g("outage.dup_suppressed"); v < 1 {
+		t.Errorf("outage.dup_suppressed = %v, want >= 1 (chaos must force replays through the dedup window)", v)
+	}
+}

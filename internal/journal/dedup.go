@@ -1,0 +1,39 @@
+package journal
+
+import "sync"
+
+// Dedup is the receiver half of at-least-once delivery: a per-origin
+// high-watermark over journal sequence numbers. Senders replay in sequence
+// order, so a single watermark per origin suffices — anything at or below it
+// has been delivered before. The state is deliberately separable from the
+// transport server: share one Dedup across server restarts and the replayed
+// duplicates from the outage are suppressed too.
+type Dedup struct {
+	mu sync.Mutex
+	w  map[uint64]uint64
+}
+
+// NewDedup returns an empty dedup window.
+func NewDedup() *Dedup {
+	return &Dedup{w: make(map[uint64]uint64)}
+}
+
+// Fresh reports whether (origin, seq) has not been seen before, advancing
+// the origin's watermark when it has not. Gaps are allowed (a shed record
+// leaves one); regressions are duplicates.
+func (d *Dedup) Fresh(origin, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seq <= d.w[origin] {
+		return false
+	}
+	d.w[origin] = seq
+	return true
+}
+
+// Watermark returns the highest sequence accepted for origin (0 = none).
+func (d *Dedup) Watermark(origin uint64) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w[origin]
+}

@@ -1,0 +1,412 @@
+package monitor
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kertbn/internal/faulty"
+	"kertbn/internal/journal"
+)
+
+func openTestJournal(t *testing.T, name string) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(journal.Options{Path: filepath.Join(t.TempDir(), name)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// uniqueValues asserts every delivered single-column row carries a distinct
+// value — the exactly-once check: at-least-once replay plus server dedup must
+// never surface the same measurement twice.
+func uniqueValues(t *testing.T, rc *rowCollector) {
+	t.Helper()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	seen := map[float64]bool{}
+	for _, row := range rc.rows {
+		if seen[row[0]] {
+			t.Fatalf("value %v delivered twice (dedup failed)", row[0])
+		}
+		seen[row[0]] = true
+	}
+}
+
+// TestDurableSenderSurvivesServerRestart is the headline outage scenario:
+// the management server dies mid-stream, the agent keeps reporting (Send
+// returns nil — the rows are in the journal), the server restarts on the
+// same address with a shared dedup window, and a flush delivers every held
+// row exactly once.
+func TestDurableSenderSurvivesServerRestart(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	dedup := journal.NewDedup()
+	srv, err := ListenTCPOpts("127.0.0.1:0", inner, ServerOptions{Dedup: dedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	j := openTestJournal(t, "restart.wal")
+	sender, err := DialTCPOpts(addr, SenderOptions{
+		Journal: j, AgentKey: 7, Seed: 7,
+		IOTimeout: 300 * time.Millisecond, AckTimeout: 300 * time.Millisecond,
+		Backoff: tinyBackoff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	send := func(id int64) {
+		t.Helper()
+		if err := sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: id, Column: 0, Value: float64(id)}}}); err != nil {
+			t.Fatalf("durable send %d: %v", id, err)
+		}
+	}
+	for id := int64(1); id <= 5; id++ {
+		send(id)
+	}
+	waitFor(t, "pre-outage rows", func() bool { return rc.count() == 5 })
+	if j.Pending() != 0 {
+		t.Fatalf("journal holds %d records while the server is healthy", j.Pending())
+	}
+
+	// Outage: the server goes away mid-stream. Durable sends still succeed.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(6); id <= 10; id++ {
+		send(id)
+	}
+	if j.Pending() == 0 {
+		t.Fatal("outage-era rows must be parked in the journal")
+	}
+
+	// Recovery: same address, same inner server, same dedup window.
+	srv2, err := ListenTCPOpts(addr, inner, ServerOptions{Dedup: dedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitFor(t, "journal drain after restart", func() bool {
+		_ = sender.FlushJournal()
+		return j.Pending() == 0 && rc.count() >= 10
+	})
+	if rc.count() != 10 {
+		t.Fatalf("delivered %d rows, want exactly 10", rc.count())
+	}
+	uniqueValues(t, rc)
+}
+
+// TestDurableSenderCrashRecovery kills the agent process (sender closed,
+// journal closed) with unacked rows on disk, then reopens the journal in a
+// fresh sender: the recovered records replay and land exactly once.
+func TestDurableSenderCrashRecovery(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	dedup := journal.NewDedup()
+	srv, err := ListenTCPOpts("127.0.0.1:0", inner, ServerOptions{Dedup: dedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "crash.wal")
+	j, err := journal.Open(journal.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		Journal: j, AgentKey: 9, Seed: 9,
+		IOTimeout: 300 * time.Millisecond, AckTimeout: 300 * time.Millisecond,
+		Backoff: tinyBackoff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 3; id++ {
+		if err := sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: id, Column: 0, Value: float64(id)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "pre-crash rows", func() bool { return rc.count() == 3 })
+
+	// Server dies; two more rows park in the journal; then the agent "crashes"
+	// before any flush lands.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(4); id <= 5; id++ {
+		if err := sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: id, Column: 0, Value: float64(id)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender.Close()
+	j.Close()
+
+	// Restart: reopen the journal from disk. Acks are not persisted, so the
+	// recovered set is exactly the unacked tail (acked records were truncated
+	// away when the journal fully drained earlier).
+	j2, err := journal.Open(journal.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Recovered() != 2 {
+		t.Fatalf("recovered %d records, want 2", j2.Recovered())
+	}
+	srv2, err := ListenTCPOpts("127.0.0.1:0", inner, ServerOptions{Dedup: dedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	sender2, err := DialTCPOpts(srv2.Addr(), SenderOptions{
+		Journal: j2, AgentKey: 9, Seed: 9,
+		IOTimeout: 300 * time.Millisecond, AckTimeout: 300 * time.Millisecond,
+		Backoff: tinyBackoff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender2.Close()
+	waitFor(t, "recovered-journal drain", func() bool {
+		_ = sender2.FlushJournal()
+		return j2.Pending() == 0 && rc.count() >= 5
+	})
+	if rc.count() != 5 {
+		t.Fatalf("delivered %d rows, want exactly 5", rc.count())
+	}
+	uniqueValues(t, rc)
+}
+
+// TestDurableSenderChaosExactlyOnce drives the durable path through a seeded
+// truncation storm: connections die mid-frame and mid-ack, forcing replays
+// whose duplicates the server must suppress. The invariant is exactly-once
+// delivery of every row once a clean drain runs — crash-mid-replay in chaos
+// form, fully deterministic under the injector seed.
+func TestDurableSenderChaosExactlyOnce(t *testing.T) {
+	const rows = 30
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	dedup := journal.NewDedup()
+	srv, err := ListenTCPOpts("127.0.0.1:0", inner, ServerOptions{Dedup: dedup, IdleTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 11, Truncate: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := openTestJournal(t, "chaos.wal")
+	chaos, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		Journal: j, AgentKey: 11, Seed: 11, Injector: inj,
+		IOTimeout: 200 * time.Millisecond, AckTimeout: 200 * time.Millisecond,
+		Backoff: tinyBackoff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Close()
+	for id := int64(1); id <= rows; id++ {
+		if err := chaos.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: id, Column: 0, Value: float64(id)}}}); err != nil {
+			t.Fatalf("durable send %d under chaos: %v", id, err)
+		}
+	}
+
+	// Clean drain through a second sender sharing the journal and origin.
+	drain, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		Journal: j, AgentKey: 11, Seed: 12,
+		IOTimeout: 300 * time.Millisecond, AckTimeout: 300 * time.Millisecond,
+		Backoff: tinyBackoff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain.Close()
+	waitFor(t, "chaos journal drain", func() bool {
+		_ = drain.FlushJournal()
+		return j.Pending() == 0 && rc.count() >= rows
+	})
+	if rc.count() != rows {
+		t.Fatalf("delivered %d rows, want exactly %d", rc.count(), rows)
+	}
+	uniqueValues(t, rc)
+}
+
+// TestCloseUnblocksRetryingSend is the regression test for the sender
+// holding its mutex across backoff sleeps and re-dials: Close during an
+// in-flight retry must return immediately and abort the send, instead of
+// waiting out a multi-second retry budget behind the lock.
+func TestCloseUnblocksRetryingSend(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		DialTimeout: 200 * time.Millisecond, IOTimeout: 200 * time.Millisecond,
+		Retries: 1000, Backoff: faulty.Backoff{Base: 300 * time.Millisecond, Max: time.Second},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	// The first send may land in the dead socket's buffer; it is not the one
+	// under test. The second send enters the retry loop (refused dials +
+	// 300ms backoffs) and would run for minutes without the fix.
+	_ = sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: 1, Column: 0, Value: 1}}})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: 2, Column: 0, Value: 2}}})
+	}()
+	time.Sleep(100 * time.Millisecond) // let the send reach its retry loop
+
+	start := time.Now()
+	if err := sender.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("Close blocked %v behind an in-flight retry", d)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrSenderClosed) {
+			t.Fatalf("aborted send returned %v, want ErrSenderClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send did not abort after Close")
+	}
+}
+
+// deadlineErrConn wraps a live conn but fails deadline control, the failure
+// mode of satellite 2: a transport whose Set{Read,Write}Deadline errors can
+// block I/O forever, so both ends must treat it as dead.
+type deadlineErrConn struct {
+	net.Conn
+	failRead  bool
+	failWrite bool
+	closed    atomic.Bool
+}
+
+func (c *deadlineErrConn) SetReadDeadline(time.Time) error {
+	if c.failRead {
+		return errors.New("deadline not supported")
+	}
+	return nil
+}
+
+func (c *deadlineErrConn) SetWriteDeadline(time.Time) error {
+	if c.failWrite {
+		return errors.New("deadline not supported")
+	}
+	return nil
+}
+
+func (c *deadlineErrConn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// TestSenderDropsConnOnWriteDeadlineError: a SetWriteDeadline failure must
+// not be ignored — the sender drops the connection instead of writing
+// unbounded, and the send is accounted as a counted drop once the budget
+// runs out.
+func TestSenderDropsConnOnWriteDeadlineError(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	stub := &deadlineErrConn{Conn: c1, failWrite: true}
+	sender := &TCPSender{
+		addr: "127.0.0.1:1", // reserved port: any re-dial attempt fails fast
+		opts: SenderOptions{DialTimeout: 50 * time.Millisecond, Retries: 0}.withDefaults(),
+		conn: stub, closeCh: make(chan struct{}),
+	}
+	defer sender.Close()
+
+	before := monTCPDropped.Value()
+	err := sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: 1, Column: 0, Value: 1}}})
+	if err == nil {
+		t.Fatal("send over a deadline-refusing conn must fail")
+	}
+	if !stub.closed.Load() {
+		t.Fatal("deadline-refusing conn was not closed")
+	}
+	sender.mu.Lock()
+	live := sender.conn
+	sender.mu.Unlock()
+	if live == stub {
+		t.Fatal("deadline-refusing conn still installed as current")
+	}
+	if monTCPDropped.Value() != before+1 {
+		t.Fatal("exhausted send did not advance monitor.tcp.dropped_reports")
+	}
+}
+
+// TestServerDropsConnOnReadDeadlineError: the serving goroutine must bail
+// out when it cannot arm its idle deadline, rather than risking a read that
+// never returns.
+func TestServerDropsConnOnReadDeadlineError(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	s := &TCPServer{inner: inner, opts: ServerOptions{}.withDefaults(), conns: map[net.Conn]struct{}{}}
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	stub := &deadlineErrConn{Conn: c1, failRead: true}
+	s.wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		s.serve(stub)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve loop kept a deadline-refusing conn alive")
+	}
+	if !stub.closed.Load() {
+		t.Fatal("deadline-refusing conn was not closed")
+	}
+}
+
+// TestDroppedReportAccounting: exhausting the retry budget without a journal
+// is never silent — the drop counter advances once per lost report.
+func TestDroppedReportAccounting(t *testing.T) {
+	rc := &rowCollector{}
+	inner, _ := NewServer(1, rc.sink)
+	srv, err := ListenTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := DialTCPOpts(srv.Addr(), SenderOptions{
+		DialTimeout: 150 * time.Millisecond, IOTimeout: 150 * time.Millisecond,
+		Retries: 1, Backoff: tinyBackoff, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	srv.Close()
+
+	before := monTCPDropped.Value()
+	var failed int64
+	for i := int64(0); i < 10 && failed == 0; i++ {
+		if sender.Send(Report{AgentID: "a", Batch: []Measurement{{RequestID: i, Column: 0, Value: 1}}}) != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("sends against a dead server must eventually error")
+	}
+	if got := monTCPDropped.Value() - before; got != failed {
+		t.Fatalf("dropped_reports advanced by %d, want %d", got, failed)
+	}
+}

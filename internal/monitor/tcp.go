@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kertbn/internal/faulty"
+	"kertbn/internal/journal"
 	"kertbn/internal/obs"
 	"kertbn/internal/stats"
 	"kertbn/internal/wire"
@@ -19,7 +20,9 @@ import (
 
 // TCP-transport metrics: accepted agent connections, bytes received by the
 // management server, plus the robustness envelope — send retries, re-dials
-// after a broken connection, and corrupted frames skipped by the receiver.
+// after a broken connection, corrupted frames skipped by the receiver, and
+// the durability ledger (reports dropped after an exhausted retry budget,
+// journaled frames, acks, and at-least-once duplicates suppressed).
 var (
 	monTCPConns     = obs.C("monitor.tcp.connections")
 	monTCPBytesRx   = obs.C("monitor.tcp.bytes_rx")
@@ -28,7 +31,15 @@ var (
 	monTCPBadFrames = obs.C("monitor.tcp.bad_frames")
 	monTCPBinaryRx  = obs.C("monitor.tcp.binary_frames_rx")
 	monTCPGobRx     = obs.C("monitor.tcp.gob_frames_rx")
+	monTCPDropped   = obs.C("monitor.tcp.dropped_reports")
+	monTCPJournaled = obs.C("monitor.tcp.journaled_frames")
+	monTCPAcksRx    = obs.C("monitor.tcp.acks_rx")
+	monTCPDups      = obs.C("monitor.tcp.dup_suppressed")
 )
+
+// ErrSenderClosed is returned by Send/FlushJournal on a closed sender, and
+// by sends aborted because Close was called mid-retry.
+var ErrSenderClosed = errors.New("monitor: sender closed")
 
 // countingReader counts bytes read from the wrapped reader into a counter.
 type countingReader struct {
@@ -48,11 +59,18 @@ type ServerOptions struct {
 	// or dead agent costs one serving goroutine for at most this long
 	// instead of forever.
 	IdleTimeout time.Duration
+	// Dedup is the at-least-once suppression window for journaled senders.
+	// Nil gets a fresh private window; pass a shared one to keep suppression
+	// working across server restarts (the outage-replay scenario).
+	Dedup *journal.Dedup
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
 	if o.IdleTimeout <= 0 {
 		o.IdleTimeout = 30 * time.Second
+	}
+	if o.Dedup == nil {
+		o.Dedup = journal.NewDedup()
 	}
 	return o
 }
@@ -60,7 +78,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 // TCPServer exposes a management Server over TCP: agents dial in and stream
 // framed gob-encoded Reports (see internal/wire). It is the distributed
 // stand-in for the paper's OGSA-based reporting path. Corrupted frames are
-// counted and skipped; the stream survives them.
+// counted and skipped; the stream survives them. Journaled senders get
+// cumulative acks back on the same connection and their replayed duplicates
+// are suppressed by the (shared or private) dedup window.
 type TCPServer struct {
 	inner    *Server
 	listener net.Listener
@@ -123,6 +143,40 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// srvMsg is the binary-path decode scratch: a plain measurement batch or a
+// journaled envelope wrapping one. UnmarshalWire reuses the batch's backing
+// arrays, so a steady stream decodes without per-frame allocations.
+type srvMsg struct {
+	mb        binfmt.MeasurementBatch
+	journaled bool
+	origin    uint64
+	seq       uint64
+}
+
+func (m *srvMsg) UnmarshalWire(p []byte) error {
+	typ, ok := binfmt.MsgType(p)
+	if !ok {
+		return fmt.Errorf("%w: unsniffable payload on monitor path", binfmt.ErrMalformed)
+	}
+	switch typ {
+	case binfmt.TypeMeasurementBatch:
+		m.journaled = false
+		return m.mb.UnmarshalWire(p)
+	case binfmt.TypeJournaled:
+		var env binfmt.Journaled
+		if err := env.UnmarshalWire(p); err != nil {
+			return err
+		}
+		if it, _ := binfmt.MsgType(env.Inner); it != binfmt.TypeMeasurementBatch {
+			return fmt.Errorf("%w: journaled envelope wraps type 0x%02x, want measurement batch", binfmt.ErrMalformed, it)
+		}
+		m.journaled, m.origin, m.seq = true, env.Origin, env.Seq
+		return m.mb.UnmarshalWire(env.Inner)
+	default:
+		return fmt.Errorf("%w: message type 0x%02x on monitor path", binfmt.ErrMalformed, typ)
+	}
+}
+
 func (s *TCPServer) serve(conn net.Conn) {
 	defer s.wg.Done()
 	if !s.track(conn) {
@@ -132,14 +186,16 @@ func (s *TCPServer) serve(conn net.Conn) {
 	defer conn.Close()
 	monTCPConns.Inc()
 	cr := &countingReader{r: conn, c: monTCPBytesRx}
-	// Per-connection binary decode scratch: UnmarshalWire reuses its backing
-	// arrays, so a steady binary stream decodes without per-frame batch
-	// allocations on this side of the conversion.
-	var mb binfmt.MeasurementBatch
+	var msg srvMsg
+	var ackBuf []byte
 	for {
 		var r Report
-		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
-		isBinary, fctx, err := wire.DecodeAnyCtx(cr, 0, &r, &mb)
+		if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+			// A conn that rejects deadlines can block this goroutine
+			// forever; treat it as dead.
+			return
+		}
+		isBinary, fctx, err := wire.DecodeAnyCtx(cr, 0, &r, &msg)
 		if err != nil {
 			if errors.Is(err, wire.ErrChecksum) {
 				// Frame fully consumed; stream still aligned. Count the
@@ -156,21 +212,31 @@ func (s *TCPServer) serve(conn net.Conn) {
 			}
 			return
 		}
+		deliver := true
 		if isBinary {
 			monTCPBinaryRx.Inc()
-			// Convert to the server's Report form. The batch is freshly
-			// allocated because inner senders (collectors, forwarders) may
-			// retain it past this call.
-			r.AgentID = mb.AgentID
-			r.Batch = make([]Measurement, len(mb.Batch))
-			for i := range mb.Batch {
-				m := &mb.Batch[i]
-				r.Batch[i] = Measurement{RequestID: m.RequestID, Column: int(m.Column), Value: m.Value}
+			if msg.journaled && !s.opts.Dedup.Fresh(msg.origin, msg.seq) {
+				// At-least-once replay of a record we already accepted.
+				// Suppress the delivery but still ack below — the sender
+				// clearly never saw the previous ack.
+				monTCPDups.Inc()
+				deliver = false
+			}
+			if deliver {
+				// Convert to the server's Report form. The batch is freshly
+				// allocated because inner senders (collectors, forwarders)
+				// may retain it past this call.
+				r.AgentID = msg.mb.AgentID
+				r.Batch = make([]Measurement, len(msg.mb.Batch))
+				for i := range msg.mb.Batch {
+					m := &msg.mb.Batch[i]
+					r.Batch[i] = Measurement{RequestID: m.RequestID, Column: int(m.Column), Value: m.Value}
+				}
 			}
 		} else {
 			monTCPGobRx.Inc()
 		}
-		if fctx.Sampled() {
+		if deliver && fctx.Sampled() {
 			// Reconstruct the wire hop as a span running from the sender's
 			// send timestamp to now — network latency plus any injected
 			// delay — parented under the agent's flush span. Each delivered
@@ -184,7 +250,26 @@ func (s *TCPServer) serve(conn net.Conn) {
 			// Reattach so the ingest span nests under this hop.
 			r.Trace = hop.Context()
 		}
-		_ = s.inner.Send(r)
+		if deliver {
+			_ = s.inner.Send(r)
+		}
+		if isBinary && msg.journaled {
+			// Cumulative ack, sent only after the inner server accepted the
+			// report: a crash between delivery and ack re-delivers, and the
+			// dedup window absorbs it. Ack failures mean a dead conn.
+			ack := binfmt.Ack{Origin: msg.origin, Seq: s.opts.Dedup.Watermark(msg.origin)}
+			if err := conn.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+				return
+			}
+			buf, err := wire.AppendBinaryFrame(ackBuf[:0], &ack, wire.TraceContext{})
+			ackBuf = buf
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
 	}
 }
 
@@ -221,7 +306,8 @@ type SenderOptions struct {
 	// Seed roots the deterministic retry jitter; combined with AgentKey so
 	// co-hosted agents draw independent streams.
 	Seed uint64
-	// AgentKey identifies this agent in fault plans and jitter streams.
+	// AgentKey identifies this agent in fault plans and jitter streams, and
+	// doubles as the journal origin in durable mode.
 	AgentKey uint64
 	// Injector, when non-nil, wraps every dialed connection with
 	// deterministic faults keyed by (AgentKey, send sequence, attempt).
@@ -233,6 +319,18 @@ type SenderOptions struct {
 	// the send that caused it — re-dials and fresh sends always return to
 	// the configured preference. CodecGob forces the old wire behavior.
 	Codec wire.Codec
+	// Journal switches the sender to durable store-and-forward mode: every
+	// report is appended to the journal first (Send then returns nil — an
+	// unreachable server costs latency, not data), shipped inside a
+	// binfmt.Journaled envelope, and released only by the server's
+	// cumulative ack. Unsent records replay automatically on the next Send
+	// or FlushJournal after a reconnect; the server dedups on (AgentKey,
+	// seq). Durable mode is binary-only. The caller keeps ownership of the
+	// journal (Close it separately after the sender).
+	Journal *journal.Journal
+	// AckTimeout bounds the wait for the server's cumulative ack in durable
+	// mode (default IOTimeout).
+	AckTimeout time.Duration
 }
 
 func (o SenderOptions) withDefaults() SenderOptions {
@@ -245,28 +343,44 @@ func (o SenderOptions) withDefaults() SenderOptions {
 	if o.Retries < 0 {
 		o.Retries = 0
 	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = o.IOTimeout
+	}
 	return o
 }
 
 // TCPSender is an agent-side Sender that ships framed reports to a
 // TCPServer over a persistent connection, with per-send write deadlines and
 // retry + re-dial when the connection breaks — the agent-side half of the
-// failure model (a lost report is retried, a dead manager eventually
-// surfaces as an error after the budget).
+// failure model. Without a journal, a lost report is retried and a dead
+// manager eventually surfaces as an error (and a counted, journaled drop)
+// after the budget; with SenderOptions.Journal the report is already
+// persisted when Send returns and will be replayed until acked.
 type TCPSender struct {
 	addr string
 	opts SenderOptions
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint64 // sends attempted, for fault-plan keying
 
-	// Per-sender scratch: the binary frame buffer and the wire-form batch
-	// are reused across sends, so the steady-state binary path allocates
-	// nothing per report.
-	encBuf  []byte
-	mb      binfmt.MeasurementBatch
+	// sendMu serializes Send and FlushJournal: frames must not interleave
+	// on the connection (a frame is written in more than one syscall).
+	sendMu sync.Mutex
+	// mu guards the fields below. It is never held across dials, writes, or
+	// backoff sleeps, so Close and SentFrames are always prompt.
+	mu      sync.Mutex
+	conn    net.Conn
+	closed  bool
+	seq     uint64 // sends attempted, for fault-plan keying
 	nBinary uint64 // frames sent with the binary codec
 	nGob    uint64 // frames sent with gob
+
+	// closeCh aborts in-flight backoff sleeps when Close is called.
+	closeCh chan struct{}
+
+	// Per-sender scratch, guarded by sendMu: the binary frame buffer, the
+	// journal payload buffer, and the wire-form batch are reused across
+	// sends, so the steady-state binary path allocates nothing per report.
+	encBuf []byte
+	plBuf  []byte
+	mb     binfmt.MeasurementBatch
 }
 
 // SentFrames reports how many reports this sender shipped with each codec —
@@ -310,7 +424,7 @@ func DialTCP(addr string) (*TCPSender, error) {
 // DialTCPOpts is DialTCP with explicit robustness options. The initial dial
 // is performed eagerly so configuration errors surface immediately.
 func DialTCPOpts(addr string, opts SenderOptions) (*TCPSender, error) {
-	t := &TCPSender{addr: addr, opts: opts.withDefaults()}
+	t := &TCPSender{addr: addr, opts: opts.withDefaults(), closeCh: make(chan struct{})}
 	conn, err := t.dial(0, 0)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: dial: %w", err)
@@ -328,8 +442,52 @@ func (t *TCPSender) dial(seq uint64, attempt int) (net.Conn, error) {
 	return net.DialTimeout("tcp", t.addr, t.opts.DialTimeout)
 }
 
-// Send implements Sender: frame the report, write it under a deadline, and
-// on failure re-dial and retry up to the budget with seeded backoff jitter.
+// ensureConn returns the live connection, dialing one (outside the lock)
+// when necessary.
+func (t *TCPSender) ensureConn(seq uint64, attempt int) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrSenderClosed
+	}
+	if c := t.conn; c != nil {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	conn, err := t.dial(seq, attempt)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, ErrSenderClosed
+	}
+	monTCPRedials.Inc()
+	t.conn = conn
+	t.mu.Unlock()
+	return conn, nil
+}
+
+// dropConn closes c and forgets it if it is still the current connection.
+func (t *TCPSender) dropConn(c net.Conn) {
+	c.Close()
+	t.mu.Lock()
+	if t.conn == c {
+		t.conn = nil
+	}
+	t.mu.Unlock()
+}
+
+// Send implements Sender.
+//
+// Without a journal: frame the report, write it under a deadline, and on
+// failure re-dial and retry up to the budget with seeded backoff jitter; an
+// exhausted budget is counted as a dropped report and journaled as data
+// loss. With a journal: append first, then flush best-effort — Send returns
+// nil once the report is durable, whatever the server's state.
 //
 // Codec negotiation is per-send by construction: the binary preference is
 // re-derived here from the configured Codec, a CodecAuto downgrade applies
@@ -337,28 +495,50 @@ func (t *TCPSender) dial(seq uint64, attempt int) (net.Conn, error) {
 // loop carries no codec state — so stale "peer is gob-only" beliefs cannot
 // survive a reconnect or a server generation swap.
 func (t *TCPSender) Send(r Report) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrSenderClosed
+	}
 	seq := t.seq
 	t.seq++
+	t.mu.Unlock()
+	if t.opts.Journal != nil {
+		return t.sendDurable(&r, seq)
+	}
 	binary := t.opts.Codec != wire.CodecGob && t.fillBatch(&r)
 	var lastErr error
 	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
 		if attempt > 0 {
 			monTCPRetries.Inc()
 			jrng := stats.NewRNG(t.opts.Seed).Split(t.opts.AgentKey).Split(seq).Split(uint64(attempt))
-			time.Sleep(t.opts.Backoff.Delay(attempt-1, jrng))
-		}
-		if t.conn == nil {
-			conn, err := t.dial(seq, attempt)
-			if err != nil {
-				lastErr = err
-				continue
+			// The backoff wait holds no locks and aborts on Close, so
+			// shutdown never waits out a retry budget.
+			timer := time.NewTimer(t.opts.Backoff.Delay(attempt-1, jrng))
+			select {
+			case <-timer.C:
+			case <-t.closeCh:
+				timer.Stop()
+				return ErrSenderClosed
 			}
-			monTCPRedials.Inc()
-			t.conn = conn
 		}
-		t.conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout))
+		conn, err := t.ensureConn(seq, attempt)
+		if err != nil {
+			if errors.Is(err, ErrSenderClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout)); err != nil {
+			// A conn that rejects deadlines would write unbounded; it is as
+			// dead as one that fails the write itself.
+			t.dropConn(conn)
+			lastErr = err
+			continue
+		}
 		// Sampled reports ship the flagged frame layout, stamping each
 		// attempt with its own send timestamp and attempt number so the
 		// receiver can reconstruct per-attempt wire-hop spans. Unsampled
@@ -379,7 +559,7 @@ func (t *TCPSender) Send(r Report) error {
 				// Unrepresentable despite the fillBatch check (can't happen
 				// for well-formed reports); fall back to gob this send.
 				binary = false
-			} else if _, err := t.conn.Write(buf); err != nil {
+			} else if _, err := conn.Write(buf); err != nil {
 				// The frame may have landed partially: the connection is not
 				// trustworthy anymore. Drop it and re-dial on the next
 				// attempt; under CodecAuto the rest of this send uses gob in
@@ -387,37 +567,177 @@ func (t *TCPSender) Send(r Report) error {
 				if t.opts.Codec == wire.CodecAuto {
 					binary = false
 				}
-				t.conn.Close()
-				t.conn = nil
+				t.dropConn(conn)
 				lastErr = err
 				continue
 			} else {
+				t.mu.Lock()
 				t.nBinary++
+				t.mu.Unlock()
 				return nil
 			}
 		}
-		if _, err := wire.EncodeCtx(t.conn, &r, fctx); err != nil {
+		if _, err := wire.EncodeCtx(conn, &r, fctx); err != nil {
 			// The frame may have landed partially: the connection is not
 			// trustworthy anymore. Drop it and re-dial on the next attempt.
-			t.conn.Close()
-			t.conn = nil
+			t.dropConn(conn)
 			lastErr = err
 			continue
 		}
+		t.mu.Lock()
 		t.nGob++
+		t.mu.Unlock()
 		return nil
 	}
+	// Retry budget exhausted without a journal: the report is gone. Never
+	// silently — the counter and the data-loss event are what the outage
+	// experiment (and production dashboards) watch.
+	monTCPDropped.Inc()
+	obs.J().Record(obs.Event{
+		Type:   obs.EventDataLoss,
+		Rows:   1,
+		Detail: fmt.Sprintf("monitor: report from %s dropped after %d attempts (%d measurements): %v", r.AgentID, t.opts.Retries+1, len(r.Batch), lastErr),
+	})
 	return fmt.Errorf("monitor: send after %d attempts: %w", t.opts.Retries+1, lastErr)
 }
 
-// Close shuts the connection.
-func (t *TCPSender) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.conn == nil {
+// sendDurable is the journaled Send path: persist, then flush best-effort.
+func (t *TCPSender) sendDurable(r *Report, seq uint64) error {
+	if t.opts.Codec == wire.CodecGob {
+		return errors.New("monitor: durable mode is binary-only (CodecGob configured)")
+	}
+	if !t.fillBatch(r) {
+		return errors.New("monitor: report not representable in the fixed binary layout; durable mode requires it")
+	}
+	payload, err := t.mb.AppendWire(t.plBuf[:0])
+	t.plBuf = payload
+	if err != nil {
+		return fmt.Errorf("monitor: encode for journal: %w", err)
+	}
+	jseq, err := t.opts.Journal.Append(payload)
+	if err != nil {
+		// Backpressure (PolicyBlock timeout) or a dead journal: the caller
+		// must know its data was NOT accepted.
+		return fmt.Errorf("monitor: journal append: %w", err)
+	}
+	monTCPJournaled.Inc()
+	// Best-effort delivery. An error here means the server is unreachable;
+	// the record is safe and will replay on a later Send or FlushJournal.
+	_ = t.flushJournal(seq, jseq, r.Trace)
+	return nil
+}
+
+// flushJournal ships every pending journal record in sequence order inside
+// Journaled envelopes, then consumes cumulative acks until the tail record
+// is covered. traceSeq names the one record (if any) that should carry the
+// live report's trace context. Callers hold sendMu.
+func (t *TCPSender) flushJournal(dialSeq, traceSeq uint64, trace obs.TraceContext) error {
+	j := t.opts.Journal
+	if j.Pending() == 0 {
 		return nil
 	}
-	err := t.conn.Close()
+	conn, err := t.ensureConn(dialSeq, 0)
+	if err != nil {
+		return err
+	}
+	var lastSent uint64
+	sent := 0
+	err = j.Replay(func(seq uint64, payload []byte, attempts int) error {
+		env := binfmt.Journaled{Origin: t.opts.AgentKey, Seq: seq, Inner: payload}
+		var fctx wire.TraceContext
+		if seq == traceSeq && trace.Sampled() {
+			fctx = wire.TraceContext{
+				TraceID:    trace.TraceID,
+				SpanID:     trace.SpanID,
+				SendUnixNS: time.Now().UnixNano(),
+				Attempt:    uint8(min(attempts, 255)),
+			}
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout)); err != nil {
+			return err
+		}
+		buf, err := wire.AppendBinaryFrame(t.encBuf[:0], &env, fctx)
+		t.encBuf = buf
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+		sent++
+		lastSent = seq
+		return nil
+	})
+	if err != nil {
+		t.dropConn(conn)
+		return err
+	}
+	if sent == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	t.nBinary += uint64(sent)
+	t.mu.Unlock()
+	// One ack arrives per journaled frame, each carrying the cumulative
+	// watermark; reading until it covers the tail leaves the stream exactly
+	// drained. Any failure means re-delivery later — at-least-once, with
+	// the server's dedup window absorbing the overlap.
+	for j.AckedSeq() < lastSent {
+		if err := conn.SetReadDeadline(time.Now().Add(t.opts.AckTimeout)); err != nil {
+			t.dropConn(conn)
+			return err
+		}
+		var ack binfmt.Ack
+		if _, _, err := wire.DecodeAnyCtx(conn, 0, nil, &ack); err != nil {
+			t.dropConn(conn)
+			return err
+		}
+		if ack.Origin != t.opts.AgentKey {
+			t.dropConn(conn)
+			return fmt.Errorf("monitor: ack for origin %d on origin-%d stream", ack.Origin, t.opts.AgentKey)
+		}
+		monTCPAcksRx.Inc()
+		j.Ack(ack.Seq)
+	}
+	return nil
+}
+
+// FlushJournal delivers every pending journal record now, blocking until
+// the server has acked the tail (or an I/O error). Callers drain with it at
+// shutdown or after an outage ends; Send also flushes opportunistically.
+func (t *TCPSender) FlushJournal() error {
+	if t.opts.Journal == nil {
+		return nil
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrSenderClosed
+	}
+	seq := t.seq
+	t.seq++
+	t.mu.Unlock()
+	return t.flushJournal(seq, 0, obs.TraceContext{})
+}
+
+// Close shuts the connection and aborts any in-flight retry promptly: the
+// backoff wait observes closeCh, blocked writes fail when the conn closes,
+// and no lock is held while a peer sleeps.
+func (t *TCPSender) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.closeCh)
+	c := t.conn
 	t.conn = nil
-	return err
+	t.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
 }

@@ -22,6 +22,12 @@ const (
 	// EventFallback: a decentralized learning round degraded a node to a
 	// fallback CPD (or kept its previous one) after transport failures.
 	EventFallback EventType = "fallback"
+	// EventDataLoss: monitoring data was irrecoverably dropped — a send
+	// retry budget exhausted without a journal, or a journal shed pending
+	// records under backpressure. Rows carries the lost row/record count
+	// when known; the paper's sliding window silently biases without this
+	// signal, which is exactly why it is journaled.
+	EventDataLoss EventType = "data_loss"
 )
 
 // Event is one structured journal record. TraceID/SpanID link the event

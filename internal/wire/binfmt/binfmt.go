@@ -25,6 +25,12 @@ const (
 	// TypeCPDDelta is one fitted CPD update shipped from a learning agent to
 	// the management server.
 	TypeCPDDelta byte = 0x03
+	// TypeJournaled is a store-and-forward envelope: one inner payload of the
+	// types above plus the (origin, seq) identity the receiver dedups on.
+	TypeJournaled byte = 0x04
+	// TypeAck is the receiver's cumulative delivery acknowledgement for one
+	// journal origin.
+	TypeAck byte = 0x05
 )
 
 // ErrMalformed wraps every decode failure: truncated fields, counts that
@@ -42,7 +48,7 @@ func MsgType(payload []byte) (byte, bool) {
 		return 0, false
 	}
 	switch payload[0] {
-	case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta:
+	case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta, TypeJournaled, TypeAck:
 		return payload[0], true
 	}
 	return 0, false
@@ -141,6 +147,10 @@ func (r *reader) header(wantType byte, what string) error {
 
 func appendF64(dst []byte, v float64) []byte {
 	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
 }
 
 // resizeF64 reuses dst's backing array when it has capacity for n values

@@ -1,6 +1,7 @@
 package binfmt
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 )
@@ -30,10 +31,21 @@ func FuzzDecodePayload(f *testing.F) {
 	if p, err := (&CPDDelta{Node: 4, Kind: KindGaussian, Intercept: 1, Sigma: 2, Coef: []float64{3}}).AppendWire(nil); err == nil {
 		f.Add(p)
 	}
+	if inner, err := (&RowSegment{From: 0, To: 2, Col: []float64{4, 5}}).AppendWire(nil); err == nil {
+		if p, err := (&Journaled{Origin: 7, Seq: 42, Inner: inner}).AppendWire(nil); err == nil {
+			f.Add(p)
+		}
+	}
+	if p, err := (&Ack{Origin: 7, Seq: 42}).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
 	// Hostile counts: headers declaring far more elements than bytes.
 	f.Add([]byte{TypeMeasurementBatch, Version, layoutWide, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{TypeRowSegment, Version, segNarrow, 0, 1, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{TypeCPDDelta, Version, byte(KindTabular), 0, 0, 0, 1, 0, 2, 3})
+	// Envelope nesting an envelope (must be rejected — no recursion).
+	f.Add([]byte{TypeJournaled, Version, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, TypeJournaled, Version})
+	f.Add([]byte{TypeAck, Version, 0, 0, 0, 0, 0, 0, 0, 1})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -97,10 +109,51 @@ func FuzzDecodePayload(f *testing.F) {
 			}
 		}
 
+		var j Journaled
+		if err := j.UnmarshalWire(data); err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("journaled decode error %v does not wrap ErrMalformed", err)
+			}
+		} else {
+			p, err := j.AppendWire(nil)
+			if err != nil {
+				t.Fatalf("decoded envelope does not re-encode: %v", err)
+			}
+			var again Journaled
+			if err := again.UnmarshalWire(p); err != nil {
+				t.Fatalf("re-encoded envelope does not decode: %v", err)
+			}
+			if j.Origin != again.Origin || j.Seq != again.Seq || !bytes.Equal(j.Inner, again.Inner) {
+				t.Fatalf("envelope round trip diverges: %+v vs %+v", j, again)
+			}
+			if it, ok := MsgType(j.Inner); !ok || it == TypeJournaled || it == TypeAck {
+				t.Fatalf("envelope accepted bad inner type")
+			}
+		}
+
+		var a Ack
+		if err := a.UnmarshalWire(data); err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("ack decode error %v does not wrap ErrMalformed", err)
+			}
+		} else {
+			p, err := a.AppendWire(nil)
+			if err != nil {
+				t.Fatalf("decoded ack does not re-encode: %v", err)
+			}
+			var again Ack
+			if err := again.UnmarshalWire(p); err != nil {
+				t.Fatalf("re-encoded ack does not decode: %v", err)
+			}
+			if a != again {
+				t.Fatalf("ack round trip diverges: %+v vs %+v", a, again)
+			}
+		}
+
 		// The sniffer must agree with the decoders on the type byte.
 		if typ, ok := MsgType(data); ok {
 			switch typ {
-			case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta:
+			case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta, TypeJournaled, TypeAck:
 			default:
 				t.Fatalf("MsgType invented type 0x%02x", typ)
 			}

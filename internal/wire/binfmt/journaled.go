@@ -1,0 +1,98 @@
+package binfmt
+
+import "fmt"
+
+// Journal envelope messages. A store-and-forward journal (internal/journal)
+// persists binfmt payloads verbatim; when a sender replays them it wraps each
+// one in a Journaled envelope carrying the (origin, sequence) pair the
+// receiver needs for at-least-once dedup, and the receiver answers with a
+// cumulative Ack. The envelope is itself a binfmt payload, so it rides the
+// existing binary frame flag with no new wire flag bits.
+
+// Journaled wraps one inner binfmt payload with its journal identity.
+//
+// Layout (big-endian):
+//
+//	type=0x04 | version | origin u64 | seq u64 | inner payload (to end)
+//
+// Origin identifies the journal (one per agent); Seq is the record's
+// monotonic per-origin sequence number. Inner must itself be a well-formed
+// binfmt payload of a non-envelope type — envelopes never nest, so decoding
+// is single-level and cannot recurse.
+type Journaled struct {
+	Origin uint64
+	Seq    uint64
+	// Inner is the wrapped payload. UnmarshalWire aliases it into the input
+	// buffer (no copy); callers that retain it past the next decode must copy.
+	Inner []byte
+}
+
+// innerOK reports whether p is acceptable as an envelope's inner payload: a
+// sniffable binfmt payload that is not itself an envelope or an ack.
+func innerOK(p []byte) bool {
+	t, ok := MsgType(p)
+	return ok && t != TypeJournaled && t != TypeAck
+}
+
+// AppendWire appends the encoded envelope to dst and returns the extended
+// slice. Zero allocations when dst has capacity.
+func (j *Journaled) AppendWire(dst []byte) ([]byte, error) {
+	if !innerOK(j.Inner) {
+		return dst, fmt.Errorf("%w: journaled inner payload is not a plain binfmt message", ErrMalformed)
+	}
+	dst = append(dst, TypeJournaled, Version)
+	dst = appendU64(dst, j.Origin)
+	dst = appendU64(dst, j.Seq)
+	return append(dst, j.Inner...), nil
+}
+
+// UnmarshalWire decodes an envelope. Inner aliases payload.
+func (j *Journaled) UnmarshalWire(payload []byte) error {
+	r := &reader{b: payload}
+	if err := r.header(TypeJournaled, "journaled envelope"); err != nil {
+		return err
+	}
+	origin, seq := r.u64(), r.u64()
+	inner := r.take(r.remaining())
+	if r.bad {
+		return fmt.Errorf("%w: truncated journaled envelope", ErrMalformed)
+	}
+	if !innerOK(inner) {
+		return fmt.Errorf("%w: journaled inner payload is not a plain binfmt message", ErrMalformed)
+	}
+	j.Origin, j.Seq, j.Inner = origin, seq, inner
+	return nil
+}
+
+// Ack is the receiver's cumulative acknowledgement for one origin: every
+// journal record with sequence ≤ Seq has been accepted (or recognized as a
+// duplicate), so the sender may release them.
+//
+// Layout (big-endian):
+//
+//	type=0x05 | version | origin u64 | seq u64
+type Ack struct {
+	Origin uint64
+	Seq    uint64
+}
+
+// AppendWire appends the encoded ack to dst and returns the extended slice.
+func (a *Ack) AppendWire(dst []byte) ([]byte, error) {
+	dst = append(dst, TypeAck, Version)
+	dst = appendU64(dst, a.Origin)
+	return appendU64(dst, a.Seq), nil
+}
+
+// UnmarshalWire decodes an ack.
+func (a *Ack) UnmarshalWire(payload []byte) error {
+	r := &reader{b: payload}
+	if err := r.header(TypeAck, "ack"); err != nil {
+		return err
+	}
+	origin, seq := r.u64(), r.u64()
+	if err := r.done("ack"); err != nil {
+		return err
+	}
+	a.Origin, a.Seq = origin, seq
+	return nil
+}

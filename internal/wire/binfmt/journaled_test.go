@@ -1,0 +1,82 @@
+package binfmt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestJournaledRoundTrip(t *testing.T) {
+	inner, err := (&MeasurementBatch{AgentID: "a0", Batch: []Measurement{{RequestID: 9, Column: 2, Value: 1.5}}}).AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Journaled{Origin: 0xDEAD, Seq: 17, Inner: inner}
+	p, err := env.AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, ok := MsgType(p); !ok || typ != TypeJournaled {
+		t.Fatalf("MsgType = %x/%v", typ, ok)
+	}
+	var got Journaled
+	if err := got.UnmarshalWire(p); err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != env.Origin || got.Seq != env.Seq || !bytes.Equal(got.Inner, inner) {
+		t.Fatalf("round trip diverges: %+v", got)
+	}
+	// The inner payload decodes as the wrapped type.
+	var mb MeasurementBatch
+	if err := mb.UnmarshalWire(got.Inner); err != nil {
+		t.Fatal(err)
+	}
+	if mb.AgentID != "a0" || mb.Batch[0].Value != 1.5 {
+		t.Fatalf("inner batch = %+v", mb)
+	}
+}
+
+func TestJournaledRejectsNesting(t *testing.T) {
+	inner, _ := (&Ack{Origin: 1, Seq: 2}).AppendWire(nil)
+	if _, err := (&Journaled{Origin: 1, Seq: 3, Inner: inner}).AppendWire(nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode of ack-in-envelope: err = %v, want ErrMalformed", err)
+	}
+	seg, _ := (&RowSegment{From: 0, To: 1, Col: []float64{1}}).AppendWire(nil)
+	level1, err := (&Journaled{Origin: 1, Seq: 3, Inner: seg}).AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Journaled{Origin: 1, Seq: 4, Inner: level1}).AppendWire(nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode of nested envelope: err = %v, want ErrMalformed", err)
+	}
+	// Hand-built nested bytes must be rejected on decode too.
+	raw := append([]byte{TypeJournaled, Version, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 4}, level1...)
+	var got Journaled
+	if err := got.UnmarshalWire(raw); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode of nested envelope: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := Ack{Origin: 3, Seq: 250}
+	p, err := a.AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 18 {
+		t.Fatalf("ack payload %d bytes, want 18", len(p))
+	}
+	var got Ack
+	if err := got.UnmarshalWire(p); err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip diverges: %+v", got)
+	}
+	if err := got.UnmarshalWire(append(p, 0)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing byte: err = %v, want ErrMalformed", err)
+	}
+	if err := got.UnmarshalWire(p[:17]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated: err = %v, want ErrMalformed", err)
+	}
+}
