@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz differential alloc bench bench-parallel bench-incremental bench-drift bench-trace bench-serve bench-wire bench-outage serve-e2e journal-e2e equivalence fmt
+.PHONY: all build vet test race fuzz differential alloc bench bench-parallel bench-incremental bench-drift bench-trace bench-serve bench-wire bench-outage bench-fleet serve-e2e journal-e2e fleet-e2e equivalence fmt
 
 all: vet build test
 
@@ -17,7 +17,7 @@ test:
 # pool, the sharded samplers, and the incremental ingest paths — alone
 # under the race detector for a fast signal.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/wire/binfmt/ ./internal/dataset/ ./internal/core/ ./internal/health/ ./internal/gateway/ ./internal/journal/
+	$(GO) test -race ./internal/obs/ ./internal/monitor/ ./internal/decentral/ ./internal/pool/ ./internal/infer/ ./internal/faulty/ ./internal/wire/ ./internal/wire/binfmt/ ./internal/dataset/ ./internal/core/ ./internal/health/ ./internal/gateway/ ./internal/journal/ ./internal/telemetry/
 
 # Incremental-vs-full equivalence: refits from sufficient statistics must
 # match from-scratch builds (bit-identical discrete, <= 1e-9 continuous).
@@ -32,6 +32,7 @@ equivalence:
 fuzz:
 	$(GO) test ./internal/wire -fuzz=FuzzDecodeMessage -fuzztime=20s
 	$(GO) test ./internal/wire/binfmt -fuzz=FuzzDecodePayload -fuzztime=20s
+	$(GO) test ./internal/wire/binfmt -fuzz=FuzzTelemetryDecode -fuzztime=20s
 	$(GO) test ./internal/journal -fuzz=FuzzJournalDecode -fuzztime=20s
 
 # Allocation gates: the per-row hot paths (frame encode, health scoring,
@@ -81,10 +82,22 @@ bench-wire:
 bench-outage:
 	$(GO) run ./cmd/kertbench -exp outage -metrics-json BENCH_outage.json
 
+# Regenerate the committed fleet-telemetry baseline (rollup identity —
+# counters bit-exact, merged-histogram quantiles within 1e-9 — plus the
+# shipping overhead fraction of the monitored ingest path).
+bench-fleet:
+	$(GO) run ./cmd/kertbench -exp fleet -metrics-json BENCH_fleet.json
+
 # End-to-end gateway check: start kertquery -serve on real data, drive the
 # query API over HTTP (miss -> hit), verify gateway.* counters in /metrics.
 serve-e2e:
 	./scripts/serve_e2e.sh
+
+# End-to-end fleet telemetry check: one kertmon management server plus two
+# agent processes shipping snapshots; the fleet counters must equal the
+# sum of the agents' and /metrics.prom must expose both scopes.
+fleet-e2e:
+	./scripts/fleet_e2e.sh
 
 # End-to-end durability check: run the quick outage experiment (0 rows
 # lost, bit-identical model, exactly-once under chaos) and a kertmon run

@@ -1,0 +1,87 @@
+package kertbn
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+// TestBenchFleetSnapshot validates the committed fleet-telemetry baseline:
+// BENCH_fleet.json must parse as an obs.Snapshot and show the acceptance
+// headline — the fleet rollup is bit-exact for counters, merged-histogram
+// quantiles land within 1e-9 of a reference registry fed the same
+// observations, and shipping costs the monitored ingest path less than 2%
+// of its wall time at a cadence far denser than the CLIs' default.
+// Regenerate with `make bench-fleet`.
+func TestBenchFleetSnapshot(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_fleet.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v (regenerate with `make bench-fleet`)", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("BENCH_fleet.json does not match the obs.Snapshot schema: %v", err)
+	}
+
+	g := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("baseline is missing gauge %q", name)
+		}
+		return v
+	}
+
+	// Fan-in shape: a real multi-origin rollup, every shipped snapshot
+	// absorbed, none double-counted.
+	if v := g("fleet.bench.agents"); v < 2 {
+		t.Fatalf("fleet.bench.agents = %v, want >= 2 (a fleet needs fan-in)", v)
+	}
+	if v := g("fleet.bench.snapshots_applied"); v < g("fleet.bench.agents") {
+		t.Errorf("fleet.bench.snapshots_applied = %v, want >= agent count", v)
+	}
+
+	// Rollup identity: counters bit-exact against the per-agent sum, merged
+	// histogram indistinguishable from the reference registry.
+	if v := g("fleet.identity.counters_exact"); v != 1 {
+		t.Errorf("fleet.identity.counters_exact = %v, want 1", v)
+	}
+	if v := g("fleet.identity.counter_maxdiff"); v != 0 {
+		t.Errorf("fleet.identity.counter_maxdiff = %v, want 0", v)
+	}
+	if v := g("fleet.identity.hist_count_exact"); v != 1 {
+		t.Errorf("fleet.identity.hist_count_exact = %v, want 1", v)
+	}
+	if v := g("fleet.identity.hist_quantile_relerr"); v > 1e-9 {
+		t.Errorf("fleet.identity.hist_quantile_relerr = %v, want <= 1e-9", v)
+	}
+	if v := g("fleet.identity.hist_sum_relerr"); v > 1e-9 {
+		t.Errorf("fleet.identity.hist_sum_relerr = %v, want <= 1e-9", v)
+	}
+	if v := g("fleet.identity.minmax_exact"); v != 1 {
+		t.Errorf("fleet.identity.minmax_exact = %v, want 1", v)
+	}
+	if v := g("fleet.identity.gauge_lww_ok"); v != 1 {
+		t.Errorf("fleet.identity.gauge_lww_ok = %v, want 1", v)
+	}
+	if v := g("fleet.identity.ok"); v != 1 {
+		t.Errorf("fleet.identity.ok = %v, want 1", v)
+	}
+
+	// Shipping overhead: under 2% of the ingest path's wall time, with at
+	// least one real ship measured.
+	if v := g("fleet.overhead.ships"); v < 1 {
+		t.Errorf("fleet.overhead.ships = %v, want >= 1", v)
+	}
+	if v := g("fleet.overhead.fraction"); v >= 0.02 {
+		t.Errorf("fleet.overhead.fraction = %v, want < 0.02", v)
+	}
+	if v := g("fleet.overhead.ok"); v != 1 {
+		t.Errorf("fleet.overhead.ok = %v, want 1", v)
+	}
+}

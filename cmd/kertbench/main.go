@@ -27,6 +27,12 @@
 // across a forced server outage with and without the journal, plus a
 // truncation-chaos arm exercising the dedup window.
 //
+// -exp fleet runs the fleet telemetry benchmark behind BENCH_fleet.json
+// (regenerate with `make bench-fleet`): several agents shipping delta
+// snapshots over TCP into one aggregator, checking the rollup identity
+// (counters bit-exact, merged-histogram quantiles within 1e-9) and the
+// shipping overhead as a fraction of the monitored ingest path.
+//
 // -metrics-json dumps the internal/obs registry snapshot after the run:
 // per-phase build spans, per-size bench.* histograms (build/learn/infer
 // latency by system size), decentral ship bytes/latency — the perf
@@ -37,21 +43,34 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kertbn/internal/experiments"
 	"kertbn/internal/obs"
+	"kertbn/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift, serve, wire, outage")
+		exp         = flag.String("exp", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, fig8, motivation, ablation, degradation, parallel, incremental, drift, serve, wire, outage, fleet")
 		quick       = flag.Bool("quick", false, "reduced sweeps for a fast sanity pass")
 		seed        = flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
 		tcp         = flag.Bool("tcp", false, "fig5: ship columns over TCP/gob instead of in-process")
 		workers     = flag.Int("workers", 1, "fig3/fig4/fig5: concurrent sweep jobs (averaged series are worker-count-independent; keep 1 when timing panels matter)")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
+		fleetAddr   = flag.String("fleet-addr", "", "ship this run's metric registry (bench.* series included) as fleet telemetry snapshots to the management server at this address (kertmon -mgmt-addr); the final increment flushes at exit")
+		telEvery    = flag.Duration("telemetry-every", 10*time.Second, "telemetry snapshot interval (with -fleet-addr; 0 = one final snapshot at exit only)")
+		telSource   = flag.String("telemetry-source", "kertbench", "origin name stamped on shipped telemetry snapshots")
 	)
 	flag.Parse()
+	if *fleetAddr != "" {
+		stopTel, err := telemetry.StartTCP(*fleetAddr, *telSource, *telEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet telemetry:", err)
+			os.Exit(1)
+		}
+		defer stopTel()
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	ok := false
@@ -252,6 +271,26 @@ func main() {
 			wCfg.Seed = *seed
 		}
 		renderOne(experiments.WireBench(wCfg))
+	}
+	if *exp == "fleet" {
+		// Not part of "all": the fleet telemetry benchmark whose snapshot is
+		// committed as BENCH_fleet.json — rollup identity (fleet counters
+		// bit-exact, merged-histogram quantiles within 1e-9 of a reference
+		// registry fed the same observations) and the shipping overhead as a
+		// fraction of the monitored ingest path.
+		ok = true
+		fCfg := experiments.DefaultFleetBenchConfig()
+		if *quick {
+			fCfg.Agents = 2
+			fCfg.Rounds = 4
+			fCfg.ObsPerRound = 200
+			fCfg.OverheadRows = 20000
+			fCfg.ShipInterval = 20 * time.Millisecond
+		}
+		if *seed != 0 {
+			fCfg.Seed = *seed
+		}
+		renderOne(experiments.FleetBench(fCfg))
 	}
 	if *exp == "outage" {
 		// Not part of "all": the durability benchmark whose snapshot is

@@ -53,6 +53,20 @@
 // dedups on (origin, seq). Journals persist across runs — a crashed run's
 // unacked reports ship first on the next start.
 //
+// kertmon is also the fleet telemetry plane's management side: its TCP
+// server accepts TelemetrySnapshot frames from any agent started with
+// -fleet-addr pointing here (kertsim, kertquery, kertbench, or another
+// kertmon), rolls them up per origin and fleet-wide, and serves the
+// rollup at /fleet plus the Prometheus text exposition at /metrics.prom
+// (both on -metrics-addr; /fleet and /metrics.prom also ride the
+// gateway's -serve-addr port). -mgmt-addr pins the management listener to
+// a known port so external agents can reach it. -telemetry-every
+// additionally makes kertmon ship its *own* registry into the rollup (to
+// -fleet-addr when set, else to itself) and starts the SLO evaluator:
+// data-loss, ingest-freshness and gateway-latency burn rates over
+// multi-window budgets, with firing/recovery journaled as slo_alert
+// events (visible at /events).
+//
 // Usage:
 //
 //	kertmon [-requests 600] [-alpha 100] [-k 3] [-rate 1.5] [-seed 1]
@@ -61,6 +75,8 @@
 //	        [-health] [-rebuild-on-drift]
 //	        [-trace-every N] [-trace-seed N] [-trace-out traces.json]
 //	        [-fault-drop P -fault-seed N ...] [-journal-dir DIR]
+//	        [-mgmt-addr 127.0.0.1:9090] [-telemetry-every 5s]
+//	        [-fleet-addr HOST:PORT] [-telemetry-source NAME]
 package main
 
 import (
@@ -85,6 +101,8 @@ import (
 	"kertbn/internal/obs"
 	"kertbn/internal/simsvc"
 	"kertbn/internal/stats"
+	"kertbn/internal/telemetry"
+	"kertbn/internal/wire/binfmt"
 	"kertbn/internal/workflow"
 )
 
@@ -109,6 +127,10 @@ func main() {
 		traceSeed   = flag.Uint64("trace-seed", 0, "seed for the deterministic batch sampler (0 = use -seed)")
 		traceOut    = flag.String("trace-out", "", "write the assembled traces as a Chrome trace-event JSON document (Perfetto-loadable, journal appended) to this file")
 		journalDir  = flag.String("journal-dir", "", "durable store-and-forward: keep one append-only journal per agent under this directory (created if missing); reports survive transport outages on disk and replay after reconnect, deduped server-side")
+		mgmtAddr    = flag.String("mgmt-addr", "127.0.0.1:0", "management TCP listen address for agent reports and fleet telemetry snapshots (pin to a known port so external agents can -fleet-addr here)")
+		telEvery    = flag.Duration("telemetry-every", 0, "ship this process's own metric registry into the fleet rollup at this interval and run the SLO burn-rate evaluator (0 = off)")
+		fleetAddr   = flag.String("fleet-addr", "", "ship telemetry snapshots to this management server instead of this process's own (-telemetry-every must be set)")
+		telSource   = flag.String("telemetry-source", "kertmon", "origin name stamped on shipped telemetry snapshots")
 	)
 	faultCfg := faulty.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -127,13 +149,24 @@ func main() {
 		fmt.Printf("tracing: sampling 1 in %d agent batches (seed %d)\n", *traceEvery, *traceSeed)
 	}
 
+	// The fleet aggregator rolls up telemetry snapshots from every agent
+	// that ships here (including this process's own when -telemetry-every
+	// is set). It always exists: the management server applies snapshots
+	// into it and /fleet + /metrics.prom serve it.
+	agg := telemetry.NewAggregator(telemetry.AggregatorOptions{})
+
 	if *metricsAddr != "" {
 		is, err := obs.Default().Serve(*metricsAddr)
 		if err != nil {
 			fatal(err.Error())
 		}
 		defer is.Close()
-		fmt.Printf("introspection endpoint on http://%s (/metrics /spans /debug/pprof/ /debug/vars)\n", is.Addr())
+		obs.Default().Handle("/fleet", agg.Handler())
+		obs.Default().Handle("/metrics.prom", telemetry.PromHandler(
+			telemetry.PromScope{Label: "local", Registry: obs.Default()},
+			telemetry.PromScope{Label: "fleet", Registry: agg.Fleet()},
+		))
+		fmt.Printf("introspection endpoint on http://%s (/metrics /metrics.prom /fleet /spans /debug/pprof/ /debug/vars)\n", is.Addr())
 	}
 
 	wf := workflow.EDiaMoND()
@@ -218,7 +251,7 @@ func main() {
 	// the moment the scheduler swaps them in.
 	var gw *gateway.Server
 	if *serveAddr != "" {
-		gw = gateway.New(nil, gateway.Options{})
+		gw = gateway.New(nil, gateway.Options{Fleet: agg})
 		gwRun, err := gw.Serve(*serveAddr)
 		if err != nil {
 			fatal(err.Error())
@@ -264,12 +297,53 @@ func main() {
 	if err != nil {
 		fatal(err.Error())
 	}
-	tcpSrv, err := monitor.ListenTCP("127.0.0.1:0", inner)
+	tcpSrv, err := monitor.ListenTCPOpts(*mgmtAddr, inner, monitor.ServerOptions{
+		Telemetry: func(snap *binfmt.TelemetrySnapshot) { agg.Apply(snap) },
+	})
 	if err != nil {
 		fatal(err.Error())
 	}
 	defer tcpSrv.Close()
 	fmt.Println("management server listening on", tcpSrv.Addr())
+
+	// Fleet telemetry: ship this process's own registry into the rollup
+	// (to -fleet-addr when given, else to our own management server) and
+	// evaluate the SLO burn rates over the local and fleet registries.
+	if *fleetAddr != "" && *telEvery <= 0 {
+		fatal("-fleet-addr needs -telemetry-every to pace the snapshots")
+	}
+	if *telEvery > 0 {
+		target := *fleetAddr
+		if target == "" {
+			target = tcpSrv.Addr()
+		}
+		telSender, err := monitor.DialTCPOpts(target, monitor.SenderOptions{})
+		if err != nil {
+			fatal(err.Error())
+		}
+		shipper, err := telemetry.NewShipper(telSender, telemetry.ShipperOptions{
+			Source:   *telSource,
+			Interval: *telEvery,
+		})
+		if err != nil {
+			fatal(err.Error())
+		}
+		shipper.Start()
+		regs := []*obs.Registry{obs.Default(), agg.Fleet()}
+		slo := telemetry.NewEvaluator(telemetry.EvaluatorOptions{Interval: *telEvery},
+			telemetry.DataLossObjective(0.01, telemetry.DefaultWindows(), regs...),
+			telemetry.IngestFreshnessObjective(0.05, 5.0, telemetry.DefaultWindows(), regs...),
+			telemetry.GatewayLatencyObjective(0.05, 0.25, telemetry.DefaultWindows(), regs...),
+		)
+		slo.Start()
+		defer func() {
+			slo.Stop()
+			shipper.Stop()
+			telSender.Close()
+		}()
+		fmt.Printf("fleet telemetry: shipping %q snapshots every %v to %s; SLO burn-rate evaluator on\n",
+			*telSource, *telEvery, target)
+	}
 
 	// One monitoring agent per simulated host, reporting over TCP.
 	hosts := map[string][]int{

@@ -44,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"kertbn/internal/core"
 	"kertbn/internal/dataset"
@@ -53,6 +54,7 @@ import (
 	"kertbn/internal/learn"
 	"kertbn/internal/obs"
 	"kertbn/internal/stats"
+	"kertbn/internal/telemetry"
 	"kertbn/internal/workflow"
 )
 
@@ -77,8 +79,18 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "serve: bound on concurrently executing queries (excess shed with 503)")
 		rate        = flag.Float64("rate", 0, "serve: per-tenant sustained queries/second (429 beyond; 0 = unlimited)")
 		burst       = flag.Int("burst", 0, "serve: per-tenant burst allowance (default ceil(rate))")
+		fleetAddr   = flag.String("fleet-addr", "", "ship this process's metric registry as fleet telemetry snapshots to the management server at this address (kertmon -mgmt-addr); the final increment flushes at exit")
+		telEvery    = flag.Duration("telemetry-every", 10*time.Second, "telemetry snapshot interval (with -fleet-addr; 0 = one final snapshot at exit only)")
+		telSource   = flag.String("telemetry-source", "kertquery", "origin name stamped on shipped telemetry snapshots")
 	)
 	flag.Parse()
+	if *fleetAddr != "" {
+		stopTel, err := telemetry.StartTCP(*fleetAddr, *telSource, *telEvery)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer stopTel()
+	}
 	dumpMetrics := func() {
 		if *metricsJSON == "" {
 			return

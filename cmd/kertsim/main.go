@@ -35,6 +35,11 @@
 //
 //	kertsim -system ediamond -n 600 -fault-drop 0.2 -fault-seed 7 \
 //	        -trace-out chaos_trace.json
+//
+// -fleet-addr joins the run to a fleet telemetry plane: the sim.* (and
+// every other local) metric series ship as delta snapshots to the
+// management server at that address every -telemetry-every, with a final
+// flush at exit, and appear in its /fleet rollup under -telemetry-source.
 package main
 
 import (
@@ -54,6 +59,7 @@ import (
 	"kertbn/internal/obs"
 	"kertbn/internal/simsvc"
 	"kertbn/internal/stats"
+	"kertbn/internal/telemetry"
 	"kertbn/internal/workflow"
 )
 
@@ -77,9 +83,19 @@ func main() {
 		retries     = flag.Int("fault-retries", 2, "chaos: per-column ship retry budget")
 		traceOut    = flag.String("trace-out", "", "trace the chaos relearn round (learn span, every per-attempt ship over the faulty fabric, relay hops, fallback events) and write the assembled spans as a Chrome trace-event JSON document (Perfetto-loadable, journal appended) to this file; needs -fault-*")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
+		fleetAddr   = flag.String("fleet-addr", "", "ship this run's metric registry as fleet telemetry snapshots to the management server at this address (kertmon -mgmt-addr); the final increment flushes at exit")
+		telEvery    = flag.Duration("telemetry-every", 10*time.Second, "telemetry snapshot interval while the run is in flight (with -fleet-addr; 0 = one final snapshot at exit only)")
+		telSource   = flag.String("telemetry-source", "kertsim", "origin name stamped on shipped telemetry snapshots")
 	)
 	faultCfg := faulty.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if *fleetAddr != "" {
+		stopTel, err := telemetry.StartTCP(*fleetAddr, *telSource, *telEvery)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer stopTel()
+	}
 	rng := stats.NewRNG(*seed)
 	emit := func(ds *dataset.Dataset) {
 		obs.C("sim.rows_emitted").Add(int64(ds.NumRows()))

@@ -23,6 +23,12 @@ var (
 	schedLastBuildG    = obs.G("sched.last_build_seconds")
 	schedHoldout       = obs.C("sched.holdout_rows")
 	schedDriftRebuilds = obs.C("sched.drift_rebuilds")
+	// schedFreshness is the ingest-freshness lag: how long the oldest row
+	// accepted since the previous rebuild waited before a model absorbed
+	// it. It is the SLO input for the fleet's ingest-freshness objective —
+	// a growing lag means deployed models are scoring traffic the window
+	// hasn't caught up with.
+	schedFreshness = obs.H("sched.freshness.seconds")
 )
 
 // ScheduleConfig encodes Section 2's periodic model-(re)construction
@@ -189,6 +195,9 @@ type Scheduler struct {
 	// lastBuild records the wall-clock duration of the most recent
 	// reconstruction (informational).
 	lastBuild time.Duration
+	// oldestPending is the arrival time of the first row accepted since the
+	// last rebuild; rebuilds observe its age into sched.freshness.seconds.
+	oldestPending time.Time
 
 	// health, when set, observes every row once a model exists; with
 	// rebuildOnDrift enabled its drift alarms force early reconstructions.
@@ -283,6 +292,9 @@ func (s *Scheduler) PushCtx(row []float64, tc obs.TraceContext) (*Model, error) 
 	}
 	s.pushed++
 	schedPushed.Inc()
+	if s.oldestPending.IsZero() {
+		s.oldestPending = time.Now()
+	}
 	s.exportGaugesLocked()
 	if s.pushed%s.cfg.Alpha != 0 && !drift {
 		return nil, nil
@@ -330,6 +342,10 @@ func (s *Scheduler) PushCtx(row []float64, tc obs.TraceContext) (*Model, error) 
 		return nil, fmt.Errorf("core: reconstruction %d failed: %w", s.rebuilt+1, err)
 	}
 	s.lastBuild = time.Since(start)
+	if !s.oldestPending.IsZero() {
+		schedFreshness.Observe(time.Since(s.oldestPending).Seconds())
+		s.oldestPending = time.Time{}
+	}
 	s.model = m
 	s.rebuilt++
 	cause := "cadence"

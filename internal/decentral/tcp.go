@@ -24,6 +24,12 @@ var (
 	decFramesGob    = obs.C("decentral.tcp.gob_frames")
 	decJournaledTx  = obs.C("decentral.tcp.journaled_frames")
 	decDups         = obs.C("decentral.tcp.dup_suppressed")
+	// Telemetry pass-through: snapshots the relay handed to its sink,
+	// snapshots dropped for want of one, and snapshots shipped through the
+	// relay from this side.
+	decTelRelayed = obs.C("decentral.tcp.telemetry_relayed")
+	decTelIgnored = obs.C("decentral.tcp.telemetry_ignored")
+	decTelTx      = obs.C("decentral.tcp.telemetry_tx")
 )
 
 // countingWriter counts the bytes actually written to the wire, so the
@@ -53,6 +59,8 @@ type parcel struct {
 type relayMsg struct {
 	seg       binfmt.RowSegment
 	delta     binfmt.CPDDelta
+	tel       binfmt.TelemetrySnapshot
+	isTel     bool
 	env       binfmt.Journaled
 	journaled bool
 	origin    uint64
@@ -68,7 +76,7 @@ func (m *relayMsg) UnmarshalWire(payload []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: unknown binary payload on relay", binfmt.ErrMalformed)
 	}
-	m.journaled = false
+	m.journaled, m.isTel = false, false
 	body := payload
 	if t == binfmt.TypeJournaled {
 		if err := m.env.UnmarshalWire(payload); err != nil {
@@ -87,6 +95,11 @@ func (m *relayMsg) UnmarshalWire(payload []byte) error {
 		if err := m.delta.UnmarshalWire(body); err != nil {
 			return err
 		}
+	case binfmt.TypeTelemetrySnapshot:
+		if err := m.tel.UnmarshalWire(body); err != nil {
+			return err
+		}
+		m.isTel = true
 	default:
 		return fmt.Errorf("%w: binary type 0x%02x not relayed", binfmt.ErrMalformed, t)
 	}
@@ -130,6 +143,14 @@ type FabricOptions struct {
 	// Dedup is the relay-side at-least-once suppression window. Nil gets a
 	// fresh private window; share one to keep suppression across restarts.
 	Dedup *journal.Dedup
+	// TelemetrySink, when non-nil, receives every TelemetrySnapshot frame
+	// the relay validates — fabric nodes double as telemetry forwarding
+	// hops, so a learner colocated with the fleet aggregator can absorb
+	// peer snapshots without a second listener. The snapshot's backing
+	// arrays are reused for the next frame; the sink must finish with it
+	// before returning. Without a sink, telemetry frames are still echoed
+	// (the shipper's ack) but counted as ignored.
+	TelemetrySink func(*binfmt.TelemetrySnapshot)
 }
 
 func (o FabricOptions) withDefaults() FabricOptions {
@@ -292,11 +313,21 @@ func (f *TCPFabric) acceptLoop() {
 				// re-encoded as gob, preserving interop with old shippers.
 				if isBinary {
 					decFramesBinary.Inc()
+					fresh := true
 					if bin.journaled && !f.opts.Dedup.Fresh(bin.origin, bin.seq) {
 						// At-least-once replay of a record already relayed.
 						// The echo is idempotent, so still answer it — the
 						// shipper clearly never saw the previous echo.
 						decDups.Inc()
+						fresh = false
+					}
+					if bin.isTel && fresh {
+						decTelRelayed.Inc()
+						if f.opts.TelemetrySink != nil {
+							f.opts.TelemetrySink(&bin.tel)
+						} else {
+							decTelIgnored.Inc()
+						}
 					}
 					if _, err := wire.WriteBinaryPayload(c, bin.raw, wire.TraceContext{}); err != nil {
 						return
@@ -418,6 +449,42 @@ func (f *TCPFabric) ShipAttempt(from, to, attempt int, col []float64) ([]float64
 	decShipBytes.Add(cw.n)
 	decShipSec.Observe(time.Since(start).Seconds())
 	return back.Col, nil
+}
+
+// SendTelemetry ships one telemetry snapshot through the relay: the frame
+// is written, validated on the far side, handed to the relay's
+// TelemetrySink, and its echo read back as the ack. It implements the
+// telemetry Sender contract, letting a fabric node forward fleet snapshots
+// over the same socket plane it ships columns on. Binary-only — a
+// gob-forced fabric rejects it.
+func (f *TCPFabric) SendTelemetry(snap *binfmt.TelemetrySnapshot) error {
+	if f.opts.Codec == wire.CodecGob {
+		return ErrBinaryRequired
+	}
+	conn, err := net.DialTimeout("tcp", f.Addr(), f.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("decentral: dial relay: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+		return fmt.Errorf("decentral: set write deadline: %w", err)
+	}
+	if _, err := wire.EncodeBinaryCtx(conn, snap, wire.TraceContext{}); err != nil {
+		return fmt.Errorf("decentral: send telemetry: %w", err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(f.opts.IOTimeout)); err != nil {
+		return fmt.Errorf("decentral: set read deadline: %w", err)
+	}
+	var echo binfmt.TelemetrySnapshot
+	if _, _, err := wire.DecodeAnyCtx(conn, 0, nil, &echo); err != nil {
+		return fmt.Errorf("decentral: telemetry echo: %w", err)
+	}
+	if echo.Source != snap.Source || echo.Epoch != snap.Epoch || echo.Seq != snap.Seq {
+		return fmt.Errorf("decentral: telemetry echo mismatch: got (%s,%d,%d), want (%s,%d,%d)",
+			echo.Source, echo.Epoch, echo.Seq, snap.Source, snap.Epoch, snap.Seq)
+	}
+	decTelTx.Inc()
+	return nil
 }
 
 // shipAttemptDurable is the journaled shipment path. The segment is

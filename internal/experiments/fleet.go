@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"kertbn/internal/monitor"
+	"kertbn/internal/obs"
+	"kertbn/internal/simsvc"
+	"kertbn/internal/stats"
+	"kertbn/internal/telemetry"
+	"kertbn/internal/wire/binfmt"
+)
+
+// FleetBenchConfig parameterizes the fleet telemetry benchmark
+// (BENCH_fleet.json): several agents with private metric registries ship
+// delta snapshots over real TCP into one aggregator, whose rollup is
+// checked against a reference registry fed the same observations, plus an
+// overhead arm measuring what shipping costs the monitored ingest path.
+type FleetBenchConfig struct {
+	Seed uint64
+	// Agents is the number of shipping origins.
+	Agents int
+	// Rounds is how many snapshot/ship cycles each agent runs.
+	Rounds int
+	// ObsPerRound is the histogram observations (and counter increments)
+	// each agent records per round.
+	ObsPerRound int
+	// OverheadRows rows stream through the TCP reporting path in the
+	// overhead arm, with one telemetry ship every ShipInterval of wall
+	// time (default 250ms — 40x denser than the CLIs' 10s default, so the
+	// measured fraction is a conservative upper bound).
+	OverheadRows int
+	ShipInterval time.Duration
+}
+
+// DefaultFleetBenchConfig matches the committed BENCH_fleet.json.
+func DefaultFleetBenchConfig() FleetBenchConfig {
+	return FleetBenchConfig{
+		Seed:         47,
+		Agents:       4,
+		Rounds:       8,
+		ObsPerRound:  500,
+		OverheadRows: 120000,
+		ShipInterval: 250 * time.Millisecond,
+	}
+}
+
+// fleetRelErr is |got-want| / max(1, |want|) — relative error with an
+// absolute floor so exact zeros compare cleanly.
+func fleetRelErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if m := math.Abs(want); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// FleetBench measures the fleet telemetry plane, producing the
+// BENCH_fleet.json schema:
+//
+//	fleet.bench.agents/.rounds              gauges: fan-in shape
+//	fleet.bench.snapshots_applied           gauge: snapshots the rollup absorbed
+//	fleet.bench.dup_suppressed              gauge: watermark-suppressed replays (0 here)
+//	fleet.identity.counters_exact           gauge: 1 iff every fleet counter is
+//	                                        bit-exactly the sum of the agents'
+//	fleet.identity.counter_maxdiff          gauge: max |fleet - sum| (must be 0)
+//	fleet.identity.hist_count_exact         gauge: 1 iff merged histogram counts match
+//	fleet.identity.hist_quantile_relerr     gauge: max p50/p90/p99 relative error of
+//	                                        the merged histogram vs the reference
+//	                                        registry (acceptance: <= 1e-9)
+//	fleet.identity.hist_sum_relerr          gauge: merged Σ relative error (<= 1e-9)
+//	fleet.identity.minmax_exact             gauge: 1 iff merged min/max are bit-exact
+//	fleet.identity.gauge_lww_ok             gauge: 1 iff the fleet gauge carries the
+//	                                        last shipped value
+//	fleet.identity.ok                       gauge: 1 iff all of the above hold
+//	fleet.overhead.rows/.ships              gauges: overhead-arm volume
+//	fleet.overhead.ingest_seconds           gauge: wall time of the monitored ingest
+//	fleet.overhead.ship_seconds             gauge: wall time spent snapshotting+shipping
+//	fleet.overhead.fraction                 gauge: ship_seconds / ingest_seconds
+//	fleet.overhead.ok                       gauge: 1 iff fraction < 0.02
+//
+// The figure plots each agent's shipped counter total with the fleet
+// rollup as the final bar.
+func FleetBench(cfg FleetBenchConfig) (*FigResult, error) {
+	if cfg.Agents <= 0 || cfg.Rounds <= 0 || cfg.ObsPerRound <= 0 {
+		return nil, fmt.Errorf("fleetbench: need positive Agents, Rounds, ObsPerRound")
+	}
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = 250 * time.Millisecond
+	}
+
+	// ---- Arm 1: rollup identity over real TCP ----
+	appliedBefore := obs.C("fleet.snapshots_applied").Value()
+	dupBefore := obs.C("fleet.dup_suppressed").Value()
+
+	agg := telemetry.NewAggregator(telemetry.AggregatorOptions{})
+	inner, err := monitor.NewServer(1, func([]float64) {})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := monitor.ListenTCPOpts("127.0.0.1:0", inner, monitor.ServerOptions{
+		Telemetry: func(s *binfmt.TelemetrySnapshot) { agg.Apply(s) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	const (
+		rowCounter = "bench.fleet.rows"
+		latHist    = "bench.fleet.latency.seconds"
+		loadGauge  = "bench.fleet.load"
+	)
+	bounds := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	ref := obs.NewRegistry()
+	refC := ref.Counter(rowCounter)
+	refH := ref.HistogramWith(latHist, append([]float64(nil), bounds...))
+
+	type fleetAgent struct {
+		reg     *obs.Registry
+		shipper *telemetry.Shipper
+		sender  *monitor.TCPSender
+		rng     *stats.RNG
+		total   int64
+	}
+	agents := make([]*fleetAgent, cfg.Agents)
+	for i := range agents {
+		reg := obs.NewRegistry()
+		sender, err := monitor.DialTCPOpts(srv.Addr(), monitor.SenderOptions{
+			DialTimeout: time.Second, IOTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sh, err := telemetry.NewShipper(sender, telemetry.ShipperOptions{
+			Source: fmt.Sprintf("bench-agent-%d", i), Epoch: uint64(i + 1), Registry: reg,
+		})
+		if err != nil {
+			sender.Close()
+			return nil, err
+		}
+		agents[i] = &fleetAgent{reg: reg, shipper: sh, sender: sender,
+			rng: stats.NewRNG(cfg.Seed).Split(uint64(i))}
+		defer sender.Close()
+	}
+
+	var lastLoad float64
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, a := range agents {
+			c := a.reg.Counter(rowCounter)
+			h := a.reg.HistogramWith(latHist, append([]float64(nil), bounds...))
+			for k := 0; k < cfg.ObsPerRound; k++ {
+				c.Inc()
+				refC.Inc()
+				a.total++
+				v := a.rng.LogNormal(-3, 1.2)
+				h.Observe(v)
+				refH.Observe(v)
+			}
+			lastLoad = float64(round*cfg.Agents) + a.rng.Float64()
+			a.reg.Gauge(loadGauge).Set(lastLoad)
+			if err := a.shipper.Ship(); err != nil {
+				return nil, fmt.Errorf("fleetbench: ship: %w", err)
+			}
+		}
+	}
+	// The plain sender is fire-and-forget, so wait for every shipped
+	// snapshot to fold into the rollup before reading it. Application order
+	// across connections is arbitrary; the rollup is order-independent
+	// (counters/buckets commute, gauges resolve by shipped wall stamp).
+	expected := int64(cfg.Agents * cfg.Rounds)
+	deadline := time.Now().Add(20 * time.Second)
+	for obs.C("fleet.snapshots_applied").Value()-appliedBefore < expected {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fleetbench: only %d/%d snapshots applied before timeout",
+				obs.C("fleet.snapshots_applied").Value()-appliedBefore, expected)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	fleetSnap := agg.Fleet().Snapshot()
+	refSnap := ref.Snapshot()
+
+	var sum int64
+	for _, a := range agents {
+		sum += a.total
+	}
+	fleetRows := fleetSnap.Counters[rowCounter]
+	counterDiff := math.Abs(float64(fleetRows - sum))
+	countersExact := fleetRows == sum && sum == refSnap.Counters[rowCounter]
+
+	fh, fok := fleetSnap.Histograms[latHist]
+	rh, rok := refSnap.Histograms[latHist]
+	if !fok || !rok {
+		return nil, fmt.Errorf("fleetbench: %s missing from a snapshot (fleet=%v ref=%v)", latHist, fok, rok)
+	}
+	histCountExact := fh.Count == rh.Count
+	qErr := math.Max(fleetRelErr(fh.P50, rh.P50),
+		math.Max(fleetRelErr(fh.P90, rh.P90), fleetRelErr(fh.P99, rh.P99)))
+	sumErr := fleetRelErr(fh.Sum, rh.Sum)
+	minmaxExact := fh.Min == rh.Min && fh.Max == rh.Max
+	gaugeLWW := fleetSnap.Gauges[loadGauge] == lastLoad
+
+	applied := obs.C("fleet.snapshots_applied").Value() - appliedBefore
+	dups := obs.C("fleet.dup_suppressed").Value() - dupBefore
+
+	identityOK := countersExact && histCountExact && minmaxExact && gaugeLWW &&
+		qErr <= 1e-9 && sumErr <= 1e-9
+
+	// ---- Arm 2: shipping overhead on the monitored ingest path ----
+	// The same TCP reporting pipeline the other benchmarks drive, with one
+	// telemetry ship per ShipInterval of wall time (a far denser cadence
+	// than the CLIs' -telemetry-every default); the fraction of wall time
+	// those ships take is the overhead the telemetry plane costs a busy
+	// agent. The shipper snapshots the process-global registry — by this
+	// point in the run a realistically populated one.
+	sys := simsvc.EDiaMoNDSystem()
+	data, err := sys.GenerateDataset(min(cfg.OverheadRows, 2000), stats.NewRNG(cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+	ovInner, err := monitor.NewServer(data.NumCols(), func([]float64) {})
+	if err != nil {
+		return nil, err
+	}
+	ovSrv, err := monitor.ListenTCPOpts("127.0.0.1:0", ovInner, monitor.ServerOptions{
+		Telemetry: func(s *binfmt.TelemetrySnapshot) { agg.Apply(s) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ovSrv.Close()
+	ovSender, err := monitor.DialTCPOpts(ovSrv.Addr(), monitor.SenderOptions{
+		DialTimeout: time.Second, IOTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ovSender.Close()
+	ovShipper, err := telemetry.NewShipper(ovSender, telemetry.ShipperOptions{
+		Source: "bench-overhead", Epoch: uint64(cfg.Agents) + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ships := 0
+	var shipTime time.Duration
+	ingestStart := time.Now()
+	lastShip := ingestStart
+	for i := 0; i < cfg.OverheadRows; i++ {
+		if err := ovSender.Send(rowReport(int64(i), data.Rows[i%data.NumRows()])); err != nil {
+			return nil, fmt.Errorf("fleetbench: overhead send %d: %w", i, err)
+		}
+		if time.Since(lastShip) >= cfg.ShipInterval {
+			t0 := time.Now()
+			if err := ovShipper.Ship(); err != nil {
+				return nil, fmt.Errorf("fleetbench: overhead ship: %w", err)
+			}
+			shipTime += time.Since(t0)
+			lastShip = time.Now()
+			ships++
+		}
+	}
+	if ships == 0 {
+		// A run shorter than one interval still measures one real ship.
+		t0 := time.Now()
+		if err := ovShipper.Ship(); err != nil {
+			return nil, fmt.Errorf("fleetbench: overhead ship: %w", err)
+		}
+		shipTime += time.Since(t0)
+		ships++
+	}
+	if !ovInner.WaitComplete(cfg.OverheadRows, 30*time.Second) {
+		return nil, fmt.Errorf("fleetbench: overhead arm: only %d/%d rows completed",
+			ovInner.CompleteCount(), cfg.OverheadRows)
+	}
+	ingest := time.Since(ingestStart)
+	fraction := shipTime.Seconds() / ingest.Seconds()
+	overheadOK := fraction < 0.02
+
+	b01 := func(ok bool) float64 {
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	obs.G("fleet.bench.agents").Set(float64(cfg.Agents))
+	obs.G("fleet.bench.rounds").Set(float64(cfg.Rounds))
+	obs.G("fleet.bench.snapshots_applied").Set(float64(applied))
+	obs.G("fleet.bench.dup_suppressed").Set(float64(dups))
+	obs.G("fleet.identity.counters_exact").Set(b01(countersExact))
+	obs.G("fleet.identity.counter_maxdiff").Set(counterDiff)
+	obs.G("fleet.identity.hist_count_exact").Set(b01(histCountExact))
+	obs.G("fleet.identity.hist_quantile_relerr").Set(qErr)
+	obs.G("fleet.identity.hist_sum_relerr").Set(sumErr)
+	obs.G("fleet.identity.minmax_exact").Set(b01(minmaxExact))
+	obs.G("fleet.identity.gauge_lww_ok").Set(b01(gaugeLWW))
+	obs.G("fleet.identity.ok").Set(b01(identityOK))
+	obs.G("fleet.overhead.rows").Set(float64(cfg.OverheadRows))
+	obs.G("fleet.overhead.ships").Set(float64(ships))
+	obs.G("fleet.overhead.ingest_seconds").Set(ingest.Seconds())
+	obs.G("fleet.overhead.ship_seconds").Set(shipTime.Seconds())
+	obs.G("fleet.overhead.fraction").Set(fraction)
+	obs.G("fleet.overhead.ok").Set(b01(overheadOK))
+
+	xs := make([]float64, 0, cfg.Agents+1)
+	ys := make([]float64, 0, cfg.Agents+1)
+	for i, a := range agents {
+		xs = append(xs, float64(i+1))
+		ys = append(ys, float64(a.total))
+	}
+	xs = append(xs, float64(cfg.Agents+1))
+	ys = append(ys, float64(fleetRows))
+	notes := []string{
+		fmt.Sprintf("identity: %d agents x %d rounds x %d obs -> fleet counter %d (sum %d, diff %g), hist count exact=%v, quantile relerr %.3g, sum relerr %.3g, min/max exact=%v, gauge LWW=%v",
+			cfg.Agents, cfg.Rounds, cfg.ObsPerRound, fleetRows, sum, counterDiff, histCountExact, qErr, sumErr, minmaxExact, gaugeLWW),
+		fmt.Sprintf("rollup absorbed %d snapshots, %d duplicates suppressed", applied, dups),
+		fmt.Sprintf("overhead: %d ships over %d monitored rows: %.4fs shipping / %.4fs ingest = %.3f%% (budget 2%%)",
+			ships, cfg.OverheadRows, shipTime.Seconds(), ingest.Seconds(), 100*fraction),
+	}
+	return &FigResult{
+		ID: "fleet",
+		Title: fmt.Sprintf("Fleet telemetry rollup identity and shipping overhead (identity ok=%v, overhead %.3f%%)",
+			identityOK, 100*fraction),
+		XLabel: fmt.Sprintf("agent (1..%d), %d = fleet rollup", cfg.Agents, cfg.Agents+1),
+		YLabel: "shipped counter total",
+		Series: []Series{{Name: "bench.fleet.rows", X: xs, Y: ys}},
+		Notes:  notes,
+	}, nil
+}

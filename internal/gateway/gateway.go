@@ -16,6 +16,7 @@ import (
 	"kertbn/internal/core"
 	"kertbn/internal/obs"
 	"kertbn/internal/stats"
+	"kertbn/internal/telemetry"
 )
 
 func init() { obs.RegisterPrefix("gateway", "internal/gateway") }
@@ -64,6 +65,11 @@ type Options struct {
 	Workers int
 	// Clock overrides time.Now for the rate limiter (tests).
 	Clock func() time.Time
+	// Fleet, when non-nil, attaches the fleet telemetry aggregator: /fleet
+	// serves its per-origin/fleet rollup report and /metrics.prom exposes
+	// the fleet scope alongside the local one. Without it, /fleet answers
+	// 404 and /metrics.prom serves local series only.
+	Fleet *telemetry.Aggregator
 }
 
 func (o *Options) fillDefaults() {

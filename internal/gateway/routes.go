@@ -12,6 +12,7 @@ import (
 	"kertbn/internal/dataset"
 	"kertbn/internal/health"
 	"kertbn/internal/obs"
+	"kertbn/internal/telemetry"
 )
 
 // RouteDoc describes one registered route — the machine-readable API
@@ -45,6 +46,8 @@ func init() {
 		{RouteDoc{"GET", "/v1/stats", "serving statistics: caches, coalescing, admission", false}, "stats", (*Server).handleStats},
 		{RouteDoc{"GET", "/v1/healthz", "liveness probe", false}, "healthz", (*Server).handleHealthz},
 		{RouteDoc{"GET", "/metrics", "full obs metric snapshot (JSON)", false}, "metrics", (*Server).handleObs},
+		{RouteDoc{"GET", "/metrics.prom", "Prometheus/OpenMetrics text exposition: local and fleet series", false}, "metrics_prom", (*Server).handleProm},
+		{RouteDoc{"GET", "/fleet", "fleet telemetry rollup: per-origin and fleet-wide metrics with staleness", false}, "fleet", (*Server).handleFleet},
 		{RouteDoc{"GET", "/spans", "recent trace spans (JSON)", false}, "spans", (*Server).handleObs},
 		{RouteDoc{"GET", "/traces", "assembled trace trees (JSON)", false}, "traces", (*Server).handleObs},
 		{RouteDoc{"GET", "/events", "causal event journal (JSON)", false}, "events", (*Server).handleObs},
@@ -393,6 +396,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // surface as the dedicated -obs listeners elsewhere in the repo.
 func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
 	obs.Default().Handler().ServeHTTP(w, r)
+}
+
+// handleProm serves the Prometheus/OpenMetrics text exposition: the local
+// process registry always, plus the fleet rollup when an aggregator is
+// attached.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	scopes := []telemetry.PromScope{{Label: "local", Registry: obs.Default()}}
+	if s.opts.Fleet != nil {
+		scopes = append(scopes, telemetry.PromScope{Label: "fleet", Registry: s.opts.Fleet.Fleet()})
+	}
+	telemetry.PromHandler(scopes...).ServeHTTP(w, r)
+}
+
+// handleFleet serves the fleet rollup report, or 404 when this gateway has
+// no aggregator attached (agent-side gateways).
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Fleet == nil {
+		writeError(w, http.StatusNotFound, 0, "no fleet aggregator attached to this gateway")
+		return
+	}
+	s.opts.Fleet.Handler().ServeHTTP(w, r)
 }
 
 // --- query routes -------------------------------------------------------

@@ -35,6 +35,11 @@ var (
 	healthPEmp       = obs.G("health.p_emp")
 	healthThreshold  = obs.G("health.threshold")
 	healthDriftNodes = obs.G("health.drift.nodes_drifting")
+	// healthAlarmActive is 1 while a drift alarm is latched and unconsumed.
+	// As a gauge it ships in telemetry snapshots with last-write-wins fleet
+	// semantics, so the management server's /fleet view shows which moment
+	// in time the fleet last had a pending, unhandled drift alarm.
+	healthAlarmActive = obs.G("health.drift.alarm_active")
 	// healthScoreHist is the same histogram the "health.score" span records
 	// into; the unsampled hot path observes it directly so per-row scoring
 	// stays allocation-free while the latency distribution stays complete.
@@ -405,6 +410,7 @@ func (m *Monitor) ObserveCtx(row []float64, tc obs.TraceContext) (holdout bool, 
 // journals the event (with trace IDs when the triggering row was sampled).
 func (m *Monitor) recordAlarmLocked(d *Detector, source string, tc obs.TraceContext) {
 	m.alarmPending = true
+	healthAlarmActive.Set(1)
 	healthAlarms.Inc()
 	if cusum, ph := d.FiredBy(); true {
 		if cusum {
@@ -456,6 +462,9 @@ func (m *Monitor) ConsumeAlarm() bool {
 	defer m.mu.Unlock()
 	fired := m.alarmPending
 	m.alarmPending = false
+	if fired {
+		healthAlarmActive.Set(0)
+	}
 	return fired
 }
 

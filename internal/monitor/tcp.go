@@ -35,6 +35,10 @@ var (
 	monTCPJournaled = obs.C("monitor.tcp.journaled_frames")
 	monTCPAcksRx    = obs.C("monitor.tcp.acks_rx")
 	monTCPDups      = obs.C("monitor.tcp.dup_suppressed")
+	monTCPTelRx     = obs.C("monitor.tcp.telemetry_rx")
+	monTCPTelIgn    = obs.C("monitor.tcp.telemetry_ignored")
+	monTCPTelTx     = obs.C("monitor.tcp.telemetry_tx")
+	monTCPTelDrop   = obs.C("monitor.tcp.telemetry_dropped")
 )
 
 // ErrSenderClosed is returned by Send/FlushJournal on a closed sender, and
@@ -63,6 +67,13 @@ type ServerOptions struct {
 	// Nil gets a fresh private window; pass a shared one to keep suppression
 	// working across server restarts (the outage-replay scenario).
 	Dedup *journal.Dedup
+	// Telemetry, when non-nil, receives every delivered TelemetrySnapshot
+	// (plain or journaled — duplicates of journaled replays are suppressed
+	// by Dedup first). The snapshot's backing arrays are reused for the next
+	// frame, so the sink must finish with it before returning; the fleet
+	// aggregator applies it synchronously. With no sink, telemetry frames
+	// are counted (monitor.tcp.telemetry_ignored) and dropped.
+	Telemetry func(*binfmt.TelemetrySnapshot)
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -143,11 +154,14 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
-// srvMsg is the binary-path decode scratch: a plain measurement batch or a
-// journaled envelope wrapping one. UnmarshalWire reuses the batch's backing
-// arrays, so a steady stream decodes without per-frame allocations.
+// srvMsg is the binary-path decode scratch: a plain measurement batch or
+// telemetry snapshot, either bare or inside a journaled envelope.
+// UnmarshalWire reuses the batch's and snapshot's backing arrays, so a
+// steady stream decodes without per-frame allocations.
 type srvMsg struct {
 	mb        binfmt.MeasurementBatch
+	tel       binfmt.TelemetrySnapshot
+	isTel     bool
 	journaled bool
 	origin    uint64
 	seq       uint64
@@ -158,20 +172,24 @@ func (m *srvMsg) UnmarshalWire(p []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: unsniffable payload on monitor path", binfmt.ErrMalformed)
 	}
-	switch typ {
-	case binfmt.TypeMeasurementBatch:
-		m.journaled = false
-		return m.mb.UnmarshalWire(p)
-	case binfmt.TypeJournaled:
+	m.journaled = false
+	body := p
+	if typ == binfmt.TypeJournaled {
 		var env binfmt.Journaled
 		if err := env.UnmarshalWire(p); err != nil {
 			return err
 		}
-		if it, _ := binfmt.MsgType(env.Inner); it != binfmt.TypeMeasurementBatch {
-			return fmt.Errorf("%w: journaled envelope wraps type 0x%02x, want measurement batch", binfmt.ErrMalformed, it)
-		}
 		m.journaled, m.origin, m.seq = true, env.Origin, env.Seq
-		return m.mb.UnmarshalWire(env.Inner)
+		body = env.Inner
+		typ, _ = binfmt.MsgType(body)
+	}
+	switch typ {
+	case binfmt.TypeMeasurementBatch:
+		m.isTel = false
+		return m.mb.UnmarshalWire(body)
+	case binfmt.TypeTelemetrySnapshot:
+		m.isTel = true
+		return m.tel.UnmarshalWire(body)
 	default:
 		return fmt.Errorf("%w: message type 0x%02x on monitor path", binfmt.ErrMalformed, typ)
 	}
@@ -222,7 +240,19 @@ func (s *TCPServer) serve(conn net.Conn) {
 				monTCPDups.Inc()
 				deliver = false
 			}
-			if deliver {
+			if deliver && msg.isTel {
+				// Telemetry snapshots go to the fleet sink, not the inner
+				// measurement server. The sink call happens before the ack
+				// below, so a crash in between re-delivers and the
+				// aggregator's own (source, epoch, seq) dedup absorbs it.
+				monTCPTelRx.Inc()
+				if s.opts.Telemetry != nil {
+					s.opts.Telemetry(&msg.tel)
+				} else {
+					monTCPTelIgn.Inc()
+				}
+				deliver = false
+			} else if deliver {
 				// Convert to the server's Report form. The batch is freshly
 				// allocated because inner senders (collectors, forwarders)
 				// may retain it past this call.
@@ -599,6 +629,89 @@ func (t *TCPSender) Send(r Report) error {
 		Detail: fmt.Sprintf("monitor: report from %s dropped after %d attempts (%d measurements): %v", r.AgentID, t.opts.Retries+1, len(r.Batch), lastErr),
 	})
 	return fmt.Errorf("monitor: send after %d attempts: %w", t.opts.Retries+1, lastErr)
+}
+
+// SendTelemetry ships one metric snapshot to the server's fleet sink over
+// the same connection (and journal, when configured) as reports. Telemetry
+// is binary-only — there is no gob form. In durable mode the snapshot is
+// appended to the journal first and replayed until acked, so telemetry
+// survives a server outage exactly like measurement data; without a journal
+// it retries on the report budget and an exhausted budget counts a
+// monitor.tcp.telemetry_dropped (telemetry loss is monitored, but it never
+// fails rows).
+func (t *TCPSender) SendTelemetry(snap *binfmt.TelemetrySnapshot) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrSenderClosed
+	}
+	seq := t.seq
+	t.seq++
+	t.mu.Unlock()
+	if t.opts.Codec == wire.CodecGob {
+		return errors.New("monitor: telemetry snapshots are binary-only (CodecGob configured)")
+	}
+	if t.opts.Journal != nil {
+		payload, err := snap.AppendWire(t.plBuf[:0])
+		t.plBuf = payload
+		if err != nil {
+			return fmt.Errorf("monitor: encode telemetry for journal: %w", err)
+		}
+		if _, err := t.opts.Journal.Append(payload); err != nil {
+			return fmt.Errorf("monitor: journal append: %w", err)
+		}
+		monTCPJournaled.Inc()
+		monTCPTelTx.Inc()
+		// Best-effort delivery; the record is safe and replays until acked.
+		_ = t.flushJournal(seq, 0, obs.TraceContext{})
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
+		if attempt > 0 {
+			monTCPRetries.Inc()
+			jrng := stats.NewRNG(t.opts.Seed).Split(t.opts.AgentKey).Split(seq).Split(uint64(attempt))
+			timer := time.NewTimer(t.opts.Backoff.Delay(attempt-1, jrng))
+			select {
+			case <-timer.C:
+			case <-t.closeCh:
+				timer.Stop()
+				return ErrSenderClosed
+			}
+		}
+		conn, err := t.ensureConn(seq, attempt)
+		if err != nil {
+			if errors.Is(err, ErrSenderClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout)); err != nil {
+			t.dropConn(conn)
+			lastErr = err
+			continue
+		}
+		buf, err := wire.AppendBinaryFrame(t.encBuf[:0], snap, wire.TraceContext{})
+		t.encBuf = buf
+		if err != nil {
+			return fmt.Errorf("monitor: encode telemetry: %w", err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.dropConn(conn)
+			lastErr = err
+			continue
+		}
+		t.mu.Lock()
+		t.nBinary++
+		t.mu.Unlock()
+		monTCPTelTx.Inc()
+		return nil
+	}
+	monTCPTelDrop.Inc()
+	return fmt.Errorf("monitor: telemetry send after %d attempts: %w", t.opts.Retries+1, lastErr)
 }
 
 // sendDurable is the journaled Send path: persist, then flush best-effort.

@@ -28,6 +28,10 @@ const (
 	// when known; the paper's sliding window silently biases without this
 	// signal, which is exactly why it is journaled.
 	EventDataLoss EventType = "data_loss"
+	// EventSLOAlert: a service-level objective's multi-window burn rate
+	// crossed its alerting threshold (or recovered). Detail names the
+	// objective, the windows, and the burn rates that tripped it.
+	EventSLOAlert EventType = "slo_alert"
 )
 
 // Event is one structured journal record. TraceID/SpanID link the event

@@ -363,6 +363,43 @@ func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// visitEntries snapshots a name→pointer map under the read lock and calls
+// fn for each entry outside it, sorted by name — so fn may itself touch the
+// registry (create metrics, snapshot) without deadlocking, and iteration
+// order is deterministic.
+func visitEntries[T any](r *Registry, src func() map[string]T, fn func(name string, v T)) {
+	r.mu.RLock()
+	m := src()
+	names := make([]string, 0, len(m))
+	vals := make([]T, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		vals = append(vals, m[n])
+	}
+	r.mu.RUnlock()
+	for i, n := range names {
+		fn(n, vals[i])
+	}
+}
+
+// VisitCounters calls fn for every registered counter, sorted by name.
+func (r *Registry) VisitCounters(fn func(name string, c *Counter)) {
+	visitEntries(r, func() map[string]*Counter { return r.counters }, fn)
+}
+
+// VisitGauges calls fn for every registered gauge, sorted by name.
+func (r *Registry) VisitGauges(fn func(name string, g *Gauge)) {
+	visitEntries(r, func() map[string]*Gauge { return r.gauges }, fn)
+}
+
+// VisitHistograms calls fn for every registered histogram, sorted by name.
+func (r *Registry) VisitHistograms(fn func(name string, h *Histogram)) {
+	visitEntries(r, func() map[string]*Histogram { return r.hists }, fn)
+}
+
 // Reset zeroes every registered metric in place and clears the span ring.
 // Registered Counter/Gauge/Histogram pointers stay valid — packages hold
 // them in top-level vars, so metrics are never dropped from the maps, only

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kertbn/internal/faulty"
+	"kertbn/internal/journal"
+	"kertbn/internal/monitor"
+	"kertbn/internal/obs"
+	"kertbn/internal/wire/binfmt"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func listenTelemetry(t *testing.T, addr string, agg *Aggregator) *monitor.TCPServer {
+	t.Helper()
+	inner, err := monitor.NewServer(1, func(row []float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately a FRESH private dedup window per server incarnation: the
+	// transport-level (origin, seq) suppression is wiped by the restart, so
+	// exactly-once accounting rests entirely on the aggregator's
+	// (source, epoch, seq) watermark — which is what this test pins down.
+	srv, err := monitor.ListenTCPOpts(addr, inner, monitor.ServerOptions{
+		Telemetry: func(s *binfmt.TelemetrySnapshot) { agg.Apply(s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestChaosAgentRestartReplayNoDoubleCount is the telemetry exactly-once
+// chaos scenario: an agent ships delta snapshots through a journaled,
+// fault-injected sender; the server dies mid-interval; the agent keeps
+// snapshotting into its journal, then itself "crashes" and restarts —
+// reopening the journal under a fresh shipper epoch while a fresh server
+// (with a fresh transport dedup window) comes back. The replay of
+// journaled pre-crash snapshots plus the post-restart stream must land
+// every increment exactly once: the fleet counter equals the true total.
+func TestChaosAgentRestartReplayNoDoubleCount(t *testing.T) {
+	agg := NewAggregator(AggregatorOptions{})
+	srv := listenTelemetry(t, "127.0.0.1:0", agg)
+	addr := srv.Addr()
+
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "tel.wal")
+	j, err := journal.Open(journal.Options{Path: jpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic link-level chaos on top of the restart: some writes
+	// truncate, so even the healthy phases exercise retry + replay.
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 3, Truncate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := monitor.DialTCPOpts(addr, monitor.SenderOptions{
+		Journal: j, AgentKey: 21, Seed: 21, Injector: inj,
+		IOTimeout: 300 * time.Millisecond, AckTimeout: 300 * time.Millisecond,
+		Backoff: faulty.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	rows := reg.Counter("monitor.batches")
+	ship, err := NewShipper(sender, ShipperOptions{Source: "agent-21", Epoch: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var total int64
+	observe := func(n int64) { rows.Add(n); total += n }
+
+	// Healthy phase: three snapshots land.
+	for i := 0; i < 3; i++ {
+		observe(10)
+		if err := ship.Ship(); err != nil {
+			t.Fatalf("healthy ship: %v", err)
+		}
+	}
+	waitFor(t, "healthy snapshots", func() bool {
+		f := agg.Fleet()
+		return f.Counter("monitor.batches").Value() == 30
+	})
+
+	// Outage mid-interval: the server dies; the agent keeps observing and
+	// snapshotting. Durable sends still return nil — the deltas are parked
+	// in the journal.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		observe(7)
+		if err := ship.Ship(); err != nil {
+			t.Fatalf("outage ship: %v", err)
+		}
+	}
+	if j.Pending() == 0 {
+		t.Fatal("outage-era snapshots must be parked in the journal")
+	}
+
+	// Agent crash: sender and journal close with unacked snapshots on disk.
+	sender.Close()
+	j.Close()
+
+	// Restart both sides. The server gets a FRESH dedup window; the agent
+	// reopens the journal (replaying the epoch-1 tail) under a NEW shipper
+	// epoch, as a real process restart would.
+	srv2 := listenTelemetry(t, addr, agg)
+	defer srv2.Close()
+	j2, err := journal.Open(journal.Options{Path: jpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Recovered() == 0 {
+		t.Fatal("journal recovered nothing; restart scenario is vacuous")
+	}
+	sender2, err := monitor.DialTCPOpts(addr, monitor.SenderOptions{
+		Journal: j2, AgentKey: 21, Seed: 22, Injector: inj,
+		IOTimeout: 300 * time.Millisecond, AckTimeout: 300 * time.Millisecond,
+		Backoff: faulty.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender2.Close()
+
+	// The restarted process lost its in-memory delta baselines; its counter
+	// restarts from zero and a fresh epoch keeps its (seq) space disjoint
+	// from the replayed one.
+	reg2 := obs.NewRegistry()
+	rows2 := reg2.Counter("monitor.batches")
+	ship2, err := NewShipper(sender2, ShipperOptions{Source: "agent-21", Epoch: 2, Registry: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observe2 := func(n int64) { rows2.Add(n); total += n }
+
+	waitFor(t, "journal replay drain", func() bool {
+		_ = sender2.FlushJournal()
+		return j2.Pending() == 0
+	})
+	for i := 0; i < 3; i++ {
+		observe2(5)
+		if err := ship2.Ship(); err != nil {
+			t.Fatalf("post-restart ship: %v", err)
+		}
+	}
+	waitFor(t, "post-restart snapshots", func() bool {
+		return agg.Fleet().Counter("monitor.batches").Value() >= total
+	})
+
+	// Exactly-once: 3×10 + 2×7 + 3×5 = 59, no more, no less — the journal
+	// replay and any link-fault retransmits were all absorbed by the
+	// aggregator watermark.
+	if got := agg.Fleet().Counter("monitor.batches").Value(); got != total {
+		t.Fatalf("fleet counter %d, want exactly %d (double-count or loss)", got, total)
+	}
+	if got := agg.Origin("agent-21").Counter("monitor.batches").Value(); got != total {
+		t.Fatalf("origin counter %d, want %d", got, total)
+	}
+	rep := agg.Report()
+	if len(rep.Origins) != 1 || rep.Origins[0].Epoch != 2 {
+		t.Fatalf("report origins %+v, want one origin at epoch 2", rep.Origins)
+	}
+}
+
+// TestTelemetryOverTCPPlainSender covers the non-journaled path end to end:
+// retried frames may arrive more than once at the server under truncation
+// faults, and the aggregator must still count once.
+func TestTelemetryOverTCPPlainSender(t *testing.T) {
+	agg := NewAggregator(AggregatorOptions{})
+	srv := listenTelemetry(t, "127.0.0.1:0", agg)
+	defer srv.Close()
+
+	inj, err := faulty.NewInjector(faulty.Config{Seed: 5, Truncate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := monitor.DialTCPOpts(srv.Addr(), monitor.SenderOptions{
+		AgentKey: 4, Seed: 4, Injector: inj, Retries: 50,
+		IOTimeout: 300 * time.Millisecond,
+		Backoff:   faulty.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	reg := obs.NewRegistry()
+	ship, err := NewShipper(sender, ShipperOptions{Source: "plain", Epoch: 9, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		reg.Counter("decentral.ships").Add(4)
+		if err := ship.Ship(); err != nil {
+			t.Fatalf("ship %d: %v", i, err)
+		}
+	}
+	waitFor(t, "plain telemetry", func() bool {
+		return agg.Fleet().Counter("decentral.ships").Value() >= 20
+	})
+	if got := agg.Fleet().Counter("decentral.ships").Value(); got != 20 {
+		t.Fatalf("fleet counter %d, want exactly 20", got)
+	}
+}

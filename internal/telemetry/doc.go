@@ -1,0 +1,27 @@
+// Package telemetry is the fleet telemetry plane: every process
+// periodically snapshots its obs.Registry as a delta (counter/gauge
+// increments plus mergeable histogram bucket deltas), ships the snapshot to
+// the management server over the monitor transport — durably, when the
+// sender has a store-and-forward journal — and the server's Aggregator
+// folds the increments into per-origin and fleet-wide rollups.
+//
+// Three properties make the rollups trustworthy:
+//
+//   - Counters and histogram bucket counts travel as non-negative integer
+//     deltas, so summation is exact: the fleet counter equals the sum of
+//     the per-process counters bit-for-bit.
+//   - Each snapshot carries a (source, epoch, seq) identity and the
+//     aggregator applies it exactly once, so the at-least-once journaled
+//     transport (replays after an outage, duplicated frames after a lost
+//     ack) can never double-count.
+//   - Histogram min/max ship cumulatively and fold through min/max, which
+//     is idempotent — so quantile reads off a merged rollup match a
+//     single-registry recomputation to ≤1e-9.
+//
+// On top of the rollups the package serves a /fleet JSON report (per-origin
+// rollups with staleness stamps plus the fleet view), a dependency-free
+// Prometheus/OpenMetrics text exposition (/metrics.prom) covering local and
+// fleet series, and an SLO layer: objectives defined as good/bad ratios
+// over the rolled-up counters and histograms, evaluated with multi-window
+// burn rates that emit typed obs.Journal alert events.
+package telemetry

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kertbn/internal/obs"
+)
+
+// PromScope pairs a registry with the `scope` label its samples carry in
+// the exposition: the management server exposes scope="local" (its own
+// process registry) and scope="fleet" (the aggregator rollup) side by side.
+type PromScope struct {
+	Label    string
+	Registry *obs.Registry
+}
+
+// promName mangles a dotted metric name into a legal Prometheus metric
+// name: the kertbn_ prefix, then every byte outside [a-zA-Z0-9_:] becomes
+// an underscore. Dotted kertbn names never collide after mangling because
+// the lint (obs.CheckName) already restricts them to [a-z0-9_.] segments.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("kertbn_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the text format: backslash, double
+// quote, and newline.
+func promLabel(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value. Prometheus accepts Go's shortest-form
+// scientific notation plus the literals NaN/+Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type promKind uint8
+
+const (
+	promCounter promKind = iota
+	promGauge
+	promHist
+)
+
+// promSample is one scope's contribution to a family.
+type promSample struct {
+	scope string
+	v     float64 // counter/gauge value
+	h     *obs.Histogram
+}
+
+type promFamily struct {
+	origName string
+	kind     promKind
+	samples  []promSample
+}
+
+// WriteProm writes every metric from every scope in Prometheus text
+// exposition format 0.0.4 (a strict subset also accepted by OpenMetrics
+// scrapers): one # HELP / # TYPE pair per family, families sorted by name,
+// samples labeled scope="<label>" in the scopes' given order, histograms as
+// cumulative _bucket{le=...}/_sum/_count series, and a trailing # EOF.
+// Counter families carry the conventional _total suffix. The output is
+// deterministic for a fixed metric state.
+func WriteProm(w io.Writer, scopes ...PromScope) error {
+	fams := map[string]*promFamily{}
+	add := func(mangled, orig string, kind promKind, s promSample) {
+		f := fams[mangled]
+		if f == nil {
+			f = &promFamily{origName: orig, kind: kind}
+			fams[mangled] = f
+		}
+		if f.kind != kind {
+			// Two scopes disagree on the metric's type under one mangled
+			// name; keep the first and drop the conflicting sample rather
+			// than emit an exposition scrapers reject.
+			return
+		}
+		f.samples = append(f.samples, s)
+	}
+	for _, sc := range scopes {
+		if sc.Registry == nil {
+			continue
+		}
+		label := promLabel(sc.Label)
+		sc.Registry.VisitCounters(func(name string, c *obs.Counter) {
+			add(promName(name)+"_total", name, promCounter,
+				promSample{scope: label, v: float64(c.Value())})
+		})
+		sc.Registry.VisitGauges(func(name string, g *obs.Gauge) {
+			add(promName(name), name, promGauge,
+				promSample{scope: label, v: g.Value()})
+		})
+		sc.Registry.VisitHistograms(func(name string, h *obs.Histogram) {
+			add(promName(name), name, promHist,
+				promSample{scope: label, h: h})
+		})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	var counts []int64
+	for _, n := range names {
+		f := fams[n]
+		bw.WriteString("# HELP ")
+		bw.WriteString(n)
+		bw.WriteString(" kertbn metric ")
+		bw.WriteString(f.origName)
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(n)
+		switch f.kind {
+		case promCounter:
+			bw.WriteString(" counter\n")
+		case promGauge:
+			bw.WriteString(" gauge\n")
+		case promHist:
+			bw.WriteString(" histogram\n")
+		}
+		for _, s := range f.samples {
+			if f.kind != promHist {
+				bw.WriteString(n)
+				bw.WriteString(`{scope="`)
+				bw.WriteString(s.scope)
+				bw.WriteString(`"} `)
+				bw.WriteString(promFloat(s.v))
+				bw.WriteByte('\n')
+				continue
+			}
+			bounds := s.h.Bounds()
+			counts = s.h.BucketCounts(counts[:0])
+			var cum int64
+			for i, le := range bounds {
+				cum += counts[i]
+				bw.WriteString(n)
+				bw.WriteString(`_bucket{scope="`)
+				bw.WriteString(s.scope)
+				bw.WriteString(`",le="`)
+				bw.WriteString(promFloat(le))
+				bw.WriteString(`"} `)
+				bw.WriteString(strconv.FormatInt(cum, 10))
+				bw.WriteByte('\n')
+			}
+			cum += s.h.Overflow()
+			bw.WriteString(n)
+			bw.WriteString(`_bucket{scope="`)
+			bw.WriteString(s.scope)
+			bw.WriteString(`",le="+Inf"} `)
+			bw.WriteString(strconv.FormatInt(cum, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(n)
+			bw.WriteString(`_sum{scope="`)
+			bw.WriteString(s.scope)
+			bw.WriteString(`"} `)
+			bw.WriteString(promFloat(s.h.Sum()))
+			bw.WriteByte('\n')
+			bw.WriteString(n)
+			bw.WriteString(`_count{scope="`)
+			bw.WriteString(s.scope)
+			bw.WriteString(`"} `)
+			bw.WriteString(strconv.FormatInt(cum, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// PromHandler serves WriteProm over HTTP (the /metrics.prom endpoint).
+func PromHandler(scopes ...PromScope) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, scopes...)
+	})
+}

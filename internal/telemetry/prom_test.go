@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kertbn/internal/obs"
+)
+
+func promFixture() (local, fleet *obs.Registry) {
+	local = obs.NewRegistry()
+	local.Counter("monitor.batches").Add(12)
+	local.Gauge("sched.window_rows").Set(512)
+	h := local.HistogramWith("gateway.route.posterior.seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5) // overflow
+	fleet = obs.NewRegistry()
+	fleet.Counter("monitor.batches").Add(40)
+	fleet.Gauge("fleet.origins").Set(3)
+	return local, fleet
+}
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// One sample line: name{labels} value — labels restricted to the shape
+	// this package emits.
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\} (NaN|[+-]Inf|[0-9eE+.-]+)$`)
+)
+
+// TestPromConformance is the exposition-format gate: every line is either a
+// well-formed HELP/TYPE comment or a legal sample; every family gets
+// exactly one HELP and one TYPE before its first sample; families appear in
+// sorted order; and the document terminates with # EOF.
+func TestPromConformance(t *testing.T) {
+	local, fleet := promFixture()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf,
+		PromScope{Label: "local", Registry: local},
+		PromScope{Label: "fleet", Registry: fleet}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("missing # EOF terminator:\n%s", out)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	helped := map[string]int{}
+	typed := map[string]int{}
+	var familyOrder []string
+	sampledFamilies := map[string]bool{}
+	for _, ln := range lines[:len(lines)-1] { // all but "# EOF"
+		switch {
+		case strings.HasPrefix(ln, "# HELP "):
+			name := strings.SplitN(strings.TrimPrefix(ln, "# HELP "), " ", 2)[0]
+			if !promMetricRe.MatchString(name) {
+				t.Fatalf("illegal family name in HELP: %q", ln)
+			}
+			helped[name]++
+			familyOrder = append(familyOrder, name)
+		case strings.HasPrefix(ln, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(ln, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", ln)
+			}
+			if parts[1] != "counter" && parts[1] != "gauge" && parts[1] != "histogram" {
+				t.Fatalf("unknown TYPE %q", ln)
+			}
+			typed[parts[0]]++
+		default:
+			m := promSampleRe.FindStringSubmatch(ln)
+			if m == nil {
+				t.Fatalf("malformed sample line: %q", ln)
+			}
+			fam := m[1]
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(fam, suf) && typed[strings.TrimSuffix(fam, suf)] > 0 {
+					fam = strings.TrimSuffix(fam, suf)
+					break
+				}
+			}
+			if helped[fam] == 0 || typed[fam] == 0 {
+				t.Fatalf("sample %q precedes its HELP/TYPE", ln)
+			}
+			sampledFamilies[fam] = true
+		}
+	}
+	for name, n := range helped {
+		if n != 1 || typed[name] != 1 {
+			t.Fatalf("family %s: HELP×%d TYPE×%d, want exactly 1 each", name, n, typed[name])
+		}
+		if !sampledFamilies[name] {
+			t.Fatalf("family %s has no samples", name)
+		}
+	}
+	if !sort.StringsAreSorted(familyOrder) {
+		t.Fatalf("families not sorted: %v", familyOrder)
+	}
+
+	// Both scopes of a shared family sit under one HELP/TYPE pair.
+	if c := strings.Count(out, "# TYPE kertbn_monitor_batches_total counter"); c != 1 {
+		t.Fatalf("monitor.batches TYPE appears %d times", c)
+	}
+	if !strings.Contains(out, `kertbn_monitor_batches_total{scope="local"} 12`) ||
+		!strings.Contains(out, `kertbn_monitor_batches_total{scope="fleet"} 40`) {
+		t.Fatalf("scoped counter samples missing:\n%s", out)
+	}
+}
+
+// TestPromHistogramCumulative checks the bucket discipline scrapers rely
+// on: le-labeled buckets are cumulative, the +Inf bucket equals _count, and
+// _sum matches the histogram.
+func TestPromHistogramCumulative(t *testing.T) {
+	local, _ := promFixture()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, PromScope{Label: "local", Registry: local}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := []string{
+		`kertbn_gateway_route_posterior_seconds_bucket{scope="local",le="0.001"} 1`,
+		`kertbn_gateway_route_posterior_seconds_bucket{scope="local",le="0.01"} 1`,
+		`kertbn_gateway_route_posterior_seconds_bucket{scope="local",le="0.1"} 2`,
+		`kertbn_gateway_route_posterior_seconds_bucket{scope="local",le="+Inf"} 3`,
+		`kertbn_gateway_route_posterior_seconds_count{scope="local"} 3`,
+	}
+	idx := -1
+	for _, w := range want {
+		i := strings.Index(out, w)
+		if i < 0 {
+			t.Fatalf("missing line %q in:\n%s", w, out)
+		}
+		if i < idx {
+			t.Fatalf("line %q out of order", w)
+		}
+		idx = i
+	}
+	// _sum parses back to the observed total.
+	sumRe := regexp.MustCompile(`kertbn_gateway_route_posterior_seconds_sum\{scope="local"\} (\S+)`)
+	m := sumRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no _sum line:\n%s", out)
+	}
+	got, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5.0505) > 1e-12 {
+		t.Fatalf("_sum %v, want 5.0505", got)
+	}
+}
+
+// TestPromDeterministic: identical metric state renders byte-identical
+// output.
+func TestPromDeterministic(t *testing.T) {
+	local, fleet := promFixture()
+	var a, b bytes.Buffer
+	scopes := []PromScope{{Label: "local", Registry: local}, {Label: "fleet", Registry: fleet}}
+	if err := WriteProm(&a, scopes...); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, scopes...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same state differ")
+	}
+}
+
+// TestPromNameMangling: dotted names mangle to legal Prometheus names, and
+// label values escape quotes/backslashes/newlines.
+func TestPromNameMangling(t *testing.T) {
+	if got := promName("gateway.route.p-accel.seconds"); got != "kertbn_gateway_route_p_accel_seconds" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("promLabel = %q", got)
+	}
+	r := obs.NewRegistry()
+	r.Counter("decentral.dropped_segments").Inc()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, PromScope{Label: `we"ird\lab`, Registry: r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `kertbn_decentral_dropped_segments_total{scope="we\"ird\\lab"} 1`) {
+		t.Fatalf("escaped label sample missing:\n%s", buf.String())
+	}
+}

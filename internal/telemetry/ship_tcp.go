@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"time"
+
+	"kertbn/internal/monitor"
+)
+
+// StartTCP dials the management server at addr and ships this process's
+// default-registry snapshots under the given source name — periodically
+// when every > 0, and always once more from the returned stop function,
+// so short-lived batch CLIs land their final increment on exit. This is
+// the one call behind the agent CLIs' -fleet-addr flag.
+func StartTCP(addr, source string, every time.Duration) (stop func(), err error) {
+	sender, err := monitor.DialTCPOpts(addr, monitor.SenderOptions{})
+	if err != nil {
+		return nil, err
+	}
+	sh, err := NewShipper(sender, ShipperOptions{Source: source, Interval: every})
+	if err != nil {
+		sender.Close()
+		return nil, err
+	}
+	if every > 0 {
+		sh.Start()
+	}
+	return func() {
+		sh.Stop()
+		sender.Close()
+	}, nil
+}

@@ -1,0 +1,303 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"kertbn/internal/obs"
+)
+
+// Source reads an objective's cumulative good/bad event totals. Totals must
+// be monotone non-decreasing — the evaluator differences consecutive reads
+// to get per-window rates, so a Source is typically a sum over counters or
+// histogram buckets from local or fleet rollup registries.
+type Source func() (good, bad float64)
+
+// Window is one burn-rate evaluation window: the lookback duration and the
+// burn-rate factor at which it trips. An alert fires only when EVERY window
+// of the objective exceeds its factor — the classic multi-window guard: the
+// long window proves sustained burn, the short window proves it is still
+// happening now.
+type Window struct {
+	Duration time.Duration
+	Factor   float64
+}
+
+// DefaultWindows is the conventional paging pair: a fast 5m window and a
+// confirming 1h window, both at 14.4× burn (at which a 30-day error budget
+// is gone in ~2 days).
+func DefaultWindows() []Window {
+	return []Window{
+		{Duration: 5 * time.Minute, Factor: 14.4},
+		{Duration: time.Hour, Factor: 14.4},
+	}
+}
+
+// Objective is one SLO: a budget (the tolerated bad fraction, e.g. 0.001
+// for 99.9%), a good/bad source, and the burn windows. Name must be a legal
+// metric-name segment ([a-z0-9_]+) — it is embedded in the slo.* gauges.
+type Objective struct {
+	Name    string
+	Budget  float64
+	Source  Source
+	Windows []Window
+}
+
+// CounterSource sums the named counters across the given registries:
+// goodNames accumulate into good, badNames into bad. Missing counters read
+// as zero.
+func CounterSource(regs []*obs.Registry, goodNames, badNames []string) Source {
+	return func() (good, bad float64) {
+		for _, r := range regs {
+			for _, n := range goodNames {
+				good += float64(r.Counter(n).Value())
+			}
+			for _, n := range badNames {
+				bad += float64(r.Counter(n).Value())
+			}
+		}
+		return good, bad
+	}
+}
+
+// HistogramThresholdSource turns latency histograms into good/bad totals:
+// every histogram whose name starts with namePrefix contributes samples in
+// buckets with upper bound ≤ threshold as good and the rest (including
+// overflow) as bad. Bucketing rounds the threshold up to the nearest bound,
+// so pick thresholds on bucket boundaries for exact accounting.
+func HistogramThresholdSource(regs []*obs.Registry, namePrefix string, threshold float64) Source {
+	return func() (good, bad float64) {
+		var counts []int64
+		for _, r := range regs {
+			r.VisitHistograms(func(name string, h *obs.Histogram) {
+				if !strings.HasPrefix(name, namePrefix) {
+					return
+				}
+				bounds := h.Bounds()
+				counts = h.BucketCounts(counts[:0])
+				var g, total int64
+				for i, le := range bounds {
+					if le <= threshold {
+						g += counts[i]
+					}
+					total += counts[i]
+				}
+				total += h.Overflow()
+				good += float64(g)
+				bad += float64(total - g)
+			})
+		}
+		return good, bad
+	}
+}
+
+// DataLossObjective is the fleet's data-loss budget: bad events are rows
+// irrecoverably dropped anywhere in the pipeline (send retry budgets
+// exhausted, fabric segments dropped, journal records shed), good events
+// are batches and segments that made it.
+func DataLossObjective(budget float64, windows []Window, regs ...*obs.Registry) Objective {
+	return Objective{
+		Name:   "data_loss",
+		Budget: budget,
+		Source: CounterSource(regs,
+			[]string{"monitor.batches", "decentral.ships"},
+			[]string{"monitor.tcp.dropped_reports", "decentral.dropped_segments", "journal.shed_records"}),
+		Windows: windows,
+	}
+}
+
+// IngestFreshnessObjective bounds scheduler staleness: a rebuild is good
+// when the oldest row it waited on sat unprocessed for at most maxLag
+// seconds (read from the sched.freshness.seconds histogram).
+func IngestFreshnessObjective(budget, maxLag float64, windows []Window, regs ...*obs.Registry) Objective {
+	return Objective{
+		Name:    "ingest_freshness",
+		Budget:  budget,
+		Source:  HistogramThresholdSource(regs, "sched.freshness.seconds", maxLag),
+		Windows: windows,
+	}
+}
+
+// GatewayLatencyObjective bounds gateway query latency: a request is good
+// when its route histogram sample is at most maxSeconds.
+func GatewayLatencyObjective(budget, maxSeconds float64, windows []Window, regs ...*obs.Registry) Objective {
+	return Objective{
+		Name:    "gateway_latency",
+		Budget:  budget,
+		Source:  HistogramThresholdSource(regs, "gateway.route.", maxSeconds),
+		Windows: windows,
+	}
+}
+
+// sloAlerts counts firing transitions (recoveries are journaled, not
+// counted).
+var sloAlerts = obs.C("slo.alerts")
+
+type sloSample struct {
+	t         time.Time
+	good, bad float64
+}
+
+type objState struct {
+	obj     Objective
+	samples []sloSample // time-ordered, pruned past the longest window
+	maxW    time.Duration
+	burning bool
+	burn    []*obs.Gauge // slo.burn.<name>.w<i>
+	state   *obs.Gauge   // slo.burning.<name>
+}
+
+// EvaluatorOptions configures the burn-rate evaluator.
+type EvaluatorOptions struct {
+	// Interval paces Start's loop and bounds sample resolution (default 10s).
+	Interval time.Duration
+	// Registry receives the slo.* gauges and the slo_alert journal events
+	// (default obs.Default()).
+	Registry *obs.Registry
+	// Now is the clock (test hook).
+	Now func() time.Time
+}
+
+// Evaluator samples every objective's source on a fixed cadence and keeps
+// enough history to difference each burn window. When all of an objective's
+// windows exceed their factors it flips to burning and records an
+// EventSLOAlert journal event; the reverse transition records a recovery
+// event. Current burn rates are exported as slo.burn.<name>.w<i> gauges and
+// the alert state as slo.burning.<name>.
+type Evaluator struct {
+	opts EvaluatorOptions
+
+	mu   sync.Mutex
+	objs []*objState
+
+	stopOnce sync.Once
+	started  bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewEvaluator creates an evaluator over the given objectives.
+func NewEvaluator(opts EvaluatorOptions, objectives ...Objective) *Evaluator {
+	if opts.Interval <= 0 {
+		opts.Interval = 10 * time.Second
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default()
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	e := &Evaluator{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	for _, obj := range objectives {
+		st := &objState{
+			obj:   obj,
+			state: opts.Registry.Gauge("slo.burning." + obj.Name),
+		}
+		for i, w := range obj.Windows {
+			st.burn = append(st.burn, opts.Registry.Gauge(fmt.Sprintf("slo.burn.%s.w%d", obj.Name, i)))
+			if w.Duration > st.maxW {
+				st.maxW = w.Duration
+			}
+		}
+		e.objs = append(e.objs, st)
+	}
+	return e
+}
+
+// Tick samples every objective once and re-evaluates its windows. Start
+// calls it on the configured interval; tests drive it directly with a fake
+// clock.
+func (e *Evaluator) Tick() {
+	now := e.opts.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.objs {
+		good, bad := st.obj.Source()
+		st.samples = append(st.samples, sloSample{t: now, good: good, bad: bad})
+		// Keep one sample older than the longest window so differencing
+		// always has a baseline at full lookback.
+		cut := 0
+		for cut < len(st.samples)-1 && now.Sub(st.samples[cut+1].t) > st.maxW {
+			cut++
+		}
+		st.samples = st.samples[cut:]
+
+		hot := len(st.obj.Windows) > 0
+		var detail strings.Builder
+		for i, w := range st.obj.Windows {
+			base := st.samples[0]
+			for j := len(st.samples) - 1; j >= 0; j-- {
+				if now.Sub(st.samples[j].t) >= w.Duration {
+					base = st.samples[j]
+					break
+				}
+			}
+			dg, db := good-base.good, bad-base.bad
+			var burn float64
+			if total := dg + db; total > 0 && st.obj.Budget > 0 {
+				burn = (db / total) / st.obj.Budget
+			}
+			st.burn[i].Set(burn)
+			if burn < w.Factor {
+				hot = false
+			}
+			if i > 0 {
+				detail.WriteString(", ")
+			}
+			fmt.Fprintf(&detail, "w%d(%s)=%.2fx/%.1fx", i, w.Duration, burn, w.Factor)
+		}
+		if hot != st.burning {
+			st.burning = hot
+			verb := "recovered"
+			if hot {
+				verb = "firing"
+				sloAlerts.Inc()
+				st.state.Set(1)
+			} else {
+				st.state.Set(0)
+			}
+			e.opts.Registry.Journal().Record(obs.Event{
+				Type:   obs.EventSLOAlert,
+				Detail: fmt.Sprintf("slo %s %s: budget=%g %s", st.obj.Name, verb, st.obj.Budget, detail.String()),
+			})
+		}
+	}
+}
+
+// Start launches the evaluation loop; stop it with Stop.
+func (e *Evaluator) Start() {
+	e.mu.Lock()
+	e.started = true
+	e.mu.Unlock()
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(e.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.Tick()
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop started by Start.
+func (e *Evaluator) Stop() {
+	e.stopOnce.Do(func() {
+		close(e.stop)
+		e.mu.Lock()
+		started := e.started
+		e.mu.Unlock()
+		if started {
+			select {
+			case <-e.done:
+			case <-time.After(2 * time.Second):
+			}
+		}
+	})
+}

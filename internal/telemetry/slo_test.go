@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kertbn/internal/obs"
+)
+
+func sloEvents(reg *obs.Registry) []obs.Event {
+	var out []obs.Event
+	for _, e := range reg.Journal().Recent() {
+		if e.Type == obs.EventSLOAlert {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestSLOBurnFiresAndRecovers drives the evaluator with a fake clock
+// through a clean phase (no alert), a loss burst hot on every window
+// (exactly one firing event), and a recovery (one recovery event).
+func TestSLOBurnFiresAndRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	good := reg.Counter("monitor.batches")
+	bad := reg.Counter("monitor.tcp.dropped_reports")
+
+	now := time.Unix(1000, 0)
+	obj := Objective{
+		Name:   "data_loss",
+		Budget: 0.01, // 1% loss budget
+		Source: CounterSource([]*obs.Registry{reg},
+			[]string{"monitor.batches"}, []string{"monitor.tcp.dropped_reports"}),
+		Windows: []Window{
+			{Duration: 10 * time.Second, Factor: 2},
+			{Duration: 30 * time.Second, Factor: 2},
+		},
+	}
+	ev := NewEvaluator(EvaluatorOptions{
+		Interval: time.Second,
+		Registry: reg,
+		Now:      func() time.Time { return now },
+	}, obj)
+
+	tick := func(dGood, dBad int64) {
+		good.Add(dGood)
+		bad.Add(dBad)
+		ev.Tick()
+		now = now.Add(time.Second)
+	}
+
+	// Clean phase: healthy traffic, zero loss. Long enough to fill both
+	// windows.
+	for i := 0; i < 40; i++ {
+		tick(100, 0)
+	}
+	if n := len(sloEvents(reg)); n != 0 {
+		t.Fatalf("clean run produced %d slo events, want 0", n)
+	}
+	if v := reg.Gauge("slo.burning.data_loss").Value(); v != 0 {
+		t.Fatalf("burning gauge %v during clean run", v)
+	}
+
+	// Burst: 10% of traffic lost — 10× the 1% budget, over both windows'
+	// factors. The long window needs sustained burn before it trips.
+	for i := 0; i < 40; i++ {
+		tick(90, 10)
+	}
+	events := sloEvents(reg)
+	if len(events) != 1 {
+		t.Fatalf("burst produced %d slo events, want exactly 1 firing", len(events))
+	}
+	if !strings.Contains(events[0].Detail, "data_loss firing") {
+		t.Fatalf("firing event detail %q", events[0].Detail)
+	}
+	if v := reg.Gauge("slo.burning.data_loss").Value(); v != 1 {
+		t.Fatalf("burning gauge %v after burst, want 1", v)
+	}
+	if b0 := reg.Gauge("slo.burn.data_loss.w0").Value(); b0 < 2 {
+		t.Fatalf("short-window burn gauge %v, want ≥ factor 2", b0)
+	}
+
+	// Recovery: loss stops; the short window cools first, and the
+	// all-windows rule drops the alert.
+	for i := 0; i < 60; i++ {
+		tick(100, 0)
+	}
+	events = sloEvents(reg)
+	if len(events) != 2 {
+		t.Fatalf("%d slo events after recovery, want 2 (firing + recovered)", len(events))
+	}
+	if !strings.Contains(events[1].Detail, "data_loss recovered") {
+		t.Fatalf("recovery event detail %q", events[1].Detail)
+	}
+	if v := reg.Gauge("slo.burning.data_loss").Value(); v != 0 {
+		t.Fatalf("burning gauge %v after recovery, want 0", v)
+	}
+}
+
+// TestSLOShortBlipDoesNotPage: a burst shorter than the long window trips
+// the short window only — the multi-window AND keeps the pager quiet.
+func TestSLOShortBlipDoesNotPage(t *testing.T) {
+	reg := obs.NewRegistry()
+	good := reg.Counter("monitor.batches")
+	bad := reg.Counter("monitor.tcp.dropped_reports")
+	now := time.Unix(2000, 0)
+	ev := NewEvaluator(EvaluatorOptions{
+		Interval: time.Second,
+		Registry: reg,
+		Now:      func() time.Time { return now },
+	}, Objective{
+		Name:   "data_loss",
+		Budget: 0.01,
+		Source: CounterSource([]*obs.Registry{reg},
+			[]string{"monitor.batches"}, []string{"monitor.tcp.dropped_reports"}),
+		Windows: []Window{
+			{Duration: 5 * time.Second, Factor: 2},
+			{Duration: 60 * time.Second, Factor: 2},
+		},
+	})
+	tick := func(dGood, dBad int64) {
+		good.Add(dGood)
+		bad.Add(dBad)
+		ev.Tick()
+		now = now.Add(time.Second)
+	}
+	for i := 0; i < 70; i++ {
+		tick(100, 0)
+	}
+	// 3s of total loss: the 5s window burns far past its factor, but over
+	// the 60s window the bad fraction is ~5% of budget-relative burn < 2×60s
+	// threshold? 300 bad / ~7000 total ≈ 4.3% bad → burn 4.3× — that WOULD
+	// trip. Keep the blip to one tick so the long window stays cool.
+	tick(0, 30) // 30 bad vs ~6000 good in 60s ≈ 0.5% → burn 0.5× < 2
+	for i := 0; i < 3; i++ {
+		tick(100, 0)
+	}
+	if n := len(sloEvents(reg)); n != 0 {
+		t.Fatalf("short blip paged: %d events", n)
+	}
+}
+
+// TestHistogramThresholdSource splits bucketed latency into good (≤
+// threshold) and bad (above, including overflow) across matching names.
+func TestHistogramThresholdSource(t *testing.T) {
+	reg := obs.NewRegistry()
+	bounds := []float64{0.01, 0.1, 1}
+	h1 := reg.HistogramWith("gateway.route.posterior.seconds", bounds)
+	h2 := reg.HistogramWith("gateway.route.health.seconds", bounds)
+	reg.HistogramWith("sched.freshness.seconds", bounds).Observe(0.5) // not gateway.*
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h1.Observe(v)
+	}
+	h2.Observe(0.005)
+
+	src := HistogramThresholdSource([]*obs.Registry{reg}, "gateway.route.", 0.1)
+	good, bad := src()
+	// h1: 0.005 and 0.05 ≤ 0.1 → good; 0.5 in (0.1,1] and 5 overflow → bad.
+	// h2: one good. sched hist excluded by prefix.
+	if good != 3 || bad != 2 {
+		t.Fatalf("good=%v bad=%v, want 3/2", good, bad)
+	}
+}
+
+// TestEvaluatorStartStop exercises the background loop.
+func TestEvaluatorStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	ev := NewEvaluator(EvaluatorOptions{Interval: 2 * time.Millisecond, Registry: reg},
+		DataLossObjective(0.01, []Window{{Duration: 50 * time.Millisecond, Factor: 1}}, reg))
+	ev.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge("slo.burning.data_loss").Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("evaluator never flagged total loss")
+		}
+		// Sustained total loss: every interval drops more reports.
+		reg.Counter("monitor.tcp.dropped_reports").Add(10)
+		time.Sleep(2 * time.Millisecond)
+	}
+	ev.Stop()
+	if len(sloEvents(reg)) == 0 {
+		t.Fatal("no slo_alert event journaled")
+	}
+}

@@ -31,6 +31,9 @@ const (
 	// TypeAck is the receiver's cumulative delivery acknowledgement for one
 	// journal origin.
 	TypeAck byte = 0x05
+	// TypeTelemetrySnapshot is one process's periodic metric-registry
+	// increment shipped to the fleet aggregator (internal/telemetry).
+	TypeTelemetrySnapshot byte = 0x06
 )
 
 // ErrMalformed wraps every decode failure: truncated fields, counts that
@@ -48,7 +51,7 @@ func MsgType(payload []byte) (byte, bool) {
 		return 0, false
 	}
 	switch payload[0] {
-	case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta, TypeJournaled, TypeAck:
+	case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta, TypeJournaled, TypeAck, TypeTelemetrySnapshot:
 		return payload[0], true
 	}
 	return 0, false

@@ -42,7 +42,9 @@ func (k CPDKind) String() string {
 //	3   node i32
 //
 // tabular:  card u16 | nParents u8 | parentCard nParents x u16 |
-//           nP u32 | P nP x f64   (nP must equal card x prod(parentCard))
+//
+//	nP u32 | P nP x f64   (nP must equal card x prod(parentCard))
+//
 // gaussian: intercept f64 | sigma f64 | nCoef u16 | coef nCoef x f64
 //
 // Probabilities and coefficients ship as raw IEEE-754 bits, so a decoded

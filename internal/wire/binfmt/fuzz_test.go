@@ -153,7 +153,7 @@ func FuzzDecodePayload(f *testing.F) {
 		// The sniffer must agree with the decoders on the type byte.
 		if typ, ok := MsgType(data); ok {
 			switch typ {
-			case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta, TypeJournaled, TypeAck:
+			case TypeMeasurementBatch, TypeRowSegment, TypeCPDDelta, TypeJournaled, TypeAck, TypeTelemetrySnapshot:
 			default:
 				t.Fatalf("MsgType invented type 0x%02x", typ)
 			}

@@ -1,0 +1,306 @@
+package binfmt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Telemetry snapshot messages. Every process periodically snapshots its
+// metric registry and ships the increment since the previous snapshot
+// (internal/telemetry); the fleet aggregator on the management server folds
+// the increments into per-origin and fleet-wide rollups. Because counters
+// and bucket counts travel as integers and each (source, epoch, seq)
+// snapshot is applied exactly once, rollups reproduce the sum of the
+// per-process registries bit-for-bit even across journaled replays.
+
+// TelemetryCounter is one counter's increment since the previous snapshot.
+type TelemetryCounter struct {
+	Name  string
+	Delta int64 // non-negative
+}
+
+// TelemetryGauge is one gauge's current value (last write wins at the
+// aggregator, stamped with the snapshot's wall clock).
+type TelemetryGauge struct {
+	Name  string
+	Value float64
+}
+
+// TelemetryHist is one histogram's increment since the previous snapshot.
+// Counts is dense (one entry per bound, same order); Min/Max are the
+// process-lifetime extrema, shipped cumulatively because min/max folding is
+// idempotent where a delta would not be.
+type TelemetryHist struct {
+	Name     string
+	Bounds   []float64 // strictly ascending, NaN-free
+	Counts   []int64   // per-bucket increments, len == len(Bounds)
+	Overflow int64     // increment above the last bound
+	Sum      float64   // sum increment
+	Min, Max float64   // cumulative extrema
+}
+
+// TelemetrySnapshot is one process's shipped metric increment.
+//
+// Layout (big-endian):
+//
+//	type=0x06 | version | srcLen u8 | src | epoch u64 | seq u64 | wall u64 |
+//	nc u16 | nc × (len u8 | name | delta u64) |
+//	ng u16 | ng × (len u8 | name | value f64) |
+//	nh u16 | nh × (len u8 | name | nb u16 | nb × bound f64 |
+//	               overflow u64 | sum f64 | min f64 | max f64 |
+//	               np u16 | np × (idx u16 | count u64))
+//
+// Histogram bucket increments are sparse on the wire (only non-zero
+// buckets, ascending by index), so an idle process ships a few bytes per
+// series. Source names the shipping process; Epoch identifies one process
+// incarnation (a restarted shipper draws a fresh epoch and restarts Seq at
+// 1), and Seq increments per snapshot — the aggregator dedups on the
+// (Source, Epoch, Seq) triple.
+type TelemetrySnapshot struct {
+	Source     string
+	Epoch      uint64
+	Seq        uint64
+	WallUnixNS int64
+	Counters   []TelemetryCounter
+	Gauges     []TelemetryGauge
+	Hists      []TelemetryHist
+}
+
+const (
+	telCounterMin = 1 + 1 + 8          // len byte, 1-byte name, delta
+	telGaugeMin   = 1 + 1 + 8          // len byte, 1-byte name, value
+	telHistMin    = 1 + 1 + 2 + 32 + 2 // len, name, nb, overflow+sum+min+max, np
+)
+
+func appendTelemetryName(dst []byte, name string) ([]byte, error) {
+	if len(name) == 0 || len(name) > 255 {
+		return dst, fmt.Errorf("%w: telemetry name length %d (want 1..255)", ErrMalformed, len(name))
+	}
+	dst = append(dst, byte(len(name)))
+	return append(dst, name...), nil
+}
+
+// AppendWire appends the encoded snapshot to dst and returns the extended
+// slice. Encoding validates the same invariants decoding enforces, so a
+// malformed in-memory snapshot is rejected here rather than poisoning a
+// receiver.
+func (s *TelemetrySnapshot) AppendWire(dst []byte) ([]byte, error) {
+	if len(s.Source) == 0 || len(s.Source) > 255 {
+		return dst, fmt.Errorf("%w: telemetry source length %d (want 1..255)", ErrMalformed, len(s.Source))
+	}
+	if len(s.Counters) > 0xFFFF || len(s.Gauges) > 0xFFFF || len(s.Hists) > 0xFFFF {
+		return dst, fmt.Errorf("%w: telemetry series count exceeds 65535", ErrMalformed)
+	}
+	dst = append(dst, TypeTelemetrySnapshot, Version, byte(len(s.Source)))
+	dst = append(dst, s.Source...)
+	dst = appendU64(dst, s.Epoch)
+	dst = appendU64(dst, s.Seq)
+	dst = appendU64(dst, uint64(s.WallUnixNS))
+
+	dst = append(dst, byte(len(s.Counters)>>8), byte(len(s.Counters)))
+	for i := range s.Counters {
+		c := &s.Counters[i]
+		var err error
+		if dst, err = appendTelemetryName(dst, c.Name); err != nil {
+			return dst, err
+		}
+		if c.Delta < 0 {
+			return dst, fmt.Errorf("%w: telemetry counter %q delta %d is negative", ErrMalformed, c.Name, c.Delta)
+		}
+		dst = appendU64(dst, uint64(c.Delta))
+	}
+
+	dst = append(dst, byte(len(s.Gauges)>>8), byte(len(s.Gauges)))
+	for i := range s.Gauges {
+		g := &s.Gauges[i]
+		var err error
+		if dst, err = appendTelemetryName(dst, g.Name); err != nil {
+			return dst, err
+		}
+		dst = appendF64(dst, g.Value)
+	}
+
+	dst = append(dst, byte(len(s.Hists)>>8), byte(len(s.Hists)))
+	for i := range s.Hists {
+		h := &s.Hists[i]
+		var err error
+		if dst, err = appendTelemetryName(dst, h.Name); err != nil {
+			return dst, err
+		}
+		if len(h.Bounds) > 0xFFFF {
+			return dst, fmt.Errorf("%w: telemetry histogram %q has %d bounds (max 65535)", ErrMalformed, h.Name, len(h.Bounds))
+		}
+		if len(h.Counts) != len(h.Bounds) {
+			return dst, fmt.Errorf("%w: telemetry histogram %q has %d counts for %d bounds", ErrMalformed, h.Name, len(h.Counts), len(h.Bounds))
+		}
+		dst = append(dst, byte(len(h.Bounds)>>8), byte(len(h.Bounds)))
+		for j, b := range h.Bounds {
+			if math.IsNaN(b) || (j > 0 && h.Bounds[j-1] >= b) {
+				return dst, fmt.Errorf("%w: telemetry histogram %q bounds not strictly ascending", ErrMalformed, h.Name)
+			}
+			dst = appendF64(dst, b)
+		}
+		if h.Overflow < 0 {
+			return dst, fmt.Errorf("%w: telemetry histogram %q overflow %d is negative", ErrMalformed, h.Name, h.Overflow)
+		}
+		dst = appendU64(dst, uint64(h.Overflow))
+		dst = appendF64(dst, h.Sum)
+		dst = appendF64(dst, h.Min)
+		dst = appendF64(dst, h.Max)
+		sparse := 0
+		total := uint64(h.Overflow)
+		for _, c := range h.Counts {
+			if c < 0 {
+				return dst, fmt.Errorf("%w: telemetry histogram %q has a negative bucket count", ErrMalformed, h.Name)
+			}
+			total += uint64(c)
+			if total > math.MaxInt64 {
+				return dst, fmt.Errorf("%w: telemetry histogram %q total count overflows int64", ErrMalformed, h.Name)
+			}
+			if c != 0 {
+				sparse++
+			}
+		}
+		dst = append(dst, byte(sparse>>8), byte(sparse))
+		for j, c := range h.Counts {
+			if c != 0 {
+				dst = append(dst, byte(j>>8), byte(j))
+				dst = appendU64(dst, uint64(c))
+			}
+		}
+	}
+	return dst, nil
+}
+
+func resizeTelemetryCounters(dst []TelemetryCounter, n int) []TelemetryCounter {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]TelemetryCounter, n)
+}
+
+func resizeTelemetryGauges(dst []TelemetryGauge, n int) []TelemetryGauge {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]TelemetryGauge, n)
+}
+
+func resizeTelemetryHists(dst []TelemetryHist, n int) []TelemetryHist {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]TelemetryHist, n)
+}
+
+func resizeI64(dst []int64, n int) []int64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]int64, n)
+}
+
+// UnmarshalWire decodes a snapshot, reusing s's backing arrays. Every
+// count is validated against the remaining payload before allocation and
+// every invariant the encoder enforces is re-checked, so a decoded
+// snapshot always re-encodes.
+func (s *TelemetrySnapshot) UnmarshalWire(payload []byte) error {
+	r := &reader{b: payload}
+	if err := r.header(TypeTelemetrySnapshot, "telemetry snapshot"); err != nil {
+		return err
+	}
+	srcLen := int(r.u8())
+	src := r.take(srcLen)
+	if r.bad || srcLen == 0 {
+		return fmt.Errorf("%w: telemetry snapshot source", ErrMalformed)
+	}
+	internString(&s.Source, src)
+	s.Epoch, s.Seq = r.u64(), r.u64()
+	s.WallUnixNS = int64(r.u64())
+
+	nc := int(r.u16())
+	if nc > r.remaining()/telCounterMin {
+		return fmt.Errorf("%w: telemetry snapshot declares %d counters beyond payload", ErrMalformed, nc)
+	}
+	s.Counters = resizeTelemetryCounters(s.Counters, nc)
+	for i := 0; i < nc; i++ {
+		name := r.take(int(r.u8()))
+		delta := r.u64()
+		if r.bad || len(name) == 0 || delta > math.MaxInt64 {
+			return fmt.Errorf("%w: telemetry counter %d", ErrMalformed, i)
+		}
+		internString(&s.Counters[i].Name, name)
+		s.Counters[i].Delta = int64(delta)
+	}
+
+	ng := int(r.u16())
+	if ng > r.remaining()/telGaugeMin {
+		return fmt.Errorf("%w: telemetry snapshot declares %d gauges beyond payload", ErrMalformed, ng)
+	}
+	s.Gauges = resizeTelemetryGauges(s.Gauges, ng)
+	for i := 0; i < ng; i++ {
+		name := r.take(int(r.u8()))
+		v := r.f64()
+		if r.bad || len(name) == 0 {
+			return fmt.Errorf("%w: telemetry gauge %d", ErrMalformed, i)
+		}
+		internString(&s.Gauges[i].Name, name)
+		s.Gauges[i].Value = v
+	}
+
+	nh := int(r.u16())
+	if nh > r.remaining()/telHistMin {
+		return fmt.Errorf("%w: telemetry snapshot declares %d histograms beyond payload", ErrMalformed, nh)
+	}
+	s.Hists = resizeTelemetryHists(s.Hists, nh)
+	for i := 0; i < nh; i++ {
+		h := &s.Hists[i]
+		name := r.take(int(r.u8()))
+		if r.bad || len(name) == 0 {
+			return fmt.Errorf("%w: telemetry histogram %d name", ErrMalformed, i)
+		}
+		internString(&h.Name, name)
+		nb := int(r.u16())
+		if nb > r.remaining()/8 {
+			return fmt.Errorf("%w: telemetry histogram %q declares %d bounds beyond payload", ErrMalformed, h.Name, nb)
+		}
+		h.Bounds = resizeF64(h.Bounds, nb)
+		for j := 0; j < nb; j++ {
+			b := r.f64()
+			if math.IsNaN(b) || (j > 0 && h.Bounds[j-1] >= b) {
+				return fmt.Errorf("%w: telemetry histogram %q bounds not strictly ascending", ErrMalformed, h.Name)
+			}
+			h.Bounds[j] = b
+		}
+		overflow := r.u64()
+		h.Sum, h.Min, h.Max = r.f64(), r.f64(), r.f64()
+		np := int(r.u16())
+		if np > r.remaining()/10 || np > nb {
+			return fmt.Errorf("%w: telemetry histogram %q declares %d sparse buckets beyond payload", ErrMalformed, h.Name, np)
+		}
+		if r.bad || overflow > math.MaxInt64 {
+			return fmt.Errorf("%w: telemetry histogram %q", ErrMalformed, h.Name)
+		}
+		h.Overflow = int64(overflow)
+		h.Counts = resizeI64(h.Counts, nb)
+		for j := range h.Counts {
+			h.Counts[j] = 0
+		}
+		total := overflow
+		prev := -1
+		for j := 0; j < np; j++ {
+			idx := int(r.u16())
+			n := r.u64()
+			if r.bad || idx <= prev || idx >= nb || n == 0 || n > math.MaxInt64 {
+				return fmt.Errorf("%w: telemetry histogram %q sparse bucket %d", ErrMalformed, h.Name, j)
+			}
+			total += n
+			if total > math.MaxInt64 {
+				return fmt.Errorf("%w: telemetry histogram %q total count overflows int64", ErrMalformed, h.Name)
+			}
+			h.Counts[idx] = int64(n)
+			prev = idx
+		}
+	}
+	return r.done("telemetry snapshot")
+}

@@ -1,0 +1,220 @@
+package binfmt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleSnapshot() *TelemetrySnapshot {
+	return &TelemetrySnapshot{
+		Source:     "agent-7",
+		Epoch:      0xDEADBEEF,
+		Seq:        42,
+		WallUnixNS: 1_700_000_000_000_000_000,
+		Counters: []TelemetryCounter{
+			{Name: "monitor.batches", Delta: 12},
+			{Name: "journal.appends", Delta: 0},
+		},
+		Gauges: []TelemetryGauge{
+			{Name: "sched.window_fill", Value: 0.75},
+			{Name: "sched.eps", Value: math.Inf(1)},
+		},
+		Hists: []TelemetryHist{
+			{
+				Name:     "monitor.ingest.seconds",
+				Bounds:   []float64{0.001, 0.01, 0.1, 1},
+				Counts:   []int64{3, 0, 5, 0},
+				Overflow: 2,
+				Sum:      1.25,
+				Min:      0.0004,
+				Max:      3.5,
+			},
+			{
+				Name:   "sched.empty.seconds",
+				Bounds: []float64{1, 2},
+				Counts: []int64{0, 0},
+			},
+		},
+	}
+}
+
+func telemetryEq(a, b *TelemetrySnapshot) bool {
+	if a.Source != b.Source || a.Epoch != b.Epoch || a.Seq != b.Seq || a.WallUnixNS != b.WallUnixNS {
+		return false
+	}
+	if len(a.Counters) != len(b.Counters) || len(a.Gauges) != len(b.Gauges) || len(a.Hists) != len(b.Hists) {
+		return false
+	}
+	for i := range a.Counters {
+		if a.Counters[i] != b.Counters[i] {
+			return false
+		}
+	}
+	for i := range a.Gauges {
+		if a.Gauges[i].Name != b.Gauges[i].Name || !f64Eq(a.Gauges[i].Value, b.Gauges[i].Value) {
+			return false
+		}
+	}
+	for i := range a.Hists {
+		ha, hb := &a.Hists[i], &b.Hists[i]
+		if ha.Name != hb.Name || ha.Overflow != hb.Overflow ||
+			!f64Eq(ha.Sum, hb.Sum) || !f64Eq(ha.Min, hb.Min) || !f64Eq(ha.Max, hb.Max) ||
+			!f64SliceEq(ha.Bounds, hb.Bounds) || len(ha.Counts) != len(hb.Counts) {
+			return false
+		}
+		for j := range ha.Counts {
+			if ha.Counts[j] != hb.Counts[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTelemetrySnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	p, err := s.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if typ, ok := MsgType(p); !ok || typ != TypeTelemetrySnapshot {
+		t.Fatalf("MsgType = %#x,%v", typ, ok)
+	}
+	var back TelemetrySnapshot
+	if err := back.UnmarshalWire(p); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !telemetryEq(s, &back) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", s, &back)
+	}
+	// Encoding must be canonical: re-encode of the decode is byte-identical.
+	p2, err := back.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(p) != string(p2) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+func TestTelemetrySnapshotDecodeReuse(t *testing.T) {
+	s := sampleSnapshot()
+	p, err := s.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back TelemetrySnapshot
+	if err := back.UnmarshalWire(p); err != nil {
+		t.Fatalf("decode 1: %v", err)
+	}
+	// Second decode into the same struct must reuse backing arrays and
+	// still produce an equal value (zeroed dense counts, interned names).
+	if err := back.UnmarshalWire(p); err != nil {
+		t.Fatalf("decode 2: %v", err)
+	}
+	if !telemetryEq(s, &back) {
+		t.Fatalf("reused decode diverged: %+v", &back)
+	}
+}
+
+func TestTelemetrySnapshotRejects(t *testing.T) {
+	cases := map[string]*TelemetrySnapshot{
+		"empty source":       {Source: ""},
+		"negative counter":   {Source: "a", Counters: []TelemetryCounter{{Name: "x.y", Delta: -1}}},
+		"empty counter name": {Source: "a", Counters: []TelemetryCounter{{Name: ""}}},
+		"counts/bounds skew": {Source: "a", Hists: []TelemetryHist{{Name: "h.h", Bounds: []float64{1}, Counts: []int64{1, 2}}}},
+		"unsorted bounds":    {Source: "a", Hists: []TelemetryHist{{Name: "h.h", Bounds: []float64{2, 1}, Counts: []int64{0, 0}}}},
+		"NaN bound":          {Source: "a", Hists: []TelemetryHist{{Name: "h.h", Bounds: []float64{math.NaN()}, Counts: []int64{0}}}},
+		"negative overflow":  {Source: "a", Hists: []TelemetryHist{{Name: "h.h", Overflow: -1}}},
+		"negative bucket":    {Source: "a", Hists: []TelemetryHist{{Name: "h.h", Bounds: []float64{1}, Counts: []int64{-2}}}},
+	}
+	for name, s := range cases {
+		if _, err := s.AppendWire(nil); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: encode error = %v, want ErrMalformed", name, err)
+		}
+	}
+	// Truncations of a valid payload must all fail with ErrMalformed.
+	p, err := sampleSnapshot().AppendWire(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for n := 0; n < len(p); n++ {
+		var back TelemetrySnapshot
+		if err := back.UnmarshalWire(p[:n]); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("truncation at %d: error = %v, want ErrMalformed", n, err)
+		}
+	}
+	// Trailing garbage is rejected too.
+	var back TelemetrySnapshot
+	if err := back.UnmarshalWire(append(p, 0)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing byte: error = %v, want ErrMalformed", err)
+	}
+}
+
+func TestTelemetrySnapshotAsJournaledInner(t *testing.T) {
+	inner, err := sampleSnapshot().AppendWire(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	env := Journaled{Origin: 9, Seq: 3, Inner: inner}
+	p, err := env.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("telemetry snapshots must be journalable: %v", err)
+	}
+	var back Journaled
+	if err := back.UnmarshalWire(p); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	var snap TelemetrySnapshot
+	if err := snap.UnmarshalWire(back.Inner); err != nil {
+		t.Fatalf("decode inner: %v", err)
+	}
+	if snap.Source != "agent-7" || snap.Seq != 42 {
+		t.Fatalf("inner snapshot diverged: %+v", snap)
+	}
+}
+
+// FuzzTelemetryDecode is the fourth fuzz target: arbitrary bytes fed to the
+// telemetry-snapshot decoder either fail with ErrMalformed or decode into a
+// value that re-encodes canonically and round-trips unchanged.
+func FuzzTelemetryDecode(f *testing.F) {
+	if p, err := sampleSnapshot().AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	if p, err := (&TelemetrySnapshot{Source: "s"}).AppendWire(nil); err == nil {
+		f.Add(p)
+	}
+	// Hostile counts: more series/buckets declared than bytes supplied.
+	f.Add([]byte{TypeTelemetrySnapshot, Version, 1, 'x',
+		0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3,
+		0xFF, 0xFF})
+	f.Add([]byte{TypeTelemetrySnapshot, Version, 1, 'x',
+		0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3,
+		0, 0, 0, 0, 0, 1, 1, 'h', 0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s TelemetrySnapshot
+		if err := s.UnmarshalWire(data); err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("decode error %v does not wrap ErrMalformed", err)
+			}
+			return
+		}
+		p, err := s.AppendWire(nil)
+		if err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+		var again TelemetrySnapshot
+		if err := again.UnmarshalWire(p); err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if !telemetryEq(&s, &again) {
+			t.Fatalf("round trip diverges:\n%+v\n%+v", &s, &again)
+		}
+		if typ, ok := MsgType(data); !ok || typ != TypeTelemetrySnapshot {
+			t.Fatalf("decoded payload sniffs as %#x,%v", typ, ok)
+		}
+	})
+}

@@ -89,7 +89,7 @@ func AppendBinaryFrame(dst []byte, m Marshaler, tc TraceContext) ([]byte, error)
 	if extSize > 0 {
 		// Backfill the reserved extension bytes in place: the destination
 		// slice is empty but has exactly extSize capacity inside dst.
-		_ = tc.appendExt(dst[bodyStart:bodyStart:bodyStart+extSize])
+		_ = tc.appendExt(dst[bodyStart : bodyStart : bodyStart+extSize])
 	}
 	binary.BigEndian.PutUint32(dst[start+7:], crc32.ChecksumIEEE(dst[bodyStart:]))
 	return dst, nil

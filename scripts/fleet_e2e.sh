@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end check of the fleet telemetry plane (`make fleet-e2e`): start
+# one kertmon management server with the rollup endpoints and its own
+# self-shipping telemetry + SLO evaluator, run two kertsim agent processes
+# that ship their metric registries to it with distinct origin names, then
+# assert with scripts/fleetcheck that the fleet-scope counter equals the
+# exact sum of the per-origin counters, that /metrics.prom exposes both
+# the local and fleet scopes with the SLO burn gauges, and that the
+# origins show up in the rollup. Exits non-zero on any failed expectation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+mon_pid=""
+cleanup() {
+  [ -n "$mon_pid" ] && kill "$mon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+mgmt="127.0.0.1:18493"
+metrics="127.0.0.1:18494"
+base="http://$metrics"
+rows=400
+
+go build -o "$tmp/kertmon" ./cmd/kertmon
+go build -o "$tmp/kertsim" ./cmd/kertsim
+go build -o "$tmp/fleetcheck" ./scripts/fleetcheck
+
+# The management plane: pinned management port for the agents, the
+# introspection endpoint for /fleet and /metrics.prom, self-shipping and
+# the SLO evaluator on a dense cadence, lingering long enough for the
+# agents and the checker to run.
+"$tmp/kertmon" -requests 120 -alpha 60 -decentral=false \
+  -mgmt-addr "$mgmt" -metrics-addr "$metrics" \
+  -telemetry-every 250ms -linger 60s \
+  > "$tmp/kertmon.log" 2>&1 &
+mon_pid=$!
+
+ready=0
+for _ in $(seq 1 100); do
+  if curl -sf "$base/metrics" > /dev/null 2>&1; then ready=1; break; fi
+  sleep 0.1
+done
+if [ "$ready" != 1 ]; then
+  echo "fleet-e2e: kertmon introspection endpoint never became ready" >&2
+  cat "$tmp/kertmon.log" >&2
+  exit 1
+fi
+echo "fleet-e2e: kertmon up (management $mgmt, introspection $base)"
+
+# Two agent processes, each shipping its registry to the management plane
+# under a distinct origin name. Each emits exactly $rows dataset rows, so
+# the fleet total is exactly 2 * rows if and only if the rollup neither
+# loses nor double-counts a shipped increment.
+for src in sim-a sim-b; do
+  "$tmp/kertsim" -system ediamond -n "$rows" \
+    -fleet-addr "$mgmt" -telemetry-source "$src" \
+    > /dev/null 2> "$tmp/$src.log" || {
+    echo "fleet-e2e: kertsim ($src) failed" >&2
+    cat "$tmp/$src.log" >&2
+    exit 1
+  }
+done
+echo "fleet-e2e: two kertsim agents shipped ($rows rows each)"
+
+"$tmp/fleetcheck" -base "$base" -origins sim-a,sim-b \
+  -counter sim.rows_emitted -total $((2 * rows)) || {
+  echo "fleet-e2e: rollup check failed; kertmon log:" >&2
+  tail -20 "$tmp/kertmon.log" >&2
+  exit 1
+}
+echo "fleet-e2e: OK"

@@ -1,0 +1,201 @@
+// Command fleetcheck asserts the fleet rollup invariant against a live
+// kertmon management plane (used by scripts/fleet_e2e.sh). It polls the
+// /fleet report until every expected origin has shipped, then checks the
+// telemetry plane's headline guarantees:
+//
+//   - every origin named in -origins appears in the rollup with a
+//     positive value for -counter;
+//   - the fleet-scope value of -counter equals the sum of the per-origin
+//     values exactly (and equals -total when one is given) — the rollup
+//     neither loses nor double-counts shipped increments;
+//   - /metrics.prom exposes both the local and fleet scopes, carries the
+//     fleet counter with the same exact value, includes the SLO burn
+//     gauges, and terminates with the # EOF marker.
+//
+// Exits non-zero with a diagnostic on any failed expectation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"kertbn/internal/telemetry"
+)
+
+func main() {
+	var (
+		base    = flag.String("base", "", "introspection base URL (e.g. http://127.0.0.1:18494)")
+		counter = flag.String("counter", "sim.rows_emitted", "counter whose fleet value must equal the per-origin sum")
+		origins = flag.String("origins", "", "comma-separated origin sources that must all have reported")
+		total   = flag.Int64("total", -1, "exact expected fleet total for -counter (-1 = check only the sum identity)")
+		wait    = flag.Duration("wait", 15*time.Second, "poll /fleet this long for the expected origins to arrive")
+	)
+	flag.Parse()
+	if *base == "" || *origins == "" {
+		fatal("-base and -origins are required")
+	}
+	want := strings.Split(*origins, ",")
+
+	// Snapshots travel fire-and-forget over independent connections, so
+	// poll until every expected origin has landed (or the deadline hits).
+	var rep *telemetry.FleetReport
+	deadline := time.Now().Add(*wait)
+	for {
+		r, err := fetchFleet(*base + "/fleet")
+		if err == nil && hasOrigins(r, want) {
+			rep = r
+			break
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				fatal("fetching /fleet: %v", err)
+			}
+			got := make([]string, 0, len(r.Origins))
+			for _, o := range r.Origins {
+				got = append(got, o.Source)
+			}
+			fatal("origins %v never all reported within %v (have %v)", want, *wait, got)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Per-origin contributions: present and positive for every expected
+	// origin, summed across all origins that carry the counter.
+	var sum int64
+	for _, o := range rep.Origins {
+		if o.Metrics == nil {
+			continue
+		}
+		sum += o.Metrics.Counters[*counter]
+	}
+	for _, src := range want {
+		v := originCounter(rep, src, *counter)
+		if v <= 0 {
+			fatal("origin %q reports %s = %d, want > 0", src, *counter, v)
+		}
+		fmt.Printf("fleetcheck: origin %-12s %s = %d\n", src, *counter, v)
+	}
+
+	fleet := rep.Fleet.Counters[*counter]
+	if fleet != sum {
+		fatal("fleet %s = %d, but per-origin sum = %d (rollup lost or double-counted)", *counter, fleet, sum)
+	}
+	if *total >= 0 && fleet != *total {
+		fatal("fleet %s = %d, want exactly %d", *counter, fleet, *total)
+	}
+	if rep.SnapshotsApplied < int64(len(want)) {
+		fatal("snapshots_applied = %d, want >= %d", rep.SnapshotsApplied, len(want))
+	}
+	fmt.Printf("fleetcheck: fleet %s = %d == per-origin sum (%d snapshots applied, %d dups suppressed)\n",
+		*counter, fleet, rep.SnapshotsApplied, rep.DupSuppressed)
+
+	// The Prometheus exposition must serve both scopes with the same exact
+	// fleet value, include the SLO burn gauges, and end with # EOF.
+	prom, err := fetchBody(*base + "/metrics.prom")
+	if err != nil {
+		fatal("fetching /metrics.prom: %v", err)
+	}
+	promCounter := promName(*counter) + "_total"
+	for _, needle := range []string{
+		`{scope="local"}`,
+		fmt.Sprintf("%s{scope=\"fleet\"} %d\n", promCounter, fleet),
+		"kertbn_slo_burn_",
+	} {
+		if !strings.Contains(prom, needle) {
+			fatal("/metrics.prom is missing %q", needle)
+		}
+	}
+	if !strings.HasSuffix(prom, "# EOF\n") {
+		fatal("/metrics.prom does not terminate with # EOF")
+	}
+	fmt.Printf("fleetcheck: /metrics.prom serves local+fleet scopes, %s{scope=\"fleet\"} matches, # EOF present\n", promCounter)
+	fmt.Println("fleetcheck: OK")
+}
+
+func fetchFleet(url string) (*telemetry.FleetReport, error) {
+	body, err := fetchBody(url)
+	if err != nil {
+		return nil, err
+	}
+	var rep telemetry.FleetReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	if rep.Fleet == nil {
+		return nil, fmt.Errorf("%s report has no fleet snapshot", url)
+	}
+	return &rep, nil
+}
+
+func fetchBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return string(raw), nil
+}
+
+func hasOrigins(rep *telemetry.FleetReport, want []string) bool {
+	if rep == nil {
+		return false
+	}
+	for _, src := range want {
+		found := false
+		for _, o := range rep.Origins {
+			if o.Source == src {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func originCounter(rep *telemetry.FleetReport, source, name string) int64 {
+	for _, o := range rep.Origins {
+		if o.Source == source && o.Metrics != nil {
+			return o.Metrics.Counters[name]
+		}
+	}
+	return 0
+}
+
+// promName mirrors the exposition's mangling: kertbn_ prefix, every byte
+// outside [a-zA-Z0-9_:] becomes an underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("kertbn_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleetcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
